@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every module in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index) and prints the reproduced
+rows/series via ``repro.harness.report``. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def no_capture_note():
+    """Reminder printed once per module when output capture is on."""
+    return None

@@ -1,0 +1,161 @@
+"""Micro-ablations for the design choices DESIGN.md calls out.
+
+* NDEF codec throughput (encode/decode of a realistic message);
+* GSON-style serialization cost vs hand-written json.dumps (what the
+  thing layer pays for automatic conversion);
+* tag-reference event-loop throughput (queued writes per second while
+  the tag stays in range);
+* retry-interval sweep: time-to-success on a lossy link as a function of
+  the reference's retry pacing.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.concurrent import EventLog
+from repro.gson import Gson
+from repro.harness.report import Series, Table
+from repro.harness.scenario import Scenario
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.radio.link import LossyLink
+
+from tests.conftest import PlainNfcActivity, make_reference, text_tag
+
+
+class TestNdefCodec:
+    def test_encode_throughput(self, benchmark):
+        message = NdefMessage(
+            [mime_record("a/b", bytes(range(256)) * 4) for _ in range(4)]
+        )
+        encoded = benchmark(message.to_bytes)
+        assert NdefMessage.from_bytes(encoded) == message
+
+    def test_decode_throughput(self, benchmark):
+        message = NdefMessage(
+            [mime_record("a/b", bytes(range(256)) * 4) for _ in range(4)]
+        )
+        data = message.to_bytes()
+        decoded = benchmark(NdefMessage.from_bytes, data)
+        assert decoded == message
+
+
+class Config:
+    ssid: str
+    key: str
+
+    def __init__(self, ssid="network-name", key="secret-key-123"):
+        self.ssid = ssid
+        self.key = key
+
+
+class TestSerializationCost:
+    def test_gson_roundtrip(self, benchmark):
+        gson = Gson()
+
+        def roundtrip():
+            return gson.from_json(gson.to_json(Config()), Config)
+
+        result = benchmark(roundtrip)
+        assert result.ssid == "network-name"
+
+    def test_manual_json_roundtrip(self, benchmark):
+        def roundtrip():
+            text = json.dumps(
+                {"ssid": "network-name", "key": "secret-key-123"}, sort_keys=True
+            )
+            data = json.loads(text)
+            return Config(data["ssid"], data["key"])
+
+        result = benchmark(roundtrip)
+        assert result.ssid == "network-name"
+
+
+class TestEventLoopThroughput:
+    def test_queued_write_throughput(self, benchmark):
+        """Writes per second through one reference's private event loop."""
+        writes = 100
+
+        def run() -> float:
+            with Scenario() as scenario:
+                phone = scenario.add_phone("phone")
+                activity = scenario.start(phone, PlainNfcActivity)
+                tag = text_tag("x", tag_type="SIMTAG_4K")
+                scenario.put(tag, phone)
+                reference = make_reference(activity, tag, phone)
+                done = EventLog()
+                start = time.monotonic()
+                for index in range(writes):
+                    reference.write(
+                        f"w{index}",
+                        on_written=lambda r: done.append(1),
+                        timeout=30.0,
+                    )
+                assert done.wait_for_count(writes, timeout=30)
+                return writes / (time.monotonic() - start)
+
+        ops_per_second = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(f"\nreference event loop: {ops_per_second:.0f} writes/s")
+        assert ops_per_second > 100
+
+
+RETRY_INTERVALS = [0.005, 0.02, 0.08]
+
+
+class TestRetryIntervalSweep:
+    def test_time_to_success_vs_retry_interval(self, benchmark):
+        def measure(interval: float) -> float:
+            from repro.android.nfc.tech import Tag
+            from tests.conftest import string_converters
+
+            with Scenario() as scenario:
+                # Seed 5 gives six tears before the first success, so the
+                # time-to-success is dominated by the retry pacing.
+                phone = scenario.add_phone(
+                    "phone", link=LossyLink(0.7, seed=5)
+                )
+                activity = scenario.start(phone, PlainNfcActivity)
+                tag = text_tag("retry")
+                scenario.put(tag, phone)
+                read_conv, write_conv = string_converters()
+                from repro.core.reference import TagReference
+
+                reference = TagReference(
+                    Tag(tag, phone.port),
+                    activity,
+                    read_conv,
+                    write_conv,
+                    retry_interval=interval,
+                )
+                done = EventLog()
+                start = time.monotonic()
+                reference.write(
+                    "payload", on_written=lambda r: done.append(1), timeout=30.0
+                )
+                assert done.wait_for_count(1, timeout=30)
+                elapsed = time.monotonic() - start
+                reference.stop()
+                return elapsed
+
+        timings = benchmark.pedantic(
+            lambda: [measure(interval) for interval in RETRY_INTERVALS],
+            rounds=1,
+            iterations=1,
+        )
+
+        series = Series("time to success", "retry interval (s)", "seconds")
+        table = Table(
+            "Ablation -- retry pacing on a 70%-loss link",
+            ["retry interval (s)", "time to success (s)"],
+        )
+        for interval, elapsed in zip(RETRY_INTERVALS, timings):
+            series.add(interval, elapsed)
+            table.add_row(interval, round(elapsed, 4))
+        table.print()
+
+        # Six retries at the coarsest pacing dominate any scheduling noise:
+        # the sweep must be monotone from finest to coarsest interval.
+        assert timings[0] < timings[-1]
+        assert timings[-1] >= 6 * RETRY_INTERVALS[-1] * 0.8

@@ -1,0 +1,110 @@
+"""Section 4 batching claim.
+
+"In the MORENA version, multiple write operations can be batched until a
+tag comes in range, while in the handcrafted solution the user can only
+attempt to write as soon as a tag is in range."
+
+Experiment: N updates are produced while the tag is away. When the tag
+finally appears for one tap window, MORENA drains its whole queue in
+order; the handcrafted app cannot even initiate a write without the tag,
+so every update costs the user one tap.
+"""
+
+import json
+
+from repro.apps.wifi.wifi_manager import WifiNetworkRegistry
+from repro.baseline import HandcraftedWifiActivity, WifiConfigData
+from repro.concurrent import EventLog, wait_until
+from repro.harness.report import Table
+from repro.harness.scenario import Scenario
+from repro.harness.user import SimulatedUser
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.tags.factory import make_tag
+
+from tests.conftest import PlainNfcActivity, make_reference, text_tag
+
+UPDATES = 8
+WIFI_MIME = "application/vnd.morena.wificonfig"
+
+
+def run_morena() -> tuple:
+    """Returns (taps, completed writes) after one hold window."""
+    with Scenario() as scenario:
+        phone = scenario.add_phone("phone")
+        activity = scenario.start(phone, PlainNfcActivity)
+        tag = text_tag("initial")
+        reference = make_reference(activity, tag, phone)
+        completed = EventLog()
+        for index in range(UPDATES):
+            reference.write(
+                f"update-{index}",
+                on_written=lambda r, i=index: completed.append(i),
+                timeout=30.0,
+            )
+        assert reference.pending_count == UPDATES  # queued, tag absent
+        user = SimulatedUser(scenario.env, phone)
+        stats = user.hold_until(
+            tag, done=lambda: len(completed) >= UPDATES, max_seconds=5.0
+        )
+        assert tag.read_ndef()[0].payload.decode() == f"update-{UPDATES - 1}"
+        assert completed.snapshot() == list(range(UPDATES))  # in order
+        return stats.taps, len(completed)
+
+
+def run_handcrafted() -> tuple:
+    """One tap per update: the baseline writes only while the tag is there."""
+    with Scenario() as scenario:
+        registry = WifiNetworkRegistry()
+        phone = scenario.add_phone("phone")
+        app = scenario.start(phone, HandcraftedWifiActivity, registry)
+        payload = json.dumps({"ssid": "seed", "key": "k"}).encode()
+        tag = make_tag(content=NdefMessage([mime_record(WIFI_MIME, payload)]))
+        taps = 0
+        completed = 0
+        for index in range(UPDATES):
+            scenario.put(tag, phone)  # the user taps...
+            taps += 1
+            assert wait_until(
+                lambda: (
+                    phone.sync(),
+                    app.join_workers(),
+                    phone.sync(),
+                )
+                and app.last_tag is not None
+            )
+            config = WifiConfigData(f"update-{index}", "k")
+            phone.main_looper.post(
+                lambda c=config: app.rename_network(c, c.ssid, c.key)
+            )
+            assert wait_until(
+                lambda i=index: (
+                    phone.sync(),
+                    app.join_workers(),
+                    phone.sync(),
+                )
+                and json.loads(tag.read_ndef()[0].payload)["ssid"] == f"update-{i}"
+            )
+            completed += 1
+            scenario.take(tag, phone)  # ...and withdraws between updates
+            app.last_tag = None
+        return taps, completed
+
+
+def test_batched_writes_drain_in_one_tap(benchmark):
+    morena_taps, morena_done = benchmark.pedantic(run_morena, rounds=1, iterations=1)
+    handcrafted_taps, handcrafted_done = run_handcrafted()
+
+    table = Table(
+        f"Section 4 batching claim -- {UPDATES} updates produced while the "
+        "tag is away",
+        ["variant", "taps needed", "updates applied"],
+    )
+    table.add_row("MORENA", morena_taps, morena_done)
+    table.add_row("handcrafted", handcrafted_taps, handcrafted_done)
+    table.print()
+
+    assert morena_done == UPDATES
+    assert morena_taps == 1  # a single tap window drains the queue
+    assert handcrafted_done == UPDATES
+    assert handcrafted_taps == UPDATES  # one tap per update

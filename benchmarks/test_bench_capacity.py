@@ -1,0 +1,83 @@
+"""Capacity planning: which tag models hold which payloads.
+
+Not a figure from the paper, but the deployment question its system
+raises immediately: a *thing* costs JSON + NDEF overhead, and the cheap
+sticker models are small. This bench builds WiFi-config things with
+increasingly long keys plus the interop handover format, and reports
+which simulated tag models accept each -- the table a deployment guide
+would print.
+"""
+
+import json
+
+from repro.apps.wifi.interop import router_sticker
+from repro.errors import TagCapacityError
+from repro.harness.report import Table
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.tags.factory import make_tag
+from repro.tags.type4 import make_type4_tag
+
+MODELS = ["MIFARE_ULTRALIGHT", "NTAG213", "NTAG215", "NTAG216"]
+KEY_LENGTHS = [8, 63, 200]
+WIFI_MIME = "application/vnd.morena.wificonfig"
+
+
+def thing_message(key_length: int) -> NdefMessage:
+    payload = json.dumps(
+        {"ssid": "a-realistic-network-name", "key": "k" * key_length},
+        sort_keys=True,
+    ).encode()
+    return NdefMessage([mime_record(WIFI_MIME, payload)])
+
+
+def fits(model: str, message: NdefMessage) -> bool:
+    try:
+        if model.startswith("TYPE4"):
+            make_type4_tag(model, content=message)
+        else:
+            make_tag(model, content=message)
+        return True
+    except TagCapacityError:
+        return False
+
+
+def test_payload_fit_by_model(benchmark):
+    payloads = {
+        f"thing (key {length}B)": thing_message(length) for length in KEY_LENGTHS
+    }
+    payloads["handover+WSC sticker"] = router_sticker(
+        "a-realistic-network-name", "k" * 63
+    )
+
+    def sweep():
+        return {
+            name: {model: fits(model, message) for model in MODELS + ["TYPE4_2K"]}
+            for name, message in payloads.items()
+        }
+
+    matrix = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = Table(
+        "Capacity planning -- payload vs tag model (bytes incl. overhead)",
+        ["payload", "size"] + MODELS + ["TYPE4_2K"],
+    )
+    for name, message in payloads.items():
+        row = [name, message.byte_length]
+        for model in MODELS + ["TYPE4_2K"]:
+            row.append("fits" if matrix[name][model] else "-")
+        table.add_row(*row)
+    table.print()
+
+    # Shape: small things fit everywhere except the tiny Ultralight;
+    # monstrous keys need the big models; Type 4 swallows everything here.
+    small = matrix["thing (key 8B)"]
+    assert small["NTAG213"] and small["NTAG215"] and small["NTAG216"]
+    assert not matrix["thing (key 200B)"]["MIFARE_ULTRALIGHT"]
+    assert matrix["thing (key 200B)"]["NTAG216"]
+    assert all(matrix[name]["TYPE4_2K"] for name in payloads)
+    # The standards format costs more bytes than the ad-hoc thing format.
+    assert (
+        payloads["handover+WSC sticker"].byte_length
+        > payloads["thing (key 63B)"].byte_length
+    )

@@ -1,0 +1,81 @@
+"""Figure 2 reproduction: RFID lines of code, handcrafted vs MORENA.
+
+The paper reports 197 RFID-related LoC for the handcrafted WiFi-sharing
+app and 36 for the MORENA version (a ~5x reduction), split over five
+subproblems, with MORENA needing zero concurrency-management code and
+shifting its share toward event handling. This module recounts both
+implementations of this reproduction with the auditable region counter
+and asserts the paper's *shape*:
+
+* total reduction factor >= 3,
+* MORENA concurrency LoC == 0,
+* event handling is MORENA's largest share,
+* every subproblem needs at most as much code in MORENA.
+"""
+
+import repro.apps.wifi.config as morena_config
+import repro.apps.wifi.morena_app as morena_app
+import repro.baseline.handcrafted_wifi as handcrafted
+from repro.harness.report import Table
+from repro.metrics.annotations import CATEGORIES, RfidCategory
+from repro.metrics.loc import compare_implementations
+
+HANDCRAFTED_MODULES = [handcrafted]
+MORENA_MODULES = [morena_app, morena_config]
+
+PAPER_HANDCRAFTED_TOTAL = 197
+PAPER_MORENA_TOTAL = 36
+
+
+def comparison():
+    return compare_implementations(HANDCRAFTED_MODULES, MORENA_MODULES)
+
+
+def test_fig2_left_loc_by_subproblem(benchmark):
+    """Figure 2 (left): absolute LoC per subproblem."""
+    result = benchmark(comparison)
+
+    table = Table(
+        "Figure 2 (left) -- RFID LoC per subproblem "
+        f"[paper totals: {PAPER_HANDCRAFTED_TOTAL} vs {PAPER_MORENA_TOTAL}]",
+        ["subproblem", "handcrafted", "MORENA"],
+    )
+    for label, hand, morena in result.rows():
+        table.add_row(label, hand, morena)
+    table.add_row("TOTAL", result.handcrafted.total, result.morena.total)
+    table.print()
+    print(f"\nreduction factor: x{result.reduction_factor:.1f} (paper: x5.5)")
+
+    assert result.reduction_factor >= 3.0
+    assert result.morena.by_category[RfidCategory.CONCURRENCY] == 0
+    for category in CATEGORIES:
+        assert (
+            result.morena.by_category[category]
+            <= result.handcrafted.by_category[category]
+        )
+
+
+def test_fig2_right_percentages(benchmark):
+    """Figure 2 (right): percentage share of each subproblem."""
+    result = benchmark(comparison)
+
+    table = Table(
+        "Figure 2 (right) -- share of each subproblem (%)",
+        ["subproblem", "handcrafted %", "MORENA %"],
+    )
+    for label, hand, morena in result.percentage_rows():
+        table.add_row(label, round(hand, 1), round(morena, 1))
+    table.print()
+
+    morena_shares = result.morena.percentages()
+    # "MORENA shifts the focus to event handling".
+    assert morena_shares[RfidCategory.EVENT_HANDLING] == max(morena_shares.values())
+    assert morena_shares[RfidCategory.CONCURRENCY] == 0.0
+    # The handcrafted version spends a real fraction on concurrency.
+    assert result.handcrafted.percentage(RfidCategory.CONCURRENCY) > 10.0
+    # Relative shift: event handling is more prominent in MORENA than
+    # in the handcrafted version.
+    assert (
+        morena_shares[RfidCategory.EVENT_HANDLING]
+        > result.handcrafted.percentage(RfidCategory.EVENT_HANDLING)
+    )

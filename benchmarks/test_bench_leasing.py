@@ -1,0 +1,128 @@
+"""Leasing ablation (paper section 6 future work, implemented here).
+
+Two experiments:
+
+* **Contention.** Two phones repeatedly try to lease the same tag. With
+  the protocol in place, exactly one holds the lease at any moment and
+  guarded writes by the non-holder are always denied.
+* **Drift-bound sweep.** The paper assumes "the clock drift among Android
+  devices is small enough to exclude practically all race conditions".
+  The sweep quantifies the cost of that assumption: a foreign lease is
+  honoured for ``drift_bound`` extra seconds after expiry, so larger
+  bounds mean longer tag unavailability after a holder walks away.
+"""
+
+import time
+
+import pytest
+
+from repro.concurrent import EventLog
+from repro.harness.report import Series, Table
+from repro.harness.scenario import Scenario
+from repro.leasing.manager import LeaseManager
+
+from tests.conftest import PlainNfcActivity, make_reference, text_tag
+
+DRIFT_BOUNDS = [0.0, 0.05, 0.15]
+
+
+def two_phone_setup(scenario, drift_bound: float):
+    tag = text_tag("contended")
+    phone_a = scenario.add_phone("phone-a")
+    phone_b = scenario.add_phone("phone-b")
+    app_a = scenario.start(phone_a, PlainNfcActivity)
+    app_b = scenario.start(phone_b, PlainNfcActivity)
+    scenario.put(tag, phone_a)
+    scenario.put(tag, phone_b)
+    manager_a = LeaseManager(
+        make_reference(app_a, tag, phone_a), "phone-a", drift_bound=drift_bound
+    )
+    manager_b = LeaseManager(
+        make_reference(app_b, tag, phone_b), "phone-b", drift_bound=drift_bound
+    )
+    return tag, manager_a, manager_b
+
+
+def attempt(manager, duration=0.5, timeout=5.0) -> bool:
+    log = EventLog()
+    manager.acquire(
+        duration,
+        on_acquired=lambda lease: log.append(True),
+        on_denied=lambda: log.append(False),
+        timeout=timeout,
+    )
+    assert log.wait_for_count(1, timeout=10)
+    return log.snapshot()[0]
+
+
+def release(manager) -> None:
+    log = EventLog()
+    manager.release(on_released=lambda: log.append("ok"))
+    assert log.wait_for_count(1, timeout=10)
+
+
+def test_lease_contention_mutual_exclusion(benchmark):
+    def run() -> tuple:
+        with Scenario() as scenario:
+            _, manager_a, manager_b = two_phone_setup(scenario, drift_bound=0.0)
+            rounds = 10
+            exclusive_violations = 0
+            denials = 0
+            for _ in range(rounds):
+                assert attempt(manager_a, duration=5.0)
+                if attempt(manager_b, duration=5.0):
+                    exclusive_violations += 1
+                else:
+                    denials += 1
+                release(manager_a)
+                # After a release the other side must win.
+                assert attempt(manager_b, duration=5.0)
+                release(manager_b)
+            return rounds, denials, exclusive_violations
+
+    rounds, denials, violations = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "Leasing -- mutual exclusion over acquire/release rounds",
+        ["rounds", "denials while held", "exclusivity violations"],
+    )
+    table.add_row(rounds, denials, violations)
+    table.print()
+    assert violations == 0
+    assert denials == rounds
+
+
+def test_drift_bound_availability_cost(benchmark):
+    def measure(drift_bound: float) -> float:
+        """Seconds after lease expiry until the other phone can acquire."""
+        with Scenario() as scenario:
+            _, manager_a, manager_b = two_phone_setup(scenario, drift_bound)
+            lease_duration = 0.2
+            assert attempt(manager_a, duration=lease_duration)
+            expiry = manager_a.held_lease.expires_at
+            clock = manager_a.reference.activity.device.environment.clock
+            while True:
+                acquired = attempt(manager_b, duration=1.0)
+                if acquired:
+                    return max(0.0, clock.now() - expiry)
+                time.sleep(0.02)
+
+    waits = benchmark.pedantic(
+        lambda: [measure(bound) for bound in DRIFT_BOUNDS], rounds=1, iterations=1
+    )
+
+    series = Series(
+        "post-expiry unavailability", "drift bound (s)", "extra wait (s)"
+    )
+    table = Table(
+        "Leasing -- availability cost of the clock-drift assumption",
+        ["drift bound (s)", "wait after expiry (s)"],
+    )
+    for bound, wait in zip(DRIFT_BOUNDS, waits):
+        series.add(bound, wait)
+        table.add_row(bound, round(wait, 3))
+    table.print()
+
+    # The wait grows with the drift bound and is at least the bound itself.
+    for bound, wait in zip(DRIFT_BOUNDS, waits):
+        assert wait >= bound * 0.9
+    assert waits[-1] > waits[0]

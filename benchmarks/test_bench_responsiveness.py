@@ -1,0 +1,83 @@
+"""Section 1.1 responsiveness claim.
+
+"Read and write operations on RFID tags are blocking operations in the
+Android NFC API ... the application becomes unresponsive when not
+carefully used."
+
+Experiment: with a realistic transfer latency, an application issues a
+tag read and immediately afterwards a UI event lands on the main looper.
+The naive blocking style (tag I/O on the main thread) delays the UI
+event by the full transfer time; MORENA's asynchronous read keeps the
+main loop free, so the UI event runs at once.
+"""
+
+import time
+
+from repro.concurrent import EventLog
+from repro.harness.report import Table
+from repro.harness.scenario import Scenario
+from repro.radio.timing import TransferTiming
+
+from tests.conftest import PlainNfcActivity, make_reference, text_tag
+
+TRANSFER = TransferTiming(base_seconds=0.15, seconds_per_byte=0.0)
+
+
+def ui_latency_blocking() -> float:
+    """Naive style: the blocking read runs on the main looper."""
+    with Scenario(timing=TRANSFER) as scenario:
+        phone = scenario.add_phone("phone")
+        scenario.start(phone, PlainNfcActivity)
+        tag = text_tag("payload")
+        scenario.put(tag, phone)
+        log = EventLog()
+
+        def blocking_read():
+            phone.port.read_ndef(tag)  # what the docs tell you NOT to do
+
+        issued = time.monotonic()
+        phone.main_looper.post(blocking_read)
+        phone.main_looper.post(lambda: log.append(time.monotonic() - issued))
+        assert log.wait_for_count(1, timeout=5)
+        return log.snapshot()[0]
+
+
+def ui_latency_morena() -> float:
+    """MORENA style: asynchronous read, UI event unobstructed."""
+    with Scenario(timing=TRANSFER) as scenario:
+        phone = scenario.add_phone("phone")
+        activity = scenario.start(phone, PlainNfcActivity)
+        tag = text_tag("payload")
+        scenario.put(tag, phone)
+        reference = make_reference(activity, tag, phone)
+        log = EventLog()
+        read_done = EventLog()
+
+        issued = time.monotonic()
+        reference.read(on_read=lambda r: read_done.append(r.cached))
+        phone.main_looper.post(lambda: log.append(time.monotonic() - issued))
+        assert log.wait_for_count(1, timeout=5)
+        latency = log.snapshot()[0]
+        # The read itself still completes -- just not on the UI's dime.
+        assert read_done.wait_for_count(1, timeout=5)
+        return latency
+
+
+def test_ui_event_latency_during_tag_io(benchmark):
+    blocking_ms, morena_ms = benchmark.pedantic(
+        lambda: (ui_latency_blocking() * 1000, ui_latency_morena() * 1000),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        "Section 1.1 responsiveness -- UI event latency during one tag read "
+        f"(transfer time {TRANSFER.base_seconds * 1000:.0f} ms)",
+        ["style", "UI event latency (ms)"],
+    )
+    table.add_row("blocking (naive Android)", round(blocking_ms, 1))
+    table.add_row("MORENA (async reference)", round(morena_ms, 1))
+    table.print()
+
+    assert blocking_ms >= TRANSFER.base_seconds * 1000 * 0.9
+    assert morena_ms < blocking_ms / 3

@@ -1,0 +1,73 @@
+"""SNEP ablation: fragmentation overhead vs MIU.
+
+Beam transfers run SNEP with a maximum information unit (MIU); smaller
+MIUs mean more radio round-trips per message and a bigger tear window.
+This bench sweeps the MIU for a 1 KiB beamed message and reports
+fragments per delivery plus the delivery rate under a per-fragment lossy
+link -- the series behind the choice of the default 128-byte MIU.
+"""
+
+from repro.concurrent import EventLog
+from repro.harness.report import Table
+from repro.harness.scenario import Scenario
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.radio.link import LossyLink
+
+MIUS = [32, 128, 512]
+MESSAGE_BYTES = 1024
+TRANSFERS = 15
+
+
+def run(miu: int, loss: float, seed: int) -> tuple:
+    """Returns (fragments for one clean PUT, delivery rate under loss)."""
+    payload = NdefMessage(
+        [mime_record("application/x-snep-bench", bytes(MESSAGE_BYTES))]
+    )
+    with Scenario() as scenario:
+        sender = scenario.add_phone("sender")
+        receiver = scenario.add_phone("receiver")
+        received = EventLog()
+        receiver.port.set_beam_handler(
+            lambda peer, message: received.append(len(message[0].payload))
+        )
+        scenario.pair(sender, receiver)
+
+        # Clean link: count fragments for one PUT.
+        sender.port.beam(payload, miu=miu)
+        clean_frames = receiver.port.snep_server.frames_processed
+
+        # Lossy link: each fragment is a separate chance to tear.
+        sender.port.set_link(LossyLink(loss, seed=seed))
+        delivered = 0
+        for _ in range(TRANSFERS):
+            try:
+                sender.port.beam(payload, miu=miu)
+                delivered += 1
+            except Exception:  # noqa: BLE001 - tears counted, not raised
+                pass
+        return clean_frames, delivered / TRANSFERS
+
+
+def test_miu_sweep(benchmark):
+    loss = 0.02  # 2% per fragment
+    rows = benchmark.pedantic(
+        lambda: [(miu,) + run(miu, loss, seed=5) for miu in MIUS],
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        f"SNEP ablation -- {MESSAGE_BYTES}-byte beam, {loss:.0%} loss per fragment",
+        ["MIU", "fragments/PUT", "delivery rate"],
+    )
+    for miu, fragments, rate in rows:
+        table.add_row(miu, fragments, rate)
+    table.print()
+
+    fragments = [f for _, f, _ in rows]
+    # More MIU, fewer fragments -- strictly decreasing over this sweep.
+    assert fragments[0] > fragments[1] > fragments[2]
+    # With per-fragment loss, fewer fragments means equal-or-better delivery.
+    rates = [r for _, _, r in rows]
+    assert rates[2] >= rates[0]

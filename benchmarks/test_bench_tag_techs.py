@@ -1,0 +1,134 @@
+"""Tag-technology ablation: Type 2 vs Type 4 under torn writes.
+
+Both technologies ride the same MORENA stack, but they fail differently:
+a torn Type 2 write leaves a truncated TLV (the tag is *unreadable* until
+rewritten), while Type 4's safe-update sequence (NLEN=0, data, NLEN)
+leaves a *valid empty* tag. This bench tears one write on each
+technology and reports what a subsequent reader finds, then measures the
+protocol cost Type 4 pays for that atomicity (APDU round-trips per
+operation).
+"""
+
+from repro.concurrent import EventLog
+from repro.harness.report import Table
+from repro.harness.scenario import Scenario
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.radio.link import FlakyThenGoodLink
+from repro.tags.factory import make_tag
+from repro.tags.type4 import make_type4_tag
+
+from tests.conftest import PlainNfcActivity, make_reference
+
+PAYLOAD_TYPE = "application/x-tech-bench"
+
+
+def message(text: str) -> NdefMessage:
+    return NdefMessage([mime_record(PAYLOAD_TYPE, text.encode())])
+
+
+def tear_one_write(tag) -> str:
+    """Tear a write on ``tag``; classify what a later read finds."""
+    from repro.errors import TagFormatError, TagLostError
+
+    with Scenario() as scenario:
+        phone = scenario.add_phone("phone", link=FlakyThenGoodLink(1))
+        phone.port.corrupt_on_tear = True
+        scenario.put(tag, phone)
+        try:
+            phone.port.write_ndef(tag, message("replacement"))
+        except TagLostError:
+            pass
+        try:
+            after = phone.port.read_ndef(tag)
+        except TagFormatError:
+            return "unreadable"
+        return "empty" if after.is_empty else "intact"
+
+
+def test_torn_write_aftermath(benchmark):
+    outcomes = benchmark.pedantic(
+        lambda: {
+            "Type 2 (NTAG216)": tear_one_write(
+                make_tag("NTAG216", content=message("original"))
+            ),
+            "Type 4 (TYPE4_2K)": tear_one_write(
+                make_type4_tag("TYPE4_2K", content=message("original"))
+            ),
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        "Tag-tech ablation -- what a reader finds after one torn write",
+        ["technology", "tag state"],
+    )
+    for technology, state in outcomes.items():
+        table.add_row(technology, state)
+    table.print()
+
+    assert outcomes["Type 2 (NTAG216)"] == "unreadable"
+    assert outcomes["Type 4 (TYPE4_2K)"] == "empty"  # valid, just empty
+
+
+def test_morena_recovers_both_technologies(benchmark):
+    """Whatever the tear leaves behind, the retrying reference heals it."""
+
+    def recover(tag) -> bool:
+        with Scenario() as scenario:
+            phone = scenario.add_phone("phone", link=FlakyThenGoodLink(1))
+            phone.port.corrupt_on_tear = True
+            scenario.put(tag, phone)
+            activity = scenario.start(phone, PlainNfcActivity)
+            reference = make_reference(
+                activity, tag, phone, mime_type=PAYLOAD_TYPE
+            )
+            done = EventLog()
+            reference.write(
+                "final", on_written=lambda r: done.append("ok"), timeout=10.0
+            )
+            if not done.wait_for_count(1, timeout=10):
+                return False
+            return tag.read_ndef()[0].payload == b"final"
+
+    results = benchmark.pedantic(
+        lambda: (
+            recover(make_tag("NTAG216", content=message("original"))),
+            recover(make_type4_tag("TYPE4_2K", content=message("original"))),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert results == (True, True)
+
+
+def test_type4_protocol_overhead(benchmark):
+    """APDU round-trips per high-level operation (the atomicity price)."""
+
+    def count_apdus() -> dict:
+        read_tag = make_type4_tag(content=message("x" * 100))
+        before = read_tag.apdu_count
+        read_tag.read_ndef()
+        read_cost = read_tag.apdu_count - before
+
+        write_tag = make_type4_tag()
+        before = write_tag.apdu_count
+        write_tag.write_ndef(message("x" * 100))
+        write_cost = write_tag.apdu_count - before
+        return {"read": read_cost, "write": write_cost}
+
+    costs = benchmark.pedantic(count_apdus, rounds=1, iterations=1)
+
+    table = Table(
+        "Type 4 protocol cost -- APDUs per operation (113-byte message)",
+        ["operation", "APDU round-trips"],
+    )
+    for operation, cost in costs.items():
+        table.add_row(operation, cost)
+    table.print()
+
+    # Reads: select app + select file + NLEN + data. Writes add the two
+    # extra NLEN updates of the safe sequence.
+    assert costs["read"] >= 4
+    assert costs["write"] > costs["read"]

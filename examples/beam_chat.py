@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Phone-to-phone messaging over Beam (paper section 3.3/3.4).
+
+Two phones exchange short text messages by touching backs; a third phone
+runs a filtered listener (``check_condition``) that only reacts to
+messages mentioning it. Shows the asynchronous Beamer queue: messages
+composed while no phone is nearby are delivered on the next touch.
+
+Run:  python examples/beam_chat.py
+"""
+
+from repro.concurrent import EventLog, wait_until
+from repro.core import (
+    Beamer,
+    BeamReceivedListener,
+    NFCActivity,
+    NdefMessageToStringConverter,
+    StringToNdefMessageConverter,
+)
+from repro.harness import Scenario
+
+CHAT_TYPE = "application/x-beamchat"
+
+
+class ChatActivity(NFCActivity):
+    def on_create(self) -> None:
+        self.inbox = EventLog()
+        self.listener = self.make_listener()
+        self.beamer = Beamer(self, StringToNdefMessageConverter(CHAT_TYPE))
+
+    def make_listener(self) -> "InboxListener":
+        return InboxListener(self, CHAT_TYPE, NdefMessageToStringConverter())
+
+    def send(self, text: str) -> None:
+        self.beamer.beam(
+            text,
+            on_success=lambda: self.toast(f"sent: {text}"),
+            on_failed=lambda: self.toast(f"undelivered: {text}"),
+        )
+
+
+class InboxListener(BeamReceivedListener):
+    def on_beam_received_from(self, text: str, sender: str) -> None:
+        self.activity.inbox.append(f"{sender}: {text}")
+
+
+class MentionOnlyActivity(ChatActivity):
+    """Only accepts messages that mention this phone's name."""
+
+    def make_listener(self) -> "InboxListener":
+        activity = self
+
+        class Filtered(InboxListener):
+            def check_condition(self, text: str) -> bool:
+                return activity.device.name in text
+
+        return Filtered(self, CHAT_TYPE, NdefMessageToStringConverter())
+
+
+def main() -> None:
+    with Scenario() as scenario:
+        alice = scenario.add_phone("alice")
+        bob = scenario.add_phone("bob")
+        carol = scenario.add_phone("carol")
+
+        alice_app = scenario.start(alice, ChatActivity)
+        bob_app = scenario.start(bob, ChatActivity)
+        carol_app = scenario.start(carol, MentionOnlyActivity)
+
+        print("Alice composes two messages while no phone is near...")
+        alice_app.send("hello bob")
+        alice_app.send("lunch at noon?")
+        alice.sync()
+        assert len(bob_app.inbox) == 0
+
+        print("Alice and Bob touch phones...")
+        scenario.pair(alice, bob)
+        assert bob_app.inbox.wait_for_count(2)
+        for line in bob_app.inbox.snapshot():
+            print(f"  bob received  <- {line}")
+        scenario.unpair(alice, bob)
+
+        print("Bob replies...")
+        bob_app.send("noon works")
+        scenario.pair(alice, bob)
+        assert alice_app.inbox.wait_for_count(1)
+        print(f"  alice received <- {alice_app.inbox.snapshot()[0]}")
+        scenario.unpair(alice, bob)
+
+        print("Alice beams to Carol, whose listener filters on mentions...")
+        alice_app.send("ignore this")
+        scenario.pair(alice, carol)
+        assert wait_until(lambda: "sent: ignore this" in alice.toasts.snapshot())
+        scenario.unpair(alice, carol)
+        alice_app.send("carol: ping")
+        scenario.pair(alice, carol)
+        assert carol_app.inbox.wait_for_count(1)
+        carol.sync()
+        inbox = carol_app.inbox.snapshot()
+        assert inbox == ["alice: carol: ping"], inbox
+        print(f"  carol received <- {inbox[0]}  (the other message was filtered)")
+        print("Beam chat scenario OK.")
+
+
+if __name__ == "__main__":
+    main()

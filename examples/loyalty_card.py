@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Host card emulation: a phone as a loyalty card (the payment motivation).
+
+The paper's introduction motivates NFC phones with mobile payment
+(Google Wallet). This example runs that shape of interaction entirely in
+the simulation: a customer's phone emulates a Type 4 card carrying a
+loyalty thing; the merchant terminal (another phone running a MORENA
+``ThingActivity``) reads it, bumps the visit counter, and the customer's
+phone refreshes the card for the next visit.
+
+Run:  python examples/loyalty_card.py
+"""
+
+from repro.android.nfc.hce import HostCardEmulationService
+from repro.concurrent import EventLog, wait_until
+from repro.gson import Gson
+from repro.harness import Scenario
+from repro.ndef import NdefMessage, mime_record
+from repro.things import Thing, ThingActivity
+from repro.things.activity import thing_mime_type
+
+
+class LoyaltyCard(Thing):
+    member: str
+    visits: int
+
+    def __init__(self, activity, member: str, visits: int = 0) -> None:
+        super().__init__(activity)
+        self.member = member
+        self.visits = visits
+
+
+class MerchantTerminal(ThingActivity):
+    THING_CLASS = LoyaltyCard
+
+    def on_create(self) -> None:
+        self.reads = EventLog()
+
+    def when_discovered(self, card: LoyaltyCard) -> None:
+        self.reads.append((card.member, card.visits))
+        self.toast(f"Welcome back, {card.member}! Visit #{card.visits + 1}")
+        # Stamp the card: write the bumped counter back to the (emulated) tag.
+        card.visits += 1
+        card.save_async(
+            on_saved=lambda c: self.toast(f"Card stamped: {c.visits} visits"),
+            on_failed=lambda: self.toast("Stamping failed, tap again."),
+        )
+
+
+def card_message(member: str, visits: int) -> NdefMessage:
+    payload = Gson().to_json({"member": member, "visits": visits}).encode()
+    return NdefMessage([mime_record(thing_mime_type(LoyaltyCard), payload)])
+
+
+def main() -> None:
+    with Scenario() as scenario:
+        customer = scenario.add_phone("customer")
+        merchant = scenario.add_phone("merchant")
+        terminal = scenario.start(merchant, MerchantTerminal)
+
+        wallet = customer.start_service(
+            HostCardEmulationService, argument=card_message("carol", 0)
+        )
+        print("Customer's phone now emulates a loyalty card (Type 4, ISO-DEP).")
+
+        for visit in range(3):
+            print(f"Visit {visit + 1}: customer taps the terminal...")
+            scenario.pair(customer, merchant)
+            assert wait_until(
+                lambda v=visit: any(
+                    f"Card stamped: {v + 1} visits" in t
+                    for t in merchant.toasts.snapshot()
+                )
+            ), merchant.toasts.snapshot()
+            scenario.unpair(customer, merchant)
+            print(f"  terminal: {merchant.toasts.snapshot()[-1]}")
+
+        # The stamps live on the emulated card, owned by the customer.
+        final = wallet.card.read_ndef()
+        print(f"Card now holds: {final[0].payload.decode()}")
+        assert b'"visits": 3' in final[0].payload
+        assert [v for _, v in terminal.reads.snapshot()] == [0, 1, 2]
+        print("Loyalty card scenario OK.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Standards interop: joining WiFi from a router's NFC sticker.
+
+Real routers ship NFC stickers in the NFC Forum static-handover format
+with a WiFi Simple Config (WSC) carrier -- not in MORENA's thing format.
+This example shows the same application speaking both: one activity,
+two ``TagDiscoverer``s with different conversion strategies (exactly the
+multi-discoverer pattern the paper highlights in section 3.1).
+
+Run:  python examples/router_interop.py
+"""
+
+from repro.apps.wifi import WifiConfig
+from repro.apps.wifi.interop import WscWifiJoinerActivity, router_sticker
+from repro.concurrent import wait_until
+from repro.harness import Scenario
+from repro.ndef.handover import parse_handover_select
+from repro.ndef.wsc import WifiCredential
+from repro.tags import make_tag
+
+
+def main() -> None:
+    with Scenario() as scenario:
+        registry = scenario.wifi_registry
+        registry.add_network("HomeRouter-5G", "correct horse battery")
+        registry.add_network("OfficeNet", "office-key")
+
+        phone = scenario.add_phone("dual-format-phone")
+        app = scenario.start(phone, WscWifiJoinerActivity, registry)
+
+        # A sticker exactly as the router manufacturer would print it.
+        sticker = router_sticker("HomeRouter-5G", "correct horse battery")
+        parsed = parse_handover_select(sticker)
+        credential = WifiCredential.from_record(parsed.carrier_records()[0])
+        print("The router sticker carries a static handover message:")
+        print(f"  handover version: {parsed.version >> 4}.{parsed.version & 0xF}")
+        print(f"  carrier: WSC, ssid={credential.ssid!r}, auth={credential.auth}")
+
+        router_tag = make_tag("NTAG215", content=sticker)
+        print("User taps the router sticker...")
+        scenario.put(router_tag, phone)
+        assert wait_until(lambda: app.wifi.connected_ssid == "HomeRouter-5G")
+        print(f"  connected to: {app.wifi.connected_ssid}")
+        scenario.take(router_tag, phone)
+
+        # The same activity still speaks MORENA's thing format.
+        thing_tag = make_tag()
+        app.share_with_tag(WifiConfig(app, "OfficeNet", "office-key"))
+        print("User taps an empty tag to share the office network (thing format)...")
+        scenario.put(thing_tag, phone)
+        assert wait_until(
+            lambda: "WiFi joiner created!" in phone.toasts.snapshot()
+        )
+        scenario.take(thing_tag, phone)
+        print("User re-taps the freshly written thing tag...")
+        scenario.put(thing_tag, phone)
+        assert wait_until(lambda: app.wifi.connected_ssid == "OfficeNet")
+        print(f"  connected to: {app.wifi.connected_ssid}")
+        print("Router interop scenario OK.")
+
+
+if __name__ == "__main__":
+    main()

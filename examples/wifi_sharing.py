@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The paper's running example end to end: WiFi sharing with things.
+
+Three phones and a facility:
+
+1. the facility initializes an empty tag with WiFi credentials,
+2. a guest joins by swiping the tag,
+3. the guest shares the network with a friend over Beam,
+4. the facility renames the network and saves the tag,
+5. a late guest swipes the (updated) tag and joins the renamed network.
+
+Run:  python examples/wifi_sharing.py
+"""
+
+from repro.apps.wifi import WifiConfig, WifiJoinerActivity
+from repro.concurrent import wait_until
+from repro.harness import Scenario
+
+
+def main() -> None:
+    with Scenario() as scenario:
+        registry = scenario.wifi_registry
+        registry.add_network("LobbyWifi", "welcome123")
+
+        facility = scenario.add_phone("facility")
+        guest = scenario.add_phone("guest")
+        friend = scenario.add_phone("friend")
+
+        facility_app = scenario.start(facility, WifiJoinerActivity, registry)
+        guest_app = scenario.start(guest, WifiJoinerActivity, registry)
+        friend_app = scenario.start(friend, WifiJoinerActivity, registry)
+
+        # 1. Initialize an empty tag with the credentials.
+        tag = scenario.add_tag()
+        facility_app.share_with_tag(
+            WifiConfig(facility_app, "LobbyWifi", "welcome123")
+        )
+        print("Facility swipes an empty tag to create a WiFi joiner...")
+        scenario.put(tag, facility)
+        assert wait_until(
+            lambda: "WiFi joiner created!" in facility.toasts.snapshot()
+        )
+        scenario.take(tag, facility)
+        print(f"  toast: {facility.toasts.snapshot()[-1]}")
+
+        # 2. A guest joins by swiping the tag.
+        print("Guest swipes the tag...")
+        scenario.put(tag, guest)
+        assert wait_until(lambda: guest_app.wifi.connected_ssid == "LobbyWifi")
+        scenario.take(tag, guest)
+        print(f"  guest connected to: {guest_app.wifi.connected_ssid}")
+
+        # 3. The guest beams the credentials to a friend.
+        print("Guest broadcasts the joiner; phones touch...")
+        guest.main_looper.post(
+            lambda: guest_app.share_with_phone(guest_app.last_config)
+        )
+        guest.sync()
+        scenario.pair(guest, friend)
+        assert wait_until(lambda: friend_app.wifi.connected_ssid == "LobbyWifi")
+        assert wait_until(lambda: "WiFi joiner shared!" in guest.toasts.snapshot())
+        print(f"  friend connected to: {friend_app.wifi.connected_ssid}")
+
+        # 4. The facility renames the network and saves the tag.
+        registry.add_network("LobbyWifi-5G", "welcome456")
+        print("Facility renames the network and saves the tag...")
+        scenario.put(tag, facility)
+        assert wait_until(lambda: facility_app.last_config is not None)
+        config = facility_app.last_config
+        facility.main_looper.post(
+            lambda: facility_app.rename_network(config, "LobbyWifi-5G", "welcome456")
+        )
+        assert wait_until(
+            lambda: "WiFi joiner saved!" in facility.toasts.snapshot()
+        )
+        scenario.take(tag, facility)
+
+        # 5. A late guest joins the renamed network from the same tag.
+        late = scenario.add_phone("late-guest")
+        late_app = scenario.start(late, WifiJoinerActivity, registry)
+        print("Late guest swipes the updated tag...")
+        scenario.put(tag, late)
+        assert wait_until(lambda: late_app.wifi.connected_ssid == "LobbyWifi-5G")
+        print(f"  late guest connected to: {late_app.wifi.connected_ssid}")
+        print("WiFi sharing scenario OK.")
+
+
+if __name__ == "__main__":
+    main()

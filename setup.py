@@ -1,0 +1,6 @@
+"""Legacy setup shim: offline environments here lack the `wheel` package,
+so editable installs must go through `setup.py develop` (--no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

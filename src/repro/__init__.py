@@ -1,0 +1,41 @@
+"""MORENA reproduction: NFC-enabled applications as distributed OO programs.
+
+A from-scratch Python reproduction of *"MORENA: A Middleware for
+Programming NFC-Enabled Android Applications as Distributed
+Object-Oriented Programs"* (Lombide Carreton, Pinte, De Meuter --
+Middleware 2012), including every substrate the paper depends on:
+
+* :mod:`repro.ndef` -- the NFC Data Exchange Format binary codec;
+* :mod:`repro.tags` -- simulated Type-2 tag hardware (page memory, TLVs);
+* :mod:`repro.radio` -- the radio field where failure is the rule;
+* :mod:`repro.android` -- loopers, activities, intents and the blocking
+  NFC tech API of the Android platform;
+* :mod:`repro.gson` -- GSON-style JSON object mapping;
+* :mod:`repro.core` -- MORENA's tag references, discoverers and Beam
+  (paper section 3);
+* :mod:`repro.things` -- MORENA's thing layer (paper section 2);
+* :mod:`repro.leasing` -- the paper's future-work leasing protocol;
+* :mod:`repro.apps` / :mod:`repro.baseline` -- the WiFi-sharing
+  evaluation application in MORENA and handcrafted versions;
+* :mod:`repro.metrics` / :mod:`repro.harness` -- the Figure 2 LoC
+  accounting and the behavioural experiment harness.
+
+Quickstart::
+
+    from repro.harness import Scenario
+    from repro.apps.wifi import WifiConfig, WifiJoinerActivity
+
+    with Scenario() as scenario:
+        phone = scenario.add_phone("alice")
+        app = scenario.start(phone, WifiJoinerActivity, scenario.wifi_registry)
+        tag = scenario.add_tag()
+        app.share_with_tag(WifiConfig(app, "corpnet", "s3cret"))
+        scenario.put(tag, phone)
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+from repro.clock import Clock, ManualClock, SystemClock
+
+__all__ = ["errors", "Clock", "ManualClock", "SystemClock", "__version__"]

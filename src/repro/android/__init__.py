@@ -1,0 +1,47 @@
+"""Simulated Android platform.
+
+A minimal but faithful model of the parts of Android that MORENA touches:
+
+* :mod:`repro.android.looper` -- ``Looper``/``Handler`` message queues; one
+  main looper thread per device, exactly like Android's UI thread.
+* :mod:`repro.android.intents` -- ``Intent`` and ``IntentFilter``; NFC
+  events reach applications as intents, which is the *tight coupling with
+  the activity-based architecture* the paper complains about.
+* :mod:`repro.android.activity` -- the ``Activity`` lifecycle
+  (``on_create`` .. ``on_destroy``, ``on_new_intent``), driven on the main
+  looper.
+* :mod:`repro.android.device` -- an ``AndroidDevice`` bundles a main
+  looper, an NFC adapter and a foreground activity: one simulated phone.
+* :mod:`repro.android.nfc` -- ``NfcAdapter`` (foreground dispatch + Beam
+  push) and the blocking tech classes ``Ndef`` / ``NdefFormatable`` that
+  raise ``TagLostError`` mid-operation, mirroring
+  ``android.nfc.TagLostException``.
+"""
+
+from repro.android.looper import Handler, Looper
+from repro.android.intents import (
+    ACTION_NDEF_DISCOVERED,
+    ACTION_TAG_DISCOVERED,
+    ACTION_TECH_DISCOVERED,
+    Intent,
+    IntentFilter,
+)
+from repro.android.activity import Activity
+from repro.android.device import AndroidDevice
+from repro.android.nfc import Ndef, NdefFormatable, NfcAdapter, Tag
+
+__all__ = [
+    "Looper",
+    "Handler",
+    "Intent",
+    "IntentFilter",
+    "ACTION_NDEF_DISCOVERED",
+    "ACTION_TAG_DISCOVERED",
+    "ACTION_TECH_DISCOVERED",
+    "Activity",
+    "AndroidDevice",
+    "NfcAdapter",
+    "Tag",
+    "Ndef",
+    "NdefFormatable",
+]

@@ -1,0 +1,148 @@
+"""The Activity lifecycle.
+
+Activities are the unit Android dispatches NFC intents to -- the tight
+coupling MORENA loosens. The simulated lifecycle follows the real state
+machine (created -> started -> resumed -> paused -> stopped -> destroyed);
+all transitions and ``on_new_intent`` deliveries run on the owning
+device's main looper thread, so subclass hooks can touch "UI" state
+without locking, exactly as on Android.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.android.intents import Intent, IntentFilter
+from repro.errors import LifecycleError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.android.device import AndroidDevice
+
+
+class ActivityState(enum.Enum):
+    INITIALIZED = "initialized"
+    CREATED = "created"
+    STARTED = "started"
+    RESUMED = "resumed"
+    PAUSED = "paused"
+    STOPPED = "stopped"
+    DESTROYED = "destroyed"
+
+
+_ALLOWED_TRANSITIONS = {
+    ActivityState.INITIALIZED: {ActivityState.CREATED},
+    ActivityState.CREATED: {ActivityState.STARTED, ActivityState.DESTROYED},
+    ActivityState.STARTED: {ActivityState.RESUMED, ActivityState.STOPPED},
+    ActivityState.RESUMED: {ActivityState.PAUSED},
+    ActivityState.PAUSED: {ActivityState.RESUMED, ActivityState.STOPPED},
+    ActivityState.STOPPED: {ActivityState.STARTED, ActivityState.DESTROYED},
+    ActivityState.DESTROYED: set(),
+}
+
+
+class Activity:
+    """Base class of every simulated Android activity.
+
+    Subclasses override the ``on_*`` hooks. Construction happens off the
+    main thread; the device drives all lifecycle callbacks on it.
+    """
+
+    def __init__(self, device: "AndroidDevice") -> None:
+        self._device = device
+        self._state = ActivityState.INITIALIZED
+        self._state_lock = threading.Lock()
+        self._intent_filters: List[IntentFilter] = []
+        self._foreground_dispatch_enabled = False
+
+    # -- environment access -----------------------------------------------------
+
+    @property
+    def device(self) -> "AndroidDevice":
+        return self._device
+
+    @property
+    def state(self) -> ActivityState:
+        with self._state_lock:
+            return self._state
+
+    @property
+    def is_resumed(self) -> bool:
+        return self.state == ActivityState.RESUMED
+
+    @property
+    def is_destroyed(self) -> bool:
+        return self.state == ActivityState.DESTROYED
+
+    def run_on_ui_thread(self, runnable: Callable[[], None]) -> None:
+        """Post ``runnable`` to the device's main looper."""
+        self._device.main_looper.post(runnable)
+
+    def toast(self, text: str) -> None:
+        """Show a toast (recorded on the device's toast log)."""
+        self._device.toast(text)
+
+    # -- NFC foreground dispatch ---------------------------------------------------
+
+    def enable_foreground_dispatch(self, filters: List[IntentFilter]) -> None:
+        """Ask the platform to route matching NFC intents to this activity.
+
+        Mirrors ``NfcAdapter.enableForegroundDispatch``. Only effective
+        while the activity is resumed and in the foreground.
+        """
+        self._intent_filters = list(filters)
+        self._foreground_dispatch_enabled = True
+
+    def disable_foreground_dispatch(self) -> None:
+        self._foreground_dispatch_enabled = False
+
+    def nfc_filters(self) -> List[IntentFilter]:
+        return list(self._intent_filters) if self._foreground_dispatch_enabled else []
+
+    # -- lifecycle hooks (override in subclasses) --------------------------------------
+
+    def on_create(self) -> None:
+        """First lifecycle callback; build state here."""
+
+    def on_start(self) -> None:
+        """The activity is becoming visible."""
+
+    def on_resume(self) -> None:
+        """The activity is in the foreground and interactive."""
+
+    def on_pause(self) -> None:
+        """The activity is leaving the foreground."""
+
+    def on_stop(self) -> None:
+        """The activity is no longer visible."""
+
+    def on_destroy(self) -> None:
+        """Final callback; release everything."""
+
+    def on_new_intent(self, intent: Intent) -> None:
+        """A matching NFC intent arrived while this activity is foreground."""
+
+    # -- lifecycle driving (called by AndroidDevice on the main looper) ------------------
+
+    def _transition(self, target: ActivityState) -> None:
+        with self._state_lock:
+            if target not in _ALLOWED_TRANSITIONS[self._state]:
+                raise LifecycleError(
+                    f"illegal activity transition {self._state.value} -> {target.value}"
+                )
+            self._state = target
+        hook = {
+            ActivityState.CREATED: self.on_create,
+            ActivityState.STARTED: self.on_start,
+            ActivityState.RESUMED: self.on_resume,
+            ActivityState.PAUSED: self.on_pause,
+            ActivityState.STOPPED: self.on_stop,
+            ActivityState.DESTROYED: self.on_destroy,
+        }[target]
+        hook()
+
+    def _deliver_intent(self, intent: Intent) -> None:
+        if self.state != ActivityState.RESUMED:
+            return  # only the resumed foreground activity receives NFC intents
+        self.on_new_intent(intent)

@@ -1,0 +1,66 @@
+"""Intents: how the Android platform hands NFC events to applications.
+
+Only the NFC-relevant subset is modeled: the three discovery actions with
+their dispatch priority (NDEF > TECH > TAG), MIME-type matching in intent
+filters, and an extras bag carrying the tag handle and any NDEF messages,
+mirroring ``NfcAdapter.EXTRA_TAG`` / ``EXTRA_NDEF_MESSAGES``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import IntentError
+
+ACTION_NDEF_DISCOVERED = "android.nfc.action.NDEF_DISCOVERED"
+ACTION_TECH_DISCOVERED = "android.nfc.action.TECH_DISCOVERED"
+ACTION_TAG_DISCOVERED = "android.nfc.action.TAG_DISCOVERED"
+
+EXTRA_TAG = "android.nfc.extra.TAG"
+EXTRA_NDEF_MESSAGES = "android.nfc.extra.NDEF_MESSAGES"
+EXTRA_BEAM_SENDER = "repro.nfc.extra.BEAM_SENDER"
+
+
+@dataclass
+class Intent:
+    """A dispatched platform event."""
+
+    action: str
+    mime_type: str = ""
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def get_extra(self, key: str, default: Any = None) -> Any:
+        return self.extras.get(key, default)
+
+    def require_extra(self, key: str) -> Any:
+        if key not in self.extras:
+            raise IntentError(f"intent {self.action} lacks required extra {key!r}")
+        return self.extras[key]
+
+    @property
+    def is_beam(self) -> bool:
+        return EXTRA_BEAM_SENDER in self.extras
+
+
+@dataclass(frozen=True)
+class IntentFilter:
+    """Matches intents by action and (optionally) MIME type.
+
+    ``mime_pattern`` accepts shell-style wildcards (``text/*``), matching
+    Android's ``IntentFilter.addDataType`` semantics closely enough for
+    the NFC dispatch path.
+    """
+
+    action: str
+    mime_pattern: Optional[str] = None
+
+    def matches(self, intent: Intent) -> bool:
+        if intent.action != self.action:
+            return False
+        if self.mime_pattern is None:
+            return True
+        if not intent.mime_type:
+            return False
+        return fnmatch.fnmatchcase(intent.mime_type.lower(), self.mime_pattern.lower())

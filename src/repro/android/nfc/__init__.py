@@ -1,0 +1,6 @@
+"""Simulated ``android.nfc``: the adapter, tag handle and tech classes."""
+
+from repro.android.nfc.tech import IsoDep, Ndef, NdefFormatable, Tag
+from repro.android.nfc.adapter import NfcAdapter
+
+__all__ = ["Tag", "Ndef", "NdefFormatable", "IsoDep", "NfcAdapter"]

@@ -1,0 +1,60 @@
+"""Host card emulation (HCE).
+
+The paper motivates NFC phones with mobile payment (Google Wallet):
+a phone *presents itself as a Type 4 card* that a terminal -- here,
+another simulated phone -- reads over ISO-DEP. The emulation rides the
+existing machinery: the card side is a :class:`~repro.tags.type4.Type4Tag`
+owned by the emulating device; whenever a peer phone comes into Beam
+range, the adapter places the emulated card into *that peer's* field, so
+the peer's reader stack (adapter dispatch, tech classes, MORENA
+references) sees an ordinary Type 4 tag.
+
+``HostCardEmulationService`` packages the pattern as an Android-style
+background service: start it to present a card, stop it to withdraw.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.android.service import Service
+from repro.ndef.message import NdefMessage
+from repro.tags.type4 import TYPE4_SPECS, Type4Tag
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.android.device import AndroidDevice
+
+
+class HostCardEmulationService(Service):
+    """Presents one emulated Type 4 card while running.
+
+    Pass the card content as an :class:`NdefMessage` via the service
+    ``argument``, or override :meth:`build_card` for custom cards. The
+    card object stays owned by this device: content updated through
+    :meth:`update_card` is visible to the next reader immediately, which
+    is exactly what makes HCE more flexible than a sticker.
+    """
+
+    def __init__(self, device: "AndroidDevice", spec: str = "TYPE4_2K") -> None:
+        super().__init__(device)
+        self._card = self.build_card(spec)
+
+    def build_card(self, spec: str) -> Type4Tag:
+        return Type4Tag(spec=TYPE4_SPECS[spec])
+
+    @property
+    def card(self) -> Type4Tag:
+        return self._card
+
+    def on_start_command(self, argument) -> None:
+        if isinstance(argument, NdefMessage):
+            self._card.write_ndef(argument)
+        self.device.nfc_adapter.set_card_emulation(self._card)
+
+    def update_card(self, message: NdefMessage) -> None:
+        """Change what the card presents (e.g. a fresh payment token)."""
+        self._card.write_ndef(message)
+
+    def on_destroy(self) -> None:
+        self.device.nfc_adapter.set_card_emulation(None)
+        super().on_destroy()

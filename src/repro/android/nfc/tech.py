@@ -1,0 +1,177 @@
+"""Tag handle and blocking tech classes (``android.nfc.Tag``, ``tech.Ndef``).
+
+These reproduce the exact API shape the paper criticizes:
+
+* operations **block** the calling thread for the duration of the radio
+  transfer (hence Android's advice to use a worker thread);
+* operations raise :class:`~repro.errors.TagLostError` whenever the link
+  tears -- with NFC, "failure is the rule instead of the exception";
+* data is raw :class:`~repro.ndef.NdefMessage`, so every application does
+  its own conversion.
+
+The handcrafted baseline application is written directly against this
+API; MORENA wraps it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import RadioError
+from repro.ndef.message import NdefMessage
+from repro.radio.port import NfcAdapterPort
+from repro.tags.tag import SimulatedTag
+
+TECH_NDEF = "android.nfc.tech.Ndef"
+TECH_NDEF_FORMATABLE = "android.nfc.tech.NdefFormatable"
+TECH_ISO_DEP = "android.nfc.tech.IsoDep"
+
+
+class Tag:
+    """The opaque tag handle delivered inside NFC intents (EXTRA_TAG)."""
+
+    def __init__(self, simulated: SimulatedTag, port: NfcAdapterPort) -> None:
+        self._simulated = simulated
+        self._port = port
+
+    @property
+    def id(self) -> bytes:
+        """The tag UID, like ``Tag.getId()``."""
+        return self._simulated.uid
+
+    @property
+    def id_hex(self) -> str:
+        return self._simulated.uid_hex
+
+    def get_tech_list(self) -> List[str]:
+        if hasattr(self._simulated, "process_apdu"):
+            return [TECH_ISO_DEP, TECH_NDEF]
+        if self._simulated.is_ndef_formatted:
+            return [TECH_NDEF]
+        return [TECH_NDEF_FORMATABLE]
+
+    # Simulation-only escape hatches (used by the middleware internals and
+    # tests; applications should stick to the tech classes).
+    @property
+    def simulated(self) -> SimulatedTag:
+        return self._simulated
+
+    @property
+    def port(self) -> NfcAdapterPort:
+        return self._port
+
+    def __repr__(self) -> str:
+        return f"Tag(uid={self.id_hex}, via={self._port.name})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return self._simulated is other._simulated and self._port is other._port
+
+    def __hash__(self) -> int:
+        return hash((id(self._simulated), id(self._port)))
+
+
+class _Tech:
+    """Common connect/close bookkeeping for tech classes."""
+
+    def __init__(self, tag: Tag) -> None:
+        self._tag = tag
+        self._connected = False
+
+    @property
+    def tag(self) -> Tag:
+        return self._tag
+
+    @property
+    def is_connected(self) -> bool:
+        return self._connected
+
+    def connect(self) -> None:
+        """Open the tech channel; required before any I/O."""
+        if self._connected:
+            raise RadioError("tech object is already connected")
+        self._connected = True
+
+    def close(self) -> None:
+        """Close the channel; idempotent."""
+        self._connected = False
+
+    def __enter__(self):
+        self.connect()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _require_connected(self) -> None:
+        if not self._connected:
+            raise RadioError("call connect() before tag I/O")
+
+
+class Ndef(_Tech):
+    """Blocking NDEF I/O on a formatted tag, like ``android.nfc.tech.Ndef``."""
+
+    @staticmethod
+    def get(tag: Tag) -> Optional["Ndef"]:
+        """Return an ``Ndef`` for a formatted tag, else ``None`` (like Android)."""
+        if TECH_NDEF in tag.get_tech_list():
+            return Ndef(tag)
+        return None
+
+    def get_max_size(self) -> int:
+        return self._tag.simulated.ndef_capacity
+
+    def is_writable(self) -> bool:
+        return self._tag.simulated.is_writable
+
+    def get_ndef_message(self) -> NdefMessage:
+        """Blocking read. Raises ``TagLostError`` / ``TagFormatError``."""
+        self._require_connected()
+        return self._tag.port.read_ndef(self._tag.simulated)
+
+    def write_ndef_message(self, message: NdefMessage) -> None:
+        """Blocking write. Raises ``TagLostError`` and tag-layer errors."""
+        self._require_connected()
+        self._tag.port.write_ndef(self._tag.simulated, message)
+
+    def make_read_only(self) -> None:
+        """Blocking permanent lock."""
+        self._require_connected()
+        self._tag.port.make_read_only(self._tag.simulated)
+
+
+class IsoDep(_Tech):
+    """Raw ISO-DEP exchanges with a Type 4 tag, like ``tech.IsoDep``.
+
+    Most applications stay at the :class:`Ndef` level (which works on
+    Type 4 tags too); ``IsoDep`` is for custom card applications.
+    """
+
+    @staticmethod
+    def get(tag: Tag) -> Optional["IsoDep"]:
+        if TECH_ISO_DEP in tag.get_tech_list():
+            return IsoDep(tag)
+        return None
+
+    def transceive(self, data: bytes) -> bytes:
+        """Blocking APDU exchange. Raises ``TagLostError`` on tears."""
+        self._require_connected()
+        return self._tag.port.transceive(self._tag.simulated, data)
+
+
+class NdefFormatable(_Tech):
+    """Formatting channel for blank tags, like ``tech.NdefFormatable``."""
+
+    @staticmethod
+    def get(tag: Tag) -> Optional["NdefFormatable"]:
+        if TECH_NDEF_FORMATABLE in tag.get_tech_list():
+            return NdefFormatable(tag)
+        return None
+
+    def format(self, first_message: Optional[NdefMessage] = None) -> None:
+        """Blocking NDEF format, optionally writing a first message."""
+        self._require_connected()
+        self._tag.port.format_tag(self._tag.simulated)
+        if first_message is not None:
+            self._tag.port.write_ndef(self._tag.simulated, first_message)

@@ -1,0 +1,75 @@
+"""Background services.
+
+One of the drawbacks the paper pins on the Android NFC API is its tight
+coupling to activities: "This makes it harder to perform RFID operations
+outside of the context of such an activity." MORENA's tag references are
+first-class values -- once obtained (tag *discovery* genuinely needs a
+foreground activity, on real Android too), they can be handed to a
+background service, which schedules asynchronous operations without ever
+touching an intent or a lifecycle callback.
+
+This module provides the minimal ``Service`` the demonstration needs:
+created and destroyed on the device's main looper, with
+``on_create`` / ``on_start_command`` / ``on_destroy`` hooks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.errors import LifecycleError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.android.device import AndroidDevice
+
+
+class Service:
+    """A background component bound to one device's main looper."""
+
+    def __init__(self, device: "AndroidDevice") -> None:
+        self._device = device
+        self._destroyed = False
+        self._lock = threading.Lock()
+
+    @property
+    def device(self) -> "AndroidDevice":
+        return self._device
+
+    @property
+    def is_destroyed(self) -> bool:
+        with self._lock:
+            return self._destroyed
+
+    def run_on_ui_thread(self, runnable) -> None:
+        self._device.main_looper.post(runnable)
+
+    # -- lifecycle hooks (override in subclasses) --------------------------------
+
+    def on_create(self) -> None:
+        """Called once, on the main looper, when the service starts."""
+
+    def on_start_command(self, argument: Any) -> None:
+        """Called on the main looper for every ``start_service`` request."""
+
+    def on_destroy(self) -> None:
+        """Called on the main looper when the service stops."""
+
+    # -- driving (used by AndroidDevice) ---------------------------------------------
+
+    def _create(self) -> None:
+        if self.is_destroyed:
+            raise LifecycleError("cannot create a destroyed service")
+        self.on_create()
+
+    def _start_command(self, argument: Any) -> None:
+        if self.is_destroyed:
+            raise LifecycleError("service already destroyed")
+        self.on_start_command(argument)
+
+    def _destroy(self) -> None:
+        with self._lock:
+            if self._destroyed:
+                return
+            self._destroyed = True
+        self.on_destroy()

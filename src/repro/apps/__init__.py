@@ -1,0 +1,6 @@
+"""Demo applications built on the reproduction.
+
+``repro.apps.wifi`` is the paper's running example and evaluation subject:
+the WiFi-sharing application, in a MORENA version and (under
+``repro.baseline``) a handcrafted version against the raw NFC API.
+"""

@@ -1,0 +1,26 @@
+"""The WiFi-sharing application (paper sections 2 and 4).
+
+Guests join a facility's WiFi by swiping their phone over an RFID tag
+holding the network credentials, or by receiving the credentials from
+another phone over Beam. Two implementations exist:
+
+* :mod:`repro.apps.wifi.morena_app` -- built on MORENA's thing layer
+  (the paper's sections 2.1-2.5 verbatim, in Python);
+* :mod:`repro.baseline.handcrafted_wifi` -- built directly on the
+  simulated Android NFC API, with manual threads, retries and conversion.
+
+Both share the :mod:`repro.apps.wifi.wifi_manager` substrate (a simulated
+WiFi subsystem) so the evaluation compares only the RFID plumbing.
+"""
+
+from repro.apps.wifi.config import WifiConfig
+from repro.apps.wifi.morena_app import WifiJoinerActivity
+from repro.apps.wifi.wifi_manager import WifiManager, WifiNetwork, WifiNetworkRegistry
+
+__all__ = [
+    "WifiConfig",
+    "WifiJoinerActivity",
+    "WifiManager",
+    "WifiNetwork",
+    "WifiNetworkRegistry",
+]

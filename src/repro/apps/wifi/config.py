@@ -1,0 +1,31 @@
+"""The ``WifiConfig`` thing (paper section 2.1)."""
+
+from __future__ import annotations
+
+from repro.apps.wifi.wifi_manager import WifiManager
+from repro.things.thing import Thing
+
+
+class WifiConfig(Thing):
+    """Credentials for one WiFi network, storable on an RFID tag.
+
+    Mirrors the paper's class: two public fields (serialized
+    automatically -- neither is transient) and a ``connect`` method that
+    joins the network. The paper's trailing-underscore Java fields
+    (``ssid_``, ``key_``) become plain Python attributes; leading
+    underscores would mark them internal and unserialized.
+    """
+
+    # @rfid: data-conversion
+    ssid: str
+    key: str
+    # @rfid: end
+
+    def __init__(self, activity, ssid: str, key: str) -> None:
+        super().__init__(activity)
+        self.ssid = ssid
+        self.key = key
+
+    def connect(self, wifi_manager: WifiManager) -> bool:
+        """Join the network described by this config (application logic)."""
+        return wifi_manager.connect(self.ssid, self.key)

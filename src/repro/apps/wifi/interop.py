@@ -1,0 +1,95 @@
+"""Standards interop: joining from WSC / Connection-Handover tags.
+
+The MORENA WiFi app stores credentials in its own thing format; real
+routers ship NFC stickers in the NFC Forum static-handover format with a
+WiFi Simple Config carrier. :class:`WscWifiJoinerActivity` extends the
+paper's application with a *second* ``TagDiscoverer`` for those tags --
+demonstrating the multi-discoverer capability the paper highlights ("a
+single activity can use multiple TagDiscoverers ... all with their
+separate data conversion strategies").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.wifi.morena_app import WifiJoinerActivity
+from repro.core.converters import (
+    NdefMessageToObjectConverter,
+    ObjectToNdefMessageConverter,
+)
+from repro.core.discovery import TagDiscoverer
+from repro.core.reference import TagReference
+from repro.errors import ConverterError, NdefError
+from repro.ndef.handover import CPS_ACTIVE, build_handover_select, parse_handover_select
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import record_mime_type
+from repro.ndef.record import NdefRecord, Tnf
+from repro.ndef.wsc import WSC_MIME_TYPE, WifiCredential
+
+
+class WscReadConverter(NdefMessageToObjectConverter):
+    """NDEF -> :class:`WifiCredential`, from bare WSC or handover tags."""
+
+    def convert(self, message: NdefMessage) -> WifiCredential:
+        try:
+            if message[0].tnf == Tnf.WELL_KNOWN and message[0].type == b"Hs":
+                parsed = parse_handover_select(message)
+                for record in parsed.carrier_records():
+                    if record_mime_type(record) == WSC_MIME_TYPE:
+                        return WifiCredential.from_record(record)
+                raise ConverterError("handover tag offers no WiFi carrier")
+            for record in message:
+                if record_mime_type(record) == WSC_MIME_TYPE:
+                    return WifiCredential.from_record(record)
+            raise ConverterError("message holds no WSC record")
+        except NdefError as exc:
+            raise ConverterError(f"malformed WSC/handover tag: {exc}") from exc
+
+
+class WscWriteConverter(ObjectToNdefMessageConverter):
+    """:class:`WifiCredential` -> a static-handover message with one carrier."""
+
+    def convert(self, obj: Any) -> NdefMessage:
+        if not isinstance(obj, WifiCredential):
+            raise ConverterError(
+                f"expected WifiCredential, got {type(obj).__name__}"
+            )
+        bare = obj.to_record()
+        carrier = NdefRecord(bare.tnf, bare.type, b"0", bare.payload)
+        return build_handover_select([(carrier, CPS_ACTIVE)])
+
+
+class _WscDiscoverer(TagDiscoverer):
+    def __init__(self, activity: "WscWifiJoinerActivity") -> None:
+        self._joiner = activity
+        super().__init__(
+            activity,
+            WSC_MIME_TYPE,
+            WscReadConverter(),
+            WscWriteConverter(),
+        )
+
+    def on_tag_detected(self, reference: TagReference) -> None:
+        self._joiner.join_from_credential(reference.cached)
+
+    def on_tag_redetected(self, reference: TagReference) -> None:
+        self._joiner.join_from_credential(reference.cached)
+
+
+class WscWifiJoinerActivity(WifiJoinerActivity):
+    """The paper's app, plus interop with standards-format router tags."""
+
+    def __init__(self, device, registry) -> None:
+        super().__init__(device, registry)
+        self._wsc_discoverer = _WscDiscoverer(self)
+
+    def join_from_credential(self, credential: WifiCredential) -> None:
+        self.toast(f"Joining Wifi network {credential.ssid} (WSC tag)")
+        if not self.wifi.connect(credential.ssid, credential.key):
+            self.toast(f"Could not join {credential.ssid}")
+
+
+def router_sticker(ssid: str, key: str, **kwargs) -> NdefMessage:
+    """The message a router's NFC sticker carries (static handover + WSC)."""
+    return WscWriteConverter().convert(WifiCredential(ssid=ssid, key=key, **kwargs))

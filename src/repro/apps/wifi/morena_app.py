@@ -1,0 +1,132 @@
+"""The WiFi-sharing application, MORENA version (paper sections 2.2-2.5).
+
+Every RFID-related line is bracketed by flat ``# @rfid: <category>``
+region markers for the Figure 2 LoC accounting. Note what is *absent*
+compared to :mod:`repro.baseline.handcrafted_wifi`: no intents, no
+threads, no try/except around tag I/O, no NDEF or JSON handling -- the
+middleware owns all of it. In particular there is not a single line in
+the ``concurrency`` category.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.wifi.config import WifiConfig
+from repro.apps.wifi.wifi_manager import WifiManager, WifiNetworkRegistry
+from repro.things.activity import ThingActivity
+from repro.things.empty import EmptyRecord
+
+
+class WifiJoinerActivity(ThingActivity):
+    """Swipe a credentials tag to join; swipe an empty tag to share."""
+
+    THING_CLASS = WifiConfig
+
+    def __init__(self, device, registry: WifiNetworkRegistry) -> None:
+        super().__init__(device)
+        self.wifi = WifiManager(registry)
+        self.pending_share: Optional[WifiConfig] = None
+        self.last_config: Optional[WifiConfig] = None
+
+    # -- joining: a credentials tag (or a beamed config) was discovered ----------
+
+    # @rfid: event-handling
+    def when_discovered(self, thing: WifiConfig) -> None:
+        self.last_config = thing
+    # @rfid: end
+        self.toast(f"Joining Wifi network {thing.ssid}")
+        if not thing.connect(self.wifi):
+            self.toast(f"Could not join {thing.ssid}")
+
+    # -- sharing: an empty tag was discovered while a share is pending ------------
+
+    # @rfid: event-handling
+    def when_discovered_empty(self, empty: EmptyRecord) -> None:
+        if self.pending_share is None:
+            return
+    # @rfid: end
+    # @rfid: read-write
+        empty.initialize(
+            self.pending_share,
+    # @rfid: end
+    # @rfid: event-handling
+            on_saved=self._on_joiner_created,
+    # @rfid: end
+    # @rfid: failure-handling
+            on_save_failed=self._on_joiner_failed,
+    # @rfid: end
+    # @rfid: read-write
+        )
+    # @rfid: end
+
+    # @rfid: event-handling
+    def _on_joiner_created(self, thing: WifiConfig) -> None:
+        self.pending_share = None
+    # @rfid: end
+        self.toast("WiFi joiner created!")
+
+    # @rfid: failure-handling
+    def _on_joiner_failed(self) -> None:
+    # @rfid: end
+        self.toast("Creating WiFi joiner failed, try again.")
+
+    # -- saving a modified config back to its tag (section 2.4) ---------------------
+
+    def rename_network(self, config: WifiConfig, ssid: str, key: str) -> None:
+        config.ssid = ssid
+        config.key = key
+    # @rfid: read-write
+        config.save_async(
+    # @rfid: end
+    # @rfid: event-handling
+            on_saved=self._on_joiner_saved,
+    # @rfid: end
+    # @rfid: failure-handling
+            on_failed=self._on_save_failed,
+    # @rfid: end
+    # @rfid: read-write
+        )
+    # @rfid: end
+
+    # @rfid: event-handling
+    def _on_joiner_saved(self, thing: WifiConfig) -> None:
+    # @rfid: end
+        self.toast("WiFi joiner saved!")
+
+    # @rfid: failure-handling
+    def _on_save_failed(self) -> None:
+    # @rfid: end
+        self.toast("Saving WiFi joiner failed, try again.")
+
+    # -- broadcasting over Beam (section 2.5) ------------------------------------------
+
+    def share_with_phone(self, config: WifiConfig) -> None:
+    # @rfid: read-write
+        config.broadcast(
+    # @rfid: end
+    # @rfid: event-handling
+            on_success=self._on_joiner_shared,
+    # @rfid: end
+    # @rfid: failure-handling
+            on_failed=self._on_share_failed,
+    # @rfid: end
+    # @rfid: read-write
+        )
+    # @rfid: end
+
+    # @rfid: event-handling
+    def _on_joiner_shared(self, thing: WifiConfig) -> None:
+    # @rfid: end
+        self.toast("WiFi joiner shared!")
+
+    # @rfid: failure-handling
+    def _on_share_failed(self, thing: WifiConfig) -> None:
+    # @rfid: end
+        self.toast("Failed to share WiFi joiner, try again.")
+
+    # -- sharing via a tag: arm the next empty tap ------------------------------------------
+
+    def share_with_tag(self, config: WifiConfig) -> None:
+        """Arm the app: the next empty tag scanned receives ``config``."""
+        self.pending_share = config

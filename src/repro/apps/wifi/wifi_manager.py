@@ -1,0 +1,82 @@
+"""A simulated WiFi subsystem.
+
+Stands in for ``android.net.wifi.WifiManager``: a registry of access
+points (shared across the simulated world) and a per-device manager that
+connects with SSID + key. Both app versions call ``connect``; the
+evaluation only cares that the call exists and succeeds/fails
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class WifiNetwork:
+    """One access point."""
+
+    ssid: str
+    key: str
+
+
+class WifiNetworkRegistry:
+    """The access points that exist in the simulated world."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._networks: Dict[str, WifiNetwork] = {}
+
+    def add_network(self, ssid: str, key: str) -> WifiNetwork:
+        network = WifiNetwork(ssid=ssid, key=key)
+        with self._lock:
+            self._networks[ssid] = network
+        return network
+
+    def remove_network(self, ssid: str) -> None:
+        with self._lock:
+            self._networks.pop(ssid, None)
+
+    def lookup(self, ssid: str) -> Optional[WifiNetwork]:
+        with self._lock:
+            return self._networks.get(ssid)
+
+    def ssids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._networks)
+
+
+class WifiManager:
+    """One device's WiFi radio."""
+
+    def __init__(self, registry: WifiNetworkRegistry) -> None:
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._connected: Optional[WifiNetwork] = None
+        self.connection_attempts = 0
+
+    def connect(self, ssid: str, key: str) -> bool:
+        """Try to join ``ssid``; returns whether the connection succeeded."""
+        with self._lock:
+            self.connection_attempts += 1
+        network = self._registry.lookup(ssid)
+        if network is None or network.key != key:
+            return False
+        with self._lock:
+            self._connected = network
+        return True
+
+    def disconnect(self) -> None:
+        with self._lock:
+            self._connected = None
+
+    @property
+    def connected_ssid(self) -> Optional[str]:
+        with self._lock:
+            return self._connected.ssid if self._connected else None
+
+    @property
+    def is_connected(self) -> bool:
+        return self.connected_ssid is not None

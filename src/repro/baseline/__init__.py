@@ -1,0 +1,12 @@
+"""The handcrafted baseline: the WiFi-sharing app on the bare NFC API.
+
+This is the paper's comparison subject (section 4): the same application
+as :mod:`repro.apps.wifi.morena_app`, written directly against the
+simulated Android NFC API with all four of its drawbacks in play --
+blocking I/O on worker threads, per-operation exception handling, manual
+NDEF/JSON conversion, and intent plumbing in the activity.
+"""
+
+from repro.baseline.handcrafted_wifi import HandcraftedWifiActivity, WifiConfigData
+
+__all__ = ["HandcraftedWifiActivity", "WifiConfigData"]

@@ -1,0 +1,397 @@
+"""The WiFi-sharing application, handcrafted on the raw Android NFC API.
+
+Functionally equivalent to :class:`repro.apps.wifi.morena_app.WifiJoinerActivity`
+(same wire format, same user stories: join by tag, share via empty tag,
+save a modified config, beam to a nearby phone, join from a beam) but
+written the way the Android documentation tells you to:
+
+* every tag operation runs on a hand-managed worker thread, with results
+  posted back to the main looper;
+* every operation is wrapped in exception handling for the tag-lost /
+  out-of-range / capacity / read-only cases, reporting to the user --
+  there is **no automatic retry**: when a write fails because the hand
+  drifted, the user must tap again (the behavioural difference section 4
+  calls out);
+* the JSON and NDEF conversions are written out by hand, twice (one per
+  direction);
+* all event handling goes through intents in the activity.
+
+Every RFID-related line carries a Figure 2 region annotation. The paper
+counted 197 such lines in its Java version; the Python one is naturally
+denser, but the per-subproblem *shape* is what the evaluation reproduces.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import List, Optional
+
+from repro.android.activity import Activity
+from repro.android.intents import (
+    ACTION_NDEF_DISCOVERED,
+    ACTION_TECH_DISCOVERED,
+    EXTRA_NDEF_MESSAGES,
+    EXTRA_TAG,
+    Intent,
+    IntentFilter,
+)
+from repro.android.nfc.tech import Ndef, NdefFormatable, Tag
+from repro.apps.wifi.wifi_manager import WifiManager, WifiNetworkRegistry
+from repro.errors import (
+    BeamError,
+    NotInFieldError,
+    TagCapacityError,
+    TagFormatError,
+    TagLostError,
+    TagReadOnlyError,
+)
+from repro.ndef.message import NdefMessage
+from repro.ndef.record import NdefRecord, Tnf
+
+WIFI_MIME_TYPE = "application/vnd.morena.wificonfig"
+
+
+class WifiConfigData:
+    """Plain credentials holder (no middleware, no magic)."""
+
+    def __init__(self, ssid: str, key: str) -> None:
+        self.ssid = ssid
+        self.key = key
+
+    def connect(self, wifi_manager: WifiManager) -> bool:
+        return wifi_manager.connect(self.ssid, self.key)
+
+
+class HandcraftedWifiActivity(Activity):
+    """The baseline activity: everything by hand."""
+
+    def __init__(self, device, registry: WifiNetworkRegistry) -> None:
+        super().__init__(device)
+        self.wifi = WifiManager(registry)
+        self.pending_share: Optional[WifiConfigData] = None
+        self.last_config: Optional[WifiConfigData] = None
+        # @rfid: concurrency
+        self.last_tag: Optional[Tag] = None
+        self._tag_lock = threading.Lock()
+        self._workers: List[threading.Thread] = []
+        self._workers_lock = threading.Lock()
+        # @rfid: end
+
+    # ------------------------------------------------------------------
+    # Event handling: intents in, dispatch by action and payload
+    # ------------------------------------------------------------------
+
+    # @rfid: event-handling
+    def on_create(self) -> None:
+        self.enable_foreground_dispatch(
+            [
+                IntentFilter(ACTION_NDEF_DISCOVERED, WIFI_MIME_TYPE),
+                IntentFilter(ACTION_TECH_DISCOVERED),
+            ]
+        )
+
+    def on_new_intent(self, intent: Intent) -> None:
+        if intent.is_beam:
+            messages = intent.get_extra(EXTRA_NDEF_MESSAGES)
+            if messages:
+                self._handle_received_beam(messages[0])
+            return
+        tag = intent.get_extra(EXTRA_TAG)
+        if tag is None:
+            return
+        if intent.action == ACTION_NDEF_DISCOVERED:
+            with self._tag_lock:
+                self.last_tag = tag
+            self._start_read(tag)
+        elif intent.action == ACTION_TECH_DISCOVERED:
+            with self._tag_lock:
+                self.last_tag = tag
+            if self.pending_share is not None:
+                self._start_write(tag, self.pending_share, initializing=True)
+    # @rfid: end
+
+    # @rfid: event-handling
+    def _handle_received_beam(self, message: NdefMessage) -> None:
+    # @rfid: end
+    # @rfid: data-conversion
+        try:
+            config = self._ndef_message_to_config(message)
+    # @rfid: end
+    # @rfid: failure-handling
+        except (ValueError, KeyError) as exc:
+            self.toast(f"Received malformed WiFi joiner ({exc}), ask to re-beam.")
+            return
+    # @rfid: end
+        self._apply_config(config)
+
+    def _apply_config(self, config: WifiConfigData) -> None:
+        """Join the network in ``config`` (application logic)."""
+        self.last_config = config
+        self.toast(f"Joining Wifi network {config.ssid}")
+        if not config.connect(self.wifi):
+            self.toast(f"Could not join {config.ssid}")
+
+    # ------------------------------------------------------------------
+    # Reading: worker thread + blocking tech I/O + manual conversion
+    # ------------------------------------------------------------------
+
+    # @rfid: concurrency
+    def _start_read(self, tag: Tag) -> None:
+        # Tag I/O blocks; the docs say: never on the main thread.
+        worker = threading.Thread(
+            target=self._read_tag_worker,
+            args=(tag,),
+            name="wifi-read-worker",
+            daemon=True,
+        )
+        with self._workers_lock:
+            self._workers.append(worker)
+        worker.start()
+
+    def _read_tag_worker(self, tag: Tag) -> None:
+    # @rfid: end
+    # @rfid: read-write
+        ndef = Ndef.get(tag)
+    # @rfid: end
+    # @rfid: failure-handling
+        if ndef is None:
+            self.run_on_ui_thread(
+                lambda: self.toast("This tag is not NDEF formatted.")
+            )
+            return
+    # @rfid: end
+    # @rfid: read-write
+        try:
+            ndef.connect()
+            try:
+                message = ndef.get_ndef_message()
+            finally:
+                ndef.close()
+    # @rfid: end
+    # @rfid: failure-handling
+        except TagLostError:
+            self.run_on_ui_thread(
+                lambda: self.toast("Tag lost while reading, tap again.")
+            )
+            return
+        except NotInFieldError:
+            self.run_on_ui_thread(
+                lambda: self.toast("Tag out of range, tap again.")
+            )
+            return
+        except TagFormatError:
+            self.run_on_ui_thread(
+                lambda: self.toast("Tag data is corrupt, rewrite it.")
+            )
+            return
+    # @rfid: end
+    # @rfid: data-conversion
+        try:
+            config = self._ndef_message_to_config(message)
+    # @rfid: end
+    # @rfid: failure-handling
+        except (ValueError, KeyError):
+            self.run_on_ui_thread(
+                lambda: self.toast("Tag does not hold WiFi credentials.")
+            )
+            return
+    # @rfid: end
+    # @rfid: concurrency
+        # Results must be applied on the main thread (UI access).
+        self.run_on_ui_thread(lambda: self._apply_config(config))
+    # @rfid: end
+
+    # ------------------------------------------------------------------
+    # Writing: worker thread + format-if-blank + blocking write
+    # ------------------------------------------------------------------
+
+    # @rfid: concurrency
+    def _start_write(
+        self, tag: Tag, config: WifiConfigData, initializing: bool
+    ) -> None:
+        worker = threading.Thread(
+            target=self._write_tag_worker,
+            args=(tag, config, initializing),
+            name="wifi-write-worker",
+            daemon=True,
+        )
+        with self._workers_lock:
+            self._workers.append(worker)
+        worker.start()
+
+    def _write_tag_worker(
+        self, tag: Tag, config: WifiConfigData, initializing: bool
+    ) -> None:
+    # @rfid: end
+    # @rfid: data-conversion
+        message = self._config_to_ndef_message(config)
+    # @rfid: end
+    # @rfid: read-write
+        ndef = Ndef.get(tag)
+        try:
+            if ndef is None:
+                formatable = NdefFormatable.get(tag)
+                if formatable is None:
+                    raise TagFormatError("tag supports neither Ndef nor formatting")
+                formatable.connect()
+                try:
+                    formatable.format(message)
+                finally:
+                    formatable.close()
+            else:
+                ndef.connect()
+                try:
+                    ndef.write_ndef_message(message)
+                finally:
+                    ndef.close()
+    # @rfid: end
+    # @rfid: failure-handling
+        except TagLostError:
+            self.run_on_ui_thread(
+                lambda: self.toast("Tag lost while writing, tap again to retry.")
+            )
+            return
+        except NotInFieldError:
+            self.run_on_ui_thread(
+                lambda: self.toast("Tag out of range, tap again to retry.")
+            )
+            return
+        except TagCapacityError:
+            self.run_on_ui_thread(
+                lambda: self.toast("Credentials too large for this tag.")
+            )
+            return
+        except TagReadOnlyError:
+            self.run_on_ui_thread(
+                lambda: self.toast("This tag is locked and cannot be written.")
+            )
+            return
+        except TagFormatError:
+            self.run_on_ui_thread(
+                lambda: self.toast("Tag could not be formatted, tap again.")
+            )
+            return
+    # @rfid: end
+    # @rfid: concurrency
+        def report_success() -> None:
+            if initializing:
+                self.pending_share = None
+                self.toast("WiFi joiner created!")
+            else:
+                self.toast("WiFi joiner saved!")
+
+        self.run_on_ui_thread(report_success)
+    # @rfid: end
+
+    # ------------------------------------------------------------------
+    # User actions (buttons in a real UI)
+    # ------------------------------------------------------------------
+
+    def share_with_tag(self, config: WifiConfigData) -> None:
+        """Arm the app: the next empty tag scanned receives ``config``."""
+        self.pending_share = config
+
+    def rename_network(self, config: WifiConfigData, ssid: str, key: str) -> None:
+        config.ssid = ssid
+        config.key = key
+    # @rfid: failure-handling
+        with self._tag_lock:
+            tag = self.last_tag
+        if tag is None:
+            self.toast("No tag in reach; tap the tag to save.")
+            return
+    # @rfid: end
+    # @rfid: read-write
+        self._start_write(tag, config, initializing=False)
+    # @rfid: end
+
+    def share_with_phone(self, config: WifiConfigData) -> None:
+    # @rfid: concurrency
+        worker = threading.Thread(
+            target=self._beam_worker,
+            args=(config,),
+            name="wifi-beam-worker",
+            daemon=True,
+        )
+        with self._workers_lock:
+            self._workers.append(worker)
+        worker.start()
+
+    def _beam_worker(self, config: WifiConfigData) -> None:
+    # @rfid: end
+    # @rfid: data-conversion
+        message = self._config_to_ndef_message(config)
+    # @rfid: end
+    # @rfid: read-write
+        try:
+            self.device.nfc_adapter.push_now(message)
+    # @rfid: end
+    # @rfid: failure-handling
+        except BeamError:
+            self.run_on_ui_thread(
+                lambda: self.toast("No phone nearby; bring the phones together.")
+            )
+            return
+        except TagLostError:
+            self.run_on_ui_thread(
+                lambda: self.toast("Beam interrupted, try again.")
+            )
+            return
+    # @rfid: end
+    # @rfid: concurrency
+        self.run_on_ui_thread(lambda: self.toast("WiFi joiner shared!"))
+    # @rfid: end
+
+    # ------------------------------------------------------------------
+    # Manual data conversion: JSON <-> NDEF, both directions, by hand
+    # ------------------------------------------------------------------
+
+    # @rfid: data-conversion
+    @staticmethod
+    def _config_to_ndef_message(config: WifiConfigData) -> NdefMessage:
+        payload = json.dumps(
+            {"ssid": config.ssid, "key": config.key},
+            sort_keys=True,
+        ).encode("utf-8")
+        record = NdefRecord(
+            Tnf.MIME_MEDIA,
+            WIFI_MIME_TYPE.encode("ascii"),
+            b"",
+            payload,
+        )
+        return NdefMessage([record])
+
+    @staticmethod
+    def _ndef_message_to_config(message: NdefMessage) -> WifiConfigData:
+        if not len(message):
+            raise ValueError("empty NDEF message")
+        record = message[0]
+        if record.tnf != Tnf.MIME_MEDIA:
+            raise ValueError("first record is not a MIME record")
+        if record.type.decode("ascii", "replace") != WIFI_MIME_TYPE:
+            raise ValueError("record does not hold WiFi credentials")
+        data = json.loads(record.payload.decode("utf-8"))
+        ssid = data["ssid"]
+        key = data["key"]
+        if not isinstance(ssid, str) or not isinstance(key, str):
+            raise ValueError("ssid and key must be strings")
+        return WifiConfigData(ssid=ssid, key=key)
+    # @rfid: end
+
+    # ------------------------------------------------------------------
+    # Worker hygiene
+    # ------------------------------------------------------------------
+
+    # @rfid: concurrency
+    def join_workers(self, timeout: float = 5.0) -> None:
+        """Wait for in-flight tag workers (needed for orderly teardown)."""
+        with self._workers_lock:
+            workers = list(self._workers)
+        for worker in workers:
+            worker.join(timeout)
+
+    def on_destroy(self) -> None:
+        self.join_workers()
+        super().on_destroy()
+    # @rfid: end

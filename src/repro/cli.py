@@ -1,0 +1,204 @@
+"""Command-line front end.
+
+::
+
+    python -m repro.cli fig2              # print the Figure 2 reproduction
+    python -m repro.cli demo wifi         # run the WiFi-sharing scenario
+    python -m repro.cli demo beam         # phone-to-phone Beam demo
+    python -m repro.cli tagdump           # write a tag and hexdump its memory
+    python -m repro.cli tagdump --type NTAG213 --text "hello"
+
+Everything runs against the in-process simulation; no hardware, no
+network, no state outside the current directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_fig2(_args: argparse.Namespace) -> int:
+    import repro.apps.wifi.config as morena_config
+    import repro.apps.wifi.morena_app as morena_app
+    import repro.baseline.handcrafted_wifi as handcrafted
+    from repro.metrics.loc import compare_implementations
+
+    comparison = compare_implementations(
+        [handcrafted], [morena_app, morena_config]
+    )
+    print(comparison.format_table())
+    return 0
+
+
+def _cmd_demo_wifi(_args: argparse.Namespace) -> int:
+    from repro.apps.wifi import WifiConfig, WifiJoinerActivity
+    from repro.concurrent import wait_until
+    from repro.harness import Scenario
+
+    with Scenario() as scenario:
+        scenario.wifi_registry.add_network("LobbyWifi", "welcome123")
+        facility = scenario.add_phone("facility")
+        guest = scenario.add_phone("guest")
+        facility_app = scenario.start(
+            facility, WifiJoinerActivity, scenario.wifi_registry
+        )
+        guest_app = scenario.start(guest, WifiJoinerActivity, scenario.wifi_registry)
+
+        tag = scenario.add_tag()
+        facility_app.share_with_tag(
+            WifiConfig(facility_app, "LobbyWifi", "welcome123")
+        )
+        print("facility taps an empty tag ...")
+        scenario.put(tag, facility)
+        if not wait_until(
+            lambda: "WiFi joiner created!" in facility.toasts.snapshot()
+        ):
+            print("ERROR: joiner was not created", file=sys.stderr)
+            return 1
+        scenario.take(tag, facility)
+        print("  toast:", facility.toasts.snapshot()[-1])
+
+        print("guest taps the tag ...")
+        scenario.put(tag, guest)
+        if not wait_until(lambda: guest_app.wifi.connected_ssid == "LobbyWifi"):
+            print("ERROR: guest did not join", file=sys.stderr)
+            return 1
+        print("  guest connected to:", guest_app.wifi.connected_ssid)
+        return 0
+
+
+def _cmd_demo_beam(_args: argparse.Namespace) -> int:
+    from repro.concurrent import EventLog
+    from repro.core import (
+        Beamer,
+        BeamReceivedListener,
+        NFCActivity,
+        NdefMessageToStringConverter,
+        StringToNdefMessageConverter,
+    )
+    from repro.harness import Scenario
+
+    mime = "application/x-cli-beam"
+
+    class Receiver(NFCActivity):
+        def on_create(self):
+            self.inbox = EventLog()
+            app = self
+
+            class Listener(BeamReceivedListener):
+                def on_beam_received_from(self, obj, sender):
+                    app.inbox.append(f"{sender}: {obj}")
+
+            Listener(self, mime, NdefMessageToStringConverter())
+
+    class Sender(NFCActivity):
+        def on_create(self):
+            self.beamer = Beamer(self, StringToNdefMessageConverter(mime))
+
+    with Scenario() as scenario:
+        alice = scenario.add_phone("alice")
+        bob = scenario.add_phone("bob")
+        sender = scenario.start(alice, Sender)
+        receiver = scenario.start(bob, Receiver)
+        sender.beamer.beam("hello from the command line")
+        print("message queued; phones touch ...")
+        scenario.pair(alice, bob)
+        if not receiver.inbox.wait_for_count(1, timeout=5):
+            print("ERROR: beam not delivered", file=sys.stderr)
+            return 1
+        print("  bob received:", receiver.inbox.snapshot()[0])
+        return 0
+
+
+def _cmd_demo_handover(_args: argparse.Namespace) -> int:
+    from repro.harness import Scenario
+    from repro.ndef.handover import CPS_ACTIVE, build_handover_select
+    from repro.ndef.record import NdefRecord
+    from repro.ndef.wsc import WSC_MIME_TYPE, WifiCredential
+
+    with Scenario() as scenario:
+        asker = scenario.add_phone("asker")
+        sharer = scenario.add_phone("sharer")
+
+        def responder(request, sender):
+            if WSC_MIME_TYPE not in request.requested_mime_types:
+                return None
+            bare = WifiCredential("HomeNet", "home-key").to_record()
+            carrier = NdefRecord(bare.tnf, bare.type, b"w", bare.payload)
+            return build_handover_select([(carrier, CPS_ACTIVE)])
+
+        sharer.nfc_adapter.set_handover_responder(responder)
+        scenario.pair(asker, sharer)
+        print("asker requests a WiFi carrier over negotiated handover ...")
+        answers = asker.nfc_adapter.request_handover([WSC_MIME_TYPE])
+        if not answers:
+            print("ERROR: no peer answered", file=sys.stderr)
+            return 1
+        peer, select = answers[0]
+        credential = WifiCredential.from_record(select.carrier_records()[0])
+        print(f"  {peer} offered ssid={credential.ssid!r} (auth {credential.auth})")
+        return 0
+
+
+def _cmd_tagdump(args: argparse.Namespace) -> int:
+    from repro.ndef import NdefMessage, mime_record
+    from repro.tags import make_tag
+
+    message = NdefMessage(
+        [mime_record("text/plain", args.text.encode("utf-8"))]
+    )
+    tag = make_tag(args.type, content=message)
+    print(f"tag: {tag.tag_type.name}  uid={tag.uid_hex}")
+    print(f"capacity: {tag.ndef_capacity} bytes, stored: {message.byte_length} bytes")
+    dump = tag.raw_dump()
+    shown = dump[: args.bytes]
+    for offset in range(0, len(shown), 16):
+        chunk = shown[offset : offset + 16]
+        hex_part = " ".join(f"{b:02x}" for b in chunk)
+        text = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        print(f"  {offset:04x}  {hex_part:<48}  {text}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MORENA reproduction: simulated NFC demos and reports.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig2 = subparsers.add_parser("fig2", help="print the Figure 2 LoC reproduction")
+    fig2.set_defaults(handler=_cmd_fig2)
+
+    demo = subparsers.add_parser("demo", help="run a scripted scenario")
+    demo.add_argument("scenario", choices=["wifi", "beam", "handover"])
+    demo_handlers = {
+        "wifi": _cmd_demo_wifi,
+        "beam": _cmd_demo_beam,
+        "handover": _cmd_demo_handover,
+    }
+    demo.set_defaults(handler=lambda args: demo_handlers[args.scenario](args))
+
+    tagdump = subparsers.add_parser(
+        "tagdump", help="write text to a simulated tag and hexdump its memory"
+    )
+    tagdump.add_argument("--type", default="NTAG213", help="tag model name")
+    tagdump.add_argument("--text", default="hello, MORENA", help="text to store")
+    tagdump.add_argument(
+        "--bytes", type=int, default=96, help="how many bytes to dump"
+    )
+    tagdump.set_defaults(handler=_cmd_tagdump)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -1,0 +1,146 @@
+"""Small concurrency helpers used across the simulation and the tests.
+
+Nothing here is MORENA-specific; these are the latches, boxes and
+condition-wait helpers that keep multi-threaded tests free of ``sleep()``
+polling loops.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class CountDownLatch:
+    """A latch that opens after ``count`` calls to :meth:`count_down`."""
+
+    def __init__(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("latch count must be >= 0")
+        self._count = count
+        self._cond = threading.Condition()
+
+    @property
+    def count(self) -> int:
+        with self._cond:
+            return self._count
+
+    def count_down(self) -> None:
+        with self._cond:
+            if self._count > 0:
+                self._count -= 1
+                if self._count == 0:
+                    self._cond.notify_all()
+
+    def await_(self, timeout: Optional[float] = None) -> bool:
+        """Block until the latch opens. Returns ``False`` on timeout."""
+        with self._cond:
+            if self._count == 0:
+                return True
+            return self._cond.wait_for(lambda: self._count == 0, timeout)
+
+
+class ResultBox(Generic[T]):
+    """A one-shot thread-safe box for handing a value between threads."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._set = False
+        self._value: Optional[T] = None
+
+    def put(self, value: T) -> None:
+        with self._cond:
+            if self._set:
+                raise RuntimeError("ResultBox already filled")
+            self._value = value
+            self._set = True
+            self._cond.notify_all()
+
+    def is_set(self) -> bool:
+        with self._cond:
+            return self._set
+
+    def get(self, timeout: Optional[float] = None) -> T:
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._set, timeout):
+                raise TimeoutError("ResultBox.get timed out")
+            return self._value  # type: ignore[return-value]
+
+
+class EventLog:
+    """An append-only, thread-safe event trace with condition waits.
+
+    Tests use this to record listener invocations and then wait for a
+    particular event (or count of events) without sleeping.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._events: List[Any] = []
+
+    def append(self, event: Any) -> None:
+        with self._cond:
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def snapshot(self) -> List[Any]:
+        with self._cond:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._events)
+
+    def wait_for_count(self, count: int, timeout: float = 5.0) -> bool:
+        with self._cond:
+            return self._cond.wait_for(lambda: len(self._events) >= count, timeout)
+
+    def wait_for(
+        self, predicate: Callable[[List[Any]], bool], timeout: float = 5.0
+    ) -> bool:
+        with self._cond:
+            return self._cond.wait_for(lambda: predicate(list(self._events)), timeout)
+
+    def clear(self) -> None:
+        with self._cond:
+            self._events.clear()
+
+
+def wait_until(
+    predicate: Callable[[], bool],
+    timeout: float = 5.0,
+    interval: float = 0.002,
+) -> bool:
+    """Poll ``predicate`` until true or ``timeout`` real seconds elapse.
+
+    Last-resort helper for conditions that have no condition variable to
+    hook; the poll interval is small enough for tests.
+    """
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class AtomicCounter:
+    """A thread-safe monotonically increasing counter."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._value = start
+        self._lock = threading.Lock()
+
+    def increment(self) -> int:
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value

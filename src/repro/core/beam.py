@@ -1,0 +1,254 @@
+"""Asynchronous Beam: phone-to-phone NDEF pushes, MORENA style.
+
+Paper section 3.3. Beaming is *undirected* -- there is no reference to
+push through; instead a :class:`Beamer` object encapsulates the write
+converter and queues beam operations with the same decoupled-in-time
+semantics as tag writes: a beam scheduled while no peer phone is near is
+silently retried until a peer appears or the timeout passes. Reception is
+handled by :class:`BeamReceivedListener`, which converts the received
+NDEF message with its read converter and applies an optional
+``check_condition`` predicate before invoking ``on_beam_received``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.core.listeners import ListenerLike, as_callback
+from repro.core.nfc_activity import NFCActivity
+from repro.core.operations import Operation, OperationKind, OperationOutcome
+from repro.core.converters import (
+    NdefMessageToObjectConverter,
+    ObjectToNdefMessageConverter,
+)
+from repro.errors import (
+    BeamError,
+    ConverterError,
+    MorenaError,
+    RadioError,
+    ReferenceStoppedError,
+)
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import normalize_mime_type
+from repro.radio.events import FieldEvent, PeerEntered
+
+DEFAULT_BEAM_TIMEOUT_SECONDS = 5.0
+_WAIT_SLICE_SECONDS = 0.01
+_RETRY_INTERVAL_SECONDS = 0.02
+
+
+class Beamer:
+    """Queues and retries undirected beam pushes for one activity."""
+
+    def __init__(
+        self,
+        activity: NFCActivity,
+        write_converter: ObjectToNdefMessageConverter,
+        default_timeout: float = DEFAULT_BEAM_TIMEOUT_SECONDS,
+    ) -> None:
+        if not isinstance(activity, NFCActivity):
+            raise TypeError("Beamer requires an NFCActivity")
+        self._activity = activity
+        self._adapter = activity.device.nfc_adapter
+        self._port = self._adapter.port
+        self._looper = activity.device.main_looper
+        self._clock = activity.device.environment.clock
+        self._write_converter = write_converter
+        self._default_timeout = default_timeout
+
+        self._cond = threading.Condition()
+        self._queue: Deque[Operation] = deque()
+        self._stopped = False
+
+        self.attempts = 0
+        self.successes = 0
+        self.timeouts = 0
+
+        self._port.add_field_listener(self._on_field_event)
+        activity._register_beamer(self)  # noqa: SLF001 - by-design handshake
+        self._thread = threading.Thread(
+            target=self._event_loop,
+            name=f"beamer-{activity.device.name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- the asynchronous interface -------------------------------------------------
+
+    def beam(
+        self,
+        obj: Any,
+        on_success: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Schedule an undirected asynchronous push of ``obj``.
+
+        ``obj`` is converted immediately with the write converter. The
+        push is attempted whenever a peer phone is in Beam range; on
+        delivery ``on_success()`` runs on the main thread, on timeout
+        ``on_failed()`` does.
+        """
+        effective = self._default_timeout if timeout is None else timeout
+        if effective <= 0:
+            raise MorenaError("beam timeout must be positive")
+        now = self._clock.now()
+        operation = Operation(
+            kind=OperationKind.WRITE,
+            deadline=now + effective,
+            enqueued_at=now,
+            on_success=as_callback(on_success),
+            on_failure=as_callback(on_failed),
+            original_object=obj,
+        )
+        try:
+            operation.payload = self._write_converter.convert(obj)
+        except ConverterError as exc:
+            operation.outcome = OperationOutcome.FAILED
+            operation.error = exc
+            self._post(operation.on_failure)
+            return operation
+        with self._cond:
+            if self._stopped:
+                raise ReferenceStoppedError("this Beamer has been stopped")
+            self._queue.append(operation)
+            self._cond.notify_all()
+        return operation
+
+    @property
+    def pending_count(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        with self._cond:
+            if self._stopped:
+                return
+            self._stopped = True
+            cancelled = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        for operation in cancelled:
+            operation.outcome = OperationOutcome.CANCELLED
+        self._port.remove_field_listener(self._on_field_event)
+        if threading.current_thread() is not self._thread:
+            self._thread.join(join_timeout)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _on_field_event(self, event: FieldEvent) -> None:
+        if isinstance(event, PeerEntered):
+            with self._cond:
+                self._cond.notify_all()
+
+    def _event_loop(self) -> None:
+        while True:
+            head: Optional[Operation] = None
+            with self._cond:
+                if self._stopped:
+                    return
+                self._expire_locked()
+                if not self._queue:
+                    self._cond.wait()
+                    continue
+                if not self._port.environment.peers_of(self._port):
+                    self._cond.wait(_WAIT_SLICE_SECONDS)
+                    continue
+                head = self._queue[0]
+            succeeded = self._attempt(head)
+            with self._cond:
+                if self._stopped:
+                    return
+                if succeeded:
+                    if self._queue and self._queue[0] is head:
+                        self._queue.popleft()
+                    self.successes += 1
+                else:
+                    self._cond.wait(_RETRY_INTERVAL_SECONDS)
+                    continue
+            head.outcome = OperationOutcome.SUCCEEDED
+            self._post(head.on_success)
+
+    def _expire_locked(self) -> None:
+        now = self._clock.now()
+        index = 0
+        while index < len(self._queue):
+            operation = self._queue[index]
+            if operation.deadline <= now:
+                del self._queue[index]
+                self.timeouts += 1
+                operation.outcome = OperationOutcome.TIMED_OUT
+                self._post(operation.on_failure)
+            else:
+                index += 1
+
+    def _attempt(self, operation: Operation) -> bool:
+        operation.attempts += 1
+        self.attempts += 1
+        try:
+            self._adapter.push_now(operation.payload)
+            return True
+        except (BeamError, RadioError) as exc:
+            operation.error = exc
+            return False
+
+    def _post(self, callback) -> None:
+        try:
+            self._looper.post(lambda: callback())
+        except Exception:  # noqa: BLE001 - looper quit during shutdown
+            pass
+
+
+class BeamReceivedListener:
+    """Receives beamed objects of one MIME type, converted and filtered."""
+
+    def __init__(
+        self,
+        activity: NFCActivity,
+        mime_type: str,
+        read_converter: NdefMessageToObjectConverter,
+    ) -> None:
+        if not isinstance(activity, NFCActivity):
+            raise TypeError("BeamReceivedListener requires an NFCActivity")
+        self._activity = activity
+        self.mime_type = normalize_mime_type(mime_type)
+        self.read_converter = read_converter
+        activity._register_beam_listener(self)  # noqa: SLF001
+
+    @property
+    def activity(self) -> NFCActivity:
+        return self._activity
+
+    # -- overridable callbacks (run on the main thread) ------------------------------
+
+    def on_beam_received(self, obj: Any) -> None:
+        """A beamed object of our MIME type arrived."""
+
+    def on_beam_received_from(self, obj: Any, sender: str) -> None:
+        """Like :meth:`on_beam_received`, with the sender's device name.
+
+        Extension over the paper (useful in multi-phone simulations);
+        the default implementation ignores the sender.
+        """
+        self.on_beam_received(obj)
+
+    def check_condition(self, obj: Any) -> bool:
+        """Fine-grained filter on the received object (section 3.4)."""
+        return True
+
+    # -- intent plumbing -----------------------------------------------------------------
+
+    def _handle_beam(self, mime_type: str, message: NdefMessage, sender: str) -> None:
+        if mime_type != self.mime_type:
+            return
+        try:
+            obj = self.read_converter.convert(message)
+        except ConverterError:
+            return
+        if not self.check_condition(obj):
+            return
+        self.on_beam_received_from(obj, sender)

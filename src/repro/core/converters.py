@@ -1,0 +1,118 @@
+"""Per-reference data conversion strategies.
+
+The Android API forces every application to convert its data to and from
+NDEF by hand, scattered through activity code. MORENA encapsulates the
+conversion in two converter objects attached to each ``TagDiscoverer``
+(and inherited by the ``TagReference`` objects it produces), so an
+activity can juggle multiple references with different strategies without
+ever touching NDEF itself (paper sections 3.1-3.2).
+
+Built-in strategies:
+
+* string <-> single MIME record (the paper's running example);
+* arbitrary object <-> JSON-in-a-MIME-record via :class:`repro.gson.Gson`
+  (what the thing layer uses);
+* identity (NDEF in, NDEF out) for applications that want raw access.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Type
+
+from repro.errors import ConverterError
+from repro.gson import Gson
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record, normalize_mime_type
+
+
+class NdefMessageToObjectConverter:
+    """Read-side strategy: NDEF message -> application object."""
+
+    def convert(self, message: NdefMessage) -> Any:
+        raise NotImplementedError
+
+
+class ObjectToNdefMessageConverter:
+    """Write-side strategy: application object -> NDEF message."""
+
+    def convert(self, obj: Any) -> NdefMessage:
+        raise NotImplementedError
+
+
+# -- strings ------------------------------------------------------------------
+
+
+class NdefMessageToStringConverter(NdefMessageToObjectConverter):
+    """First record's payload, decoded as UTF-8 (the paper's example)."""
+
+    def convert(self, message: NdefMessage) -> str:
+        if not len(message):
+            raise ConverterError("message has no records")
+        try:
+            return message[0].payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ConverterError(f"payload is not UTF-8 text: {exc}") from exc
+
+
+class StringToNdefMessageConverter(ObjectToNdefMessageConverter):
+    """A single MIME record holding the string as UTF-8 bytes."""
+
+    def __init__(self, mime_type: str = "text/plain") -> None:
+        self.mime_type = normalize_mime_type(mime_type)
+
+    def convert(self, obj: Any) -> NdefMessage:
+        text = "" if obj is None else str(obj)
+        return NdefMessage([mime_record(self.mime_type, text.encode("utf-8"))])
+
+
+# -- JSON objects (the thing layer's strategy) -----------------------------------
+
+
+class ObjectToJsonConverter(ObjectToNdefMessageConverter):
+    """Serialize any object to JSON (GSON-style) inside one MIME record."""
+
+    def __init__(self, mime_type: str, gson: Optional[Gson] = None) -> None:
+        self.mime_type = normalize_mime_type(mime_type)
+        self._gson = gson or Gson()
+
+    def convert(self, obj: Any) -> NdefMessage:
+        try:
+            text = self._gson.to_json(obj)
+        except Exception as exc:
+            raise ConverterError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
+        return NdefMessage([mime_record(self.mime_type, text.encode("utf-8"))])
+
+
+class JsonToObjectConverter(NdefMessageToObjectConverter):
+    """Deserialize the first record's JSON payload into ``target_class``."""
+
+    def __init__(self, target_class: Type, gson: Optional[Gson] = None) -> None:
+        self.target_class = target_class
+        self._gson = gson or Gson()
+
+    def convert(self, message: NdefMessage) -> Any:
+        if not len(message):
+            raise ConverterError("message has no records")
+        try:
+            text = message[0].payload.decode("utf-8")
+            return self._gson.from_json(text, self.target_class)
+        except ConverterError:
+            raise
+        except Exception as exc:
+            raise ConverterError(
+                f"cannot deserialize into {self.target_class.__name__}: {exc}"
+            ) from exc
+
+
+# -- identity ----------------------------------------------------------------------
+
+
+class IdentityConverters(NdefMessageToObjectConverter, ObjectToNdefMessageConverter):
+    """Raw access: the application object *is* the NDEF message."""
+
+    def convert(self, value):  # type: ignore[override]
+        if isinstance(value, NdefMessage):
+            return value
+        raise ConverterError(
+            f"identity conversion expects NdefMessage, got {type(value).__name__}"
+        )

@@ -1,0 +1,84 @@
+"""Listener interfaces for the asynchronous tag-reference operations.
+
+The paper deliberately separates success and failure listeners into two
+first-class objects (section 2.2): different success listeners commonly
+share a single failure listener, and separate objects avoid duplicating
+the unused half of a combined interface.
+
+In this Python rendition a listener can be either
+
+* an instance of one of the classes below with ``signal`` overridden
+  (the faithful, Java-flavoured spelling), or
+* any plain callable (the Pythonic spelling).
+
+``as_callback`` normalizes both; ``None`` becomes a no-op, matching the
+paper's overloads that omit the failure listener.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+
+class Listener:
+    """Base for the Java-flavoured listener classes."""
+
+    def signal(self, *args: Any) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} must override signal() or be passed as a callable"
+        )
+
+    def __call__(self, *args: Any) -> None:
+        self.signal(*args)
+
+
+class TagReadListener(Listener):
+    """Invoked with the tag reference after a successful asynchronous read."""
+
+
+class TagReadFailedListener(Listener):
+    """Invoked with the tag reference when an asynchronous read times out."""
+
+
+class TagWrittenListener(Listener):
+    """Invoked with the tag reference after a successful asynchronous write."""
+
+
+class TagWriteFailedListener(Listener):
+    """Invoked with the tag reference when an asynchronous write times out."""
+
+
+class TagLockedListener(Listener):
+    """Invoked with the tag reference after a successful make-read-only."""
+
+
+class TagLockFailedListener(Listener):
+    """Invoked with the tag reference when a make-read-only times out."""
+
+
+class BeamSuccessListener(Listener):
+    """Invoked (no arguments) when an asynchronous beam was delivered."""
+
+
+class BeamFailedListener(Listener):
+    """Invoked (no arguments) when an asynchronous beam timed out."""
+
+
+ListenerLike = Optional[Union[Listener, Callable[..., None]]]
+
+
+def as_callback(listener: ListenerLike) -> Callable[..., None]:
+    """Normalize a listener-or-callable-or-None into a callable."""
+    if listener is None:
+        return _noop
+    if isinstance(listener, Listener):
+        return listener.signal
+    if callable(listener):
+        return listener
+    raise TypeError(
+        f"listener must be callable or a Listener, got {type(listener).__name__}"
+    )
+
+
+def _noop(*_args: Any) -> None:
+    """The default listener: silence."""

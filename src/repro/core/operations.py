@@ -1,0 +1,67 @@
+"""Queued asynchronous operations.
+
+Each ``read`` / ``write`` / ``make_read_only`` call on a tag reference
+enqueues one :class:`Operation`: the decoupling-in-time data structure
+that lets the *logical* act of information sending proceed while the
+*physical* act waits for the tag to be back in range (paper section 1.2,
+"first-class references to remote objects").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+_op_ids = itertools.count(1)
+_op_ids_lock = threading.Lock()
+
+
+def _next_op_id() -> int:
+    with _op_ids_lock:
+        return next(_op_ids)
+
+
+class OperationKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    LOCK = "lock"
+    FORMAT = "format"
+
+
+class OperationOutcome(enum.Enum):
+    PENDING = "pending"
+    SUCCEEDED = "succeeded"
+    TIMED_OUT = "timed_out"
+    FAILED = "failed"  # permanent error (capacity, read-only, converter)
+    CANCELLED = "cancelled"  # reference stopped
+
+
+@dataclass
+class Operation:
+    """One queued asynchronous tag operation."""
+
+    kind: OperationKind
+    deadline: float
+    on_success: Callable[..., None]
+    on_failure: Callable[..., None]
+    payload: Any = None  # converted NdefMessage for writes; None otherwise
+    original_object: Any = None  # pre-conversion application object
+    op_id: int = field(default_factory=_next_op_id)
+    enqueued_at: float = 0.0
+    attempts: int = 0
+    raw: bool = False  # skip converters; maintain only the message cache
+    outcome: OperationOutcome = OperationOutcome.PENDING
+    error: Optional[BaseException] = None
+
+    @property
+    def is_settled(self) -> bool:
+        return self.outcome is not OperationOutcome.PENDING
+
+    def __repr__(self) -> str:
+        return (
+            f"Operation(#{self.op_id} {self.kind.value}, attempts={self.attempts}, "
+            f"outcome={self.outcome.value})"
+        )

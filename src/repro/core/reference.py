@@ -1,0 +1,557 @@
+"""The tag reference: MORENA's far reference to an RFID tag.
+
+Paper section 3.2. A tag reference
+
+* is the **only** reference to its tag within one activity (enforced by
+  :class:`~repro.core.factory.TagReferenceFactory`);
+* offers an exclusively **asynchronous** interface (``read`` / ``write`` /
+  ``make_read_only``), each operation carrying an optional success and
+  failure listener and a timeout;
+* keeps a **queue** of pending operations and a **private event loop**
+  with its own thread of control that repeatedly tries to process the
+  first operation in the queue: a failed attempt leaves the operation
+  queued (decoupling in time -- no error surfaces), success removes it and
+  fires the success listener, and passing its timeout removes it and fires
+  the failure listener;
+* guarantees that an operation is **never processed before previously
+  scheduled operations** were processed (or timed out);
+* schedules all listeners on the **activity's main thread**, so the
+  programmer never manages concurrency;
+* caches the last content seen on the tag for synchronous access
+  (with the staleness caveat the paper spells out);
+* reports connectivity changes to registered observers.
+
+Transient radio failures (tag lost, out of field, torn/corrupt data) are
+retried silently. Permanent failures (message exceeds tag capacity, tag is
+read-only or worn out, the converter rejected the object) settle the
+operation immediately with its failure listener -- retrying cannot fix
+those.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, TYPE_CHECKING
+
+from repro.clock import Clock
+from repro.core.converters import (
+    NdefMessageToObjectConverter,
+    ObjectToNdefMessageConverter,
+)
+from repro.core.listeners import ListenerLike, as_callback
+from repro.core.operations import Operation, OperationKind, OperationOutcome
+from repro.errors import (
+    ConverterError,
+    MorenaError,
+    NdefError,
+    NotInFieldError,
+    RadioError,
+    ReferenceStoppedError,
+    TagCapacityError,
+    TagFormatError,
+    TagLostError,
+    TagReadOnlyError,
+    TagWornOutError,
+)
+from repro.ndef.message import NdefMessage
+from repro.radio.events import FieldEvent, TagEntered, TagLeft
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.android.nfc.tech import Tag
+    from repro.core.nfc_activity import NFCActivity
+
+DEFAULT_TIMEOUT_SECONDS = 5.0
+DEFAULT_RETRY_INTERVAL_SECONDS = 0.02
+
+# Real-time slice the event loop waits between deadline checks; small so
+# that ManualClock-driven simulations observe advances promptly.
+_WAIT_SLICE_SECONDS = 0.01
+
+_TRANSIENT_ERRORS = (TagLostError, NotInFieldError, TagFormatError)
+_PERMANENT_ERRORS = (
+    TagCapacityError,
+    TagReadOnlyError,
+    TagWornOutError,
+    ConverterError,
+    NdefError,
+)
+
+ConnectivityListener = Callable[["TagReference", bool], None]
+
+
+class TagReference:
+    """First-class remote reference to one RFID tag.
+
+    Do not instantiate directly in application code; obtain references
+    from a :class:`~repro.core.discovery.TagDiscoverer` (or, in tests,
+    from a :class:`~repro.core.factory.TagReferenceFactory`).
+    """
+
+    def __init__(
+        self,
+        tag: "Tag",
+        activity: "NFCActivity",
+        read_converter: NdefMessageToObjectConverter,
+        write_converter: ObjectToNdefMessageConverter,
+        default_timeout: float = DEFAULT_TIMEOUT_SECONDS,
+        retry_interval: float = DEFAULT_RETRY_INTERVAL_SECONDS,
+    ) -> None:
+        self._tag = tag
+        self._activity = activity
+        self._looper = activity.device.main_looper
+        self._port = tag.port
+        self._clock: Clock = activity.device.environment.clock
+        self._read_converter = read_converter
+        self._write_converter = write_converter
+        self._default_timeout = default_timeout
+        self._retry_interval = retry_interval
+
+        self._cond = threading.Condition()
+        self._queue: Deque[Operation] = deque()
+        self._stopped = False
+        self._cached_object: Any = None
+        self._cached_message: Optional[NdefMessage] = None
+        self._has_cache = False
+        self._connected = True  # created upon discovery, i.e. in the field
+        self._connectivity_listeners: List[ConnectivityListener] = []
+
+        # Statistics, exposed for tests and benchmarks.
+        self.attempts = 0
+        self.successes = 0
+        self.timeouts = 0
+        self.permanent_failures = 0
+
+        self._port.add_field_listener(self._on_field_event)
+        self._thread = threading.Thread(
+            target=self._event_loop,
+            name=f"tagref-{tag.id_hex}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- identity & cached state --------------------------------------------------
+
+    @property
+    def tag(self) -> "Tag":
+        return self._tag
+
+    @property
+    def uid(self) -> bytes:
+        return self._tag.id
+
+    @property
+    def uid_hex(self) -> str:
+        return self._tag.id_hex
+
+    @property
+    def activity(self) -> "NFCActivity":
+        return self._activity
+
+    @property
+    def cached(self) -> Any:
+        """Last converted content seen on the tag (synchronous, maybe stale).
+
+        The paper's warning applies verbatim: if the tag was out of sight
+        for a while another device may have rewritten it -- prefer an
+        asynchronous :meth:`read` for critical data.
+        """
+        return self._cached_object
+
+    @property
+    def cached_message(self) -> Optional[NdefMessage]:
+        return self._cached_message
+
+    @property
+    def has_cache(self) -> bool:
+        return self._has_cache
+
+    def __repr__(self) -> str:
+        return (
+            f"TagReference(uid={self.uid_hex}, pending={self.pending_count}, "
+            f"connected={self.is_connected})"
+        )
+
+    # -- connectivity ----------------------------------------------------------------
+
+    @property
+    def is_connected(self) -> bool:
+        """Whether the tag is currently believed to be in range."""
+        return self._port.environment.tag_in_field(self._tag.simulated, self._port)
+
+    def add_connectivity_listener(self, listener: ConnectivityListener) -> None:
+        """Observe connectivity changes; called as ``listener(ref, connected)``
+        on the activity's main thread."""
+        with self._cond:
+            self._connectivity_listeners.append(listener)
+
+    def remove_connectivity_listener(self, listener: ConnectivityListener) -> None:
+        with self._cond:
+            if listener in self._connectivity_listeners:
+                self._connectivity_listeners.remove(listener)
+
+    def notify_redetected(self) -> None:
+        """Wake the event loop; called by the discoverer on re-detection."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def _on_field_event(self, event: FieldEvent) -> None:
+        if isinstance(event, TagEntered) and event.tag is self._tag.simulated:
+            self._set_connected(True)
+            with self._cond:
+                self._cond.notify_all()
+        elif isinstance(event, TagLeft) and event.tag is self._tag.simulated:
+            self._set_connected(False)
+
+    def _set_connected(self, connected: bool) -> None:
+        with self._cond:
+            if self._connected == connected:
+                return
+            self._connected = connected
+            listeners = list(self._connectivity_listeners)
+        for listener in listeners:
+            self._post_listener(listener, self, connected)
+
+    # -- the asynchronous interface ------------------------------------------------------
+
+    def read(
+        self,
+        on_read: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Schedule an asynchronous read.
+
+        On success the tag's content is converted with the read converter,
+        cached, and ``on_read(ref)`` runs on the main thread. If the read
+        does not succeed within ``timeout`` seconds (the reference default
+        when omitted), ``on_failed(ref)`` runs instead.
+        """
+        operation = self._make_operation(
+            OperationKind.READ, on_read, on_failed, timeout
+        )
+        self._enqueue(operation)
+        return operation
+
+    def write(
+        self,
+        obj: Any,
+        on_written: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Schedule an asynchronous write of ``obj``.
+
+        ``obj`` is converted with the write converter immediately (so the
+        value written is the value at call time, not at transmission
+        time). Conversion failures settle the operation at once via
+        ``on_failed``; radio failures are retried until the timeout.
+        """
+        operation = self._make_operation(
+            OperationKind.WRITE, on_written, on_failed, timeout
+        )
+        operation.original_object = obj
+        try:
+            operation.payload = self._write_converter.convert(obj)
+        except ConverterError as exc:
+            self._settle(operation, OperationOutcome.FAILED, exc)
+            return operation
+        self._enqueue(operation)
+        return operation
+
+    def read_raw(
+        self,
+        on_read: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Schedule an asynchronous read that skips the read converter.
+
+        Only :attr:`cached_message` is refreshed (the converted-object
+        cache is left untouched); the success listener inspects
+        ``ref.cached_message``. Protocol layers that ride along with
+        application data -- like :mod:`repro.leasing` -- use this to work
+        at the NDEF level regardless of the reference's converters.
+        """
+        operation = self._make_operation(
+            OperationKind.READ, on_read, on_failed, timeout
+        )
+        operation.raw = True
+        self._enqueue(operation)
+        return operation
+
+    def write_raw(
+        self,
+        message: NdefMessage,
+        on_written: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Schedule an asynchronous write of a ready-made NDEF message.
+
+        Skips the write converter; only :attr:`cached_message` is
+        refreshed on success. See :meth:`read_raw`.
+        """
+        if not isinstance(message, NdefMessage):
+            raise MorenaError("write_raw expects an NdefMessage")
+        operation = self._make_operation(
+            OperationKind.WRITE, on_written, on_failed, timeout
+        )
+        operation.raw = True
+        operation.payload = message
+        self._enqueue(operation)
+        return operation
+
+    def make_read_only(
+        self,
+        on_locked: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Schedule an asynchronous permanent lock of the tag."""
+        operation = self._make_operation(
+            OperationKind.LOCK, on_locked, on_failed, timeout
+        )
+        self._enqueue(operation)
+        return operation
+
+    def format(
+        self,
+        on_formatted: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Schedule an asynchronous NDEF format of a blank tag.
+
+        Because the queue is processed in order, ``format`` followed by
+        ``write`` initializes a factory-blank tag safely: the write is
+        never attempted before the format completed.
+        """
+        operation = self._make_operation(
+            OperationKind.FORMAT, on_formatted, on_failed, timeout
+        )
+        self._enqueue(operation)
+        return operation
+
+    # -- cancellation -----------------------------------------------------------------------
+
+    def cancel(self, operation: Operation) -> bool:
+        """Best-effort cancellation of a queued operation.
+
+        Returns ``True`` if the operation was still queued and is now
+        ``CANCELLED`` (no listener will fire). Returns ``False`` if it
+        already settled. An operation whose radio attempt is in flight at
+        the moment of cancellation is removed from the queue, but if that
+        attempt happens to succeed the data *did* reach the tag -- the
+        operation stays ``CANCELLED`` and silent regardless, which is the
+        honest race of a distributed cancel.
+        """
+        with self._cond:
+            try:
+                self._queue.remove(operation)
+            except ValueError:
+                return False
+            operation.outcome = OperationOutcome.CANCELLED
+            self._cond.notify_all()
+            return True
+
+    def cancel_all(self) -> int:
+        """Cancel every queued operation; returns how many were cancelled."""
+        with self._cond:
+            cancelled = list(self._queue)
+            self._queue.clear()
+            for operation in cancelled:
+                operation.outcome = OperationOutcome.CANCELLED
+            self._cond.notify_all()
+        return len(cancelled)
+
+    # -- queue introspection ---------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def pending_operations(self) -> List[Operation]:
+        with self._cond:
+            return list(self._queue)
+
+    # -- lifecycle ----------------------------------------------------------------------------
+
+    @property
+    def is_stopped(self) -> bool:
+        with self._cond:
+            return self._stopped
+
+    def stop(self, notify_pending: bool = False, join_timeout: float = 5.0) -> None:
+        """Stop the private event loop.
+
+        Pending operations become ``CANCELLED``; with ``notify_pending``
+        their failure listeners are scheduled a final time.
+        """
+        with self._cond:
+            if self._stopped:
+                return
+            self._stopped = True
+            cancelled = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        for operation in cancelled:
+            operation.outcome = OperationOutcome.CANCELLED
+            if notify_pending:
+                self._post_listener(operation.on_failure, self)
+        self._port.remove_field_listener(self._on_field_event)
+        if threading.current_thread() is not self._thread:
+            self._thread.join(join_timeout)
+
+    # -- internals -------------------------------------------------------------------------------
+
+    def _make_operation(
+        self,
+        kind: OperationKind,
+        on_success: ListenerLike,
+        on_failure: ListenerLike,
+        timeout: Optional[float],
+    ) -> Operation:
+        effective = self._default_timeout if timeout is None else timeout
+        if effective <= 0:
+            raise MorenaError("operation timeout must be positive")
+        now = self._clock.now()
+        return Operation(
+            kind=kind,
+            deadline=now + effective,
+            enqueued_at=now,
+            on_success=as_callback(on_success),
+            on_failure=as_callback(on_failure),
+        )
+
+    def _enqueue(self, operation: Operation) -> None:
+        with self._cond:
+            if self._stopped:
+                raise ReferenceStoppedError(
+                    f"tag reference {self.uid_hex} has been stopped"
+                )
+            self._queue.append(operation)
+            self._cond.notify_all()
+
+    def _event_loop(self) -> None:
+        while True:
+            head: Optional[Operation] = None
+            with self._cond:
+                if self._stopped:
+                    return
+                self._expire_locked()
+                if not self._queue:
+                    self._cond.wait()
+                    continue
+                if not self._tag_present():
+                    # Decoupled in time: keep the queue, wait for the field.
+                    self._cond.wait(_WAIT_SLICE_SECONDS)
+                    continue
+                head = self._queue[0]
+            outcome, error = self._attempt(head)
+            with self._cond:
+                if self._stopped:
+                    return
+                if outcome is OperationOutcome.SUCCEEDED:
+                    if self._queue and self._queue[0] is head:
+                        self._queue.popleft()
+                    self.successes += 1
+                elif outcome is OperationOutcome.FAILED:
+                    if self._queue and self._queue[0] is head:
+                        self._queue.popleft()
+                    self.permanent_failures += 1
+                else:
+                    # Transient failure: the operation stays at the head of
+                    # the queue; pause briefly before the next attempt.
+                    self._cond.wait(self._retry_interval)
+                    continue
+            self._settle(head, outcome, error)
+
+    def _tag_present(self) -> bool:
+        return self._port.environment.tag_in_field(self._tag.simulated, self._port)
+
+    def _expire_locked(self) -> None:
+        """Fail every queued operation whose deadline has passed."""
+        now = self._clock.now()
+        index = 0
+        while index < len(self._queue):
+            operation = self._queue[index]
+            if operation.deadline <= now:
+                del self._queue[index]
+                self.timeouts += 1
+                self._settle(operation, OperationOutcome.TIMED_OUT, None)
+            else:
+                index += 1
+
+    def _attempt(self, operation: Operation):
+        """Try the head operation once. Returns (outcome, error).
+
+        ``PENDING`` as outcome means: transient failure, keep it queued.
+        """
+        operation.attempts += 1
+        self.attempts += 1
+        try:
+            if operation.kind is OperationKind.READ:
+                message = self._port.read_ndef(self._tag.simulated)
+                if operation.raw:
+                    self._update_message_cache(message)
+                else:
+                    converted = self._read_converter.convert(message)
+                    self._update_cache(converted, message)
+            elif operation.kind is OperationKind.WRITE:
+                self._port.write_ndef(self._tag.simulated, operation.payload)
+                if operation.raw:
+                    self._update_message_cache(operation.payload)
+                else:
+                    self._update_cache(operation.original_object, operation.payload)
+            elif operation.kind is OperationKind.FORMAT:
+                self._port.format_tag(self._tag.simulated)
+            else:
+                self._port.make_read_only(self._tag.simulated)
+            return OperationOutcome.SUCCEEDED, None
+        except _PERMANENT_ERRORS as exc:
+            return OperationOutcome.FAILED, exc
+        except _TRANSIENT_ERRORS as exc:
+            operation.error = exc
+            return OperationOutcome.PENDING, exc
+        except RadioError as exc:
+            operation.error = exc
+            return OperationOutcome.PENDING, exc
+
+    def _update_cache(self, converted: Any, message: NdefMessage) -> None:
+        with self._cond:
+            self._cached_object = converted
+            self._cached_message = message
+            self._has_cache = True
+
+    def _update_message_cache(self, message: NdefMessage) -> None:
+        with self._cond:
+            self._cached_message = message
+            self._has_cache = True
+
+    def _settle(
+        self,
+        operation: Operation,
+        outcome: OperationOutcome,
+        error: Optional[BaseException],
+    ) -> None:
+        if operation.outcome is OperationOutcome.CANCELLED:
+            return  # cancelled mid-attempt: stay silent
+        operation.outcome = outcome
+        operation.error = error if error is not None else operation.error
+        if outcome is OperationOutcome.SUCCEEDED:
+            self._post_listener(operation.on_success, self)
+        else:
+            self._post_listener(operation.on_failure, self)
+
+    def _post_listener(self, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule a listener on the activity's main thread.
+
+        If the main looper has already quit (activity torn down) the
+        listener is dropped -- there is no UI left to inform.
+        """
+        try:
+            self._looper.post(lambda: callback(*args))
+        except Exception:  # noqa: BLE001 - looper quit during shutdown
+            pass

@@ -1,0 +1,168 @@
+"""Exception hierarchy shared by every MORENA subsystem.
+
+The hierarchy mirrors the layering of the reproduction:
+
+* ``ReproError`` is the common root, so callers embedding the library can
+  catch everything it raises with a single ``except`` clause.
+* ``NdefError`` and subclasses cover the NDEF binary codec.
+* ``TagError`` and subclasses cover the simulated tag hardware.
+* ``RadioError`` covers the radio-field simulation. ``TagLostError`` is the
+  Python analogue of Android's ``TagLostException``: it is raised by
+  blocking tag I/O when the tag leaves the field (or the link tears) in the
+  middle of an operation. In the paper's words, with NFC "failure is the
+  rule instead of the exception" -- this exception *is* that rule.
+* ``AndroidError`` covers the simulated platform (lifecycle misuse,
+  messaging on a dead looper, ...).
+* ``SerializationError`` covers the GSON-like serializer.
+* ``MorenaError`` covers the middleware proper (reference misuse, missing
+  converters, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of every exception raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# NDEF codec
+# ---------------------------------------------------------------------------
+
+
+class NdefError(ReproError):
+    """Root for NDEF encoding/decoding problems."""
+
+
+class NdefDecodeError(NdefError):
+    """Raised when a byte sequence is not a well-formed NDEF message."""
+
+
+class NdefEncodeError(NdefError):
+    """Raised when a record cannot be encoded (field too large, bad TNF...)."""
+
+
+class NdefValidationError(NdefError):
+    """Raised when a structurally decodable message violates NDEF rules."""
+
+
+# ---------------------------------------------------------------------------
+# Tag hardware
+# ---------------------------------------------------------------------------
+
+
+class TagError(ReproError):
+    """Root for simulated-tag hardware errors."""
+
+
+class TagCapacityError(TagError):
+    """The NDEF message does not fit in the tag's usable memory."""
+
+
+class TagReadOnlyError(TagError):
+    """A write was attempted on a locked (read-only) tag."""
+
+
+class TagFormatError(TagError):
+    """The tag's memory does not contain a valid NDEF TLV structure."""
+
+
+class TagWornOutError(TagError):
+    """The tag exceeded its write-endurance budget and no longer accepts writes."""
+
+
+# ---------------------------------------------------------------------------
+# Radio field
+# ---------------------------------------------------------------------------
+
+
+class RadioError(ReproError):
+    """Root for radio-field simulation errors."""
+
+
+class TagLostError(RadioError):
+    """The tag left the field (or the link tore) during an operation.
+
+    Mirrors ``android.nfc.TagLostException``. Blocking tag I/O in the
+    simulated Android API raises this; MORENA's asynchronous layer converts
+    it into silent retries.
+    """
+
+
+class NotInFieldError(RadioError):
+    """An operation was attempted on a tag that is not currently in range."""
+
+
+class BeamError(RadioError):
+    """A phone-to-phone Beam push could not be delivered."""
+
+
+# ---------------------------------------------------------------------------
+# Android platform
+# ---------------------------------------------------------------------------
+
+
+class AndroidError(ReproError):
+    """Root for simulated-platform errors."""
+
+
+class LooperError(AndroidError):
+    """Messaging misuse: posting to a quit looper, double-preparing, ..."""
+
+
+class LifecycleError(AndroidError):
+    """Activity lifecycle misuse (e.g. resuming a destroyed activity)."""
+
+
+class IntentError(AndroidError):
+    """Malformed or undeliverable intent."""
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+class SerializationError(ReproError):
+    """Root for GSON-like serializer errors."""
+
+
+class CircularReferenceError(SerializationError):
+    """The object graph to serialize contains a cycle (GSON does not support cycles)."""
+
+
+class DeserializationError(SerializationError):
+    """JSON text could not be mapped back onto the target class."""
+
+
+# ---------------------------------------------------------------------------
+# MORENA middleware
+# ---------------------------------------------------------------------------
+
+
+class MorenaError(ReproError):
+    """Root for middleware-layer errors."""
+
+
+class ConverterError(MorenaError):
+    """A data converter failed or was missing where one is required."""
+
+
+class ReferenceStoppedError(MorenaError):
+    """An operation was scheduled on a tag reference whose event loop stopped."""
+
+
+class ThingError(MorenaError):
+    """Thing-layer misuse (unregistered thing type, thing not bound to a tag...)."""
+
+
+class LeaseError(MorenaError):
+    """Root for leasing-protocol errors."""
+
+
+class LeaseDeniedError(LeaseError):
+    """The tag is currently leased by another device."""
+
+
+class LeaseExpiredError(LeaseError):
+    """An operation required a lease that has already expired."""

@@ -1,0 +1,23 @@
+"""A GSON-like JSON object mapper.
+
+The paper serializes *things* with Google's GSON: deep serialization of
+all non-``transient`` fields, JSON text on the tag, and **no cycles in the
+object graph**. This package reproduces that contract in Python:
+
+* ``to_json(obj)`` walks the object graph depth-first, emitting every
+  public attribute that is not declared transient;
+* ``from_json(text, cls)`` rebuilds an instance of ``cls`` without calling
+  ``__init__``, using class annotations to revive nested objects;
+* cycles raise :class:`~repro.errors.CircularReferenceError`;
+* custom representations are pluggable through type adapters
+  (:mod:`repro.gson.adapters`), e.g. ``bytes`` as base64.
+
+Transient fields are declared with a ``__transient__`` tuple on the class;
+attributes whose names start with ``_`` are always skipped (they are the
+Python analogue of non-serializable internals).
+"""
+
+from repro.gson.adapters import BytesAdapter, TypeAdapter
+from repro.gson.gson import Gson
+
+__all__ = ["Gson", "TypeAdapter", "BytesAdapter"]

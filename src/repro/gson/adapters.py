@@ -1,0 +1,38 @@
+"""Type adapters: custom JSON representations for specific classes."""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Generic, Type, TypeVar
+
+T = TypeVar("T")
+
+
+class TypeAdapter(Generic[T]):
+    """Convert instances of one class to/from JSON-able values.
+
+    Subclass and override both methods, then register the adapter on a
+    :class:`~repro.gson.gson.Gson` instance.
+    """
+
+    def __init__(self, target_class: Type[T]) -> None:
+        self.target_class = target_class
+
+    def to_jsonable(self, value: T) -> Any:
+        raise NotImplementedError
+
+    def from_jsonable(self, data: Any) -> T:
+        raise NotImplementedError
+
+
+class BytesAdapter(TypeAdapter[bytes]):
+    """``bytes`` as base64 text (GSON itself has no native byte-string type)."""
+
+    def __init__(self) -> None:
+        super().__init__(bytes)
+
+    def to_jsonable(self, value: bytes) -> str:
+        return base64.b64encode(value).decode("ascii")
+
+    def from_jsonable(self, data: Any) -> bytes:
+        return base64.b64decode(str(data))

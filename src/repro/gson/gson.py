@@ -1,0 +1,211 @@
+"""The object mapper proper.
+
+Serialization rules (matching the slice of GSON the paper relies on):
+
+* JSON primitives (``None``, ``bool``, ``int``, ``float``, ``str``) pass
+  through; ``tuple``/``list``/``set`` become JSON arrays; ``dict`` becomes
+  a JSON object (keys must be strings).
+* Any other object is serialized from its instance attributes, skipping
+  names that start with ``_`` and names listed in the class's
+  ``__transient__`` tuple (searched across the MRO).
+* Registered :class:`~repro.gson.adapters.TypeAdapter` instances win over
+  the generic object walk.
+* A cycle anywhere in the graph raises
+  :class:`~repro.errors.CircularReferenceError` -- GSON does not support
+  cyclic graphs and neither does the tag format.
+
+Deserialization revives ``cls`` without calling ``__init__`` (GSON uses
+unsafe allocation the same way) and uses class annotations to decide which
+nested dicts become which classes. Unannotated fields are restored as
+plain dicts/lists.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+from typing import Any, Dict, List, Optional, Type, TypeVar, get_args, get_origin
+
+from repro.errors import CircularReferenceError, DeserializationError, SerializationError
+from repro.gson.adapters import BytesAdapter, TypeAdapter
+
+T = TypeVar("T")
+
+_PRIMITIVES = (type(None), bool, int, float, str)
+
+
+def transient_fields(cls: type) -> frozenset:
+    """Union of ``__transient__`` declarations across the MRO."""
+    names: set = set()
+    for klass in cls.__mro__:
+        names.update(getattr(klass, "__transient__", ()))
+    return frozenset(names)
+
+
+def annotated_fields(cls: type) -> Dict[str, Any]:
+    """Merged class annotations across the MRO (subclass wins)."""
+    merged: Dict[str, Any] = {}
+    for klass in reversed(cls.__mro__):
+        merged.update(getattr(klass, "__annotations__", {}))
+    return merged
+
+
+class Gson:
+    """One serializer configuration: a set of type adapters."""
+
+    def __init__(self, adapters: Optional[List[TypeAdapter]] = None) -> None:
+        self._adapters: Dict[type, TypeAdapter] = {}
+        self.register_adapter(BytesAdapter())
+        for adapter in adapters or []:
+            self.register_adapter(adapter)
+
+    def register_adapter(self, adapter: TypeAdapter) -> None:
+        self._adapters[adapter.target_class] = adapter
+
+    # -- serialization --------------------------------------------------------
+
+    def to_json(self, obj: Any, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_jsonable(obj), indent=indent, sort_keys=True)
+
+    def to_jsonable(self, obj: Any) -> Any:
+        return self._encode(obj, on_path=set())
+
+    def _encode(self, obj: Any, on_path: set) -> Any:
+        if isinstance(obj, _PRIMITIVES):
+            return obj
+        adapter = self._adapters.get(type(obj))
+        if adapter is not None:
+            return adapter.to_jsonable(obj)
+        marker = id(obj)
+        if marker in on_path:
+            raise CircularReferenceError(
+                f"cycle through a {type(obj).__name__} instance; "
+                "GSON-style serialization does not support cyclic object graphs"
+            )
+        on_path.add(marker)
+        try:
+            if isinstance(obj, (list, tuple, set, frozenset)):
+                return [self._encode(item, on_path) for item in obj]
+            if isinstance(obj, dict):
+                out = {}
+                for key, value in obj.items():
+                    if not isinstance(key, str):
+                        raise SerializationError(
+                            f"dict keys must be strings, got {type(key).__name__}"
+                        )
+                    out[key] = self._encode(value, on_path)
+                return out
+            return self._encode_object(obj, on_path)
+        finally:
+            on_path.discard(marker)
+
+    def _encode_object(self, obj: Any, on_path: set) -> Dict[str, Any]:
+        attributes = getattr(obj, "__dict__", None)
+        if attributes is None:
+            raise SerializationError(
+                f"cannot serialize {type(obj).__name__}: no instance attributes "
+                "and no registered type adapter"
+            )
+        skip = transient_fields(type(obj))
+        out: Dict[str, Any] = {}
+        for name, value in attributes.items():
+            if name.startswith("_") or name in skip:
+                continue
+            out[name] = self._encode(value, on_path)
+        return out
+
+    # -- deserialization ----------------------------------------------------------
+
+    def from_json(self, text: str, cls: Type[T]) -> T:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DeserializationError(f"not valid JSON: {exc}") from exc
+        return self.from_jsonable(data, cls)
+
+    def from_jsonable(self, data: Any, cls: Type[T]) -> T:
+        return self._decode(data, cls)
+
+    def _decode(self, data: Any, target: Any) -> Any:
+        if target is None or target is Any or target is typing.Any:
+            return data
+        origin = get_origin(target)
+        if origin is not None:
+            return self._decode_generic(data, target, origin)
+        if isinstance(target, type):
+            adapter = self._adapters.get(target)
+            if adapter is not None:
+                return adapter.from_jsonable(data)
+            if target in _PRIMITIVES or target in (int, float, str, bool):
+                return self._decode_primitive(data, target)
+            if target in (list, dict, tuple, set):
+                return data
+            return self._decode_object(data, target)
+        # Unresolvable annotation (string forward ref, TypeVar, ...): pass through.
+        return data
+
+    def _decode_generic(self, data: Any, target: Any, origin: type) -> Any:
+        args = get_args(target)
+        if origin in (list, set, frozenset, tuple):
+            if not isinstance(data, list):
+                raise DeserializationError(
+                    f"expected a JSON array for {target}, got {type(data).__name__}"
+                )
+            item_type = args[0] if args else None
+            items = [self._decode(item, item_type) for item in data]
+            if origin is list:
+                return items
+            if origin is tuple:
+                return tuple(items)
+            return origin(items)
+        if origin is dict:
+            if not isinstance(data, dict):
+                raise DeserializationError(
+                    f"expected a JSON object for {target}, got {type(data).__name__}"
+                )
+            value_type = args[1] if len(args) == 2 else None
+            return {key: self._decode(value, value_type) for key, value in data.items()}
+        if origin is typing.Union:
+            # Optional[X] and friends: try each arm, None passes through.
+            if data is None:
+                return None
+            for arm in args:
+                if arm is type(None):
+                    continue
+                try:
+                    return self._decode(data, arm)
+                except DeserializationError:
+                    continue
+            raise DeserializationError(f"no Union arm of {target} matched")
+        return data
+
+    @staticmethod
+    def _decode_primitive(data: Any, target: type) -> Any:
+        if target is float and isinstance(data, int):
+            return float(data)
+        if target is type(None):
+            if data is not None:
+                raise DeserializationError(f"expected null, got {data!r}")
+            return None
+        if not isinstance(data, target) or (
+            target is not bool and isinstance(data, bool)
+        ):
+            raise DeserializationError(
+                f"expected {target.__name__}, got {type(data).__name__}"
+            )
+        return data
+
+    def _decode_object(self, data: Any, cls: type) -> Any:
+        if not isinstance(data, dict):
+            raise DeserializationError(
+                f"expected a JSON object for {cls.__name__}, got {type(data).__name__}"
+            )
+        try:
+            instance = object.__new__(cls)
+        except TypeError as exc:
+            raise DeserializationError(f"cannot instantiate {cls.__name__}: {exc}") from exc
+        annotations = annotated_fields(cls)
+        for name, value in data.items():
+            field_type = annotations.get(name)
+            setattr(instance, name, self._decode(value, field_type))
+        return instance

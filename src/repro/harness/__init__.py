@@ -1,0 +1,31 @@
+"""Experiment harness: scenario building, simulated users, reporting.
+
+Benchmarks and examples share this plumbing: :class:`Scenario` wires an
+environment + phones + tags in one call, :class:`SimulatedUser` models a
+human tapping a phone against tags (hold, withdraw, re-tap), and
+:mod:`repro.harness.report` prints the rows/series the paper's tables and
+figures report.
+"""
+
+from repro.harness.executor import ReplayStats, WorkloadExecutor
+from repro.harness.scenario import Scenario
+from repro.harness.stats import PortStats, collect_port_stats, radio_report
+from repro.harness.user import SimulatedUser, TapStats
+from repro.harness.workload import TapWorkload, make_config_tags, make_things_payloads
+from repro.harness.report import Series, Table
+
+__all__ = [
+    "Scenario",
+    "SimulatedUser",
+    "TapStats",
+    "TapWorkload",
+    "WorkloadExecutor",
+    "ReplayStats",
+    "make_config_tags",
+    "make_things_payloads",
+    "Table",
+    "Series",
+    "PortStats",
+    "collect_port_stats",
+    "radio_report",
+]

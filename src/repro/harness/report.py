@@ -1,0 +1,71 @@
+"""Plain-text tables and series for the experiment reports.
+
+Each benchmark prints the same rows/series the paper's figure reports,
+via these helpers, so ``pytest benchmarks/ -s`` shows the reproduction
+output next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+
+class Table:
+    """A fixed-header text table."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_format_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, ""]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+class Series:
+    """A named (x, y) series, the text rendition of one figure curve."""
+
+    def __init__(self, name: str, x_label: str = "x", y_label: str = "y") -> None:
+        self.name = name
+        self.x_label = x_label
+        self.y_label = y_label
+        self.points: List[Tuple[float, float]] = []
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    def render(self) -> str:
+        lines = [f"series: {self.name} ({self.x_label} -> {self.y_label})"]
+        for x, y in self.points:
+            lines.append(f"  {x:g}\t{y:g}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+def _format_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,76 @@
+"""Radio telemetry: summarize what the simulated hardware actually did.
+
+Benchmarks and long-running scenarios read the per-port counters (read /
+write / beam attempts) and, where the link model keeps statistics, the
+observed loss rate. ``radio_report`` renders everything as one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.harness.report import Table
+from repro.radio.environment import RfidEnvironment
+from repro.radio.link import LossyLink
+
+
+@dataclass(frozen=True)
+class PortStats:
+    """One port's attempt counters and observed link behaviour."""
+
+    name: str
+    read_attempts: int
+    write_attempts: int
+    beam_attempts: int
+    link_attempts: Optional[int]
+    link_failures: Optional[int]
+
+    @property
+    def observed_loss(self) -> Optional[float]:
+        if not self.link_attempts:
+            return None
+        return (self.link_failures or 0) / self.link_attempts
+
+
+def collect_port_stats(env: RfidEnvironment) -> List[PortStats]:
+    """Snapshot the counters of every port in the environment."""
+    stats: List[PortStats] = []
+    for name in env.port_names():
+        port = env.port(name)
+        link = port.link
+        link_attempts = getattr(link, "attempts", None) if isinstance(
+            link, LossyLink
+        ) else None
+        link_failures = getattr(link, "failures", None) if isinstance(
+            link, LossyLink
+        ) else None
+        stats.append(
+            PortStats(
+                name=name,
+                read_attempts=port.read_attempts,
+                write_attempts=port.write_attempts,
+                beam_attempts=port.beam_attempts,
+                link_attempts=link_attempts,
+                link_failures=link_failures,
+            )
+        )
+    return stats
+
+
+def radio_report(env: RfidEnvironment, title: str = "Radio telemetry") -> Table:
+    """Render one table row per port."""
+    table = Table(
+        title,
+        ["port", "reads", "writes", "beams", "observed loss"],
+    )
+    for stats in collect_port_stats(env):
+        loss = stats.observed_loss
+        table.add_row(
+            stats.name,
+            stats.read_attempts,
+            stats.write_attempts,
+            stats.beam_attempts,
+            "n/a" if loss is None else f"{loss:.2f}",
+        )
+    return table

@@ -1,0 +1,110 @@
+"""A simulated human tapping a phone against tags.
+
+The behavioural benchmarks compare *user-visible* effort: how many taps
+until the application's goal is reached. A tap is "bring the tag into the
+field, hold it there for a moment, withdraw it" -- during the hold, the
+middleware (or the user's worker thread) gets its chance at the radio.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.android.device import AndroidDevice
+from repro.radio.environment import RfidEnvironment
+from repro.tags.tag import SimulatedTag
+
+
+@dataclass
+class TapStats:
+    """Outcome of a tap-until-done session."""
+
+    taps: int = 0
+    succeeded: bool = False
+    elapsed_seconds: float = 0.0
+    tap_log: List[float] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        state = "ok" if self.succeeded else "GAVE UP"
+        return f"{self.taps} taps, {self.elapsed_seconds * 1000:.0f} ms, {state}"
+
+
+class SimulatedUser:
+    """Drives tag taps against one phone with human-ish pacing."""
+
+    def __init__(
+        self,
+        env: RfidEnvironment,
+        phone: AndroidDevice,
+        hold_seconds: float = 0.08,
+        pause_seconds: float = 0.01,
+    ) -> None:
+        self._env = env
+        self._phone = phone
+        self.hold_seconds = hold_seconds
+        self.pause_seconds = pause_seconds
+
+    def tap(self, tag: SimulatedTag, hold_seconds: float = None) -> None:
+        """One tap: in field, hold, withdraw."""
+        hold = self.hold_seconds if hold_seconds is None else hold_seconds
+        self._env.move_tag_into_field(tag, self._phone.port)
+        time.sleep(hold)
+        self._env.remove_tag_from_field(tag, self._phone.port)
+
+    def tap_until(
+        self,
+        tag: SimulatedTag,
+        done: Callable[[], bool],
+        max_taps: int = 50,
+        settle_seconds: float = 0.02,
+    ) -> TapStats:
+        """Tap repeatedly until ``done()`` or ``max_taps`` is reached.
+
+        After each tap the phone's main looper is drained and ``done`` is
+        evaluated, so listener effects are visible.
+        """
+        stats = TapStats()
+        start = time.monotonic()
+        for _ in range(max_taps):
+            tap_start = time.monotonic()
+            self.tap(tag)
+            stats.taps += 1
+            self._phone.sync()
+            time.sleep(settle_seconds)
+            self._phone.sync()
+            stats.tap_log.append(time.monotonic() - tap_start)
+            if done():
+                stats.succeeded = True
+                break
+            time.sleep(self.pause_seconds)
+        stats.elapsed_seconds = time.monotonic() - start
+        return stats
+
+    def hold_until(
+        self,
+        tag: SimulatedTag,
+        done: Callable[[], bool],
+        max_seconds: float = 2.0,
+        poll_seconds: float = 0.005,
+    ) -> TapStats:
+        """One long tap: hold the tag in the field until ``done()``.
+
+        Models the patient user the paper's MORENA version allows: queued
+        operations drain while the tag stays in range.
+        """
+        stats = TapStats(taps=1)
+        start = time.monotonic()
+        self._env.move_tag_into_field(tag, self._phone.port)
+        try:
+            while time.monotonic() - start < max_seconds:
+                self._phone.sync()
+                if done():
+                    stats.succeeded = True
+                    break
+                time.sleep(poll_seconds)
+        finally:
+            self._env.remove_tag_from_field(tag, self._phone.port)
+        stats.elapsed_seconds = time.monotonic() - start
+        return stats

@@ -1,0 +1,87 @@
+"""Workload generators: tag populations and tap sequences."""
+
+from __future__ import annotations
+
+import json
+import random
+import string
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.tags.factory import make_tag
+from repro.tags.tag import SimulatedTag
+
+WIFI_MIME_TYPE = "application/vnd.morena.wificonfig"
+
+
+def make_config_tags(
+    count: int,
+    seed: int = 0,
+    tag_type: str = "NTAG216",
+    mime_type: str = WIFI_MIME_TYPE,
+) -> List[SimulatedTag]:
+    """Tags pre-loaded with distinct WiFi credentials (seeded)."""
+    rng = random.Random(seed)
+    tags: List[SimulatedTag] = []
+    for index in range(count):
+        ssid = f"net-{index:04d}"
+        key = "".join(rng.choices(string.ascii_letters + string.digits, k=12))
+        payload = json.dumps({"ssid": ssid, "key": key}, sort_keys=True).encode()
+        message = NdefMessage([mime_record(mime_type, payload)])
+        tags.append(make_tag(tag_type, content=message))
+    return tags
+
+
+def make_things_payloads(count: int, size_bytes: int, seed: int = 0) -> List[bytes]:
+    """Pseudo-random payload blobs of a fixed size (seeded)."""
+    rng = random.Random(seed)
+    return [bytes(rng.getrandbits(8) for _ in range(size_bytes)) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class TapEvent:
+    """One scheduled tap in a workload: which tag, when, for how long."""
+
+    tag_index: int
+    at_seconds: float
+    hold_seconds: float
+
+
+class TapWorkload:
+    """A seeded sequence of taps over a tag population.
+
+    ``inter_tap`` and ``hold`` are (min, max) uniform ranges; the same
+    seed always produces the same schedule, so benchmark runs comparing
+    two middleware versions see identical user behaviour.
+    """
+
+    def __init__(
+        self,
+        tag_count: int,
+        tap_count: int,
+        seed: int = 0,
+        inter_tap: Sequence[float] = (0.0, 0.05),
+        hold: Sequence[float] = (0.03, 0.1),
+    ) -> None:
+        if tag_count <= 0:
+            raise ValueError("need at least one tag")
+        rng = random.Random(seed)
+        self.events: List[TapEvent] = []
+        now = 0.0
+        for _ in range(tap_count):
+            now += rng.uniform(*inter_tap)
+            self.events.append(
+                TapEvent(
+                    tag_index=rng.randrange(tag_count),
+                    at_seconds=now,
+                    hold_seconds=rng.uniform(*hold),
+                )
+            )
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,33 @@
+"""Leasing: the paper's future-work feature, implemented.
+
+Paper section 6 sketches a leasing mechanism with two goals: protecting
+cached things from data races with other phones, and enabling automatic
+garbage collection of tag references. The envisioned protocol -- "write a
+locking timestamp and a device ID on the RFID tag's memory; only if this
+succeeds, the device is granted exclusive access; beyond this timestamp
+the lease expires" -- is implemented here on top of the tag-reference
+layer:
+
+* :class:`~repro.leasing.lease.Lease` -- the (device id, acquired-at,
+  expires-at) record, stored on the tag as an extra MIME record ahead of
+  the application data.
+* :class:`~repro.leasing.manager.LeaseManager` -- acquire / renew /
+  release / guarded writes, built by *nesting asynchronous listeners*
+  (read-then-write), the composition style section 3.2 prescribes.
+* :class:`~repro.leasing.table.LeaseTable` -- tracks the activity's held
+  leases and releases expired tag references from the factory: the
+  automatic reference GC of the paper's future work.
+
+The paper's clock assumption ("clock drift among Android devices is small
+enough") is surfaced as an explicit, benchmarkable ``drift_bound``: a
+foreign lease only counts as expired ``drift_bound`` seconds *after* its
+expiry, and our own lease counts as expired ``drift_bound`` seconds
+*before* -- conservative on both sides.
+"""
+
+from repro.leasing.lease import LEASE_MIME_TYPE, Lease
+from repro.leasing.keeper import LeaseKeeper
+from repro.leasing.manager import LeaseManager
+from repro.leasing.table import LeaseTable
+
+__all__ = ["Lease", "LeaseManager", "LeaseKeeper", "LeaseTable", "LEASE_MIME_TYPE"]

@@ -1,0 +1,109 @@
+"""Automatic lease renewal.
+
+A device doing a long interaction with a tag (the paper's example: a
+facility updating credentials) should not lose exclusivity mid-work just
+because the lease duration was conservative. The :class:`LeaseKeeper`
+schedules renewals on the device's main looper at a fraction of the lease
+duration, stopping automatically when a renewal is denied (someone else
+took over after an expiry) or when asked.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.leasing.manager import LeaseManager
+
+# Renew when this fraction of the lease duration has elapsed.
+RENEW_FRACTION = 0.5
+
+
+class LeaseKeeper:
+    """Keeps one :class:`LeaseManager`'s lease alive until stopped."""
+
+    def __init__(
+        self,
+        manager: LeaseManager,
+        duration: float,
+        on_lost: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError("lease duration must be positive")
+        self._manager = manager
+        self._duration = duration
+        self._on_lost = on_lost
+        self._looper = manager.reference.activity.device.main_looper
+        self._lock = threading.Lock()
+        self._running = False
+        self.renewal_count = 0
+
+    @property
+    def is_running(self) -> bool:
+        with self._lock:
+            return self._running
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(
+        self,
+        on_acquired: Optional[Callable] = None,
+        on_denied: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Acquire the lease and begin renewing it."""
+        with self._lock:
+            if self._running:
+                return
+            self._running = True
+
+        def acquired(lease) -> None:
+            if on_acquired is not None:
+                on_acquired(lease)
+            self._schedule_renewal()
+
+        def denied() -> None:
+            with self._lock:
+                self._running = False
+            if on_denied is not None:
+                on_denied()
+
+        self._manager.acquire(
+            self._duration, on_acquired=acquired, on_denied=denied
+        )
+
+    def stop(self, release: bool = True) -> None:
+        """Stop renewing; optionally release the lease on the tag."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+        if release:
+            self._manager.release()
+
+    # -- renewal loop -------------------------------------------------------------
+
+    def _schedule_renewal(self) -> None:
+        if not self.is_running:
+            return
+        delay = self._duration * RENEW_FRACTION
+        try:
+            self._looper.post_delayed(self._renew_now, delay)
+        except Exception:  # noqa: BLE001 - looper quit during shutdown
+            with self._lock:
+                self._running = False
+
+    def _renew_now(self) -> None:
+        if not self.is_running:
+            return
+
+        def renewed(_lease) -> None:
+            self.renewal_count += 1
+            self._schedule_renewal()
+
+        def lost() -> None:
+            with self._lock:
+                self._running = False
+            if self._on_lost is not None:
+                self._on_lost()
+
+        self._manager.renew(self._duration, on_renewed=renewed, on_failed=lost)

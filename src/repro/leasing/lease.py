@@ -1,0 +1,104 @@
+"""The lease record and its on-tag representation."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.clock import Clock
+from repro.errors import LeaseError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record, record_mime_type
+from repro.ndef.record import NdefRecord
+
+LEASE_MIME_TYPE = "application/vnd.morena.lease"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """Exclusive access to one tag by one device until ``expires_at``.
+
+    Timestamps are seconds on the shared simulation clock (on real phones
+    they would be wall-clock epochs; the drift-bound logic is identical).
+    """
+
+    device_id: str
+    acquired_at: float
+    expires_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.expires_at - self.acquired_at
+
+    def is_expired(self, clock: Clock, drift_bound: float, ours: bool) -> bool:
+        """Expiry under the clock-drift assumption.
+
+        A *foreign* lease is honoured ``drift_bound`` seconds past its
+        expiry (their clock may run slow relative to ours); our *own*
+        lease is abandoned ``drift_bound`` seconds early (our clock may
+        run slow relative to theirs).
+        """
+        if drift_bound < 0:
+            raise LeaseError("drift_bound must be >= 0")
+        now = clock.now()
+        if ours:
+            return now >= self.expires_at - drift_bound
+        return now >= self.expires_at + drift_bound
+
+    def held_by(self, device_id: str) -> bool:
+        return self.device_id == device_id
+
+    # -- on-tag codec ----------------------------------------------------------
+
+    def to_record(self) -> NdefRecord:
+        payload = json.dumps(
+            {
+                "device_id": self.device_id,
+                "acquired_at": self.acquired_at,
+                "expires_at": self.expires_at,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        return mime_record(LEASE_MIME_TYPE, payload)
+
+    @staticmethod
+    def from_record(record: NdefRecord) -> "Lease":
+        if record_mime_type(record) != LEASE_MIME_TYPE:
+            raise LeaseError("record is not a lease record")
+        try:
+            data = json.loads(record.payload.decode("utf-8"))
+            return Lease(
+                device_id=str(data["device_id"]),
+                acquired_at=float(data["acquired_at"]),
+                expires_at=float(data["expires_at"]),
+            )
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            raise LeaseError(f"malformed lease record: {exc}") from exc
+
+
+def split_lease(message: NdefMessage) -> Tuple[Optional[Lease], List[NdefRecord]]:
+    """Separate the lease record (if any) from the application records."""
+    lease: Optional[Lease] = None
+    rest: List[NdefRecord] = []
+    for record in message:
+        if lease is None and record_mime_type(record) == LEASE_MIME_TYPE:
+            lease = Lease.from_record(record)
+        else:
+            rest.append(record)
+    return lease, rest
+
+
+def join_lease(lease: Optional[Lease], records: List[NdefRecord]) -> NdefMessage:
+    """Rebuild the on-tag message: the data records, then the lease.
+
+    The lease record goes *last* so that the first record -- the one
+    Android's intent dispatch derives the tag's MIME type from -- remains
+    the application's, and a leased tag still reaches its application.
+    """
+    combined: List[NdefRecord] = list(records)
+    if lease is not None:
+        combined.append(lease.to_record())
+    if not combined:
+        return NdefMessage.empty()
+    return NdefMessage(combined)

@@ -1,0 +1,242 @@
+"""Acquire / renew / release / guarded writes on one tag.
+
+The manager works at the NDEF-message level through the tag reference's
+raw operations (``read_raw`` / ``write_raw``), so it composes with *any*
+reference -- string-converter references and thing references alike: the
+application data records ride along untouched while the trailing lease
+record changes hands.
+
+Every protocol step is a *nested* pair of asynchronous operations -- read
+the current lease, then conditionally write -- composed with listeners,
+which is exactly how the paper says multi-step tag interactions must be
+synchronized (section 3.2: "Synchronization of operations must happen by
+nesting these listeners").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Optional
+
+from repro.core.listeners import ListenerLike, as_callback
+from repro.core.reference import TagReference
+from repro.errors import LeaseError
+from repro.leasing.lease import Lease, join_lease, split_lease
+from repro.ndef.record import NdefRecord
+
+
+class LeaseManager:
+    """Drives the leasing protocol for one device on one tag reference."""
+
+    def __init__(
+        self,
+        reference: TagReference,
+        device_id: str,
+        drift_bound: float = 0.05,
+    ) -> None:
+        if drift_bound < 0:
+            raise LeaseError("drift_bound must be >= 0")
+        self._reference = reference
+        self.device_id = device_id
+        self.drift_bound = drift_bound
+        self._clock = reference.activity.device.environment.clock
+        self._lock = threading.Lock()
+        self._held: Optional[Lease] = None
+
+        # Statistics for tests and benchmarks.
+        self.acquisitions = 0
+        self.denials = 0
+        self.renewals = 0
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def reference(self) -> TagReference:
+        return self._reference
+
+    @property
+    def held_lease(self) -> Optional[Lease]:
+        with self._lock:
+            return self._held
+
+    @property
+    def holds_valid_lease(self) -> bool:
+        with self._lock:
+            held = self._held
+        return held is not None and not held.is_expired(
+            self._clock, self.drift_bound, ours=True
+        )
+
+    # -- protocol steps ------------------------------------------------------------
+
+    def acquire(
+        self,
+        duration: float,
+        on_acquired: ListenerLike = None,
+        on_denied: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Try to obtain exclusive access for ``duration`` seconds.
+
+        Reads the tag; if it carries no lease, an expired lease, or our
+        own lease, writes a fresh lease record (keeping the application
+        data records). ``on_acquired(lease)`` or ``on_denied()`` runs on
+        the main thread; radio failures surface as ``on_denied`` after the
+        operation timeout, like any MORENA failure listener.
+        """
+        if duration <= 0:
+            raise LeaseError("lease duration must be positive")
+        acquired = as_callback(on_acquired)
+        denied = as_callback(on_denied)
+
+        def after_read(ref: TagReference) -> None:
+            current, records = self._split_cached(ref)
+            if (
+                current is not None
+                and not current.held_by(self.device_id)
+                and not current.is_expired(self._clock, self.drift_bound, ours=False)
+            ):
+                self.denials += 1
+                denied()
+                return
+            lease = Lease(
+                device_id=self.device_id,
+                acquired_at=self._clock.now(),
+                expires_at=self._clock.now() + duration,
+            )
+
+            def after_write(_ref: TagReference) -> None:
+                with self._lock:
+                    self._held = lease
+                self.acquisitions += 1
+                acquired(lease)
+
+            ref.write_raw(
+                join_lease(lease, records),
+                on_written=after_write,
+                on_failed=lambda _ref: denied(),
+                timeout=timeout,
+            )
+
+        self._reference.read_raw(
+            on_read=after_read,
+            on_failed=lambda _ref: denied(),
+            timeout=timeout,
+        )
+
+    def renew(
+        self,
+        duration: float,
+        on_renewed: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Extend a lease we currently hold (checked locally first)."""
+        if not self.holds_valid_lease:
+            as_callback(on_failed)()
+            return
+
+        def count_renewal(lease: Lease) -> None:
+            self.renewals += 1
+            self.acquisitions -= 1  # a renewal is not a fresh acquisition
+            as_callback(on_renewed)(lease)
+
+        self.acquire(
+            duration,
+            on_acquired=count_renewal,
+            on_denied=on_failed,
+            timeout=timeout,
+        )
+
+    def release(
+        self,
+        on_released: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Remove our lease record from the tag (application data stays)."""
+        released = as_callback(on_released)
+        failed = as_callback(on_failed)
+
+        def after_read(ref: TagReference) -> None:
+            current, records = self._split_cached(ref)
+            if current is not None and not current.held_by(self.device_id):
+                # Not ours (anymore): drop local state, nothing to write.
+                self._forget()
+                released()
+                return
+
+            def after_write(_ref: TagReference) -> None:
+                self._forget()
+                released()
+
+            ref.write_raw(
+                join_lease(None, records),
+                on_written=after_write,
+                on_failed=lambda _ref: failed(),
+                timeout=timeout,
+            )
+
+        self._reference.read_raw(
+            on_read=after_read,
+            on_failed=lambda _ref: failed(),
+            timeout=timeout,
+        )
+
+    def write_guarded(
+        self,
+        records: List[NdefRecord],
+        on_written: ListenerLike = None,
+        on_denied: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Write application data only while holding a valid lease.
+
+        The lease record is preserved after the data. Without a
+        valid lease the write is denied locally -- this is the data-race
+        protection for cached things the paper's future work asks for.
+        """
+        with self._lock:
+            held = self._held
+        if held is None or held.is_expired(self._clock, self.drift_bound, ours=True):
+            self._forget_if_expired()
+            as_callback(on_denied)()
+            return
+        written = as_callback(on_written)
+        self._reference.write_raw(
+            join_lease(held, list(records)),
+            on_written=lambda _ref: written(),
+            on_failed=lambda _ref: as_callback(on_denied)(),
+            timeout=timeout,
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _split_cached(self, ref: TagReference):
+        message = ref.cached_message
+        if message is None:
+            return None, []
+        if message.is_empty:
+            return None, []
+        try:
+            return split_lease(message)
+        except LeaseError:
+            # A corrupt lease record does not grant anyone exclusivity.
+            return None, [r for r in message]
+
+    def _forget(self) -> None:
+        with self._lock:
+            self._held = None
+
+    def _forget_if_expired(self) -> None:
+        with self._lock:
+            if self._held is not None and self._held.is_expired(
+                self._clock, self.drift_bound, ours=True
+            ):
+                self._held = None
+
+    def __repr__(self) -> str:
+        return (
+            f"LeaseManager(device={self.device_id!r}, tag={self._reference.uid_hex}, "
+            f"holding={self.holds_valid_lease})"
+        )

@@ -1,0 +1,64 @@
+"""Lease-driven garbage collection of tag references.
+
+The second goal of the paper's leasing future work: "allow cached objects
+to be garbage collected automatically ... beyond this timestamp the lease
+expires ... and the reference to the tag can be safely garbage
+collected." A :class:`LeaseTable` tracks the lease managers an activity
+created; :meth:`collect_expired` stops and forgets every reference whose
+lease has lapsed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from repro.core.factory import TagReferenceFactory
+from repro.leasing.manager import LeaseManager
+
+
+class LeaseTable:
+    """All lease managers of one activity, keyed by tag UID."""
+
+    def __init__(self, factory: TagReferenceFactory) -> None:
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._managers: Dict[bytes, LeaseManager] = {}
+
+    def track(self, manager: LeaseManager) -> LeaseManager:
+        with self._lock:
+            self._managers[manager.reference.uid] = manager
+        return manager
+
+    def manager_for(self, uid: bytes) -> LeaseManager:
+        with self._lock:
+            return self._managers[uid]
+
+    def tracked_uids(self) -> List[bytes]:
+        with self._lock:
+            return list(self._managers)
+
+    def collect_expired(self) -> List[bytes]:
+        """Release every reference whose lease is no longer valid.
+
+        Returns the UIDs that were collected. References with a live
+        lease, and managers that never acquired one, are left alone only
+        if the lease is still valid -- a manager that never acquired (or
+        whose lease lapsed) is fair game, since nothing protects its
+        cached data anymore.
+        """
+        with self._lock:
+            expired = [
+                uid
+                for uid, manager in self._managers.items()
+                if not manager.holds_valid_lease
+            ]
+            for uid in expired:
+                del self._managers[uid]
+        for uid in expired:
+            self._factory.release(uid)
+        return expired
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._managers)

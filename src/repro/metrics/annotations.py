@@ -1,0 +1,82 @@
+"""Region annotation grammar for RFID-subproblem LoC accounting.
+
+The five categories are exactly the subproblems of the paper's Figure 2:
+
+1. ``event-handling``  -- being notified of detected tags / received beams
+2. ``data-conversion`` -- converting application data to/from NDEF
+3. ``failure-handling``-- detecting, reporting and retrying failed I/O
+4. ``read-write``      -- the read/write/beam operations themselves
+5. ``concurrency``     -- threads and hand-offs that keep the UI responsive
+
+Annotated source brackets code with comment markers::
+
+    # @rfid: read-write
+    ndef.write_ndef_message(message)
+    # @rfid: end
+
+Regions must not nest, every opener needs a closer, and markers
+themselves are comments (never counted). Docstrings are not allowed
+inside regions -- the counter counts any non-blank, non-comment line.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class AnnotationError(ReproError):
+    """Malformed region markers in an annotated source file."""
+
+
+class RfidCategory(enum.Enum):
+    EVENT_HANDLING = "event-handling"
+    DATA_CONVERSION = "data-conversion"
+    FAILURE_HANDLING = "failure-handling"
+    READ_WRITE = "read-write"
+    CONCURRENCY = "concurrency"
+
+
+CATEGORIES: Tuple[RfidCategory, ...] = tuple(RfidCategory)
+
+_MARKER_RE = re.compile(r"#\s*@rfid:\s*(?P<label>[a-z-]+)\s*$")
+
+
+def parse_regions(source: str) -> List[Tuple[RfidCategory, int, int]]:
+    """Extract ``(category, start_line, end_line)`` regions (1-based, exclusive
+    of the marker lines). Raises :class:`AnnotationError` on bad nesting."""
+    regions: List[Tuple[RfidCategory, int, int]] = []
+    open_category: Optional[RfidCategory] = None
+    open_line = 0
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _MARKER_RE.search(line)
+        if not match:
+            continue
+        label = match.group("label")
+        if label == "end":
+            if open_category is None:
+                raise AnnotationError(f"line {number}: '@rfid: end' without an open region")
+            regions.append((open_category, open_line + 1, number - 1))
+            open_category = None
+        else:
+            if open_category is not None:
+                raise AnnotationError(
+                    f"line {number}: region '{label}' opened inside "
+                    f"'{open_category.value}' (regions must not nest)"
+                )
+            try:
+                open_category = RfidCategory(label)
+            except ValueError:
+                known = ", ".join(c.value for c in CATEGORIES)
+                raise AnnotationError(
+                    f"line {number}: unknown category '{label}' (known: {known})"
+                ) from None
+            open_line = number
+    if open_category is not None:
+        raise AnnotationError(
+            f"region '{open_category.value}' opened at line {open_line} never closed"
+        )
+    return regions

@@ -1,0 +1,139 @@
+"""Counting and comparing annotated RFID lines of code (Figure 2)."""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Dict, Iterable, List
+
+from repro.metrics.annotations import CATEGORIES, RfidCategory, parse_regions
+
+
+@dataclass
+class LocCount:
+    """RFID LoC of one implementation, split by subproblem."""
+
+    name: str
+    by_category: Dict[RfidCategory, int] = field(
+        default_factory=lambda: {category: 0 for category in CATEGORIES}
+    )
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_category.values())
+
+    def percentage(self, category: RfidCategory) -> float:
+        """Share of ``category`` in the total, in percent (Figure 2 right)."""
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.by_category[category] / self.total
+
+    def percentages(self) -> Dict[RfidCategory, float]:
+        return {category: self.percentage(category) for category in CATEGORIES}
+
+    def merged_with(self, other: "LocCount", name: str) -> "LocCount":
+        merged = LocCount(name=name)
+        for category in CATEGORIES:
+            merged.by_category[category] = (
+                self.by_category[category] + other.by_category[category]
+            )
+        return merged
+
+
+def _is_code_line(line: str) -> bool:
+    stripped = line.strip()
+    return bool(stripped) and not stripped.startswith("#")
+
+
+def count_source(source: str, name: str = "source") -> LocCount:
+    """Count annotated RFID lines in one source text."""
+    count = LocCount(name=name)
+    lines = source.splitlines()
+    for category, start, end in parse_regions(source):
+        for number in range(start, end + 1):
+            if _is_code_line(lines[number - 1]):
+                count.by_category[category] += 1
+    return count
+
+
+def count_module(module: ModuleType, name: str = "") -> LocCount:
+    """Count annotated RFID lines in an imported module's source."""
+    source = inspect.getsource(module)
+    return count_source(source, name=name or module.__name__)
+
+
+def count_modules(modules: Iterable[ModuleType], name: str) -> LocCount:
+    total = LocCount(name=name)
+    for module in modules:
+        partial = count_module(module)
+        total = total.merged_with(partial, name)
+    return total
+
+
+@dataclass
+class LocComparison:
+    """Handcrafted vs MORENA, the two panels of Figure 2."""
+
+    handcrafted: LocCount
+    morena: LocCount
+
+    @property
+    def reduction_factor(self) -> float:
+        """How many times less RFID code the MORENA version needs."""
+        if self.morena.total == 0:
+            return float("inf")
+        return self.handcrafted.total / self.morena.total
+
+    def rows(self) -> List[tuple]:
+        """(category, handcrafted LoC, MORENA LoC) rows for the left panel."""
+        return [
+            (
+                category.value,
+                self.handcrafted.by_category[category],
+                self.morena.by_category[category],
+            )
+            for category in CATEGORIES
+        ]
+
+    def percentage_rows(self) -> List[tuple]:
+        """(category, handcrafted %, MORENA %) rows for the right panel."""
+        return [
+            (
+                category.value,
+                self.handcrafted.percentage(category),
+                self.morena.percentage(category),
+            )
+            for category in CATEGORIES
+        ]
+
+    def format_table(self) -> str:
+        """A printable rendition of both Figure 2 panels."""
+        width = max(len(category.value) for category in CATEGORIES)
+        lines = [
+            "Figure 2 (left): RFID lines of code per subproblem",
+            f"{'subproblem':<{width}}  handcrafted  MORENA",
+        ]
+        for label, hand, morena in self.rows():
+            lines.append(f"{label:<{width}}  {hand:>11}  {morena:>6}")
+        lines.append(
+            f"{'TOTAL':<{width}}  {self.handcrafted.total:>11}  {self.morena.total:>6}"
+            f"   (reduction x{self.reduction_factor:.1f})"
+        )
+        lines.append("")
+        lines.append("Figure 2 (right): share of each subproblem (%)")
+        lines.append(f"{'subproblem':<{width}}  handcrafted  MORENA")
+        for label, hand, morena in self.percentage_rows():
+            lines.append(f"{label:<{width}}  {hand:>10.1f}%  {morena:>5.1f}%")
+        return "\n".join(lines)
+
+
+def compare_implementations(
+    handcrafted_modules: Iterable[ModuleType],
+    morena_modules: Iterable[ModuleType],
+) -> LocComparison:
+    """Count both implementations and pair them up for Figure 2."""
+    return LocComparison(
+        handcrafted=count_modules(handcrafted_modules, "handcrafted"),
+        morena=count_modules(morena_modules, "morena"),
+    )

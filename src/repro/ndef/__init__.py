@@ -1,0 +1,78 @@
+"""NFC Data Exchange Format (NDEF) codec.
+
+A from-scratch implementation of the NFC Forum NDEF specification: records
+with their TNF/flag header byte, short and normal payload-length forms,
+optional ID fields, record chunking, and the well-known record type
+definitions (RTD Text, RTD URI, Smart Poster) that the MORENA layers and
+demo applications use.
+
+Public entry points::
+
+    from repro.ndef import NdefMessage, NdefRecord, Tnf
+    from repro.ndef import TextRecord, UriRecord, SmartPosterRecord, mime_record
+
+    msg = NdefMessage([mime_record("application/x-wifi", b"...")])
+    raw = msg.to_bytes()
+    again = NdefMessage.from_bytes(raw)
+"""
+
+from repro.ndef.record import FLAG_CF, FLAG_IL, FLAG_MB, FLAG_ME, FLAG_SR, NdefRecord, Tnf
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record, text_plain_record
+from repro.ndef.rtd import (
+    RTD_SMART_POSTER,
+    RTD_TEXT,
+    RTD_URI,
+    SmartPosterRecord,
+    TextRecord,
+    UriRecord,
+)
+from repro.ndef.external import (
+    AAR_TYPE,
+    ExternalRecord,
+    aar_package,
+    aar_record,
+    with_aar,
+)
+from repro.ndef.handover import (
+    AlternativeCarrier,
+    build_handover_request,
+    build_handover_select,
+    parse_handover_request,
+    parse_handover_select,
+)
+from repro.ndef.validation import validate_message, validate_record
+from repro.ndef.wsc import WSC_MIME_TYPE, WifiCredential
+
+__all__ = [
+    "NdefRecord",
+    "NdefMessage",
+    "Tnf",
+    "FLAG_MB",
+    "FLAG_ME",
+    "FLAG_CF",
+    "FLAG_SR",
+    "FLAG_IL",
+    "TextRecord",
+    "UriRecord",
+    "SmartPosterRecord",
+    "RTD_TEXT",
+    "RTD_URI",
+    "RTD_SMART_POSTER",
+    "mime_record",
+    "text_plain_record",
+    "ExternalRecord",
+    "AAR_TYPE",
+    "aar_record",
+    "aar_package",
+    "with_aar",
+    "validate_message",
+    "validate_record",
+    "WifiCredential",
+    "WSC_MIME_TYPE",
+    "AlternativeCarrier",
+    "build_handover_select",
+    "parse_handover_select",
+    "build_handover_request",
+    "parse_handover_request",
+]

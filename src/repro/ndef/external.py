@@ -1,0 +1,90 @@
+"""NFC Forum external type records and Android Application Records.
+
+External types (TNF 0x04) carry a domain-qualified type name of the form
+``example.com:mytype`` (RTD specification: lowercase domain + ':' + local
+name). Android builds its **Android Application Record** (AAR) on top of
+them: an ``android.com:pkg`` record whose payload is a package name,
+appended to a message so that scanning the tag launches (or installs)
+that application. MORENA applications can append an AAR so their tags
+open the right app on stock phones.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import NdefDecodeError, NdefEncodeError
+from repro.ndef.message import NdefMessage
+from repro.ndef.record import NdefRecord, Tnf
+
+# domain ':' local-name, both lowercase, per the NFC Forum RTD spec.
+_EXTERNAL_TYPE_RE = re.compile(
+    r"^[a-z0-9.\-]+:[a-z0-9.\-_$*+()!]+$"
+)
+
+AAR_TYPE = "android.com:pkg"
+
+_PACKAGE_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*(\.[a-zA-Z_][a-zA-Z0-9_]*)+$")
+
+
+@dataclass(frozen=True)
+class ExternalRecord:
+    """A decoded external-type record."""
+
+    type_name: str
+    payload: bytes = b""
+
+    def to_record(self) -> NdefRecord:
+        normalized = self.type_name.strip().lower()
+        if not _EXTERNAL_TYPE_RE.match(normalized):
+            raise NdefEncodeError(
+                f"invalid external type {self.type_name!r}; expected "
+                "'domain:name', e.g. 'example.com:mytype'"
+            )
+        return NdefRecord(
+            Tnf.EXTERNAL, normalized.encode("ascii"), b"", self.payload
+        )
+
+    @staticmethod
+    def from_record(record: NdefRecord) -> "ExternalRecord":
+        if record.tnf != Tnf.EXTERNAL:
+            raise NdefDecodeError("record is not an external-type record")
+        try:
+            type_name = record.type.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise NdefDecodeError("external type name is not ASCII") from exc
+        return ExternalRecord(type_name=type_name, payload=record.payload)
+
+
+def aar_record(package_name: str) -> NdefRecord:
+    """Build an Android Application Record for ``package_name``."""
+    if not _PACKAGE_RE.match(package_name):
+        raise NdefEncodeError(f"invalid Android package name: {package_name!r}")
+    return ExternalRecord(AAR_TYPE, package_name.encode("utf-8")).to_record()
+
+
+def aar_package(message: NdefMessage) -> str:
+    """Return the package named by the message's AAR, or ``""``.
+
+    Android uses the *first* AAR in the message; so do we.
+    """
+    for record in message:
+        if record.tnf == Tnf.EXTERNAL and record.type == AAR_TYPE.encode("ascii"):
+            try:
+                return record.payload.decode("utf-8")
+            except UnicodeDecodeError:
+                return ""
+    return ""
+
+
+def with_aar(message: NdefMessage, package_name: str) -> NdefMessage:
+    """Append an AAR to ``message`` (replacing any existing one)."""
+    aar_bytes = AAR_TYPE.encode("ascii")
+    records = [
+        record
+        for record in message
+        if not (record.tnf == Tnf.EXTERNAL and record.type == aar_bytes)
+    ]
+    records.append(aar_record(package_name))
+    return NdefMessage(records)

@@ -1,0 +1,214 @@
+"""NFC Forum Connection Handover (static handover).
+
+A router's NFC sticker is a *static handover* tag: a Handover Select
+record (``Hs``) listing Alternative Carrier records (``ac``), each
+pointing -- by record id -- at a carrier configuration record elsewhere
+in the same message (for WiFi: the WSC record of
+:mod:`repro.ndef.wsc`). This module implements the subset needed to
+build and parse such tags:
+
+* ``Hs`` record: version byte + an embedded NDEF message of ``ac``
+  records;
+* ``ac`` record: carrier power state, carrier data reference (the id of
+  the carrier record), auxiliary references (unused here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import NdefDecodeError, NdefEncodeError
+from repro.ndef.message import NdefMessage
+from repro.ndef.record import NdefRecord, Tnf
+
+RTD_HANDOVER_SELECT = b"Hs"
+RTD_HANDOVER_REQUEST = b"Hr"
+RTD_COLLISION_RESOLUTION = b"cr"
+RTD_ALTERNATIVE_CARRIER = b"ac"
+
+HANDOVER_VERSION = 0x12  # 1.2
+
+# Carrier power states.
+CPS_INACTIVE = 0x00
+CPS_ACTIVE = 0x01
+CPS_ACTIVATING = 0x02
+CPS_UNKNOWN = 0x03
+
+
+@dataclass(frozen=True)
+class AlternativeCarrier:
+    """One ``ac`` record: a pointer to a carrier configuration record."""
+
+    carrier_reference: bytes  # the id of the carrier record
+    power_state: int = CPS_ACTIVE
+
+    def to_record(self) -> NdefRecord:
+        if not 0 <= self.power_state <= 0x03:
+            raise NdefEncodeError("carrier power state is two bits")
+        if not 0 < len(self.carrier_reference) <= 0xFF:
+            raise NdefEncodeError("carrier reference must be 1..255 bytes")
+        payload = (
+            bytes([self.power_state, len(self.carrier_reference)])
+            + self.carrier_reference
+            + b"\x00"  # auxiliary data reference count: none
+        )
+        return NdefRecord(Tnf.WELL_KNOWN, RTD_ALTERNATIVE_CARRIER, b"", payload)
+
+    @staticmethod
+    def from_record(record: NdefRecord) -> "AlternativeCarrier":
+        if record.tnf != Tnf.WELL_KNOWN or record.type != RTD_ALTERNATIVE_CARRIER:
+            raise NdefDecodeError("record is not an Alternative Carrier record")
+        payload = record.payload
+        if len(payload) < 2:
+            raise NdefDecodeError("ac record payload too short")
+        power_state = payload[0] & 0x03
+        ref_length = payload[1]
+        if len(payload) < 2 + ref_length + 1:
+            raise NdefDecodeError("ac record reference truncated")
+        return AlternativeCarrier(
+            carrier_reference=payload[2 : 2 + ref_length],
+            power_state=power_state,
+        )
+
+
+def build_handover_select(
+    carriers: List[Tuple[NdefRecord, int]],
+) -> NdefMessage:
+    """Build a static-handover message.
+
+    ``carriers`` pairs each carrier configuration record (which must have
+    a non-empty ``id``) with its power state. The result is an NDEF
+    message: the ``Hs`` record first, then the carrier records -- ready
+    to be written onto a tag.
+    """
+    if not carriers:
+        raise NdefEncodeError("a handover select needs at least one carrier")
+    ac_records: List[NdefRecord] = []
+    carrier_records: List[NdefRecord] = []
+    for record, power_state in carriers:
+        if not record.id:
+            raise NdefEncodeError(
+                "carrier records need an id for the ac record to reference"
+            )
+        ac_records.append(
+            AlternativeCarrier(
+                carrier_reference=record.id, power_state=power_state
+            ).to_record()
+        )
+        carrier_records.append(record)
+    hs_payload = bytes([HANDOVER_VERSION]) + NdefMessage(ac_records).to_bytes()
+    hs_record = NdefRecord(Tnf.WELL_KNOWN, RTD_HANDOVER_SELECT, b"", hs_payload)
+    return NdefMessage([hs_record] + carrier_records)
+
+
+def build_handover_request(
+    requested_mime_types: List[str],
+    random_number: int = 0,
+) -> NdefMessage:
+    """Build a *negotiated-handover* request message.
+
+    The requester announces which carrier types it can use; in this
+    reproduction the announcement is a list of MIME types carried in
+    empty-payload carrier records (one per type, ids ``0``, ``1``, ...),
+    each referenced by an ``ac`` record inside the ``Hr`` record. The
+    mandatory collision-resolution record carries ``random_number``.
+    """
+    if not requested_mime_types:
+        raise NdefEncodeError("a handover request needs at least one carrier type")
+    if not 0 <= random_number <= 0xFFFF:
+        raise NdefEncodeError("collision-resolution number is 16 bits")
+    from repro.ndef.mime import mime_record
+
+    inner_records: List[NdefRecord] = [
+        NdefRecord(
+            Tnf.WELL_KNOWN,
+            RTD_COLLISION_RESOLUTION,
+            b"",
+            random_number.to_bytes(2, "big"),
+        )
+    ]
+    carrier_records: List[NdefRecord] = []
+    for index, mime_type in enumerate(requested_mime_types):
+        reference = str(index).encode("ascii")
+        carrier_records.append(mime_record(mime_type, b"", record_id=reference))
+        inner_records.append(
+            AlternativeCarrier(
+                carrier_reference=reference, power_state=CPS_ACTIVE
+            ).to_record()
+        )
+    hr_payload = bytes([HANDOVER_VERSION]) + NdefMessage(inner_records).to_bytes()
+    hr_record = NdefRecord(Tnf.WELL_KNOWN, RTD_HANDOVER_REQUEST, b"", hr_payload)
+    return NdefMessage([hr_record] + carrier_records)
+
+
+@dataclass(frozen=True)
+class ParsedHandoverRequest:
+    """The decoded content of a handover-request message."""
+
+    version: int
+    random_number: int
+    requested_mime_types: List[str]
+
+
+def parse_handover_request(message: NdefMessage) -> ParsedHandoverRequest:
+    """Parse a handover-request message built by :func:`build_handover_request`."""
+    from repro.ndef.mime import record_mime_type
+
+    if not len(message) or message[0].type != RTD_HANDOVER_REQUEST:
+        raise NdefDecodeError(
+            "message does not start with a Handover Request record"
+        )
+    hr_record = message[0]
+    if not hr_record.payload:
+        raise NdefDecodeError("Hr record payload is empty")
+    version = hr_record.payload[0]
+    inner = NdefMessage.from_bytes(hr_record.payload[1:])
+    random_number: Optional[int] = None
+    references: List[bytes] = []
+    for record in inner:
+        if record.type == RTD_COLLISION_RESOLUTION and len(record.payload) >= 2:
+            random_number = int.from_bytes(record.payload[:2], "big")
+        elif record.type == RTD_ALTERNATIVE_CARRIER:
+            references.append(AlternativeCarrier.from_record(record).carrier_reference)
+    if random_number is None:
+        raise NdefDecodeError("handover request lacks collision resolution")
+    by_id = {record.id: record for record in list(message)[1:] if record.id}
+    mime_types = []
+    for reference in references:
+        record = by_id.get(reference)
+        if record is not None:
+            mime_types.append(record_mime_type(record))
+    return ParsedHandoverRequest(
+        version=version,
+        random_number=random_number,
+        requested_mime_types=mime_types,
+    )
+
+
+@dataclass(frozen=True)
+class ParsedHandover:
+    """The decoded content of a static-handover message."""
+
+    version: int
+    carriers: List[Tuple[AlternativeCarrier, Optional[NdefRecord]]]
+
+    def carrier_records(self) -> List[NdefRecord]:
+        return [record for _, record in self.carriers if record is not None]
+
+
+def parse_handover_select(message: NdefMessage) -> ParsedHandover:
+    """Parse a handover-select message; resolves carrier references by id."""
+    if not len(message) or message[0].type != RTD_HANDOVER_SELECT:
+        raise NdefDecodeError("message does not start with a Handover Select record")
+    hs_record = message[0]
+    if not hs_record.payload:
+        raise NdefDecodeError("Hs record payload is empty")
+    version = hs_record.payload[0]
+    inner = NdefMessage.from_bytes(hs_record.payload[1:])
+    by_id = {record.id: record for record in list(message)[1:] if record.id}
+    carriers: List[Tuple[AlternativeCarrier, Optional[NdefRecord]]] = []
+    for record in inner:
+        carrier = AlternativeCarrier.from_record(record)
+        carriers.append((carrier, by_id.get(carrier.carrier_reference)))
+    return ParsedHandover(version=version, carriers=carriers)

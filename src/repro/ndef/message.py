@@ -1,0 +1,172 @@
+"""NDEF messages: framed, ordered sequences of records.
+
+Handles message-level framing (the MB flag on the first wire record, ME on
+the last) and reassembly of chunked records (CF flag + UNCHANGED TNF) into
+logical :class:`~repro.ndef.record.NdefRecord` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import NdefDecodeError, NdefEncodeError
+from repro.ndef.record import (
+    NdefRecord,
+    RawRecord,
+    Tnf,
+    encode_record_raw,
+    iter_raw_records,
+)
+
+
+class NdefMessage:
+    """An immutable, ordered collection of NDEF records.
+
+    Mirrors ``android.nfc.NdefMessage``: construct from records or decode
+    from bytes, encode with :meth:`to_bytes`.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self, records: Iterable[NdefRecord]) -> None:
+        record_list = list(records)
+        if not record_list:
+            raise NdefEncodeError("an NDEF message must contain at least one record")
+        for record in record_list:
+            if not isinstance(record, NdefRecord):
+                raise TypeError(f"expected NdefRecord, got {type(record).__name__}")
+        self._records: tuple = tuple(record_list)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def records(self) -> Sequence[NdefRecord]:
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[NdefRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> NdefRecord:
+        return self._records[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NdefMessage):
+            return NotImplemented
+        return self._records == other._records
+
+    def __hash__(self) -> int:
+        return hash(self._records)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{r.tnf.name}:{r.type!r}({len(r.payload)}B)" for r in self._records
+        )
+        return f"NdefMessage([{inner}])"
+
+    # -- sizing --------------------------------------------------------------
+
+    @property
+    def byte_length(self) -> int:
+        """Encoded size in bytes (unchunked encoding)."""
+        return sum(len(record) for record in self._records)
+
+    # -- codec ---------------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "NdefMessage":
+        """A message holding the single canonical empty record."""
+        return NdefMessage([NdefRecord.empty()])
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self._records) == 1 and self._records[0].is_empty
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        last = len(self._records) - 1
+        for index, record in enumerate(self._records):
+            out += encode_record_raw(
+                tnf=record.tnf,
+                type_=record.type,
+                id_=record.id,
+                payload=record.payload,
+                message_begin=index == 0,
+                message_end=index == last,
+                chunk_flag=False,
+            )
+        return bytes(out)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "NdefMessage":
+        """Decode bytes into a message, reassembling chunked records.
+
+        Raises :class:`NdefDecodeError` on any framing violation: missing
+        MB on the first record, missing ME on the last, records after ME,
+        bad chunk sequences, truncation.
+        """
+        raw_records = list(iter_raw_records(data))
+        records = _reassemble(raw_records)
+        return NdefMessage(records)
+
+
+def _reassemble(raw_records: List[RawRecord]) -> List[NdefRecord]:
+    if not raw_records:
+        raise NdefDecodeError("no records decoded")
+    if not raw_records[0].message_begin:
+        raise NdefDecodeError("first record does not set the MB flag")
+    for raw in raw_records[1:]:
+        if raw.message_begin:
+            raise NdefDecodeError(
+                f"record at byte {raw.offset} sets MB but is not first"
+            )
+    if not raw_records[-1].message_end:
+        raise NdefDecodeError("last record does not set the ME flag")
+    for raw in raw_records[:-1]:
+        if raw.message_end:
+            raise NdefDecodeError(
+                f"record at byte {raw.offset} sets ME but is not last"
+            )
+
+    records: List[NdefRecord] = []
+    pending: Optional[RawRecord] = None
+    pending_payload = bytearray()
+    for raw in raw_records:
+        if pending is None:
+            if raw.tnf == Tnf.UNCHANGED:
+                raise NdefDecodeError(
+                    f"record at byte {raw.offset} uses UNCHANGED outside a chunk"
+                )
+            if raw.chunk_flag:
+                pending = raw
+                pending_payload = bytearray(raw.payload)
+            else:
+                records.append(
+                    NdefRecord(Tnf(raw.tnf), raw.type, raw.id, raw.payload)
+                )
+        else:
+            if raw.tnf != Tnf.UNCHANGED:
+                raise NdefDecodeError(
+                    f"chunk at byte {raw.offset} must use UNCHANGED TNF"
+                )
+            if raw.type or raw.id:
+                raise NdefDecodeError(
+                    f"chunk at byte {raw.offset} must not carry type or id"
+                )
+            pending_payload += raw.payload
+            if not raw.chunk_flag:
+                records.append(
+                    NdefRecord(
+                        Tnf(pending.tnf),
+                        pending.type,
+                        pending.id,
+                        bytes(pending_payload),
+                    )
+                )
+                pending = None
+                pending_payload = bytearray()
+    if pending is not None:
+        raise NdefDecodeError("message ended inside a chunked record")
+    return records

@@ -1,0 +1,65 @@
+"""MIME-typed NDEF records.
+
+MORENA applications define one MIME type per application (the paper's WiFi
+example uses a text type) and filter discovered tags on it. These helpers
+build and inspect MIME records, including the RFC-2045-ish validation that
+Android performs on the type string.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NdefEncodeError
+from repro.ndef.record import NdefRecord, Tnf
+
+# token / token, per RFC 2045 (no parameters; Android normalizes to lowercase).
+_MIME_RE = re.compile(
+    r"^[a-z0-9!#$&^_.+-]+/[a-z0-9!#$&^_.+-]+$"
+)
+
+
+def normalize_mime_type(mime_type: str) -> str:
+    """Lowercase and validate a MIME type string.
+
+    Raises :class:`NdefEncodeError` if the string is not a valid
+    ``type/subtype`` token pair.
+    """
+    normalized = mime_type.strip().lower()
+    if not _MIME_RE.match(normalized):
+        raise NdefEncodeError(f"invalid MIME type: {mime_type!r}")
+    return normalized
+
+
+def mime_record(mime_type: str, payload: bytes, record_id: bytes = b"") -> NdefRecord:
+    """Build a ``TNF_MIME_MEDIA`` record carrying ``payload``."""
+    normalized = normalize_mime_type(mime_type)
+    return NdefRecord(Tnf.MIME_MEDIA, normalized.encode("ascii"), record_id, payload)
+
+
+def text_plain_record(text: str, record_id: bytes = b"") -> NdefRecord:
+    """Build a ``text/plain`` MIME record holding UTF-8 text."""
+    return mime_record("text/plain", text.encode("utf-8"), record_id)
+
+
+def record_mime_type(record: NdefRecord) -> str:
+    """Return the MIME type of a ``TNF_MIME_MEDIA`` record, or ``""``."""
+    if record.tnf != Tnf.MIME_MEDIA:
+        return ""
+    try:
+        return record.type.decode("ascii").lower()
+    except UnicodeDecodeError:
+        return ""
+
+
+def message_mime_type(message) -> str:
+    """MIME type of a message: the type of its first MIME record, or ``""``.
+
+    This mirrors how Android's intent dispatch derives the data type of an
+    ``ACTION_NDEF_DISCOVERED`` intent from the first record of the message.
+    """
+    for record in message:
+        mime = record_mime_type(record)
+        if mime:
+            return mime
+    return ""

@@ -1,0 +1,193 @@
+"""Well-known record type definitions (NFC Forum RTDs).
+
+Implements the three RTDs the demo applications and examples use:
+
+* **RTD Text** (type ``T``) -- status byte (encoding + language length),
+  language code, text.
+* **RTD URI** (type ``U``) -- one prefix-abbreviation byte followed by the
+  URI remainder.
+* **Smart Poster** (type ``Sp``) -- a nested NDEF message combining a URI
+  record with title/action records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import NdefDecodeError, NdefEncodeError
+from repro.ndef.message import NdefMessage
+from repro.ndef.record import NdefRecord, Tnf
+
+RTD_TEXT = b"T"
+RTD_URI = b"U"
+RTD_SMART_POSTER = b"Sp"
+
+_TEXT_UTF16_FLAG = 0x80
+_TEXT_LANG_MASK = 0x3F
+
+# NFC Forum URI RTD abbreviation table (identifier code -> prefix).
+URI_PREFIXES = (
+    "",
+    "http://www.",
+    "https://www.",
+    "http://",
+    "https://",
+    "tel:",
+    "mailto:",
+    "ftp://anonymous:anonymous@",
+    "ftp://ftp.",
+    "ftps://",
+    "sftp://",
+    "smb://",
+    "nfs://",
+    "ftp://",
+    "dav://",
+    "news:",
+    "telnet://",
+    "imap:",
+    "rtsp://",
+    "urn:",
+    "pop:",
+    "sip:",
+    "sips:",
+    "tftp:",
+    "btspp://",
+    "btl2cap://",
+    "btgoep://",
+    "tcpobex://",
+    "irdaobex://",
+    "file://",
+    "urn:epc:id:",
+    "urn:epc:tag:",
+    "urn:epc:pat:",
+    "urn:epc:raw:",
+    "urn:epc:",
+    "urn:nfc:",
+)
+
+
+@dataclass(frozen=True)
+class TextRecord:
+    """A decoded RTD Text record."""
+
+    text: str
+    language: str = "en"
+    utf16: bool = False
+
+    def to_record(self) -> NdefRecord:
+        lang_bytes = self.language.encode("ascii")
+        if not 0 < len(lang_bytes) <= _TEXT_LANG_MASK:
+            raise NdefEncodeError("language code must be 1..63 ASCII bytes")
+        status = len(lang_bytes)
+        if self.utf16:
+            status |= _TEXT_UTF16_FLAG
+            body = self.text.encode("utf-16-be")
+        else:
+            body = self.text.encode("utf-8")
+        payload = bytes([status]) + lang_bytes + body
+        return NdefRecord(Tnf.WELL_KNOWN, RTD_TEXT, b"", payload)
+
+    @staticmethod
+    def from_record(record: NdefRecord) -> "TextRecord":
+        if record.tnf != Tnf.WELL_KNOWN or record.type != RTD_TEXT:
+            raise NdefDecodeError("record is not an RTD Text record")
+        if not record.payload:
+            raise NdefDecodeError("RTD Text payload is empty")
+        status = record.payload[0]
+        lang_length = status & _TEXT_LANG_MASK
+        utf16 = bool(status & _TEXT_UTF16_FLAG)
+        if 1 + lang_length > len(record.payload):
+            raise NdefDecodeError("RTD Text language code is truncated")
+        language = record.payload[1 : 1 + lang_length].decode("ascii")
+        body = record.payload[1 + lang_length :]
+        text = body.decode("utf-16-be" if utf16 else "utf-8")
+        return TextRecord(text=text, language=language, utf16=utf16)
+
+
+@dataclass(frozen=True)
+class UriRecord:
+    """A decoded RTD URI record."""
+
+    uri: str
+
+    def to_record(self) -> NdefRecord:
+        code, remainder = _abbreviate_uri(self.uri)
+        payload = bytes([code]) + remainder.encode("utf-8")
+        return NdefRecord(Tnf.WELL_KNOWN, RTD_URI, b"", payload)
+
+    @staticmethod
+    def from_record(record: NdefRecord) -> "UriRecord":
+        if record.tnf != Tnf.WELL_KNOWN or record.type != RTD_URI:
+            raise NdefDecodeError("record is not an RTD URI record")
+        if not record.payload:
+            raise NdefDecodeError("RTD URI payload is empty")
+        code = record.payload[0]
+        if code >= len(URI_PREFIXES):
+            raise NdefDecodeError(f"RTD URI identifier code 0x{code:02x} is reserved")
+        remainder = record.payload[1:].decode("utf-8")
+        return UriRecord(uri=URI_PREFIXES[code] + remainder)
+
+
+def _abbreviate_uri(uri: str) -> tuple:
+    """Pick the longest matching abbreviation prefix for ``uri``."""
+    best_code = 0
+    best_length = 0
+    for code, prefix in enumerate(URI_PREFIXES):
+        if code == 0:
+            continue
+        if uri.startswith(prefix) and len(prefix) > best_length:
+            best_code = code
+            best_length = len(prefix)
+    return best_code, uri[best_length:]
+
+
+@dataclass(frozen=True)
+class SmartPosterRecord:
+    """A decoded Smart Poster: a URI plus optional localized titles.
+
+    ``titles`` maps language codes to title strings. ``action`` is the
+    recommended-action byte (0 = do the action, 1 = save, 2 = open for
+    editing) or ``None`` when absent.
+    """
+
+    uri: str
+    titles: Optional[dict] = None
+    action: Optional[int] = None
+
+    def to_record(self) -> NdefRecord:
+        inner: List[NdefRecord] = [UriRecord(self.uri).to_record()]
+        for language, title in (self.titles or {}).items():
+            inner.append(TextRecord(title, language=language).to_record())
+        if self.action is not None:
+            if not 0 <= self.action <= 255:
+                raise NdefEncodeError("smart poster action must fit one byte")
+            inner.append(
+                NdefRecord(Tnf.WELL_KNOWN, b"act", b"", bytes([self.action]))
+            )
+        payload = NdefMessage(inner).to_bytes()
+        return NdefRecord(Tnf.WELL_KNOWN, RTD_SMART_POSTER, b"", payload)
+
+    @staticmethod
+    def from_record(record: NdefRecord) -> "SmartPosterRecord":
+        if record.tnf != Tnf.WELL_KNOWN or record.type != RTD_SMART_POSTER:
+            raise NdefDecodeError("record is not a Smart Poster record")
+        inner = NdefMessage.from_bytes(record.payload)
+        uri: Optional[str] = None
+        titles: dict = {}
+        action: Optional[int] = None
+        for sub in inner:
+            if sub.tnf != Tnf.WELL_KNOWN:
+                continue
+            if sub.type == RTD_URI:
+                if uri is not None:
+                    raise NdefDecodeError("smart poster contains two URI records")
+                uri = UriRecord.from_record(sub).uri
+            elif sub.type == RTD_TEXT:
+                text = TextRecord.from_record(sub)
+                titles[text.language] = text.text
+            elif sub.type == b"act" and sub.payload:
+                action = sub.payload[0]
+        if uri is None:
+            raise NdefDecodeError("smart poster lacks the mandatory URI record")
+        return SmartPosterRecord(uri=uri, titles=titles or None, action=action)

@@ -1,0 +1,85 @@
+"""Semantic validation of NDEF records and messages.
+
+The codec in :mod:`repro.ndef.record` enforces structural rules at
+construction time; this module provides an explicit validation pass that
+returns a list of human-readable problems instead of raising, plus strict
+wrappers that raise :class:`NdefValidationError`. The tag layer runs the
+strict check before committing a message to tag memory.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import NdefValidationError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import _MIME_RE
+from repro.ndef.record import NdefRecord, Tnf
+from repro.ndef.rtd import (
+    RTD_SMART_POSTER,
+    RTD_TEXT,
+    RTD_URI,
+    SmartPosterRecord,
+    TextRecord,
+    UriRecord,
+)
+
+
+def record_problems(record: NdefRecord) -> List[str]:
+    """Return the list of semantic problems in ``record`` (empty if clean)."""
+    problems: List[str] = []
+    if record.tnf == Tnf.MIME_MEDIA:
+        try:
+            type_string = record.type.decode("ascii")
+        except UnicodeDecodeError:
+            problems.append("MIME type is not ASCII")
+        else:
+            if not _MIME_RE.match(type_string.lower()):
+                problems.append(f"MIME type {type_string!r} is not token/token")
+    elif record.tnf == Tnf.ABSOLUTE_URI:
+        try:
+            record.type.decode("utf-8")
+        except UnicodeDecodeError:
+            problems.append("absolute URI type is not valid UTF-8")
+    elif record.tnf == Tnf.WELL_KNOWN:
+        problems.extend(_well_known_problems(record))
+    return problems
+
+
+def _well_known_problems(record: NdefRecord) -> List[str]:
+    decoders = {
+        RTD_TEXT: TextRecord.from_record,
+        RTD_URI: UriRecord.from_record,
+        RTD_SMART_POSTER: SmartPosterRecord.from_record,
+    }
+    decoder = decoders.get(record.type)
+    if decoder is None:
+        return []
+    try:
+        decoder(record)
+    except Exception as exc:  # noqa: BLE001 - collecting problems, not failing
+        return [f"malformed {record.type.decode('ascii', 'replace')} record: {exc}"]
+    return []
+
+
+def message_problems(message: NdefMessage) -> List[str]:
+    """Return semantic problems across all records of ``message``."""
+    problems: List[str] = []
+    for index, record in enumerate(message):
+        for problem in record_problems(record):
+            problems.append(f"record {index}: {problem}")
+    return problems
+
+
+def validate_record(record: NdefRecord) -> None:
+    """Raise :class:`NdefValidationError` if ``record`` has semantic problems."""
+    problems = record_problems(record)
+    if problems:
+        raise NdefValidationError("; ".join(problems))
+
+
+def validate_message(message: NdefMessage) -> None:
+    """Raise :class:`NdefValidationError` if ``message`` has semantic problems."""
+    problems = message_problems(message)
+    if problems:
+        raise NdefValidationError("; ".join(problems))

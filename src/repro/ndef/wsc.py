@@ -1,0 +1,128 @@
+"""WiFi Simple Config (WSC) credentials in NDEF.
+
+The paper's application stores WiFi credentials in an ad-hoc JSON record.
+The standards-track equivalent -- what routers print on their NFC
+stickers -- is a WSC *Credential* attribute inside a
+``application/vnd.wfa.wsc`` MIME record. This module implements the
+TLV attribute format (2-byte type, 2-byte length, value; all big endian)
+for the attributes the WiFi-sharing use case needs, so the reproduction
+can read and write interoperable tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import NdefDecodeError, NdefEncodeError
+from repro.ndef.mime import mime_record, record_mime_type
+from repro.ndef.record import NdefRecord
+
+WSC_MIME_TYPE = "application/vnd.wfa.wsc"
+
+# WSC attribute types.
+ATTR_CREDENTIAL = 0x100E
+ATTR_NETWORK_INDEX = 0x1026
+ATTR_SSID = 0x1045
+ATTR_AUTH_TYPE = 0x1003
+ATTR_ENCRYPTION_TYPE = 0x100F
+ATTR_NETWORK_KEY = 0x1027
+ATTR_MAC_ADDRESS = 0x1020
+
+AUTH_TYPES = {
+    "open": 0x0001,
+    "wpa-personal": 0x0002,
+    "wpa2-personal": 0x0020,
+    "wpa2-enterprise": 0x0010,
+}
+ENCRYPTION_TYPES = {
+    "none": 0x0001,
+    "tkip": 0x0004,
+    "aes": 0x0008,
+}
+
+_AUTH_NAMES = {value: name for name, value in AUTH_TYPES.items()}
+_ENCRYPTION_NAMES = {value: name for name, value in ENCRYPTION_TYPES.items()}
+
+
+def encode_attribute(attr_type: int, value: bytes) -> bytes:
+    if len(value) > 0xFFFF:
+        raise NdefEncodeError("WSC attribute value exceeds 65535 bytes")
+    return attr_type.to_bytes(2, "big") + len(value).to_bytes(2, "big") + value
+
+
+def iter_attributes(data: bytes) -> Iterator[Tuple[int, bytes]]:
+    """Decode a TLV attribute stream; raises on truncation."""
+    offset = 0
+    while offset < len(data):
+        if offset + 4 > len(data):
+            raise NdefDecodeError("truncated WSC attribute header")
+        attr_type = int.from_bytes(data[offset : offset + 2], "big")
+        length = int.from_bytes(data[offset + 2 : offset + 4], "big")
+        offset += 4
+        if offset + length > len(data):
+            raise NdefDecodeError("truncated WSC attribute value")
+        yield attr_type, data[offset : offset + length]
+        offset += length
+
+
+@dataclass(frozen=True)
+class WifiCredential:
+    """One WSC credential: the payload of a router's NFC sticker."""
+
+    ssid: str
+    key: str
+    auth: str = "wpa2-personal"
+    encryption: str = "aes"
+
+    def to_record(self) -> NdefRecord:
+        """Encode as an ``application/vnd.wfa.wsc`` MIME record."""
+        if self.auth not in AUTH_TYPES:
+            known = ", ".join(sorted(AUTH_TYPES))
+            raise NdefEncodeError(f"unknown auth type {self.auth!r}; known: {known}")
+        if self.encryption not in ENCRYPTION_TYPES:
+            known = ", ".join(sorted(ENCRYPTION_TYPES))
+            raise NdefEncodeError(
+                f"unknown encryption type {self.encryption!r}; known: {known}"
+            )
+        inner = b"".join(
+            [
+                encode_attribute(ATTR_NETWORK_INDEX, b"\x01"),
+                encode_attribute(ATTR_SSID, self.ssid.encode("utf-8")),
+                encode_attribute(
+                    ATTR_AUTH_TYPE, AUTH_TYPES[self.auth].to_bytes(2, "big")
+                ),
+                encode_attribute(
+                    ATTR_ENCRYPTION_TYPE,
+                    ENCRYPTION_TYPES[self.encryption].to_bytes(2, "big"),
+                ),
+                encode_attribute(ATTR_NETWORK_KEY, self.key.encode("utf-8")),
+            ]
+        )
+        payload = encode_attribute(ATTR_CREDENTIAL, inner)
+        return mime_record(WSC_MIME_TYPE, payload)
+
+    @staticmethod
+    def from_record(record: NdefRecord) -> "WifiCredential":
+        if record_mime_type(record) != WSC_MIME_TYPE:
+            raise NdefDecodeError("record is not a WSC record")
+        credential: Dict[int, bytes] = {}
+        for attr_type, value in iter_attributes(record.payload):
+            if attr_type == ATTR_CREDENTIAL:
+                for inner_type, inner_value in iter_attributes(value):
+                    credential[inner_type] = inner_value
+                break
+        else:
+            raise NdefDecodeError("WSC record holds no Credential attribute")
+        if ATTR_SSID not in credential:
+            raise NdefDecodeError("WSC credential lacks an SSID")
+        auth_code = int.from_bytes(credential.get(ATTR_AUTH_TYPE, b"\x00\x20"), "big")
+        enc_code = int.from_bytes(
+            credential.get(ATTR_ENCRYPTION_TYPE, b"\x00\x08"), "big"
+        )
+        return WifiCredential(
+            ssid=credential[ATTR_SSID].decode("utf-8"),
+            key=credential.get(ATTR_NETWORK_KEY, b"").decode("utf-8"),
+            auth=_AUTH_NAMES.get(auth_code, "wpa2-personal"),
+            encryption=_ENCRYPTION_NAMES.get(enc_code, "aes"),
+        )

@@ -1,0 +1,56 @@
+"""NFC radio-field simulation.
+
+Models the physical layer the paper's middleware has to survive: a field of
+a few centimeters that tags and peer phones wander in and out of, links
+that tear mid-operation, and transfer latency proportional to payload size.
+
+The three moving parts:
+
+* :class:`~repro.radio.environment.RfidEnvironment` -- the shared world.
+  Tests and scenario scripts move tags into and out of the field of
+  adapters and bring phones together for Beam.
+* :class:`~repro.radio.port.NfcAdapterPort` -- one device's radio. The
+  simulated Android ``NfcAdapter`` sits on top of a port.
+* link models (:mod:`repro.radio.link`) -- deterministic, seeded-random or
+  scripted per-attempt failure behaviour.
+"""
+
+from repro.radio.events import FieldEvent, PeerEntered, PeerLeft, TagEntered, TagLeft
+from repro.radio.link import (
+    FlakyThenGoodLink,
+    LinkModel,
+    LossyLink,
+    PerfectLink,
+    ScriptedLink,
+)
+from repro.radio.timing import NO_DELAY, TransferTiming
+from repro.radio.environment import RfidEnvironment
+from repro.radio.geometry import Position, SpatialEnvironment
+from repro.radio.port import NfcAdapterPort
+from repro.radio.snep import SnepClient, SnepFrame, SnepServer
+from repro.radio.trace import RadioTracer, TraceReplayer, trace_from_json
+
+__all__ = [
+    "RfidEnvironment",
+    "SpatialEnvironment",
+    "Position",
+    "NfcAdapterPort",
+    "LinkModel",
+    "PerfectLink",
+    "LossyLink",
+    "ScriptedLink",
+    "FlakyThenGoodLink",
+    "TransferTiming",
+    "NO_DELAY",
+    "FieldEvent",
+    "TagEntered",
+    "TagLeft",
+    "PeerEntered",
+    "PeerLeft",
+    "SnepFrame",
+    "SnepClient",
+    "SnepServer",
+    "RadioTracer",
+    "TraceReplayer",
+    "trace_from_json",
+]

@@ -1,0 +1,234 @@
+"""The shared radio world.
+
+An :class:`RfidEnvironment` owns a set of named adapter ports (one per
+simulated phone) and tracks which tags are currently inside which port's
+field, plus which ports are in Beam range of each other. Scenario scripts
+and tests mutate the world through ``move_tag_into_field`` /
+``remove_tag_from_field`` / ``tap`` / ``bring_together``; ports observe the
+changes through field events.
+
+All mutations are serialized under one lock; event callbacks are invoked
+outside the lock (ports post them onto their device's main looper, so the
+callback bodies are trivial).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.clock import Clock, SystemClock
+from repro.errors import RadioError
+from repro.radio.events import PeerEntered, PeerLeft, TagEntered, TagLeft
+from repro.radio.link import LinkModel, link_from_spec
+from repro.radio.port import NfcAdapterPort
+from repro.radio.timing import NO_DELAY, TransferTiming
+from repro.tags.tag import SimulatedTag
+
+
+class RfidEnvironment:
+    """The world every simulated phone and tag lives in."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        timing: TransferTiming = NO_DELAY,
+        default_link: Optional[object] = None,
+    ) -> None:
+        self._clock = clock if clock is not None else SystemClock()
+        self._timing = timing
+        self._default_link_spec = default_link
+        self._lock = threading.RLock()
+        self._ports: Dict[str, NfcAdapterPort] = {}
+        # port name -> tags currently in that port's field
+        self._fields: Dict[str, Set[SimulatedTag]] = {}
+        # unordered pairs of port names in Beam range
+        self._proximities: Set[Tuple[str, str]] = set()
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @property
+    def timing(self) -> TransferTiming:
+        return self._timing
+
+    # -- ports -----------------------------------------------------------------
+
+    def create_port(
+        self,
+        name: str,
+        link: Optional[object] = None,
+    ) -> NfcAdapterPort:
+        """Create and register the radio port of a new phone."""
+        with self._lock:
+            if name in self._ports:
+                raise RadioError(f"a port named {name!r} already exists")
+            model: LinkModel = link_from_spec(
+                link if link is not None else self._default_link_spec
+            )
+            port = NfcAdapterPort(
+                name=name,
+                environment=self,
+                link=model,
+                clock=self._clock,
+                timing=self._timing,
+            )
+            self._ports[name] = port
+            self._fields[name] = set()
+            return port
+
+    def port(self, name: str) -> NfcAdapterPort:
+        with self._lock:
+            try:
+                return self._ports[name]
+            except KeyError:
+                raise RadioError(f"no port named {name!r}") from None
+
+    def port_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._ports)
+
+    # -- tag/field topology ------------------------------------------------------
+
+    def move_tag_into_field(self, tag: SimulatedTag, port: NfcAdapterPort) -> None:
+        """Bring ``tag`` into reading range of ``port`` (idempotent)."""
+        listeners: List[Callable] = []
+        with self._lock:
+            field = self._field_of(port)
+            if tag in field:
+                return
+            field.add(tag)
+            listeners = port.snapshot_listeners()
+        event = TagEntered(tag)
+        for listener in listeners:
+            listener(event)
+
+    def remove_tag_from_field(self, tag: SimulatedTag, port: NfcAdapterPort) -> None:
+        """Take ``tag`` out of range of ``port`` (idempotent)."""
+        listeners: List[Callable] = []
+        with self._lock:
+            field = self._field_of(port)
+            if tag not in field:
+                return
+            field.discard(tag)
+            listeners = port.snapshot_listeners()
+        event = TagLeft(tag)
+        for listener in listeners:
+            listener(event)
+
+    def tag_in_field(self, tag: SimulatedTag, port: NfcAdapterPort) -> bool:
+        with self._lock:
+            return tag in self._field_of(port)
+
+    def tags_in_field(self, port: NfcAdapterPort) -> List[SimulatedTag]:
+        with self._lock:
+            return list(self._field_of(port))
+
+    def ports_seeing(self, tag: SimulatedTag) -> List[str]:
+        with self._lock:
+            return sorted(
+                name for name, field in self._fields.items() if tag in field
+            )
+
+    @contextlib.contextmanager
+    def tap(self, tag: SimulatedTag, port: NfcAdapterPort) -> Iterator[None]:
+        """Scope a tap: tag is in the field inside the ``with`` block only."""
+        self.move_tag_into_field(tag, port)
+        try:
+            yield
+        finally:
+            self.remove_tag_from_field(tag, port)
+
+    def tap_for(
+        self, tag: SimulatedTag, port: NfcAdapterPort, seconds: float
+    ) -> threading.Timer:
+        """Real-time tap: tag enters now and leaves after ``seconds``.
+
+        Only meaningful with a real clock; returns the removal timer so the
+        caller can cancel or join it.
+        """
+        self.move_tag_into_field(tag, port)
+        timer = threading.Timer(
+            seconds, self.remove_tag_from_field, args=(tag, port)
+        )
+        timer.daemon = True
+        timer.start()
+        return timer
+
+    # -- peer (Beam) topology -----------------------------------------------------
+
+    def bring_together(self, a: NfcAdapterPort, b: NfcAdapterPort) -> None:
+        """Put two phones in Beam range of each other (idempotent)."""
+        if a is b:
+            raise RadioError("a phone cannot be in Beam range of itself")
+        notify: List[Tuple[Callable, object]] = []
+        with self._lock:
+            self._check_owned(a)
+            self._check_owned(b)
+            pair = self._pair(a.name, b.name)
+            if pair in self._proximities:
+                return
+            self._proximities.add(pair)
+            for listener in a.snapshot_listeners():
+                notify.append((listener, PeerEntered(b.name)))
+            for listener in b.snapshot_listeners():
+                notify.append((listener, PeerEntered(a.name)))
+        for listener, event in notify:
+            listener(event)
+
+    def separate(self, a: NfcAdapterPort, b: NfcAdapterPort) -> None:
+        """Move two phones out of Beam range (idempotent)."""
+        notify: List[Tuple[Callable, object]] = []
+        with self._lock:
+            pair = self._pair(a.name, b.name)
+            if pair not in self._proximities:
+                return
+            self._proximities.discard(pair)
+            for listener in a.snapshot_listeners():
+                notify.append((listener, PeerLeft(b.name)))
+            for listener in b.snapshot_listeners():
+                notify.append((listener, PeerLeft(a.name)))
+        for listener, event in notify:
+            listener(event)
+
+    def peers_of(self, port: NfcAdapterPort) -> List[NfcAdapterPort]:
+        with self._lock:
+            names = set()
+            for one, other in self._proximities:
+                if one == port.name:
+                    names.add(other)
+                elif other == port.name:
+                    names.add(one)
+            return [self._ports[name] for name in sorted(names)]
+
+    def in_beam_range(self, a: NfcAdapterPort, b: NfcAdapterPort) -> bool:
+        with self._lock:
+            return self._pair(a.name, b.name) in self._proximities
+
+    # -- reliability hook --------------------------------------------------------------
+
+    def attempt_allowed(self, port: NfcAdapterPort, tag: SimulatedTag) -> bool:
+        """Per-attempt veto hook for subclasses.
+
+        The flat environment always allows attempts (the port's link model
+        is the only failure source); :class:`repro.radio.geometry.
+        SpatialEnvironment` overrides this with distance-dependent
+        edge-zone attrition.
+        """
+        return True
+
+    # -- internals -----------------------------------------------------------------
+
+    def _field_of(self, port: NfcAdapterPort) -> Set[SimulatedTag]:
+        self._check_owned(port)
+        return self._fields[port.name]
+
+    def _check_owned(self, port: NfcAdapterPort) -> None:
+        if self._ports.get(port.name) is not port:
+            raise RadioError(f"port {port.name!r} is not part of this environment")
+
+    @staticmethod
+    def _pair(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)

@@ -1,0 +1,40 @@
+"""Field events emitted by the radio environment to adapter ports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tags.tag import SimulatedTag
+
+
+@dataclass(frozen=True)
+class FieldEvent:
+    """Base class for radio-field events."""
+
+
+@dataclass(frozen=True)
+class TagEntered(FieldEvent):
+    """A tag came into the reading range of a port."""
+
+    tag: SimulatedTag
+
+
+@dataclass(frozen=True)
+class TagLeft(FieldEvent):
+    """A tag left the reading range of a port."""
+
+    tag: SimulatedTag
+
+
+@dataclass(frozen=True)
+class PeerEntered(FieldEvent):
+    """Another phone came into Beam range of a port."""
+
+    peer_name: str
+
+
+@dataclass(frozen=True)
+class PeerLeft(FieldEvent):
+    """A peer phone left Beam range of a port."""
+
+    peer_name: str

@@ -1,0 +1,145 @@
+"""Spatial radio simulation: positions, range bands, distance loss.
+
+The flat :class:`~repro.radio.environment.RfidEnvironment` asks scenario
+code to move tags in and out of fields explicitly. The
+:class:`SpatialEnvironment` derives those transitions from 2-D geometry
+instead, the way a physical bench test would:
+
+* a tag within ``reliable_range`` of a phone is in the field and
+  transfers reliably;
+* between ``reliable_range`` and ``max_range`` it is in the field but in
+  the *edge zone*: transfer attempts fail with a probability growing
+  linearly toward the range boundary (the "tiny NFC chips ... failure is
+  the rule" regime of the paper's introduction);
+* beyond ``max_range`` it is out of the field.
+
+Phones in mutual ``max_range`` are in Beam proximity. Movement is
+explicit (``move_tag`` / ``move_phone``); each movement refreshes field
+memberships and fires the usual field events, so everything built on the
+flat environment (adapters, references, discoverers) works unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.clock import Clock
+from repro.errors import RadioError
+from repro.radio.environment import RfidEnvironment
+from repro.radio.port import NfcAdapterPort
+from repro.radio.timing import NO_DELAY, TransferTiming
+from repro.tags.tag import SimulatedTag
+
+# NFC-ish defaults, in meters.
+DEFAULT_RELIABLE_RANGE = 0.02
+DEFAULT_MAX_RANGE = 0.04
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the 2-D bench plane (meters)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+class SpatialEnvironment(RfidEnvironment):
+    """A radio world driven by geometry instead of explicit field edits."""
+
+    def __init__(
+        self,
+        reliable_range: float = DEFAULT_RELIABLE_RANGE,
+        max_range: float = DEFAULT_MAX_RANGE,
+        seed: int = 0,
+        clock: Optional[Clock] = None,
+        timing: TransferTiming = NO_DELAY,
+        default_link: Optional[object] = None,
+    ) -> None:
+        if not 0 < reliable_range <= max_range:
+            raise RadioError("need 0 < reliable_range <= max_range")
+        super().__init__(clock=clock, timing=timing, default_link=default_link)
+        self.reliable_range = reliable_range
+        self.max_range = max_range
+        self._rng = random.Random(seed)
+        self._tag_positions: Dict[SimulatedTag, Position] = {}
+        self._port_positions: Dict[str, Position] = {}
+
+    # -- placement ----------------------------------------------------------------
+
+    def place_phone(self, port: NfcAdapterPort, x: float, y: float) -> None:
+        self._port_positions[port.name] = Position(x, y)
+        self._refresh()
+
+    def place_tag(self, tag: SimulatedTag, x: float, y: float) -> None:
+        self._tag_positions[tag] = Position(x, y)
+        self._refresh()
+
+    def move_phone(self, port: NfcAdapterPort, x: float, y: float) -> None:
+        if port.name not in self._port_positions:
+            raise RadioError(f"phone {port.name!r} was never placed")
+        self.place_phone(port, x, y)
+
+    def move_tag(self, tag: SimulatedTag, x: float, y: float) -> None:
+        if tag not in self._tag_positions:
+            raise RadioError("tag was never placed")
+        self.place_tag(tag, x, y)
+
+    def tag_position(self, tag: SimulatedTag) -> Position:
+        return self._tag_positions[tag]
+
+    def phone_position(self, port: NfcAdapterPort) -> Position:
+        return self._port_positions[port.name]
+
+    def distance(self, port: NfcAdapterPort, tag: SimulatedTag) -> Optional[float]:
+        """Distance between a placed phone and a placed tag, else ``None``."""
+        tag_pos = self._tag_positions.get(tag)
+        port_pos = self._port_positions.get(port.name)
+        if tag_pos is None or port_pos is None:
+            return None
+        return port_pos.distance_to(tag_pos)
+
+    # -- the geometry -> topology refresh ----------------------------------------------
+
+    def _refresh(self) -> None:
+        ports = [self.port(name) for name in self.port_names()]
+        for port in ports:
+            port_pos = self._port_positions.get(port.name)
+            for tag, tag_pos in list(self._tag_positions.items()):
+                if port_pos is None:
+                    continue
+                if port_pos.distance_to(tag_pos) <= self.max_range:
+                    self.move_tag_into_field(tag, port)
+                else:
+                    self.remove_tag_from_field(tag, port)
+        for index, first in enumerate(ports):
+            first_pos = self._port_positions.get(first.name)
+            for second in ports[index + 1 :]:
+                second_pos = self._port_positions.get(second.name)
+                if first_pos is None or second_pos is None:
+                    continue
+                if first_pos.distance_to(second_pos) <= self.max_range:
+                    self.bring_together(first, second)
+                else:
+                    self.separate(first, second)
+
+    # -- distance-dependent reliability ---------------------------------------------------
+
+    def attempt_allowed(self, port: NfcAdapterPort, tag: SimulatedTag) -> bool:
+        """Edge-zone attrition: reliable inside ``reliable_range``, linearly
+        degrading toward ``max_range``."""
+        distance = self.distance(port, tag)
+        if distance is None:
+            return True  # unplaced objects behave like the flat environment
+        if distance <= self.reliable_range:
+            return True
+        if distance > self.max_range:
+            return False
+        band = self.max_range - self.reliable_range
+        success_probability = (self.max_range - distance) / band
+        return self._rng.random() < success_probability

@@ -1,0 +1,127 @@
+"""Per-attempt link behaviour models.
+
+Every radio operation (read, write, format, beam) asks the port's link
+model whether this attempt succeeds. Failure means the link tore -- the
+operation raises :class:`~repro.errors.TagLostError`, exactly what the
+blocking Android API surfaces and what MORENA's far references absorb
+with silent retries.
+
+All randomness is seeded so benchmarks and property tests are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Iterable, List, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class LinkModel(Protocol):
+    """Decides the fate of each transfer attempt."""
+
+    def attempt_succeeds(self, byte_count: int) -> bool:
+        """Return ``True`` if an attempt moving ``byte_count`` bytes completes."""
+        ...  # pragma: no cover - protocol
+
+
+class PerfectLink:
+    """Every attempt succeeds. The unit-test default."""
+
+    def attempt_succeeds(self, byte_count: int) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "PerfectLink()"
+
+
+class LossyLink:
+    """Independent per-attempt failure with probability ``loss``.
+
+    Optionally size-dependent: with ``per_byte_loss`` set, the survival
+    probability decays with transfer size, modelling the longer window a
+    big transfer leaves for the user's hand to drift. Thread-safe.
+    """
+
+    def __init__(
+        self,
+        loss: float,
+        seed: int = 0,
+        per_byte_loss: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError("loss must be a probability")
+        if per_byte_loss < 0.0:
+            raise ValueError("per_byte_loss must be >= 0")
+        self._loss = loss
+        self._per_byte_loss = per_byte_loss
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.attempts = 0
+        self.failures = 0
+
+    def attempt_succeeds(self, byte_count: int) -> bool:
+        with self._lock:
+            self.attempts += 1
+            survive = (1.0 - self._loss) * (
+                (1.0 - self._per_byte_loss) ** max(byte_count, 0)
+            )
+            success = self._rng.random() < survive
+            if not success:
+                self.failures += 1
+            return success
+
+    def __repr__(self) -> str:
+        return f"LossyLink(loss={self._loss}, per_byte_loss={self._per_byte_loss})"
+
+
+class ScriptedLink:
+    """Plays back an explicit success/failure script, then a default.
+
+    Deterministic by construction -- the workhorse of the failure-injection
+    tests ("first two write attempts tear, the third succeeds").
+    """
+
+    def __init__(self, outcomes: Iterable[bool], default: bool = True) -> None:
+        self._outcomes: List[bool] = list(outcomes)
+        self._default = default
+        self._index = 0
+        self._lock = threading.Lock()
+
+    def attempt_succeeds(self, byte_count: int) -> bool:
+        with self._lock:
+            if self._index < len(self._outcomes):
+                outcome = self._outcomes[self._index]
+                self._index += 1
+                return outcome
+            return self._default
+
+    @property
+    def consumed(self) -> int:
+        with self._lock:
+            return self._index
+
+    def __repr__(self) -> str:
+        return f"ScriptedLink(remaining={len(self._outcomes) - self.consumed})"
+
+
+class FlakyThenGoodLink(ScriptedLink):
+    """Fails the first ``failures`` attempts, then succeeds forever."""
+
+    def __init__(self, failures: int) -> None:
+        super().__init__([False] * failures, default=True)
+
+
+def link_from_spec(spec: Optional[object]) -> LinkModel:
+    """Coerce a convenience spec into a link model.
+
+    ``None`` -> :class:`PerfectLink`; a float -> :class:`LossyLink` with
+    that loss probability; an existing model passes through.
+    """
+    if spec is None:
+        return PerfectLink()
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        return LossyLink(float(spec))
+    if isinstance(spec, LinkModel):
+        return spec
+    raise TypeError(f"cannot build a link model from {spec!r}")

@@ -1,0 +1,326 @@
+"""One device's radio: the port through which all tag and Beam I/O flows.
+
+A port belongs to exactly one :class:`~repro.radio.environment.RfidEnvironment`
+and carries that device's link model and field-event listeners. Its
+operations are **blocking and failure-prone by design** -- they model the
+raw physical layer the Android tech classes wrap:
+
+* the tag must currently be in the field (otherwise
+  :class:`~repro.errors.NotInFieldError`),
+* the operation takes time proportional to the bytes moved,
+* the link model decides whether the attempt tears
+  (:class:`~repro.errors.TagLostError`), and a torn *write* may leave a
+  half-written, unreadable TLV on the tag when ``corrupt_on_tear`` is on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.clock import Clock
+from repro.errors import (
+    BeamError,
+    NdefError,
+    NotInFieldError,
+    TagFormatError,
+    TagLostError,
+)
+from repro.ndef.message import NdefMessage
+from repro.radio.events import FieldEvent
+from repro.radio.link import LinkModel
+from repro.radio.snep import SnepClient, SnepProtocolError, SnepServer
+from repro.radio.timing import TransferTiming
+from repro.tags.tag import SimulatedTag
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.environment import RfidEnvironment
+
+BeamHandler = Callable[[str, NdefMessage], None]
+
+
+class NfcAdapterPort:
+    """Device-side NFC radio. Created via ``RfidEnvironment.create_port``."""
+
+    def __init__(
+        self,
+        name: str,
+        environment: "RfidEnvironment",
+        link: LinkModel,
+        clock: Clock,
+        timing: TransferTiming,
+        corrupt_on_tear: bool = False,
+    ) -> None:
+        self.name = name
+        self._env = environment
+        self._link = link
+        self._clock = clock
+        self._timing = timing
+        self.corrupt_on_tear = corrupt_on_tear
+        self._listeners: List[Callable[[FieldEvent], None]] = []
+        self._beam_handler: Optional[BeamHandler] = None
+        self._snep_server: Optional[SnepServer] = None
+        self._snep_get_provider: Optional[Callable[[str, bytes], Optional[bytes]]] = None
+        self._lock = threading.RLock()
+        # Counters for benchmarks.
+        self.read_attempts = 0
+        self.write_attempts = 0
+        self.beam_attempts = 0
+
+    def __repr__(self) -> str:
+        return f"NfcAdapterPort({self.name!r}, link={self._link!r})"
+
+    @property
+    def environment(self) -> "RfidEnvironment":
+        return self._env
+
+    @property
+    def link(self) -> LinkModel:
+        return self._link
+
+    def set_link(self, link: LinkModel) -> None:
+        """Swap the link model (used by benches to degrade a running link)."""
+        with self._lock:
+            self._link = link
+
+    # -- field event listeners ----------------------------------------------------
+
+    def add_field_listener(self, listener: Callable[[FieldEvent], None]) -> None:
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_field_listener(self, listener: Callable[[FieldEvent], None]) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def snapshot_listeners(self) -> List[Callable[[FieldEvent], None]]:
+        with self._lock:
+            return list(self._listeners)
+
+    # -- tag operations -------------------------------------------------------------
+
+    def read_ndef(self, tag: SimulatedTag) -> NdefMessage:
+        """Blocking read of the tag's NDEF message.
+
+        Raises ``NotInFieldError`` / ``TagLostError`` / ``TagFormatError``.
+        """
+        with self._lock:
+            self.read_attempts += 1
+        self._require_in_field(tag)
+        self._simulate_latency(tag.tag_type.user_bytes)
+        self._require_in_field(tag, torn=True)
+        if not self._link.attempt_succeeds(
+            tag.tag_type.user_bytes
+        ) or not self._env.attempt_allowed(self, tag):
+            raise TagLostError(
+                f"link to tag {tag.uid_hex} tore during read on {self.name}"
+            )
+        try:
+            return tag.read_ndef()
+        except NdefError as exc:
+            raise TagFormatError(
+                f"tag {tag.uid_hex} holds undecodable NDEF data: {exc}"
+            ) from exc
+
+    def write_ndef(self, tag: SimulatedTag, message: NdefMessage) -> None:
+        """Blocking write of ``message`` onto the tag.
+
+        Raises ``NotInFieldError`` / ``TagLostError`` plus the tag-layer
+        errors (capacity, read-only, unformatted). When ``corrupt_on_tear``
+        is set, a tear mid-write leaves a truncated TLV behind.
+        """
+        with self._lock:
+            self.write_attempts += 1
+        self._require_in_field(tag)
+        encoded_size = message.byte_length
+        self._simulate_latency(encoded_size)
+        torn = (
+            not self._env.tag_in_field(tag, self)
+            or not self._link.attempt_succeeds(encoded_size)
+            or not self._env.attempt_allowed(self, tag)
+        )
+        if torn:
+            if self.corrupt_on_tear:
+                self._tear_write(tag, message)
+            raise TagLostError(
+                f"link to tag {tag.uid_hex} tore during write on {self.name}"
+            )
+        tag.write_ndef(message)
+
+    def format_tag(self, tag: SimulatedTag) -> None:
+        """Blocking NDEF format of an unformatted tag."""
+        self._require_in_field(tag)
+        self._simulate_latency(16)
+        self._require_in_field(tag, torn=True)
+        if not self._link.attempt_succeeds(16) or not self._env.attempt_allowed(
+            self, tag
+        ):
+            raise TagLostError(
+                f"link to tag {tag.uid_hex} tore during format on {self.name}"
+            )
+        tag.format()
+
+    def make_read_only(self, tag: SimulatedTag) -> None:
+        """Blocking lock of the tag."""
+        self._require_in_field(tag)
+        self._simulate_latency(8)
+        self._require_in_field(tag, torn=True)
+        if not self._link.attempt_succeeds(8) or not self._env.attempt_allowed(
+            self, tag
+        ):
+            raise TagLostError(
+                f"link to tag {tag.uid_hex} tore during lock on {self.name}"
+            )
+        tag.make_read_only()
+
+    def transceive(self, tag, data: bytes) -> bytes:
+        """Blocking ISO-DEP exchange: one command APDU in, response out.
+
+        Only meaningful for tags that speak ISO-DEP (Type 4 / emulated
+        cards). Raises ``NotInFieldError`` / ``TagLostError`` like any
+        other tag operation; protocol errors come back as status words,
+        not exceptions -- exactly like ``IsoDep.transceive`` on Android.
+        """
+        self._require_in_field(tag)
+        self._simulate_latency(len(data) + 32)
+        self._require_in_field(tag, torn=True)
+        if not self._link.attempt_succeeds(
+            len(data) + 32
+        ) or not self._env.attempt_allowed(self, tag):
+            raise TagLostError(
+                f"link to tag {tag.uid_hex} tore during transceive on {self.name}"
+            )
+        process = getattr(tag, "process_apdu", None)
+        if process is None:
+            raise TagFormatError(f"tag {tag.uid_hex} does not speak ISO-DEP")
+        return process(data)
+
+    # -- Beam ----------------------------------------------------------------------
+
+    def set_beam_handler(self, handler: Optional[BeamHandler]) -> None:
+        """Install the callback invoked when a peer beams a message here.
+
+        Internally the handler becomes the PUT callback of this port's
+        SNEP server -- incoming pushes arrive as SNEP frames, are
+        reassembled, decoded to an NDEF message and handed over.
+        """
+        with self._lock:
+            self._beam_handler = handler
+            self._rebuild_snep_server()
+
+    def set_snep_get_provider(
+        self, provider: Optional[Callable[[str, bytes], Optional[bytes]]]
+    ) -> None:
+        """Install a SNEP GET provider (used for negotiated handover).
+
+        ``provider(sender, request_bytes)`` returns response bytes or
+        ``None`` for NOT FOUND. It runs on the *requesting* port's thread.
+        """
+        with self._lock:
+            self._snep_get_provider = provider
+            self._rebuild_snep_server()
+
+    def _rebuild_snep_server(self) -> None:
+        handler = self._beam_handler
+        provider = self._snep_get_provider
+        if handler is None and provider is None:
+            self._snep_server = None
+            return
+
+        def on_put(sender: str, ndef_bytes: bytes) -> None:
+            if handler is None:
+                return
+            try:
+                message = NdefMessage.from_bytes(ndef_bytes)
+            except NdefError:
+                return  # hostile payload: dropped, as a phone would
+            handler(sender, message)
+
+        self._snep_server = SnepServer(on_put, get_provider=provider)
+
+    @property
+    def snep_server(self) -> Optional[SnepServer]:
+        return self._snep_server
+
+    def snep_exchange(self, peer: "NfcAdapterPort", raw: bytes) -> bytes:
+        """One SNEP round trip to a peer: request frame out, response in.
+
+        Each fragment is a separate radio transfer: latency per fragment,
+        and the link may tear on any of them (``TagLostError``).
+        """
+        if not self._env.in_beam_range(self, peer):
+            raise TagLostError(
+                f"{peer.name} drifted out of Beam range of {self.name}"
+            )
+        self._simulate_latency(len(raw))
+        if not self._link.attempt_succeeds(len(raw)):
+            raise TagLostError(f"Beam link tore on {self.name}")
+        server = peer._snep_server
+        if server is None:
+            raise BeamError(f"{peer.name} runs no SNEP server")
+        return server.process(self.name, raw)
+
+    def beam(self, message: NdefMessage, miu: int = 128) -> List[str]:
+        """Push ``message`` to every peer currently in Beam range.
+
+        Undirected, like Android Beam: one SNEP PUT per peer, fragmented
+        at ``miu`` bytes. Returns the names of the peers that accepted the
+        message. Raises :class:`BeamError` when no peer is in range or
+        none accepted, :class:`TagLostError` when the link tears
+        mid-transfer.
+        """
+        with self._lock:
+            self.beam_attempts += 1
+        peers = self._env.peers_of(self)
+        if not peers:
+            raise BeamError(f"no peer in Beam range of {self.name}")
+        delivered: List[str] = []
+        for peer in peers:
+            if not self._env.in_beam_range(self, peer):
+                continue  # drifted apart during the transfer
+            if peer._snep_server is None:
+                continue  # peer has no foreground activity accepting beams
+            client = SnepClient(
+                lambda raw, p=peer: self.snep_exchange(p, raw), miu=miu
+            )
+            try:
+                client.put(message.to_bytes())
+            except SnepProtocolError:
+                continue  # peer rejected the PUT
+            delivered.append(peer.name)
+        if not delivered:
+            raise BeamError(
+                f"no peer of {self.name} accepted the beamed message"
+            )
+        return delivered
+
+    # -- internals -------------------------------------------------------------------
+
+    def _require_in_field(self, tag: SimulatedTag, torn: bool = False) -> None:
+        if not self._env.tag_in_field(tag, self):
+            if torn:
+                raise TagLostError(
+                    f"tag {tag.uid_hex} left the field of {self.name} mid-operation"
+                )
+            raise NotInFieldError(
+                f"tag {tag.uid_hex} is not in the field of {self.name}"
+            )
+
+    def _simulate_latency(self, byte_count: int) -> None:
+        seconds = self._timing.operation_seconds(byte_count)
+        if seconds > 0:
+            self._clock.sleep(seconds)
+
+    @staticmethod
+    def _tear_write(tag: SimulatedTag, message: NdefMessage) -> None:
+        """Leave behind whatever a torn write leaves on this tag technology.
+
+        Type 2 tags end up with a truncated (unreadable) TLV; Type 4 tags'
+        safe-update sequence leaves a valid empty tag. Each technology
+        implements its own ``_tear_write_hook``.
+        """
+        try:
+            tag._tear_write_hook(message)  # noqa: SLF001 - deliberate hook
+        except Exception:  # noqa: BLE001 - best-effort corruption
+            pass

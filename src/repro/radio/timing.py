@@ -1,0 +1,29 @@
+"""Transfer latency model.
+
+NFC Type 2 transfers are slow relative to application code -- that is the
+whole reason the paper forbids blocking the main thread on them. The
+timing model converts a byte count into a latency that the port sleeps on
+the *calling* thread (faithful to the blocking Android API; MORENA moves
+that block onto the reference's private event loop thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransferTiming:
+    """Latency = ``base_seconds`` + ``seconds_per_byte`` * bytes."""
+
+    base_seconds: float = 0.005
+    seconds_per_byte: float = 1e-4
+
+    def operation_seconds(self, byte_count: int) -> float:
+        return self.base_seconds + self.seconds_per_byte * max(byte_count, 0)
+
+
+NO_DELAY = TransferTiming(base_seconds=0.0, seconds_per_byte=0.0)
+
+# Roughly what an NTAG at 106 kbit/s feels like end to end.
+NOMINAL = TransferTiming(base_seconds=0.02, seconds_per_byte=1e-4)

@@ -1,0 +1,194 @@
+"""Radio traces: record a session's field history, replay it later.
+
+Debugging an intermittent-connectivity bug needs the exact sequence of
+field transitions that triggered it. A :class:`RadioTracer` attached to
+an environment records every tag-entered / tag-left / peer transition
+with a timestamp; the trace serializes to JSON and a
+:class:`TraceReplayer` re-applies it to a fresh environment with the same
+(or a different) population -- turning a flaky field observation into a
+deterministic regression test.
+
+Tags are identified in the trace by UID; replay takes a UID -> tag
+mapping (tags restored from a :class:`~repro.tags.store.TagStore`
+naturally keep their UIDs).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import RadioError
+from repro.radio.environment import RfidEnvironment
+from repro.radio.events import PeerEntered, PeerLeft, TagEntered, TagLeft
+from repro.tags.tag import SimulatedTag
+
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded field transition."""
+
+    at_seconds: float
+    kind: str  # tag-entered | tag-left | peer-entered | peer-left
+    port: str
+    subject: str  # tag UID hex, or peer port name
+
+
+class RadioTracer:
+    """Records the field history of every port in one environment."""
+
+    def __init__(self, env: RfidEnvironment) -> None:
+        self._env = env
+        self._lock = threading.Lock()
+        self._events: List[TraceEvent] = []
+        self._started_at = time.monotonic()
+        self._listeners: Dict[str, object] = {}
+        for name in env.port_names():
+            self.watch_port(name)
+
+    def watch_port(self, name: str) -> None:
+        """Attach to a port (ports created after the tracer need this)."""
+        with self._lock:
+            if name in self._listeners:
+                return
+
+            def listener(event, port_name=name):
+                self._record(port_name, event)
+
+            self._listeners[name] = listener
+        self._env.port(name).add_field_listener(listener)
+
+    def _record(self, port_name: str, event) -> None:
+        now = time.monotonic() - self._started_at
+        if isinstance(event, TagEntered):
+            kind, subject = "tag-entered", event.tag.uid_hex
+        elif isinstance(event, TagLeft):
+            kind, subject = "tag-left", event.tag.uid_hex
+        elif isinstance(event, PeerEntered):
+            kind, subject = "peer-entered", event.peer_name
+        elif isinstance(event, PeerLeft):
+            kind, subject = "peer-left", event.peer_name
+        else:
+            return
+        with self._lock:
+            self._events.append(
+                TraceEvent(at_seconds=now, kind=kind, port=port_name, subject=subject)
+            )
+
+    def stop(self) -> None:
+        """Detach from every watched port."""
+        with self._lock:
+            listeners = dict(self._listeners)
+            self._listeners.clear()
+        for name, listener in listeners.items():
+            try:
+                self._env.port(name).remove_field_listener(listener)
+            except RadioError:
+                pass
+
+    # -- access -----------------------------------------------------------------
+
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": TRACE_VERSION,
+                "events": [
+                    {
+                        "at": event.at_seconds,
+                        "kind": event.kind,
+                        "port": event.port,
+                        "subject": event.subject,
+                    }
+                    for event in self.events()
+                ],
+            },
+            sort_keys=True,
+        )
+
+
+def trace_from_json(text: str) -> List[TraceEvent]:
+    """Parse a recorded trace back into events."""
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise RadioError(f"not a radio trace: {exc}") from exc
+    if data.get("version") != TRACE_VERSION:
+        raise RadioError(f"unsupported trace version {data.get('version')!r}")
+    events = []
+    for raw in data.get("events", []):
+        events.append(
+            TraceEvent(
+                at_seconds=float(raw["at"]),
+                kind=str(raw["kind"]),
+                port=str(raw["port"]),
+                subject=str(raw["subject"]),
+            )
+        )
+    return events
+
+
+class TraceReplayer:
+    """Re-applies a recorded trace to an environment."""
+
+    def __init__(
+        self,
+        env: RfidEnvironment,
+        tags_by_uid: Dict[str, SimulatedTag],
+        time_scale: float = 0.0,
+    ) -> None:
+        """``time_scale`` 0 replays instantly; 1.0 in original real time."""
+        if time_scale < 0:
+            raise RadioError("time_scale must be >= 0")
+        self._env = env
+        self._tags = dict(tags_by_uid)
+        self._time_scale = time_scale
+
+    def replay(self, events: List[TraceEvent]) -> int:
+        """Apply the events in order; returns how many were applied.
+
+        Unknown tag UIDs raise; unknown ports raise -- a replay against
+        the wrong population is a bug, not a partial success.
+        """
+        applied = 0
+        virtual_now: Optional[float] = None
+        for event in events:
+            if self._time_scale and virtual_now is not None:
+                delay = (event.at_seconds - virtual_now) * self._time_scale
+                if delay > 0:
+                    time.sleep(delay)
+            virtual_now = event.at_seconds
+            self._apply(event)
+            applied += 1
+        return applied
+
+    def _apply(self, event: TraceEvent) -> None:
+        port = self._env.port(event.port)
+        if event.kind in ("tag-entered", "tag-left"):
+            tag = self._tags.get(event.subject)
+            if tag is None:
+                raise RadioError(f"trace names unknown tag {event.subject}")
+            if event.kind == "tag-entered":
+                self._env.move_tag_into_field(tag, port)
+            else:
+                self._env.remove_tag_from_field(tag, port)
+        elif event.kind in ("peer-entered", "peer-left"):
+            peer = self._env.port(event.subject)
+            if event.kind == "peer-entered":
+                self._env.bring_together(port, peer)
+            else:
+                self._env.separate(port, peer)
+        else:
+            raise RadioError(f"unknown trace event kind {event.kind!r}")

@@ -1,0 +1,33 @@
+"""Simulated RFID/NFC tag hardware.
+
+Byte-level simulation of NFC Forum Type-2-style tags (NTAG / MIFARE
+Ultralight families): page-addressed EEPROM, capability container, NDEF
+TLV area, static lock bytes and a write-endurance budget.
+
+The radio layer moves these tags in and out of the field of simulated
+phones; the Android layer exposes them through blocking ``Ndef`` /
+``NdefFormatable`` tech objects exactly like the real platform does.
+"""
+
+from repro.tags.memory import TagMemory
+from repro.tags.types import TAG_TYPES, TagType
+from repro.tags.tag import SimulatedTag
+from repro.tags.factory import make_tag, make_tags
+from repro.tags.store import TagStore, restore_tag, snapshot_tag
+from repro.tags.type4 import TYPE4_SPECS, Type4Spec, Type4Tag, make_type4_tag
+
+__all__ = [
+    "TagMemory",
+    "TagType",
+    "TAG_TYPES",
+    "SimulatedTag",
+    "make_tag",
+    "make_tags",
+    "TagStore",
+    "snapshot_tag",
+    "restore_tag",
+    "Type4Tag",
+    "Type4Spec",
+    "TYPE4_SPECS",
+    "make_type4_tag",
+]

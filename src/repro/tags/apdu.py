@@ -1,0 +1,135 @@
+"""ISO 7816-4 APDUs: the command protocol of Type 4 tags.
+
+Type 4 tags (and phones emulating cards) speak ISO-DEP: the reader sends
+command APDUs (``CLA INS P1 P2 [Lc data] [Le]``), the tag answers with
+response APDUs (``data SW1 SW2``). This module implements the short-form
+encoding the NFC Forum Type 4 Tag specification uses, plus the status
+words the NDEF application returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TagError
+
+
+class ApduError(TagError):
+    """Malformed APDU bytes."""
+
+
+# Instructions used by the Type 4 NDEF application.
+INS_SELECT = 0xA4
+INS_READ_BINARY = 0xB0
+INS_UPDATE_BINARY = 0xD6
+
+# Status words.
+SW_OK = 0x9000
+SW_FILE_NOT_FOUND = 0x6A82
+SW_WRONG_P1P2 = 0x6B00
+SW_WRONG_LENGTH = 0x6700
+SW_INS_NOT_SUPPORTED = 0x6D00
+SW_CONDITIONS_NOT_SATISFIED = 0x6985
+SW_END_OF_FILE = 0x6282
+
+
+@dataclass(frozen=True)
+class CommandApdu:
+    """A short-form command APDU."""
+
+    cla: int
+    ins: int
+    p1: int
+    p2: int
+    data: bytes = b""
+    le: Optional[int] = None  # expected response length; None = absent
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("cla", self.cla),
+            ("ins", self.ins),
+            ("p1", self.p1),
+            ("p2", self.p2),
+        ):
+            if not 0 <= value <= 0xFF:
+                raise ApduError(f"{name} must be one byte, got {value}")
+        if len(self.data) > 0xFF:
+            raise ApduError("short-form APDUs carry at most 255 data bytes")
+        if self.le is not None and not 0 <= self.le <= 0x100:
+            raise ApduError("Le must be in 0..256")
+
+    @property
+    def p1p2(self) -> int:
+        return (self.p1 << 8) | self.p2
+
+    def to_bytes(self) -> bytes:
+        out = bytearray([self.cla, self.ins, self.p1, self.p2])
+        if self.data:
+            out.append(len(self.data))
+            out += self.data
+        if self.le is not None:
+            out.append(0x00 if self.le == 0x100 else self.le)
+        return bytes(out)
+
+    @staticmethod
+    def from_bytes(raw: bytes) -> "CommandApdu":
+        if len(raw) < 4:
+            raise ApduError("command APDU shorter than 4 bytes")
+        cla, ins, p1, p2 = raw[0], raw[1], raw[2], raw[3]
+        body = raw[4:]
+        data = b""
+        le: Optional[int] = None
+        if len(body) == 0:
+            pass  # case 1: no data, no Le
+        elif len(body) == 1:
+            le = body[0] or 0x100  # case 2: Le only
+        else:
+            lc = body[0]
+            rest = body[1:]
+            if len(rest) == lc:
+                data = bytes(rest)  # case 3: data, no Le
+            elif len(rest) == lc + 1:
+                data = bytes(rest[:-1])  # case 4: data + Le
+                le = rest[-1] or 0x100
+            else:
+                raise ApduError(
+                    f"Lc={lc} inconsistent with {len(rest)} remaining bytes"
+                )
+        return CommandApdu(cla=cla, ins=ins, p1=p1, p2=p2, data=data, le=le)
+
+
+@dataclass(frozen=True)
+class ResponseApdu:
+    """A response APDU: payload plus a 16-bit status word."""
+
+    sw: int
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sw <= 0xFFFF:
+            raise ApduError("status word must be 16 bits")
+
+    @property
+    def is_ok(self) -> bool:
+        return self.sw == SW_OK
+
+    def to_bytes(self) -> bytes:
+        return self.data + bytes([self.sw >> 8, self.sw & 0xFF])
+
+    @staticmethod
+    def from_bytes(raw: bytes) -> "ResponseApdu":
+        if len(raw) < 2:
+            raise ApduError("response APDU shorter than 2 bytes")
+        return ResponseApdu(
+            sw=(raw[-2] << 8) | raw[-1],
+            data=bytes(raw[:-2]),
+        )
+
+
+def ok(data: bytes = b"") -> ResponseApdu:
+    return ResponseApdu(sw=SW_OK, data=data)
+
+
+def error(sw: int) -> ResponseApdu:
+    return ResponseApdu(sw=sw)

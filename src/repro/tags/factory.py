@@ -1,0 +1,49 @@
+"""Convenience constructors for simulated tags."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.errors import TagError
+from repro.ndef.message import NdefMessage
+from repro.tags.tag import SimulatedTag
+from repro.tags.types import TAG_TYPES, TagType
+
+
+def _resolve_type(tag_type: Union[str, TagType, None]) -> TagType:
+    if tag_type is None:
+        return TAG_TYPES["NTAG216"]
+    if isinstance(tag_type, TagType):
+        return tag_type
+    try:
+        return TAG_TYPES[tag_type]
+    except KeyError:
+        known = ", ".join(sorted(TAG_TYPES))
+        raise TagError(f"unknown tag type {tag_type!r}; known types: {known}") from None
+
+
+def make_tag(
+    tag_type: Union[str, TagType, None] = None,
+    content: Optional[NdefMessage] = None,
+    formatted: bool = True,
+    uid: Optional[bytes] = None,
+) -> SimulatedTag:
+    """Build one tag, optionally pre-loaded with ``content``."""
+    resolved = _resolve_type(tag_type)
+    tag = SimulatedTag(tag_type=resolved, uid=uid, formatted=formatted)
+    if content is not None:
+        if not formatted:
+            raise TagError("cannot preload content onto an unformatted tag")
+        tag.write_ndef(content)
+    return tag
+
+
+def make_tags(
+    count: int,
+    tag_type: Union[str, TagType, None] = None,
+    formatted: bool = True,
+) -> List[SimulatedTag]:
+    """Build ``count`` fresh tags of the same model."""
+    if count < 0:
+        raise TagError("count must be >= 0")
+    return [make_tag(tag_type=tag_type, formatted=formatted) for _ in range(count)]

@@ -1,0 +1,107 @@
+"""Tag persistence: snapshot, restore, and a directory-backed store.
+
+A deployment of the paper's system sticks physical tags on walls and
+crates; their contents persist between app sessions by construction.
+The simulation gets the same property here: any
+:class:`~repro.tags.tag.SimulatedTag` can be snapshotted to JSON bytes
+(UID, model, full memory image, wear counters, lock state) and restored
+later, and a :class:`TagStore` keeps a named population of tags in a
+directory.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import TagError
+from repro.tags.tag import SimulatedTag
+from repro.tags.types import TAG_TYPES
+
+SNAPSHOT_VERSION = 1
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+def snapshot_tag(tag: SimulatedTag) -> bytes:
+    """Serialize a tag's complete state to JSON bytes."""
+    state = {
+        "version": SNAPSHOT_VERSION,
+        "uid": tag.uid.hex(),
+        "tag_type": tag.tag_type.name,
+        "memory": tag.memory.export_state(),
+    }
+    return json.dumps(state, sort_keys=True).encode("utf-8")
+
+
+def restore_tag(data: bytes) -> SimulatedTag:
+    """Rebuild a tag from :func:`snapshot_tag` output.
+
+    The restored tag is a *new* physical object with the same UID and
+    byte-identical memory; wear counters and lock state carry over.
+    """
+    try:
+        state = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise TagError(f"not a tag snapshot: {exc}") from exc
+    if state.get("version") != SNAPSHOT_VERSION:
+        raise TagError(
+            f"unsupported snapshot version {state.get('version')!r} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    try:
+        tag_type = TAG_TYPES[state["tag_type"]]
+        uid = bytes.fromhex(state["uid"])
+        memory_state = state["memory"]
+    except (KeyError, ValueError) as exc:
+        raise TagError(f"malformed tag snapshot: {exc}") from exc
+    tag = SimulatedTag(tag_type=tag_type, uid=uid, formatted=False)
+    tag.memory.import_state(memory_state)
+    return tag
+
+
+class TagStore:
+    """A named population of tags persisted in one directory."""
+
+    SUFFIX = ".tag.json"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    def save(self, name: str, tag: SimulatedTag) -> Path:
+        """Persist ``tag`` under ``name`` (overwrites)."""
+        path = self._path(name)
+        path.write_bytes(snapshot_tag(tag))
+        return path
+
+    def load(self, name: str) -> SimulatedTag:
+        path = self._path(name)
+        if not path.exists():
+            raise TagError(f"no stored tag named {name!r} in {self._dir}")
+        return restore_tag(path.read_bytes())
+
+    def delete(self, name: str) -> bool:
+        path = self._path(name)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def names(self) -> List[str]:
+        return sorted(
+            path.name[: -len(self.SUFFIX)]
+            for path in self._dir.glob(f"*{self.SUFFIX}")
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return self._path(name).exists()
+
+    def _path(self, name: str) -> Path:
+        if not _NAME_RE.match(name):
+            raise TagError(
+                f"invalid tag name {name!r}; use letters, digits, ., _ and -"
+            )
+        return self._dir / f"{name}{self.SUFFIX}"

@@ -1,0 +1,260 @@
+"""The simulated tag proper: UID, capability container, NDEF TLV area.
+
+A :class:`SimulatedTag` behaves like an NFC Forum Type 2 tag:
+
+* pages 0-1 hold the 7-byte UID (+ BCC bytes, simplified),
+* page 2 holds internal/lock bytes,
+* page 3 holds the capability container (CC): magic ``0xE1``, version,
+  user-area size, access byte,
+* pages 4+ hold TLV blocks; an NDEF message lives in a ``0x03`` TLV
+  terminated by ``0xFE``.
+
+Everything the Android tech layer does (read, write, format, lock) goes
+through the byte-level operations here, so capacity limits, unformatted
+tags and read-only tags behave as on hardware.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Optional, Tuple
+
+from repro.errors import (
+    TagCapacityError,
+    TagFormatError,
+    TagReadOnlyError,
+)
+from repro.ndef.message import NdefMessage
+from repro.tags.memory import PAGE_SIZE, TagMemory
+from repro.tags.types import DEFAULT_TAG_TYPE, TagType
+
+CC_MAGIC = 0xE1
+CC_VERSION = 0x10  # NDEF mapping version 1.0
+CC_ACCESS_RW = 0x00
+CC_ACCESS_RO = 0x0F
+
+TLV_NULL = 0x00
+TLV_NDEF = 0x03
+TLV_PROPRIETARY = 0xFD
+TLV_TERMINATOR = 0xFE
+
+USER_START_PAGE = 4
+
+_uid_counter = itertools.count(1)
+_uid_lock = threading.Lock()
+
+
+def generate_uid() -> bytes:
+    """A unique 7-byte NXP-style UID (manufacturer byte 0x04)."""
+    with _uid_lock:
+        serial = next(_uid_counter)
+    return bytes([0x04]) + serial.to_bytes(6, "big")
+
+
+class SimulatedTag:
+    """One physical tag. Thread-safe; shared by every reader that sees it."""
+
+    def __init__(
+        self,
+        tag_type: TagType = DEFAULT_TAG_TYPE,
+        uid: Optional[bytes] = None,
+        formatted: bool = True,
+    ) -> None:
+        self._type = tag_type
+        self._uid = bytes(uid) if uid is not None else generate_uid()
+        if len(self._uid) != 7:
+            raise ValueError("tag UIDs are 7 bytes")
+        self._memory = TagMemory(
+            page_count=tag_type.total_pages,
+            write_endurance=tag_type.write_endurance,
+        )
+        self._lock = threading.RLock()
+        self._memory.write_bytes(0, self._uid + b"\x00")  # pages 0-1
+        if formatted:
+            self.format()
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def uid(self) -> bytes:
+        return self._uid
+
+    @property
+    def uid_hex(self) -> str:
+        return self._uid.hex()
+
+    @property
+    def tag_type(self) -> TagType:
+        return self._type
+
+    @property
+    def memory(self) -> TagMemory:
+        return self._memory
+
+    def __repr__(self) -> str:
+        return f"SimulatedTag({self._type.name}, uid={self.uid_hex})"
+
+    # -- capability container ------------------------------------------------
+
+    def format(self) -> None:
+        """Write the capability container and an empty NDEF message.
+
+        Equivalent to ``NdefFormatable.format()`` on Android.
+        """
+        with self._lock:
+            size_field = min(self._type.user_bytes // 8, 0xFF)
+            self._memory.write_page(
+                3, bytes([CC_MAGIC, CC_VERSION, size_field, CC_ACCESS_RW])
+            )
+            self._store_tlv(NdefMessage.empty().to_bytes())
+
+    @property
+    def is_ndef_formatted(self) -> bool:
+        return self._memory.read_page(3)[0] == CC_MAGIC
+
+    @property
+    def is_writable(self) -> bool:
+        with self._lock:
+            if self._memory.locked:
+                return False
+            cc = self._memory.read_page(3)
+            return cc[0] == CC_MAGIC and cc[3] == CC_ACCESS_RW
+
+    def make_read_only(self) -> None:
+        """Set the CC access byte to read-only and freeze the memory.
+
+        Idempotent: locking an already-locked tag is a no-op (the lock
+        bits are one-way fuses on hardware).
+        """
+        with self._lock:
+            if self._memory.locked:
+                return
+            cc = bytearray(self._memory.read_page(3))
+            cc[3] = CC_ACCESS_RO
+            self._memory.write_page(3, bytes(cc))
+            self._memory.lock()
+
+    @property
+    def ndef_capacity(self) -> int:
+        """Largest encodable NDEF message in bytes."""
+        return self._type.ndef_capacity
+
+    # -- NDEF I/O ------------------------------------------------------------
+
+    def read_ndef(self) -> NdefMessage:
+        """Read and decode the stored NDEF message.
+
+        Raises :class:`TagFormatError` if the tag is unformatted or its TLV
+        area is corrupt.
+        """
+        with self._lock:
+            if not self.is_ndef_formatted:
+                raise TagFormatError(f"tag {self.uid_hex} is not NDEF formatted")
+            raw = self._load_tlv()
+            return NdefMessage.from_bytes(raw)
+
+    def write_ndef(self, message: NdefMessage) -> None:
+        """Encode and store ``message``.
+
+        Raises :class:`TagFormatError` for unformatted tags,
+        :class:`TagReadOnlyError` for locked tags and
+        :class:`TagCapacityError` when the message does not fit.
+        """
+        with self._lock:
+            if not self.is_ndef_formatted:
+                raise TagFormatError(f"tag {self.uid_hex} is not NDEF formatted")
+            if not self.is_writable:
+                raise TagReadOnlyError(f"tag {self.uid_hex} is read-only")
+            encoded = message.to_bytes()
+            if len(encoded) > self.ndef_capacity:
+                raise TagCapacityError(
+                    f"{len(encoded)}-byte message exceeds the "
+                    f"{self.ndef_capacity}-byte capacity of {self._type.name}"
+                )
+            self._store_tlv(encoded)
+
+    def erase(self) -> None:
+        """Overwrite the stored message with the canonical empty message."""
+        self.write_ndef(NdefMessage.empty())
+
+    @property
+    def is_empty(self) -> bool:
+        """True when formatted and holding only the empty record."""
+        with self._lock:
+            if not self.is_ndef_formatted:
+                return False
+            try:
+                return self.read_ndef().is_empty
+            except Exception:  # noqa: BLE001 - corrupt area counts as not-empty
+                return False
+
+    # -- TLV plumbing ----------------------------------------------------------
+
+    def _store_tlv(self, ndef_bytes: bytes) -> None:
+        if len(ndef_bytes) < 0xFF:
+            block = bytes([TLV_NDEF, len(ndef_bytes)]) + ndef_bytes
+        else:
+            block = (
+                bytes([TLV_NDEF, 0xFF])
+                + len(ndef_bytes).to_bytes(2, "big")
+                + ndef_bytes
+            )
+        block += bytes([TLV_TERMINATOR])
+        if len(block) > self._type.user_bytes:
+            raise TagCapacityError(
+                f"TLV block of {len(block)} bytes exceeds the "
+                f"{self._type.user_bytes}-byte user area"
+            )
+        self._memory.write_bytes(USER_START_PAGE, block)
+
+    def _load_tlv(self) -> bytes:
+        area = self._memory.read_pages(USER_START_PAGE, self._type.user_pages)
+        offset = 0
+        while offset < len(area):
+            tlv_type = area[offset]
+            if tlv_type == TLV_NULL:
+                offset += 1
+                continue
+            if tlv_type == TLV_TERMINATOR:
+                break
+            value, offset = self._read_tlv_value(area, offset)
+            if tlv_type == TLV_NDEF:
+                return value
+            # Proprietary and other TLVs are skipped.
+        raise TagFormatError(f"tag {self.uid_hex} holds no NDEF TLV")
+
+    @staticmethod
+    def _read_tlv_value(area: bytes, offset: int) -> Tuple[bytes, int]:
+        if offset + 2 > len(area):
+            raise TagFormatError("truncated TLV header")
+        length = area[offset + 1]
+        offset += 2
+        if length == 0xFF:
+            if offset + 2 > len(area):
+                raise TagFormatError("truncated 3-byte TLV length")
+            length = int.from_bytes(area[offset : offset + 2], "big")
+            offset += 2
+        if offset + length > len(area):
+            raise TagFormatError("TLV value exceeds the user area")
+        return area[offset : offset + length], offset + length
+
+    def _tear_write_hook(self, message: NdefMessage) -> None:
+        """What a tear mid-write leaves behind on a Type 2 tag: a truncated
+        TLV that subsequent reads reject until a full rewrite heals it."""
+        encoded = message.to_bytes()
+        torn = encoded[: max(1, len(encoded) // 2)]
+        try:
+            self._store_tlv(torn)
+        except Exception:  # noqa: BLE001 - best-effort corruption
+            pass
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def raw_dump(self) -> bytes:
+        """Full memory image, for debugging and forensic tests."""
+        return self._memory.read_pages(0, self._memory.page_count)
+
+    @property
+    def write_cycles(self) -> int:
+        return self._memory.total_writes()

@@ -1,0 +1,382 @@
+"""Type 4 tags: the ISO-DEP tag technology.
+
+Where Type 2 tags expose raw pages, Type 4 tags run a tiny smartcard
+application (ISO 7816-4). The NFC Forum Type 4 Tag mapping defines:
+
+* an **NDEF application** selected by AID ``D2760000850101``;
+* a **capability container file** (id ``E103``): version, maximum APDU
+  sizes and a control TLV naming the NDEF file, its capacity and its
+  read/write access bytes;
+* an **NDEF file** (default id ``E104``): a 2-byte ``NLEN`` length prefix
+  followed by the NDEF message bytes.
+
+Readers drive the tag through SELECT / READ BINARY / UPDATE BINARY
+APDUs. Writers follow the specification's **safe update** sequence:
+write ``NLEN = 0``, write the message bytes, then write the real
+``NLEN``. The payoff is atomicity -- a write torn mid-way leaves a
+*valid empty* tag, never a corrupt one (contrast with Type 2, where a
+torn TLV is unreadable until rewritten). The reproduction keeps that
+difference observable: see ``benchmarks/test_bench_tag_techs.py``.
+
+:class:`Type4Tag` implements the same high-level surface as
+:class:`~repro.tags.tag.SimulatedTag` (``read_ndef`` / ``write_ndef`` /
+``format`` / ``make_read_only`` / ``is_ndef_formatted`` ...), but every
+high-level call is routed through the tag's own APDU processor -- the
+byte protocol is the real interface, as on hardware.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import TagCapacityError, TagFormatError, TagReadOnlyError
+from repro.ndef.message import NdefMessage
+from repro.tags.apdu import (
+    INS_READ_BINARY,
+    INS_SELECT,
+    INS_UPDATE_BINARY,
+    SW_CONDITIONS_NOT_SATISFIED,
+    SW_FILE_NOT_FOUND,
+    SW_INS_NOT_SUPPORTED,
+    SW_WRONG_LENGTH,
+    SW_WRONG_P1P2,
+    CommandApdu,
+    ResponseApdu,
+    error,
+    ok,
+)
+from repro.tags.tag import generate_uid
+
+NDEF_AID = bytes.fromhex("D2760000850101")
+CC_FILE_ID = 0xE103
+NDEF_FILE_ID = 0xE104
+
+CC_MAPPING_VERSION = 0x20  # 2.0
+MAX_LE = 0xF6  # max bytes per READ BINARY
+MAX_LC = 0xF6  # max bytes per UPDATE BINARY
+
+ACCESS_GRANTED = 0x00
+ACCESS_DENIED = 0xFF
+
+
+@dataclass(frozen=True)
+class Type4Spec:
+    """Static description of one Type 4 tag model."""
+
+    name: str
+    ndef_file_size: int  # bytes, including the 2-byte NLEN prefix
+
+    @property
+    def ndef_capacity(self) -> int:
+        return self.ndef_file_size - 2
+
+    # Rough parity with TagType for the radio's latency model.
+    @property
+    def user_bytes(self) -> int:
+        return self.ndef_file_size
+
+
+TYPE4_SPECS: Dict[str, Type4Spec] = {
+    spec.name: spec
+    for spec in (
+        Type4Spec(name="TYPE4_2K", ndef_file_size=2048),
+        Type4Spec(name="TYPE4_8K", ndef_file_size=8192),
+        Type4Spec(name="DESFIRE_EV1_4K", ndef_file_size=4096),
+    )
+}
+
+
+class Type4Tag:
+    """One simulated Type 4 tag (or the tag side of a card emulation)."""
+
+    def __init__(
+        self,
+        spec: Type4Spec = TYPE4_SPECS["TYPE4_2K"],
+        uid: Optional[bytes] = None,
+    ) -> None:
+        self._spec = spec
+        self._uid = bytes(uid) if uid is not None else generate_uid()
+        if len(self._uid) != 7:
+            raise ValueError("tag UIDs are 7 bytes")
+        self._lock = threading.RLock()
+        self._ndef_file = bytearray(spec.ndef_file_size)  # NLEN=0: empty
+        self._write_access = ACCESS_GRANTED
+        # Reader-session state (one reader at a time, as in the field).
+        self._app_selected = False
+        self._selected_file: Optional[int] = None
+        self.apdu_count = 0
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def uid(self) -> bytes:
+        return self._uid
+
+    @property
+    def uid_hex(self) -> str:
+        return self._uid.hex()
+
+    @property
+    def tag_type(self) -> Type4Spec:
+        return self._spec
+
+    @property
+    def ndef_capacity(self) -> int:
+        return self._spec.ndef_capacity
+
+    def __repr__(self) -> str:
+        return f"Type4Tag({self._spec.name}, uid={self.uid_hex})"
+
+    # -- SimulatedTag-compatible high-level surface ------------------------------
+    # Every call below goes through the tag's own APDU processor; the byte
+    # protocol is the real interface, exactly as on hardware.
+
+    @property
+    def is_ndef_formatted(self) -> bool:
+        return True  # Type 4 tags ship with the NDEF application installed
+
+    @property
+    def is_writable(self) -> bool:
+        with self._lock:
+            return self._write_access == ACCESS_GRANTED
+
+    @property
+    def is_empty(self) -> bool:
+        try:
+            return self.read_ndef().is_empty
+        except Exception:  # noqa: BLE001 - unreadable counts as not-empty
+            return False
+
+    def read_ndef(self) -> NdefMessage:
+        return _high_level_read(self)
+
+    def write_ndef(self, message: NdefMessage) -> None:
+        _high_level_write(self, message)
+
+    def format(self) -> None:
+        """Factory tags host the NDEF application already; empty the file."""
+        session = _open_session(self)
+        session.select_file(NDEF_FILE_ID)
+        session.write_all(0, b"\x00\x00")
+
+    def erase(self) -> None:
+        self.format()
+
+    def make_read_only(self) -> None:
+        with self._lock:
+            self._write_access = ACCESS_DENIED
+
+    def _tear_write_hook(self, message: NdefMessage) -> None:
+        """What a tear mid-write leaves behind: NLEN=0 plus partial data.
+
+        Thanks to the safe-update sequence this is a *valid empty* tag,
+        never a corrupt one -- the observable difference from Type 2.
+        """
+        encoded = message.to_bytes()
+        torn = encoded[: max(1, len(encoded) // 2)]
+        session = _open_session(self)
+        session.select_file(NDEF_FILE_ID)
+        session.write_all(0, b"\x00\x00")
+        session.write_all(2, torn)
+
+    # -- the APDU processor (what the radio actually calls) -------------------------
+
+    def process_apdu(self, raw: bytes) -> bytes:
+        """Handle one command APDU; returns the response bytes."""
+        with self._lock:
+            self.apdu_count += 1
+            try:
+                command = CommandApdu.from_bytes(raw)
+            except Exception:  # noqa: BLE001 - hostile bytes answer with SW
+                return error(SW_WRONG_LENGTH).to_bytes()
+            return self._dispatch(command).to_bytes()
+
+    def _dispatch(self, command: CommandApdu) -> ResponseApdu:
+        if command.ins == INS_SELECT:
+            return self._select(command)
+        if command.ins == INS_READ_BINARY:
+            return self._read_binary(command)
+        if command.ins == INS_UPDATE_BINARY:
+            return self._update_binary(command)
+        return error(SW_INS_NOT_SUPPORTED)
+
+    def _select(self, command: CommandApdu) -> ResponseApdu:
+        if command.p1 == 0x04:  # select by AID
+            if command.data == NDEF_AID:
+                self._app_selected = True
+                self._selected_file = None
+                return ok()
+            return error(SW_FILE_NOT_FOUND)
+        if command.p1 == 0x00:  # select by file id
+            if not self._app_selected:
+                return error(SW_CONDITIONS_NOT_SATISFIED)
+            if len(command.data) != 2:
+                return error(SW_WRONG_LENGTH)
+            file_id = int.from_bytes(command.data, "big")
+            if file_id in (CC_FILE_ID, NDEF_FILE_ID):
+                self._selected_file = file_id
+                return ok()
+            return error(SW_FILE_NOT_FOUND)
+        return error(SW_WRONG_P1P2)
+
+    def _read_binary(self, command: CommandApdu) -> ResponseApdu:
+        content = self._selected_content()
+        if content is None:
+            return error(SW_CONDITIONS_NOT_SATISFIED)
+        offset = command.p1p2
+        if offset > len(content):
+            return error(SW_WRONG_P1P2)
+        length = command.le if command.le is not None else 0
+        return ok(bytes(content[offset : offset + length]))
+
+    def _update_binary(self, command: CommandApdu) -> ResponseApdu:
+        if self._selected_file != NDEF_FILE_ID:
+            return error(SW_CONDITIONS_NOT_SATISFIED)
+        if self._write_access != ACCESS_GRANTED:
+            return error(SW_CONDITIONS_NOT_SATISFIED)
+        offset = command.p1p2
+        if offset + len(command.data) > len(self._ndef_file):
+            return error(SW_WRONG_LENGTH)
+        self._ndef_file[offset : offset + len(command.data)] = command.data
+        return ok()
+
+    def _selected_content(self) -> Optional[bytes]:
+        if self._selected_file == CC_FILE_ID:
+            return self._cc_file()
+        if self._selected_file == NDEF_FILE_ID:
+            return bytes(self._ndef_file)
+        return None
+
+    def _cc_file(self) -> bytes:
+        # CCLEN(2) version(1) MLe(2) MLc(2) + NDEF file control TLV (8).
+        tlv = bytes(
+            [
+                0x04,  # NDEF File Control TLV
+                0x06,
+                NDEF_FILE_ID >> 8,
+                NDEF_FILE_ID & 0xFF,
+                len(self._ndef_file) >> 8,
+                len(self._ndef_file) & 0xFF,
+                ACCESS_GRANTED,  # read access
+                self._write_access,
+            ]
+        )
+        body = (
+            bytes([CC_MAPPING_VERSION])
+            + MAX_LE.to_bytes(2, "big")
+            + MAX_LC.to_bytes(2, "big")
+            + tlv
+        )
+        cclen = len(body) + 2
+        return cclen.to_bytes(2, "big") + body
+
+
+class _Type4ReaderSession:
+    """Drives a Type4Tag through APDUs the way a phone's NFC stack does."""
+
+    def __init__(self, tag: Type4Tag) -> None:
+        self._tag = tag
+
+    def _exchange(self, command: CommandApdu) -> ResponseApdu:
+        response = ResponseApdu.from_bytes(self._tag.process_apdu(command.to_bytes()))
+        return response
+
+    def select_application(self) -> ResponseApdu:
+        return self._exchange(
+            CommandApdu(0x00, INS_SELECT, 0x04, 0x00, data=NDEF_AID)
+        )
+
+    def select_file(self, file_id: int) -> ResponseApdu:
+        return self._exchange(
+            CommandApdu(0x00, INS_SELECT, 0x00, 0x0C, data=file_id.to_bytes(2, "big"))
+        )
+
+    def read_binary(self, offset: int, length: int) -> ResponseApdu:
+        return self._exchange(
+            CommandApdu(0x00, INS_READ_BINARY, offset >> 8, offset & 0xFF, le=length)
+        )
+
+    def update_binary(self, offset: int, data: bytes) -> ResponseApdu:
+        return self._exchange(
+            CommandApdu(0x00, INS_UPDATE_BINARY, offset >> 8, offset & 0xFF, data=data)
+        )
+
+    def read_all(self, offset: int, total: int) -> bytes:
+        out = bytearray()
+        position = offset
+        while len(out) < total:
+            chunk = min(MAX_LE, total - len(out))
+            response = self.read_binary(position, chunk)
+            if not response.is_ok:
+                raise TagFormatError(f"READ BINARY failed: SW={response.sw:04x}")
+            out += response.data
+            position += len(response.data)
+        return bytes(out)
+
+    def write_all(self, offset: int, data: bytes) -> None:
+        position = 0
+        while position < len(data):
+            chunk = data[position : position + MAX_LC]
+            response = self.update_binary(offset + position, chunk)
+            if not response.is_ok:
+                if response.sw == SW_CONDITIONS_NOT_SATISFIED:
+                    raise TagReadOnlyError("NDEF file is write-protected")
+                raise TagFormatError(f"UPDATE BINARY failed: SW={response.sw:04x}")
+            position += len(chunk)
+
+
+# -- the SimulatedTag-compatible high-level surface --------------------------------
+
+
+def _open_session(tag: Type4Tag) -> _Type4ReaderSession:
+    session = _Type4ReaderSession(tag)
+    if not session.select_application().is_ok:
+        raise TagFormatError("tag does not host the NDEF application")
+    return session
+
+
+def _high_level_read(tag: Type4Tag) -> NdefMessage:
+    session = _open_session(tag)
+    if not session.select_file(NDEF_FILE_ID).is_ok:
+        raise TagFormatError("NDEF file missing")
+    nlen = int.from_bytes(session.read_all(0, 2), "big")
+    if nlen == 0:
+        return NdefMessage.empty()
+    if nlen > tag.ndef_capacity:
+        raise TagFormatError(f"NLEN {nlen} exceeds the NDEF file")
+    return NdefMessage.from_bytes(session.read_all(2, nlen))
+
+
+def _high_level_write(tag: Type4Tag, message: NdefMessage) -> None:
+    encoded = message.to_bytes()
+    if len(encoded) > tag.ndef_capacity:
+        raise TagCapacityError(
+            f"{len(encoded)}-byte message exceeds the "
+            f"{tag.ndef_capacity}-byte NDEF file of {tag.tag_type.name}"
+        )
+    session = _open_session(tag)
+    if not session.select_file(NDEF_FILE_ID).is_ok:
+        raise TagFormatError("NDEF file missing")
+    # The specification's safe sequence: NLEN=0, data, real NLEN.
+    session.write_all(0, b"\x00\x00")
+    session.write_all(2, encoded)
+    session.write_all(0, len(encoded).to_bytes(2, "big"))
+
+
+def make_type4_tag(
+    spec: str = "TYPE4_2K",
+    content: Optional[NdefMessage] = None,
+    uid: Optional[bytes] = None,
+) -> Type4Tag:
+    """Convenience constructor mirroring :func:`repro.tags.factory.make_tag`."""
+    try:
+        resolved = TYPE4_SPECS[spec]
+    except KeyError:
+        known = ", ".join(sorted(TYPE4_SPECS))
+        raise TagFormatError(f"unknown Type 4 spec {spec!r}; known: {known}") from None
+    tag = Type4Tag(spec=resolved, uid=uid)
+    if content is not None:
+        tag.write_ndef(content)
+    return tag

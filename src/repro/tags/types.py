@@ -1,0 +1,65 @@
+"""Catalog of simulated tag models.
+
+Geometry follows the NXP datasheets for the NTAG and MIFARE Ultralight
+families (the tags actually sold as NFC stickers and the ones a Nexus-S
+class phone reads). ``user_pages`` is the NDEF TLV area; the first four
+pages (UID, internal, lock bytes, capability container) are modeled
+separately by :class:`repro.tags.tag.SimulatedTag`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.tags.memory import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class TagType:
+    """Static description of one tag model."""
+
+    name: str
+    user_pages: int
+    write_endurance: int = 10_000
+    # Nominal per-byte transfer time in seconds; type 2 tags at 106 kbit/s
+    # move roughly 10 KiB/s of useful payload once protocol overhead is
+    # accounted for. The radio layer scales operation latency with this.
+    seconds_per_byte: float = 1e-4
+
+    @property
+    def user_bytes(self) -> int:
+        return self.user_pages * PAGE_SIZE
+
+    @property
+    def total_pages(self) -> int:
+        # 4 header pages (UID x2, internal+lock, capability container).
+        return self.user_pages + 4
+
+    @property
+    def ndef_capacity(self) -> int:
+        """Largest NDEF message that fits once TLV overhead is subtracted.
+
+        The message TLV costs 2 bytes of overhead for lengths < 255 and
+        4 bytes otherwise, plus 1 byte for the terminator TLV.
+        """
+        area = self.user_bytes
+        if area - 3 < 255:
+            return max(0, area - 3)
+        return max(0, area - 5)
+
+
+TAG_TYPES: Dict[str, TagType] = {
+    tag_type.name: tag_type
+    for tag_type in (
+        TagType(name="MIFARE_ULTRALIGHT", user_pages=12, write_endurance=10_000),
+        TagType(name="NTAG203", user_pages=36, write_endurance=10_000),
+        TagType(name="NTAG213", user_pages=36, write_endurance=10_000),
+        TagType(name="NTAG215", user_pages=126, write_endurance=10_000),
+        TagType(name="NTAG216", user_pages=222, write_endurance=10_000),
+        # A generous synthetic model for stress tests and large things.
+        TagType(name="SIMTAG_4K", user_pages=1024, write_endurance=100_000),
+    )
+}
+
+DEFAULT_TAG_TYPE = TAG_TYPES["NTAG216"]

@@ -1,0 +1,43 @@
+"""MORENA's highest abstraction layer: *things* (paper section 2).
+
+A **thing** is a plain application object that is causally connected to a
+specific RFID tag: it can be used like any object, and in addition be
+initialized onto an empty tag, saved back to its tag, and broadcast to
+nearby phones -- always asynchronously, with success/failure listener
+pairs, and with serialization (GSON-style JSON) handled automatically.
+
+* :class:`~repro.things.thing.Thing` -- base class; public, non-transient
+  attributes are what gets stored on the tag.
+* :class:`~repro.things.activity.ThingActivity` -- an activity
+  parametrized (via the ``THING_CLASS`` attribute) with the thing type it
+  interacts with; override ``when_discovered`` and
+  ``when_discovered_empty``. (The paper spells both as overloads of
+  ``whenDiscovered``; Python has no overloading, hence two names.)
+* :class:`~repro.things.empty.EmptyRecord` -- the special thing denoting
+  an empty tag; its ``initialize`` binds a fresh thing to the tag.
+* :mod:`repro.things.listeners` -- ``ThingSavedListener`` and friends.
+"""
+
+from repro.things.listeners import (
+    ThingBroadcastFailedListener,
+    ThingBroadcastSuccessListener,
+    ThingInitializeFailedListener,
+    ThingInitializedListener,
+    ThingSavedListener,
+    ThingSaveFailedListener,
+)
+from repro.things.thing import Thing
+from repro.things.empty import EmptyRecord
+from repro.things.activity import ThingActivity
+
+__all__ = [
+    "Thing",
+    "ThingActivity",
+    "EmptyRecord",
+    "ThingSavedListener",
+    "ThingSaveFailedListener",
+    "ThingInitializedListener",
+    "ThingInitializeFailedListener",
+    "ThingBroadcastSuccessListener",
+    "ThingBroadcastFailedListener",
+]

@@ -1,0 +1,233 @@
+"""``ThingActivity``: the activity type of the things layer.
+
+Paper section 2.1: a ``ThingActivity`` is parametrized with the type of
+things it interacts with; internally it captures all low-level Android
+events and triggers the correct actions on the associated thing objects.
+
+Python rendition: subclass and set the ``THING_CLASS`` attribute::
+
+    class WifiJoinerActivity(ThingActivity):
+        THING_CLASS = WifiConfig
+
+        def when_discovered(self, thing):
+            ...
+        def when_discovered_empty(self, empty):
+            ...
+
+The MIME type stored on tags is derived from the thing class
+(``application/vnd.morena.<classname>``), the converters are GSON-style
+JSON, and broadcast reception is wired to the same ``when_discovered``
+callback (section 2.5: received things arrive unbound).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Type
+
+from repro.core.beam import Beamer, BeamReceivedListener
+from repro.core.converters import JsonToObjectConverter, ObjectToJsonConverter
+from repro.core.discovery import TagDiscoverer
+from repro.core.nfc_activity import NFCActivity
+from repro.core.reference import TagReference
+from repro.errors import ThingError
+from repro.gson import Gson
+from repro.ndef.message import NdefMessage
+from repro.things.empty import EmptyRecord
+from repro.things.thing import Thing
+
+
+def thing_mime_type(thing_class: Type[Thing]) -> str:
+    """The MIME type under which ``thing_class`` instances are stored."""
+    return f"application/vnd.morena.{thing_class.__name__.lower()}"
+
+
+class _ThingReadConverter(JsonToObjectConverter):
+    """JSON -> thing: version-migrated, re-attached to the activity, unbound."""
+
+    def __init__(self, activity: "ThingActivity", gson: Optional[Gson] = None) -> None:
+        super().__init__(activity.THING_CLASS, gson)
+        self._activity = activity
+
+    def convert(self, message: NdefMessage) -> Any:
+        import json
+
+        from repro.errors import ConverterError
+
+        if not len(message):
+            raise ConverterError("message has no records")
+        try:
+            data = json.loads(message[0].payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ConverterError(f"tag does not hold JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConverterError("thing payload is not a JSON object")
+        stored_version = int(data.pop("_schema", 1))
+        current_version = self._activity.schema_version
+        if stored_version > current_version:
+            raise ConverterError(
+                f"tag written by schema version {stored_version}, this "
+                f"application understands up to {current_version}"
+            )
+        if stored_version < current_version:
+            data = self._activity.migrate_thing_data(data, stored_version)
+        try:
+            thing = self._gson.from_jsonable(data, self.target_class)
+        except Exception as exc:
+            raise ConverterError(
+                f"cannot deserialize into {self.target_class.__name__}: {exc}"
+            ) from exc
+        # Gson revives without __init__; give the thing its internals back.
+        thing._activity = self._activity  # noqa: SLF001 - layer-internal
+        thing._reference = None  # noqa: SLF001 - bound later, if at all
+        return thing
+
+
+class _ThingWriteConverter(ObjectToJsonConverter):
+    """Thing -> JSON, stamped with the activity's schema version."""
+
+    def __init__(self, activity: "ThingActivity", gson: Optional[Gson] = None) -> None:
+        super().__init__(thing_mime_type(activity.THING_CLASS), gson)
+        self._activity = activity
+
+    def convert(self, obj: Any) -> NdefMessage:
+        import json
+
+        from repro.errors import ConverterError
+        from repro.ndef.mime import mime_record
+
+        try:
+            data = self._gson.to_jsonable(obj)
+        except Exception as exc:
+            raise ConverterError(
+                f"cannot serialize {type(obj).__name__}: {exc}"
+            ) from exc
+        if self._activity.schema_version != 1:
+            data["_schema"] = self._activity.schema_version
+        text = json.dumps(data, sort_keys=True)
+        return NdefMessage([mime_record(self.mime_type, text.encode("utf-8"))])
+
+
+class _ThingDiscoverer(TagDiscoverer):
+    """The internal discoverer every ThingActivity runs on."""
+
+    def __init__(self, activity: "ThingActivity", **kwargs) -> None:
+        self._thing_activity = activity
+        super().__init__(
+            activity,
+            thing_mime_type(activity.THING_CLASS),
+            _ThingReadConverter(activity, activity.gson),
+            _ThingWriteConverter(activity, activity.gson),
+            accept_empty=True,
+            **kwargs,
+        )
+
+    def check_condition(self, reference: TagReference) -> bool:
+        thing = reference.cached
+        return isinstance(thing, Thing) and self._thing_activity.check_condition(thing)
+
+    def on_tag_detected(self, reference: TagReference) -> None:
+        self._deliver(reference)
+
+    def on_tag_redetected(self, reference: TagReference) -> None:
+        self._deliver(reference)
+
+    def on_empty_tag_detected(self, reference: TagReference) -> None:
+        self._thing_activity.when_discovered_empty(
+            EmptyRecord(reference, self._thing_activity)
+        )
+
+    def _deliver(self, reference: TagReference) -> None:
+        thing = reference.cached
+        if not isinstance(thing, Thing):
+            return
+        thing._bind(reference, self._thing_activity)  # noqa: SLF001
+        self._thing_activity.when_discovered(thing)
+
+
+class _ThingBeamListener(BeamReceivedListener):
+    """Routes received broadcast things into ``when_discovered``."""
+
+    def __init__(self, activity: "ThingActivity") -> None:
+        self._thing_activity = activity
+        super().__init__(
+            activity,
+            thing_mime_type(activity.THING_CLASS),
+            _ThingReadConverter(activity, activity.gson),
+        )
+
+    def check_condition(self, obj: Any) -> bool:
+        return isinstance(obj, Thing) and self._thing_activity.check_condition(obj)
+
+    def on_beam_received(self, obj: Any) -> None:
+        # Beamed things are not bound to any tag (paper section 2.5).
+        self._thing_activity.when_discovered(obj)
+
+
+class ThingActivity(NFCActivity):
+    """Activity base class for applications written at the thing level."""
+
+    THING_CLASS: Type[Thing] = Thing
+
+    def __init__(self, device) -> None:
+        if self.THING_CLASS is Thing or not issubclass(self.THING_CLASS, Thing):
+            raise ThingError(
+                f"{type(self).__name__} must set THING_CLASS to a Thing subclass"
+            )
+        super().__init__(device)
+        self.gson = self.make_gson()
+        self._thing_discoverer = _ThingDiscoverer(self)
+        self._thing_beam_listener = _ThingBeamListener(self)
+        self._thing_beamer: Optional[Beamer] = None
+
+    # -- configuration hooks ------------------------------------------------------
+
+    def make_gson(self) -> Gson:
+        """Override to register custom type adapters for thing fields."""
+        return Gson()
+
+    # -- schema versioning -----------------------------------------------------------
+
+    @property
+    def schema_version(self) -> int:
+        """The thing class's on-tag schema version (``SCHEMA_VERSION``)."""
+        return int(getattr(self.THING_CLASS, "SCHEMA_VERSION", 1))
+
+    def migrate_thing_data(self, data: dict, from_version: int) -> dict:
+        """Upgrade a thing's raw field dict from an older schema version.
+
+        Called before deserialization whenever a scanned tag was written
+        by an application with a lower ``SCHEMA_VERSION``. Override to
+        rename fields, fill defaults, recompute values. The default keeps
+        the data unchanged (new fields simply stay at whatever the class
+        leaves them as).
+        """
+        return data
+
+    # -- the callbacks the application overrides -------------------------------------
+
+    def when_discovered(self, thing: Thing) -> None:
+        """A tag holding a thing of ``THING_CLASS`` was scanned, or such a
+        thing was received over Beam. Runs on the main thread."""
+
+    def when_discovered_empty(self, empty: EmptyRecord) -> None:
+        """An empty (or factory-blank) tag was scanned. Runs on the main
+        thread. Use :meth:`EmptyRecord.initialize` to bind a thing to it."""
+
+    def check_condition(self, thing: Thing) -> bool:
+        """Fine-grained filter applied before ``when_discovered``."""
+        return True
+
+    # -- infrastructure -----------------------------------------------------------------
+
+    @property
+    def thing_beamer(self) -> Beamer:
+        """The lazily created Beamer used by ``Thing.broadcast``."""
+        if self._thing_beamer is None:
+            self._thing_beamer = Beamer(
+                self, _ThingWriteConverter(self, self.gson)
+            )
+        return self._thing_beamer
+
+    @property
+    def mime_type(self) -> str:
+        return thing_mime_type(self.THING_CLASS)

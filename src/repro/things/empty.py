@@ -1,0 +1,90 @@
+"""``EmptyRecord``: the special thing denoting an empty RFID tag.
+
+Paper section 2.2: ``when_discovered_empty`` is triggered with an
+``EmptyRecord`` whenever an empty tag is scanned; its ``initialize``
+method binds a not-yet-bound thing to that tag by (asynchronously)
+writing the serialized thing into the tag's memory. Factory-blank
+(unformatted) tags are handled too: an NDEF format operation is queued
+ahead of the write, and the reference's in-order queue guarantees the
+sequencing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.listeners import ListenerLike, as_callback
+from repro.core.operations import Operation
+from repro.core.reference import TagReference
+from repro.errors import ThingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.things.activity import ThingActivity
+    from repro.things.thing import Thing
+
+
+class EmptyRecord:
+    """A handle on one empty (or factory-blank) tag."""
+
+    def __init__(self, reference: TagReference, activity: "ThingActivity") -> None:
+        self._reference = reference
+        self._activity = activity
+
+    @property
+    def reference(self) -> TagReference:
+        return self._reference
+
+    @property
+    def tag_uid(self) -> bytes:
+        return self._reference.uid
+
+    @property
+    def is_formatted(self) -> bool:
+        return self._reference.tag.simulated.is_ndef_formatted
+
+    def initialize(
+        self,
+        thing: "Thing",
+        on_saved: ListenerLike = None,
+        on_save_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Bind ``thing`` to this empty tag by writing it, asynchronously.
+
+        On success the thing becomes bound to the tag's reference and
+        ``on_saved(thing)`` runs on the main thread; on timeout or
+        permanent failure ``on_save_failed()`` runs and the thing stays
+        unbound. Initializing an already-bound thing raises
+        :class:`~repro.errors.ThingError` -- a thing is causally connected
+        to at most one tag.
+        """
+        from repro.things.thing import Thing  # local: import cycle
+
+        if not isinstance(thing, Thing):
+            raise ThingError(
+                f"can only initialize Thing instances, got {type(thing).__name__}"
+            )
+        if thing.is_bound:
+            raise ThingError(
+                "this thing is already bound to a tag; create a new thing "
+                "or broadcast this one instead"
+            )
+        saved = as_callback(on_saved)
+        failed = as_callback(on_save_failed)
+        if not self.is_formatted:
+            # Queued ahead of the write; in-order processing sequences them.
+            self._reference.format(timeout=timeout)
+
+        def bind_and_signal(reference: TagReference) -> None:
+            thing._bind(reference, self._activity)  # noqa: SLF001 - layer-internal
+            saved(thing)
+
+        return self._reference.write(
+            thing,
+            on_written=bind_and_signal,
+            on_failed=lambda _ref: failed(),
+            timeout=timeout,
+        )
+
+    def __repr__(self) -> str:
+        return f"EmptyRecord(tag={self._reference.uid_hex}, formatted={self.is_formatted})"

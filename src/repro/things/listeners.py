@@ -1,0 +1,43 @@
+"""Listener interfaces of the thing layer.
+
+As in the core layer, success and failure listeners are separate
+first-class objects (paper section 2.2), and any plain callable is also
+accepted. Success listeners receive the thing; failure listeners receive
+no arguments, mirroring the paper's signatures.
+"""
+
+from __future__ import annotations
+
+from repro.core.listeners import Listener
+
+
+class ThingSavedListener(Listener):
+    """``signal(thing)`` after a successful save or initialize."""
+
+
+class ThingSaveFailedListener(Listener):
+    """``signal()`` when a save or initialize timed out or failed."""
+
+
+class ThingInitializedListener(ThingSavedListener):
+    """Alias kept for symmetry with the paper's ``initialize`` examples."""
+
+
+class ThingInitializeFailedListener(ThingSaveFailedListener):
+    """Alias kept for symmetry with the paper's ``initialize`` examples."""
+
+
+class ThingBroadcastSuccessListener(Listener):
+    """``signal(thing)`` after the thing was delivered to a peer phone."""
+
+
+class ThingBroadcastFailedListener(Listener):
+    """``signal(thing)`` when the broadcast timed out."""
+
+
+class ThingRefreshedListener(Listener):
+    """``signal(thing)`` after an asynchronous re-read updated the thing."""
+
+
+class ThingRefreshFailedListener(Listener):
+    """``signal()`` when an asynchronous re-read timed out."""

@@ -1,0 +1,184 @@
+"""The ``Thing`` base class.
+
+Things are regular objects with three superpowers (paper section 2):
+
+* **Automatic conversion.** Every public attribute that is not listed in
+  the class's ``__transient__`` tuple is serialized to JSON when the
+  thing is stored on a tag; attributes starting with ``_`` are always
+  internal. (In the paper, GSON plus Java's ``transient`` keyword.)
+* **save_async.** A thing bound to a tag can be modified freely and then
+  saved back; saving is enforced to be asynchronous because it writes the
+  full serialized thing to tag memory -- long-lasting and failure-prone.
+* **broadcast.** A thing can be pushed to nearby phones over Beam with
+  the same asynchronous listener interface; received things arrive
+  unbound (they can later be bound by initializing an empty tag).
+
+Synchronous access to attributes is always allowed -- a thing *is* its
+cached state -- with the paper's staleness caveat: another phone may have
+rewritten the tag since the thing was last read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.core.listeners import ListenerLike, as_callback
+from repro.core.operations import Operation
+from repro.core.reference import TagReference
+from repro.errors import ThingError
+from repro.gson.gson import transient_fields
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.things.activity import ThingActivity
+
+
+class Thing:
+    """Base class for objects that live on RFID tags.
+
+    Subclass it, assign public attributes, and pass the owning
+    :class:`~repro.things.activity.ThingActivity` to the constructor::
+
+        class WifiConfig(Thing):
+            def __init__(self, activity, ssid, key):
+                super().__init__(activity)
+                self.ssid = ssid
+                self.key = key
+    """
+
+    __transient__: tuple = ()
+
+    def __init__(self, activity: "ThingActivity") -> None:
+        self._activity = activity
+        self._reference: Optional[TagReference] = None
+
+    # -- binding -----------------------------------------------------------------
+
+    @property
+    def activity(self) -> "ThingActivity":
+        return self._activity
+
+    @property
+    def reference(self) -> Optional[TagReference]:
+        """The tag reference this thing is bound to, or ``None``."""
+        return self._reference
+
+    @property
+    def is_bound(self) -> bool:
+        """Whether this thing is causally connected to a specific tag."""
+        return self._reference is not None
+
+    @property
+    def tag_uid(self) -> Optional[bytes]:
+        return self._reference.uid if self._reference is not None else None
+
+    def _bind(self, reference: TagReference, activity: "ThingActivity") -> None:
+        self._reference = reference
+        self._activity = activity
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save_async(
+        self,
+        on_saved: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Write this thing's current state back to its tag, asynchronously.
+
+        ``on_saved(thing)`` runs on the main thread after the serialized
+        state physically reached the tag; ``on_failed()`` runs when the
+        operation timed out or failed permanently. Raises
+        :class:`~repro.errors.ThingError` when the thing is not bound.
+        """
+        reference = self._require_bound("save")
+        saved = as_callback(on_saved)
+        failed = as_callback(on_failed)
+        return reference.write(
+            self,
+            on_written=lambda _ref: saved(self),
+            on_failed=lambda _ref: failed(),
+            timeout=timeout,
+        )
+
+    def refresh_async(
+        self,
+        on_refreshed: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Re-read the tag and update this thing's attributes in place.
+
+        The asynchronous alternative to trusting the cache in critical
+        cases (paper section 2.3). On success the freshly deserialized
+        state is copied into this object and ``on_refreshed(thing)`` runs.
+        """
+        reference = self._require_bound("refresh")
+        refreshed = as_callback(on_refreshed)
+        failed = as_callback(on_failed)
+
+        def absorb(ref: TagReference) -> None:
+            fresh = ref.cached
+            if isinstance(fresh, Thing):
+                self._copy_public_fields_from(fresh)
+                refreshed(self)
+            else:
+                failed()
+
+        return reference.read(
+            on_read=absorb,
+            on_failed=lambda _ref: failed(),
+            timeout=timeout,
+        )
+
+    # -- broadcast --------------------------------------------------------------------
+
+    def broadcast(
+        self,
+        on_success: ListenerLike = None,
+        on_failed: ListenerLike = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Push this thing to any phone in Beam range, asynchronously.
+
+        ``on_success(thing)`` / ``on_failed(thing)`` run on the main
+        thread, per the paper's ``ThingBroadcast*Listener`` signatures.
+        The receiving phone's ``ThingActivity`` sees the thing through its
+        standard ``when_discovered`` callback, unbound to any tag.
+        """
+        succeeded = as_callback(on_success)
+        failed = as_callback(on_failed)
+        beamer = self._activity.thing_beamer
+        return beamer.beam(
+            self,
+            on_success=lambda: succeeded(self),
+            on_failed=lambda: failed(self),
+            timeout=timeout,
+        )
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def public_fields(self) -> dict:
+        """The attributes that participate in serialization."""
+        skip = transient_fields(type(self))
+        return {
+            name: value
+            for name, value in self.__dict__.items()
+            if not name.startswith("_") and name not in skip
+        }
+
+    def _copy_public_fields_from(self, other: "Thing") -> None:
+        for name, value in other.public_fields().items():
+            setattr(self, name, value)
+
+    def _require_bound(self, verb: str) -> TagReference:
+        if self._reference is None:
+            raise ThingError(
+                f"cannot {verb} an unbound thing; initialize it onto an empty "
+                "tag first (when_discovered_empty -> EmptyRecord.initialize)"
+            )
+        return self._reference
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v!r}" for k, v in sorted(self.public_fields().items()))
+        bound = self._reference.uid_hex if self._reference else "unbound"
+        return f"{type(self).__name__}({fields}) [{bound}]"

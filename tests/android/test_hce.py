@@ -1,0 +1,140 @@
+"""Tests for host card emulation: a phone acting as a Type 4 card."""
+
+import pytest
+
+from repro.android.nfc.hce import HostCardEmulationService
+from repro.concurrent import EventLog
+from repro.core import (
+    NFCActivity,
+    NdefMessageToStringConverter,
+    StringToNdefMessageConverter,
+    TagDiscoverer,
+)
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+
+CARD_TYPE = "application/x-loyalty-card"
+
+
+def card_message(text: str) -> NdefMessage:
+    return NdefMessage([mime_record(CARD_TYPE, text.encode())])
+
+
+class TerminalApp(NFCActivity):
+    """The merchant terminal: reads whatever card is presented."""
+
+    def on_create(self):
+        self.cards = EventLog()
+        app = self
+
+        class CardDiscoverer(TagDiscoverer):
+            def on_tag_detected(self, reference):
+                app.cards.append(reference.cached)
+
+            def on_tag_redetected(self, reference):
+                app.cards.append(reference.cached)
+
+        self.discoverer = CardDiscoverer(
+            self,
+            CARD_TYPE,
+            NdefMessageToStringConverter(),
+            StringToNdefMessageConverter(CARD_TYPE),
+        )
+
+
+@pytest.fixture
+def terminal(scenario):
+    phone = scenario.add_phone("terminal")
+    return phone, scenario.start(phone, TerminalApp)
+
+
+@pytest.fixture
+def customer(scenario):
+    return scenario.add_phone("customer")
+
+
+class TestCardEmulation:
+    def test_card_visible_when_phones_touch(self, scenario, terminal, customer):
+        terminal_phone, terminal_app = terminal
+        service = customer.start_service(
+            HostCardEmulationService, argument=card_message("member-42")
+        )
+        scenario.pair(customer, terminal_phone)
+        assert terminal_app.cards.wait_for_count(1)
+        assert terminal_app.cards.snapshot() == ["member-42"]
+        assert service.card.uid  # a real tag object backs the emulation
+
+    def test_card_withdrawn_on_separation(self, scenario, terminal, customer):
+        terminal_phone, _ = terminal
+        service = customer.start_service(
+            HostCardEmulationService, argument=card_message("x")
+        )
+        scenario.pair(customer, terminal_phone)
+        assert scenario.env.tag_in_field(service.card, terminal_phone.port)
+        scenario.unpair(customer, terminal_phone)
+        assert not scenario.env.tag_in_field(service.card, terminal_phone.port)
+
+    def test_card_presented_when_emulation_starts_mid_touch(
+        self, scenario, terminal, customer
+    ):
+        terminal_phone, terminal_app = terminal
+        scenario.pair(customer, terminal_phone)  # already touching
+        customer.start_service(
+            HostCardEmulationService, argument=card_message("late-start")
+        )
+        assert terminal_app.cards.wait_for_count(1)
+
+    def test_stop_service_withdraws_card(self, scenario, terminal, customer):
+        terminal_phone, _ = terminal
+        service = customer.start_service(
+            HostCardEmulationService, argument=card_message("x")
+        )
+        scenario.pair(customer, terminal_phone)
+        assert scenario.env.tag_in_field(service.card, terminal_phone.port)
+        customer.stop_service(service)
+        assert not scenario.env.tag_in_field(service.card, terminal_phone.port)
+
+    def test_card_content_updates_between_reads(self, scenario, terminal, customer):
+        """HCE's edge over stickers: the host mutates the card live."""
+        terminal_phone, terminal_app = terminal
+        service = customer.start_service(
+            HostCardEmulationService, argument=card_message("token-1")
+        )
+        scenario.pair(customer, terminal_phone)
+        assert terminal_app.cards.wait_for_count(1)
+        scenario.unpair(customer, terminal_phone)
+        service.update_card(card_message("token-2"))
+        scenario.pair(customer, terminal_phone)
+        assert terminal_app.cards.wait_for_count(2)
+        assert terminal_app.cards.snapshot() == ["token-1", "token-2"]
+
+    def test_one_card_many_terminals(self, scenario, customer):
+        terminals = []
+        for index in range(3):
+            phone = scenario.add_phone(f"terminal-{index}")
+            terminals.append((phone, scenario.start(phone, TerminalApp)))
+        customer.start_service(
+            HostCardEmulationService, argument=card_message("multi")
+        )
+        for phone, _ in terminals:
+            scenario.pair(customer, phone)
+        for _, app in terminals:
+            assert app.cards.wait_for_count(1)
+
+    def test_terminal_reads_card_through_isodep(self, scenario, terminal, customer):
+        """Below MORENA: the terminal can drive the card with raw APDUs."""
+        from repro.android.nfc.tech import IsoDep, Tag
+        from repro.tags.apdu import CommandApdu, INS_SELECT, ResponseApdu
+        from repro.tags.type4 import NDEF_AID
+
+        terminal_phone, _ = terminal
+        service = customer.start_service(
+            HostCardEmulationService, argument=card_message("apdu-level")
+        )
+        scenario.pair(customer, terminal_phone)
+        handle = Tag(service.card, terminal_phone.port)
+        with IsoDep.get(handle) as iso:
+            raw = iso.transceive(
+                CommandApdu(0x00, INS_SELECT, 0x04, 0x00, data=NDEF_AID).to_bytes()
+            )
+        assert ResponseApdu.from_bytes(raw).is_ok

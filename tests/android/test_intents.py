@@ -1,0 +1,63 @@
+"""Unit tests for intents and intent filters."""
+
+import pytest
+
+from repro.android.intents import (
+    ACTION_NDEF_DISCOVERED,
+    ACTION_TECH_DISCOVERED,
+    EXTRA_BEAM_SENDER,
+    Intent,
+    IntentFilter,
+)
+from repro.errors import IntentError
+
+
+class TestIntent:
+    def test_extras_access(self):
+        intent = Intent(ACTION_NDEF_DISCOVERED, extras={"k": 42})
+        assert intent.get_extra("k") == 42
+        assert intent.get_extra("missing") is None
+        assert intent.get_extra("missing", "fallback") == "fallback"
+
+    def test_require_extra(self):
+        intent = Intent(ACTION_NDEF_DISCOVERED, extras={"k": 1})
+        assert intent.require_extra("k") == 1
+        with pytest.raises(IntentError):
+            intent.require_extra("missing")
+
+    def test_is_beam(self):
+        plain = Intent(ACTION_NDEF_DISCOVERED)
+        beam = Intent(ACTION_NDEF_DISCOVERED, extras={EXTRA_BEAM_SENDER: "alice"})
+        assert not plain.is_beam
+        assert beam.is_beam
+
+
+class TestIntentFilter:
+    def test_action_match(self):
+        filt = IntentFilter(ACTION_TECH_DISCOVERED)
+        assert filt.matches(Intent(ACTION_TECH_DISCOVERED))
+        assert not filt.matches(Intent(ACTION_NDEF_DISCOVERED))
+
+    def test_exact_mime_match(self):
+        filt = IntentFilter(ACTION_NDEF_DISCOVERED, "text/plain")
+        assert filt.matches(Intent(ACTION_NDEF_DISCOVERED, "text/plain"))
+        assert not filt.matches(Intent(ACTION_NDEF_DISCOVERED, "text/html"))
+
+    def test_mime_match_is_case_insensitive(self):
+        filt = IntentFilter(ACTION_NDEF_DISCOVERED, "Text/Plain")
+        assert filt.matches(Intent(ACTION_NDEF_DISCOVERED, "text/PLAIN"))
+
+    def test_wildcard_subtype(self):
+        filt = IntentFilter(ACTION_NDEF_DISCOVERED, "text/*")
+        assert filt.matches(Intent(ACTION_NDEF_DISCOVERED, "text/plain"))
+        assert filt.matches(Intent(ACTION_NDEF_DISCOVERED, "text/html"))
+        assert not filt.matches(Intent(ACTION_NDEF_DISCOVERED, "image/png"))
+
+    def test_mime_filter_requires_mime_on_intent(self):
+        filt = IntentFilter(ACTION_NDEF_DISCOVERED, "text/*")
+        assert not filt.matches(Intent(ACTION_NDEF_DISCOVERED, ""))
+
+    def test_no_mime_pattern_matches_any_type(self):
+        filt = IntentFilter(ACTION_NDEF_DISCOVERED)
+        assert filt.matches(Intent(ACTION_NDEF_DISCOVERED, "anything/here"))
+        assert filt.matches(Intent(ACTION_NDEF_DISCOVERED, ""))

@@ -1,0 +1,143 @@
+"""Unit tests for the Looper/Handler message queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.android.looper import Handler, Looper
+from repro.clock import ManualClock
+from repro.concurrent import CountDownLatch, EventLog
+from repro.errors import LooperError
+
+
+@pytest.fixture
+def looper():
+    lp = Looper("test")
+    yield lp
+    lp.quit()
+
+
+class TestPosting:
+    def test_post_runs_on_looper_thread(self, looper):
+        names = EventLog()
+        looper.post(lambda: names.append(threading.current_thread().name))
+        assert looper.sync()
+        assert names.snapshot() == ["looper-test"]
+
+    def test_posts_run_in_order(self, looper):
+        log = EventLog()
+        for i in range(20):
+            looper.post(lambda i=i: log.append(i))
+        assert looper.sync()
+        assert log.snapshot() == list(range(20))
+
+    def test_processed_count(self, looper):
+        for _ in range(5):
+            looper.post(lambda: None)
+        looper.sync()
+        assert looper.processed_count >= 5
+
+    def test_negative_delay_rejected(self, looper):
+        with pytest.raises(LooperError):
+            looper.post_delayed(lambda: None, -1)
+
+    def test_handler_facade(self, looper):
+        log = EventLog()
+        handler = Handler(looper)
+        handler.post(lambda: log.append("x"))
+        assert handler.looper is looper
+        assert looper.sync()
+        assert log.snapshot() == ["x"]
+
+
+class TestDelays:
+    def test_delayed_post_waits(self, looper):
+        log = EventLog()
+        looper.post_delayed(lambda: log.append("late"), 0.08)
+        looper.post(lambda: log.append("now"))
+        assert log.wait_for_count(2, timeout=3)
+        assert log.snapshot() == ["now", "late"]
+
+    def test_delayed_posts_fire_in_deadline_order(self, looper):
+        log = EventLog()
+        looper.post_delayed(lambda: log.append("b"), 0.06)
+        looper.post_delayed(lambda: log.append("a"), 0.02)
+        assert log.wait_for_count(2, timeout=3)
+        assert log.snapshot() == ["a", "b"]
+
+    def test_manual_clock_delay(self):
+        clock = ManualClock()
+        looper = Looper("manual", clock=clock)
+        try:
+            log = EventLog()
+            looper.post_delayed(lambda: log.append("x"), 10.0)
+            looper.sync()
+            time.sleep(0.02)
+            assert len(log) == 0
+            clock.advance(10.0)
+            assert log.wait_for_count(1, timeout=3)
+        finally:
+            looper.quit()
+
+
+class TestErrors:
+    def test_exception_recorded_and_loop_continues(self, looper):
+        log = EventLog()
+
+        def boom():
+            raise ValueError("kaboom")
+
+        looper.post(boom)
+        looper.post(lambda: log.append("survived"))
+        assert log.wait_for_count(1)
+        errors = looper.drain_errors()
+        assert len(errors) == 1
+        assert isinstance(errors[0], ValueError)
+        assert looper.drain_errors() == []
+
+
+class TestLifecycle:
+    def test_quit_stops_thread(self):
+        looper = Looper("dying")
+        looper.quit()
+        assert not looper.alive
+
+    def test_post_after_quit_rejected(self):
+        looper = Looper("dying")
+        looper.quit()
+        with pytest.raises(LooperError):
+            looper.post(lambda: None)
+
+    def test_quit_drops_pending(self):
+        looper = Looper("dying")
+        log = EventLog()
+        latch = CountDownLatch(1)
+        looper.post(lambda: latch.await_(2.0))
+        looper.post_delayed(lambda: log.append("should not run"), 5.0)
+        looper.quit(timeout=0.01)  # quit while blocked
+        latch.count_down()
+        time.sleep(0.05)
+        assert len(log) == 0
+
+    def test_sync_after_quit_returns_true(self):
+        looper = Looper("dying")
+        looper.quit()
+        assert looper.sync()
+
+    def test_sync_from_looper_thread_raises(self, looper):
+        failures = EventLog()
+
+        def bad():
+            try:
+                looper.sync()
+            except LooperError:
+                failures.append("raised")
+
+        looper.post(bad)
+        assert failures.wait_for_count(1)
+
+    def test_wait_idle(self, looper):
+        looper.post(lambda: time.sleep(0.02))
+        assert looper.wait_idle(timeout=3)
+        assert looper.pending_count == 0

@@ -1,0 +1,106 @@
+"""Tests for background services and RFID operations outside activities."""
+
+import threading
+
+import pytest
+
+from repro.android.service import Service
+from repro.concurrent import EventLog
+from repro.errors import LifecycleError
+
+from tests.conftest import make_reference, text_tag
+
+
+class TracingService(Service):
+    def __init__(self, device):
+        super().__init__(device)
+        self.trace = EventLog()
+
+    def on_create(self):
+        self.trace.append(("create", threading.current_thread().name))
+
+    def on_start_command(self, argument):
+        self.trace.append(("start", argument))
+
+    def on_destroy(self):
+        self.trace.append(("destroy", None))
+
+
+class TestServiceLifecycle:
+    def test_start_runs_create_and_command_on_main(self, scenario, phone):
+        service = phone.start_service(TracingService, argument="payload")
+        events = service.trace.snapshot()
+        assert events[0] == ("create", f"looper-{phone.name}-main")
+        assert events[1] == ("start", "payload")
+        assert service in phone.running_services
+
+    def test_stop_destroys(self, scenario, phone):
+        service = phone.start_service(TracingService)
+        phone.stop_service(service)
+        assert service.is_destroyed
+        assert ("destroy", None) in service.trace.snapshot()
+        assert service not in phone.running_services
+
+    def test_double_stop_is_idempotent(self, scenario, phone):
+        service = phone.start_service(TracingService)
+        phone.stop_service(service)
+        phone.stop_service(service)
+        destroys = [e for e in service.trace.snapshot() if e[0] == "destroy"]
+        assert len(destroys) == 1
+
+    def test_shutdown_stops_services(self, scenario):
+        device = scenario.add_phone("svc-phone")
+        service = device.start_service(TracingService)
+        device.shutdown()
+        assert service.is_destroyed
+
+    def test_command_on_destroyed_service_rejected(self, scenario, phone):
+        service = phone.start_service(TracingService)
+        phone.stop_service(service)
+        with pytest.raises(LifecycleError):
+            service._start_command("late")
+
+
+class TagWriterService(Service):
+    """Receives tag references from the activity and writes through them.
+
+    The demonstration of the paper's decoupling claim: no intents, no
+    activity callbacks -- just first-class references and listeners.
+    """
+
+    def __init__(self, device):
+        super().__init__(device)
+        self.written = EventLog()
+
+    def on_start_command(self, argument):
+        reference, payload = argument
+        reference.write(
+            payload,
+            on_written=lambda r: self.written.append(r.cached),
+            timeout=10.0,
+        )
+
+
+class TestRfidOutsideActivities:
+    def test_service_writes_through_a_handed_over_reference(
+        self, scenario, phone, activity
+    ):
+        tag = text_tag("initial")
+        scenario.put(tag, phone)
+        reference = make_reference(activity, tag, phone)
+        service = phone.start_service(
+            TagWriterService, argument=(reference, "from-the-service")
+        )
+        assert service.written.wait_for_count(1, timeout=5)
+        assert tag.read_ndef()[0].payload == b"from-the-service"
+
+    def test_service_write_queues_while_tag_away(self, scenario, phone, activity):
+        tag = text_tag("initial")
+        reference = make_reference(activity, tag, phone)
+        service = phone.start_service(
+            TagWriterService, argument=(reference, "deferred")
+        )
+        assert not service.written.wait_for_count(1, timeout=0.1)
+        scenario.put(tag, phone)
+        assert service.written.wait_for_count(1, timeout=5)
+        assert tag.read_ndef()[0].payload == b"deferred"

@@ -1,0 +1,132 @@
+"""Unit tests for the blocking tech classes (Tag, Ndef, NdefFormatable)."""
+
+import pytest
+
+from repro.android.nfc.tech import Ndef, NdefFormatable, Tag
+from repro.errors import RadioError, TagLostError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.radio.environment import RfidEnvironment
+from repro.radio.link import ScriptedLink
+from repro.tags.factory import make_tag
+
+
+def msg(payload: bytes = b"data") -> NdefMessage:
+    return NdefMessage([mime_record("a/b", payload)])
+
+
+@pytest.fixture
+def env():
+    return RfidEnvironment()
+
+
+@pytest.fixture
+def port(env):
+    return env.create_port("p")
+
+
+class TestTagHandle:
+    def test_id_is_uid(self, port):
+        simulated = make_tag()
+        handle = Tag(simulated, port)
+        assert handle.id == simulated.uid
+        assert handle.id_hex == simulated.uid_hex
+
+    def test_tech_list_formatted(self, port):
+        assert Tag(make_tag(), port).get_tech_list() == ["android.nfc.tech.Ndef"]
+
+    def test_tech_list_unformatted(self, port):
+        handle = Tag(make_tag(formatted=False), port)
+        assert handle.get_tech_list() == ["android.nfc.tech.NdefFormatable"]
+
+    def test_equality_by_tag_and_port(self, env, port):
+        simulated = make_tag()
+        other_port = env.create_port("q")
+        assert Tag(simulated, port) == Tag(simulated, port)
+        assert Tag(simulated, port) != Tag(simulated, other_port)
+        assert Tag(simulated, port) != Tag(make_tag(), port)
+
+
+class TestNdefTech:
+    def test_get_returns_none_for_unformatted(self, port):
+        assert Ndef.get(Tag(make_tag(formatted=False), port)) is None
+
+    def test_io_requires_connect(self, env, port):
+        simulated = make_tag()
+        env.move_tag_into_field(simulated, port)
+        ndef = Ndef.get(Tag(simulated, port))
+        with pytest.raises(RadioError):
+            ndef.get_ndef_message()
+        with pytest.raises(RadioError):
+            ndef.write_ndef_message(msg())
+
+    def test_double_connect_rejected(self, port):
+        ndef = Ndef.get(Tag(make_tag(), port))
+        ndef.connect()
+        with pytest.raises(RadioError):
+            ndef.connect()
+
+    def test_close_is_idempotent(self, port):
+        ndef = Ndef.get(Tag(make_tag(), port))
+        ndef.connect()
+        ndef.close()
+        ndef.close()
+        assert not ndef.is_connected
+
+    def test_context_manager(self, env, port):
+        simulated = make_tag(content=msg(b"cm"))
+        env.move_tag_into_field(simulated, port)
+        with Ndef.get(Tag(simulated, port)) as ndef:
+            assert ndef.is_connected
+            assert ndef.get_ndef_message() == msg(b"cm")
+        assert not ndef.is_connected
+
+    def test_read_write_roundtrip(self, env, port):
+        simulated = make_tag()
+        env.move_tag_into_field(simulated, port)
+        with Ndef.get(Tag(simulated, port)) as ndef:
+            ndef.write_ndef_message(msg(b"via tech"))
+            assert ndef.get_ndef_message() == msg(b"via tech")
+
+    def test_blocking_read_raises_tag_lost_on_tear(self, env):
+        port = env.create_port("flaky", link=ScriptedLink([False]))
+        simulated = make_tag()
+        env.move_tag_into_field(simulated, port)
+        with Ndef.get(Tag(simulated, port)) as ndef:
+            with pytest.raises(TagLostError):
+                ndef.get_ndef_message()
+
+    def test_metadata(self, env, port):
+        simulated = make_tag("NTAG213")
+        ndef = Ndef.get(Tag(simulated, port))
+        assert ndef.get_max_size() == simulated.ndef_capacity
+        assert ndef.is_writable()
+        simulated.make_read_only()
+        assert not ndef.is_writable()
+
+
+class TestNdefFormatable:
+    def test_get_returns_none_for_formatted(self, port):
+        assert NdefFormatable.get(Tag(make_tag(), port)) is None
+
+    def test_format_without_message(self, env, port):
+        simulated = make_tag(formatted=False)
+        env.move_tag_into_field(simulated, port)
+        with NdefFormatable.get(Tag(simulated, port)) as formatable:
+            formatable.format()
+        assert simulated.is_ndef_formatted
+        assert simulated.is_empty
+
+    def test_format_with_first_message(self, env, port):
+        simulated = make_tag(formatted=False)
+        env.move_tag_into_field(simulated, port)
+        with NdefFormatable.get(Tag(simulated, port)) as formatable:
+            formatable.format(msg(b"first"))
+        assert simulated.read_ndef() == msg(b"first")
+
+    def test_format_requires_connect(self, env, port):
+        simulated = make_tag(formatted=False)
+        env.move_tag_into_field(simulated, port)
+        formatable = NdefFormatable.get(Tag(simulated, port))
+        with pytest.raises(RadioError):
+            formatable.format()

@@ -1,0 +1,158 @@
+"""Behavioural equivalence of the MORENA and handcrafted WiFi apps.
+
+The evaluation's premise (section 4) is that the two implementations are
+"almost exactly the same application". These tests run both through the
+same user stories -- join by tag, share via empty tag, beam, save -- and
+assert identical outcomes, plus the one *intended* behavioural
+difference: only MORENA retries automatically.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.wifi import WifiConfig, WifiJoinerActivity
+from repro.baseline import HandcraftedWifiActivity, WifiConfigData
+from repro.concurrent import wait_until
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.radio.link import FlakyThenGoodLink
+from repro.tags.factory import make_tag
+
+WIFI_MIME = "application/vnd.morena.wificonfig"
+
+
+def credentials_tag(ssid="corpnet", key="s3cret"):
+    payload = json.dumps({"ssid": ssid, "key": key}, sort_keys=True).encode()
+    return make_tag(content=NdefMessage([mime_record(WIFI_MIME, payload)]))
+
+
+def settle(scenario, phone, app):
+    """Drain loopers and worker threads for either implementation."""
+    phone.sync()
+    if isinstance(app, HandcraftedWifiActivity):
+        app.join_workers()
+    phone.sync()
+
+
+@pytest.fixture(params=["morena", "handcrafted"])
+def variant(request, scenario):
+    scenario.wifi_registry.add_network("corpnet", "s3cret")
+    phone = scenario.add_phone(f"{request.param}-phone")
+    if request.param == "morena":
+        app = scenario.start(phone, WifiJoinerActivity, scenario.wifi_registry)
+        config_factory = lambda: WifiConfig(app, "corpnet", "s3cret")  # noqa: E731
+    else:
+        app = scenario.start(phone, HandcraftedWifiActivity, scenario.wifi_registry)
+        config_factory = lambda: WifiConfigData("corpnet", "s3cret")  # noqa: E731
+    return request.param, phone, app, config_factory
+
+
+class TestSharedStories:
+    def test_join_by_tag(self, scenario, variant):
+        _, phone, app, _ = variant
+        scenario.put(credentials_tag(), phone)
+        assert wait_until(
+            lambda: (settle(scenario, phone, app) or True)
+            and app.wifi.connected_ssid == "corpnet"
+        )
+
+    def test_share_via_empty_tag(self, scenario, variant):
+        _, phone, app, config_factory = variant
+        empty = make_tag()
+        app.share_with_tag(config_factory())
+        scenario.put(empty, phone)
+        assert wait_until(
+            lambda: (settle(scenario, phone, app) or True)
+            and app.pending_share is None
+        )
+        stored = json.loads(empty.read_ndef()[0].payload)
+        assert stored == {"ssid": "corpnet", "key": "s3cret"}
+        assert "WiFi joiner created!" in phone.toasts.snapshot()
+
+    def test_share_via_blank_unformatted_tag(self, scenario, variant):
+        _, phone, app, config_factory = variant
+        blank = make_tag(formatted=False)
+        app.share_with_tag(config_factory())
+        scenario.put(blank, phone)
+        assert wait_until(
+            lambda: (settle(scenario, phone, app) or True) and blank.is_ndef_formatted
+        )
+        assert json.loads(blank.read_ndef()[0].payload)["ssid"] == "corpnet"
+
+    def test_beam_between_variants(self, scenario, variant):
+        """Either variant can beam to a MORENA receiver: same wire format."""
+        _, phone, app, config_factory = variant
+        receiver_phone = scenario.add_phone("receiver")
+        receiver = scenario.start(
+            receiver_phone, WifiJoinerActivity, scenario.wifi_registry
+        )
+        scenario.pair(phone, receiver_phone)
+        phone.main_looper.post(lambda: app.share_with_phone(config_factory()))
+        assert wait_until(
+            lambda: (settle(scenario, phone, app) or True)
+            and receiver.wifi.connected_ssid == "corpnet"
+        )
+
+    def test_rename_and_save(self, scenario, variant):
+        name, phone, app, _ = variant
+        scenario.wifi_registry.add_network("renamed", "newkey")
+        tag = credentials_tag()
+        scenario.put(tag, phone)
+        assert wait_until(
+            lambda: (settle(scenario, phone, app) or True)
+            and app.last_config is not None
+        )
+        config = app.last_config
+        phone.main_looper.post(
+            lambda: app.rename_network(config, "renamed", "newkey")
+        )
+        assert wait_until(
+            lambda: (settle(scenario, phone, app) or True)
+            and "WiFi joiner saved!" in phone.toasts.snapshot()
+        )
+        assert json.loads(tag.read_ndef()[0].payload)["ssid"] == "renamed"
+
+
+class TestTheBehaviouralDifference:
+    """Section 4: 'operations that fail due to tag disconnections are
+    automatically retried, which is not incorporated in the handcrafted
+    version, in which the user must manually reattempt the operation.'"""
+
+    def test_morena_save_survives_flaky_link(self, scenario):
+        scenario.wifi_registry.add_network("corpnet", "s3cret")
+        phone = scenario.add_phone("morena-flaky")
+        app = scenario.start(phone, WifiJoinerActivity, scenario.wifi_registry)
+        tag = credentials_tag()
+        scenario.put(tag, phone)
+        assert wait_until(lambda: app.last_config is not None)
+        phone.port.set_link(FlakyThenGoodLink(3))
+        config = app.last_config
+        phone.main_looper.post(lambda: app.rename_network(config, "new", "key"))
+        assert wait_until(
+            lambda: "WiFi joiner saved!" in phone.toasts.snapshot(), timeout=5
+        )
+        assert json.loads(tag.read_ndef()[0].payload)["ssid"] == "new"
+
+    def test_handcrafted_save_fails_on_flaky_link(self, scenario):
+        scenario.wifi_registry.add_network("corpnet", "s3cret")
+        phone = scenario.add_phone("hand-flaky")
+        app = scenario.start(
+            phone, HandcraftedWifiActivity, scenario.wifi_registry
+        )
+        tag = credentials_tag()
+        scenario.put(tag, phone)
+        assert wait_until(
+            lambda: (settle(scenario, phone, app) or True)
+            and app.last_config is not None
+        )
+        phone.port.set_link(FlakyThenGoodLink(3))
+        config = app.last_config
+        phone.main_looper.post(lambda: app.rename_network(config, "new", "key"))
+        assert wait_until(
+            lambda: (settle(scenario, phone, app) or True)
+            and any("tap again" in t for t in phone.toasts.snapshot()),
+            timeout=5,
+        )
+        # The single attempt failed; the tag still holds the old credentials.
+        assert json.loads(tag.read_ndef()[0].payload)["ssid"] == "corpnet"

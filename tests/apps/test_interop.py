@@ -1,0 +1,92 @@
+"""Tests for WSC/handover interop in the WiFi application."""
+
+import pytest
+
+from repro.apps.wifi import WifiConfig
+from repro.apps.wifi.interop import (
+    WscReadConverter,
+    WscWifiJoinerActivity,
+    WscWriteConverter,
+    router_sticker,
+)
+from repro.concurrent import wait_until
+from repro.errors import ConverterError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.ndef.wsc import WifiCredential
+from repro.tags.factory import make_tag
+
+
+@pytest.fixture
+def joiner(scenario):
+    scenario.wifi_registry.add_network("router-net", "router-key")
+    phone = scenario.add_phone("interop-phone")
+    app = scenario.start(
+        phone, WscWifiJoinerActivity, scenario.wifi_registry
+    )
+    return phone, app
+
+
+class TestConverters:
+    def test_write_then_read_roundtrip(self):
+        credential = WifiCredential("net", "key")
+        message = WscWriteConverter().convert(credential)
+        assert WscReadConverter().convert(message) == credential
+
+    def test_read_bare_wsc_record(self):
+        message = NdefMessage([WifiCredential("bare", "k").to_record()])
+        assert WscReadConverter().convert(message).ssid == "bare"
+
+    def test_read_rejects_foreign_messages(self):
+        with pytest.raises(ConverterError):
+            WscReadConverter().convert(NdefMessage([mime_record("a/b", b"")]))
+
+    def test_write_rejects_non_credentials(self):
+        with pytest.raises(ConverterError):
+            WscWriteConverter().convert("a string")
+
+    def test_router_sticker_helper(self):
+        message = router_sticker("net", "key", auth="wpa2-personal")
+        assert message[0].type == b"Hs"
+        assert WscReadConverter().convert(message).key == "key"
+
+
+class TestJoining:
+    def test_join_from_router_sticker(self, scenario, joiner):
+        phone, app = joiner
+        tag = make_tag(content=router_sticker("router-net", "router-key"))
+        scenario.put(tag, phone)
+        assert wait_until(lambda: app.wifi.connected_ssid == "router-net")
+        assert any("WSC tag" in toast for toast in phone.toasts.snapshot())
+
+    def test_join_from_bare_wsc_tag(self, scenario, joiner):
+        phone, app = joiner
+        message = NdefMessage(
+            [WifiCredential("router-net", "router-key").to_record()]
+        )
+        scenario.put(make_tag(content=message), phone)
+        assert wait_until(lambda: app.wifi.connected_ssid == "router-net")
+
+    def test_thing_tags_still_work(self, scenario, joiner):
+        """The WSC discoverer coexists with the thing discoverer."""
+        phone, app = joiner
+        tag = make_tag()
+        app.share_with_tag(WifiConfig(app, "router-net", "router-key"))
+        scenario.put(tag, phone)
+        assert wait_until(
+            lambda: "WiFi joiner created!" in phone.toasts.snapshot()
+        )
+        scenario.take(tag, phone)
+        scenario.put(tag, phone)
+        assert wait_until(lambda: app.wifi.connected_ssid == "router-net")
+
+    def test_wrong_key_reports_failure(self, scenario, joiner):
+        phone, app = joiner
+        tag = make_tag(content=router_sticker("router-net", "wrong-key"))
+        scenario.put(tag, phone)
+        assert wait_until(
+            lambda: any(
+                "Could not join" in toast for toast in phone.toasts.snapshot()
+            )
+        )
+        assert app.wifi.connected_ssid is None

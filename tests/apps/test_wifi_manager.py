@@ -1,0 +1,71 @@
+"""Unit tests for the simulated WiFi subsystem."""
+
+from repro.apps.wifi.wifi_manager import WifiManager, WifiNetworkRegistry
+
+
+class TestRegistry:
+    def test_add_and_lookup(self):
+        registry = WifiNetworkRegistry()
+        network = registry.add_network("net", "key")
+        assert registry.lookup("net") is network
+        assert registry.ssids() == ["net"]
+
+    def test_remove(self):
+        registry = WifiNetworkRegistry()
+        registry.add_network("net", "key")
+        registry.remove_network("net")
+        assert registry.lookup("net") is None
+
+    def test_remove_unknown_is_noop(self):
+        WifiNetworkRegistry().remove_network("ghost")
+
+    def test_readd_replaces_key(self):
+        registry = WifiNetworkRegistry()
+        registry.add_network("net", "old")
+        registry.add_network("net", "new")
+        assert registry.lookup("net").key == "new"
+
+
+class TestManager:
+    def test_connect_success(self):
+        registry = WifiNetworkRegistry()
+        registry.add_network("net", "key")
+        manager = WifiManager(registry)
+        assert manager.connect("net", "key")
+        assert manager.is_connected
+        assert manager.connected_ssid == "net"
+
+    def test_connect_wrong_key(self):
+        registry = WifiNetworkRegistry()
+        registry.add_network("net", "key")
+        manager = WifiManager(registry)
+        assert not manager.connect("net", "wrong")
+        assert not manager.is_connected
+
+    def test_connect_unknown_network(self):
+        manager = WifiManager(WifiNetworkRegistry())
+        assert not manager.connect("ghost", "key")
+
+    def test_disconnect(self):
+        registry = WifiNetworkRegistry()
+        registry.add_network("net", "key")
+        manager = WifiManager(registry)
+        manager.connect("net", "key")
+        manager.disconnect()
+        assert not manager.is_connected
+
+    def test_attempt_counter(self):
+        registry = WifiNetworkRegistry()
+        manager = WifiManager(registry)
+        manager.connect("a", "b")
+        manager.connect("c", "d")
+        assert manager.connection_attempts == 2
+
+    def test_switching_networks(self):
+        registry = WifiNetworkRegistry()
+        registry.add_network("one", "1")
+        registry.add_network("two", "2")
+        manager = WifiManager(registry)
+        manager.connect("one", "1")
+        manager.connect("two", "2")
+        assert manager.connected_ssid == "two"

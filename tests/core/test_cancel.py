@@ -1,0 +1,68 @@
+"""Tests for best-effort operation cancellation."""
+
+from repro.concurrent import EventLog, wait_until
+from repro.core.operations import OperationOutcome
+
+from tests.conftest import make_reference, text_tag
+
+
+class TestCancel:
+    def test_cancel_queued_operation(self, scenario, phone, activity):
+        tag = text_tag("x")
+        reference = make_reference(activity, tag, phone)  # tag out of field
+        log = EventLog()
+        operation = reference.write(
+            "never",
+            on_written=lambda r: log.append("written"),
+            on_failed=lambda r: log.append("failed"),
+        )
+        assert reference.cancel(operation)
+        assert operation.outcome is OperationOutcome.CANCELLED
+        assert reference.pending_count == 0
+        scenario.put(tag, phone)
+        assert phone.sync()
+        assert len(log) == 0  # no listener fired
+        assert tag.read_ndef()[0].payload == b"x"  # nothing written
+
+    def test_cancel_settled_operation_returns_false(self, scenario, phone, activity):
+        tag = text_tag("x")
+        scenario.put(tag, phone)
+        reference = make_reference(activity, tag, phone)
+        operation = reference.write("done")
+        assert wait_until(lambda: operation.outcome is OperationOutcome.SUCCEEDED)
+        assert not reference.cancel(operation)
+        assert operation.outcome is OperationOutcome.SUCCEEDED
+
+    def test_cancel_middle_of_queue_preserves_rest(self, scenario, phone, activity):
+        tag = text_tag("x")
+        reference = make_reference(activity, tag, phone)
+        log = EventLog()
+        first = reference.write("first", on_written=lambda r: log.append("first"))
+        doomed = reference.write("doomed", on_written=lambda r: log.append("doomed"))
+        last = reference.write("last", on_written=lambda r: log.append("last"))
+        assert reference.cancel(doomed)
+        scenario.put(tag, phone)
+        assert log.wait_for_count(2)
+        assert log.snapshot() == ["first", "last"]
+        assert tag.read_ndef()[0].payload == b"last"
+        assert first.outcome is OperationOutcome.SUCCEEDED
+        assert last.outcome is OperationOutcome.SUCCEEDED
+
+    def test_cancel_all(self, scenario, phone, activity):
+        tag = text_tag("x")
+        reference = make_reference(activity, tag, phone)
+        operations = [reference.write(f"w{i}") for i in range(5)]
+        assert reference.cancel_all() == 5
+        assert reference.pending_count == 0
+        assert all(
+            op.outcome is OperationOutcome.CANCELLED for op in operations
+        )
+        # The reference is still usable afterwards.
+        scenario.put(tag, phone)
+        log = EventLog()
+        reference.write("alive", on_written=lambda r: log.append("ok"))
+        assert log.wait_for_count(1)
+
+    def test_cancel_all_on_empty_queue(self, scenario, phone, activity):
+        reference = make_reference(activity, text_tag("x"), phone)
+        assert reference.cancel_all() == 0

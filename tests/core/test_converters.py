@@ -1,0 +1,87 @@
+"""Unit tests for the data-conversion strategies."""
+
+import pytest
+
+from repro.core.converters import (
+    IdentityConverters,
+    JsonToObjectConverter,
+    NdefMessageToStringConverter,
+    ObjectToJsonConverter,
+    StringToNdefMessageConverter,
+)
+from repro.errors import ConverterError, NdefEncodeError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+
+
+class TestStringConverters:
+    def test_roundtrip(self):
+        to_ndef = StringToNdefMessageConverter("x/y")
+        to_str = NdefMessageToStringConverter()
+        assert to_str.convert(to_ndef.convert("héllo")) == "héllo"
+
+    def test_write_converter_stamps_mime_type(self):
+        message = StringToNdefMessageConverter("app/demo").convert("x")
+        assert message[0].type == b"app/demo"
+
+    def test_none_becomes_empty_string(self):
+        message = StringToNdefMessageConverter("x/y").convert(None)
+        assert message[0].payload == b""
+
+    def test_non_string_is_stringified(self):
+        message = StringToNdefMessageConverter("x/y").convert(42)
+        assert message[0].payload == b"42"
+
+    def test_invalid_mime_rejected_at_construction(self):
+        with pytest.raises(NdefEncodeError):
+            StringToNdefMessageConverter("notamime")
+
+    def test_read_converter_rejects_non_utf8(self):
+        message = NdefMessage([mime_record("x/y", b"\xff\xfe\xfa")])
+        with pytest.raises(ConverterError):
+            NdefMessageToStringConverter().convert(message)
+
+
+class TestJsonConverters:
+    class Payload:
+        a: int
+        b: str
+
+        def __init__(self, a, b):
+            self.a = a
+            self.b = b
+
+    def test_roundtrip(self):
+        to_ndef = ObjectToJsonConverter("app/json-demo")
+        to_obj = JsonToObjectConverter(self.Payload)
+        back = to_obj.convert(to_ndef.convert(self.Payload(1, "two")))
+        assert isinstance(back, self.Payload)
+        assert back.a == 1 and back.b == "two"
+
+    def test_write_side_wraps_serialization_errors(self):
+        converter = ObjectToJsonConverter("a/b")
+        cyclic = self.Payload(1, "x")
+        cyclic.b = cyclic
+        with pytest.raises(ConverterError):
+            converter.convert(cyclic)
+
+    def test_read_side_wraps_bad_json(self):
+        converter = JsonToObjectConverter(self.Payload)
+        with pytest.raises(ConverterError):
+            converter.convert(NdefMessage([mime_record("a/b", b"{broken")]))
+
+    def test_read_side_wraps_type_mismatch(self):
+        converter = JsonToObjectConverter(self.Payload)
+        with pytest.raises(ConverterError):
+            converter.convert(NdefMessage([mime_record("a/b", b'{"a": "wrong"}')]))
+
+
+class TestIdentityConverters:
+    def test_passes_messages_through(self):
+        identity = IdentityConverters()
+        message = NdefMessage([mime_record("a/b", b"raw")])
+        assert identity.convert(message) is message
+
+    def test_rejects_non_messages(self):
+        with pytest.raises(ConverterError):
+            IdentityConverters().convert("a string")

@@ -1,0 +1,99 @@
+"""Unit tests for the per-activity tag reference identity map."""
+
+from repro.android.nfc.tech import Tag
+from repro.concurrent import EventLog
+from repro.tags.factory import make_tag
+
+from tests.conftest import make_reference, string_converters, text_tag
+
+
+class TestUniqueness:
+    def test_same_tag_yields_same_reference(self, scenario, phone, activity):
+        tag = text_tag("x")
+        first = make_reference(activity, tag, phone)
+        second = make_reference(activity, tag, phone)
+        assert first is second
+
+    def test_is_new_flag(self, scenario, phone, activity):
+        tag = text_tag("x")
+        read_conv, write_conv = string_converters()
+        handle = Tag(tag, phone.port)
+        _, new_first = activity.reference_factory.get_or_create(
+            handle, read_conv, write_conv
+        )
+        _, new_second = activity.reference_factory.get_or_create(
+            handle, read_conv, write_conv
+        )
+        assert new_first and not new_second
+
+    def test_different_tags_different_references(self, scenario, phone, activity):
+        a = make_reference(activity, text_tag("a"), phone)
+        b = make_reference(activity, text_tag("b"), phone)
+        assert a is not b
+        assert len(activity.reference_factory) == 2
+
+    def test_different_activities_have_independent_maps(self, scenario):
+        from tests.conftest import PlainNfcActivity
+
+        phone = scenario.add_phone("p1")
+        first = scenario.start(phone, PlainNfcActivity)
+        second = scenario.start(phone, PlainNfcActivity)
+        tag = text_tag("x")
+        ref_one = make_reference(first, tag, phone)
+        ref_two = make_reference(second, tag, phone)
+        assert ref_one is not ref_two
+
+
+class TestLookupAndRelease:
+    def test_lookup_by_uid(self, scenario, phone, activity):
+        tag = text_tag("x")
+        reference = make_reference(activity, tag, phone)
+        assert activity.reference_factory.lookup(tag.uid) is reference
+        assert activity.reference_factory.lookup(b"\x00" * 7) is None
+
+    def test_release_stops_and_forgets(self, scenario, phone, activity):
+        tag = text_tag("x")
+        reference = make_reference(activity, tag, phone)
+        assert activity.reference_factory.release(tag.uid)
+        assert reference.is_stopped
+        assert activity.reference_factory.lookup(tag.uid) is None
+
+    def test_release_unknown_uid_returns_false(self, activity):
+        assert not activity.reference_factory.release(b"\x01" * 7)
+
+    def test_reference_recreated_after_release(self, scenario, phone, activity):
+        tag = text_tag("x")
+        first = make_reference(activity, tag, phone)
+        activity.reference_factory.release(tag.uid)
+        second = make_reference(activity, tag, phone)
+        assert second is not first
+        assert not second.is_stopped
+
+    def test_stopped_reference_is_replaced_on_next_get(self, scenario, phone, activity):
+        tag = text_tag("x")
+        first = make_reference(activity, tag, phone)
+        first.stop()
+        second = make_reference(activity, tag, phone)
+        assert second is not first
+
+    def test_stop_all(self, scenario, phone, activity):
+        refs = [make_reference(activity, text_tag(str(i)), phone) for i in range(3)]
+        activity.reference_factory.stop_all()
+        assert all(r.is_stopped for r in refs)
+        assert len(activity.reference_factory) == 0
+
+    def test_stop_all_with_notification(self, scenario, phone, activity):
+        tag = make_tag()
+        reference = make_reference(activity, tag, phone)
+        log = EventLog()
+        reference.write("queued", on_failed=lambda r: log.append("cancelled"))
+        activity.reference_factory.stop_all(notify_pending=True)
+        assert log.wait_for_count(1)
+
+
+class TestActivityTeardown:
+    def test_destroying_activity_stops_references(self, scenario, phone, activity):
+        tag = text_tag("x")
+        reference = make_reference(activity, tag, phone)
+        phone.finish_activity(activity)
+        assert reference.is_stopped

@@ -1,0 +1,109 @@
+"""Tests for the futures facade over the listener API."""
+
+import pytest
+
+from repro.core.futures import (
+    OperationFuture,
+    OperationTimeoutError,
+    lock_future,
+    read_future,
+    write_future,
+)
+
+from tests.conftest import make_reference, text_tag
+
+
+@pytest.fixture
+def ref(scenario, phone, activity):
+    tag = text_tag("future-content")
+    scenario.put(tag, phone)
+    return make_reference(activity, tag, phone)
+
+
+class TestBlockingStyle:
+    def test_read_result(self, ref):
+        assert read_future(ref).result(timeout=5) == "future-content"
+
+    def test_write_result_returns_reference(self, ref):
+        assert write_future(ref, "written").result(timeout=5) is ref
+        assert ref.tag.simulated.read_ndef()[0].payload == b"written"
+
+    def test_lock_result(self, ref):
+        lock_future(ref).result(timeout=5)
+        assert not ref.tag.simulated.is_writable
+
+    def test_failure_raises(self, scenario, phone, activity):
+        tag = text_tag("away")  # never in the field
+        reference = make_reference(activity, tag, phone)
+        future = write_future(reference, "never", timeout=0.15)
+        with pytest.raises(OperationTimeoutError):
+            future.result(timeout=5)
+        assert future.done and not future.succeeded
+
+    def test_result_timeout_while_pending(self, scenario, phone, activity):
+        tag = text_tag("away")
+        reference = make_reference(activity, tag, phone)
+        future = write_future(reference, "pending", timeout=30)
+        with pytest.raises(TimeoutError):
+            future.result(timeout=0.05)
+
+
+class TestChainingStyle:
+    def test_then_transforms_value(self, ref):
+        future = read_future(ref).then(str.upper)
+        assert future.result(timeout=5) == "FUTURE-CONTENT"
+
+    def test_then_chain_of_operations(self, ref):
+        # `then` callbacks run on the main thread, so they must not block;
+        # hand the inner future out and await it from the test thread.
+        inner_future = write_future(ref, "first").then(
+            lambda r: read_future(r)
+        ).result(timeout=5)
+        assert inner_future.result(timeout=5) == "first"
+
+    def test_exception_in_then_fails_chain(self, ref):
+        def boom(_value):
+            raise ValueError("kaboom")
+
+        future = read_future(ref).then(boom)
+        with pytest.raises(ValueError):
+            future.result(timeout=5)
+
+    def test_failure_propagates_through_then(self, scenario, phone, activity):
+        tag = text_tag("away")
+        reference = make_reference(activity, tag, phone)
+        future = write_future(reference, "x", timeout=0.15).then(lambda r: "unreached")
+        with pytest.raises(OperationTimeoutError):
+            future.result(timeout=5)
+
+
+class TestCallbacks:
+    def test_done_callback_after_settlement(self, ref):
+        future = read_future(ref)
+        future.result(timeout=5)
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.succeeded))
+        assert seen == [True]
+
+    def test_done_callback_before_settlement(self, ref):
+        from repro.concurrent import EventLog
+
+        log = EventLog()
+        future = read_future(ref)
+        future.add_done_callback(lambda f: log.append(f.succeeded))
+        assert log.wait_for_count(1, timeout=5)
+        assert log.snapshot() == [True]
+
+    def test_settlement_is_once_only(self):
+        future = OperationFuture()
+        future._succeed("first")
+        future._fail(ValueError("ignored"))
+        assert future.result(timeout=0) == "first"
+
+    def test_operation_handle_exposed(self, ref):
+        future = write_future(ref, "x")
+        assert future.operation is not None
+        future.result(timeout=5)
+        from repro.core.operations import OperationOutcome
+
+        assert future.operation.outcome is OperationOutcome.SUCCEEDED

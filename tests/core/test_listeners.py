@@ -1,0 +1,51 @@
+"""Unit tests for the listener normalization layer."""
+
+import pytest
+
+from repro.core.listeners import (
+    Listener,
+    TagReadListener,
+    as_callback,
+)
+
+
+class TestAsCallback:
+    def test_none_is_noop(self):
+        callback = as_callback(None)
+        callback()  # must not raise
+        callback(1, 2, 3)
+
+    def test_plain_callable_passes_through(self):
+        calls = []
+        callback = as_callback(lambda *a: calls.append(a))
+        callback(1)
+        assert calls == [(1,)]
+
+    def test_listener_instance_uses_signal(self):
+        calls = []
+
+        class MyListener(TagReadListener):
+            def signal(self, ref):
+                calls.append(ref)
+
+        as_callback(MyListener())("the-ref")
+        assert calls == ["the-ref"]
+
+    def test_listener_without_signal_override_raises_when_invoked(self):
+        callback = as_callback(TagReadListener())
+        with pytest.raises(NotImplementedError):
+            callback("x")
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            as_callback(42)
+
+    def test_listener_is_directly_callable(self):
+        calls = []
+
+        class MyListener(Listener):
+            def signal(self, *args):
+                calls.append(args)
+
+        MyListener()(1, 2)
+        assert calls == [(1, 2)]

@@ -1,0 +1,54 @@
+"""Unit tests for the Operation data structure."""
+
+from repro.core.operations import Operation, OperationKind, OperationOutcome
+
+
+def make_operation(**kwargs) -> Operation:
+    defaults = dict(
+        kind=OperationKind.WRITE,
+        deadline=10.0,
+        on_success=lambda *a: None,
+        on_failure=lambda *a: None,
+    )
+    defaults.update(kwargs)
+    return Operation(**defaults)
+
+
+class TestOperation:
+    def test_ids_are_unique_and_increasing(self):
+        first = make_operation()
+        second = make_operation()
+        assert first.op_id != second.op_id
+        assert second.op_id > first.op_id
+
+    def test_starts_pending(self):
+        operation = make_operation()
+        assert operation.outcome is OperationOutcome.PENDING
+        assert not operation.is_settled
+        assert operation.attempts == 0
+        assert not operation.raw
+
+    def test_settled_states(self):
+        for outcome in (
+            OperationOutcome.SUCCEEDED,
+            OperationOutcome.TIMED_OUT,
+            OperationOutcome.FAILED,
+            OperationOutcome.CANCELLED,
+        ):
+            operation = make_operation()
+            operation.outcome = outcome
+            assert operation.is_settled
+
+    def test_repr_mentions_kind_and_outcome(self):
+        operation = make_operation(kind=OperationKind.READ)
+        text = repr(operation)
+        assert "read" in text
+        assert "pending" in text
+
+    def test_kinds_cover_tag_surface(self):
+        assert {k.value for k in OperationKind} == {
+            "read",
+            "write",
+            "lock",
+            "format",
+        }

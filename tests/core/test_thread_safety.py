@@ -1,0 +1,93 @@
+"""Thread-safety tests: concurrent producers against one reference."""
+
+import threading
+
+from repro.concurrent import EventLog
+
+from tests.conftest import make_reference, text_tag
+
+
+class TestConcurrentEnqueue:
+    def test_writes_from_many_threads_all_complete(self, scenario, phone, activity):
+        """Eight threads race to enqueue writes; every listener fires and
+        the tag ends holding one of the written values (no corruption)."""
+        tag = text_tag("start")
+        scenario.put(tag, phone)
+        reference = make_reference(activity, tag, phone)
+        done = EventLog()
+        threads_count, writes_per_thread = 8, 10
+
+        def producer(thread_index: int) -> None:
+            for write_index in range(writes_per_thread):
+                reference.write(
+                    f"t{thread_index}-w{write_index}",
+                    on_written=lambda r: done.append(1),
+                    timeout=30.0,
+                )
+
+        threads = [
+            threading.Thread(target=producer, args=(index,))
+            for index in range(threads_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        total = threads_count * writes_per_thread
+        assert done.wait_for_count(total, timeout=30)
+        final = tag.read_ndef()[0].payload.decode()
+        assert final.startswith("t") and "-w" in final
+        assert reference.pending_count == 0
+        assert reference.successes == total
+
+    def test_listeners_never_run_concurrently(self, scenario, phone, activity):
+        """All listeners share the main looper: no two overlap in time."""
+        tag = text_tag("x")
+        scenario.put(tag, phone)
+        reference = make_reference(activity, tag, phone)
+        in_flight = []
+        violations = []
+        done = EventLog()
+
+        def listener(_ref) -> None:
+            if in_flight:
+                violations.append("overlap")
+            in_flight.append(1)
+            # A tiny window during which another listener would overlap.
+            import time
+
+            time.sleep(0.001)
+            in_flight.pop()
+            done.append(1)
+
+        for index in range(20):
+            reference.write(f"w{index}", on_written=listener, timeout=30.0)
+        assert done.wait_for_count(20, timeout=30)
+        assert violations == []
+
+    def test_stop_races_with_enqueue(self, scenario, phone, activity):
+        """stop() during a burst of enqueues never deadlocks or crashes."""
+        from repro.errors import ReferenceStoppedError
+
+        tag = text_tag("x")
+        scenario.put(tag, phone)
+        reference = make_reference(activity, tag, phone)
+        stop_after = threading.Event()
+
+        def producer() -> None:
+            for index in range(200):
+                try:
+                    reference.write(f"w{index}", timeout=30.0)
+                except ReferenceStoppedError:
+                    return
+                if index == 50:
+                    stop_after.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        assert stop_after.wait(5.0)
+        reference.stop()
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert reference.is_stopped
+        assert reference.pending_count == 0

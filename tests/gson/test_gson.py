@@ -1,0 +1,244 @@
+"""Unit tests for the GSON-like object mapper."""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import pytest
+
+from repro.errors import (
+    CircularReferenceError,
+    DeserializationError,
+    SerializationError,
+)
+from repro.gson import Gson, TypeAdapter
+
+
+class Leaf:
+    label: str
+
+    def __init__(self, label="leaf"):
+        self.label = label
+
+
+class Node:
+    __transient__ = ("cache",)
+
+    name: str
+    children: List[Leaf]
+    weight: float
+
+    def __init__(self):
+        self.name = "root"
+        self.children = [Leaf("a"), Leaf("b")]
+        self.weight = 1.5
+        self.cache = {"expensive": True}
+        self._private = object()
+
+
+@pytest.fixture
+def gson():
+    return Gson()
+
+
+class TestSerialization:
+    def test_primitives_pass_through(self, gson):
+        assert gson.to_jsonable(None) is None
+        assert gson.to_jsonable(True) is True
+        assert gson.to_jsonable(7) == 7
+        assert gson.to_jsonable(2.5) == 2.5
+        assert gson.to_jsonable("x") == "x"
+
+    def test_containers(self, gson):
+        assert gson.to_jsonable([1, (2, 3), {4}]) == [1, [2, 3], [4]]
+        assert gson.to_jsonable({"a": {"b": 1}}) == {"a": {"b": 1}}
+
+    def test_object_walk_skips_private_and_transient(self, gson):
+        data = gson.to_jsonable(Node())
+        assert set(data) == {"name", "children", "weight"}
+        assert data["children"] == [{"label": "a"}, {"label": "b"}]
+
+    def test_transient_declared_on_base_class_applies_to_subclass(self, gson):
+        class Sub(Node):
+            pass
+
+        data = gson.to_jsonable(Sub())
+        assert "cache" not in data
+
+    def test_bytes_as_base64(self, gson):
+        assert gson.to_jsonable(b"\x00\xff") == "AP8="
+
+    def test_non_string_dict_keys_rejected(self, gson):
+        with pytest.raises(SerializationError):
+            gson.to_jsonable({1: "x"})
+
+    def test_object_without_dict_rejected(self, gson):
+        with pytest.raises(SerializationError):
+            gson.to_jsonable(object())
+
+    def test_direct_cycle_rejected(self, gson):
+        node = Node()
+        node.children = [node]
+        with pytest.raises(CircularReferenceError):
+            gson.to_jsonable(node)
+
+    def test_indirect_cycle_rejected(self, gson):
+        a, b = Node(), Node()
+        a.children = [b]
+        b.children = [a]
+        with pytest.raises(CircularReferenceError):
+            gson.to_jsonable(a)
+
+    def test_shared_subobject_is_not_a_cycle(self, gson):
+        shared = Leaf("shared")
+        node = Node()
+        node.children = [shared, shared]
+        data = gson.to_jsonable(node)
+        assert data["children"] == [{"label": "shared"}, {"label": "shared"}]
+
+    def test_json_text_is_deterministic(self, gson):
+        assert gson.to_json(Node()) == gson.to_json(Node())
+
+
+class TestDeserialization:
+    def test_object_roundtrip(self, gson):
+        back = gson.from_json(gson.to_json(Node()), Node)
+        assert back.name == "root"
+        assert back.weight == 1.5
+        assert [leaf.label for leaf in back.children] == ["a", "b"]
+        assert all(isinstance(leaf, Leaf) for leaf in back.children)
+
+    def test_init_not_called(self, gson):
+        class Booby:
+            tripped = False
+            value: int
+
+            def __init__(self):
+                type(self).tripped = True
+
+        instance = gson.from_json('{"value": 3}', Booby)
+        assert instance.value == 3
+        assert not Booby.tripped
+
+    def test_invalid_json_rejected(self, gson):
+        with pytest.raises(DeserializationError):
+            gson.from_json("{not json", Node)
+
+    def test_wrong_shape_rejected(self, gson):
+        with pytest.raises(DeserializationError):
+            gson.from_json("[1, 2]", Node)
+
+    def test_primitive_type_mismatch_rejected(self, gson):
+        class Holder:
+            count: int
+
+        with pytest.raises(DeserializationError):
+            gson.from_json('{"count": "not a number"}', Holder)
+
+    def test_bool_is_not_an_int(self, gson):
+        class Holder:
+            count: int
+
+        with pytest.raises(DeserializationError):
+            gson.from_json('{"count": true}', Holder)
+
+    def test_int_promoted_to_float(self, gson):
+        class Holder:
+            ratio: float
+
+        assert gson.from_json('{"ratio": 2}', Holder).ratio == 2.0
+
+    def test_optional_field(self, gson):
+        class Holder:
+            maybe: Optional[int]
+
+        assert gson.from_json('{"maybe": null}', Holder).maybe is None
+        assert gson.from_json('{"maybe": 3}', Holder).maybe == 3
+
+    def test_typed_containers(self, gson):
+        class Holder:
+            items: List[Leaf]
+            names: Dict[str, Leaf]
+            pair: Tuple[int, int]
+            tags: Set[str]
+
+        text = (
+            '{"items": [{"label": "x"}], "names": {"k": {"label": "y"}},'
+            ' "pair": [1, 2], "tags": ["a", "a", "b"]}'
+        )
+        holder = gson.from_json(text, Holder)
+        assert isinstance(holder.items[0], Leaf) and holder.items[0].label == "x"
+        assert isinstance(holder.names["k"], Leaf)
+        assert holder.pair == (1, 2)
+        assert holder.tags == {"a", "b"}
+
+    def test_unannotated_field_stays_raw(self, gson):
+        class Holder:
+            pass
+
+        holder = gson.from_json('{"anything": {"nested": 1}}', Holder)
+        assert holder.anything == {"nested": 1}
+
+    def test_list_expected_but_object_given(self, gson):
+        class Holder:
+            items: List[int]
+
+        with pytest.raises(DeserializationError):
+            gson.from_json('{"items": {"not": "a list"}}', Holder)
+
+    def test_bytes_field_roundtrip(self, gson):
+        class Holder:
+            blob: bytes
+
+            def __init__(self):
+                self.blob = b"\x01\x02"
+
+        back = gson.from_json(gson.to_json(Holder()), Holder)
+        assert back.blob == b"\x01\x02"
+
+
+class TestTypeAdapters:
+    def test_adapter_wins_over_object_walk(self):
+        class Point:
+            def __init__(self, x, y):
+                self.x = x
+                self.y = y
+
+        class PointAdapter(TypeAdapter):
+            def __init__(self):
+                super().__init__(Point)
+
+            def to_jsonable(self, value):
+                return [value.x, value.y]
+
+            def from_jsonable(self, data):
+                return Point(data[0], data[1])
+
+        gson = Gson(adapters=[PointAdapter()])
+        assert gson.to_jsonable(Point(1, 2)) == [1, 2]
+        back = gson.from_jsonable([3, 4], Point)
+        assert (back.x, back.y) == (3, 4)
+
+    def test_adapter_applies_to_nested_fields(self):
+        class Point:
+            def __init__(self, x, y):
+                self.x = x
+                self.y = y
+
+        class PointAdapter(TypeAdapter):
+            def __init__(self):
+                super().__init__(Point)
+
+            def to_jsonable(self, value):
+                return [value.x, value.y]
+
+            def from_jsonable(self, data):
+                return Point(*data)
+
+        class Shape:
+            corner: Point
+
+            def __init__(self):
+                self.corner = Point(5, 6)
+
+        gson = Gson(adapters=[PointAdapter()])
+        back = gson.from_json(gson.to_json(Shape()), Shape)
+        assert (back.corner.x, back.corner.y) == (5, 6)

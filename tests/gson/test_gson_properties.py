@@ -1,0 +1,90 @@
+"""Property-based tests for the object mapper."""
+
+from typing import Dict, List, Optional
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gson import Gson
+
+# JSON-able value trees.
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=30),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+class Record:
+    name: str
+    score: int
+    tags: List[str]
+    meta: Dict[str, int]
+    note: Optional[str]
+
+    def __init__(self, name, score, tags, meta, note):
+        self.name = name
+        self.score = score
+        self.tags = tags
+        self.meta = meta
+        self.note = note
+
+
+records = st.builds(
+    Record,
+    name=st.text(max_size=20),
+    score=st.integers(min_value=-1000, max_value=1000),
+    tags=st.lists(st.text(max_size=10), max_size=5),
+    meta=st.dictionaries(st.text(max_size=5), st.integers(), max_size=4),
+    note=st.none() | st.text(max_size=15),
+)
+
+
+@given(json_values)
+@settings(max_examples=100)
+def test_jsonable_values_roundtrip(value):
+    gson = Gson()
+    import json
+
+    text = gson.to_json(value)
+    assert json.loads(text) == gson.to_jsonable(value)
+
+
+@given(records)
+@settings(max_examples=100)
+def test_annotated_object_roundtrip(record):
+    gson = Gson()
+    back = gson.from_json(gson.to_json(record), Record)
+    assert back.name == record.name
+    assert back.score == record.score
+    assert back.tags == record.tags
+    assert back.meta == record.meta
+    assert back.note == record.note
+
+
+@given(st.binary(max_size=200))
+def test_bytes_roundtrip(blob):
+    class Holder:
+        blob: bytes
+
+        def __init__(self, b):
+            self.blob = b
+
+    gson = Gson()
+    assert gson.from_json(gson.to_json(Holder(blob)), Holder).blob == blob
+
+
+@given(records)
+def test_serialization_is_pure(record):
+    """Serializing twice gives identical text and does not mutate the object."""
+    gson = Gson()
+    before = dict(record.__dict__)
+    first = gson.to_json(record)
+    second = gson.to_json(record)
+    assert first == second
+    assert record.__dict__ == before

@@ -1,0 +1,105 @@
+"""Tests for workload replay and radio telemetry."""
+
+import pytest
+
+from repro.concurrent import EventLog
+from repro.harness.executor import WorkloadExecutor
+from repro.harness.stats import collect_port_stats, radio_report
+from repro.harness.workload import TapWorkload
+from repro.radio.link import LossyLink
+from repro.tags.factory import make_tags
+
+from tests.conftest import make_reference, text_tag
+
+
+class TestWorkloadExecutor:
+    def test_replays_every_tap(self, scenario, phone):
+        tags = make_tags(3)
+        workload = TapWorkload(
+            tag_count=3, tap_count=12, seed=4, inter_tap=(0, 0.01), hold=(0.001, 0.002)
+        )
+        executor = WorkloadExecutor(scenario.env, phone, tags, time_scale=1.0)
+        stats = executor.run(workload)
+        assert stats.taps == 12
+        assert sum(stats.taps_per_tag) == 12
+        # All tags end out of the field.
+        assert all(
+            not scenario.env.tag_in_field(tag, phone.port) for tag in tags
+        )
+
+    def test_replay_drives_middleware(self, scenario, phone, activity):
+        tag = text_tag("workload")
+        reference = make_reference(activity, tag, phone)
+        done = EventLog()
+        reference.write("replayed", on_written=lambda r: done.append("ok"), timeout=30.0)
+        workload = TapWorkload(
+            tag_count=1, tap_count=3, seed=1, inter_tap=(0, 0.01), hold=(0.05, 0.06)
+        )
+        WorkloadExecutor(scenario.env, phone, [tag]).run(workload)
+        assert done.wait_for_count(1, timeout=5)
+        assert tag.read_ndef()[0].payload == b"replayed"
+
+    def test_time_scale_compresses_real_time(self, scenario, phone):
+        import time
+
+        tags = make_tags(1)
+        workload = TapWorkload(
+            tag_count=1, tap_count=5, seed=2, inter_tap=(0.5, 0.5), hold=(0.2, 0.2)
+        )
+        executor = WorkloadExecutor(scenario.env, phone, tags, time_scale=0.01)
+        start = time.monotonic()
+        executor.run(workload)
+        assert time.monotonic() - start < 1.0  # ~3.5 virtual seconds compressed
+
+    def test_invalid_construction_rejected(self, scenario, phone):
+        with pytest.raises(ValueError):
+            WorkloadExecutor(scenario.env, phone, [], time_scale=1.0)
+        with pytest.raises(ValueError):
+            WorkloadExecutor(scenario.env, phone, make_tags(1), time_scale=0)
+
+    def test_workload_larger_than_population_rejected(self, scenario, phone):
+        workload = TapWorkload(tag_count=5, tap_count=10, seed=0)
+        executor = WorkloadExecutor(scenario.env, phone, make_tags(1))
+        with pytest.raises(IndexError):
+            executor.run(workload)
+
+
+class TestRadioStats:
+    def test_counters_reflect_operations(self, scenario, phone):
+        tag = text_tag("counted")
+        scenario.put(tag, phone)
+        phone.port.read_ndef(tag)
+        phone.port.read_ndef(tag)
+        stats = collect_port_stats(scenario.env)
+        mine = next(s for s in stats if s.name == phone.name)
+        assert mine.read_attempts == 2
+        assert mine.write_attempts == 0
+
+    def test_lossy_link_statistics_surface(self, scenario):
+        phone = scenario.add_phone("lossy", link=LossyLink(1.0, seed=0))
+        tag = text_tag("x")
+        scenario.put(tag, phone)
+        from repro.errors import TagLostError
+
+        for _ in range(4):
+            with pytest.raises(TagLostError):
+                phone.port.read_ndef(tag)
+        mine = next(
+            s for s in collect_port_stats(scenario.env) if s.name == "lossy"
+        )
+        assert mine.link_attempts == 4
+        assert mine.observed_loss == 1.0
+
+    def test_perfect_link_has_no_loss_stats(self, scenario, phone):
+        mine = next(
+            s for s in collect_port_stats(scenario.env) if s.name == phone.name
+        )
+        assert mine.link_attempts is None
+        assert mine.observed_loss is None
+
+    def test_report_renders_all_ports(self, scenario, phone):
+        scenario.add_phone("second")
+        text = radio_report(scenario.env).render()
+        assert phone.name in text
+        assert "second" in text
+        assert "observed loss" in text

@@ -1,0 +1,135 @@
+"""End-to-end integration: full stack from radio to thing layer."""
+
+import json
+
+from repro.apps.wifi import WifiConfig, WifiJoinerActivity
+from repro.concurrent import EventLog, wait_until
+from repro.tags.factory import make_tag
+from repro.things.activity import thing_mime_type
+
+
+class TestWifiLifecycle:
+    def test_full_tag_lifecycle_across_three_phones(self, scenario):
+        """Create -> join -> update -> join again, on different phones."""
+        registry = scenario.wifi_registry
+        registry.add_network("LobbyWifi", "welcome")
+        registry.add_network("LobbyWifi2", "welcome2")
+
+        facility = scenario.add_phone("facility")
+        guest = scenario.add_phone("guest")
+        late = scenario.add_phone("late")
+        facility_app = scenario.start(facility, WifiJoinerActivity, registry)
+        guest_app = scenario.start(guest, WifiJoinerActivity, registry)
+        late_app = scenario.start(late, WifiJoinerActivity, registry)
+
+        # Facility initializes an empty tag.
+        tag = make_tag()
+        facility_app.share_with_tag(WifiConfig(facility_app, "LobbyWifi", "welcome"))
+        scenario.put(tag, facility)
+        assert wait_until(
+            lambda: "WiFi joiner created!" in facility.toasts.snapshot()
+        )
+        scenario.take(tag, facility)
+
+        # Guest joins from the tag.
+        scenario.put(tag, guest)
+        assert wait_until(lambda: guest_app.wifi.connected_ssid == "LobbyWifi")
+        scenario.take(tag, guest)
+
+        # Facility updates the credentials.
+        scenario.put(tag, facility)
+        assert wait_until(lambda: facility_app.last_config is not None)
+        config = facility_app.last_config
+        facility.main_looper.post(
+            lambda: facility_app.rename_network(config, "LobbyWifi2", "welcome2")
+        )
+        assert wait_until(
+            lambda: "WiFi joiner saved!" in facility.toasts.snapshot()
+        )
+        scenario.take(tag, facility)
+
+        # A late guest gets the updated network.
+        scenario.put(tag, late)
+        assert wait_until(lambda: late_app.wifi.connected_ssid == "LobbyWifi2")
+
+    def test_beam_chain(self, scenario):
+        """Credentials hop A -> B -> C over Beam only."""
+        registry = scenario.wifi_registry
+        registry.add_network("chain-net", "key")
+        phones = [scenario.add_phone(f"chain-{i}") for i in range(3)]
+        apps = [
+            scenario.start(phone, WifiJoinerActivity, registry) for phone in phones
+        ]
+        seed = WifiConfig(apps[0], "chain-net", "key")
+        phones[0].main_looper.post(lambda: apps[0].share_with_phone(seed))
+        scenario.pair(phones[0], phones[1])
+        assert wait_until(lambda: apps[1].wifi.connected_ssid == "chain-net")
+        scenario.unpair(phones[0], phones[1])
+
+        forward = apps[1].last_config
+        phones[1].main_looper.post(lambda: apps[1].share_with_phone(forward))
+        scenario.pair(phones[1], phones[2])
+        assert wait_until(lambda: apps[2].wifi.connected_ssid == "chain-net")
+
+    def test_wire_format_is_plain_json(self, scenario):
+        """The on-tag format is documented, inspectable JSON."""
+        registry = scenario.wifi_registry
+        phone = scenario.add_phone("fmt")
+        app = scenario.start(phone, WifiJoinerActivity, registry)
+        tag = make_tag()
+        app.share_with_tag(WifiConfig(app, "net", "key"))
+        scenario.put(tag, phone)
+        assert wait_until(lambda: "WiFi joiner created!" in phone.toasts.snapshot())
+        record = tag.read_ndef()[0]
+        assert record.type.decode() == thing_mime_type(WifiConfig)
+        assert json.loads(record.payload) == {"ssid": "net", "key": "key"}
+
+
+class TestCrossLayerConsistency:
+    def test_one_tag_many_apps(self, scenario):
+        """Two activities on two phones track the same physical tag."""
+        registry = scenario.wifi_registry
+        a = scenario.add_phone("multi-a")
+        b = scenario.add_phone("multi-b")
+        app_a = scenario.start(a, WifiJoinerActivity, registry)
+        app_b = scenario.start(b, WifiJoinerActivity, registry)
+
+        tag = make_tag()
+        app_a.share_with_tag(WifiConfig(app_a, "shared", "key"))
+        scenario.put(tag, a)
+        assert wait_until(lambda: "WiFi joiner created!" in a.toasts.snapshot())
+
+        # Phone B discovers what phone A wrote.
+        scenario.put(tag, b)
+        assert wait_until(lambda: app_b.last_config is not None)
+        assert app_b.last_config.ssid == "shared"
+        # Each activity has its own unique reference to the same tag.
+        assert app_a.reference_factory.lookup(tag.uid) is not None
+        assert app_b.reference_factory.lookup(tag.uid) is not None
+        assert app_a.reference_factory.lookup(
+            tag.uid
+        ) is not app_b.reference_factory.lookup(tag.uid)
+
+    def test_queued_writes_from_two_phones_serialize_on_tag(self, scenario):
+        """Last physical write wins; the tag never holds a torn mix."""
+        registry = scenario.wifi_registry
+        a = scenario.add_phone("writer-a")
+        b = scenario.add_phone("writer-b")
+        app_a = scenario.start(a, WifiJoinerActivity, registry)
+        app_b = scenario.start(b, WifiJoinerActivity, registry)
+
+        tag = make_tag()
+        app_a.share_with_tag(WifiConfig(app_a, "from-a", "ka"))
+        scenario.put(tag, a)
+        assert wait_until(lambda: "WiFi joiner created!" in a.toasts.snapshot())
+
+        scenario.put(tag, b)
+        assert wait_until(lambda: app_b.last_config is not None)
+        config_b = app_b.last_config
+        b.main_looper.post(
+            lambda: app_b.rename_network(config_b, "from-b", "kb")
+        )
+        assert wait_until(lambda: "WiFi joiner saved!" in b.toasts.snapshot())
+        stored = json.loads(tag.read_ndef()[0].payload)
+        assert stored["ssid"] in ("from-a", "from-b")
+        assert set(stored) == {"ssid", "key"}

@@ -1,0 +1,122 @@
+"""Failure-injection integration tests: lossy links, tears, corruption."""
+
+from repro.concurrent import EventLog, wait_until
+from repro.core.operations import OperationOutcome
+from repro.radio.link import FlakyThenGoodLink, LossyLink, ScriptedLink
+from repro.tags.factory import make_tag
+
+from tests.conftest import make_reference, text_message, text_tag
+
+
+class TestLossyLinks:
+    def test_read_eventually_succeeds_on_lossy_link(self, scenario, phone, activity):
+        phone.port.set_link(LossyLink(0.6, seed=11))
+        tag = text_tag("persistent")
+        scenario.put(tag, phone)
+        ref = make_reference(activity, tag, phone)
+        log = EventLog()
+        ref.read(on_read=lambda r: log.append(r.cached), timeout=10.0)
+        assert log.wait_for_count(1, timeout=10)
+        assert log.snapshot() == ["persistent"]
+
+    def test_many_queued_writes_survive_lossy_link(self, scenario, phone, activity):
+        phone.port.set_link(LossyLink(0.4, seed=3))
+        tag = text_tag("start")
+        scenario.put(tag, phone)
+        ref = make_reference(activity, tag, phone)
+        log = EventLog()
+        for index in range(10):
+            ref.write(
+                f"w{index}",
+                on_written=lambda r, i=index: log.append(i),
+                timeout=15.0,
+            )
+        assert log.wait_for_count(10, timeout=15)
+        assert log.snapshot() == list(range(10))
+        assert tag.read_ndef()[0].payload == b"w9"
+
+
+class TestTornWrites:
+    def test_corrupted_tag_healed_by_retry(self, scenario, phone, activity):
+        """A tear corrupts the TLV; MORENA's retry rewrites and heals it."""
+        phone.port.corrupt_on_tear = True
+        phone.port.set_link(FlakyThenGoodLink(1))
+        tag = text_tag("good")
+        scenario.put(tag, phone)
+        ref = make_reference(activity, tag, phone)
+        log = EventLog()
+        ref.write("final", on_written=lambda r: log.append("done"), timeout=10.0)
+        assert log.wait_for_count(1, timeout=10)
+        assert tag.read_ndef()[0].payload == b"final"
+
+    def test_corrupted_tag_read_retries_until_healed(
+        self, scenario, phone, activity
+    ):
+        """A tag torn by another device is unreadable until rewritten."""
+        tag = text_tag("original")
+        encoded = text_message("replacement").to_bytes()
+        tag._store_tlv(encoded[: len(encoded) // 2])  # corrupt externally
+        scenario.put(tag, phone)
+        ref = make_reference(activity, tag, phone)
+        failures = EventLog()
+        ref.read(on_failed=lambda r: failures.append("x"), timeout=0.3)
+        # Unreadable: the read times out (transient-retried, never fatal).
+        assert failures.wait_for_count(1, timeout=3)
+        # Heal the tag; the next read succeeds.
+        tag.write_ndef(text_message("healed"))
+        log = EventLog()
+        ref.read(on_read=lambda r: log.append(r.cached))
+        assert log.wait_for_count(1)
+        assert log.snapshot() == ["healed"]
+
+
+class TestTagChurn:
+    def test_rapid_tap_withdraw_cycles(self, scenario, phone, activity):
+        tag = text_tag("churn")
+        ref = None
+        log = EventLog()
+        for cycle in range(10):
+            scenario.put(tag, phone)
+            if ref is None:
+                ref = make_reference(activity, tag, phone)
+                ref.write("churned", on_written=lambda r: log.append("ok"), timeout=10.0)
+            scenario.take(tag, phone)
+        scenario.put(tag, phone)
+        assert log.wait_for_count(1, timeout=10)
+        assert tag.read_ndef()[0].payload == b"churned"
+
+    def test_operations_do_not_leak_across_references(self, scenario, phone, activity):
+        """Stopping one tag's reference leaves another tag's queue alive."""
+        tag_a = text_tag("a")
+        tag_b = text_tag("b")
+        ref_a = make_reference(activity, tag_a, phone)
+        ref_b = make_reference(activity, tag_b, phone)
+        log = EventLog()
+        ref_b.write("b-write", on_written=lambda r: log.append("b-ok"))
+        ref_a.stop()
+        scenario.put(tag_b, phone)
+        assert log.wait_for_count(1)
+        assert tag_b.read_ndef()[0].payload == b"b-write"
+
+
+class TestScriptedSequences:
+    def test_exact_attempt_accounting(self, scenario, phone, activity):
+        """Three scripted tears then success: exactly four attempts."""
+        phone.port.set_link(ScriptedLink([False, False, False], default=True))
+        tag = text_tag("counted")
+        scenario.put(tag, phone)
+        ref = make_reference(activity, tag, phone)
+        operation = ref.read(timeout=10.0)
+        assert wait_until(lambda: operation.outcome is OperationOutcome.SUCCEEDED, 10)
+        assert operation.attempts == 4
+
+    def test_alternating_failures_across_queue(self, scenario, phone, activity):
+        phone.port.set_link(ScriptedLink([False, True, False, True], default=True))
+        tag = text_tag("alt")
+        scenario.put(tag, phone)
+        ref = make_reference(activity, tag, phone)
+        log = EventLog()
+        ref.write("first", on_written=lambda r: log.append("first"), timeout=10.0)
+        ref.write("second", on_written=lambda r: log.append("second"), timeout=10.0)
+        assert log.wait_for_count(2, timeout=10)
+        assert log.snapshot() == ["first", "second"]

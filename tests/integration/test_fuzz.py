@@ -1,0 +1,93 @@
+"""Fuzz tests: hostile bytes must produce typed errors, never crashes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NdefError, ReproError, TagError
+from repro.ndef.message import NdefMessage
+from repro.tags.memory import PAGE_SIZE
+from repro.tags.tag import USER_START_PAGE, SimulatedTag
+
+
+@given(st.binary(min_size=0, max_size=300))
+@settings(max_examples=200)
+def test_ndef_decoder_never_crashes(data):
+    """Arbitrary bytes decode to a message or raise NdefError -- nothing else."""
+    try:
+        message = NdefMessage.from_bytes(data)
+    except NdefError:
+        return
+    # If it decoded, it must re-encode to *some* canonical form that
+    # decodes to the same message (idempotence of the canonical codec).
+    assert NdefMessage.from_bytes(message.to_bytes()) == message
+
+
+@given(st.binary(min_size=1, max_size=144))
+@settings(max_examples=200)
+def test_tag_read_never_crashes_on_hostile_user_area(data):
+    """A tag whose TLV area was scribbled over reads cleanly or errors cleanly."""
+    tag = SimulatedTag()
+    usable = min(len(data), tag.tag_type.user_bytes)
+    tag.memory.write_bytes(USER_START_PAGE, data[:usable])
+    try:
+        tag.read_ndef()
+    except ReproError:
+        pass  # TagFormatError / NdefDecodeError are both acceptable
+
+
+@given(st.binary(min_size=1, max_size=144))
+@settings(max_examples=100)
+def test_scribbled_tag_is_always_recoverable(data):
+    """Whatever garbage is on the tag, a fresh write restores service."""
+    from repro.ndef.mime import mime_record
+
+    tag = SimulatedTag()
+    usable = min(len(data), tag.tag_type.user_bytes)
+    tag.memory.write_bytes(USER_START_PAGE, data[:usable])
+    healed = NdefMessage([mime_record("a/b", b"healed")])
+    tag.write_ndef(healed)
+    assert tag.read_ndef() == healed
+
+
+@given(st.binary(min_size=0, max_size=64))
+@settings(max_examples=100)
+def test_adapter_dispatch_survives_hostile_tags(data):
+    """A hostile tag in the field never crashes the platform dispatch."""
+    from repro.android.device import AndroidDevice
+    from repro.android.activity import Activity
+    from repro.android.intents import (
+        ACTION_NDEF_DISCOVERED,
+        ACTION_TAG_DISCOVERED,
+        ACTION_TECH_DISCOVERED,
+        IntentFilter,
+    )
+    from repro.radio.environment import RfidEnvironment
+
+    class CatchAll(Activity):
+        def on_create(self):
+            self.count = 0
+            self.enable_foreground_dispatch(
+                [
+                    IntentFilter(ACTION_NDEF_DISCOVERED),
+                    IntentFilter(ACTION_TECH_DISCOVERED),
+                    IntentFilter(ACTION_TAG_DISCOVERED),
+                ]
+            )
+
+        def on_new_intent(self, intent):
+            self.count += 1
+
+    env = RfidEnvironment()
+    phone = AndroidDevice("fuzz-phone", env)
+    try:
+        activity = phone.start_activity(CatchAll)
+        tag = SimulatedTag()
+        usable = min(len(data), tag.tag_type.user_bytes)
+        if usable:
+            tag.memory.write_bytes(USER_START_PAGE, data[:usable])
+        env.move_tag_into_field(tag, phone.port)
+        assert phone.sync()
+        assert not phone.main_looper.drain_errors()
+        assert activity.count >= 1  # some intent was dispatched
+    finally:
+        phone.shutdown()

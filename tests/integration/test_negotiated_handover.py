@@ -1,0 +1,160 @@
+"""Negotiated handover: one phone asks, the other offers carriers.
+
+The static-handover tag (router sticker) has a phone-to-phone sibling:
+the requester sends a Handover Request over SNEP GET, the responder
+answers with a Handover Select carrying its carriers (here: WiFi
+credentials in WSC format). This is how a phone that *knows* a network
+shares it with one that asks.
+"""
+
+import pytest
+
+from repro.errors import BeamError
+from repro.ndef.handover import (
+    CPS_ACTIVE,
+    build_handover_request,
+    parse_handover_request,
+)
+from repro.ndef.message import NdefMessage
+from repro.ndef.record import NdefRecord
+from repro.ndef.wsc import WSC_MIME_TYPE, WifiCredential
+from repro.ndef.handover import build_handover_select
+
+
+def wifi_select_message(ssid: str, key: str) -> NdefMessage:
+    bare = WifiCredential(ssid, key).to_record()
+    carrier = NdefRecord(bare.tnf, bare.type, b"w", bare.payload)
+    return build_handover_select([(carrier, CPS_ACTIVE)])
+
+
+class TestRequestCodec:
+    def test_request_roundtrip(self):
+        message = build_handover_request([WSC_MIME_TYPE, "application/x-alt"])
+        parsed = parse_handover_request(message)
+        assert parsed.version == 0x12
+        assert parsed.requested_mime_types == [WSC_MIME_TYPE, "application/x-alt"]
+
+    def test_collision_number_carried(self):
+        message = build_handover_request([WSC_MIME_TYPE], random_number=0xBEEF)
+        assert parse_handover_request(message).random_number == 0xBEEF
+
+    def test_empty_request_rejected(self):
+        from repro.errors import NdefEncodeError
+
+        with pytest.raises(NdefEncodeError):
+            build_handover_request([])
+
+    def test_parse_rejects_non_request(self):
+        from repro.errors import NdefDecodeError
+
+        with pytest.raises(NdefDecodeError):
+            parse_handover_request(wifi_select_message("n", "k"))
+
+
+class TestNegotiation:
+    @pytest.fixture
+    def phones(self, scenario):
+        asker = scenario.add_phone("asker")
+        sharer = scenario.add_phone("sharer")
+        return scenario, asker, sharer
+
+    def install_wifi_responder(self, sharer, ssid="HomeNet", key="hk"):
+        def responder(request, sender):
+            if WSC_MIME_TYPE in request.requested_mime_types:
+                return wifi_select_message(ssid, key)
+            return None
+
+        sharer.nfc_adapter.set_handover_responder(responder)
+
+    def test_successful_negotiation(self, phones):
+        scenario, asker, sharer = phones
+        self.install_wifi_responder(sharer)
+        scenario.pair(asker, sharer)
+        answers = asker.nfc_adapter.request_handover([WSC_MIME_TYPE])
+        assert len(answers) == 1
+        peer_name, select = answers[0]
+        assert peer_name == "sharer"
+        credential = WifiCredential.from_record(select.carrier_records()[0])
+        assert credential.ssid == "HomeNet"
+        assert credential.key == "hk"
+
+    def test_responder_offering_nothing_is_skipped(self, phones):
+        scenario, asker, sharer = phones
+        self.install_wifi_responder(sharer)
+        scenario.pair(asker, sharer)
+        answers = asker.nfc_adapter.request_handover(["application/x-bluetooth"])
+        assert answers == []
+
+    def test_peer_without_responder_is_skipped(self, phones):
+        scenario, asker, sharer = phones
+        # The sharer has a beam handler (activity) but no responder.
+        sharer.port.set_beam_handler(lambda sender, message: None)
+        scenario.pair(asker, sharer)
+        assert asker.nfc_adapter.request_handover([WSC_MIME_TYPE]) == []
+
+    def test_no_peer_raises(self, phones):
+        _, asker, _ = phones
+        with pytest.raises(BeamError):
+            asker.nfc_adapter.request_handover([WSC_MIME_TYPE])
+
+    def test_responder_uninstall(self, phones):
+        scenario, asker, sharer = phones
+        self.install_wifi_responder(sharer)
+        sharer.nfc_adapter.set_handover_responder(None)
+        scenario.pair(asker, sharer)
+        assert asker.nfc_adapter.request_handover([WSC_MIME_TYPE]) == []
+
+    def test_two_sharers_both_answer(self, scenario):
+        asker = scenario.add_phone("asker2")
+        answers_expected = {}
+        for index in range(2):
+            sharer = scenario.add_phone(f"sharer-{index}")
+            ssid = f"net-{index}"
+            answers_expected[sharer.name] = ssid
+
+            def responder(request, sender, ssid=ssid):
+                return wifi_select_message(ssid, "k")
+
+            sharer.nfc_adapter.set_handover_responder(responder)
+            scenario.pair(asker, sharer)
+        answers = asker.nfc_adapter.request_handover([WSC_MIME_TYPE])
+        got = {
+            peer: WifiCredential.from_record(select.carrier_records()[0]).ssid
+            for peer, select in answers
+        }
+        assert got == answers_expected
+
+    def test_end_to_end_wifi_join_via_negotiation(self, phones):
+        """The full story: ask nearby phones for WiFi, join what comes back."""
+        from repro.apps.wifi.wifi_manager import WifiManager
+
+        scenario, asker, sharer = phones
+        scenario.wifi_registry.add_network("HomeNet", "hk")
+        self.install_wifi_responder(sharer)
+        scenario.pair(asker, sharer)
+        wifi = WifiManager(scenario.wifi_registry)
+        for _peer, select in asker.nfc_adapter.request_handover([WSC_MIME_TYPE]):
+            credential = WifiCredential.from_record(select.carrier_records()[0])
+            if wifi.connect(credential.ssid, credential.key):
+                break
+        assert wifi.connected_ssid == "HomeNet"
+
+    def test_beam_still_works_alongside_responder(self, phones):
+        """PUT (beam) and GET (handover) coexist on one SNEP server."""
+        from repro.concurrent import EventLog
+        from repro.ndef.mime import mime_record
+
+        scenario, asker, sharer = phones
+        received = EventLog()
+        sharer.port.set_beam_handler(
+            lambda sender, message: received.append(message[0].payload)
+        )
+        self.install_wifi_responder(sharer)
+        scenario.pair(asker, sharer)
+        # GET first, then PUT.
+        assert asker.nfc_adapter.request_handover([WSC_MIME_TYPE])
+        asker.nfc_adapter.push_now(
+            NdefMessage([mime_record("a/b", b"beamed alongside")])
+        )
+        assert received.wait_for_count(1)
+        assert received.snapshot() == [b"beamed alongside"]

@@ -1,0 +1,95 @@
+"""Tests for automatic lease renewal."""
+
+import time
+
+import pytest
+
+from repro.concurrent import EventLog, wait_until
+from repro.leasing.keeper import LeaseKeeper
+from repro.leasing.manager import LeaseManager
+
+from tests.conftest import PlainNfcActivity, make_reference, text_tag
+
+
+@pytest.fixture
+def setup(scenario):
+    tag = text_tag("kept")
+    phone_a = scenario.add_phone("keeper-a")
+    phone_b = scenario.add_phone("keeper-b")
+    app_a = scenario.start(phone_a, PlainNfcActivity)
+    app_b = scenario.start(phone_b, PlainNfcActivity)
+    scenario.put(tag, phone_a)
+    scenario.put(tag, phone_b)
+    manager_a = LeaseManager(
+        make_reference(app_a, tag, phone_a), "keeper-a", drift_bound=0.0
+    )
+    manager_b = LeaseManager(
+        make_reference(app_b, tag, phone_b), "keeper-b", drift_bound=0.0
+    )
+    return scenario, tag, manager_a, manager_b
+
+
+class TestKeeper:
+    def test_keeps_lease_beyond_original_duration(self, setup):
+        _, _, manager_a, manager_b = setup
+        keeper = LeaseKeeper(manager_a, duration=0.15)
+        log = EventLog()
+        keeper.start(on_acquired=lambda lease: log.append("acquired"))
+        assert log.wait_for_count(1, timeout=5)
+        # Wait for well over the original duration: renewals kept it alive.
+        time.sleep(0.4)
+        assert keeper.is_running
+        assert keeper.renewal_count >= 1
+        assert manager_a.holds_valid_lease
+        # The other device is still locked out.
+        denied = EventLog()
+        manager_b.acquire(1.0, on_denied=lambda: denied.append("denied"))
+        assert denied.wait_for_count(1, timeout=5)
+        keeper.stop()
+
+    def test_stop_releases_by_default(self, setup):
+        _, _, manager_a, manager_b = setup
+        keeper = LeaseKeeper(manager_a, duration=0.2)
+        log = EventLog()
+        keeper.start(on_acquired=lambda lease: log.append("ok"))
+        assert log.wait_for_count(1, timeout=5)
+        keeper.stop()
+        assert not keeper.is_running
+        # After the release the other device acquires promptly.
+        acquired = EventLog()
+        assert wait_until(
+            lambda: (
+                manager_b.acquire(
+                    0.5, on_acquired=lambda lease: acquired.append("got")
+                ),
+                acquired.wait_for_count(1, timeout=1),
+            )[1],
+            timeout=5,
+        )
+
+    def test_start_denied_when_lease_held_elsewhere(self, setup):
+        _, _, manager_a, manager_b = setup
+        first = EventLog()
+        manager_b.acquire(30.0, on_acquired=lambda lease: first.append("b"))
+        assert first.wait_for_count(1, timeout=5)
+        keeper = LeaseKeeper(manager_a, duration=0.2)
+        denied = EventLog()
+        keeper.start(on_denied=lambda: denied.append("denied"))
+        assert denied.wait_for_count(1, timeout=5)
+        assert not keeper.is_running
+
+    def test_double_start_is_noop(self, setup):
+        _, _, manager_a, _ = setup
+        keeper = LeaseKeeper(manager_a, duration=0.2)
+        log = EventLog()
+        keeper.start(on_acquired=lambda lease: log.append("a"))
+        keeper.start(on_acquired=lambda lease: log.append("b"))
+        assert log.wait_for_count(1, timeout=5)
+        time.sleep(0.05)
+        assert log.snapshot() == ["a"]
+        keeper.stop()
+
+    def test_invalid_duration_rejected(self, setup):
+        _, _, manager_a, _ = setup
+        with pytest.raises(ValueError):
+            LeaseKeeper(manager_a, duration=0)

@@ -1,0 +1,108 @@
+"""Unit tests for the lease record codec and expiry semantics."""
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.errors import LeaseError
+from repro.leasing.lease import Lease, join_lease, split_lease
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record, message_mime_type
+
+
+def make_lease(expires_at=10.0, device="phone-a", acquired_at=0.0):
+    return Lease(device_id=device, acquired_at=acquired_at, expires_at=expires_at)
+
+
+class TestCodec:
+    def test_record_roundtrip(self):
+        lease = make_lease()
+        assert Lease.from_record(lease.to_record()) == lease
+
+    def test_wrong_record_type_rejected(self):
+        with pytest.raises(LeaseError):
+            Lease.from_record(mime_record("a/b", b"{}"))
+
+    def test_malformed_payload_rejected(self):
+        record = mime_record("application/vnd.morena.lease", b"not json")
+        with pytest.raises(LeaseError):
+            Lease.from_record(record)
+
+    def test_missing_field_rejected(self):
+        record = mime_record(
+            "application/vnd.morena.lease", b'{"device_id": "x"}'
+        )
+        with pytest.raises(LeaseError):
+            Lease.from_record(record)
+
+    def test_duration(self):
+        assert make_lease(expires_at=12.0, acquired_at=2.0).duration == 10.0
+
+
+class TestExpiry:
+    def test_not_expired_before_deadline(self):
+        clock = ManualClock(start=5.0)
+        lease = make_lease(expires_at=10.0)
+        assert not lease.is_expired(clock, drift_bound=0.0, ours=True)
+        assert not lease.is_expired(clock, drift_bound=0.0, ours=False)
+
+    def test_expired_after_deadline(self):
+        clock = ManualClock(start=11.0)
+        lease = make_lease(expires_at=10.0)
+        assert lease.is_expired(clock, drift_bound=0.0, ours=True)
+        assert lease.is_expired(clock, drift_bound=0.0, ours=False)
+
+    def test_drift_bound_is_conservative_both_ways(self):
+        lease = make_lease(expires_at=10.0)
+        clock = ManualClock(start=9.5)
+        # Our own lease: give up early.
+        assert lease.is_expired(clock, drift_bound=1.0, ours=True)
+        # A foreign lease: honour it longer.
+        clock_late = ManualClock(start=10.5)
+        assert not lease.is_expired(clock_late, drift_bound=1.0, ours=False)
+        clock_later = ManualClock(start=11.5)
+        assert lease.is_expired(clock_later, drift_bound=1.0, ours=False)
+
+    def test_negative_drift_rejected(self):
+        lease = make_lease()
+        with pytest.raises(LeaseError):
+            lease.is_expired(ManualClock(), drift_bound=-1, ours=True)
+
+    def test_held_by(self):
+        lease = make_lease(device="me")
+        assert lease.held_by("me")
+        assert not lease.held_by("you")
+
+
+class TestSplitJoin:
+    def test_split_message_without_lease(self):
+        message = NdefMessage([mime_record("a/b", b"data")])
+        lease, records = split_lease(message)
+        assert lease is None
+        assert records == [message[0]]
+
+    def test_join_then_split(self):
+        lease = make_lease()
+        data = [mime_record("a/b", b"payload")]
+        message = join_lease(lease, data)
+        recovered, records = split_lease(message)
+        assert recovered == lease
+        assert records == data
+
+    def test_lease_record_goes_last(self):
+        """So the intent-dispatch MIME type stays the application's."""
+        lease = make_lease()
+        message = join_lease(lease, [mime_record("a/b", b"x")])
+        assert message_mime_type(message) == "a/b"
+        assert message[-1].type == b"application/vnd.morena.lease"
+
+    def test_join_without_lease_keeps_records(self):
+        data = [mime_record("a/b", b"x")]
+        assert list(join_lease(None, data)) == data
+
+    def test_join_nothing_gives_empty_message(self):
+        assert join_lease(None, []).is_empty
+
+    def test_join_lease_only(self):
+        message = join_lease(make_lease(), [])
+        lease, records = split_lease(message)
+        assert lease is not None and records == []

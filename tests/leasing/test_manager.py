@@ -1,0 +1,220 @@
+"""Tests for the leasing protocol: acquire/renew/release/guarded writes."""
+
+import time
+
+import pytest
+
+from repro.concurrent import EventLog
+from repro.core.converters import IdentityConverters
+from repro.errors import LeaseError
+from repro.leasing.manager import LeaseManager
+from repro.ndef.mime import mime_record
+
+from tests.conftest import PlainNfcActivity, make_reference, text_tag
+
+
+@pytest.fixture
+def setup(scenario):
+    """Two phones, both seeing the same tag, each with its own manager."""
+    tag = text_tag("shared data")
+    phone_a = scenario.add_phone("phone-a")
+    phone_b = scenario.add_phone("phone-b")
+    app_a = scenario.start(phone_a, PlainNfcActivity)
+    app_b = scenario.start(phone_b, PlainNfcActivity)
+    scenario.put(tag, phone_a)
+    scenario.put(tag, phone_b)
+    ref_a = make_reference(app_a, tag, phone_a)
+    ref_b = make_reference(app_b, tag, phone_b)
+    manager_a = LeaseManager(ref_a, "phone-a", drift_bound=0.0)
+    manager_b = LeaseManager(ref_b, "phone-b", drift_bound=0.0)
+    return tag, manager_a, manager_b
+
+
+def acquire(manager, duration=5.0, timeout=None):
+    log = EventLog()
+    manager.acquire(
+        duration,
+        on_acquired=lambda lease: log.append(("acquired", lease)),
+        on_denied=lambda: log.append(("denied", None)),
+        timeout=timeout,
+    )
+    assert log.wait_for_count(1, timeout=5)
+    return log.snapshot()[0][0]
+
+
+class TestAcquire:
+    def test_first_acquire_succeeds(self, setup):
+        _, manager_a, _ = setup
+        assert acquire(manager_a) == "acquired"
+        assert manager_a.holds_valid_lease
+        assert manager_a.acquisitions == 1
+
+    def test_second_device_denied_while_held(self, setup):
+        _, manager_a, manager_b = setup
+        acquire(manager_a)
+        assert acquire(manager_b) == "denied"
+        assert manager_b.denials == 1
+        assert not manager_b.holds_valid_lease
+
+    def test_reacquire_own_lease_allowed(self, setup):
+        _, manager_a, _ = setup
+        acquire(manager_a)
+        assert acquire(manager_a) == "acquired"
+
+    def test_acquire_after_expiry_succeeds(self, setup):
+        _, manager_a, manager_b = setup
+        acquire(manager_a, duration=0.1)
+        time.sleep(0.15)
+        assert acquire(manager_b) == "acquired"
+
+    def test_lease_survives_on_tag(self, setup):
+        """The lock lives in tag memory, not in device state."""
+        tag, manager_a, _ = setup
+        acquire(manager_a)
+        from repro.leasing.lease import split_lease
+
+        lease, records = split_lease(tag.read_ndef())
+        assert lease is not None
+        assert lease.device_id == "phone-a"
+        assert records  # application data still present
+
+    def test_application_data_preserved(self, setup):
+        tag, manager_a, _ = setup
+        before = tag.read_ndef()[0].payload
+        acquire(manager_a)
+        assert tag.read_ndef()[0].payload == before
+
+    def test_non_positive_duration_rejected(self, setup):
+        _, manager_a, _ = setup
+        with pytest.raises(LeaseError):
+            manager_a.acquire(0)
+
+    def test_acquire_times_out_when_tag_away(self, scenario, setup):
+        tag, manager_a, _ = setup
+        scenario.take(tag, scenario.phones["phone-a"])
+        log = EventLog()
+        manager_a.acquire(
+            5.0, on_denied=lambda: log.append("denied"), timeout=0.15
+        )
+        assert log.wait_for_count(1, timeout=3)
+
+
+class TestRelease:
+    def test_release_clears_tag_and_state(self, setup):
+        tag, manager_a, manager_b = setup
+        acquire(manager_a)
+        log = EventLog()
+        manager_a.release(on_released=lambda: log.append("released"))
+        assert log.wait_for_count(1, timeout=5)
+        assert not manager_a.holds_valid_lease
+        from repro.leasing.lease import split_lease
+
+        lease, records = split_lease(tag.read_ndef())
+        assert lease is None and records
+
+    def test_other_device_can_acquire_after_release(self, setup):
+        _, manager_a, manager_b = setup
+        acquire(manager_a)
+        log = EventLog()
+        manager_a.release(on_released=lambda: log.append("ok"))
+        assert log.wait_for_count(1, timeout=5)
+        assert acquire(manager_b) == "acquired"
+
+    def test_release_of_foreign_lease_is_local_only(self, setup):
+        tag, manager_a, manager_b = setup
+        acquire(manager_a)
+        log = EventLog()
+        manager_b.release(on_released=lambda: log.append("released"))
+        assert log.wait_for_count(1, timeout=5)
+        # phone-a's lease is untouched on the tag.
+        from repro.leasing.lease import split_lease
+
+        lease, _ = split_lease(tag.read_ndef())
+        assert lease is not None and lease.device_id == "phone-a"
+
+
+class TestRenew:
+    def test_renew_extends_expiry(self, setup):
+        _, manager_a, _ = setup
+        acquire(manager_a, duration=5.0)
+        first_expiry = manager_a.held_lease.expires_at
+        log = EventLog()
+        manager_a.renew(60.0, on_renewed=lambda lease: log.append(lease))
+        assert log.wait_for_count(1, timeout=5)
+        assert manager_a.held_lease.expires_at > first_expiry
+        assert manager_a.renewals == 1
+        assert manager_a.acquisitions == 1  # renewal did not double-count
+
+    def test_renew_without_lease_fails_immediately(self, setup):
+        _, manager_a, _ = setup
+        log = EventLog()
+        manager_a.renew(5.0, on_failed=lambda: log.append("failed"))
+        assert log.wait_for_count(1)
+
+
+class TestGuardedWrites:
+    def test_holder_can_write(self, setup):
+        tag, manager_a, _ = setup
+        acquire(manager_a)
+        log = EventLog()
+        manager_a.write_guarded(
+            [mime_record("a/b", b"guarded update")],
+            on_written=lambda: log.append("written"),
+        )
+        assert log.wait_for_count(1, timeout=5)
+        assert tag.read_ndef()[0].payload == b"guarded update"
+        # The lease record is still on the tag.
+        from repro.leasing.lease import split_lease
+
+        lease, _ = split_lease(tag.read_ndef())
+        assert lease is not None
+
+    def test_non_holder_denied_locally(self, setup):
+        tag, manager_a, manager_b = setup
+        acquire(manager_a)
+        before = tag.read_ndef()
+        log = EventLog()
+        manager_b.write_guarded(
+            [mime_record("a/b", b"intrusion")],
+            on_denied=lambda: log.append("denied"),
+        )
+        assert log.wait_for_count(1)
+        assert tag.read_ndef() == before
+
+    def test_expired_holder_denied(self, setup):
+        _, manager_a, _ = setup
+        acquire(manager_a, duration=0.05)
+        time.sleep(0.1)
+        log = EventLog()
+        manager_a.write_guarded(
+            [mime_record("a/b", b"too late")],
+            on_denied=lambda: log.append("denied"),
+        )
+        assert log.wait_for_count(1)
+        assert manager_a.held_lease is None  # local state cleaned up
+
+
+class TestDriftBound:
+    def test_drift_bound_must_be_non_negative(self, setup):
+        tag, manager_a, _ = setup
+        with pytest.raises(LeaseError):
+            LeaseManager(manager_a.reference, "x", drift_bound=-0.5)
+
+    def test_foreign_lease_honoured_through_drift_window(self, scenario):
+        tag = text_tag("data")
+        phone_a = scenario.add_phone("drift-a")
+        phone_b = scenario.add_phone("drift-b")
+        app_a = scenario.start(phone_a, PlainNfcActivity)
+        app_b = scenario.start(phone_b, PlainNfcActivity)
+        scenario.put(tag, phone_a)
+        scenario.put(tag, phone_b)
+        manager_a = LeaseManager(
+            make_reference(app_a, tag, phone_a), "drift-a", drift_bound=0.0
+        )
+        manager_b = LeaseManager(
+            make_reference(app_b, tag, phone_b), "drift-b", drift_bound=10.0
+        )
+        acquire(manager_a, duration=0.05)
+        time.sleep(0.1)
+        # Expired in real time, but B's generous drift bound still honours it.
+        assert acquire(manager_b) == "denied"

@@ -1,0 +1,80 @@
+"""Tests for lease-driven reference garbage collection."""
+
+import time
+
+import pytest
+
+from repro.concurrent import EventLog
+from repro.leasing.manager import LeaseManager
+from repro.leasing.table import LeaseTable
+
+from tests.conftest import PlainNfcActivity, make_reference, text_tag
+
+
+@pytest.fixture
+def setup(scenario):
+    phone = scenario.add_phone("gc-phone")
+    app = scenario.start(phone, PlainNfcActivity)
+    return scenario, phone, app
+
+
+def acquired_manager(scenario, phone, app, duration):
+    tag = text_tag("gc data")
+    scenario.put(tag, phone)
+    reference = make_reference(app, tag, phone)
+    manager = LeaseManager(reference, phone.name, drift_bound=0.0)
+    log = EventLog()
+    manager.acquire(duration, on_acquired=lambda lease: log.append("ok"))
+    assert log.wait_for_count(1, timeout=5)
+    return tag, manager
+
+
+class TestCollect:
+    def test_valid_leases_survive(self, setup):
+        scenario, phone, app = setup
+        tag, manager = acquired_manager(scenario, phone, app, duration=60.0)
+        table = LeaseTable(app.reference_factory)
+        table.track(manager)
+        assert table.collect_expired() == []
+        assert app.reference_factory.lookup(tag.uid) is not None
+        assert len(table) == 1
+
+    def test_expired_leases_collected(self, setup):
+        scenario, phone, app = setup
+        tag, manager = acquired_manager(scenario, phone, app, duration=0.05)
+        table = LeaseTable(app.reference_factory)
+        table.track(manager)
+        time.sleep(0.1)
+        assert table.collect_expired() == [tag.uid]
+        assert app.reference_factory.lookup(tag.uid) is None
+        assert manager.reference.is_stopped
+        assert len(table) == 0
+
+    def test_manager_without_lease_is_collected(self, setup):
+        scenario, phone, app = setup
+        tag = text_tag("never leased")
+        scenario.put(tag, phone)
+        reference = make_reference(app, tag, phone)
+        table = LeaseTable(app.reference_factory)
+        table.track(LeaseManager(reference, phone.name))
+        assert table.collect_expired() == [tag.uid]
+
+    def test_mixed_population(self, setup):
+        scenario, phone, app = setup
+        short_tag, short_manager = acquired_manager(scenario, phone, app, 0.05)
+        long_tag, long_manager = acquired_manager(scenario, phone, app, 60.0)
+        table = LeaseTable(app.reference_factory)
+        table.track(short_manager)
+        table.track(long_manager)
+        time.sleep(0.1)
+        collected = table.collect_expired()
+        assert collected == [short_tag.uid]
+        assert app.reference_factory.lookup(long_tag.uid) is not None
+
+    def test_manager_lookup(self, setup):
+        scenario, phone, app = setup
+        tag, manager = acquired_manager(scenario, phone, app, 60.0)
+        table = LeaseTable(app.reference_factory)
+        table.track(manager)
+        assert table.manager_for(tag.uid) is manager
+        assert table.tracked_uids() == [tag.uid]

@@ -1,0 +1,73 @@
+"""Unit tests for the region annotation parser."""
+
+import pytest
+
+from repro.metrics.annotations import AnnotationError, RfidCategory, parse_regions
+
+
+class TestParsing:
+    def test_single_region(self):
+        source = "\n".join(
+            [
+                "x = 1",
+                "# @rfid: read-write",
+                "do_read()",
+                "do_write()",
+                "# @rfid: end",
+                "y = 2",
+            ]
+        )
+        assert parse_regions(source) == [(RfidCategory.READ_WRITE, 3, 4)]
+
+    def test_multiple_regions(self):
+        source = "\n".join(
+            [
+                "# @rfid: event-handling",
+                "a()",
+                "# @rfid: end",
+                "# @rfid: concurrency",
+                "b()",
+                "c()",
+                "# @rfid: end",
+            ]
+        )
+        regions = parse_regions(source)
+        assert [r[0] for r in regions] == [
+            RfidCategory.EVENT_HANDLING,
+            RfidCategory.CONCURRENCY,
+        ]
+
+    def test_empty_region(self):
+        source = "# @rfid: data-conversion\n# @rfid: end"
+        assert parse_regions(source) == [(RfidCategory.DATA_CONVERSION, 2, 1)]
+
+    def test_indented_markers(self):
+        source = "    # @rfid: failure-handling\n    x()\n    # @rfid: end"
+        assert parse_regions(source) == [(RfidCategory.FAILURE_HANDLING, 2, 2)]
+
+    def test_no_regions(self):
+        assert parse_regions("plain = code\n") == []
+
+    def test_marker_with_trailing_text_is_ignored(self):
+        source = "# @rfid: end of an era\nx = 1"
+        assert parse_regions(source) == []
+
+
+class TestErrors:
+    def test_unclosed_region(self):
+        with pytest.raises(AnnotationError):
+            parse_regions("# @rfid: read-write\nx()")
+
+    def test_end_without_open(self):
+        with pytest.raises(AnnotationError):
+            parse_regions("# @rfid: end")
+
+    def test_nested_regions_rejected(self):
+        source = "# @rfid: read-write\n# @rfid: concurrency\n# @rfid: end\n# @rfid: end"
+        with pytest.raises(AnnotationError):
+            parse_regions(source)
+
+    def test_unknown_category(self):
+        with pytest.raises(AnnotationError) as excinfo:
+            parse_regions("# @rfid: network-stuff\n# @rfid: end")
+        assert "event-handling" in str(excinfo.value)

@@ -1,0 +1,121 @@
+"""Tests for the LoC counter and the actual Figure 2 numbers of this repo."""
+
+import repro.apps.wifi.config as morena_config
+import repro.apps.wifi.morena_app as morena_app
+import repro.baseline.handcrafted_wifi as handcrafted
+from repro.metrics.annotations import CATEGORIES, RfidCategory
+from repro.metrics.loc import (
+    LocCount,
+    compare_implementations,
+    count_module,
+    count_source,
+)
+
+
+class TestCounting:
+    def test_counts_code_lines_only(self):
+        source = "\n".join(
+            [
+                "# @rfid: read-write",
+                "code_line()",
+                "",
+                "# a comment, not counted",
+                "another_line()",
+                "# @rfid: end",
+            ]
+        )
+        count = count_source(source)
+        assert count.by_category[RfidCategory.READ_WRITE] == 2
+        assert count.total == 2
+
+    def test_lines_outside_regions_not_counted(self):
+        source = "a()\n# @rfid: concurrency\nb()\n# @rfid: end\nc()"
+        assert count_source(source).total == 1
+
+    def test_multiple_regions_accumulate(self):
+        source = "\n".join(
+            [
+                "# @rfid: read-write",
+                "a()",
+                "# @rfid: end",
+                "# @rfid: read-write",
+                "b()",
+                "# @rfid: end",
+            ]
+        )
+        assert count_source(source).by_category[RfidCategory.READ_WRITE] == 2
+
+    def test_percentages(self):
+        count = LocCount(name="x")
+        count.by_category[RfidCategory.READ_WRITE] = 3
+        count.by_category[RfidCategory.CONCURRENCY] = 1
+        assert count.percentage(RfidCategory.READ_WRITE) == 75.0
+        assert count.percentage(RfidCategory.CONCURRENCY) == 25.0
+
+    def test_percentages_of_empty_count(self):
+        count = LocCount(name="empty")
+        assert count.percentage(RfidCategory.READ_WRITE) == 0.0
+
+    def test_merge(self):
+        a = LocCount(name="a")
+        a.by_category[RfidCategory.READ_WRITE] = 2
+        b = LocCount(name="b")
+        b.by_category[RfidCategory.READ_WRITE] = 3
+        b.by_category[RfidCategory.CONCURRENCY] = 1
+        merged = a.merged_with(b, "ab")
+        assert merged.by_category[RfidCategory.READ_WRITE] == 5
+        assert merged.total == 6
+
+
+class TestRealImplementations:
+    """The reproduction's actual Figure 2 shape, asserted as invariants."""
+
+    def comparison(self):
+        return compare_implementations(
+            [handcrafted], [morena_app, morena_config]
+        )
+
+    def test_both_implementations_are_annotated(self):
+        comparison = self.comparison()
+        assert comparison.handcrafted.total > 0
+        assert comparison.morena.total > 0
+
+    def test_substantial_loc_reduction(self):
+        """Paper: 197 vs 36, a factor ~5. Shape: at least 3x."""
+        assert self.comparison().reduction_factor >= 3.0
+
+    def test_morena_needs_no_concurrency_code(self):
+        comparison = self.comparison()
+        assert comparison.morena.by_category[RfidCategory.CONCURRENCY] == 0
+
+    def test_handcrafted_needs_substantial_concurrency_code(self):
+        comparison = self.comparison()
+        handcrafted_share = comparison.handcrafted.percentage(
+            RfidCategory.CONCURRENCY
+        )
+        assert handcrafted_share > 10.0
+
+    def test_morena_shifts_focus_to_event_handling(self):
+        """Paper: 'MORENA shifts the focus to event handling'."""
+        comparison = self.comparison()
+        percentages = comparison.morena.percentages()
+        assert percentages[RfidCategory.EVENT_HANDLING] == max(percentages.values())
+
+    def test_every_category_smaller_in_morena(self):
+        comparison = self.comparison()
+        for category in CATEGORIES:
+            assert (
+                comparison.morena.by_category[category]
+                <= comparison.handcrafted.by_category[category]
+            )
+
+    def test_count_module_matches_manual_count(self):
+        count = count_module(morena_config)
+        assert count.by_category[RfidCategory.DATA_CONVERSION] == 2
+
+    def test_format_table_renders(self):
+        text = self.comparison().format_table()
+        assert "Figure 2 (left)" in text
+        assert "Figure 2 (right)" in text
+        assert "concurrency" in text
+        assert "TOTAL" in text

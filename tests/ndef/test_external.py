@@ -1,0 +1,93 @@
+"""Unit tests for external-type records and Android Application Records."""
+
+import pytest
+
+from repro.errors import NdefDecodeError, NdefEncodeError
+from repro.ndef.external import (
+    AAR_TYPE,
+    ExternalRecord,
+    aar_package,
+    aar_record,
+    with_aar,
+)
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.ndef.record import Tnf
+from repro.ndef.rtd import TextRecord
+
+
+class TestExternalRecord:
+    def test_roundtrip(self):
+        original = ExternalRecord("example.com:mytype", b"payload")
+        decoded = ExternalRecord.from_record(original.to_record())
+        assert decoded == original
+
+    def test_type_normalized_to_lowercase(self):
+        record = ExternalRecord("Example.COM:MyType", b"").to_record()
+        assert record.type == b"example.com:mytype"
+
+    def test_tnf_is_external(self):
+        assert ExternalRecord("a.be:x").to_record().tnf == Tnf.EXTERNAL
+
+    @pytest.mark.parametrize("bad", ["nocolon", ":noname", "nodomain:", "spa ce:x"])
+    def test_invalid_type_rejected(self, bad):
+        with pytest.raises(NdefEncodeError):
+            ExternalRecord(bad).to_record()
+
+    def test_decoding_wrong_tnf_rejected(self):
+        with pytest.raises(NdefDecodeError):
+            ExternalRecord.from_record(TextRecord("x").to_record())
+
+    def test_empty_payload_allowed(self):
+        decoded = ExternalRecord.from_record(ExternalRecord("a.be:t").to_record())
+        assert decoded.payload == b""
+
+
+class TestAar:
+    def test_aar_record_shape(self):
+        record = aar_record("com.example.app")
+        assert record.tnf == Tnf.EXTERNAL
+        assert record.type == AAR_TYPE.encode()
+        assert record.payload == b"com.example.app"
+
+    @pytest.mark.parametrize("bad", ["", "single", "1bad.start", "a..b", "a.b."])
+    def test_invalid_package_rejected(self, bad):
+        with pytest.raises(NdefEncodeError):
+            aar_record(bad)
+
+    def test_aar_package_extraction(self):
+        message = NdefMessage([mime_record("a/b", b"x"), aar_record("com.a.b")])
+        assert aar_package(message) == "com.a.b"
+
+    def test_aar_package_missing(self):
+        assert aar_package(NdefMessage([mime_record("a/b", b"x")])) == ""
+
+    def test_first_aar_wins(self):
+        message = NdefMessage([aar_record("com.first.app"), aar_record("com.second.app")])
+        assert aar_package(message) == "com.first.app"
+
+    def test_with_aar_appends(self):
+        message = NdefMessage([mime_record("a/b", b"data")])
+        tagged = with_aar(message, "com.example.app")
+        assert aar_package(tagged) == "com.example.app"
+        assert tagged[0] == message[0]  # data record stays first
+
+    def test_with_aar_replaces_existing(self):
+        message = with_aar(NdefMessage([mime_record("a/b", b"x")]), "com.old.app")
+        replaced = with_aar(message, "com.new.app")
+        assert aar_package(replaced) == "com.new.app"
+        aar_count = sum(1 for r in replaced if r.type == AAR_TYPE.encode())
+        assert aar_count == 1
+
+    def test_aar_survives_tag_storage(self):
+        from repro.tags.factory import make_tag
+
+        message = with_aar(NdefMessage([mime_record("a/b", b"x")]), "com.app.one")
+        tag = make_tag(content=message)
+        assert aar_package(tag.read_ndef()) == "com.app.one"
+
+    def test_aar_does_not_change_dispatch_mime(self):
+        from repro.ndef.mime import message_mime_type
+
+        message = with_aar(NdefMessage([mime_record("a/b", b"x")]), "com.app.one")
+        assert message_mime_type(message) == "a/b"

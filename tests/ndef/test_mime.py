@@ -1,0 +1,73 @@
+"""Unit tests for MIME record helpers."""
+
+import pytest
+
+from repro.errors import NdefEncodeError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import (
+    message_mime_type,
+    mime_record,
+    normalize_mime_type,
+    record_mime_type,
+    text_plain_record,
+)
+from repro.ndef.record import NdefRecord, Tnf
+from repro.ndef.rtd import TextRecord
+
+
+class TestNormalization:
+    def test_lowercases(self):
+        assert normalize_mime_type("Application/X-Demo") == "application/x-demo"
+
+    def test_strips_whitespace(self):
+        assert normalize_mime_type("  text/plain  ") == "text/plain"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["noslash", "a/b/c", "", "a/", "/b", "spaces in/type", "a /b"],
+    )
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(NdefEncodeError):
+            normalize_mime_type(bad)
+
+    def test_vendor_subtype_with_dots_allowed(self):
+        assert (
+            normalize_mime_type("application/vnd.morena.wificonfig")
+            == "application/vnd.morena.wificonfig"
+        )
+
+
+class TestRecordBuilders:
+    def test_mime_record_type_and_payload(self):
+        record = mime_record("a/b", b"data", record_id=b"r1")
+        assert record.tnf == Tnf.MIME_MEDIA
+        assert record.type == b"a/b"
+        assert record.payload == b"data"
+        assert record.id == b"r1"
+
+    def test_text_plain_record(self):
+        record = text_plain_record("héllo")
+        assert record.type == b"text/plain"
+        assert record.payload.decode("utf-8") == "héllo"
+
+
+class TestInspection:
+    def test_record_mime_type(self):
+        assert record_mime_type(mime_record("A/B", b"")) == "a/b"
+
+    def test_record_mime_type_of_non_mime_record(self):
+        assert record_mime_type(TextRecord("x").to_record()) == ""
+
+    def test_record_mime_type_of_non_ascii_type(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"\xff\xfe", b"", b"")
+        assert record_mime_type(record) == ""
+
+    def test_message_mime_type_uses_first_mime_record(self):
+        message = NdefMessage(
+            [TextRecord("x").to_record(), mime_record("c/d", b""), mime_record("e/f", b"")]
+        )
+        assert message_mime_type(message) == "c/d"
+
+    def test_message_without_mime_records(self):
+        message = NdefMessage([TextRecord("x").to_record()])
+        assert message_mime_type(message) == ""

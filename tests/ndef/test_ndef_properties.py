@@ -1,0 +1,97 @@
+"""Property-based tests for the NDEF codec (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ndef.message import NdefMessage
+from repro.ndef.record import NdefRecord, Tnf
+from repro.ndef.rtd import TextRecord, UriRecord
+
+# Strategies ------------------------------------------------------------------
+
+mime_types = st.from_regex(r"[a-z0-9.+-]{1,20}/[a-z0-9.+-]{1,20}", fullmatch=True)
+
+payloads = st.binary(max_size=600)
+ids = st.binary(max_size=32)
+
+
+@st.composite
+def records(draw):
+    tnf = draw(
+        st.sampled_from(
+            [Tnf.WELL_KNOWN, Tnf.MIME_MEDIA, Tnf.ABSOLUTE_URI, Tnf.EXTERNAL, Tnf.UNKNOWN]
+        )
+    )
+    if tnf == Tnf.UNKNOWN:
+        type_ = b""
+    else:
+        type_ = draw(st.binary(min_size=1, max_size=40))
+    return NdefRecord(tnf, type_, draw(ids), draw(payloads))
+
+
+messages = st.lists(records(), min_size=1, max_size=5).map(NdefMessage)
+
+
+# Round-trip properties -----------------------------------------------------------
+
+
+@given(messages)
+@settings(max_examples=150)
+def test_message_bytes_roundtrip(message):
+    assert NdefMessage.from_bytes(message.to_bytes()) == message
+
+
+@given(messages)
+def test_byte_length_is_exact(message):
+    assert message.byte_length == len(message.to_bytes())
+
+
+@given(records(), st.integers(min_value=1, max_value=64))
+def test_chunked_encoding_reassembles(record, chunk_size):
+    data = record.to_chunks(chunk_size)
+    decoded = NdefMessage.from_bytes(data)
+    assert len(decoded) == 1
+    assert decoded[0] == record
+
+
+@given(st.text(max_size=200), st.sampled_from(["en", "de", "nl-BE", "ja"]))
+def test_text_record_roundtrip(text, language):
+    original = TextRecord(text, language=language)
+    assert TextRecord.from_record(original.to_record()) == original
+
+
+@given(st.text(max_size=200))
+def test_text_record_utf16_roundtrip(text):
+    original = TextRecord(text, utf16=True)
+    decoded = TextRecord.from_record(original.to_record())
+    assert decoded.text == text
+
+
+uri_bodies = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=80
+)
+
+
+@given(st.sampled_from(["", "https://www.", "mailto:", "tel:", "urn:nfc:"]), uri_bodies)
+def test_uri_record_roundtrip(prefix, body):
+    uri = prefix + body
+    if not uri:
+        return
+    assert UriRecord.from_record(UriRecord(uri).to_record()).uri == uri
+
+
+@given(messages)
+def test_decoding_is_deterministic(message):
+    data = message.to_bytes()
+    assert NdefMessage.from_bytes(data) == NdefMessage.from_bytes(data)
+
+
+@given(st.lists(records(), min_size=1, max_size=4))
+def test_concatenated_records_frame_correctly(record_list):
+    """Manual framing (MB on first, ME on last) decodes to the same records."""
+    parts = []
+    last = len(record_list) - 1
+    for index, record in enumerate(record_list):
+        parts.append(record.to_bytes(message_begin=index == 0, message_end=index == last))
+    decoded = NdefMessage.from_bytes(b"".join(parts))
+    assert list(decoded) == record_list

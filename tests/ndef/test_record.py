@@ -1,0 +1,180 @@
+"""Unit tests for NDEF record encoding/decoding and validity rules."""
+
+import pytest
+
+from repro.errors import NdefDecodeError, NdefEncodeError, NdefValidationError
+from repro.ndef.record import (
+    FLAG_CF,
+    FLAG_IL,
+    FLAG_MB,
+    FLAG_ME,
+    FLAG_SR,
+    NdefRecord,
+    Tnf,
+    encode_record_raw,
+    iter_raw_records,
+)
+
+
+class TestConstruction:
+    def test_mime_record_roundtrips_fields(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"text/plain", b"id1", b"payload")
+        assert record.tnf == Tnf.MIME_MEDIA
+        assert record.type == b"text/plain"
+        assert record.id == b"id1"
+        assert record.payload == b"payload"
+
+    def test_records_are_immutable(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"text/plain", b"", b"x")
+        with pytest.raises(Exception):
+            record.payload = b"other"
+
+    def test_empty_record_constructor(self):
+        record = NdefRecord.empty()
+        assert record.is_empty
+        assert record.tnf == Tnf.EMPTY
+
+    def test_empty_with_payload_rejected(self):
+        with pytest.raises(NdefValidationError):
+            NdefRecord(Tnf.EMPTY, payload=b"data")
+
+    def test_empty_with_type_rejected(self):
+        with pytest.raises(NdefValidationError):
+            NdefRecord(Tnf.EMPTY, type=b"T")
+
+    def test_unknown_must_not_carry_type(self):
+        with pytest.raises(NdefValidationError):
+            NdefRecord(Tnf.UNKNOWN, type=b"T")
+
+    def test_unknown_with_payload_allowed(self):
+        record = NdefRecord(Tnf.UNKNOWN, payload=b"mystery")
+        assert record.payload == b"mystery"
+
+    def test_unchanged_rejected_as_logical_record(self):
+        with pytest.raises(NdefValidationError):
+            NdefRecord(Tnf.UNCHANGED)
+
+    def test_reserved_tnf_rejected(self):
+        with pytest.raises(NdefValidationError):
+            NdefRecord(Tnf.RESERVED)
+
+    def test_well_known_requires_type(self):
+        with pytest.raises(NdefValidationError):
+            NdefRecord(Tnf.WELL_KNOWN, type=b"")
+
+    def test_mime_requires_type(self):
+        with pytest.raises(NdefValidationError):
+            NdefRecord(Tnf.MIME_MEDIA)
+
+    def test_type_longer_than_255_rejected(self):
+        with pytest.raises(NdefValidationError):
+            NdefRecord(Tnf.MIME_MEDIA, type=b"x" * 256)
+
+    def test_id_longer_than_255_rejected(self):
+        with pytest.raises(NdefValidationError):
+            NdefRecord(Tnf.MIME_MEDIA, type=b"a/b", id=b"x" * 256)
+
+    def test_tnf_coerced_to_enum(self):
+        record = NdefRecord(2, b"a/b", b"", b"")
+        assert record.tnf is Tnf.MIME_MEDIA
+
+
+class TestEncoding:
+    def test_short_record_flag_set_for_small_payload(self):
+        data = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"x" * 255).to_bytes()
+        assert data[0] & FLAG_SR
+
+    def test_long_record_uses_4_byte_length(self):
+        payload = b"x" * 256
+        data = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", payload).to_bytes()
+        assert not data[0] & FLAG_SR
+        assert int.from_bytes(data[2:6], "big") == 256
+
+    def test_il_flag_only_with_id(self):
+        without = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"x").to_bytes()
+        with_id = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"i", b"x").to_bytes()
+        assert not without[0] & FLAG_IL
+        assert with_id[0] & FLAG_IL
+
+    def test_mb_me_flags_follow_arguments(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"x")
+        both = record.to_bytes(message_begin=True, message_end=True)
+        neither = record.to_bytes(message_begin=False, message_end=False)
+        assert both[0] & FLAG_MB and both[0] & FLAG_ME
+        assert not neither[0] & FLAG_MB and not neither[0] & FLAG_ME
+
+    def test_len_matches_encoded_size(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"text/plain", b"id", b"x" * 100)
+        assert len(record) == len(record.to_bytes())
+
+    def test_len_matches_encoded_size_long_payload(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"y" * 300)
+        assert len(record) == len(record.to_bytes())
+
+    def test_encode_raw_rejects_oversized_type(self):
+        with pytest.raises(NdefEncodeError):
+            encode_record_raw(
+                Tnf.MIME_MEDIA, b"x" * 256, b"", b"", True, True, False
+            )
+
+
+class TestChunking:
+    def test_single_chunk_when_payload_fits(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"abc")
+        assert record.to_chunks(10) == record.to_bytes()
+
+    def test_chunked_encoding_sets_cf_on_all_but_last(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"abcdefgh")
+        raws = list(iter_raw_records(record.to_chunks(3)))
+        assert len(raws) == 3
+        assert [raw.chunk_flag for raw in raws] == [True, True, False]
+
+    def test_chunks_after_first_use_unchanged_tnf(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"abcdefgh")
+        raws = list(iter_raw_records(record.to_chunks(3)))
+        assert raws[0].tnf == Tnf.MIME_MEDIA
+        assert raws[1].tnf == Tnf.UNCHANGED
+        assert raws[2].tnf == Tnf.UNCHANGED
+
+    def test_chunks_after_first_have_no_type(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"abcdef")
+        raws = list(iter_raw_records(record.to_chunks(2)))
+        assert raws[0].type == b"a/b"
+        assert all(raw.type == b"" for raw in raws[1:])
+
+    def test_empty_record_cannot_be_chunked(self):
+        with pytest.raises(NdefEncodeError):
+            NdefRecord.empty().to_chunks(4)
+
+    def test_chunk_size_must_be_positive(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"abc")
+        with pytest.raises(NdefEncodeError):
+            record.to_chunks(0)
+
+
+class TestRawDecoding:
+    def test_truncated_header_raises(self):
+        with pytest.raises(NdefDecodeError):
+            list(iter_raw_records(b"\xd2"))
+
+    def test_truncated_payload_raises(self):
+        good = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"hello").to_bytes()
+        with pytest.raises(NdefDecodeError):
+            list(iter_raw_records(good[:-2]))
+
+    def test_empty_bytes_raise(self):
+        with pytest.raises(NdefDecodeError):
+            list(iter_raw_records(b""))
+
+    def test_reserved_tnf_raises(self):
+        header = bytes([FLAG_MB | FLAG_ME | FLAG_SR | 0x07, 0, 0])
+        with pytest.raises(NdefDecodeError):
+            list(iter_raw_records(header))
+
+    def test_decode_reports_offset_of_bad_record(self):
+        first = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"x").to_bytes(
+            message_begin=True, message_end=False
+        )
+        with pytest.raises(NdefDecodeError) as excinfo:
+            list(iter_raw_records(first + b"\xff"))
+        assert str(len(first)) in str(excinfo.value)

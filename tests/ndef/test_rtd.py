@@ -1,0 +1,149 @@
+"""Unit tests for the well-known record types (Text, URI, Smart Poster)."""
+
+import pytest
+
+from repro.errors import NdefDecodeError, NdefEncodeError
+from repro.ndef.record import NdefRecord, Tnf
+from repro.ndef.rtd import (
+    URI_PREFIXES,
+    SmartPosterRecord,
+    TextRecord,
+    UriRecord,
+)
+
+
+class TestTextRecord:
+    def test_utf8_roundtrip(self):
+        original = TextRecord("héllo wörld", language="de")
+        decoded = TextRecord.from_record(original.to_record())
+        assert decoded == original
+
+    def test_utf16_roundtrip(self):
+        original = TextRecord("snowman ☃", language="en", utf16=True)
+        decoded = TextRecord.from_record(original.to_record())
+        assert decoded.text == original.text
+        assert decoded.utf16
+
+    def test_default_language_is_en(self):
+        assert TextRecord("x").language == "en"
+
+    def test_status_byte_encodes_language_length(self):
+        record = TextRecord("x", language="nl-BE").to_record()
+        assert record.payload[0] == len(b"nl-BE")
+
+    def test_language_too_long_rejected(self):
+        with pytest.raises(NdefEncodeError):
+            TextRecord("x", language="a" * 64).to_record()
+
+    def test_empty_language_rejected(self):
+        with pytest.raises(NdefEncodeError):
+            TextRecord("x", language="").to_record()
+
+    def test_decoding_wrong_type_raises(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"x")
+        with pytest.raises(NdefDecodeError):
+            TextRecord.from_record(record)
+
+    def test_decoding_empty_payload_raises(self):
+        record = NdefRecord(Tnf.WELL_KNOWN, b"T", b"", b"")
+        with pytest.raises(NdefDecodeError):
+            TextRecord.from_record(record)
+
+    def test_decoding_truncated_language_raises(self):
+        record = NdefRecord(Tnf.WELL_KNOWN, b"T", b"", bytes([10]) + b"en")
+        with pytest.raises(NdefDecodeError):
+            TextRecord.from_record(record)
+
+    def test_empty_text_roundtrip(self):
+        decoded = TextRecord.from_record(TextRecord("").to_record())
+        assert decoded.text == ""
+
+
+class TestUriRecord:
+    @pytest.mark.parametrize(
+        "uri",
+        [
+            "https://www.example.com",
+            "http://example.com/path?q=1",
+            "mailto:someone@example.org",
+            "tel:+3225551234",
+            "urn:epc:id:sgtin:0614141",
+            "custom-scheme:opaque",
+        ],
+    )
+    def test_roundtrip(self, uri):
+        assert UriRecord.from_record(UriRecord(uri).to_record()).uri == uri
+
+    def test_longest_prefix_wins(self):
+        record = UriRecord("https://www.example.com").to_record()
+        assert record.payload[0] == URI_PREFIXES.index("https://www.")
+
+    def test_unknown_scheme_uses_code_zero(self):
+        record = UriRecord("custom-scheme:opaque").to_record()
+        assert record.payload[0] == 0
+
+    def test_reserved_identifier_code_rejected(self):
+        record = NdefRecord(Tnf.WELL_KNOWN, b"U", b"", bytes([0xFE]) + b"x")
+        with pytest.raises(NdefDecodeError):
+            UriRecord.from_record(record)
+
+    def test_empty_payload_rejected(self):
+        record = NdefRecord(Tnf.WELL_KNOWN, b"U", b"", b"")
+        with pytest.raises(NdefDecodeError):
+            UriRecord.from_record(record)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(NdefDecodeError):
+            UriRecord.from_record(TextRecord("x").to_record())
+
+
+class TestSmartPoster:
+    def test_full_roundtrip(self):
+        poster = SmartPosterRecord(
+            uri="https://example.com/menu",
+            titles={"en": "Menu", "fr": "Carte"},
+            action=1,
+        )
+        decoded = SmartPosterRecord.from_record(poster.to_record())
+        assert decoded == poster
+
+    def test_uri_only_roundtrip(self):
+        poster = SmartPosterRecord(uri="tel:123")
+        decoded = SmartPosterRecord.from_record(poster.to_record())
+        assert decoded.uri == "tel:123"
+        assert decoded.titles is None
+        assert decoded.action is None
+
+    def test_missing_uri_rejected(self):
+        from repro.ndef.message import NdefMessage
+
+        inner = NdefMessage([TextRecord("no uri here").to_record()])
+        record = NdefRecord(Tnf.WELL_KNOWN, b"Sp", b"", inner.to_bytes())
+        with pytest.raises(NdefDecodeError):
+            SmartPosterRecord.from_record(record)
+
+    def test_double_uri_rejected(self):
+        from repro.ndef.message import NdefMessage
+
+        inner = NdefMessage(
+            [UriRecord("tel:1").to_record(), UriRecord("tel:2").to_record()]
+        )
+        record = NdefRecord(Tnf.WELL_KNOWN, b"Sp", b"", inner.to_bytes())
+        with pytest.raises(NdefDecodeError):
+            SmartPosterRecord.from_record(record)
+
+    def test_action_out_of_range_rejected(self):
+        with pytest.raises(NdefEncodeError):
+            SmartPosterRecord(uri="tel:1", action=256).to_record()
+
+    def test_foreign_inner_records_ignored(self):
+        from repro.ndef.message import NdefMessage
+
+        inner = NdefMessage(
+            [
+                UriRecord("tel:1").to_record(),
+                NdefRecord(Tnf.MIME_MEDIA, b"x/y", b"", b"opaque"),
+            ]
+        )
+        record = NdefRecord(Tnf.WELL_KNOWN, b"Sp", b"", inner.to_bytes())
+        assert SmartPosterRecord.from_record(record).uri == "tel:1"

@@ -1,0 +1,82 @@
+"""Unit tests for the semantic NDEF validation pass."""
+
+import pytest
+
+from repro.errors import NdefValidationError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.ndef.record import NdefRecord, Tnf
+from repro.ndef.rtd import TextRecord, UriRecord
+from repro.ndef.validation import (
+    message_problems,
+    record_problems,
+    validate_message,
+    validate_record,
+)
+
+
+class TestRecordProblems:
+    def test_clean_mime_record(self):
+        assert record_problems(mime_record("a/b", b"x")) == []
+
+    def test_clean_text_record(self):
+        assert record_problems(TextRecord("x").to_record()) == []
+
+    def test_clean_uri_record(self):
+        assert record_problems(UriRecord("tel:1").to_record()) == []
+
+    def test_bad_mime_type_flagged(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"no-slash-here", b"", b"")
+        problems = record_problems(record)
+        assert len(problems) == 1
+        assert "token/token" in problems[0]
+
+    def test_non_ascii_mime_type_flagged(self):
+        record = NdefRecord(Tnf.MIME_MEDIA, b"\xff/\xfe", b"", b"")
+        assert record_problems(record)
+
+    def test_malformed_text_record_flagged(self):
+        record = NdefRecord(Tnf.WELL_KNOWN, b"T", b"", b"")
+        problems = record_problems(record)
+        assert any("T record" in p for p in problems)
+
+    def test_malformed_uri_record_flagged(self):
+        record = NdefRecord(Tnf.WELL_KNOWN, b"U", b"", bytes([0xF0]) + b"x")
+        assert record_problems(record)
+
+    def test_unknown_well_known_type_passes(self):
+        record = NdefRecord(Tnf.WELL_KNOWN, b"Zz", b"", b"whatever")
+        assert record_problems(record) == []
+
+    def test_empty_record_passes(self):
+        assert record_problems(NdefRecord.empty()) == []
+
+
+class TestMessageProblems:
+    def test_clean_message(self):
+        message = NdefMessage([mime_record("a/b", b""), TextRecord("x").to_record()])
+        assert message_problems(message) == []
+
+    def test_problem_reports_record_index(self):
+        message = NdefMessage(
+            [mime_record("a/b", b""), NdefRecord(Tnf.MIME_MEDIA, b"bad", b"", b"")]
+        )
+        problems = message_problems(message)
+        assert problems and problems[0].startswith("record 1:")
+
+
+class TestStrictValidation:
+    def test_validate_record_raises(self):
+        with pytest.raises(NdefValidationError):
+            validate_record(NdefRecord(Tnf.MIME_MEDIA, b"bad", b"", b""))
+
+    def test_validate_record_passes(self):
+        validate_record(mime_record("a/b", b""))
+
+    def test_validate_message_raises(self):
+        message = NdefMessage([NdefRecord(Tnf.WELL_KNOWN, b"T", b"", b"")])
+        with pytest.raises(NdefValidationError):
+            validate_message(message)
+
+    def test_validate_message_passes(self):
+        validate_message(NdefMessage([mime_record("a/b", b"x")]))

@@ -1,0 +1,160 @@
+"""Tests for WiFi Simple Config and Connection Handover records."""
+
+import pytest
+
+from repro.errors import NdefDecodeError, NdefEncodeError
+from repro.ndef.handover import (
+    CPS_ACTIVE,
+    CPS_INACTIVE,
+    AlternativeCarrier,
+    build_handover_select,
+    parse_handover_select,
+)
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.ndef.record import NdefRecord, Tnf
+from repro.ndef.wsc import (
+    ATTR_CREDENTIAL,
+    WSC_MIME_TYPE,
+    WifiCredential,
+    encode_attribute,
+    iter_attributes,
+)
+
+
+class TestWscAttributes:
+    def test_attribute_roundtrip(self):
+        data = encode_attribute(0x1045, b"my-network")
+        decoded = list(iter_attributes(data))
+        assert decoded == [(0x1045, b"my-network")]
+
+    def test_multiple_attributes(self):
+        data = encode_attribute(0x1045, b"net") + encode_attribute(0x1027, b"key")
+        assert len(list(iter_attributes(data))) == 2
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(NdefDecodeError):
+            list(iter_attributes(b"\x10\x45\x00"))
+
+    def test_truncated_value_rejected(self):
+        with pytest.raises(NdefDecodeError):
+            list(iter_attributes(b"\x10\x45\x00\x05ab"))
+
+
+class TestWifiCredential:
+    def test_roundtrip(self):
+        credential = WifiCredential(ssid="corpnet", key="s3cret")
+        decoded = WifiCredential.from_record(credential.to_record())
+        assert decoded == credential
+
+    def test_record_mime_type(self):
+        record = WifiCredential("n", "k").to_record()
+        assert record.type == WSC_MIME_TYPE.encode()
+
+    def test_auth_and_encryption_roundtrip(self):
+        credential = WifiCredential(
+            ssid="open-net", key="", auth="open", encryption="none"
+        )
+        decoded = WifiCredential.from_record(credential.to_record())
+        assert decoded.auth == "open"
+        assert decoded.encryption == "none"
+
+    def test_unknown_auth_rejected(self):
+        with pytest.raises(NdefEncodeError):
+            WifiCredential("n", "k", auth="wep-hope").to_record()
+
+    def test_wrong_record_type_rejected(self):
+        with pytest.raises(NdefDecodeError):
+            WifiCredential.from_record(mime_record("a/b", b""))
+
+    def test_credential_without_ssid_rejected(self):
+        payload = encode_attribute(ATTR_CREDENTIAL, b"")
+        record = mime_record(WSC_MIME_TYPE, payload)
+        with pytest.raises(NdefDecodeError):
+            WifiCredential.from_record(record)
+
+    def test_record_without_credential_rejected(self):
+        record = mime_record(WSC_MIME_TYPE, encode_attribute(0x1045, b"bare"))
+        with pytest.raises(NdefDecodeError):
+            WifiCredential.from_record(record)
+
+    def test_unicode_ssid(self):
+        credential = WifiCredential(ssid="café-wlan", key="k")
+        assert WifiCredential.from_record(credential.to_record()).ssid == "café-wlan"
+
+
+class TestAlternativeCarrier:
+    def test_roundtrip(self):
+        carrier = AlternativeCarrier(carrier_reference=b"0", power_state=CPS_ACTIVE)
+        decoded = AlternativeCarrier.from_record(carrier.to_record())
+        assert decoded == carrier
+
+    def test_power_state_validated(self):
+        with pytest.raises(NdefEncodeError):
+            AlternativeCarrier(b"0", power_state=7).to_record()
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(NdefEncodeError):
+            AlternativeCarrier(b"").to_record()
+
+    def test_wrong_record_rejected(self):
+        with pytest.raises(NdefDecodeError):
+            AlternativeCarrier.from_record(mime_record("a/b", b""))
+
+
+class TestHandoverSelect:
+    def carrier(self, record_id=b"0"):
+        bare = WifiCredential("net", "key").to_record()
+        return NdefRecord(bare.tnf, bare.type, record_id, bare.payload)
+
+    def test_build_and_parse(self):
+        message = build_handover_select([(self.carrier(), CPS_ACTIVE)])
+        assert message[0].type == b"Hs"
+        parsed = parse_handover_select(message)
+        assert parsed.version == 0x12
+        assert len(parsed.carriers) == 1
+        ac, record = parsed.carriers[0]
+        assert ac.power_state == CPS_ACTIVE
+        assert record is not None
+        assert WifiCredential.from_record(record).ssid == "net"
+
+    def test_multiple_carriers(self):
+        bluetooth = NdefRecord(
+            Tnf.MIME_MEDIA,
+            b"application/vnd.bluetooth.ep.oob",
+            b"1",
+            b"\x00\x00",
+        )
+        message = build_handover_select(
+            [(self.carrier(b"0"), CPS_ACTIVE), (bluetooth, CPS_INACTIVE)]
+        )
+        parsed = parse_handover_select(message)
+        assert len(parsed.carriers) == 2
+        assert parsed.carriers[1][0].power_state == CPS_INACTIVE
+
+    def test_carrier_without_id_rejected(self):
+        bare = WifiCredential("net", "key").to_record()
+        with pytest.raises(NdefEncodeError):
+            build_handover_select([(bare, CPS_ACTIVE)])
+
+    def test_empty_carrier_list_rejected(self):
+        with pytest.raises(NdefEncodeError):
+            build_handover_select([])
+
+    def test_parse_non_handover_rejected(self):
+        with pytest.raises(NdefDecodeError):
+            parse_handover_select(NdefMessage([mime_record("a/b", b"")]))
+
+    def test_dangling_reference_resolves_to_none(self):
+        message = build_handover_select([(self.carrier(b"0"), CPS_ACTIVE)])
+        without_carrier = NdefMessage([message[0]])
+        parsed = parse_handover_select(without_carrier)
+        assert parsed.carriers[0][1] is None
+        assert parsed.carrier_records() == []
+
+    def test_handover_message_fits_ntag213(self):
+        from repro.tags.factory import make_tag
+
+        message = build_handover_select([(self.carrier(), CPS_ACTIVE)])
+        tag = make_tag("NTAG213", content=message)
+        assert tag.read_ndef() == message

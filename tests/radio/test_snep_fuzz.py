@@ -1,0 +1,56 @@
+"""Property/fuzz tests for the SNEP layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.snep import (
+    RES_SUCCESS,
+    SnepClient,
+    SnepFrame,
+    SnepServer,
+)
+
+
+@given(st.binary(max_size=64))
+@settings(max_examples=200)
+def test_server_always_answers_a_frame(raw):
+    """Whatever bytes arrive, the server answers a well-formed frame."""
+    server = SnepServer(lambda sender, data: None)
+    response = server.process("fuzzer", raw)
+    decoded = SnepFrame.from_bytes(response)  # must parse
+    assert 0 <= decoded.code <= 0xFF
+
+
+@given(st.binary(min_size=0, max_size=2000), st.integers(min_value=7, max_value=200))
+@settings(max_examples=100)
+def test_put_roundtrip_any_payload_any_miu(payload, miu):
+    """Every payload survives fragmentation at every legal MIU."""
+    received = []
+    server = SnepServer(lambda sender, data: received.append(data))
+    client = SnepClient(lambda raw: server.process("client", raw), miu=miu)
+    client.put(payload)
+    assert received == [payload]
+
+
+@given(st.binary(min_size=1, max_size=500))
+@settings(max_examples=50)
+def test_fragment_count_matches_miu_arithmetic(payload):
+    miu = 32
+    server = SnepServer(lambda sender, data: None)
+    client = SnepClient(lambda raw: server.process("client", raw), miu=miu)
+    client.put(payload)
+    first_chunk = miu - 6
+    remaining = max(0, len(payload) - first_chunk)
+    expected = 1 + (remaining + miu - 1) // miu
+    assert client.fragments_sent == expected
+
+
+@given(st.lists(st.binary(min_size=1, max_size=300), min_size=1, max_size=5))
+@settings(max_examples=50)
+def test_sequential_puts_arrive_in_order(payloads):
+    received = []
+    server = SnepServer(lambda sender, data: received.append(data))
+    client = SnepClient(lambda raw: server.process("client", raw), miu=48)
+    for payload in payloads:
+        client.put(payload)
+    assert received == payloads

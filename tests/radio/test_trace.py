@@ -1,0 +1,148 @@
+"""Tests for radio trace recording and replay."""
+
+import pytest
+
+from repro.errors import RadioError
+from repro.radio.environment import RfidEnvironment
+from repro.radio.trace import RadioTracer, TraceReplayer, trace_from_json
+from repro.tags.factory import make_tag
+
+
+@pytest.fixture
+def world():
+    env = RfidEnvironment()
+    alice = env.create_port("alice")
+    bob = env.create_port("bob")
+    tags = [make_tag() for _ in range(2)]
+    return env, alice, bob, tags
+
+
+class TestRecording:
+    def test_records_tag_transitions(self, world):
+        env, alice, _, tags = world
+        tracer = RadioTracer(env)
+        env.move_tag_into_field(tags[0], alice)
+        env.remove_tag_from_field(tags[0], alice)
+        kinds = [(e.kind, e.port, e.subject) for e in tracer.events()]
+        assert kinds == [
+            ("tag-entered", "alice", tags[0].uid_hex),
+            ("tag-left", "alice", tags[0].uid_hex),
+        ]
+
+    def test_records_peer_transitions_on_both_sides(self, world):
+        env, alice, bob, _ = world
+        tracer = RadioTracer(env)
+        env.bring_together(alice, bob)
+        kinds = sorted((e.kind, e.port) for e in tracer.events())
+        assert kinds == [("peer-entered", "alice"), ("peer-entered", "bob")]
+
+    def test_timestamps_non_decreasing(self, world):
+        env, alice, _, tags = world
+        tracer = RadioTracer(env)
+        for _ in range(5):
+            env.move_tag_into_field(tags[0], alice)
+            env.remove_tag_from_field(tags[0], alice)
+        times = [e.at_seconds for e in tracer.events()]
+        assert times == sorted(times)
+
+    def test_stop_detaches(self, world):
+        env, alice, _, tags = world
+        tracer = RadioTracer(env)
+        tracer.stop()
+        env.move_tag_into_field(tags[0], alice)
+        assert len(tracer) == 0
+
+    def test_json_roundtrip(self, world):
+        env, alice, bob, tags = world
+        tracer = RadioTracer(env)
+        env.move_tag_into_field(tags[1], alice)
+        env.bring_together(alice, bob)
+        events = trace_from_json(tracer.to_json())
+        assert [(e.kind, e.port, e.subject) for e in events] == [
+            (e.kind, e.port, e.subject) for e in tracer.events()
+        ]
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(RadioError):
+            trace_from_json("{broken")
+        with pytest.raises(RadioError):
+            trace_from_json('{"version": 99, "events": []}')
+
+
+class TestReplay:
+    def record_session(self, world):
+        env, alice, bob, tags = world
+        tracer = RadioTracer(env)
+        env.move_tag_into_field(tags[0], alice)
+        env.bring_together(alice, bob)
+        env.move_tag_into_field(tags[1], bob)
+        env.remove_tag_from_field(tags[0], alice)
+        return tracer.to_json(), tags
+
+    def test_replay_reproduces_final_topology(self, world):
+        trace_json, tags = self.record_session(world)
+        fresh = RfidEnvironment()
+        alice = fresh.create_port("alice")
+        bob = fresh.create_port("bob")
+        replayer = TraceReplayer(
+            fresh, {tag.uid_hex: tag for tag in tags}, time_scale=0.0
+        )
+        applied = replayer.replay(trace_from_json(trace_json))
+        assert applied >= 4
+        assert not fresh.tag_in_field(tags[0], alice)
+        assert fresh.tag_in_field(tags[1], bob)
+        assert fresh.in_beam_range(alice, bob)
+
+    def test_replay_drives_listeners_in_fresh_env(self, world):
+        trace_json, tags = self.record_session(world)
+        fresh = RfidEnvironment()
+        alice = fresh.create_port("alice")
+        fresh.create_port("bob")
+        seen = []
+        alice.add_field_listener(lambda event: seen.append(type(event).__name__))
+        TraceReplayer(fresh, {tag.uid_hex: tag for tag in tags}).replay(
+            trace_from_json(trace_json)
+        )
+        assert "TagEntered" in seen and "TagLeft" in seen
+
+    def test_replay_with_unknown_tag_raises(self, world):
+        trace_json, tags = self.record_session(world)
+        fresh = RfidEnvironment()
+        fresh.create_port("alice")
+        fresh.create_port("bob")
+        replayer = TraceReplayer(fresh, {}, time_scale=0.0)
+        with pytest.raises(RadioError):
+            replayer.replay(trace_from_json(trace_json))
+
+    def test_replay_with_missing_port_raises(self, world):
+        trace_json, tags = self.record_session(world)
+        fresh = RfidEnvironment()
+        fresh.create_port("alice")  # no bob
+        replayer = TraceReplayer(
+            fresh, {tag.uid_hex: tag for tag in tags}, time_scale=0.0
+        )
+        with pytest.raises(RadioError):
+            replayer.replay(trace_from_json(trace_json))
+
+    def test_replay_with_restored_tags(self, world, tmp_path):
+        """A stored tag population + a trace = a reproducible session."""
+        from repro.tags.store import TagStore
+
+        trace_json, tags = self.record_session(world)
+        store = TagStore(tmp_path)
+        for index, tag in enumerate(tags):
+            store.save(f"tag-{index}", tag)
+
+        restored = [store.load(f"tag-{index}") for index in range(len(tags))]
+        fresh = RfidEnvironment()
+        fresh.create_port("alice")
+        bob = fresh.create_port("bob")
+        TraceReplayer(
+            fresh, {tag.uid_hex: tag for tag in restored}, time_scale=0.0
+        ).replay(trace_from_json(trace_json))
+        assert fresh.tag_in_field(restored[1], bob)
+
+    def test_negative_time_scale_rejected(self, world):
+        env = RfidEnvironment()
+        with pytest.raises(RadioError):
+            TraceReplayer(env, {}, time_scale=-1)

@@ -1,0 +1,84 @@
+"""Unit tests for the ISO 7816-4 APDU codec."""
+
+import pytest
+
+from repro.tags.apdu import (
+    ApduError,
+    CommandApdu,
+    ResponseApdu,
+    SW_FILE_NOT_FOUND,
+    SW_OK,
+    error,
+    ok,
+)
+
+
+class TestCommandApdu:
+    def test_case1_no_data_no_le(self):
+        apdu = CommandApdu(0x00, 0xA4, 0x04, 0x00)
+        assert apdu.to_bytes() == bytes([0x00, 0xA4, 0x04, 0x00])
+        assert CommandApdu.from_bytes(apdu.to_bytes()) == apdu
+
+    def test_case2_le_only(self):
+        apdu = CommandApdu(0x00, 0xB0, 0x00, 0x02, le=15)
+        assert apdu.to_bytes()[-1] == 15
+        assert CommandApdu.from_bytes(apdu.to_bytes()) == apdu
+
+    def test_case2_le_256_encoded_as_zero(self):
+        apdu = CommandApdu(0x00, 0xB0, 0x00, 0x00, le=0x100)
+        assert apdu.to_bytes()[-1] == 0x00
+        assert CommandApdu.from_bytes(apdu.to_bytes()).le == 0x100
+
+    def test_case3_data_only(self):
+        apdu = CommandApdu(0x00, 0xD6, 0x00, 0x00, data=b"\x01\x02\x03")
+        raw = apdu.to_bytes()
+        assert raw[4] == 3  # Lc
+        assert CommandApdu.from_bytes(raw) == apdu
+
+    def test_case4_data_and_le(self):
+        apdu = CommandApdu(0x00, 0xA4, 0x04, 0x00, data=b"\xd2\x76", le=0)
+        decoded = CommandApdu.from_bytes(apdu.to_bytes())
+        assert decoded.data == b"\xd2\x76"
+        assert decoded.le == 0x100  # 0 on the wire means 256
+
+    def test_p1p2_combined(self):
+        assert CommandApdu(0, 0xB0, 0x12, 0x34).p1p2 == 0x1234
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ApduError):
+            CommandApdu.from_bytes(b"\x00\xa4\x04")
+
+    def test_inconsistent_lc_rejected(self):
+        with pytest.raises(ApduError):
+            CommandApdu.from_bytes(bytes([0, 0xD6, 0, 0, 5, 1, 2]))
+
+    def test_field_range_validation(self):
+        with pytest.raises(ApduError):
+            CommandApdu(0x100, 0, 0, 0)
+        with pytest.raises(ApduError):
+            CommandApdu(0, 0, 0, 0, data=b"x" * 256)
+        with pytest.raises(ApduError):
+            CommandApdu(0, 0, 0, 0, le=0x101)
+
+
+class TestResponseApdu:
+    def test_roundtrip(self):
+        response = ResponseApdu(sw=SW_OK, data=b"payload")
+        assert ResponseApdu.from_bytes(response.to_bytes()) == response
+
+    def test_status_word_split(self):
+        raw = ResponseApdu(sw=0x6A82).to_bytes()
+        assert raw == b"\x6a\x82"
+
+    def test_is_ok(self):
+        assert ok().is_ok
+        assert ok(b"data").data == b"data"
+        assert not error(SW_FILE_NOT_FOUND).is_ok
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ApduError):
+            ResponseApdu.from_bytes(b"\x90")
+
+    def test_sw_range_validated(self):
+        with pytest.raises(ApduError):
+            ResponseApdu(sw=0x10000)

@@ -1,0 +1,80 @@
+"""Unit tests for tag construction helpers and the type catalog."""
+
+import pytest
+
+from repro.errors import TagError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.tags.factory import make_tag, make_tags
+from repro.tags.memory import PAGE_SIZE
+from repro.tags.types import TAG_TYPES, TagType
+
+
+class TestMakeTag:
+    def test_default_type(self):
+        assert make_tag().tag_type.name == "NTAG216"
+
+    def test_by_name(self):
+        assert make_tag("NTAG213").tag_type.name == "NTAG213"
+
+    def test_by_type_object(self):
+        tag_type = TAG_TYPES["NTAG215"]
+        assert make_tag(tag_type).tag_type is tag_type
+
+    def test_unknown_name_lists_known_types(self):
+        with pytest.raises(TagError) as excinfo:
+            make_tag("NTAG999")
+        assert "NTAG213" in str(excinfo.value)
+
+    def test_preloaded_content(self):
+        message = NdefMessage([mime_record("a/b", b"preloaded")])
+        tag = make_tag(content=message)
+        assert tag.read_ndef() == message
+
+    def test_preload_on_unformatted_rejected(self):
+        message = NdefMessage([mime_record("a/b", b"x")])
+        with pytest.raises(TagError):
+            make_tag(content=message, formatted=False)
+
+    def test_unformatted(self):
+        assert not make_tag(formatted=False).is_ndef_formatted
+
+
+class TestMakeTags:
+    def test_count(self):
+        tags = make_tags(5, "NTAG213")
+        assert len(tags) == 5
+        assert len({t.uid for t in tags}) == 5
+
+    def test_zero(self):
+        assert make_tags(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(TagError):
+            make_tags(-1)
+
+
+class TestTypeCatalog:
+    def test_catalog_names_match_keys(self):
+        for name, tag_type in TAG_TYPES.items():
+            assert tag_type.name == name
+
+    def test_user_bytes(self):
+        assert TAG_TYPES["NTAG213"].user_bytes == 36 * PAGE_SIZE
+
+    def test_total_pages_adds_header(self):
+        assert TAG_TYPES["NTAG213"].total_pages == 40
+
+    def test_capacity_ordering(self):
+        ultralight = TAG_TYPES["MIFARE_ULTRALIGHT"].ndef_capacity
+        ntag216 = TAG_TYPES["NTAG216"].ndef_capacity
+        simtag = TAG_TYPES["SIMTAG_4K"].ndef_capacity
+        assert ultralight < ntag216 < simtag
+
+    def test_small_area_capacity_overhead(self):
+        small = TagType(name="TINY", user_pages=10)  # 40 bytes < 255
+        assert small.ndef_capacity == 40 - 3
+
+    def test_large_area_capacity_overhead(self):
+        large = TagType(name="BIG", user_pages=100)  # 400 bytes > 255
+        assert large.ndef_capacity == 400 - 5

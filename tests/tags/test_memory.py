@@ -1,0 +1,131 @@
+"""Unit tests for the page-addressed tag EEPROM."""
+
+import pytest
+
+from repro.errors import TagError, TagReadOnlyError, TagWornOutError
+from repro.tags.memory import PAGE_SIZE, TagMemory
+
+
+class TestGeometry:
+    def test_sizes(self):
+        memory = TagMemory(page_count=10)
+        assert memory.page_count == 10
+        assert memory.byte_size == 10 * PAGE_SIZE
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(TagError):
+            TagMemory(page_count=0)
+
+    def test_starts_zeroed(self):
+        memory = TagMemory(page_count=4)
+        assert memory.read_pages(0, 4) == b"\x00" * 16
+
+
+class TestPageIO:
+    def test_write_read_roundtrip(self):
+        memory = TagMemory(page_count=4)
+        memory.write_page(2, b"abcd")
+        assert memory.read_page(2) == b"abcd"
+        assert memory.read_page(1) == b"\x00" * 4
+
+    def test_write_requires_exact_page_size(self):
+        memory = TagMemory(page_count=4)
+        with pytest.raises(TagError):
+            memory.write_page(0, b"abc")
+        with pytest.raises(TagError):
+            memory.write_page(0, b"abcde")
+
+    def test_out_of_range_page_rejected(self):
+        memory = TagMemory(page_count=4)
+        with pytest.raises(TagError):
+            memory.read_page(4)
+        with pytest.raises(TagError):
+            memory.write_page(-1, b"abcd")
+
+    def test_multi_page_read(self):
+        memory = TagMemory(page_count=4)
+        memory.write_page(1, b"1111")
+        memory.write_page(2, b"2222")
+        assert memory.read_pages(1, 2) == b"11112222"
+
+    def test_multi_page_read_overflow_rejected(self):
+        memory = TagMemory(page_count=4)
+        with pytest.raises(TagError):
+            memory.read_pages(2, 3)
+
+    def test_negative_count_rejected(self):
+        memory = TagMemory(page_count=4)
+        with pytest.raises(TagError):
+            memory.read_pages(0, -1)
+
+
+class TestWriteBytes:
+    def test_partial_tail_page_preserves_existing_bytes(self):
+        memory = TagMemory(page_count=4)
+        memory.write_page(1, b"WXYZ")
+        memory.write_bytes(0, b"abcde")  # 1 full page + 1 byte
+        assert memory.read_page(0) == b"abcd"
+        assert memory.read_page(1) == b"eXYZ"
+
+    def test_exact_multiple_of_page(self):
+        memory = TagMemory(page_count=4)
+        memory.write_bytes(1, b"12345678")
+        assert memory.read_pages(1, 2) == b"12345678"
+
+    def test_overflow_rejected_before_any_write(self):
+        memory = TagMemory(page_count=2)
+        memory.write_page(0, b"keep")
+        with pytest.raises(TagError):
+            memory.write_bytes(1, b"123456789")
+        assert memory.read_page(0) == b"keep"
+
+
+class TestLocking:
+    def test_lock_blocks_writes(self):
+        memory = TagMemory(page_count=4)
+        memory.lock()
+        assert memory.locked
+        with pytest.raises(TagReadOnlyError):
+            memory.write_page(0, b"abcd")
+
+    def test_lock_still_allows_reads(self):
+        memory = TagMemory(page_count=4)
+        memory.write_page(0, b"abcd")
+        memory.lock()
+        assert memory.read_page(0) == b"abcd"
+
+
+class TestEndurance:
+    def test_wear_out_after_budget(self):
+        memory = TagMemory(page_count=2, write_endurance=3)
+        for _ in range(3):
+            memory.write_page(0, b"abcd")
+        with pytest.raises(TagWornOutError):
+            memory.write_page(0, b"abcd")
+
+    def test_wear_is_per_page(self):
+        memory = TagMemory(page_count=2, write_endurance=1)
+        memory.write_page(0, b"abcd")
+        memory.write_page(1, b"abcd")  # other page still fresh
+        with pytest.raises(TagWornOutError):
+            memory.write_page(0, b"abcd")
+
+    def test_write_counters(self):
+        memory = TagMemory(page_count=2, write_endurance=10)
+        memory.write_page(0, b"abcd")
+        memory.write_page(0, b"abcd")
+        memory.write_page(1, b"abcd")
+        assert memory.write_count(0) == 2
+        assert memory.write_count(1) == 1
+        assert memory.total_writes() == 3
+
+    def test_worn_pages_listing(self):
+        memory = TagMemory(page_count=3, write_endurance=1)
+        memory.write_page(1, b"abcd")
+        assert memory.worn_pages() == [1]
+
+    def test_no_endurance_model_means_unlimited(self):
+        memory = TagMemory(page_count=1, write_endurance=0)
+        for _ in range(100):
+            memory.write_page(0, b"abcd")
+        assert memory.worn_pages() == []

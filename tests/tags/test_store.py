@@ -1,0 +1,120 @@
+"""Tests for tag snapshot/restore and the directory-backed TagStore."""
+
+import pytest
+
+from repro.errors import TagError, TagReadOnlyError, TagWornOutError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.tags.factory import make_tag
+from repro.tags.store import TagStore, restore_tag, snapshot_tag
+from repro.tags.types import TAG_TYPES, TagType
+
+
+def msg(payload: bytes) -> NdefMessage:
+    return NdefMessage([mime_record("a/b", payload)])
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_preserves_content_and_identity(self):
+        tag = make_tag("NTAG213", content=msg(b"persisted"))
+        restored = restore_tag(snapshot_tag(tag))
+        assert restored.uid == tag.uid
+        assert restored.tag_type.name == "NTAG213"
+        assert restored.read_ndef() == msg(b"persisted")
+
+    def test_roundtrip_preserves_raw_memory(self):
+        tag = make_tag(content=msg(b"bytes"))
+        restored = restore_tag(snapshot_tag(tag))
+        assert restored.raw_dump() == tag.raw_dump()
+
+    def test_roundtrip_preserves_lock_state(self):
+        tag = make_tag(content=msg(b"frozen"))
+        tag.make_read_only()
+        restored = restore_tag(snapshot_tag(tag))
+        assert not restored.is_writable
+        with pytest.raises(TagReadOnlyError):
+            restored.write_ndef(msg(b"nope"))
+
+    def test_roundtrip_preserves_wear(self):
+        worn_type = TagType(name="NTAG213", user_pages=36, write_endurance=3)
+        from repro.tags.tag import SimulatedTag
+
+        tag = SimulatedTag(tag_type=worn_type)
+        tag.write_ndef(msg(b"1"))
+        tag.write_ndef(msg(b"2"))
+        restored = restore_tag(snapshot_tag(tag))
+        # One format write + two content writes already spent; the next
+        # write must exhaust the 3-cycle budget exactly like the original.
+        with pytest.raises(TagWornOutError):
+            restored.write_ndef(msg(b"3"))
+
+    def test_unformatted_tag_roundtrip(self):
+        tag = make_tag(formatted=False)
+        restored = restore_tag(snapshot_tag(tag))
+        assert not restored.is_ndef_formatted
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TagError):
+            restore_tag(b"not json at all")
+
+    def test_wrong_version_rejected(self):
+        import json
+
+        state = json.loads(snapshot_tag(make_tag()).decode())
+        state["version"] = 99
+        with pytest.raises(TagError):
+            restore_tag(json.dumps(state).encode())
+
+    def test_restored_tag_is_usable_in_the_radio(self):
+        from repro.radio.environment import RfidEnvironment
+
+        restored = restore_tag(snapshot_tag(make_tag(content=msg(b"live"))))
+        env = RfidEnvironment()
+        port = env.create_port("phone")
+        env.move_tag_into_field(restored, port)
+        assert port.read_ndef(restored) == msg(b"live")
+
+
+class TestTagStore:
+    def test_save_load_cycle(self, tmp_path):
+        store = TagStore(tmp_path)
+        tag = make_tag(content=msg(b"stored"))
+        store.save("lobby-tag", tag)
+        assert "lobby-tag" in store
+        loaded = store.load("lobby-tag")
+        assert loaded.uid == tag.uid
+        assert loaded.read_ndef() == msg(b"stored")
+
+    def test_names_listing(self, tmp_path):
+        store = TagStore(tmp_path)
+        store.save("b-tag", make_tag())
+        store.save("a-tag", make_tag())
+        assert store.names() == ["a-tag", "b-tag"]
+
+    def test_overwrite(self, tmp_path):
+        store = TagStore(tmp_path)
+        store.save("x", make_tag(content=msg(b"old")))
+        store.save("x", make_tag(content=msg(b"new")))
+        assert store.load("x").read_ndef() == msg(b"new")
+
+    def test_delete(self, tmp_path):
+        store = TagStore(tmp_path)
+        store.save("gone", make_tag())
+        assert store.delete("gone")
+        assert not store.delete("gone")
+        assert "gone" not in store
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(TagError):
+            TagStore(tmp_path).load("ghost")
+
+    def test_invalid_names_rejected(self, tmp_path):
+        store = TagStore(tmp_path)
+        with pytest.raises(TagError):
+            store.save("../escape", make_tag())
+        with pytest.raises(TagError):
+            store.save("", make_tag())
+
+    def test_two_stores_same_directory_share_tags(self, tmp_path):
+        TagStore(tmp_path).save("shared", make_tag(content=msg(b"x")))
+        assert TagStore(tmp_path).load("shared").read_ndef() == msg(b"x")

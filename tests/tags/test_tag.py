@@ -1,0 +1,155 @@
+"""Unit tests for the simulated tag: CC, TLV area, NDEF I/O, locking."""
+
+import pytest
+
+from repro.errors import (
+    TagCapacityError,
+    TagFormatError,
+    TagReadOnlyError,
+)
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.tags.tag import CC_MAGIC, SimulatedTag, generate_uid
+from repro.tags.types import TAG_TYPES
+
+
+def msg(payload: bytes) -> NdefMessage:
+    return NdefMessage([mime_record("a/b", payload)])
+
+
+class TestIdentity:
+    def test_uids_are_unique(self):
+        uids = {SimulatedTag().uid for _ in range(50)}
+        assert len(uids) == 50
+
+    def test_uid_is_seven_bytes_nxp_style(self):
+        uid = generate_uid()
+        assert len(uid) == 7
+        assert uid[0] == 0x04
+
+    def test_explicit_uid(self):
+        tag = SimulatedTag(uid=b"\x04\x01\x02\x03\x04\x05\x06")
+        assert tag.uid_hex == "04010203040506"
+
+    def test_wrong_uid_length_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedTag(uid=b"\x04\x01")
+
+
+class TestFormatting:
+    def test_fresh_tag_is_formatted_and_empty(self):
+        tag = SimulatedTag()
+        assert tag.is_ndef_formatted
+        assert tag.is_empty
+        assert tag.read_ndef().is_empty
+
+    def test_unformatted_tag(self):
+        tag = SimulatedTag(formatted=False)
+        assert not tag.is_ndef_formatted
+        assert not tag.is_empty
+        with pytest.raises(TagFormatError):
+            tag.read_ndef()
+
+    def test_format_writes_cc_magic(self):
+        tag = SimulatedTag(formatted=False)
+        tag.format()
+        assert tag.memory.read_page(3)[0] == CC_MAGIC
+        assert tag.is_ndef_formatted
+
+    def test_write_to_unformatted_rejected(self):
+        tag = SimulatedTag(formatted=False)
+        with pytest.raises(TagFormatError):
+            tag.write_ndef(msg(b"x"))
+
+
+class TestNdefIO:
+    def test_write_read_roundtrip(self):
+        tag = SimulatedTag()
+        tag.write_ndef(msg(b"hello"))
+        assert tag.read_ndef() == msg(b"hello")
+        assert not tag.is_empty
+
+    def test_overwrite_replaces_content(self):
+        tag = SimulatedTag()
+        tag.write_ndef(msg(b"first of several"))
+        tag.write_ndef(msg(b"2nd"))
+        assert tag.read_ndef() == msg(b"2nd")
+
+    def test_erase_restores_empty(self):
+        tag = SimulatedTag()
+        tag.write_ndef(msg(b"data"))
+        tag.erase()
+        assert tag.is_empty
+
+    def test_large_message_uses_three_byte_tlv_length(self):
+        tag = SimulatedTag(tag_type=TAG_TYPES["NTAG216"])
+        payload = bytes(range(256)) * 2  # > 255 encoded
+        tag.write_ndef(msg(payload))
+        assert tag.read_ndef() == msg(payload)
+
+    def test_capacity_exceeded(self):
+        tag = SimulatedTag(tag_type=TAG_TYPES["MIFARE_ULTRALIGHT"])
+        with pytest.raises(TagCapacityError):
+            tag.write_ndef(msg(b"x" * 100))
+
+    def test_capacity_boundary_write_succeeds(self):
+        tag = SimulatedTag(tag_type=TAG_TYPES["MIFARE_ULTRALIGHT"])
+        overhead = len(msg(b"").to_bytes())
+        payload = b"x" * (tag.ndef_capacity - overhead)
+        tag.write_ndef(msg(payload))
+        assert tag.read_ndef()[0].payload == payload
+
+    def test_ndef_capacity_positive_for_all_types(self):
+        for tag_type in TAG_TYPES.values():
+            assert tag_type.ndef_capacity > 0
+
+
+class TestReadOnly:
+    def test_make_read_only_blocks_writes(self):
+        tag = SimulatedTag()
+        tag.write_ndef(msg(b"frozen"))
+        tag.make_read_only()
+        assert not tag.is_writable
+        with pytest.raises(TagReadOnlyError):
+            tag.write_ndef(msg(b"nope"))
+
+    def test_read_only_tag_still_readable(self):
+        tag = SimulatedTag()
+        tag.write_ndef(msg(b"frozen"))
+        tag.make_read_only()
+        assert tag.read_ndef() == msg(b"frozen")
+
+
+class TestTornWrites:
+    def test_corrupt_tlv_makes_read_fail(self):
+        tag = SimulatedTag()
+        tag.write_ndef(msg(b"good data"))
+        encoded = msg(b"replacement!").to_bytes()
+        tag._store_tlv(encoded[: len(encoded) // 2])
+        with pytest.raises(Exception):
+            tag.read_ndef()
+
+    def test_rewrite_heals_corrupt_tlv(self):
+        tag = SimulatedTag()
+        encoded = msg(b"replacement!").to_bytes()
+        tag._store_tlv(encoded[: len(encoded) // 2])
+        tag.write_ndef(msg(b"healed"))
+        assert tag.read_ndef() == msg(b"healed")
+
+    def test_is_empty_false_on_corrupt_area(self):
+        tag = SimulatedTag()
+        encoded = msg(b"replacement!").to_bytes()
+        tag._store_tlv(encoded[: len(encoded) // 2])
+        assert not tag.is_empty
+
+
+class TestDiagnostics:
+    def test_raw_dump_length(self):
+        tag = SimulatedTag(tag_type=TAG_TYPES["NTAG213"])
+        assert len(tag.raw_dump()) == tag.memory.byte_size
+
+    def test_write_cycles_increase(self):
+        tag = SimulatedTag()
+        before = tag.write_cycles
+        tag.write_ndef(msg(b"bump"))
+        assert tag.write_cycles > before

@@ -1,0 +1,77 @@
+"""Property-based tests for tag memory and NDEF storage invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.tags.memory import PAGE_SIZE, TagMemory
+from repro.tags.tag import SimulatedTag
+from repro.tags.types import TAG_TYPES
+
+
+@given(st.binary(max_size=200), st.integers(min_value=0, max_value=10))
+def test_write_bytes_then_read_back(data, start_page):
+    memory = TagMemory(page_count=64)
+    memory.write_bytes(start_page, data)
+    assert memory.read_pages(0, 64)[
+        start_page * PAGE_SIZE : start_page * PAGE_SIZE + len(data)
+    ] == data
+
+
+@given(st.binary(max_size=100))
+def test_write_bytes_touches_only_its_range(data):
+    """Bytes before the write window and after it stay intact."""
+    memory = TagMemory(page_count=64)
+    sentinel_before = b"\xaa" * PAGE_SIZE
+    sentinel_after = b"\xbb" * PAGE_SIZE
+    memory.write_page(0, sentinel_before)
+    memory.write_page(40, sentinel_after)
+    memory.write_bytes(1, data)
+    assert memory.read_page(0) == sentinel_before
+    assert memory.read_page(40) == sentinel_after
+
+
+@given(st.binary(min_size=0, max_size=800))
+@settings(max_examples=80)
+def test_ndef_storage_roundtrip(payload):
+    tag = SimulatedTag(tag_type=TAG_TYPES["NTAG216"])
+    message = NdefMessage([mime_record("a/b", payload)])
+    if message.byte_length <= tag.ndef_capacity:
+        tag.write_ndef(message)
+        assert tag.read_ndef() == message
+
+
+@given(st.lists(st.binary(max_size=60), min_size=1, max_size=5))
+@settings(max_examples=60)
+def test_multi_record_storage_roundtrip(payloads):
+    tag = SimulatedTag(tag_type=TAG_TYPES["SIMTAG_4K"])
+    message = NdefMessage([mime_record("a/b", p) for p in payloads])
+    tag.write_ndef(message)
+    assert tag.read_ndef() == message
+
+
+@given(st.lists(st.binary(min_size=1, max_size=120), min_size=1, max_size=6))
+@settings(max_examples=60)
+def test_last_write_wins(payloads):
+    tag = SimulatedTag(tag_type=TAG_TYPES["NTAG216"])
+    for payload in payloads:
+        tag.write_ndef(NdefMessage([mime_record("a/b", payload)]))
+    assert tag.read_ndef()[0].payload == payloads[-1]
+
+
+@given(st.integers(min_value=1, max_value=200))
+def test_capacity_is_a_sharp_boundary(extra):
+    """Any message even one byte over capacity is rejected; at capacity it fits."""
+    import pytest
+
+    from repro.errors import TagCapacityError
+
+    tag = SimulatedTag(tag_type=TAG_TYPES["NTAG213"])
+    overhead = NdefMessage([mime_record("a/b", b"")]).byte_length
+    fitting = b"x" * (tag.ndef_capacity - overhead)
+    tag.write_ndef(NdefMessage([mime_record("a/b", fitting)]))
+    with pytest.raises(TagCapacityError):
+        tag.write_ndef(NdefMessage([mime_record("a/b", fitting + b"y" * extra)]))
+    # The failed write must not have corrupted the stored message.
+    assert tag.read_ndef()[0].payload == fitting

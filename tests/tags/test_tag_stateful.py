@@ -1,0 +1,109 @@
+"""Stateful property tests: a simulated tag against a reference model.
+
+Hypothesis drives random operation sequences (write, erase, corrupt,
+heal, lock, snapshot/restore) against a :class:`SimulatedTag` while a
+trivial Python model tracks what the tag *should* contain; any
+divergence is a bug in the TLV/memory machinery.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import TagCapacityError, TagReadOnlyError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.tags.store import restore_tag, snapshot_tag
+from repro.tags.tag import SimulatedTag
+from repro.tags.types import TAG_TYPES
+
+
+def message_for(payload: bytes) -> NdefMessage:
+    return NdefMessage([mime_record("a/b", payload)])
+
+
+class TagMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.tag = SimulatedTag(tag_type=TAG_TYPES["NTAG215"])
+        # The reference model: expected payload, or markers.
+        self.expected = "EMPTY"  # "EMPTY" | bytes | "CORRUPT"
+        self.locked = False
+
+    # -- operations ------------------------------------------------------------
+
+    @rule(payload=st.binary(min_size=0, max_size=300))
+    def write(self, payload: bytes) -> None:
+        message = message_for(payload)
+        try:
+            self.tag.write_ndef(message)
+        except TagReadOnlyError:
+            assert self.locked
+            return
+        except TagCapacityError:
+            assert message.byte_length > self.tag.ndef_capacity
+            return
+        assert not self.locked
+        assert message.byte_length <= self.tag.ndef_capacity
+        self.expected = payload
+
+    @rule()
+    def erase(self) -> None:
+        try:
+            self.tag.erase()
+        except TagReadOnlyError:
+            assert self.locked
+            return
+        self.expected = "EMPTY"
+
+    @precondition(lambda self: not self.locked)
+    @rule(payload=st.binary(min_size=4, max_size=100))
+    def corrupt(self, payload: bytes) -> None:
+        """A torn write from some other device."""
+        self.tag._tear_write_hook(message_for(payload))
+        self.expected = "CORRUPT"
+
+    @rule()
+    def lock(self) -> None:
+        self.tag.make_read_only()
+        self.locked = True
+
+    @precondition(lambda self: not self.locked)
+    @rule()
+    def snapshot_roundtrip(self) -> None:
+        """Snapshot/restore must be a perfect identity."""
+        self.tag = restore_tag(snapshot_tag(self.tag))
+
+    # -- invariants ----------------------------------------------------------------
+
+    @invariant()
+    def tag_matches_model(self) -> None:
+        if self.expected == "CORRUPT":
+            try:
+                self.tag.read_ndef()
+            except Exception:
+                return  # unreadable, as modelled
+            raise AssertionError("corrupt tag read back cleanly")
+        if self.expected == "EMPTY":
+            assert self.tag.read_ndef().is_empty
+        else:
+            assert self.tag.read_ndef()[0].payload == self.expected
+
+    @invariant()
+    def formatted_flag_stable(self) -> None:
+        assert self.tag.is_ndef_formatted
+
+    @invariant()
+    def lock_state_matches_model(self) -> None:
+        assert self.tag.is_writable == (not self.locked)
+
+
+TestTagStateMachine = TagMachine.TestCase
+TestTagStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,259 @@
+"""Unit tests for Type 4 tags: APDU protocol, NDEF mapping, tear semantics."""
+
+import pytest
+
+from repro.errors import TagCapacityError, TagFormatError, TagReadOnlyError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.tags.apdu import (
+    INS_READ_BINARY,
+    INS_SELECT,
+    INS_UPDATE_BINARY,
+    SW_CONDITIONS_NOT_SATISFIED,
+    SW_FILE_NOT_FOUND,
+    SW_INS_NOT_SUPPORTED,
+    CommandApdu,
+    ResponseApdu,
+)
+from repro.tags.type4 import (
+    CC_FILE_ID,
+    NDEF_AID,
+    NDEF_FILE_ID,
+    TYPE4_SPECS,
+    Type4Tag,
+    make_type4_tag,
+)
+
+
+def msg(payload: bytes = b"data") -> NdefMessage:
+    return NdefMessage([mime_record("a/b", payload)])
+
+
+def exchange(tag: Type4Tag, command: CommandApdu) -> ResponseApdu:
+    return ResponseApdu.from_bytes(tag.process_apdu(command.to_bytes()))
+
+
+def select_app(tag: Type4Tag) -> ResponseApdu:
+    return exchange(tag, CommandApdu(0x00, INS_SELECT, 0x04, 0x00, data=NDEF_AID))
+
+
+def select_file(tag: Type4Tag, file_id: int) -> ResponseApdu:
+    return exchange(
+        tag,
+        CommandApdu(0x00, INS_SELECT, 0x00, 0x0C, data=file_id.to_bytes(2, "big")),
+    )
+
+
+class TestApduProtocol:
+    def test_select_ndef_application(self):
+        assert select_app(Type4Tag()).is_ok
+
+    def test_select_wrong_aid_fails(self):
+        tag = Type4Tag()
+        response = exchange(
+            tag, CommandApdu(0x00, INS_SELECT, 0x04, 0x00, data=b"\x01\x02")
+        )
+        assert response.sw == SW_FILE_NOT_FOUND
+
+    def test_file_select_requires_application(self):
+        tag = Type4Tag()
+        assert select_file(tag, NDEF_FILE_ID).sw == SW_CONDITIONS_NOT_SATISFIED
+
+    def test_select_unknown_file_fails(self):
+        tag = Type4Tag()
+        select_app(tag)
+        assert select_file(tag, 0xBEEF).sw == SW_FILE_NOT_FOUND
+
+    def test_unknown_instruction(self):
+        tag = Type4Tag()
+        response = exchange(tag, CommandApdu(0x00, 0xCA, 0x00, 0x00))
+        assert response.sw == SW_INS_NOT_SUPPORTED
+
+    def test_read_requires_selected_file(self):
+        tag = Type4Tag()
+        select_app(tag)
+        response = exchange(tag, CommandApdu(0x00, INS_READ_BINARY, 0, 0, le=2))
+        assert response.sw == SW_CONDITIONS_NOT_SATISFIED
+
+    def test_cc_file_describes_ndef_file(self):
+        tag = Type4Tag()
+        select_app(tag)
+        assert select_file(tag, CC_FILE_ID).is_ok
+        response = exchange(tag, CommandApdu(0x00, INS_READ_BINARY, 0, 0, le=17))
+        assert response.is_ok
+        cc = response.data
+        cclen = int.from_bytes(cc[0:2], "big")
+        assert cclen == len(cc)
+        assert cc[2] == 0x20  # mapping version 2.0
+        # The NDEF file control TLV names the NDEF file and its size.
+        assert cc[7] == 0x04 and cc[8] == 0x06
+        assert int.from_bytes(cc[9:11], "big") == NDEF_FILE_ID
+        assert int.from_bytes(cc[11:13], "big") == tag.tag_type.ndef_file_size
+
+    def test_update_binary_writes(self):
+        tag = Type4Tag()
+        select_app(tag)
+        select_file(tag, NDEF_FILE_ID)
+        assert exchange(
+            tag, CommandApdu(0x00, INS_UPDATE_BINARY, 0x00, 0x02, data=b"AB")
+        ).is_ok
+        response = exchange(tag, CommandApdu(0x00, INS_READ_BINARY, 0x00, 0x02, le=2))
+        assert response.data == b"AB"
+
+    def test_cc_file_is_not_writable(self):
+        tag = Type4Tag()
+        select_app(tag)
+        select_file(tag, CC_FILE_ID)
+        response = exchange(
+            tag, CommandApdu(0x00, INS_UPDATE_BINARY, 0, 0, data=b"\x00")
+        )
+        assert response.sw == SW_CONDITIONS_NOT_SATISFIED
+
+    def test_hostile_apdu_bytes_answer_with_status_word(self):
+        tag = Type4Tag()
+        response = ResponseApdu.from_bytes(tag.process_apdu(b"\xff"))
+        assert not response.is_ok
+
+    def test_apdu_counter(self):
+        tag = Type4Tag()
+        select_app(tag)
+        select_file(tag, NDEF_FILE_ID)
+        assert tag.apdu_count == 2
+
+
+class TestNdefMapping:
+    def test_fresh_tag_is_formatted_and_empty(self):
+        tag = Type4Tag()
+        assert tag.is_ndef_formatted
+        assert tag.is_empty
+        assert tag.read_ndef().is_empty
+
+    def test_write_read_roundtrip(self):
+        tag = make_type4_tag(content=msg(b"hello type 4"))
+        assert tag.read_ndef() == msg(b"hello type 4")
+        assert not tag.is_empty
+
+    def test_large_message_spans_many_apdus(self):
+        tag = make_type4_tag("TYPE4_8K")
+        payload = bytes(range(256)) * 20  # 5120 bytes > MAX_LC per APDU
+        tag.write_ndef(msg(payload))
+        assert tag.read_ndef() == msg(payload)
+
+    def test_capacity_enforced(self):
+        tag = make_type4_tag("TYPE4_2K")
+        with pytest.raises(TagCapacityError):
+            tag.write_ndef(msg(b"x" * 4000))
+
+    def test_erase(self):
+        tag = make_type4_tag(content=msg(b"gone"))
+        tag.erase()
+        assert tag.is_empty
+
+    def test_read_only(self):
+        tag = make_type4_tag(content=msg(b"frozen"))
+        tag.make_read_only()
+        assert not tag.is_writable
+        with pytest.raises(TagReadOnlyError):
+            tag.write_ndef(msg(b"nope"))
+        assert tag.read_ndef() == msg(b"frozen")  # reads still fine
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(TagFormatError):
+            make_type4_tag("TYPE9")
+
+    def test_specs_catalog(self):
+        for name, spec in TYPE4_SPECS.items():
+            assert spec.name == name
+            assert spec.ndef_capacity == spec.ndef_file_size - 2
+
+
+class TestTearSemantics:
+    def test_torn_write_leaves_valid_empty_tag(self):
+        """The safe-update sequence: a tear yields empty, never corrupt."""
+        tag = make_type4_tag(content=msg(b"original content"))
+        tag._tear_write_hook(msg(b"replacement that tears"))
+        after = tag.read_ndef()  # must not raise
+        assert after.is_empty
+
+    def test_type2_contrast_torn_write_corrupts(self):
+        from repro.tags.factory import make_tag
+
+        tag = make_tag(content=msg(b"original content"))
+        tag._tear_write_hook(msg(b"replacement that tears"))
+        with pytest.raises(Exception):
+            tag.read_ndef()
+
+    def test_rewrite_after_tear_restores_data(self):
+        tag = make_type4_tag(content=msg(b"original"))
+        tag._tear_write_hook(msg(b"torn"))
+        tag.write_ndef(msg(b"restored"))
+        assert tag.read_ndef() == msg(b"restored")
+
+
+class TestRadioIntegration:
+    def test_type4_tag_works_through_port(self):
+        from repro.radio.environment import RfidEnvironment
+
+        env = RfidEnvironment()
+        port = env.create_port("reader")
+        tag = make_type4_tag(content=msg(b"via radio"))
+        env.move_tag_into_field(tag, port)
+        assert port.read_ndef(tag) == msg(b"via radio")
+        port.write_ndef(tag, msg(b"updated"))
+        assert tag.read_ndef() == msg(b"updated")
+
+    def test_type4_tag_discovered_by_middleware(self, scenario, phone):
+        """The full MORENA stack is tag-technology agnostic."""
+        from repro.concurrent import EventLog
+        from repro.core import (
+            NFCActivity,
+            NdefMessageToStringConverter,
+            StringToNdefMessageConverter,
+            TagDiscoverer,
+        )
+
+        log = EventLog()
+
+        class App(NFCActivity):
+            def on_create(self):
+                outer = self
+
+                class Disc(TagDiscoverer):
+                    def on_tag_detected(self, reference):
+                        log.append(reference.cached)
+
+                self.disc = Disc(
+                    self,
+                    "a/b",
+                    NdefMessageToStringConverter(),
+                    StringToNdefMessageConverter("a/b"),
+                )
+
+        scenario.start(phone, App)
+        tag = make_type4_tag(content=msg(b"type4 through MORENA"))
+        scenario.env.move_tag_into_field(tag, phone.port)
+        assert log.wait_for_count(1)
+        assert log.snapshot() == ["type4 through MORENA"]
+
+    def test_transceive_through_port(self):
+        from repro.radio.environment import RfidEnvironment
+
+        env = RfidEnvironment()
+        port = env.create_port("reader")
+        tag = make_type4_tag()
+        env.move_tag_into_field(tag, port)
+        raw = port.transceive(
+            tag, CommandApdu(0x00, INS_SELECT, 0x04, 0x00, data=NDEF_AID).to_bytes()
+        )
+        assert ResponseApdu.from_bytes(raw).is_ok
+
+    def test_transceive_on_type2_tag_rejected(self):
+        from repro.radio.environment import RfidEnvironment
+        from repro.tags.factory import make_tag
+
+        env = RfidEnvironment()
+        port = env.create_port("reader")
+        tag = make_tag()
+        env.move_tag_into_field(tag, port)
+        with pytest.raises(TagFormatError):
+            port.transceive(tag, b"\x00\xa4\x04\x00")

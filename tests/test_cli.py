@@ -1,0 +1,66 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_demo_scenarios_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "unknown"])
+
+
+class TestFig2:
+    def test_prints_both_panels(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 (left)" in out
+        assert "Figure 2 (right)" in out
+        assert "concurrency" in out
+
+
+class TestDemos:
+    def test_wifi_demo_succeeds(self, capsys):
+        assert main(["demo", "wifi"]) == 0
+        out = capsys.readouterr().out
+        assert "guest connected to: LobbyWifi" in out
+
+    def test_beam_demo_succeeds(self, capsys):
+        assert main(["demo", "beam"]) == 0
+        out = capsys.readouterr().out
+        assert "bob received: alice: hello from the command line" in out
+
+    def test_handover_demo_succeeds(self, capsys):
+        assert main(["demo", "handover"]) == 0
+        out = capsys.readouterr().out
+        assert "sharer offered ssid='HomeNet'" in out
+
+
+class TestTagDump:
+    def test_default_dump(self, capsys):
+        assert main(["tagdump"]) == 0
+        out = capsys.readouterr().out
+        assert "NTAG213" in out
+        assert "0000" in out
+
+    def test_custom_type_and_text(self, capsys):
+        assert main(["tagdump", "--type", "NTAG216", "--text", "xyzzy"]) == 0
+        out = capsys.readouterr().out
+        assert "NTAG216" in out
+        # The record's type string lands whole inside one 16-byte dump row.
+        assert "text/plain" in out
+
+    def test_unknown_type_fails_cleanly(self):
+        from repro.errors import TagError
+
+        with pytest.raises(TagError):
+            main(["tagdump", "--type", "NOPE"])

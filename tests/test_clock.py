@@ -1,0 +1,78 @@
+"""Unit tests for the injectable clocks."""
+
+import threading
+import time
+
+import pytest
+
+from repro.clock import Clock, ManualClock, SystemClock
+
+
+class TestSystemClock:
+    def test_now_is_monotonic(self):
+        clock = SystemClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_sleep_advances_time(self):
+        clock = SystemClock()
+        before = clock.now()
+        clock.sleep(0.02)
+        assert clock.now() - before >= 0.015
+
+    def test_negative_sleep_is_noop(self):
+        SystemClock().sleep(-1)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SystemClock(), Clock)
+        assert isinstance(ManualClock(), Clock)
+
+
+class TestManualClock:
+    def test_starts_at_given_time(self):
+        assert ManualClock(start=5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = ManualClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = ManualClock()
+        start = time.monotonic()
+        clock.sleep(100.0)
+        assert time.monotonic() - start < 1.0
+        assert clock.now() == 100.0
+
+    def test_backwards_movement_rejected(self):
+        clock = ManualClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.set(5.0)
+        with pytest.raises(ValueError):
+            clock.sleep(-1)
+
+    def test_set_jumps_forward(self):
+        clock = ManualClock()
+        clock.set(42.0)
+        assert clock.now() == 42.0
+
+    def test_wait_until_wakes_on_advance(self):
+        clock = ManualClock()
+        reached = []
+
+        def waiter():
+            reached.append(clock.wait_until(5.0, real_timeout=2.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.02)
+        clock.advance(5.0)
+        thread.join(2.0)
+        assert reached == [True]
+
+    def test_wait_until_times_out_in_real_time(self):
+        clock = ManualClock()
+        assert not clock.wait_until(5.0, real_timeout=0.05)

@@ -1,0 +1,139 @@
+"""Unit tests for the concurrency helpers."""
+
+import threading
+
+import pytest
+
+from repro.concurrent import (
+    AtomicCounter,
+    CountDownLatch,
+    EventLog,
+    ResultBox,
+    wait_until,
+)
+
+
+class TestCountDownLatch:
+    def test_opens_after_count(self):
+        latch = CountDownLatch(2)
+        assert not latch.await_(timeout=0.01)
+        latch.count_down()
+        latch.count_down()
+        assert latch.await_(timeout=0.01)
+        assert latch.count == 0
+
+    def test_extra_count_downs_ignored(self):
+        latch = CountDownLatch(1)
+        latch.count_down()
+        latch.count_down()
+        assert latch.count == 0
+
+    def test_zero_latch_is_open(self):
+        assert CountDownLatch(0).await_(timeout=0.01)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CountDownLatch(-1)
+
+    def test_cross_thread(self):
+        latch = CountDownLatch(1)
+        threading.Thread(target=latch.count_down).start()
+        assert latch.await_(timeout=2.0)
+
+
+class TestResultBox:
+    def test_put_get(self):
+        box = ResultBox()
+        box.put(42)
+        assert box.get(timeout=0.01) == 42
+        assert box.is_set()
+
+    def test_double_put_rejected(self):
+        box = ResultBox()
+        box.put(1)
+        with pytest.raises(RuntimeError):
+            box.put(2)
+
+    def test_get_timeout(self):
+        with pytest.raises(TimeoutError):
+            ResultBox().get(timeout=0.01)
+
+    def test_cross_thread_handoff(self):
+        box = ResultBox()
+        threading.Thread(target=lambda: box.put("payload")).start()
+        assert box.get(timeout=2.0) == "payload"
+
+
+class TestEventLog:
+    def test_append_and_snapshot(self):
+        log = EventLog()
+        log.append(1)
+        log.append(2)
+        assert log.snapshot() == [1, 2]
+        assert len(log) == 2
+
+    def test_snapshot_is_a_copy(self):
+        log = EventLog()
+        log.append(1)
+        snap = log.snapshot()
+        snap.append(2)
+        assert len(log) == 1
+
+    def test_wait_for_count(self):
+        log = EventLog()
+
+        def producer():
+            for i in range(3):
+                log.append(i)
+
+        threading.Thread(target=producer).start()
+        assert log.wait_for_count(3, timeout=2.0)
+
+    def test_wait_for_predicate(self):
+        log = EventLog()
+        threading.Thread(target=lambda: log.append("target")).start()
+        assert log.wait_for(lambda events: "target" in events, timeout=2.0)
+
+    def test_wait_timeout(self):
+        assert not EventLog().wait_for_count(1, timeout=0.01)
+
+    def test_clear(self):
+        log = EventLog()
+        log.append(1)
+        log.clear()
+        assert len(log) == 0
+
+
+class TestWaitUntil:
+    def test_immediate_truth(self):
+        assert wait_until(lambda: True, timeout=0.01)
+
+    def test_eventual_truth(self):
+        state = {"ready": False}
+        threading.Timer(0.03, lambda: state.update(ready=True)).start()
+        assert wait_until(lambda: state["ready"], timeout=2.0)
+
+    def test_timeout(self):
+        assert not wait_until(lambda: False, timeout=0.02)
+
+
+class TestAtomicCounter:
+    def test_increment(self):
+        counter = AtomicCounter()
+        assert counter.increment() == 1
+        assert counter.increment() == 2
+        assert counter.value == 2
+
+    def test_concurrent_increments(self):
+        counter = AtomicCounter()
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.increment() for _ in range(100)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 800

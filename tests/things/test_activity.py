@@ -1,0 +1,171 @@
+"""Tests for ThingActivity: discovery dispatch, broadcast, configuration."""
+
+import pytest
+
+from repro.concurrent import EventLog
+from repro.errors import ThingError
+from repro.gson import Gson
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.tags.factory import make_tag
+from repro.things.activity import ThingActivity, thing_mime_type
+from repro.things.thing import Thing
+
+
+class Note(Thing):
+    text: str
+
+    def __init__(self, activity, text=""):
+        super().__init__(activity)
+        self.text = text
+
+
+class NoteActivity(ThingActivity):
+    THING_CLASS = Note
+
+    def on_create(self):
+        self.things = EventLog()
+        self.empties = EventLog()
+
+    def when_discovered(self, thing):
+        self.things.append(thing)
+
+    def when_discovered_empty(self, empty):
+        self.empties.append(empty)
+
+
+def note_tag(text):
+    payload = f'{{"text": "{text}"}}'.encode()
+    return make_tag(
+        content=NdefMessage([mime_record(thing_mime_type(Note), payload)])
+    )
+
+
+@pytest.fixture
+def app(scenario, phone):
+    return scenario.start(phone, NoteActivity)
+
+
+class TestConfiguration:
+    def test_thing_class_must_be_set(self, scenario, phone):
+        class Broken(ThingActivity):
+            pass
+
+        with pytest.raises(ThingError):
+            phone.start_activity(Broken)
+
+    def test_thing_class_must_subclass_thing(self, scenario, phone):
+        class Broken(ThingActivity):
+            THING_CLASS = str
+
+        with pytest.raises(ThingError):
+            phone.start_activity(Broken)
+
+    def test_mime_type_property(self, app):
+        assert app.mime_type == "application/vnd.morena.note"
+
+    def test_custom_gson_hook(self, scenario, phone):
+        markers = []
+
+        class CustomGsonActivity(NoteActivity):
+            def make_gson(self):
+                markers.append("called")
+                return Gson()
+
+        scenario.start(phone, CustomGsonActivity)
+        assert markers == ["called"]
+
+
+class TestDiscovery:
+    def test_tag_with_thing_triggers_when_discovered(self, scenario, phone, app):
+        scenario.put(note_tag("hello"), phone)
+        assert app.things.wait_for_count(1)
+        thing = app.things.snapshot()[0]
+        assert isinstance(thing, Note)
+        assert thing.text == "hello"
+        assert thing.is_bound
+
+    def test_discovered_thing_bound_to_unique_reference(self, scenario, phone, app):
+        tag = note_tag("x")
+        scenario.put(tag, phone)
+        scenario.take(tag, phone)
+        scenario.put(tag, phone)
+        assert app.things.wait_for_count(2)
+        first, second = app.things.snapshot()
+        assert first.reference is second.reference
+
+    def test_empty_tag_triggers_when_discovered_empty(self, scenario, phone, app):
+        scenario.put(make_tag(), phone)
+        assert app.empties.wait_for_count(1)
+        assert app.empties.snapshot()[0].is_formatted
+
+    def test_unformatted_tag_triggers_empty_too(self, scenario, phone, app):
+        scenario.put(make_tag(formatted=False), phone)
+        assert app.empties.wait_for_count(1)
+        assert not app.empties.snapshot()[0].is_formatted
+
+    def test_foreign_thing_type_disregarded(self, scenario, phone, app):
+        payload = b'{"other": 1}'
+        tag = make_tag(
+            content=NdefMessage([mime_record("application/vnd.morena.other", payload)])
+        )
+        scenario.put(tag, phone)
+        assert phone.sync()
+        assert len(app.things) == 0
+        # It is not empty either, so no empty callback.
+        assert len(app.empties) == 0
+
+    def test_check_condition_gates_discovery(self, scenario, phone):
+        class Picky(NoteActivity):
+            def check_condition(self, thing):
+                return thing.text == "magic"
+
+        app = scenario.start(phone, Picky)
+        scenario.put(note_tag("mundane"), phone)
+        assert phone.sync()
+        assert len(app.things) == 0
+        scenario.put(note_tag("magic"), phone)
+        assert app.things.wait_for_count(1)
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_peer_thing_activity(self, scenario, phone, app):
+        other = scenario.add_phone("peer")
+        peer_app = scenario.start(other, NoteActivity)
+        note = Note(app, "beamed note")
+        done = EventLog()
+        note.broadcast(on_success=lambda t: done.append(t))
+        scenario.pair(phone, other)
+        assert done.wait_for_count(1)
+        assert peer_app.things.wait_for_count(1)
+        received = peer_app.things.snapshot()[0]
+        assert received.text == "beamed note"
+        assert not received.is_bound  # paper 2.5: beamed things are unbound
+
+    def test_broadcast_failure_listener_receives_thing(self, scenario, app):
+        note = Note(app, "undeliverable")
+        failures = EventLog()
+        note.broadcast(on_failed=lambda t: failures.append(t), timeout=0.15)
+        assert failures.wait_for_count(1, timeout=3)
+        assert failures.snapshot() == [note]
+
+    def test_received_thing_can_be_initialized_onto_tag(self, scenario, phone, app):
+        """Paper 2.5: beamed things can later be bound to empty tags."""
+        other = scenario.add_phone("peer2")
+        peer_app = scenario.start(other, NoteActivity)
+        Note(app, "travelling").broadcast()
+        scenario.pair(phone, other)
+        assert peer_app.things.wait_for_count(1)
+        received = peer_app.things.snapshot()[0]
+
+        tag = make_tag()
+        scenario.put(tag, other)
+        assert peer_app.empties.wait_for_count(1)
+        empty = peer_app.empties.snapshot()[0]
+        saved = EventLog()
+        other.main_looper.post(
+            lambda: empty.initialize(received, on_saved=lambda t: saved.append(t))
+        )
+        assert saved.wait_for_count(1)
+        assert received.is_bound
+        assert b"travelling" in tag.read_ndef()[0].payload

@@ -1,0 +1,111 @@
+"""Tests for EmptyRecord.initialize: binding things to blank tags."""
+
+import pytest
+
+from repro.concurrent import EventLog
+from repro.errors import ThingError
+from repro.tags.factory import make_tag
+from repro.things.thing import Thing
+from repro.things.activity import ThingActivity
+
+
+class Token(Thing):
+    value: str
+
+    def __init__(self, activity, value="v"):
+        super().__init__(activity)
+        self.value = value
+
+
+class TokenActivity(ThingActivity):
+    THING_CLASS = Token
+
+    def on_create(self):
+        self.empties = EventLog()
+        self.things = EventLog()
+
+    def when_discovered_empty(self, empty):
+        self.empties.append(empty)
+
+    def when_discovered(self, thing):
+        self.things.append(thing)
+
+
+@pytest.fixture
+def app(scenario, phone):
+    return scenario.start(phone, TokenActivity)
+
+
+def discover_empty(scenario, phone, app, tag):
+    scenario.put(tag, phone)
+    count = len(app.empties)
+    assert app.empties.wait_for_count(count + 1)
+    return app.empties.snapshot()[-1]
+
+
+class TestInitialize:
+    def test_initialize_writes_and_binds(self, scenario, phone, app):
+        tag = make_tag()
+        empty = discover_empty(scenario, phone, app, tag)
+        token = Token(app, "minted")
+        saved = EventLog()
+        empty.initialize(token, on_saved=lambda t: saved.append(t))
+        assert saved.wait_for_count(1)
+        assert token.is_bound
+        assert token.tag_uid == tag.uid
+        assert b"minted" in tag.read_ndef()[0].payload
+
+    def test_initialize_formats_blank_tags_first(self, scenario, phone, app):
+        tag = make_tag(formatted=False)
+        empty = discover_empty(scenario, phone, app, tag)
+        assert not empty.is_formatted
+        token = Token(app, "on-blank")
+        saved = EventLog()
+        empty.initialize(token, on_saved=lambda t: saved.append(t))
+        assert saved.wait_for_count(1)
+        assert tag.is_ndef_formatted
+        assert b"on-blank" in tag.read_ndef()[0].payload
+
+    def test_initialized_tag_rediscovers_as_thing(self, scenario, phone, app):
+        tag = make_tag()
+        empty = discover_empty(scenario, phone, app, tag)
+        saved = EventLog()
+        empty.initialize(Token(app, "cycle"), on_saved=lambda t: saved.append(t))
+        assert saved.wait_for_count(1)
+        scenario.take(tag, phone)
+        scenario.put(tag, phone)
+        assert app.things.wait_for_count(1)
+        assert app.things.snapshot()[0].value == "cycle"
+
+    def test_initialize_failure_leaves_thing_unbound(self, scenario, phone, app):
+        tag = make_tag()
+        empty = discover_empty(scenario, phone, app, tag)
+        scenario.take(tag, phone)
+        token = Token(app, "doomed")
+        failures = EventLog()
+        empty.initialize(
+            token, on_save_failed=lambda: failures.append("f"), timeout=0.15
+        )
+        assert failures.wait_for_count(1, timeout=3)
+        assert not token.is_bound
+
+    def test_initialize_bound_thing_rejected(self, scenario, phone, app):
+        tag = make_tag()
+        empty = discover_empty(scenario, phone, app, tag)
+        token = Token(app)
+        saved = EventLog()
+        empty.initialize(token, on_saved=lambda t: saved.append(t))
+        assert saved.wait_for_count(1)
+        other_tag = make_tag()
+        other_empty = discover_empty(scenario, phone, app, other_tag)
+        with pytest.raises(ThingError):
+            other_empty.initialize(token)
+
+    def test_initialize_non_thing_rejected(self, scenario, phone, app):
+        empty = discover_empty(scenario, phone, app, make_tag())
+        with pytest.raises(ThingError):
+            empty.initialize("not a thing")
+
+    def test_repr(self, scenario, phone, app):
+        empty = discover_empty(scenario, phone, app, make_tag())
+        assert "formatted=True" in repr(empty)

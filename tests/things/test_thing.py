@@ -1,0 +1,159 @@
+"""Unit tests for the Thing base class: binding, saving, serialization."""
+
+import pytest
+
+from repro.concurrent import EventLog
+from repro.errors import ThingError
+from repro.things.thing import Thing
+from repro.things.activity import ThingActivity, thing_mime_type
+from repro.tags.factory import make_tag
+
+
+class Badge(Thing):
+    __transient__ = ("scratch",)
+
+    owner: str
+    level: int
+
+    def __init__(self, activity, owner="nobody", level=1):
+        super().__init__(activity)
+        self.owner = owner
+        self.level = level
+        self.scratch = "not persisted"
+
+
+class BadgeActivity(ThingActivity):
+    THING_CLASS = Badge
+
+    def on_create(self):
+        self.discovered = EventLog()
+        self.empties = EventLog()
+
+    def when_discovered(self, thing):
+        self.discovered.append(thing)
+
+    def when_discovered_empty(self, empty):
+        self.empties.append(empty)
+
+
+@pytest.fixture
+def app(scenario):
+    phone = scenario.add_phone("thing-phone")
+    return scenario.start(phone, BadgeActivity)
+
+
+@pytest.fixture
+def bound_badge(scenario, app):
+    """A badge initialized onto a tag and rediscovered."""
+    phone = scenario.phones["thing-phone"]
+    tag = make_tag()
+    saved = EventLog()
+    scenario.put(tag, phone)
+    assert app.empties.wait_for_count(1)
+    empty = app.empties.snapshot()[0]
+    badge = Badge(app, owner="ada", level=3)
+    empty.initialize(badge, on_saved=lambda t: saved.append(t))
+    assert saved.wait_for_count(1)
+    return badge, tag
+
+
+class TestBinding:
+    def test_fresh_thing_is_unbound(self, app):
+        badge = Badge(app)
+        assert not badge.is_bound
+        assert badge.reference is None
+        assert badge.tag_uid is None
+
+    def test_initialized_thing_is_bound(self, bound_badge):
+        badge, tag = bound_badge
+        assert badge.is_bound
+        assert badge.tag_uid == tag.uid
+
+    def test_save_unbound_raises(self, app):
+        with pytest.raises(ThingError):
+            Badge(app).save_async()
+
+    def test_refresh_unbound_raises(self, app):
+        with pytest.raises(ThingError):
+            Badge(app).refresh_async()
+
+
+class TestSerializationRules:
+    def test_public_fields_only(self, app):
+        badge = Badge(app, owner="bob", level=2)
+        assert badge.public_fields() == {"owner": "bob", "level": 2}
+
+    def test_transient_excluded_from_tag(self, scenario, app, bound_badge):
+        badge, tag = bound_badge
+        stored = tag.read_ndef()[0].payload.decode()
+        assert "scratch" not in stored
+        assert "ada" in stored
+
+    def test_internal_attributes_never_stored(self, bound_badge):
+        badge, tag = bound_badge
+        stored = tag.read_ndef()[0].payload.decode()
+        assert "_reference" not in stored and "_activity" not in stored
+
+    def test_mime_type_derived_from_class(self):
+        assert thing_mime_type(Badge) == "application/vnd.morena.badge"
+
+    def test_repr_shows_fields_and_binding(self, app, bound_badge):
+        badge, _ = bound_badge
+        text = repr(badge)
+        assert "owner='ada'" in text
+        assert "unbound" not in text
+        assert "unbound" in repr(Badge(app))
+
+
+class TestSaveAsync:
+    def test_save_persists_modifications(self, scenario, app, bound_badge):
+        badge, tag = bound_badge
+        badge.level = 99
+        saved = EventLog()
+        badge.save_async(on_saved=lambda t: saved.append(t))
+        assert saved.wait_for_count(1)
+        assert saved.snapshot() == [badge]
+        assert '"level": 99' in tag.read_ndef()[0].payload.decode()
+
+    def test_save_failure_listener_on_timeout(self, scenario, app, bound_badge):
+        badge, tag = bound_badge
+        phone = scenario.phones["thing-phone"]
+        scenario.take(tag, phone)
+        failures = EventLog()
+        badge.save_async(on_failed=lambda: failures.append("failed"), timeout=0.15)
+        assert failures.wait_for_count(1, timeout=3)
+
+    def test_save_success_listener_gets_thing_argument(self, app, bound_badge):
+        badge, _ = bound_badge
+        got = EventLog()
+        badge.save_async(on_saved=got.append)
+        assert got.wait_for_count(1)
+        assert got.snapshot()[0] is badge
+
+
+class TestRefreshAsync:
+    def test_refresh_pulls_external_changes(self, scenario, app, bound_badge):
+        badge, tag = bound_badge
+        # Another device rewrites the tag behind our back.
+        from repro.gson import Gson
+        from repro.ndef.message import NdefMessage
+        from repro.ndef.mime import mime_record
+
+        foreign = Badge(app, owner="eve", level=42)
+        payload = Gson().to_json(foreign).encode()
+        tag.write_ndef(
+            NdefMessage([mime_record(thing_mime_type(Badge), payload)])
+        )
+        refreshed = EventLog()
+        badge.refresh_async(on_refreshed=lambda t: refreshed.append(t))
+        assert refreshed.wait_for_count(1)
+        assert badge.owner == "eve"
+        assert badge.level == 42
+
+    def test_refresh_failure_on_timeout(self, scenario, app, bound_badge):
+        badge, tag = bound_badge
+        phone = scenario.phones["thing-phone"]
+        scenario.take(tag, phone)
+        failures = EventLog()
+        badge.refresh_async(on_failed=lambda: failures.append("x"), timeout=0.15)
+        assert failures.wait_for_count(1, timeout=3)

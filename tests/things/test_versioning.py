@@ -1,0 +1,162 @@
+"""Tests for thing schema versioning and migration."""
+
+import json
+
+import pytest
+
+from repro.concurrent import EventLog
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.tags.factory import make_tag
+from repro.things.activity import ThingActivity, thing_mime_type
+from repro.things.thing import Thing
+
+
+class ProfileV2(Thing):
+    """Version 2 renamed ``name`` to ``full_name`` and added ``country``."""
+
+    SCHEMA_VERSION = 2
+
+    full_name: str
+    country: str
+
+    def __init__(self, activity, full_name="", country="BE"):
+        super().__init__(activity)
+        self.full_name = full_name
+        self.country = country
+
+
+class ProfileApp(ThingActivity):
+    THING_CLASS = ProfileV2
+
+    def on_create(self):
+        self.things = EventLog()
+        self.migrations = EventLog()
+        self.empties = EventLog()
+
+    def when_discovered(self, thing):
+        self.things.append(thing)
+
+    def when_discovered_empty(self, empty):
+        self.empties.append(empty)
+
+    def migrate_thing_data(self, data, from_version):
+        self.migrations.append(from_version)
+        if from_version < 2:
+            data = dict(data)
+            data["full_name"] = data.pop("name", "")
+            data.setdefault("country", "BE")
+        return data
+
+
+MIME = thing_mime_type(ProfileV2)
+
+
+def v1_tag(name: str):
+    """A tag written by the (hypothetical) version 1 application."""
+    payload = json.dumps({"name": name}).encode()
+    return make_tag(content=NdefMessage([mime_record(MIME, payload)]))
+
+
+def v2_tag(full_name: str, country: str):
+    payload = json.dumps(
+        {"full_name": full_name, "country": country, "_schema": 2}
+    ).encode()
+    return make_tag(content=NdefMessage([mime_record(MIME, payload)]))
+
+
+@pytest.fixture
+def app(scenario, phone):
+    return scenario.start(phone, ProfileApp)
+
+
+class TestMigration:
+    def test_v1_tag_migrates_on_discovery(self, scenario, phone, app):
+        scenario.put(v1_tag("Ada Lovelace"), phone)
+        assert app.things.wait_for_count(1)
+        thing = app.things.snapshot()[0]
+        assert thing.full_name == "Ada Lovelace"
+        assert thing.country == "BE"
+        assert app.migrations.snapshot() == [1]
+
+    def test_v2_tag_reads_without_migration(self, scenario, phone, app):
+        scenario.put(v2_tag("Grace Hopper", "US"), phone)
+        assert app.things.wait_for_count(1)
+        assert app.things.snapshot()[0].country == "US"
+        assert len(app.migrations) == 0
+
+    def test_future_version_disregarded(self, scenario, phone, app):
+        payload = json.dumps({"full_name": "x", "_schema": 99}).encode()
+        tag = make_tag(content=NdefMessage([mime_record(MIME, payload)]))
+        scenario.put(tag, phone)
+        assert phone.sync()
+        assert len(app.things) == 0  # unconvertible -> disregarded
+
+    def test_saves_stamp_current_version(self, scenario, phone, app):
+        tag = make_tag()
+        scenario.put(tag, phone)
+        assert app.empties.wait_for_count(1)
+        empty = app.empties.snapshot()[0]
+        saved = EventLog()
+        phone.main_looper.post(
+            lambda: empty.initialize(
+                ProfileV2(app, "Katherine Johnson", "US"),
+                on_saved=lambda t: saved.append(t),
+            )
+        )
+        assert saved.wait_for_count(1)
+        stored = json.loads(tag.read_ndef()[0].payload)
+        assert stored["_schema"] == 2
+        assert stored["full_name"] == "Katherine Johnson"
+
+    def test_migrated_thing_can_be_saved_forward(self, scenario, phone, app):
+        """Reading a v1 tag and saving writes it back as v2."""
+        tag = v1_tag("Old Format")
+        scenario.put(tag, phone)
+        assert app.things.wait_for_count(1)
+        thing = app.things.snapshot()[0]
+        saved = EventLog()
+        phone.main_looper.post(
+            lambda: thing.save_async(on_saved=lambda t: saved.append(t))
+        )
+        assert saved.wait_for_count(1)
+        stored = json.loads(tag.read_ndef()[0].payload)
+        assert stored["_schema"] == 2
+        assert "name" not in stored
+        assert stored["full_name"] == "Old Format"
+
+
+class TestDefaultVersioning:
+    def test_version_one_things_carry_no_stamp(self, scenario, phone):
+        """Unversioned thing classes keep the paper's plain wire format."""
+
+        class Plain(Thing):
+            value: str
+
+            def __init__(self, activity, value=""):
+                super().__init__(activity)
+                self.value = value
+
+        class PlainApp(ThingActivity):
+            THING_CLASS = Plain
+
+            def on_create(self):
+                self.empties = EventLog()
+
+            def when_discovered_empty(self, empty):
+                self.empties.append(empty)
+
+        app = scenario.start(phone, PlainApp)
+        tag = make_tag()
+        scenario.put(tag, phone)
+        assert app.empties.wait_for_count(1)
+        saved = EventLog()
+        empty = app.empties.snapshot()[0]
+        phone.main_looper.post(
+            lambda: empty.initialize(
+                Plain(app, "x"), on_saved=lambda t: saved.append(t)
+            )
+        )
+        assert saved.wait_for_count(1)
+        stored = json.loads(tag.read_ndef()[0].payload)
+        assert "_schema" not in stored
