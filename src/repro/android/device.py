@@ -24,6 +24,7 @@ from repro.android.activity import Activity, ActivityState
 from repro.android.looper import Looper
 from repro.android.nfc.adapter import NfcAdapter
 from repro.concurrent import EventLog, ResultBox
+from repro.core.scheduler import Reactor
 from repro.errors import LifecycleError
 from repro.radio.environment import RfidEnvironment
 from repro.radio.port import NfcAdapterPort
@@ -48,6 +49,8 @@ class AndroidDevice:
         self._activities: List[Activity] = []  # back stack; last = foreground
         self._services: List[object] = []
         self._stack_lock = threading.Lock()
+        self._reactor: Optional[Reactor] = None
+        self._reactor_lock = threading.Lock()
         self.toasts = EventLog()
 
     # -- accessors -----------------------------------------------------------
@@ -67,6 +70,21 @@ class AndroidDevice:
     @property
     def nfc_adapter(self) -> NfcAdapter:
         return self._adapter
+
+    @property
+    def reactor(self) -> Reactor:
+        """The device's shared reference scheduler (created lazily).
+
+        All tag references of all activities on this device multiplex
+        their event loops onto this one bounded pool; see
+        :mod:`repro.core.scheduler`.
+        """
+        with self._reactor_lock:
+            if self._reactor is None:
+                self._reactor = Reactor(
+                    clock=self._env.clock, name=f"{self.name}-reactor"
+                )
+            return self._reactor
 
     @property
     def foreground_activity(self) -> Optional[Activity]:
@@ -223,6 +241,10 @@ class AndroidDevice:
             self.stop_service(service)
         while self.foreground_activity is not None:
             self.finish_activity()
+        with self._reactor_lock:
+            reactor = self._reactor
+        if reactor is not None:
+            reactor.stop()
         self._looper.quit()
 
     # -- internals ----------------------------------------------------------------------

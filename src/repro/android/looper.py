@@ -10,6 +10,12 @@ The looper supports immediate and delayed posts, a ``sync`` barrier for
 tests (post a no-op and wait until it drains), and clean shutdown. Time
 for delayed posts flows through the injectable clock so manual-clock
 simulations stay deterministic.
+
+Delayed posts are event-driven, never polled: with a real clock the pump
+waits exactly until the earliest due time; with a
+:class:`~repro.clock.ManualClock` the looper subscribes to advance
+notifications and sleeps until simulated time actually moves. Exotic
+clocks that support neither fall back to a coarse real-time poll.
 """
 
 from __future__ import annotations
@@ -25,9 +31,9 @@ from repro.errors import LooperError
 
 Runnable = Callable[[], None]
 
-# How long the looper thread waits on its condition when a delayed message
-# is pending; small enough that ManualClock advances are noticed promptly.
-_DELAY_POLL_SECONDS = 0.002
+# Fallback slice for clocks that neither notify on advance nor run in
+# real time; unused with the shipped SystemClock/ManualClock.
+_DELAY_POLL_SECONDS = 0.01
 
 
 class Looper:
@@ -43,10 +49,18 @@ class Looper:
         self._idle = True
         self._processed = 0
         self._errors: List[BaseException] = []
+        self._clock_notifies = hasattr(self._clock, "add_listener")
+        self._clock_is_realtime = isinstance(self._clock, SystemClock)
+        if self._clock_notifies:
+            self._clock.add_listener(self._on_clock_advance)
         self._thread = threading.Thread(
             target=self._loop, name=f"looper-{name}", daemon=True
         )
         self._thread.start()
+
+    def _on_clock_advance(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
 
     # -- posting -------------------------------------------------------------
 
@@ -124,6 +138,8 @@ class Looper:
             self._quit = True
             self._queue.clear()
             self._cond.notify_all()
+        if self._clock_notifies:
+            self._clock.remove_listener(self._on_clock_advance)
         if not self.is_current_thread:
             self._thread.join(timeout)
 
@@ -162,9 +178,14 @@ class Looper:
                         heapq.heappop(self._queue)
                         self._idle = False
                         return runnable
-                    # Delayed message pending: wait a short real-time slice
-                    # and re-check the (possibly manual) clock.
-                    self._cond.wait(_DELAY_POLL_SECONDS)
+                    # Delayed message pending: wait until it can be due.
+                    # A new post or a clock advance notifies the cond.
+                    if self._clock_notifies:
+                        self._cond.wait()
+                    elif self._clock_is_realtime:
+                        self._cond.wait(due - now)
+                    else:
+                        self._cond.wait(_DELAY_POLL_SECONDS)
                 else:
                     self._cond.wait()
 

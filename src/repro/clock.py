@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Protocol, runtime_checkable
+from typing import Callable, List, Protocol, runtime_checkable
 
 
 @runtime_checkable
@@ -52,11 +52,19 @@ class ManualClock:
     blocking, which keeps single-threaded simulations deterministic.
     Threads blocked in :meth:`wait_until` are woken whenever
     :meth:`advance` moves time past their deadline.
+
+    Components that keep their own deadline queues (the reactor in
+    :mod:`repro.core.scheduler`, :class:`repro.android.looper.Looper`)
+    subscribe via :meth:`add_listener` and are notified after every
+    :meth:`advance` / :meth:`set`, so time-driven wakeups need no
+    real-time polling. Listeners are invoked *outside* the clock's lock
+    and must be cheap and non-blocking (typically a condition notify).
     """
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._cond = threading.Condition()
+        self._listeners: List[Callable[[], None]] = []
 
     def now(self) -> float:
         with self._cond:
@@ -67,6 +75,16 @@ class ManualClock:
             raise ValueError("cannot sleep a negative duration")
         self.advance(seconds)
 
+    def add_listener(self, listener: Callable[[], None]) -> None:
+        """Subscribe to time advances; called after each advance/set."""
+        with self._cond:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[], None]) -> None:
+        with self._cond:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
     def advance(self, seconds: float) -> None:
         """Move time forward and wake any deadline waiters."""
         if seconds < 0:
@@ -74,6 +92,9 @@ class ManualClock:
         with self._cond:
             self._now += seconds
             self._cond.notify_all()
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener()
 
     def set(self, timestamp: float) -> None:
         """Jump to an absolute time (must not move backwards)."""
@@ -82,6 +103,9 @@ class ManualClock:
                 raise ValueError("cannot move a ManualClock backwards")
             self._now = timestamp
             self._cond.notify_all()
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener()
 
     def wait_until(self, deadline: float, real_timeout: float = 5.0) -> bool:
         """Block until the manual time reaches ``deadline``.

@@ -39,6 +39,7 @@ from repro.core.listeners import (
 )
 from repro.core.operations import Operation, OperationKind, OperationOutcome
 from repro.core.reference import TagReference
+from repro.core.scheduler import Reactor, ReactorTask, default_worker_count
 from repro.core.futures import (
     OperationFuture,
     OperationTimeoutError,
@@ -54,6 +55,9 @@ from repro.core.beam import Beamer, BeamReceivedListener
 __all__ = [
     "TagReference",
     "TagReferenceFactory",
+    "Reactor",
+    "ReactorTask",
+    "default_worker_count",
     "TagDiscoverer",
     "NFCActivity",
     "Beamer",

@@ -42,11 +42,15 @@ class TagReferenceFactory:
         read_converter: NdefMessageToObjectConverter,
         write_converter: ObjectToNdefMessageConverter,
         default_timeout: Optional[float] = None,
+        threaded: Optional[bool] = None,
     ) -> "tuple[TagReference, bool]":
         """Return ``(reference, is_new)`` for the tag's UID.
 
         The converters only matter on first creation; later lookups return
         the existing reference unchanged, preserving its queue and cache.
+        New references run on the device's shared reactor (one bounded
+        worker pool per device) unless ``threaded=True`` selects the
+        paper-literal thread-per-reference mode.
         """
         with self._lock:
             existing = self._references.get(tag.id)
@@ -55,6 +59,8 @@ class TagReferenceFactory:
             kwargs = {}
             if default_timeout is not None:
                 kwargs["default_timeout"] = default_timeout
+            if threaded is not None:
+                kwargs["threaded"] = threaded
             reference = TagReference(
                 tag,
                 self._activity,

@@ -8,11 +8,15 @@ Paper section 3.2. A tag reference
   ``make_read_only``), each operation carrying an optional success and
   failure listener and a timeout;
 * keeps a **queue** of pending operations and a **private event loop**
-  with its own thread of control that repeatedly tries to process the
-  first operation in the queue: a failed attempt leaves the operation
-  queued (decoupling in time -- no error surfaces), success removes it and
-  fires the success listener, and passing its timeout removes it and fires
-  the failure listener;
+  with its own *logical* thread of control that repeatedly tries to
+  process the first operation in the queue: a failed attempt leaves the
+  operation queued (decoupling in time -- no error surfaces), success
+  removes it and fires the success listener, and passing its timeout
+  removes it and fires the failure listener. By default the event loop
+  is a :class:`~repro.core.scheduler.ReactorTask` multiplexed onto the
+  device's shared bounded worker pool (see :mod:`repro.core.scheduler`);
+  pass ``threaded=True`` for the paper-literal one-OS-thread-per-
+  reference mode;
 * guarantees that an operation is **never processed before previously
   scheduled operations** were processed (or timed out);
 * schedules all listeners on the **activity's main thread**, so the
@@ -26,6 +30,18 @@ retried silently. Permanent failures (message exceeds tag capacity, tag is
 read-only or worn out, the converter rejected the object) settle the
 operation immediately with its failure listener -- retrying cannot fix
 those.
+
+Cancellation semantics (unified, see DESIGN.md decision 8):
+application-initiated cancellation (:meth:`TagReference.cancel`,
+:meth:`TagReference.cancel_all`) is **silent** -- the caller initiated
+it and needs no callback; no listener ever fires for those operations.
+Lifecycle teardown (:meth:`TagReference.stop`) is silent by default but
+fires the **failure listeners** of pending operations when called with
+``notify_pending=True``, because at teardown the application may need
+to flush callbacks that would otherwise wait forever. In every case a
+cancelled operation settles as ``CANCELLED`` exactly once, even when
+its radio attempt was in flight (and even if that attempt succeeds on
+the air -- the honest race of a distributed cancel).
 """
 
 from __future__ import annotations
@@ -41,8 +57,10 @@ from repro.core.converters import (
 )
 from repro.core.listeners import ListenerLike, as_callback
 from repro.core.operations import Operation, OperationKind, OperationOutcome
+from repro.core.scheduler import Reactor, ReactorTask
 from repro.errors import (
     ConverterError,
+    LooperError,
     MorenaError,
     NdefError,
     NotInFieldError,
@@ -64,9 +82,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 DEFAULT_TIMEOUT_SECONDS = 5.0
 DEFAULT_RETRY_INTERVAL_SECONDS = 0.02
 
-# Real-time slice the event loop waits between deadline checks; small so
-# that ManualClock-driven simulations observe advances promptly.
+# Real-time slice the legacy threaded event loop waits between deadline
+# checks; small so that ManualClock simulations observe advances promptly.
 _WAIT_SLICE_SECONDS = 0.01
+
+# How many queued operations one reactor quantum may process back-to-back
+# before yielding its worker. Within a burst, latency between consecutive
+# operations (e.g. a pipelined format -> write) matches the dedicated-
+# thread mode; the cap keeps one busy reference from hogging a worker.
+_STEP_BURST_OPS = 64
 
 _TRANSIENT_ERRORS = (TagLostError, NotInFieldError, TagFormatError)
 _PERMANENT_ERRORS = (
@@ -96,6 +120,8 @@ class TagReference:
         write_converter: ObjectToNdefMessageConverter,
         default_timeout: float = DEFAULT_TIMEOUT_SECONDS,
         retry_interval: float = DEFAULT_RETRY_INTERVAL_SECONDS,
+        threaded: bool = False,
+        reactor: Optional[Reactor] = None,
     ) -> None:
         self._tag = tag
         self._activity = activity
@@ -113,7 +139,13 @@ class TagReference:
         self._cached_object: Any = None
         self._cached_message: Optional[NdefMessage] = None
         self._has_cache = False
-        self._connected = True  # created upon discovery, i.e. in the field
+        # Usually created upon discovery (i.e. in the field), but a
+        # reference can also be created for an already-departed tag --
+        # query the field so the first connectivity transition a
+        # listener sees is never against a stale initial state.
+        self._connected = self._port.environment.tag_in_field(
+            tag.simulated, self._port
+        )
         self._connectivity_listeners: List[ConnectivityListener] = []
 
         # Statistics, exposed for tests and benchmarks.
@@ -122,13 +154,21 @@ class TagReference:
         self.timeouts = 0
         self.permanent_failures = 0
 
-        self._port.add_field_listener(self._on_field_event)
-        self._thread = threading.Thread(
-            target=self._event_loop,
-            name=f"tagref-{tag.id_hex}",
-            daemon=True,
-        )
-        self._thread.start()
+        self._port.add_tag_listener(tag.simulated, self._on_field_event)
+        self._thread: Optional[threading.Thread] = None
+        self._task: Optional[ReactorTask] = None
+        if threaded:
+            # Paper-literal mode: one OS thread per reference. Kept for
+            # the event-loop ablation bench and as an escape hatch.
+            self._thread = threading.Thread(
+                target=self._event_loop,
+                name=f"tagref-{tag.id_hex}",
+                daemon=True,
+            )
+            self._thread.start()
+        else:
+            shared = reactor if reactor is not None else activity.device.reactor
+            self._task = shared.register(self._step, name=f"tagref-{tag.id_hex}")
 
     # -- identity & cached state --------------------------------------------------
 
@@ -192,14 +232,20 @@ class TagReference:
 
     def notify_redetected(self) -> None:
         """Wake the event loop; called by the discoverer on re-detection."""
-        with self._cond:
-            self._cond.notify_all()
+        self._wake()
+
+    def _wake(self) -> None:
+        """Wake the event loop in whichever mode it runs."""
+        if self._task is not None:
+            self._task.wake()
+        else:
+            with self._cond:
+                self._cond.notify_all()
 
     def _on_field_event(self, event: FieldEvent) -> None:
         if isinstance(event, TagEntered) and event.tag is self._tag.simulated:
             self._set_connected(True)
-            with self._cond:
-                self._cond.notify_all()
+            self._wake()
         elif isinstance(event, TagLeft) and event.tag is self._tag.simulated:
             self._set_connected(False)
 
@@ -356,7 +402,14 @@ class TagReference:
             return True
 
     def cancel_all(self) -> int:
-        """Cancel every queued operation; returns how many were cancelled."""
+        """Cancel every queued operation; returns how many were cancelled.
+
+        Like :meth:`cancel` this is **silent**: no success or failure
+        listener fires for the cancelled operations (the caller asked for
+        the cancellation, so there is nobody left to inform). To tear the
+        reference down *and* flush failure listeners for whatever is
+        still pending, use ``stop(notify_pending=True)`` instead.
+        """
         with self._cond:
             cancelled = list(self._queue)
             self._queue.clear()
@@ -386,8 +439,12 @@ class TagReference:
     def stop(self, notify_pending: bool = False, join_timeout: float = 5.0) -> None:
         """Stop the private event loop.
 
-        Pending operations become ``CANCELLED``; with ``notify_pending``
-        their failure listeners are scheduled a final time.
+        Pending operations become ``CANCELLED``. By default that is
+        silent, mirroring :meth:`cancel_all`; with ``notify_pending``
+        their failure listeners are scheduled a final time (the teardown
+        variant for applications that must flush callbacks). An
+        operation whose radio attempt is in flight at the moment of the
+        stop is cancelled too and never settles otherwise.
         """
         with self._cond:
             if self._stopped:
@@ -400,8 +457,10 @@ class TagReference:
             operation.outcome = OperationOutcome.CANCELLED
             if notify_pending:
                 self._post_listener(operation.on_failure, self)
-        self._port.remove_field_listener(self._on_field_event)
-        if threading.current_thread() is not self._thread:
+        self._port.remove_tag_listener(self._tag.simulated, self._on_field_event)
+        if self._task is not None:
+            self._task.wake()  # let the reactor observe the stop and go idle
+        if self._thread is not None and threading.current_thread() is not self._thread:
             self._thread.join(join_timeout)
 
     # -- internals -------------------------------------------------------------------------------
@@ -433,8 +492,64 @@ class TagReference:
                 )
             self._queue.append(operation)
             self._cond.notify_all()
+        if self._task is not None:
+            self._task.wake()
+
+    def _step(self) -> Optional[float]:
+        """One scheduling quantum of the logical event loop (reactor mode).
+
+        Runs on a reactor worker, serialized per reference. Returns
+        ``None`` to go idle until an external wakeup (enqueue, field
+        event, redetection), or the absolute clock time at which the
+        reactor should run the next quantum (a time already reached
+        means "immediately" -- more queued work). Crucially this never
+        sleeps on the worker: retry backoff and timeout expiry are
+        delegated to the reactor's deadline heap, so an absent tag's
+        retries occupy no thread and cannot starve other references.
+        """
+        for _ in range(_STEP_BURST_OPS):
+            head: Optional[Operation] = None
+            with self._cond:
+                if self._stopped:
+                    return None
+                self._expire_locked()
+                if not self._queue:
+                    return None
+                if not self._tag_present():
+                    # Decoupled in time: keep the queue, wait for the field.
+                    # A TagEntered event wakes us; the earliest deadline
+                    # bounds the wait so timeouts still fire while away.
+                    return self._earliest_deadline_locked()
+                head = self._queue[0]
+            outcome, error = self._attempt(head)
+            with self._cond:
+                if self._stopped:
+                    return None
+                if outcome is OperationOutcome.SUCCEEDED:
+                    if self._queue and self._queue[0] is head:
+                        self._queue.popleft()
+                    self.successes += 1
+                elif outcome is OperationOutcome.FAILED:
+                    if self._queue and self._queue[0] is head:
+                        self._queue.popleft()
+                    self.permanent_failures += 1
+                else:
+                    # Transient failure: the operation stays at the head
+                    # of the queue; back off until the retry interval or
+                    # the earliest deadline, whichever comes first.
+                    retry_at = self._clock.now() + self._retry_interval
+                    return min(retry_at, self._earliest_deadline_locked())
+            self._settle(head, outcome, error)
+        with self._cond:
+            if self._queue and not self._stopped:
+                return self._clock.now()  # burst cap hit: yield, then resume
+        return None
+
+    def _earliest_deadline_locked(self) -> float:
+        return min(operation.deadline for operation in self._queue)
 
     def _event_loop(self) -> None:
+        """The legacy ``threaded=True`` loop: one OS thread, private waits."""
         while True:
             head: Optional[Operation] = None
             with self._cond:
@@ -549,9 +664,11 @@ class TagReference:
         """Schedule a listener on the activity's main thread.
 
         If the main looper has already quit (activity torn down) the
-        listener is dropped -- there is no UI left to inform.
+        listener is dropped -- there is no UI left to inform. Only that
+        ``LooperError`` is swallowed: a programming error in the
+        middleware must surface, not masquerade as a quiet shutdown.
         """
         try:
             self._looper.post(lambda: callback(*args))
-        except Exception:  # noqa: BLE001 - looper quit during shutdown
+        except LooperError:  # looper quit during shutdown
             pass

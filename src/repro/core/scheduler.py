@@ -1,0 +1,278 @@
+"""The reactor: multiplexes many logical event loops onto few threads.
+
+The paper gives every tag reference "its own thread of control"
+(section 3.2). That is a statement about *logical* concurrency — each
+reference processes its queue independently, so a tag that is out of
+range never head-of-line blocks a tag that is present. The seed
+reproduced it literally with one OS thread per reference, which caps a
+process at a few hundred live references and burns CPU in polling
+waits. Following RAFDA's separation of the logical object model from
+the physical distribution policy (see PAPERS.md and DESIGN.md decision
+7), this module keeps the per-reference event-loop *semantics* while
+multiplexing execution onto a bounded worker pool:
+
+* every logical loop is a :class:`ReactorTask` — a ``step`` callable
+  that runs one scheduling quantum and reports when it next wants to
+  run;
+* a task is **serial**: the reactor never runs the same task on two
+  workers at once (wakeups arriving mid-step set a rerun flag), so each
+  reference keeps its per-tag FIFO guarantees without extra locking;
+* tasks never sleep on a worker — a task waiting for a retry interval,
+  an operation deadline, or a tag to reappear *returns*, freeing its
+  worker, and is re-queued by the deadline heap or an external
+  :meth:`ReactorTask.wake` (field events, enqueues, clock advances);
+* the pool is bounded (default ``min(32, 4 × cores)``) and lazily
+  grown, so a thousand idle references cost zero threads and zero CPU.
+
+Time handling is fully event-driven. With a real clock the timer waits
+exactly until the earliest deadline; with a :class:`~repro.clock.
+ManualClock` the reactor subscribes to advance notifications, so
+simulated time only needs to move for deadlines to fire. Clocks that
+support neither fall back to a coarse real-time poll.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import threading
+import traceback
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.clock import Clock, SystemClock
+
+# A task step runs one quantum and returns when it next wants to run:
+# ``None`` for "idle until woken externally", or an absolute clock time
+# ("now or earlier" means immediately).
+StepFn = Callable[[], Optional[float]]
+
+# Fallback real-time slice for exotic clocks that are neither a
+# SystemClock nor advance-notifying; never used with the shipped clocks.
+_FALLBACK_POLL_SECONDS = 0.01
+
+_IDLE = 0  # not scheduled; runs only when woken
+_QUEUED = 1  # in the ready queue, a worker will pick it up
+_RUNNING = 2  # a worker is executing its step right now
+
+
+def default_worker_count() -> int:
+    """The default pool bound: ``min(32, 4 × cores)``, at least 1."""
+    return max(1, min(32, 4 * (os.cpu_count() or 1)))
+
+
+class ReactorTask:
+    """One logical event loop registered with a :class:`Reactor`.
+
+    The reactor guarantees the ``step`` callable is never executed
+    concurrently with itself, and that a :meth:`wake` arriving while a
+    step runs leads to another step afterwards (no lost wakeups).
+    """
+
+    __slots__ = ("name", "_reactor", "_step", "_state", "_rerun")
+
+    def __init__(self, reactor: "Reactor", step: StepFn, name: str) -> None:
+        self.name = name
+        self._reactor = reactor
+        self._step = step
+        self._state = _IDLE
+        self._rerun = False
+
+    def wake(self) -> None:
+        """Schedule a step as soon as a worker is free (coalescing)."""
+        self._reactor._wake(self)
+
+    def __repr__(self) -> str:
+        return f"ReactorTask({self.name!r})"
+
+
+class Reactor:
+    """A bounded worker pool driving many serial tasks by deadline.
+
+    One reactor per simulated device (see ``AndroidDevice.reactor``);
+    all of the device's tag references share its workers. Constructing a
+    reactor is cheap — no threads exist until the first task is woken.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        max_workers: Optional[int] = None,
+        name: str = "reactor",
+    ) -> None:
+        self.name = name
+        self._clock = clock if clock is not None else SystemClock()
+        self._max_workers = max(
+            1, max_workers if max_workers is not None else default_worker_count()
+        )
+        self._cond = threading.Condition()
+        self._ready: Deque[ReactorTask] = deque()
+        self._timers: List[Tuple[float, int, ReactorTask]] = []  # deadline heap
+        self._seq = itertools.count()
+        self._workers: List[threading.Thread] = []
+        self._idle_workers = 0
+        self._timer_thread: Optional[threading.Thread] = None
+        self._started = False
+        self._stopped = False
+        self._steps = 0
+        # How deadlines are waited for: an advance-notifying clock wakes
+        # us, a real clock gets an exact timed wait, anything else polls.
+        self._clock_notifies = hasattr(self._clock, "add_listener")
+        self._clock_is_realtime = isinstance(self._clock, SystemClock)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    @property
+    def thread_count(self) -> int:
+        """Live reactor threads (workers + timer), for tests/benches."""
+        with self._cond:
+            count = sum(1 for worker in self._workers if worker.is_alive())
+            if self._timer_thread is not None and self._timer_thread.is_alive():
+                count += 1
+            return count
+
+    @property
+    def steps_executed(self) -> int:
+        with self._cond:
+            return self._steps
+
+    @property
+    def is_stopped(self) -> bool:
+        with self._cond:
+            return self._stopped
+
+    def __repr__(self) -> str:
+        return (
+            f"Reactor({self.name!r}, workers={len(self._workers)}/"
+            f"{self._max_workers})"
+        )
+
+    # -- task registration ------------------------------------------------------
+
+    def register(self, step: StepFn, name: str = "task") -> ReactorTask:
+        """Create a serial task; it stays idle until its first wake."""
+        return ReactorTask(self, step, name)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def stop(self, join_timeout: float = 2.0) -> None:
+        """Stop workers and timer; queued tasks are dropped."""
+        with self._cond:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._ready.clear()
+            self._timers.clear()
+            self._cond.notify_all()
+            threads = list(self._workers)
+            if self._timer_thread is not None:
+                threads.append(self._timer_thread)
+        if self._clock_notifies and self._started:
+            self._clock.remove_listener(self._on_clock_advance)
+        current = threading.current_thread()
+        for thread in threads:
+            if thread is not current:
+                thread.join(join_timeout)
+
+    # -- internals: scheduling --------------------------------------------------
+
+    def _wake(self, task: ReactorTask) -> None:
+        with self._cond:
+            if self._stopped:
+                return
+            self._wake_locked(task)
+
+    def _wake_locked(self, task: ReactorTask) -> None:
+        if task._state == _IDLE:
+            task._state = _QUEUED
+            self._ready.append(task)
+            self._ensure_started_locked()
+            self._ensure_worker_locked()
+            self._cond.notify_all()
+        elif task._state == _RUNNING:
+            task._rerun = True
+        # _QUEUED: already scheduled, the wake coalesces.
+
+    def _schedule_at_locked(self, task: ReactorTask, when: float) -> None:
+        heapq.heappush(self._timers, (when, next(self._seq), task))
+        self._ensure_started_locked()
+        self._cond.notify_all()  # the timer thread re-evaluates its wait
+
+    def _ensure_started_locked(self) -> None:
+        if self._started or self._stopped:
+            return
+        self._started = True
+        if self._clock_notifies:
+            self._clock.add_listener(self._on_clock_advance)
+        self._timer_thread = threading.Thread(
+            target=self._timer_loop, name=f"{self.name}-timer", daemon=True
+        )
+        self._timer_thread.start()
+
+    def _ensure_worker_locked(self) -> None:
+        if self._idle_workers == 0 and len(self._workers) < self._max_workers:
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"{self.name}-worker-{len(self._workers)}",
+                daemon=True,
+            )
+            self._workers.append(worker)
+            worker.start()
+
+    def _on_clock_advance(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- internals: the pool -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._ready and not self._stopped:
+                    self._idle_workers += 1
+                    self._cond.wait()
+                    self._idle_workers -= 1
+                if self._stopped:
+                    return
+                task = self._ready.popleft()
+                task._state = _RUNNING
+                task._rerun = False
+                self._steps += 1
+            try:
+                when = task._step()
+            except BaseException:  # noqa: BLE001 - a task must not kill the pool
+                traceback.print_exc()
+                when = None
+            with self._cond:
+                if self._stopped:
+                    return
+                task._state = _IDLE
+                if task._rerun or (when is not None and when <= self._clock.now()):
+                    self._wake_locked(task)
+                elif when is not None:
+                    self._schedule_at_locked(task, when)
+
+    def _timer_loop(self) -> None:
+        while True:
+            with self._cond:
+                if self._stopped:
+                    return
+                now = self._clock.now()
+                while self._timers and self._timers[0][0] <= now:
+                    _due, _seq, task = heapq.heappop(self._timers)
+                    self._wake_locked(task)
+                if not self._timers:
+                    self._cond.wait()
+                elif self._clock_notifies:
+                    # A ManualClock advance (or a new earlier deadline)
+                    # notifies us; no real time needs to pass.
+                    self._cond.wait()
+                elif self._clock_is_realtime:
+                    self._cond.wait(max(self._timers[0][0] - now, 0.0))
+                else:
+                    self._cond.wait(_FALLBACK_POLL_SECONDS)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.clock import Clock, SystemClock
 from repro.errors import RadioError
@@ -94,29 +94,23 @@ class RfidEnvironment:
 
     def move_tag_into_field(self, tag: SimulatedTag, port: NfcAdapterPort) -> None:
         """Bring ``tag`` into reading range of ``port`` (idempotent)."""
-        listeners: List[Callable] = []
         with self._lock:
             field = self._field_of(port)
             if tag in field:
                 return
             field.add(tag)
-            listeners = port.snapshot_listeners()
-        event = TagEntered(tag)
-        for listener in listeners:
-            listener(event)
+        # The port routes the event to its generic listeners plus the
+        # listeners registered for exactly this tag (wakeup fan-out).
+        port.dispatch_field_event(TagEntered(tag))
 
     def remove_tag_from_field(self, tag: SimulatedTag, port: NfcAdapterPort) -> None:
         """Take ``tag`` out of range of ``port`` (idempotent)."""
-        listeners: List[Callable] = []
         with self._lock:
             field = self._field_of(port)
             if tag not in field:
                 return
             field.discard(tag)
-            listeners = port.snapshot_listeners()
-        event = TagLeft(tag)
-        for listener in listeners:
-            listener(event)
+        port.dispatch_field_event(TagLeft(tag))
 
     def tag_in_field(self, tag: SimulatedTag, port: NfcAdapterPort) -> bool:
         with self._lock:
@@ -163,7 +157,6 @@ class RfidEnvironment:
         """Put two phones in Beam range of each other (idempotent)."""
         if a is b:
             raise RadioError("a phone cannot be in Beam range of itself")
-        notify: List[Tuple[Callable, object]] = []
         with self._lock:
             self._check_owned(a)
             self._check_owned(b)
@@ -171,27 +164,18 @@ class RfidEnvironment:
             if pair in self._proximities:
                 return
             self._proximities.add(pair)
-            for listener in a.snapshot_listeners():
-                notify.append((listener, PeerEntered(b.name)))
-            for listener in b.snapshot_listeners():
-                notify.append((listener, PeerEntered(a.name)))
-        for listener, event in notify:
-            listener(event)
+        a.dispatch_field_event(PeerEntered(b.name))
+        b.dispatch_field_event(PeerEntered(a.name))
 
     def separate(self, a: NfcAdapterPort, b: NfcAdapterPort) -> None:
         """Move two phones out of Beam range (idempotent)."""
-        notify: List[Tuple[Callable, object]] = []
         with self._lock:
             pair = self._pair(a.name, b.name)
             if pair not in self._proximities:
                 return
             self._proximities.discard(pair)
-            for listener in a.snapshot_listeners():
-                notify.append((listener, PeerLeft(b.name)))
-            for listener in b.snapshot_listeners():
-                notify.append((listener, PeerLeft(a.name)))
-        for listener, event in notify:
-            listener(event)
+        a.dispatch_field_event(PeerLeft(b.name))
+        b.dispatch_field_event(PeerLeft(a.name))
 
     def peers_of(self, port: NfcAdapterPort) -> List[NfcAdapterPort]:
         with self._lock:

@@ -13,17 +13,27 @@ class FieldEvent:
 
 
 @dataclass(frozen=True)
-class TagEntered(FieldEvent):
-    """A tag came into the reading range of a port."""
+class TagFieldEvent(FieldEvent):
+    """Base class for events about one specific tag.
+
+    The ``tag`` attribute lets ports route these to the listeners
+    registered for exactly that tag (``NfcAdapterPort.add_tag_listener``)
+    instead of fanning every event out to every listener -- with
+    thousands of tag references per port, per-event cost stays O(1)
+    in the number of references.
+    """
 
     tag: SimulatedTag
 
 
 @dataclass(frozen=True)
-class TagLeft(FieldEvent):
-    """A tag left the reading range of a port."""
+class TagEntered(TagFieldEvent):
+    """A tag came into the reading range of a port."""
 
-    tag: SimulatedTag
+
+@dataclass(frozen=True)
+class TagLeft(TagFieldEvent):
+    """A tag left the reading range of a port."""
 
 
 @dataclass(frozen=True)

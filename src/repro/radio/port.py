@@ -16,7 +16,7 @@ raw physical layer the Android tech classes wrap:
 from __future__ import annotations
 
 import threading
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.clock import Clock
 from repro.errors import (
@@ -58,6 +58,10 @@ class NfcAdapterPort:
         self._timing = timing
         self.corrupt_on_tear = corrupt_on_tear
         self._listeners: List[Callable[[FieldEvent], None]] = []
+        # Listeners interested in exactly one tag, keyed by tag identity;
+        # tag references register here so a field event touches only the
+        # listeners of the tag it concerns (O(1) fan-out, not O(refs)).
+        self._tag_listeners: Dict[SimulatedTag, List[Callable[[FieldEvent], None]]] = {}
         self._beam_handler: Optional[BeamHandler] = None
         self._snep_server: Optional[SnepServer] = None
         self._snep_get_provider: Optional[Callable[[str, bytes], Optional[bytes]]] = None
@@ -97,6 +101,39 @@ class NfcAdapterPort:
     def snapshot_listeners(self) -> List[Callable[[FieldEvent], None]]:
         with self._lock:
             return list(self._listeners)
+
+    def add_tag_listener(
+        self, tag: SimulatedTag, listener: Callable[[FieldEvent], None]
+    ) -> None:
+        """Observe field events concerning ``tag`` only (O(1) routing)."""
+        with self._lock:
+            self._tag_listeners.setdefault(tag, []).append(listener)
+
+    def remove_tag_listener(
+        self, tag: SimulatedTag, listener: Callable[[FieldEvent], None]
+    ) -> None:
+        with self._lock:
+            listeners = self._tag_listeners.get(tag)
+            if listeners is None:
+                return
+            if listener in listeners:
+                listeners.remove(listener)
+            if not listeners:
+                del self._tag_listeners[tag]
+
+    def dispatch_field_event(self, event: FieldEvent) -> None:
+        """Deliver ``event`` to the generic listeners plus -- for tag
+        events -- the listeners registered for that specific tag.
+
+        Called by the environment outside its own lock; listener bodies
+        are trivial (they post to loopers or wake reactor tasks)."""
+        with self._lock:
+            targets = list(self._listeners)
+            tag = getattr(event, "tag", None)
+            if tag is not None and tag in self._tag_listeners:
+                targets.extend(self._tag_listeners[tag])
+        for listener in targets:
+            listener(event)
 
     # -- tag operations -------------------------------------------------------------
 

@@ -1,9 +1,18 @@
-"""Tests for best-effort operation cancellation."""
+"""Tests for best-effort operation cancellation.
+
+The unified semantics (see ``repro.core.reference`` module docs):
+application-initiated ``cancel`` / ``cancel_all`` is silent; lifecycle
+``stop(notify_pending=True)`` fires the failure listeners of whatever is
+still pending. Either way a cancelled operation settles as ``CANCELLED``
+exactly once, even when its radio attempt was in flight.
+"""
 
 from repro.concurrent import EventLog, wait_until
 from repro.core.operations import OperationOutcome
+from repro.harness.scenario import Scenario
+from repro.radio.timing import TransferTiming
 
-from tests.conftest import make_reference, text_tag
+from tests.conftest import PlainNfcActivity, make_reference, text_tag
 
 
 class TestCancel:
@@ -66,3 +75,112 @@ class TestCancel:
     def test_cancel_all_on_empty_queue(self, scenario, phone, activity):
         reference = make_reference(activity, text_tag("x"), phone)
         assert reference.cancel_all() == 0
+
+
+class TestCancelRaces:
+    """Races between cancellation/stop and an in-flight radio attempt."""
+
+    def test_cancel_mid_attempt_settles_cancelled_exactly_once(self):
+        """Cancelling while the radio attempt is on the air: the data may
+        still land on the tag (the honest race of a distributed cancel),
+        but the operation stays CANCELLED and no listener ever fires."""
+        slow = TransferTiming(base_seconds=0.15, seconds_per_byte=0.0)
+        with Scenario(timing=slow) as scenario:
+            phone = scenario.add_phone("race-phone")
+            activity = scenario.start(phone, PlainNfcActivity)
+            tag = text_tag("x")
+            scenario.put(tag, phone)
+            reference = make_reference(activity, tag, phone)
+            log = EventLog()
+            operation = reference.write(
+                "slow",
+                on_written=lambda r: log.append("written"),
+                on_failed=lambda r: log.append("failed"),
+                timeout=30.0,
+            )
+            # The attempt counter ticks before the (slow) radio transfer,
+            # so this catches the operation while it is in flight.
+            assert wait_until(lambda: reference.attempts >= 1, timeout=5)
+            assert reference.cancel(operation)
+            assert operation.outcome is OperationOutcome.CANCELLED
+            # Let the in-flight attempt finish on the air.
+            assert wait_until(lambda: reference.successes >= 1, timeout=5)
+            assert phone.sync()
+            assert len(log) == 0  # silent despite the on-air success
+            assert operation.outcome is OperationOutcome.CANCELLED
+            assert tag.read_ndef()[0].payload == b"slow"  # it did land
+
+    def test_stop_with_pending_fires_failure_listeners(
+        self, scenario, phone, activity
+    ):
+        """stop(notify_pending=True) flushes every pending operation's
+        failure listener -- the teardown-time contrast to cancel_all."""
+        tag = text_tag("x")
+        reference = make_reference(activity, tag, phone)  # tag out of field
+        log = EventLog()
+        operations = [
+            reference.write(
+                f"w{i}",
+                on_written=lambda r: log.append("written"),
+                on_failed=lambda r, i=i: log.append(("failed", i)),
+            )
+            for i in range(4)
+        ]
+        reference.stop(notify_pending=True)
+        assert log.wait_for_count(4, timeout=5)
+        assert sorted(log.snapshot()) == [("failed", i) for i in range(4)]
+        assert all(
+            op.outcome is OperationOutcome.CANCELLED for op in operations
+        )
+
+    def test_stop_default_is_silent_like_cancel_all(
+        self, scenario, phone, activity
+    ):
+        tag = text_tag("x")
+        reference = make_reference(activity, tag, phone)
+        log = EventLog()
+        operations = [
+            reference.write(
+                f"w{i}",
+                on_written=lambda r: log.append("written"),
+                on_failed=lambda r: log.append("failed"),
+            )
+            for i in range(3)
+        ]
+        reference.stop()
+        assert phone.sync()
+        assert len(log) == 0
+        assert all(
+            op.outcome is OperationOutcome.CANCELLED for op in operations
+        )
+
+    def test_stop_with_pending_mid_attempt_settles_exactly_once(self):
+        """stop(notify_pending=True) racing an in-flight attempt: the
+        failure listener fires exactly once and the on-air result, even a
+        success, is discarded."""
+        slow = TransferTiming(base_seconds=0.15, seconds_per_byte=0.0)
+        with Scenario(timing=slow) as scenario:
+            phone = scenario.add_phone("stop-race-phone")
+            activity = scenario.start(phone, PlainNfcActivity)
+            tag = text_tag("x")
+            scenario.put(tag, phone)
+            reference = make_reference(activity, tag, phone)
+            log = EventLog()
+            operation = reference.write(
+                "slow",
+                on_written=lambda r: log.append("written"),
+                on_failed=lambda r: log.append("failed"),
+                timeout=30.0,
+            )
+            assert wait_until(lambda: reference.attempts >= 1, timeout=5)
+            reference.stop(notify_pending=True)
+            assert operation.outcome is OperationOutcome.CANCELLED
+            assert log.wait_for_count(1, timeout=5)
+            # Give the in-flight attempt time to complete; nothing more
+            # may fire and the outcome may not flip.
+            import time
+
+            time.sleep(0.3)
+            assert phone.sync()
+            assert log.snapshot() == ["failed"]
+            assert operation.outcome is OperationOutcome.CANCELLED

@@ -85,18 +85,29 @@ def test_interleaved_reads_observe_program_order(reads, writes):
 @given(st.integers(min_value=1, max_value=6))
 @settings(max_examples=20, deadline=None)
 def test_stop_leaves_no_thread_behind(operation_count):
-    """stop() always joins the private event loop, queue drained or not."""
+    """stop() always retires the private event loop, queue drained or not.
+
+    In the default reactor mode a reference owns no thread at all (its
+    logical loop is a task on the device's shared pool); in the legacy
+    ``threaded=True`` mode stop() must join the private thread.
+    """
     env = RfidEnvironment()
     phone = AndroidDevice("stop-phone", env)
     try:
         activity = phone.start_activity(PlainNfcActivity)
         tag = text_tag("x")  # never in the field: everything stays queued
+        threaded_tag = text_tag("y")
         reference = make_reference(activity, tag, phone)
+        threaded_ref = make_reference(activity, threaded_tag, phone, threaded=True)
         for index in range(operation_count):
             reference.write(f"w{index}")
+            threaded_ref.write(f"w{index}")
         reference.stop()
+        threaded_ref.stop()
         assert reference.is_stopped
         assert reference.pending_count == 0
-        assert not reference._thread.is_alive()
+        assert reference._thread is None  # reactor mode: no private thread
+        assert threaded_ref.is_stopped
+        assert not threaded_ref._thread.is_alive()
     finally:
         phone.shutdown()
