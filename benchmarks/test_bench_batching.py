@@ -28,13 +28,15 @@ UPDATES = 8
 WIFI_MIME = "application/vnd.morena.wificonfig"
 
 
-def run_morena() -> tuple:
-    """Returns (taps, completed writes) after one hold window."""
+def run_morena(coalesce: bool = False) -> tuple:
+    """Returns (taps, completed writes, physical tag writes) after one
+    hold window; with ``coalesce`` the queued updates collapse to the
+    newest payload and land in a single physical write."""
     with Scenario() as scenario:
         phone = scenario.add_phone("phone")
         activity = scenario.start(phone, PlainNfcActivity)
         tag = text_tag("initial")
-        reference = make_reference(activity, tag, phone)
+        reference = make_reference(activity, tag, phone, coalesce_writes=coalesce)
         completed = EventLog()
         for index in range(UPDATES):
             reference.write(
@@ -43,13 +45,14 @@ def run_morena() -> tuple:
                 timeout=30.0,
             )
         assert reference.pending_count == UPDATES  # queued, tag absent
+        writes_before = phone.port.write_attempts
         user = SimulatedUser(scenario.env, phone)
         stats = user.hold_until(
             tag, done=lambda: len(completed) >= UPDATES, max_seconds=5.0
         )
         assert tag.read_ndef()[0].payload.decode() == f"update-{UPDATES - 1}"
         assert completed.snapshot() == list(range(UPDATES))  # in order
-        return stats.taps, len(completed)
+        return stats.taps, len(completed), phone.port.write_attempts - writes_before
 
 
 def run_handcrafted() -> tuple:
@@ -92,19 +95,27 @@ def run_handcrafted() -> tuple:
 
 
 def test_batched_writes_drain_in_one_tap(benchmark):
-    morena_taps, morena_done = benchmark.pedantic(run_morena, rounds=1, iterations=1)
+    morena_taps, morena_done, morena_writes = benchmark.pedantic(
+        run_morena, rounds=1, iterations=1
+    )
+    coalesced_taps, coalesced_done, coalesced_writes = run_morena(coalesce=True)
     handcrafted_taps, handcrafted_done = run_handcrafted()
 
     table = Table(
         f"Section 4 batching claim -- {UPDATES} updates produced while the "
         "tag is away",
-        ["variant", "taps needed", "updates applied"],
+        ["variant", "taps needed", "updates applied", "tag writes"],
     )
-    table.add_row("MORENA", morena_taps, morena_done)
-    table.add_row("handcrafted", handcrafted_taps, handcrafted_done)
+    table.add_row("MORENA", morena_taps, morena_done, morena_writes)
+    table.add_row("MORENA + coalescing", coalesced_taps, coalesced_done, coalesced_writes)
+    table.add_row("handcrafted", handcrafted_taps, handcrafted_done, UPDATES)
     table.print()
 
     assert morena_done == UPDATES
     assert morena_taps == 1  # a single tap window drains the queue
+    assert morena_writes == UPDATES
+    assert coalesced_done == UPDATES  # every listener still fires...
+    assert coalesced_taps == 1
+    assert coalesced_writes == 1  # ...but only the newest payload lands
     assert handcrafted_done == UPDATES
     assert handcrafted_taps == UPDATES  # one tap per update

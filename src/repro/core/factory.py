@@ -43,6 +43,7 @@ class TagReferenceFactory:
         write_converter: ObjectToNdefMessageConverter,
         default_timeout: Optional[float] = None,
         threaded: Optional[bool] = None,
+        coalesce_writes: Optional[bool] = None,
     ) -> "tuple[TagReference, bool]":
         """Return ``(reference, is_new)`` for the tag's UID.
 
@@ -50,7 +51,9 @@ class TagReferenceFactory:
         the existing reference unchanged, preserving its queue and cache.
         New references run on the device's shared reactor (one bounded
         worker pool per device) unless ``threaded=True`` selects the
-        paper-literal thread-per-reference mode.
+        paper-literal thread-per-reference mode. ``coalesce_writes=True``
+        makes the reference's writes coalescible by default (see
+        :meth:`TagReference.write`).
         """
         with self._lock:
             existing = self._references.get(tag.id)
@@ -61,6 +64,8 @@ class TagReferenceFactory:
                 kwargs["default_timeout"] = default_timeout
             if threaded is not None:
                 kwargs["threaded"] = threaded
+            if coalesce_writes is not None:
+                kwargs["coalesce_writes"] = coalesce_writes
             reference = TagReference(
                 tag,
                 self._activity,

@@ -13,7 +13,7 @@ import enum
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 _op_ids = itertools.count(1)
 _op_ids_lock = threading.Lock()
@@ -55,6 +55,13 @@ class Operation:
     raw: bool = False  # skip converters; maintain only the message cache
     outcome: OperationOutcome = OperationOutcome.PENDING
     error: Optional[BaseException] = None
+    # Write coalescing (see TagReference): a coalescible write at the
+    # queue tail may be superseded by a newer coalescible write. The
+    # survivor carries the superseded operations (oldest first) and
+    # settles them -- success in FIFO order -- when it lands.
+    coalescible: bool = False
+    in_flight: bool = False  # a radio attempt is executing right now
+    superseded: List["Operation"] = field(default_factory=list)
 
     @property
     def is_settled(self) -> bool:

@@ -31,6 +31,19 @@ read-only or worn out, the converter rejected the object) settle the
 operation immediately with its failure listener -- retrying cannot fix
 those.
 
+Write coalescing (opt-in via ``coalesce_writes=True`` or per-operation
+``coalesce=...``; ``Thing.save_async`` opts in by default): while a tag
+is out of range, consecutive coalescible writes at the queue tail
+collapse to the newest payload, so one tap window performs one physical
+write instead of N redundant ones. Every superseded write settles its
+success listener in FIFO order when the surviving write lands -- the tag
+then holds a state at least as new as the one each write captured. Only
+*adjacent* coalescible writes merge: a queued read, format, lock or raw
+write is a fence (the paper's in-order guarantee that a read observes
+the preceding write is preserved), and raw writes themselves never
+coalesce. Symmetrically, consecutive pending reads of the same rawness
+share one physical read and fan out its result (read dedup).
+
 Cancellation semantics (unified, see DESIGN.md decision 8):
 application-initiated cancellation (:meth:`TagReference.cancel`,
 :meth:`TagReference.cancel_all`) is **silent** -- the caller initiated
@@ -122,6 +135,7 @@ class TagReference:
         retry_interval: float = DEFAULT_RETRY_INTERVAL_SECONDS,
         threaded: bool = False,
         reactor: Optional[Reactor] = None,
+        coalesce_writes: bool = False,
     ) -> None:
         self._tag = tag
         self._activity = activity
@@ -132,6 +146,7 @@ class TagReference:
         self._write_converter = write_converter
         self._default_timeout = default_timeout
         self._retry_interval = retry_interval
+        self._coalesce_writes = coalesce_writes
 
         self._cond = threading.Condition()
         self._queue: Deque[Operation] = deque()
@@ -153,6 +168,8 @@ class TagReference:
         self.successes = 0
         self.timeouts = 0
         self.permanent_failures = 0
+        self.coalesced_writes = 0  # writes superseded by a newer payload
+        self.deduped_reads = 0  # reads settled by another read's attempt
 
         self._port.add_tag_listener(tag.simulated, self._on_field_event)
         self._thread: Optional[threading.Thread] = None
@@ -285,6 +302,7 @@ class TagReference:
         on_written: ListenerLike = None,
         on_failed: ListenerLike = None,
         timeout: Optional[float] = None,
+        coalesce: Optional[bool] = None,
     ) -> Operation:
         """Schedule an asynchronous write of ``obj``.
 
@@ -292,9 +310,21 @@ class TagReference:
         value written is the value at call time, not at transmission
         time). Conversion failures settle the operation at once via
         ``on_failed``; radio failures are retried until the timeout.
+
+        ``coalesce`` marks the write as coalescible (defaulting to the
+        reference's ``coalesce_writes`` setting): while queued and not
+        yet attempted, it may be superseded by a newer coalescible write
+        -- one physical write lands the newest payload and the
+        superseded writes settle success in FIFO order. Coalescing only
+        merges *adjacent* coalescible writes at the queue tail; a queued
+        read (or any other operation kind) is a fence, preserving the
+        in-order guarantee that a read observes the preceding write.
         """
         operation = self._make_operation(
             OperationKind.WRITE, on_written, on_failed, timeout
+        )
+        operation.coalescible = (
+            self._coalesce_writes if coalesce is None else coalesce
         )
         operation.original_object = obj
         try:
@@ -336,7 +366,9 @@ class TagReference:
         """Schedule an asynchronous write of a ready-made NDEF message.
 
         Skips the write converter; only :attr:`cached_message` is
-        refreshed on success. See :meth:`read_raw`.
+        refreshed on success. See :meth:`read_raw`. Raw writes never
+        coalesce: protocol layers (leasing and friends) depend on every
+        message physically reaching the tag.
         """
         if not isinstance(message, NdefMessage):
             raise MorenaError("write_raw expects an NdefMessage")
@@ -393,13 +425,28 @@ class TagReference:
         honest race of a distributed cancel.
         """
         with self._cond:
-            try:
-                self._queue.remove(operation)
-            except ValueError:
-                return False
-            operation.outcome = OperationOutcome.CANCELLED
-            self._cond.notify_all()
-            return True
+            for index, queued in enumerate(self._queue):
+                if queued is operation:
+                    del self._queue[index]
+                    # Cancelling the survivor of a coalesced chain only
+                    # cancels that one write: the superseded operations
+                    # are still pending, so the newest of them takes the
+                    # survivor's place in the queue.
+                    shadows = operation.superseded
+                    if shadows:
+                        operation.superseded = []
+                        revived = shadows.pop()
+                        revived.superseded = shadows
+                        self._queue.insert(index, revived)
+                    operation.outcome = OperationOutcome.CANCELLED
+                    self._cond.notify_all()
+                    return True
+                if operation in queued.superseded:
+                    queued.superseded.remove(operation)
+                    operation.outcome = OperationOutcome.CANCELLED
+                    self._cond.notify_all()
+                    return True
+            return False
 
     def cancel_all(self) -> int:
         """Cancel every queued operation; returns how many were cancelled.
@@ -411,23 +458,42 @@ class TagReference:
         still pending, use ``stop(notify_pending=True)`` instead.
         """
         with self._cond:
-            cancelled = list(self._queue)
-            self._queue.clear()
+            cancelled = self._drain_queue_locked()
             for operation in cancelled:
                 operation.outcome = OperationOutcome.CANCELLED
             self._cond.notify_all()
         return len(cancelled)
 
+    def _drain_queue_locked(self) -> List[Operation]:
+        """Empty the queue, returning every logical operation in FIFO
+        order (superseded writes precede their surviving write)."""
+        drained: List[Operation] = []
+        for operation in self._queue:
+            drained.extend(operation.superseded)
+            operation.superseded = []
+            drained.append(operation)
+        self._queue.clear()
+        return drained
+
     # -- queue introspection ---------------------------------------------------------------
 
     @property
     def pending_count(self) -> int:
+        """Logical pending operations, superseded writes included."""
         with self._cond:
-            return len(self._queue)
+            return len(self._queue) + sum(
+                len(operation.superseded) for operation in self._queue
+            )
 
     def pending_operations(self) -> List[Operation]:
+        """The pending operations in FIFO order (superseded writes
+        precede the surviving write that will settle them)."""
         with self._cond:
-            return list(self._queue)
+            out: List[Operation] = []
+            for operation in self._queue:
+                out.extend(operation.superseded)
+                out.append(operation)
+            return out
 
     # -- lifecycle ----------------------------------------------------------------------------
 
@@ -450,8 +516,7 @@ class TagReference:
             if self._stopped:
                 return
             self._stopped = True
-            cancelled = list(self._queue)
-            self._queue.clear()
+            cancelled = self._drain_queue_locked()
             self._cond.notify_all()
         for operation in cancelled:
             operation.outcome = OperationOutcome.CANCELLED
@@ -459,7 +524,10 @@ class TagReference:
                 self._post_listener(operation.on_failure, self)
         self._port.remove_tag_listener(self._tag.simulated, self._on_field_event)
         if self._task is not None:
-            self._task.wake()  # let the reactor observe the stop and go idle
+            # Deregister rather than wake: a wake would spin up reactor
+            # threads just to observe the stop flag, and any timer entry
+            # for this task is ignored once cancelled.
+            self._task.cancel()
         if self._thread is not None and threading.current_thread() is not self._thread:
             self._thread.join(join_timeout)
 
@@ -490,6 +558,25 @@ class TagReference:
                 raise ReferenceStoppedError(
                     f"tag reference {self.uid_hex} has been stopped"
                 )
+            if operation.coalescible and self._queue:
+                tail = self._queue[-1]
+                if (
+                    tail.kind is OperationKind.WRITE
+                    and tail.coalescible
+                    and not tail.in_flight
+                ):
+                    # Collapse to the newest payload: the tail write is
+                    # superseded, and the new write inherits the duty of
+                    # settling the whole chain (FIFO) when it lands. A
+                    # tail that is not a coalescible write -- a read, a
+                    # format, a raw write, an in-flight attempt -- is a
+                    # fence and the new write simply queues behind it.
+                    self._queue.pop()
+                    shadows = tail.superseded
+                    tail.superseded = []
+                    shadows.append(tail)
+                    operation.superseded = shadows
+                    self.coalesced_writes += 1
             self._queue.append(operation)
             self._cond.notify_all()
         if self._task is not None:
@@ -521,32 +608,80 @@ class TagReference:
                     # bounds the wait so timeouts still fire while away.
                     return self._earliest_deadline_locked()
                 head = self._queue[0]
+                head.in_flight = True
             outcome, error = self._attempt(head)
             with self._cond:
+                head.in_flight = False
                 if self._stopped:
                     return None
-                if outcome is OperationOutcome.SUCCEEDED:
-                    if self._queue and self._queue[0] is head:
-                        self._queue.popleft()
-                    self.successes += 1
-                elif outcome is OperationOutcome.FAILED:
-                    if self._queue and self._queue[0] is head:
-                        self._queue.popleft()
-                    self.permanent_failures += 1
-                else:
+                if outcome is OperationOutcome.PENDING:
                     # Transient failure: the operation stays at the head
                     # of the queue; back off until the retry interval or
                     # the earliest deadline, whichever comes first.
+                    if not self._queue:
+                        return None  # cancelled mid-attempt
                     retry_at = self._clock.now() + self._retry_interval
                     return min(retry_at, self._earliest_deadline_locked())
-            self._settle(head, outcome, error)
+                before, after = self._harvest_settlements_locked(head, outcome)
+            self._settle_batch(head, before, after, outcome, error)
         with self._cond:
             if self._queue and not self._stopped:
                 return self._clock.now()  # burst cap hit: yield, then resume
         return None
 
     def _earliest_deadline_locked(self) -> float:
-        return min(operation.deadline for operation in self._queue)
+        earliest = min(operation.deadline for operation in self._queue)
+        for operation in self._queue:
+            for shadow in operation.superseded:
+                if shadow.deadline < earliest:
+                    earliest = shadow.deadline
+        return earliest
+
+    def _harvest_settlements_locked(
+        self, head: Operation, outcome: OperationOutcome
+    ):
+        """Update the queue and counters after ``head`` settled.
+
+        Returns ``(before, after)``: the operations to settle with the
+        same outcome before and after ``head``, keeping listener order
+        FIFO. ``before`` is the coalesced chain ``head`` superseded;
+        ``after`` holds later queued reads settled by this attempt's
+        result (read dedup: consecutive pending reads of the same
+        rawness share one physical read -- a queued write in between is
+        a fence, because the next read must observe that write).
+        """
+        if self._queue and self._queue[0] is head:
+            self._queue.popleft()
+        before = head.superseded
+        head.superseded = []
+        after: List[Operation] = []
+        if outcome is OperationOutcome.SUCCEEDED:
+            if head.kind is OperationKind.READ:
+                while (
+                    self._queue
+                    and self._queue[0].kind is OperationKind.READ
+                    and self._queue[0].raw == head.raw
+                ):
+                    after.append(self._queue.popleft())
+                    self.deduped_reads += 1
+            self.successes += 1 + len(before) + len(after)
+        else:
+            self.permanent_failures += 1 + len(before)
+        return before, after
+
+    def _settle_batch(
+        self,
+        head: Operation,
+        before: List[Operation],
+        after: List[Operation],
+        outcome: OperationOutcome,
+        error: Optional[BaseException],
+    ) -> None:
+        for operation in before:
+            self._settle(operation, outcome, error)
+        self._settle(head, outcome, error)
+        for operation in after:
+            self._settle(operation, outcome, error)
 
     def _event_loop(self) -> None:
         """The legacy ``threaded=True`` loop: one OS thread, private waits."""
@@ -564,36 +699,55 @@ class TagReference:
                     self._cond.wait(_WAIT_SLICE_SECONDS)
                     continue
                 head = self._queue[0]
+                head.in_flight = True
             outcome, error = self._attempt(head)
             with self._cond:
+                head.in_flight = False
                 if self._stopped:
                     return
-                if outcome is OperationOutcome.SUCCEEDED:
-                    if self._queue and self._queue[0] is head:
-                        self._queue.popleft()
-                    self.successes += 1
-                elif outcome is OperationOutcome.FAILED:
-                    if self._queue and self._queue[0] is head:
-                        self._queue.popleft()
-                    self.permanent_failures += 1
-                else:
+                if outcome is OperationOutcome.PENDING:
                     # Transient failure: the operation stays at the head of
                     # the queue; pause briefly before the next attempt.
                     self._cond.wait(self._retry_interval)
                     continue
-            self._settle(head, outcome, error)
+                before, after = self._harvest_settlements_locked(head, outcome)
+            self._settle_batch(head, before, after, outcome, error)
 
     def _tag_present(self) -> bool:
         return self._port.environment.tag_in_field(self._tag.simulated, self._port)
 
     def _expire_locked(self) -> None:
-        """Fail every queued operation whose deadline has passed."""
+        """Fail every pending operation whose deadline has passed.
+
+        Superseded writes keep their own deadlines: one that expires
+        before the surviving write lands times out individually. When a
+        surviving write itself expires, the chain it carries is still
+        pending -- the newest superseded write takes its place in the
+        queue (its own deadline has not passed, or it would have expired
+        first above).
+        """
         now = self._clock.now()
         index = 0
         while index < len(self._queue):
             operation = self._queue[index]
+            if operation.superseded:
+                remaining = []
+                for shadow in operation.superseded:
+                    if shadow.deadline <= now:
+                        self.timeouts += 1
+                        self._settle(shadow, OperationOutcome.TIMED_OUT, None)
+                    else:
+                        remaining.append(shadow)
+                operation.superseded = remaining
             if operation.deadline <= now:
                 del self._queue[index]
+                shadows = operation.superseded
+                if shadows:
+                    operation.superseded = []
+                    revived = shadows.pop()
+                    revived.superseded = shadows
+                    self._queue.insert(index, revived)
+                    index += 1
                 self.timeouts += 1
                 self._settle(operation, OperationOutcome.TIMED_OUT, None)
             else:

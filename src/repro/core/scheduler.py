@@ -70,7 +70,7 @@ class ReactorTask:
     step runs leads to another step afterwards (no lost wakeups).
     """
 
-    __slots__ = ("name", "_reactor", "_step", "_state", "_rerun")
+    __slots__ = ("name", "_reactor", "_step", "_state", "_rerun", "_cancelled")
 
     def __init__(self, reactor: "Reactor", step: StepFn, name: str) -> None:
         self.name = name
@@ -78,10 +78,23 @@ class ReactorTask:
         self._step = step
         self._state = _IDLE
         self._rerun = False
+        self._cancelled = False
 
     def wake(self) -> None:
         """Schedule a step as soon as a worker is free (coalescing)."""
         self._reactor._wake(self)
+
+    def cancel(self) -> None:
+        """Permanently deregister this task.
+
+        Future wakes become no-ops and stale deadline-heap entries are
+        ignored when they fire. A step already executing finishes (its
+        own stop flag governs what it does), but no further step runs.
+        Unlike :meth:`wake`, cancelling never spins up reactor threads —
+        tearing down a task on a cold reactor stays thread-free.
+        """
+        with self._reactor._cond:
+            self._cancelled = True
 
     def __repr__(self) -> str:
         return f"ReactorTask({self.name!r})"
@@ -188,6 +201,8 @@ class Reactor:
             self._wake_locked(task)
 
     def _wake_locked(self, task: ReactorTask) -> None:
+        if task._cancelled:
+            return
         if task._state == _IDLE:
             task._state = _QUEUED
             self._ready.append(task)
@@ -240,6 +255,9 @@ class Reactor:
                 if self._stopped:
                     return
                 task = self._ready.popleft()
+                if task._cancelled:
+                    task._state = _IDLE
+                    continue
                 task._state = _RUNNING
                 task._rerun = False
                 self._steps += 1
@@ -252,6 +270,8 @@ class Reactor:
                 if self._stopped:
                     return
                 task._state = _IDLE
+                if task._cancelled:
+                    continue
                 if task._rerun or (when is not None and when <= self._clock.now()):
                     self._wake_locked(task)
                 elif when is not None:

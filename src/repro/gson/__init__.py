@@ -18,6 +18,20 @@ Python analogue of non-serializable internals).
 """
 
 from repro.gson.adapters import BytesAdapter, TypeAdapter
-from repro.gson.gson import Gson
+from repro.gson.gson import (
+    ClassPlan,
+    Gson,
+    annotated_fields,
+    class_plan,
+    transient_fields,
+)
 
-__all__ = ["Gson", "TypeAdapter", "BytesAdapter"]
+__all__ = [
+    "Gson",
+    "TypeAdapter",
+    "BytesAdapter",
+    "ClassPlan",
+    "class_plan",
+    "transient_fields",
+    "annotated_fields",
+]

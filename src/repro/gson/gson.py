@@ -23,7 +23,9 @@ plain dicts/lists.
 from __future__ import annotations
 
 import json
+import threading
 import typing
+import weakref
 from typing import Any, Dict, List, Optional, Type, TypeVar, get_args, get_origin
 
 from repro.errors import CircularReferenceError, DeserializationError, SerializationError
@@ -34,33 +36,140 @@ T = TypeVar("T")
 _PRIMITIVES = (type(None), bool, int, float, str)
 
 
-def transient_fields(cls: type) -> frozenset:
-    """Union of ``__transient__`` declarations across the MRO."""
+class ClassPlan:
+    """Gson-independent per-class serialization facts, computed once.
+
+    ``transients`` is the union of ``__transient__`` declarations across
+    the MRO; ``annotations`` the merged class annotations (subclass
+    wins). Treat both as read-only -- they are shared by every caller.
+    """
+
+    __slots__ = ("transients", "annotations")
+
+    def __init__(self, transients: frozenset, annotations: Dict[str, Any]) -> None:
+        self.transients = transients
+        self.annotations = annotations
+
+
+def _compute_class_plan(cls: type) -> ClassPlan:
     names: set = set()
     for klass in cls.__mro__:
         names.update(getattr(klass, "__transient__", ()))
-    return frozenset(names)
-
-
-def annotated_fields(cls: type) -> Dict[str, Any]:
-    """Merged class annotations across the MRO (subclass wins)."""
     merged: Dict[str, Any] = {}
     for klass in reversed(cls.__mro__):
         merged.update(getattr(klass, "__annotations__", {}))
-    return merged
+    return ClassPlan(frozenset(names), merged)
+
+
+# Weakly keyed so dynamically created classes (tests, REPLs) can be
+# collected; the lock only guards the compute-and-store race.
+_class_plans: "weakref.WeakKeyDictionary[type, ClassPlan]" = weakref.WeakKeyDictionary()
+_class_plans_lock = threading.Lock()
+
+
+def class_plan(cls: type) -> ClassPlan:
+    """The cached :class:`ClassPlan` for ``cls`` (computed on first use)."""
+    plan = _class_plans.get(cls)
+    if plan is None:
+        with _class_plans_lock:
+            plan = _class_plans.get(cls)
+            if plan is None:
+                plan = _compute_class_plan(cls)
+                _class_plans[cls] = plan
+    return plan
+
+
+def transient_fields(cls: type) -> frozenset:
+    """Union of ``__transient__`` declarations across the MRO (cached)."""
+    return class_plan(cls).transients
+
+
+def annotated_fields(cls: type) -> Dict[str, Any]:
+    """Merged class annotations across the MRO, subclass wins (cached).
+
+    The returned dict is the shared cache entry -- do not mutate it.
+    """
+    return class_plan(cls).annotations
+
+
+class SerializationPlan:
+    """One Gson instance's per-class fast path: class facts + adapter."""
+
+    __slots__ = ("transients", "annotations", "adapter")
+
+    def __init__(
+        self,
+        transients: frozenset,
+        annotations: Dict[str, Any],
+        adapter: Optional[TypeAdapter],
+    ) -> None:
+        self.transients = transients
+        self.annotations = annotations
+        self.adapter = adapter
 
 
 class Gson:
-    """One serializer configuration: a set of type adapters."""
+    """One serializer configuration: a set of type adapters.
 
-    def __init__(self, adapters: Optional[List[TypeAdapter]] = None) -> None:
+    Encoding resolves the per-class :class:`SerializationPlan` (transient
+    set, annotations, MRO-resolved adapter) once and caches it, so
+    repeated serialization of the same classes never re-walks the MRO.
+    Pass ``cache_plans=False`` to recompute every plan on every use (the
+    ablation baseline used by ``benchmarks/test_bench_codec.py``).
+    """
+
+    def __init__(
+        self,
+        adapters: Optional[List[TypeAdapter]] = None,
+        cache_plans: bool = True,
+    ) -> None:
         self._adapters: Dict[type, TypeAdapter] = {}
+        self._cache_plans = cache_plans
+        self._plans: Dict[type, SerializationPlan] = {}
+        # Plan cache telemetry, exposed for tests and benchmarks.
+        self.plan_hits = 0
+        self.plan_misses = 0
         self.register_adapter(BytesAdapter())
         for adapter in adapters or []:
             self.register_adapter(adapter)
 
     def register_adapter(self, adapter: TypeAdapter) -> None:
+        """Register ``adapter``; it also applies to subclasses of its
+        target class (nearest MRO match wins, exact class first).
+
+        Cached plans that may embed a now-stale adapter resolution are
+        invalidated -- registering an adapter after a class has already
+        been encoded must affect subsequent encodes.
+        """
         self._adapters[adapter.target_class] = adapter
+        self._plans.clear()
+
+    def _resolve_adapter(self, cls: type) -> Optional[TypeAdapter]:
+        adapter = self._adapters.get(cls)
+        if adapter is not None:
+            return adapter
+        for klass in cls.__mro__[1:]:
+            adapter = self._adapters.get(klass)
+            if adapter is not None:
+                return adapter
+        return None
+
+    def _plan_for(self, cls: type) -> SerializationPlan:
+        plan = self._plans.get(cls)
+        if plan is not None:
+            self.plan_hits += 1
+            return plan
+        self.plan_misses += 1
+        if self._cache_plans:
+            facts = class_plan(cls)
+        else:
+            facts = _compute_class_plan(cls)  # honest no-cache baseline
+        plan = SerializationPlan(
+            facts.transients, facts.annotations, self._resolve_adapter(cls)
+        )
+        if self._cache_plans:
+            self._plans[cls] = plan
+        return plan
 
     # -- serialization --------------------------------------------------------
 
@@ -73,9 +182,9 @@ class Gson:
     def _encode(self, obj: Any, on_path: set) -> Any:
         if isinstance(obj, _PRIMITIVES):
             return obj
-        adapter = self._adapters.get(type(obj))
-        if adapter is not None:
-            return adapter.to_jsonable(obj)
+        plan = self._plan_for(type(obj))
+        if plan.adapter is not None:
+            return plan.adapter.to_jsonable(obj)
         marker = id(obj)
         if marker in on_path:
             raise CircularReferenceError(
@@ -95,18 +204,20 @@ class Gson:
                         )
                     out[key] = self._encode(value, on_path)
                 return out
-            return self._encode_object(obj, on_path)
+            return self._encode_object(obj, plan, on_path)
         finally:
             on_path.discard(marker)
 
-    def _encode_object(self, obj: Any, on_path: set) -> Dict[str, Any]:
+    def _encode_object(
+        self, obj: Any, plan: SerializationPlan, on_path: set
+    ) -> Dict[str, Any]:
         attributes = getattr(obj, "__dict__", None)
         if attributes is None:
             raise SerializationError(
                 f"cannot serialize {type(obj).__name__}: no instance attributes "
                 "and no registered type adapter"
             )
-        skip = transient_fields(type(obj))
+        skip = plan.transients
         out: Dict[str, Any] = {}
         for name, value in attributes.items():
             if name.startswith("_") or name in skip:

@@ -16,7 +16,17 @@ Public entry points::
     again = NdefMessage.from_bytes(raw)
 """
 
-from repro.ndef.record import FLAG_CF, FLAG_IL, FLAG_MB, FLAG_ME, FLAG_SR, NdefRecord, Tnf
+from repro.ndef.record import (
+    ENCODE_STATS,
+    FLAG_CF,
+    FLAG_IL,
+    FLAG_MB,
+    FLAG_ME,
+    FLAG_SR,
+    EncodeStats,
+    NdefRecord,
+    Tnf,
+)
 from repro.ndef.message import NdefMessage
 from repro.ndef.mime import mime_record, text_plain_record
 from repro.ndef.rtd import (
@@ -48,6 +58,8 @@ __all__ = [
     "NdefRecord",
     "NdefMessage",
     "Tnf",
+    "ENCODE_STATS",
+    "EncodeStats",
     "FLAG_MB",
     "FLAG_ME",
     "FLAG_CF",

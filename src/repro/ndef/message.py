@@ -11,10 +11,10 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.errors import NdefDecodeError, NdefEncodeError
 from repro.ndef.record import (
+    ENCODE_STATS,
     NdefRecord,
     RawRecord,
     Tnf,
-    encode_record_raw,
     iter_raw_records,
 )
 
@@ -26,7 +26,7 @@ class NdefMessage:
     from bytes, encode with :meth:`to_bytes`.
     """
 
-    __slots__ = ("_records",)
+    __slots__ = ("_records", "_encoded", "_byte_length")
 
     def __init__(self, records: Iterable[NdefRecord]) -> None:
         record_list = list(records)
@@ -36,6 +36,11 @@ class NdefMessage:
             if not isinstance(record, NdefRecord):
                 raise TypeError(f"expected NdefRecord, got {type(record).__name__}")
         self._records: tuple = tuple(record_list)
+        # Messages are immutable: encoded bytes and size are memoized so
+        # retry attempts and re-taps never re-encode (benign race: two
+        # threads may compute the same value once each).
+        self._encoded: bytes = None  # type: ignore[assignment]
+        self._byte_length: int = None  # type: ignore[assignment]
 
     # -- accessors -----------------------------------------------------------
 
@@ -70,8 +75,12 @@ class NdefMessage:
 
     @property
     def byte_length(self) -> int:
-        """Encoded size in bytes (unchunked encoding)."""
-        return sum(len(record) for record in self._records)
+        """Encoded size in bytes (unchunked encoding, memoized)."""
+        size = self._byte_length
+        if size is None:
+            size = sum(len(record) for record in self._records)
+            self._byte_length = size
+        return size
 
     # -- codec ---------------------------------------------------------------
 
@@ -85,19 +94,22 @@ class NdefMessage:
         return len(self._records) == 1 and self._records[0].is_empty
 
     def to_bytes(self) -> bytes:
+        data = self._encoded
+        if data is not None:
+            ENCODE_STATS.hits += 1
+            return data
+        ENCODE_STATS.misses += 1
         out = bytearray()
         last = len(self._records) - 1
         for index, record in enumerate(self._records):
-            out += encode_record_raw(
-                tnf=record.tnf,
-                type_=record.type,
-                id_=record.id,
-                payload=record.payload,
-                message_begin=index == 0,
-                message_end=index == last,
-                chunk_flag=False,
+            # Composed from the record-level cache, so a record shared
+            # between messages is encoded once per flag variant.
+            out += record.to_bytes(
+                message_begin=index == 0, message_end=index == last
             )
-        return bytes(out)
+        data = bytes(out)
+        self._encoded = data
+        return data
 
     @staticmethod
     def from_bytes(data: bytes) -> "NdefMessage":

@@ -46,6 +46,37 @@ MAX_SHORT_PAYLOAD = 0xFF
 MAX_PAYLOAD_LENGTH = 0xFFFFFFFF
 
 
+class EncodeStats:
+    """Process-wide encode-cache telemetry for records and messages.
+
+    Counters are plain ints bumped without a lock: exact in the
+    single-threaded benches that read them, approximate under
+    concurrency -- never load-bearing for correctness.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"EncodeStats(hits={self.hits}, misses={self.misses})"
+
+
+#: Shared by :meth:`NdefRecord.to_bytes` and ``NdefMessage.to_bytes``.
+ENCODE_STATS = EncodeStats()
+
+
 class Tnf(enum.IntEnum):
     """Type Name Format values (NDEF specification section 3.2.6)."""
 
@@ -125,8 +156,23 @@ class NdefRecord:
     # -- encoding ------------------------------------------------------------
 
     def to_bytes(self, message_begin: bool = True, message_end: bool = True) -> bytes:
-        """Encode this record with the given MB/ME flag placement."""
-        return encode_record_raw(
+        """Encode this record with the given MB/ME flag placement.
+
+        Records are immutable, so the encoded bytes are memoized per
+        MB/ME variant: retries, re-taps and repeated framing of the same
+        record pay the encode cost exactly once.
+        """
+        cache = self.__dict__.get("_encoded")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_encoded", cache)
+        key = (message_begin, message_end)
+        data = cache.get(key)
+        if data is not None:
+            ENCODE_STATS.hits += 1
+            return data
+        ENCODE_STATS.misses += 1
+        data = encode_record_raw(
             tnf=self.tnf,
             type_=self.type,
             id_=self.id,
@@ -135,6 +181,8 @@ class NdefRecord:
             message_end=message_end,
             chunk_flag=False,
         )
+        cache[key] = data
+        return data
 
     def to_chunks(
         self,

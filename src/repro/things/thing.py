@@ -26,7 +26,7 @@ from repro.core.listeners import ListenerLike, as_callback
 from repro.core.operations import Operation
 from repro.core.reference import TagReference
 from repro.errors import ThingError
-from repro.gson.gson import transient_fields
+from repro.gson.gson import class_plan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.things.activity import ThingActivity
@@ -82,6 +82,7 @@ class Thing:
         on_saved: ListenerLike = None,
         on_failed: ListenerLike = None,
         timeout: Optional[float] = None,
+        coalesce: bool = True,
     ) -> Operation:
         """Write this thing's current state back to its tag, asynchronously.
 
@@ -89,6 +90,13 @@ class Thing:
         state physically reached the tag; ``on_failed()`` runs when the
         operation timed out or failed permanently. Raises
         :class:`~repro.errors.ThingError` when the thing is not bound.
+
+        Saves coalesce by default: while the tag is out of range,
+        consecutive queued saves collapse to the newest serialized state
+        and land in one physical write, with every ``on_saved`` still
+        firing in FIFO order (the tag holds a state at least as new as
+        the one each save captured). Pass ``coalesce=False`` to force
+        every save onto the tag individually.
         """
         reference = self._require_bound("save")
         saved = as_callback(on_saved)
@@ -98,6 +106,7 @@ class Thing:
             on_written=lambda _ref: saved(self),
             on_failed=lambda _ref: failed(),
             timeout=timeout,
+            coalesce=coalesce,
         )
 
     def refresh_async(
@@ -159,7 +168,7 @@ class Thing:
 
     def public_fields(self) -> dict:
         """The attributes that participate in serialization."""
-        skip = transient_fields(type(self))
+        skip = class_plan(type(self)).transients  # cached per class
         return {
             name: value
             for name, value in self.__dict__.items()

@@ -1,0 +1,314 @@
+"""Write coalescing and read dedup on the tag reference.
+
+While a tag is out of range, consecutive coalescible writes collapse to
+the newest payload; superseded writes settle success in FIFO order when
+the surviving write lands. Reads (and any non-write operation) fence the
+merging, raw writes never coalesce, and overlapping pending reads share
+one physical read. Default is off -- ``Thing.save_async`` opts in.
+"""
+
+import pytest
+
+from repro.concurrent import EventLog, wait_until
+from repro.core.operations import OperationOutcome
+
+from tests.conftest import make_reference, text_tag
+
+
+@pytest.fixture
+def tag():
+    return text_tag("seed")
+
+
+@pytest.fixture
+def ref(activity, tag, phone):
+    """A coalescing reference whose tag starts OUT of the field."""
+    return make_reference(activity, tag, phone, coalesce_writes=True)
+
+
+class TestWriteCoalescing:
+    def test_redundant_writes_collapse_to_one_physical_write(
+        self, scenario, phone, activity, ref, tag
+    ):
+        done = EventLog()
+        for index in range(6):
+            ref.write(
+                f"v{index}",
+                on_written=lambda _r, i=index: done.append(i),
+                timeout=30.0,
+            )
+        assert ref.pending_count == 6  # logically all still pending
+        assert ref.coalesced_writes == 5
+        writes_before = phone.port.write_attempts
+        scenario.put(tag, phone)
+        assert done.wait_for_count(6)
+        assert phone.port.write_attempts - writes_before == 1
+        assert tag.read_ndef()[0].payload == b"v5"  # newest payload won
+        assert done.snapshot() == list(range(6))  # FIFO settlement
+
+    def test_coalescing_off_by_default(self, scenario, phone, activity, tag):
+        plain = make_reference(activity, tag, phone)
+        done = EventLog()
+        for index in range(4):
+            plain.write(f"v{index}", on_written=lambda _r: done.append(1), timeout=30.0)
+        writes_before = phone.port.write_attempts
+        scenario.put(tag, phone)
+        assert done.wait_for_count(4)
+        assert phone.port.write_attempts - writes_before == 4
+        assert plain.coalesced_writes == 0
+
+    def test_per_operation_override_on_plain_reference(
+        self, scenario, phone, activity, tag
+    ):
+        plain = make_reference(activity, tag, phone)
+        done = EventLog()
+        plain.write("a", on_written=lambda _r: done.append("a"), timeout=30.0, coalesce=True)
+        plain.write("b", on_written=lambda _r: done.append("b"), timeout=30.0, coalesce=True)
+        writes_before = phone.port.write_attempts
+        scenario.put(tag, phone)
+        assert done.wait_for_count(2)
+        assert phone.port.write_attempts - writes_before == 1
+        assert done.snapshot() == ["a", "b"]
+
+    def test_read_is_a_fence(self, scenario, phone, activity, ref, tag):
+        """W1 | R | W2 W3: the read must observe W1, so only W2/W3 merge."""
+        log = EventLog()
+        ref.write("v1", on_written=lambda _r: log.append("w1"), timeout=30.0)
+        ref.read(on_read=lambda r: log.append("read"), timeout=30.0)
+        ref.write("v2", on_written=lambda _r: log.append("w2"), timeout=30.0)
+        ref.write("v3", on_written=lambda _r: log.append("w3"), timeout=30.0)
+        assert ref.coalesced_writes == 1  # only w2 superseded
+        writes_before = phone.port.write_attempts
+        reads_before = phone.port.read_attempts
+        scenario.put(tag, phone)
+        assert log.wait_for_count(4)
+        assert phone.port.write_attempts - writes_before == 2  # v1 and v3
+        assert phone.port.read_attempts - reads_before == 1  # read really ran
+        assert log.snapshot() == ["w1", "read", "w2", "w3"]
+        assert tag.read_ndef()[0].payload == b"v3"
+
+    def test_raw_writes_never_coalesce(self, scenario, phone, activity, ref, tag):
+        from tests.conftest import text_message
+
+        done = EventLog()
+        ref.write_raw(text_message("r1"), on_written=lambda _r: done.append(1), timeout=30.0)
+        ref.write_raw(text_message("r2"), on_written=lambda _r: done.append(2), timeout=30.0)
+        assert ref.coalesced_writes == 0
+        writes_before = phone.port.write_attempts
+        scenario.put(tag, phone)
+        assert done.wait_for_count(2)
+        assert phone.port.write_attempts - writes_before == 2
+
+    def test_raw_write_fences_coalescible_writes(
+        self, scenario, phone, activity, ref, tag
+    ):
+        from tests.conftest import text_message
+
+        done = EventLog()
+        ref.write("v1", on_written=lambda _r: done.append("w1"), timeout=30.0)
+        ref.write_raw(text_message("raw"), on_written=lambda _r: done.append("raw"), timeout=30.0)
+        ref.write("v2", on_written=lambda _r: done.append("w2"), timeout=30.0)
+        assert ref.coalesced_writes == 0  # the raw write blocked the merge
+        scenario.put(tag, phone)
+        assert done.wait_for_count(3)
+        assert done.snapshot() == ["w1", "raw", "w2"]
+
+
+class TestCoalescedCancellation:
+    def test_cancel_superseded_write_is_silent(self, scenario, phone, activity, ref, tag):
+        done = EventLog()
+        first = ref.write("v1", on_written=lambda _r: done.append("w1"), timeout=30.0)
+        ref.write("v2", on_written=lambda _r: done.append("w2"), timeout=30.0)
+        assert ref.cancel(first) is True
+        assert first.outcome is OperationOutcome.CANCELLED
+        scenario.put(tag, phone)
+        assert done.wait_for_count(1)
+        assert done.snapshot() == ["w2"]
+        assert tag.read_ndef()[0].payload == b"v2"
+
+    def test_cancel_survivor_revives_newest_superseded(
+        self, scenario, phone, activity, ref, tag
+    ):
+        done = EventLog()
+        ref.write("v1", on_written=lambda _r: done.append("w1"), timeout=30.0)
+        ref.write("v2", on_written=lambda _r: done.append("w2"), timeout=30.0)
+        survivor = ref.write("v3", on_written=lambda _r: done.append("w3"), timeout=30.0)
+        assert ref.cancel(survivor) is True
+        assert ref.pending_count == 2  # v1 and v2 are still pending
+        scenario.put(tag, phone)
+        assert done.wait_for_count(2)
+        assert done.snapshot() == ["w1", "w2"]
+        assert tag.read_ndef()[0].payload == b"v2"  # newest *remaining* payload
+
+    def test_cancel_all_counts_superseded(self, ref):
+        ref.write("v1", timeout=30.0)
+        ref.write("v2", timeout=30.0)
+        ref.write("v3", timeout=30.0)
+        assert ref.cancel_all() == 3
+
+    def test_stop_notifies_superseded_failure_listeners(
+        self, scenario, phone, activity, ref
+    ):
+        failed = EventLog()
+        ref.write("v1", on_failed=lambda _r: failed.append("f1"), timeout=30.0)
+        ref.write("v2", on_failed=lambda _r: failed.append("f2"), timeout=30.0)
+        ref.stop(notify_pending=True)
+        assert failed.wait_for_count(2)
+        assert failed.snapshot() == ["f1", "f2"]
+
+
+class TestCoalescedTimeouts:
+    def test_superseded_write_times_out_individually(
+        self, scenario, phone, activity, ref, tag
+    ):
+        log = EventLog()
+        ref.write("v1", on_failed=lambda _r: log.append("t1"), timeout=0.15)
+        ref.write("v2", on_written=lambda _r: log.append("w2"), timeout=30.0)
+        assert log.wait_for(lambda e: "t1" in e, timeout=5)
+        assert ref.timeouts == 1
+        scenario.put(tag, phone)
+        assert log.wait_for(lambda e: "w2" in e, timeout=5)
+        assert tag.read_ndef()[0].payload == b"v2"
+
+    def test_expiring_survivor_revives_superseded_chain(
+        self, scenario, phone, activity, ref, tag
+    ):
+        log = EventLog()
+        ref.write("v1", on_written=lambda _r: log.append("w1"), timeout=30.0)
+        ref.write("v2", on_failed=lambda _r: log.append("t2"), timeout=0.15)
+        assert log.wait_for(lambda e: "t2" in e, timeout=5)
+        scenario.put(tag, phone)
+        assert log.wait_for(lambda e: "w1" in e, timeout=5)
+        assert tag.read_ndef()[0].payload == b"v1"
+
+
+class TestReadDedup:
+    def test_overlapping_reads_share_one_physical_read(
+        self, scenario, phone, activity, ref, tag
+    ):
+        log = EventLog()
+        for index in range(5):
+            ref.read(on_read=lambda r, i=index: log.append(i), timeout=30.0)
+        reads_before = phone.port.read_attempts
+        scenario.put(tag, phone)
+        assert log.wait_for_count(5)
+        assert phone.port.read_attempts - reads_before == 1
+        assert ref.deduped_reads == 4
+        assert log.snapshot() == list(range(5))  # FIFO fan-out
+
+    def test_write_fences_read_dedup(self, scenario, phone, activity, ref, tag):
+        """R1 | W | R2: R2 must observe the write, so it cannot share R1."""
+        log = EventLog()
+        ref.read(on_read=lambda r: log.append("r1"), timeout=30.0)
+        ref.write("new", on_written=lambda _r: log.append("w"), timeout=30.0)
+        ref.read(on_read=lambda r: log.append("r2"), timeout=30.0)
+        reads_before = phone.port.read_attempts
+        scenario.put(tag, phone)
+        assert log.wait_for_count(3)
+        assert phone.port.read_attempts - reads_before == 2  # R2 re-read after W
+        assert ref.deduped_reads == 0
+        assert log.snapshot() == ["r1", "w", "r2"]
+        assert ref.cached == "new"  # the fenced read observed the write
+
+    def test_raw_and_converted_reads_do_not_merge(
+        self, scenario, phone, activity, ref, tag
+    ):
+        log = EventLog()
+        ref.read(on_read=lambda r: log.append("converted"), timeout=30.0)
+        ref.read_raw(on_read=lambda r: log.append("raw"), timeout=30.0)
+        reads_before = phone.port.read_attempts
+        scenario.put(tag, phone)
+        assert log.wait_for_count(2)
+        assert phone.port.read_attempts - reads_before == 2
+        assert ref.deduped_reads == 0
+
+
+class TestThingSaveCoalescing:
+    def test_save_async_coalesces_by_default(self, scenario):
+        from repro.concurrent import EventLog as Log
+        from repro.things.thing import Thing
+        from repro.things.activity import ThingActivity
+
+        class Counter(Thing):
+            value: int
+
+            def __init__(self, activity, value=0):
+                super().__init__(activity)
+                self.value = value
+
+        class CounterActivity(ThingActivity):
+            THING_CLASS = Counter
+
+            def on_create(self):
+                self.empties = Log()
+
+            def when_discovered_empty(self, empty):
+                self.empties.append(empty)
+
+        from repro.tags.factory import make_tag
+
+        phone = scenario.add_phone("counter-phone")
+        app = scenario.start(phone, CounterActivity)
+        tag = make_tag()
+        scenario.put(tag, phone)
+        assert app.empties.wait_for_count(1)
+        counter = Counter(app, value=0)
+        saved = Log()
+        app.empties.snapshot()[0].initialize(counter, on_saved=lambda t: saved.append(t))
+        assert saved.wait_for_count(1)
+
+        scenario.take(tag, phone)
+        assert wait_until(lambda: not counter.reference.is_connected)
+        writes_before = phone.port.write_attempts
+        done = Log()
+        for step in range(1, 9):
+            counter.value = step
+            counter.save_async(on_saved=lambda t, s=step: done.append(s))
+        scenario.put(tag, phone)
+        assert done.wait_for_count(8)
+        assert phone.port.write_attempts - writes_before == 1
+        assert done.snapshot() == list(range(1, 9))
+        assert b'"value": 8' in tag.read_ndef()[0].payload
+
+    def test_save_async_coalesce_false_writes_each_state(self, scenario):
+        from repro.concurrent import EventLog as Log
+        from repro.things.thing import Thing
+        from repro.things.activity import ThingActivity
+        from repro.tags.factory import make_tag
+
+        class Gauge(Thing):
+            value: int
+
+            def __init__(self, activity, value=0):
+                super().__init__(activity)
+                self.value = value
+
+        class GaugeActivity(ThingActivity):
+            THING_CLASS = Gauge
+
+            def on_create(self):
+                self.empties = Log()
+
+            def when_discovered_empty(self, empty):
+                self.empties.append(empty)
+
+        phone = scenario.add_phone("gauge-phone")
+        app = scenario.start(phone, GaugeActivity)
+        tag = make_tag()
+        scenario.put(tag, phone)
+        assert app.empties.wait_for_count(1)
+        gauge = Gauge(app)
+        saved = Log()
+        app.empties.snapshot()[0].initialize(gauge, on_saved=lambda t: saved.append(t))
+        assert saved.wait_for_count(1)
+
+        scenario.take(tag, phone)
+        assert wait_until(lambda: not gauge.reference.is_connected)
+        writes_before = phone.port.write_attempts
+        done = Log()
+        for step in range(3):
+            gauge.value = step
+            gauge.save_async(on_saved=lambda t: done.append(1), coalesce=False)
+        scenario.put(tag, phone)
+        assert done.wait_for_count(3)
+        assert phone.port.write_attempts - writes_before == 3

@@ -1,0 +1,198 @@
+"""Serialization-plan caching: correctness, invalidation, MRO adapters.
+
+The plan cache is a pure fast path -- with and without it, the emitted
+JSON must be byte-identical. The stale-adapter regression (registering an
+adapter after a class was already encoded) and the subclass resolution
+rules live here too.
+"""
+
+from typing import Dict, List, Optional
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gson import Gson, TypeAdapter, annotated_fields, class_plan, transient_fields
+
+
+class Engine:
+    __transient__ = ("warm",)
+
+    cylinders: int
+
+    def __init__(self, cylinders, warm=False):
+        self.cylinders = cylinders
+        self.warm = warm
+
+
+class Vehicle:
+    __transient__ = ("vin_checksum",)
+
+    wheels: int
+    engine: Engine
+
+    def __init__(self, wheels, engine, vin_checksum=0):
+        self.wheels = wheels
+        self.engine = engine
+        self.vin_checksum = vin_checksum
+
+
+class Car(Vehicle):
+    __transient__ = ("odometer",)
+
+    doors: int
+    name: Optional[str]
+
+    def __init__(self, doors, name=None, odometer=0, **kwargs):
+        super().__init__(4, Engine(4), **kwargs)
+        self.doors = doors
+        self.name = name
+        self.odometer = odometer
+
+
+class TestClassPlan:
+    def test_transients_union_across_mro(self):
+        assert transient_fields(Car) == {"odometer", "vin_checksum"}
+        assert transient_fields(Vehicle) == {"vin_checksum"}
+
+    def test_annotations_merged_subclass_wins(self):
+        merged = annotated_fields(Car)
+        assert set(merged) >= {"wheels", "engine", "doors", "name"}
+
+    def test_plan_is_cached_per_class(self):
+        assert class_plan(Car) is class_plan(Car)
+
+    def test_gson_plan_cache_hits_on_reuse(self):
+        gson = Gson()
+        car = Car(5, name="a")
+        gson.to_json(car)
+        misses_after_first = gson.plan_misses
+        gson.to_json(car)
+        gson.to_json(car)
+        assert gson.plan_misses == misses_after_first  # all later lookups hit
+        assert gson.plan_hits > 0
+
+    def test_cache_disabled_never_stores_plans(self):
+        gson = Gson(cache_plans=False)
+        car = Car(5)
+        gson.to_json(car)
+        gson.to_json(car)
+        assert gson.plan_hits == 0
+
+
+class TestCacheTransparency:
+    """Cache on and cache off must produce identical JSON."""
+
+    def test_nested_object_identical(self):
+        car = Car(3, name="kombi", odometer=999, vin_checksum=7)
+        assert Gson().to_json(car) == Gson(cache_plans=False).to_json(car)
+
+    @given(
+        doors=st.integers(min_value=0, max_value=9),
+        name=st.none() | st.text(max_size=20),
+        cylinders=st.integers(min_value=1, max_value=16),
+        extras=st.dictionaries(
+            st.text(min_size=1, max_size=8).filter(lambda s: not s.startswith("_")),
+            st.integers() | st.text(max_size=10) | st.booleans() | st.none(),
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_identical_with_and_without_cache(
+        self, doors, name, cylinders, extras
+    ):
+        car = Car(doors, name=name)
+        car.engine = Engine(cylinders, warm=True)
+        for key, value in extras.items():
+            setattr(car, key, value)
+
+        cached, uncached = Gson(), Gson(cache_plans=False)
+        text_cached = cached.to_json(car)
+        text_uncached = uncached.to_json(car)
+        assert text_cached == text_uncached
+        # And a full round trip revives the same public state either way.
+        revived_a = cached.from_json(text_cached, Car)
+        revived_b = uncached.from_json(text_uncached, Car)
+        assert cached.to_json(revived_a) == uncached.to_json(revived_b)
+        assert revived_a.engine.cylinders == cylinders
+        assert not hasattr(revived_a, "odometer")  # transient stayed off-tag
+
+
+class Money:
+    def __init__(self, cents):
+        self.cents = cents
+
+
+class MoneyAdapter(TypeAdapter):
+    def __init__(self, target=Money):
+        super().__init__(target)
+
+    def to_jsonable(self, value):
+        return f"${value.cents / 100:.2f}"
+
+    def from_jsonable(self, data):
+        return Money(int(round(float(str(data).lstrip("$")) * 100)))
+
+
+class Tip(Money):
+    pass
+
+
+class TestAdapterResolution:
+    def test_register_after_encode_invalidates_cached_plan(self):
+        """The stale-adapter regression: a plan computed before
+        ``register_adapter`` must not keep serving the generic walk."""
+        gson = Gson()
+        assert gson.to_jsonable(Money(150)) == {"cents": 150}  # plan cached
+        gson.register_adapter(MoneyAdapter())
+        assert gson.to_jsonable(Money(150)) == "$1.50"
+
+    def test_adapter_applies_to_subclasses_via_mro(self):
+        gson = Gson([MoneyAdapter()])
+        assert gson.to_jsonable(Tip(25)) == "$0.25"
+
+    def test_exact_adapter_beats_base_class_adapter(self):
+        class TipAdapter(MoneyAdapter):
+            def __init__(self):
+                super().__init__(Tip)
+
+            def to_jsonable(self, value):
+                return {"tip_cents": value.cents}
+
+        gson = Gson([MoneyAdapter(), TipAdapter()])
+        assert gson.to_jsonable(Tip(25)) == {"tip_cents": 25}
+        assert gson.to_jsonable(Money(25)) == "$0.25"
+
+    def test_subclass_plan_recomputed_after_late_registration(self):
+        gson = Gson()
+        assert gson.to_jsonable(Tip(30)) == {"cents": 30}
+        gson.register_adapter(MoneyAdapter())
+        assert gson.to_jsonable(Tip(30)) == "$0.30"
+
+
+class TestDecodeUnaffected:
+    def test_decode_uses_exact_adapter_only(self):
+        gson = Gson([MoneyAdapter()])
+        revived = gson.from_jsonable("$2.50", Money)
+        assert isinstance(revived, Money) and revived.cents == 250
+
+    def test_decode_annotations_cached(self):
+        gson = Gson()
+        data = {"wheels": 4, "doors": 2, "engine": {"cylinders": 6}}
+        car = gson.from_jsonable(data, Car)
+        assert isinstance(car.engine, Engine)
+        assert car.engine.cylinders == 6
+
+
+class TestDynamicClasses:
+    def test_plan_cache_does_not_leak_types(self):
+        """Weak keying: dynamically created classes stay collectable."""
+        import gc
+        import weakref
+
+        cls = type("Ephemeral", (), {"__transient__": ("x",)})
+        class_plan(cls)
+        ref = weakref.ref(cls)
+        del cls
+        gc.collect()
+        assert ref() is None
