@@ -63,13 +63,16 @@ def run(loss: float, seed: int) -> tuple:
 
         # Queued: the Beamer retries until the timeout.
         delivered = EventLog()
+        failures = EventLog()
         for index in range(MESSAGES):
             sender.beamer.beam(
                 f"queued-{index}",
                 on_success=lambda: delivered.append("ok"),
+                on_failed=lambda: failures.append("timed-out"),
                 timeout=5.0,
             )
         assert delivered.wait_for_count(MESSAGES, timeout=10)
+        assert len(failures) == 0
         receiver_phone.sync()
         return len(delivered) / MESSAGES, one_shot_delivered / MESSAGES
 

@@ -199,3 +199,79 @@ def test_ndef_encode_memoization():
 
     assert ENCODE_STATS.misses == misses_after_first  # no re-encode cost
     assert hit_ratio > 0.9
+
+
+def test_beam_payload_cache():
+    """Re-broadcasting an unchanged thing reuses the converted payload.
+
+    ``ThingBeamer`` keys on the canonical JSON text, so the hit path
+    still pays the Gson walk (to compute the key) but skips record
+    construction and NDEF byte assembly entirely -- repeat broadcasts
+    add *zero* encode-cache misses.
+    """
+    from repro.core.beam import Beamer
+    from repro.things.activity import ThingActivity, _ThingWriteConverter
+    from repro.things.thing import Thing
+
+    class BenchReading(Thing):
+        def __init__(self, activity):
+            super().__init__(activity)
+            self.sensor = "temperature"
+            self.samples = list(range(64))
+            self.comment = "x" * 128
+
+    class BenchReadingActivity(ThingActivity):
+        THING_CLASS = BenchReading
+
+    iterations = 2000
+    with Scenario() as scenario:
+        phone = scenario.add_phone("beam-bench")
+        app = scenario.start(phone, BenchReadingActivity)
+        thing = BenchReading(app)
+        cached_beamer = app.thing_beamer  # ThingBeamer
+        plain_beamer = Beamer(app, _ThingWriteConverter(app, app.gson))
+        try:
+            cached_beamer._convert_payload(thing)  # prime the cache
+            ENCODE_STATS.reset()
+            start = time.perf_counter()
+            for _ in range(iterations):
+                cached_beamer._convert_payload(thing)
+            cached_ops = iterations / (time.perf_counter() - start)
+            cached_encode_misses = ENCODE_STATS.misses
+
+            start = time.perf_counter()
+            for _ in range(iterations):
+                plain_beamer._convert_payload(thing).to_bytes()
+            plain_ops = iterations / (time.perf_counter() - start)
+
+            hits = cached_beamer.payload_hits
+            misses = cached_beamer.payload_misses
+        finally:
+            plain_beamer.stop()
+
+    speedup = cached_ops / plain_ops
+    table = Table(
+        f"Beam payload cache -- {iterations} re-broadcasts of an unchanged "
+        "thing",
+        ["variant", "ops/sec", "encode misses", "speedup"],
+    )
+    table.add_row(
+        "payload cache", f"{cached_ops:,.0f}", cached_encode_misses,
+        f"{speedup:.2f}x",
+    )
+    table.add_row("convert per beam", f"{plain_ops:,.0f}", iterations, "1.00x")
+    table.print()
+
+    _PAYLOAD["beam"] = {
+        "iterations": iterations,
+        "cached_ops_per_sec": round(cached_ops, 1),
+        "uncached_ops_per_sec": round(plain_ops, 1),
+        "speedup": round(speedup, 2),
+        "payload_hits": hits,
+        "encode_misses_while_hitting": cached_encode_misses,
+    }
+    emit_bench_json("codec", _PAYLOAD)
+
+    assert hits == iterations and misses == 1
+    assert cached_encode_misses == 0  # hit path never re-encodes
+    assert speedup > 1.0, f"payload cache slower than converting: {speedup:.2f}x"

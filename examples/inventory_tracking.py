@@ -52,6 +52,7 @@ class ClerkActivity(ThingActivity):
             empty.initialize(
                 self.pending_asset,
                 on_saved=lambda a: self.toast(f"labelled crate {a.name}"),
+                on_save_failed=lambda: self.toast("labelling failed, tap again"),
             )
             self.pending_asset = None
 

@@ -40,6 +40,7 @@ class GuideApp(NFCActivity):
             def on_tag_detected(self, reference):
                 reference.read(
                     on_read=lambda r: app.seen.append(r.cached),
+                    on_failed=lambda r: app.seen.append(None),
                     timeout=10.0,
                 )
 

@@ -1,0 +1,31 @@
+"""Correctness tooling for MORENA programs.
+
+Two complementary halves, both grounded in the paper's contract that the
+asynchronous tag-reference model keeps blocking I/O, concurrency and
+serialization hazards out of application code:
+
+* **morelint** -- a static misuse linter (stdlib ``ast``, no imports of
+  the linted code). Run ``python -m repro.analysis.lint <paths>`` or
+  ``python -m repro.cli lint <paths>``. Rules live one-per-module in
+  :mod:`repro.analysis.rules`; see ``--list-rules``.
+* **thread-affinity sanitizer** -- an opt-in runtime race detector
+  (:mod:`repro.analysis.sanitizer`) that instruments ``Looper``,
+  ``Reactor`` and ``TagReference`` to catch middleware threads mutating
+  bound ``Thing`` state off the owning looper, and listeners executing
+  off the main looper. Enable with ``MORENA_SANITIZER=1`` (``=strict``
+  to raise at the violation point) -- the test suite's conftest installs
+  it automatically when the variable is set.
+"""
+
+from repro.analysis.engine import collect_files, lint_paths, lint_source
+from repro.analysis.model import Finding, Rule, Severity, all_rules
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "collect_files",
+    "lint_paths",
+    "lint_source",
+]

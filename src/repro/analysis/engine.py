@@ -1,0 +1,86 @@
+"""File collection and rule dispatch for ``morelint``.
+
+The engine is deliberately boring: expand paths to ``.py`` files, parse
+each into a :class:`~repro.analysis.context.FileContext`, hand the
+context to every selected rule, and return the accumulated findings
+sorted by location. All intelligence lives in the context (shared
+precomputation) and the rules (judgement).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.context import FileContext
+from repro.analysis.model import Finding, Rule, Severity, all_rules
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "node_modules"}
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    out: Set[str] = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = [d for d in dirs if d not in _SKIP_DIRS]
+                for name in files:
+                    if name.endswith(".py"):
+                        out.add(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.add(path)
+    return sorted(out)
+
+
+def lint_source(
+    path: str, source: str, rules: Optional[Iterable[Rule]] = None
+) -> List[Finding]:
+    """Lint one in-memory source buffer (the test entry point)."""
+    try:
+        context = FileContext(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="MOR000",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                column=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        findings.extend(rule.check(context))
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint files/directories; ``select`` filters by rule id."""
+    chosen: Optional[List[Rule]] = None
+    if select is not None:
+        wanted = set(select)
+        chosen = [rule for rule in all_rules() if rule.id in wanted]
+    findings: List[Finding] = []
+    for path in collect_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    rule_id="MOR000",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=1,
+                    column=1,
+                    message=f"file is unreadable: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(path, source, rules=chosen))
+    return findings

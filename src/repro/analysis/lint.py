@@ -1,0 +1,81 @@
+"""The ``morelint`` command line.
+
+::
+
+    python -m repro.analysis.lint src examples benchmarks
+    python -m repro.analysis.lint --select MOR001,MOR003 path/to/app.py
+    python -m repro.analysis.lint --list-rules
+
+Exit codes: ``0`` clean (warnings allowed), ``1`` at least one
+error-severity finding -- the contract the CI lint gate relies on.
+Also reachable as ``python -m repro.cli lint ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.model import Severity, all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="morelint",
+        description="Misuse linter for MORENA programs.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-hints",
+        action="store_true",
+        help="omit the autofix hint lines",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.severity.value:<7}  {rule.name}")
+        print(f"        {rule.summary}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    if not args.paths:
+        print("morelint: no paths given (try --help)", file=sys.stderr)
+        return 2
+    select = (
+        [rule_id.strip() for rule_id in args.select.split(",") if rule_id.strip()]
+        if args.select
+        else None
+    )
+    findings = lint_paths(args.paths, select=select)
+    for finding in findings:
+        print(finding.format(show_hint=not args.no_hints))
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    print(
+        f"morelint: {errors} error(s), {warnings} warning(s) "
+        f"across {len(args.paths)} path(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""The data model of ``morelint``: severities, findings, rules, registry.
+
+A *rule* is one module under :mod:`repro.analysis.rules` exposing a
+module-level ``RULE`` object. Rules are pure functions from a parsed
+:class:`~repro.analysis.context.FileContext` to an iterable of
+:class:`Finding` instances -- they never mutate the context, so the
+engine is free to run them in any order (or skip them via ``--select``).
+
+Severities mirror how the middleware treats the misuse at runtime:
+
+* ``ERROR`` -- the program violates a MORENA contract (blocking the
+  looper, defeating the lease guard, leaking unserializable state onto a
+  tag). The lint CLI exits non-zero; CI fails.
+* ``WARNING`` -- legal but fragile (an asynchronous call whose failure
+  half is missing). Reported, exit code unaffected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One misuse at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+    autofix_hint: str = ""
+
+    def format(self, show_hint: bool = True) -> str:
+        text = (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.severity.value.upper()} {self.rule_id} {self.message}"
+        )
+        if show_hint and self.autofix_hint:
+            text += f"\n    fix: {self.autofix_hint}"
+        return text
+
+
+# A rule's check callable: FileContext -> iterable of findings. Typed
+# loosely to avoid the import cycle with context.py.
+CheckFn = Callable[["object"], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, default severity, autofix hint, check."""
+
+    id: str
+    name: str
+    severity: Severity
+    summary: str
+    autofix_hint: str
+    check: CheckFn
+
+    def finding(
+        self,
+        context,
+        node,
+        message: str,
+        severity: Optional[Severity] = None,
+        autofix_hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at an AST node."""
+        return Finding(
+            rule_id=self.id,
+            severity=self.severity if severity is None else severity,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            autofix_hint=self.autofix_hint if autofix_hint is None else autofix_hint,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Add ``rule`` to the global registry (idempotent per id)."""
+    existing = _REGISTRY.get(rule.id)
+    if existing is not None and existing is not rule:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id. Imports the rule package on
+    first use so ``python -m repro.analysis.lint`` needs no setup."""
+    import repro.analysis.rules  # noqa: F401 - side effect: registration
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    import repro.analysis.rules  # noqa: F401 - side effect: registration
+
+    return _REGISTRY[rule_id]

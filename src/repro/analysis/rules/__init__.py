@@ -1,0 +1,25 @@
+"""The ``morelint`` rule set: one module per rule.
+
+Importing this package registers every rule with the global registry in
+:mod:`repro.analysis.model`. A rule module exposes a module-level
+``RULE`` built via ``model.register(Rule(...))`` -- adding a rule is
+adding a module here and importing it below.
+"""
+
+from repro.analysis.rules import (  # noqa: F401 - imported for registration
+    mor001_blocking_calls,
+    mor002_unpaired_listeners,
+    mor003_transient_state,
+    mor004_adapter_churn,
+    mor005_coalesced_guarded_writes,
+    mor006_off_looper_capture,
+)
+
+ALL_RULE_MODULES = (
+    mor001_blocking_calls,
+    mor002_unpaired_listeners,
+    mor003_transient_state,
+    mor004_adapter_churn,
+    mor005_coalesced_guarded_writes,
+    mor006_off_looper_capture,
+)

@@ -1,0 +1,118 @@
+"""MOR001: blocking call on the main looper.
+
+Every MORENA listener runs on the activity's main looper (paper section
+3.2) -- that is the whole point of the asynchronous reference API.
+Calling ``time.sleep``, waiting on a future, or doing synchronous
+socket/file I/O inside a listener body therefore freezes the UI *and*
+every other listener of the device, silently re-introducing the
+blocking-I/O failure mode the middleware exists to prevent.
+``OperationFuture.result`` says it outright: "Never call this from the
+activity's main thread".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.context import FileContext, call_name, tail_name
+from repro.analysis.model import Finding, Rule, Severity, register
+
+# Bare or dotted call targets that always block.
+_BLOCKING_NAMES = frozenset(
+    {
+        "time.sleep",
+        "sleep",
+        "wait_until",
+        "open",
+        "input",
+        "urllib.request.urlopen",
+        "urlopen",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+    }
+)
+
+# Attribute calls that block regardless of the receiver.
+_BLOCKING_ATTRS = frozenset(
+    {
+        "wait_for_count",  # EventLog
+        "communicate",  # subprocess
+    }
+)
+
+# Socket verbs block only when the receiver smells like a socket --
+# ``thing.connect(wifi)`` is an application method, ``sock.connect`` is I/O.
+_SOCKET_ATTRS = frozenset({"recv", "recvfrom", "accept", "connect", "sendall"})
+_SOCKETISH = ("sock", "conn")
+
+# Attribute calls that block when the receiver smells like a future or a
+# thread ('.get()' alone would drown in dict lookups).
+_FUTURE_ATTRS = frozenset({"get", "result"})
+_FUTUREISH = ("future", "fut", "promise")
+_THREAD_ATTRS = frozenset({"join"})
+_THREADISH = ("thread", "worker", "looper")
+# Condition/event style waits -- blocking whoever the receiver is.
+_WAIT_ATTRS = frozenset({"wait", "wait_for", "wait_idle", "sync"})
+
+
+def _receiver_text(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Attribute):
+        return call_name(node.func.value).lower()
+    return ""
+
+
+def _is_blocking(call: ast.Call) -> bool:
+    dotted = call_name(call.func)
+    if dotted in _BLOCKING_NAMES:
+        return True
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    attr = tail_name(call.func)
+    if attr in _BLOCKING_ATTRS or attr in _WAIT_ATTRS:
+        return True
+    receiver = _receiver_text(call)
+    if attr in _SOCKET_ATTRS and any(mark in receiver for mark in _SOCKETISH):
+        return True
+    if attr in _FUTURE_ATTRS and (
+        any(mark in receiver for mark in _FUTUREISH) or receiver.endswith("_future()")
+    ):
+        return True
+    if attr in _THREAD_ATTRS and any(mark in receiver for mark in _THREADISH):
+        return True
+    return False
+
+
+def check(context: FileContext) -> Iterator[Finding]:
+    findings: List[Finding] = []
+    for callback in context.looper_contexts:
+        for node in callback.walk():
+            if isinstance(node, ast.Call) and _is_blocking(node):
+                findings.append(
+                    RULE.finding(
+                        context,
+                        node,
+                        f"blocking call {call_name(node.func)!r} inside "
+                        f"{callback.name!r}, which runs on the main looper; "
+                        "this freezes the UI and every other listener",
+                    )
+                )
+    return iter(findings)
+
+
+RULE = register(
+    Rule(
+        id="MOR001",
+        name="blocking-call-on-looper",
+        severity=Severity.ERROR,
+        summary="time.sleep / future waits / sync I/O inside a listener body",
+        autofix_hint=(
+            "use the asynchronous API (read/write/save_async with listeners) "
+            "or move the blocking work off the looper and post the result back"
+        ),
+        check=check,
+    )
+)

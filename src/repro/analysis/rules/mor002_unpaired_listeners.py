@@ -1,0 +1,56 @@
+"""MOR002: asynchronous call missing the failure half of its listener pair.
+
+The paper's API deliberately splits success and failure into two
+first-class listeners (section 2.2) and every asynchronous operation can
+time out -- a tag write races the user pulling the phone away. A call
+site that registers the success listener but no failure listener has
+decided the happy path matters and the timeout path does not: the user
+taps, nothing happens, and the application never learns why.
+
+Thing-level calls (``save_async`` / ``refresh_async`` / ``broadcast`` /
+``initialize`` / ``beam``) are the paper's headline pairs and report as
+errors; reference-level calls (``read`` / ``write`` / ...) report as
+warnings, because protocol layers sometimes observe failure elsewhere
+(e.g. through the operation object). A call passing *neither* listener
+is deliberate fire-and-forget and stays silent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.analysis.context import FileContext
+from repro.analysis.model import Finding, Rule, Severity, register
+
+
+def check(context: FileContext) -> Iterator[Finding]:
+    findings: List[Finding] = []
+    for site in context.async_calls:
+        if not site.has_success or site.has_failure:
+            continue
+        severity = Severity.ERROR if site.thing_level else Severity.WARNING
+        findings.append(
+            RULE.finding(
+                context,
+                site.node,
+                f"{site.method}() registers a success listener but no "
+                "failure listener; the timeout path is silent",
+                severity=severity,
+            )
+        )
+    return iter(findings)
+
+
+RULE = register(
+    Rule(
+        id="MOR002",
+        name="unpaired-listener",
+        severity=Severity.ERROR,
+        summary="success listener registered without its failure half",
+        autofix_hint=(
+            "pass on_failed=... alongside the success listener (different "
+            "success listeners may share one failure listener)"
+        ),
+        check=check,
+    )
+)

@@ -1,0 +1,142 @@
+"""MOR003: unserializable state in a ``Thing`` without ``__transient__``.
+
+Every public attribute of a ``Thing`` is serialized to JSON when the
+thing is saved to a tag (paper section 2: GSON plus ``transient``).
+Locks, threads, callables and open handles cannot survive that trip --
+serialization either raises at the worst possible moment (inside an
+asynchronous save) or, worse, writes garbage a *hostile* tag can feed
+back (Trojan-of-Things). Such fields must be named in ``__transient__``
+or stored under a ``_``-prefixed name.
+
+The symmetric misuse is a ``__transient__`` entry naming no field at
+all: a typo there silently serializes the field it meant to skip.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.context import FileContext, ThingClass, call_name, tail_name
+from repro.analysis.model import Finding, Rule, Severity, register
+
+# Constructor tails that produce state JSON cannot hold.
+_UNSERIALIZABLE_FACTORIES = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Barrier",
+        "Thread",
+        "Timer",
+        "Queue",
+        "LifoQueue",
+        "PriorityQueue",
+        "SimpleQueue",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "Popen",
+        "socket",
+    }
+)
+
+
+def _unserializable_reason(value: ast.AST) -> str:
+    if isinstance(value, ast.Lambda):
+        return "a lambda (callables do not serialize)"
+    if isinstance(value, ast.Call):
+        name = call_name(value.func)
+        tail = tail_name(value.func)
+        if tail in _UNSERIALIZABLE_FACTORIES:
+            return f"{name}() (runtime state does not serialize)"
+        if name == "open" or name.endswith(".open"):
+            return f"{name}() (open handles do not serialize)"
+    return ""
+
+
+def _local_chain(
+    thing: ThingClass, by_name: Dict[str, ThingClass]
+) -> List[ThingClass]:
+    """``thing`` plus its in-file ancestors, nearest first."""
+    chain: List[ThingClass] = []
+    seen: Set[str] = set()
+    stack = [thing]
+    while stack:
+        current = stack.pop(0)
+        if current.node.name in seen:
+            continue
+        seen.add(current.node.name)
+        chain.append(current)
+        for base in current.node.bases:
+            base_name = tail_name(base)
+            if base_name in by_name:
+                stack.append(by_name[base_name])
+    return chain
+
+
+def check(context: FileContext) -> Iterator[Finding]:
+    findings: List[Finding] = []
+    by_name = {thing.node.name: thing for thing in context.thing_classes}
+    for thing in context.thing_classes:
+        chain = _local_chain(thing, by_name)
+        effective_transients: Set[str] = set()
+        known_fields: Set[str] = set()
+        for ancestor in chain:
+            effective_transients.update(ancestor.transients)
+            known_fields.update(ancestor.fields)
+
+        for field_name, node in sorted(thing.fields.items()):
+            if field_name.startswith("_") or field_name in effective_transients:
+                continue
+            value = getattr(node, "value", None)
+            if value is None:
+                continue
+            reason = _unserializable_reason(value)
+            if reason:
+                findings.append(
+                    RULE.finding(
+                        context,
+                        node,
+                        f"{thing.node.name}.{field_name} holds {reason} but "
+                        "is not listed in __transient__; saving this thing "
+                        "to a tag will fail or leak runtime state",
+                    )
+                )
+
+        # Typo detection: a declared transient that names no field. Only
+        # the class's *own* declaration is judged -- inherited names are
+        # the base's business (subclass unions are legitimate).
+        for name in thing.transients:
+            if name not in known_fields:
+                findings.append(
+                    RULE.finding(
+                        context,
+                        thing.transient_node or thing.node,
+                        f"__transient__ entry {name!r} on {thing.node.name} "
+                        "names no field; a typo here silently serializes "
+                        "the field it meant to skip",
+                        autofix_hint=(
+                            "fix the name to match an assigned field, or "
+                            "delete the stale entry"
+                        ),
+                    )
+                )
+    return iter(findings)
+
+
+RULE = register(
+    Rule(
+        id="MOR003",
+        name="unserializable-thing-state",
+        severity=Severity.ERROR,
+        summary="Thing fields holding locks/threads/handles outside __transient__",
+        autofix_hint=(
+            "add the field to __transient__ (and rebuild it after "
+            "deserialization) or store it under a _-prefixed name"
+        ),
+        check=check,
+    )
+)

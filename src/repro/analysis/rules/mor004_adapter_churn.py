@@ -1,0 +1,54 @@
+"""MOR004: ``Gson.register_adapter`` inside a hot callback.
+
+``register_adapter`` invalidates every cached ``SerializationPlan`` of
+its ``Gson`` instance -- registering an adapter after a class was
+encoded *must* affect subsequent encodes, so the cache flushes. Calling
+it inside a listener (``when_discovered`` fires on every tap, save
+listeners on every settle) therefore flushes the plan cache on every
+event, silently downgrading the serialize pipeline to the no-cache
+baseline the codec benchmark measures at >= 3x slower. Adapters belong
+in one-time configuration: ``ThingActivity.make_gson`` or module setup.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.context import FileContext, tail_name
+from repro.analysis.model import Finding, Rule, Severity, register
+
+
+def check(context: FileContext) -> Iterator[Finding]:
+    findings: List[Finding] = []
+    for callback in context.looper_contexts:
+        for node in callback.walk():
+            if (
+                isinstance(node, ast.Call)
+                and tail_name(node.func) == "register_adapter"
+            ):
+                findings.append(
+                    RULE.finding(
+                        context,
+                        node,
+                        f"register_adapter() inside {callback.name!r} "
+                        "invalidates the serialization plan cache on every "
+                        "event, defeating the codec fast path",
+                    )
+                )
+    return iter(findings)
+
+
+RULE = register(
+    Rule(
+        id="MOR004",
+        name="adapter-churn-in-callback",
+        severity=Severity.ERROR,
+        summary="register_adapter in a listener flushes the plan cache per event",
+        autofix_hint=(
+            "register adapters once, in ThingActivity.make_gson() (or module "
+            "setup), not per event"
+        ),
+        check=check,
+    )
+)

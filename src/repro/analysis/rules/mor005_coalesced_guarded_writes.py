@@ -1,0 +1,83 @@
+"""MOR005: ``coalesce=True`` on writes that must respect the guard protocol.
+
+Write coalescing collapses queued redundant writes to the newest payload
+-- safe for idempotent application state, *unsafe* for protocol records.
+Raw writes (``write_raw``) carry lease/lock records that must each
+physically reach the tag (the lease guard protocol reads the current
+holder before overwriting); locking (``make_read_only``) and ``format``
+change tag state, not content. The reference layer already refuses to
+coalesce raw writes internally -- passing ``coalesce=True`` at such a
+call site signals the author expects a merge that will never (and must
+never) happen, or worse, would reorder a guarded sequence if it did.
+
+Writes through a lease-keeping object (receiver named ``*lease*`` /
+``*lock*`` / ``*keeper*``) are judged the same way: a lease renewal has
+its own merge rule (latest expiry wins, under the guard), not the
+generic tail merge.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.context import FileContext, call_name, get_keyword, tail_name
+from repro.analysis.model import Finding, Rule, Severity, register
+
+_RAW_OR_LOCKED = frozenset({"write_raw", "read_raw", "make_read_only", "format"})
+_COALESCIBLE = frozenset({"write", "save_async"})
+_GUARDISH = ("lease", "lock", "keeper")
+
+
+def check(context: FileContext) -> Iterator[Finding]:
+    findings: List[Finding] = []
+    for call in context.calls:
+        if not isinstance(call.func, ast.Attribute):
+            continue
+        keyword = get_keyword(call, "coalesce")
+        if keyword is None:
+            continue
+        if not (
+            isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+        ):
+            continue
+        method = tail_name(call.func)
+        if method in _RAW_OR_LOCKED:
+            findings.append(
+                RULE.finding(
+                    context,
+                    call,
+                    f"coalesce=True on {method}(): raw and locking "
+                    "operations never coalesce -- each must physically "
+                    "reach the tag (lease guard protocol)",
+                )
+            )
+        elif method in _COALESCIBLE:
+            receiver = call_name(call.func.value).lower()
+            if any(mark in receiver for mark in _GUARDISH):
+                findings.append(
+                    RULE.finding(
+                        context,
+                        call,
+                        f"coalesce=True on {method}() through "
+                        f"{call_name(call.func.value)!r}: lease/lock records "
+                        "must respect the guard protocol, not the generic "
+                        "tail merge",
+                    )
+                )
+    return iter(findings)
+
+
+RULE = register(
+    Rule(
+        id="MOR005",
+        name="coalesced-guarded-write",
+        severity=Severity.ERROR,
+        summary="coalesce=True on raw/locked/lease writes",
+        autofix_hint=(
+            "drop coalesce=True; lease renewals collapse via the leasing "
+            "layer's own latest-expiry rule, raw writes must all land"
+        ),
+        check=check,
+    )
+)

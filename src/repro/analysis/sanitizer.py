@@ -1,0 +1,310 @@
+"""Runtime thread-affinity sanitizer for MORENA programs.
+
+The paper's contract is a thread-affinity contract: listeners "are
+always asynchronously scheduled for execution in the activity's main
+thread", so bound :class:`~repro.things.thing.Thing` state is owned by
+the device's main looper and nothing running on middleware threads
+(reactor workers, looper pumps, reference/beamer event loops) may poke
+it directly. ``morelint`` checks that statically; this module checks it
+at run time, for the cases no source analysis can see (callbacks built
+dynamically, third-party helpers, the middleware itself regressing).
+
+When installed, the sanitizer patches:
+
+* ``Looper._loop``, ``Reactor._worker_loop`` / ``_timer_loop``,
+  ``TagReference._event_loop`` and ``Beamer._event_loop`` so every
+  middleware thread registers itself on entry (threads started *before*
+  installation are recognized by their names as a fallback);
+* ``Thing.__setattr__`` so public-field writes to a *bound* Thing from
+  a middleware thread that is not the owning looper's pump thread are
+  recorded as :class:`AffinityViolation`; unbound Things stay freely
+  mutable -- Gson legitimately revives them on reactor workers;
+* ``TagReference._post_listener`` so every listener verifies, at the
+  moment it executes, that it is running on the reference's main looper.
+
+External threads (a test's main thread, a user script) are deliberately
+*not* flagged: the simulation's "UI thread" is whatever drives the
+scenario, and mutating a Thing there then calling ``save_async`` is the
+documented programming model.
+
+Usage::
+
+    from repro.analysis import sanitizer
+    san = sanitizer.install()            # or install(strict=True)
+    ...
+    print(san.format_report())
+    sanitizer.uninstall()
+
+or set ``MORENA_SANITIZER=1`` (``=strict`` to raise at the violation
+point) and let the test suite's conftest install it for the session.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "AffinityViolation",
+    "AffinityViolationError",
+    "ThreadAffinitySanitizer",
+    "current",
+    "install",
+    "install_from_env",
+    "uninstall",
+]
+
+# Thread-name fallbacks for middleware threads started before install().
+_MIDDLEWARE_NAME_MARKS: Tuple[str, ...] = ("looper-", "tagref-", "beamer-")
+
+
+class AffinityViolationError(RuntimeError):
+    """Raised at the violation point when the sanitizer runs strict."""
+
+
+@dataclass(frozen=True)
+class AffinityViolation:
+    """One recorded breach of the thread-affinity contract."""
+
+    kind: str  # "off-looper-mutation" | "listener-off-looper"
+    subject: str  # e.g. "WifiConfig.ssid" or the listener's repr
+    thread_name: str  # the offending thread
+    owner: str  # the looper that owns the subject
+    location: str  # innermost user frame, "file:line"
+
+    def __str__(self) -> str:
+        if self.kind == "off-looper-mutation":
+            return (
+                f"{self.location}: thread {self.thread_name!r} mutated "
+                f"{self.subject} but the field is owned by looper "
+                f"{self.owner!r}; post the mutation to the looper instead"
+            )
+        return (
+            f"{self.location}: listener {self.subject} executed on thread "
+            f"{self.thread_name!r} instead of its main looper {self.owner!r}"
+        )
+
+
+def _caller_location() -> str:
+    """Innermost stack frame outside this module, as ``file:line``."""
+    for frame in reversed(traceback.extract_stack()):
+        if not frame.filename.endswith("sanitizer.py"):
+            return f"{frame.filename}:{frame.lineno}"
+    return "<unknown>"
+
+
+class ThreadAffinitySanitizer:
+    """Patches the middleware; collects :class:`AffinityViolation`."""
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.violations: List[AffinityViolation] = []
+        self._lock = threading.Lock()
+        self._middleware_idents: Dict[int, str] = {}  # ident -> role
+        self._originals: List[Tuple[type, str, Any]] = []
+        self._installed = False
+
+    # -- middleware-thread bookkeeping ---------------------------------------
+
+    def register_current_thread(self, role: str) -> None:
+        """Mark the calling thread as middleware (loops call this on entry)."""
+        thread = threading.current_thread()
+        with self._lock:
+            self._middleware_idents[thread.ident] = role
+
+    def is_middleware_thread(self) -> bool:
+        thread = threading.current_thread()
+        with self._lock:
+            if thread.ident in self._middleware_idents:
+                return True
+        name = thread.name
+        return any(name.startswith(mark) for mark in _MIDDLEWARE_NAME_MARKS) or (
+            "-worker-" in name or name.endswith("-timer")
+        )
+
+    # -- recording -----------------------------------------------------------
+
+    def _record(self, violation: AffinityViolation) -> None:
+        with self._lock:
+            self.violations.append(violation)
+        if self.strict:
+            raise AffinityViolationError(str(violation))
+
+    def drain(self, start: int = 0) -> List[AffinityViolation]:
+        """Return and remove violations recorded at index >= ``start``."""
+        with self._lock:
+            drained = self.violations[start:]
+            del self.violations[start:]
+            return drained
+
+    def format_report(self) -> str:
+        with self._lock:
+            violations = list(self.violations)
+        if not violations:
+            return "thread-affinity sanitizer: no violations"
+        lines = [
+            f"thread-affinity sanitizer: {len(violations)} violation(s)"
+        ] + [f"  {violation}" for violation in violations]
+        return "\n".join(lines)
+
+    # -- patching ------------------------------------------------------------
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        from repro.android.looper import Looper
+        from repro.core.beam import Beamer
+        from repro.core.reference import TagReference
+        from repro.core.scheduler import Reactor
+        from repro.things.thing import Thing
+
+        self._patch_registering(Looper, "_loop", "looper")
+        self._patch_registering(Reactor, "_worker_loop", "reactor-worker")
+        self._patch_registering(Reactor, "_timer_loop", "reactor-timer")
+        self._patch_registering(TagReference, "_event_loop", "reference")
+        self._patch_registering(Beamer, "_event_loop", "beamer")
+        self._patch_thing_setattr(Thing)
+        self._patch_post_listener(TagReference)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        for klass, attr, original in reversed(self._originals):
+            if original is None:
+                try:
+                    delattr(klass, attr)
+                except AttributeError:  # pragma: no cover - already gone
+                    pass
+            else:
+                setattr(klass, attr, original)
+        self._originals.clear()
+        self._installed = False
+
+    def _save(self, klass: type, attr: str) -> Any:
+        original = klass.__dict__.get(attr)
+        self._originals.append((klass, attr, original))
+        return getattr(klass, attr, None)
+
+    def _patch_registering(self, klass: type, attr: str, role: str) -> None:
+        original = self._save(klass, attr)
+        sanitizer = self
+
+        def runner(obj: Any, *args: Any, **kwargs: Any) -> Any:
+            sanitizer.register_current_thread(role)
+            return original(obj, *args, **kwargs)
+
+        runner.__name__ = attr
+        setattr(klass, attr, runner)
+
+    def _patch_thing_setattr(self, thing_class: type) -> None:
+        # Thing does not define __setattr__, so the saved original is
+        # None and uninstall() deletes the patch, restoring object's.
+        self._save(thing_class, "__setattr__")
+        sanitizer = self
+
+        def checked_setattr(thing: Any, name: str, value: Any) -> None:
+            if not name.startswith("_") and sanitizer.is_middleware_thread():
+                owner = sanitizer.owner_of(thing)
+                if owner is not None and not owner.is_current_thread:
+                    object.__setattr__(thing, name, value)
+                    sanitizer._record(
+                        AffinityViolation(
+                            kind="off-looper-mutation",
+                            subject=f"{type(thing).__name__}.{name}",
+                            thread_name=threading.current_thread().name,
+                            owner=owner.name,
+                            location=_caller_location(),
+                        )
+                    )
+                    return
+            object.__setattr__(thing, name, value)
+
+        thing_class.__setattr__ = checked_setattr
+
+    def _patch_post_listener(self, reference_class: type) -> None:
+        original = self._save(reference_class, "_post_listener")
+        sanitizer = self
+
+        def checked_post(
+            reference: Any, callback: Callable[..., None], *args: Any
+        ) -> None:
+            looper = reference.looper
+
+            def guarded(*callback_args: Any) -> None:
+                if not looper.is_current_thread:
+                    sanitizer._record(
+                        AffinityViolation(
+                            kind="listener-off-looper",
+                            subject=getattr(
+                                callback, "__qualname__", repr(callback)
+                            ),
+                            thread_name=threading.current_thread().name,
+                            owner=looper.name,
+                            location=_caller_location(),
+                        )
+                    )
+                callback(*callback_args)
+
+            original(reference, guarded, *args)
+
+        checked_post.__name__ = "_post_listener"
+        reference_class._post_listener = checked_post
+
+    # -- ownership -----------------------------------------------------------
+
+    @staticmethod
+    def owner_of(thing: Any) -> Optional[Any]:
+        """The looper owning ``thing``'s public fields, or ``None``.
+
+        Only *bound* Things have an owner: binding is the moment a Thing
+        becomes shared with the middleware (Gson freely builds and fills
+        unbound instances on reactor workers while reviving reads).
+        """
+        if thing.__dict__.get("_reference") is None:
+            return None
+        activity = thing.__dict__.get("_activity")
+        device = getattr(activity, "device", None)
+        return getattr(device, "main_looper", None)
+
+
+# -- module-level singleton ----------------------------------------------------
+
+_active: Optional[ThreadAffinitySanitizer] = None
+
+
+def current() -> Optional[ThreadAffinitySanitizer]:
+    """The installed sanitizer, or ``None``."""
+    return _active
+
+
+def install(strict: bool = False) -> ThreadAffinitySanitizer:
+    """Install (idempotent: returns the existing instance if active)."""
+    global _active
+    if _active is not None:
+        return _active
+    sanitizer = ThreadAffinitySanitizer(strict=strict)
+    sanitizer.install()
+    _active = sanitizer
+    return sanitizer
+
+
+def uninstall() -> None:
+    global _active
+    if _active is not None:
+        _active.uninstall()
+        _active = None
+
+
+def install_from_env(
+    variable: str = "MORENA_SANITIZER",
+) -> Optional[ThreadAffinitySanitizer]:
+    """Install according to ``MORENA_SANITIZER``: unset/``0``/``off`` ->
+    no-op, ``strict`` -> strict mode, anything else truthy -> record-only."""
+    value = os.environ.get(variable, "").strip().lower()
+    if value in ("", "0", "off", "false", "no"):
+        return None
+    return install(strict=value == "strict")

@@ -86,6 +86,11 @@ class Looper:
         return threading.current_thread() is self._thread
 
     @property
+    def thread(self) -> threading.Thread:
+        """The pump thread -- the owner identity tools key affinity on."""
+        return self._thread
+
+    @property
     def processed_count(self) -> int:
         with self._cond:
             return self._processed

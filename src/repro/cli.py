@@ -7,6 +7,7 @@
     python -m repro.cli demo beam         # phone-to-phone Beam demo
     python -m repro.cli tagdump           # write a tag and hexdump its memory
     python -m repro.cli tagdump --type NTAG213 --text "hello"
+    python -m repro.cli lint src examples # run the morelint misuse linter
 
 Everything runs against the in-process simulation; no hardware, no
 network, no state outside the current directory.
@@ -162,6 +163,19 @@ def _cmd_tagdump(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.no_hints:
+        argv.append("--no-hints")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -190,6 +204,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--bytes", type=int, default=96, help="how many bytes to dump"
     )
     tagdump.set_defaults(handler=_cmd_tagdump)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the morelint misuse linter over files or directories"
+    )
+    lint.add_argument("paths", nargs="*", help="files or directories to lint")
+    lint.add_argument("--select", help="comma-separated rule ids to run")
+    lint.add_argument(
+        "--no-hints", action="store_true", help="omit the autofix hint lines"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

@@ -104,7 +104,7 @@ class Beamer:
             original_object=obj,
         )
         try:
-            operation.payload = self._write_converter.convert(obj)
+            operation.payload = self._convert_payload(obj)
         except ConverterError as exc:
             operation.outcome = OperationOutcome.FAILED
             operation.error = exc
@@ -116,6 +116,15 @@ class Beamer:
             self._queue.append(operation)
             self._cond.notify_all()
         return operation
+
+    def _convert_payload(self, obj: Any) -> NdefMessage:
+        """Turn ``obj`` into the NDEF message to push.
+
+        Runs once per :meth:`beam` call, on the caller's thread (the
+        retry loop re-pushes the same message). Subclasses may cache --
+        see :class:`repro.things.beamer.ThingBeamer`.
+        """
+        return self._write_converter.convert(obj)
 
     @property
     def pending_count(self) -> int:

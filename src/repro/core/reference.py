@@ -89,6 +89,7 @@ from repro.ndef.message import NdefMessage
 from repro.radio.events import FieldEvent, TagEntered, TagLeft
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.android.looper import Looper
     from repro.android.nfc.tech import Tag
     from repro.core.nfc_activity import NFCActivity
 
@@ -204,6 +205,11 @@ class TagReference:
     @property
     def activity(self) -> "NFCActivity":
         return self._activity
+
+    @property
+    def looper(self) -> "Looper":
+        """The main looper all of this reference's listeners post to."""
+        return self._looper
 
     @property
     def cached(self) -> Any:

@@ -155,6 +155,16 @@ class Reactor:
             return self._steps
 
     @property
+    def owns_current_thread(self) -> bool:
+        """True when called from one of this reactor's workers or its
+        timer thread -- the affinity-sanitizer's middleware test."""
+        current = threading.current_thread()
+        with self._cond:
+            return current is self._timer_thread or any(
+                current is worker for worker in self._workers
+            )
+
+    @property
     def is_stopped(self) -> bool:
         with self._cond:
             return self._stopped

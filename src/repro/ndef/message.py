@@ -96,9 +96,9 @@ class NdefMessage:
     def to_bytes(self) -> bytes:
         data = self._encoded
         if data is not None:
-            ENCODE_STATS.hits += 1
+            ENCODE_STATS.hit()
             return data
-        ENCODE_STATS.misses += 1
+        ENCODE_STATS.miss()
         out = bytearray()
         last = len(self._records) - 1
         for index, record in enumerate(self._records):

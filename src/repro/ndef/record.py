@@ -28,6 +28,7 @@ reassembly) lives in :mod:`repro.ndef.message`.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator, List, Tuple
 
@@ -49,28 +50,56 @@ MAX_PAYLOAD_LENGTH = 0xFFFFFFFF
 class EncodeStats:
     """Process-wide encode-cache telemetry for records and messages.
 
-    Counters are plain ints bumped without a lock: exact in the
-    single-threaded benches that read them, approximate under
-    concurrency -- never load-bearing for correctness.
+    Bumped from every thread that encodes (reactor workers, beamer and
+    looper threads, benches), so the counters are guarded by a lock --
+    ``hit()``/``miss()`` are the increments, ``hits``/``misses`` and
+    ``snapshot()`` the consistent reads.
     """
 
-    __slots__ = ("hits", "misses")
+    __slots__ = ("_lock", "_hits", "_misses")
 
     def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def hit(self) -> None:
+        with self._lock:
+            self._hits += 1
+
+    def miss(self) -> None:
+        with self._lock:
+            self._misses += 1
 
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    def snapshot(self) -> Tuple[int, int]:
+        """(hits, misses) read atomically -- use when comparing both."""
+        with self._lock:
+            return self._hits, self._misses
 
     @property
     def hit_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        hits, misses = self.snapshot()
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def __repr__(self) -> str:
-        return f"EncodeStats(hits={self.hits}, misses={self.misses})"
+        hits, misses = self.snapshot()
+        return f"EncodeStats(hits={hits}, misses={misses})"
 
 
 #: Shared by :meth:`NdefRecord.to_bytes` and ``NdefMessage.to_bytes``.
@@ -169,9 +198,9 @@ class NdefRecord:
         key = (message_begin, message_end)
         data = cache.get(key)
         if data is not None:
-            ENCODE_STATS.hits += 1
+            ENCODE_STATS.hit()
             return data
-        ENCODE_STATS.misses += 1
+        ENCODE_STATS.miss()
         data = encode_record_raw(
             tnf=self.tnf,
             type_=self.type,

@@ -15,6 +15,8 @@ pairs, and with serialization (GSON-style JSON) handled automatically.
   ``whenDiscovered``; Python has no overloading, hence two names.)
 * :class:`~repro.things.empty.EmptyRecord` -- the special thing denoting
   an empty tag; its ``initialize`` binds a fresh thing to the tag.
+* :class:`~repro.things.beamer.ThingBeamer` -- the payload-caching
+  Beamer behind ``Thing.broadcast``.
 * :mod:`repro.things.listeners` -- ``ThingSavedListener`` and friends.
 """
 
@@ -29,10 +31,12 @@ from repro.things.listeners import (
 from repro.things.thing import Thing
 from repro.things.empty import EmptyRecord
 from repro.things.activity import ThingActivity
+from repro.things.beamer import ThingBeamer
 
 __all__ = [
     "Thing",
     "ThingActivity",
+    "ThingBeamer",
     "EmptyRecord",
     "ThingSavedListener",
     "ThingSaveFailedListener",

@@ -89,11 +89,12 @@ class _ThingWriteConverter(ObjectToJsonConverter):
         super().__init__(thing_mime_type(activity.THING_CLASS), gson)
         self._activity = activity
 
-    def convert(self, obj: Any) -> NdefMessage:
+    def to_text(self, obj: Any) -> str:
+        """The canonical JSON text for ``obj`` -- also the payload-cache
+        key :class:`repro.things.beamer.ThingBeamer` compares on."""
         import json
 
         from repro.errors import ConverterError
-        from repro.ndef.mime import mime_record
 
         try:
             data = self._gson.to_jsonable(obj)
@@ -103,7 +104,12 @@ class _ThingWriteConverter(ObjectToJsonConverter):
             ) from exc
         if self._activity.schema_version != 1:
             data["_schema"] = self._activity.schema_version
-        text = json.dumps(data, sort_keys=True)
+        return json.dumps(data, sort_keys=True)
+
+    def convert(self, obj: Any) -> NdefMessage:
+        from repro.ndef.mime import mime_record
+
+        text = self.to_text(obj)
         return NdefMessage([mime_record(self.mime_type, text.encode("utf-8"))])
 
 
@@ -221,9 +227,16 @@ class ThingActivity(NFCActivity):
 
     @property
     def thing_beamer(self) -> Beamer:
-        """The lazily created Beamer used by ``Thing.broadcast``."""
+        """The lazily created Beamer used by ``Thing.broadcast``.
+
+        A payload-caching :class:`~repro.things.beamer.ThingBeamer`:
+        re-broadcasting an unchanged thing reuses the previous NDEF
+        message and its memoized bytes.
+        """
         if self._thing_beamer is None:
-            self._thing_beamer = Beamer(
+            from repro.things.beamer import ThingBeamer
+
+            self._thing_beamer = ThingBeamer(
                 self, _ThingWriteConverter(self, self.gson)
             )
         return self._thing_beamer

@@ -1,0 +1,71 @@
+"""``ThingBeamer``: a payload-caching Beamer for the things layer.
+
+``Thing.broadcast`` is typically called in application retry loops --
+re-broadcast the same inventory item until some peer acknowledges, tick
+out the current sensor reading every few seconds. Each ``beam()`` call
+used to re-run the whole serialize pipeline (Gson walk -> JSON dump ->
+NDEF record build -> byte encode) even when the thing had not changed
+between calls.
+
+The Gson side already amortizes per *class* via the serialization-plan
+cache; this class amortizes per *value*: it remembers the canonical JSON
+text of the last payload and, when an identical text comes back, reuses
+the previous :class:`~repro.ndef.message.NdefMessage` -- whose encoded
+bytes are memoized, so the repeat broadcast skips record construction
+and NDEF encoding entirely. The cache compares serialized text, not
+object identity, so a mutated-then-restored thing still hits and a
+mutated thing always misses.
+
+``benchmarks/test_bench_codec.py`` measures the effect (the ``beam``
+row of ``BENCH_codec.json``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.core.beam import Beamer
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+
+
+class ThingBeamer(Beamer):
+    """A :class:`Beamer` that memoizes the last converted payload.
+
+    Requires a write converter exposing ``to_text(obj)`` and
+    ``mime_type`` (the things layer's ``_ThingWriteConverter`` does);
+    any other converter silently degrades to the uncached base path.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._payload_lock = threading.Lock()
+        self._cached_text: Optional[str] = None
+        self._cached_payload: Optional[NdefMessage] = None
+        self.payload_hits = 0
+        self.payload_misses = 0
+
+    def _convert_payload(self, obj: Any) -> NdefMessage:
+        to_text = getattr(self._write_converter, "to_text", None)
+        if to_text is None:  # converter cannot produce a cache key
+            return super()._convert_payload(obj)
+        text = to_text(obj)
+        with self._payload_lock:
+            if text == self._cached_text and self._cached_payload is not None:
+                self.payload_hits += 1
+                return self._cached_payload
+        message = NdefMessage(
+            [mime_record(self._write_converter.mime_type, text.encode("utf-8"))]
+        )
+        message.to_bytes()  # memoize the encoding while we are off-looper
+        with self._payload_lock:
+            self._cached_text = text
+            self._cached_payload = message
+            self.payload_misses += 1
+        return message
+
+    def invalidate_payload_cache(self) -> None:
+        with self._payload_lock:
+            self._cached_text = None
+            self._cached_payload = None

@@ -1,0 +1,23 @@
+"""Fixture: blocking calls inside listener bodies (MOR001 flags these)."""
+
+import time
+
+
+class SlowActivity:
+    def when_discovered(self, thing):
+        time.sleep(0.5)  # MOR001: blocks the looper
+        self.toast(thing.name)
+
+    def on_tag_detected(self, reference):
+        future = reference.read_future()
+        value = future.result()  # MOR001: future wait on the looper
+        self.toast(value)
+
+    def when_discovered_empty(self, empty):
+        with open("/tmp/log.txt") as handle:  # MOR001: sync file I/O
+            handle.read()
+
+    def save(self, thing):
+        thing.save_async(
+            on_saved=lambda t: self.worker_thread.join()  # MOR001 via inline listener
+        )

@@ -1,0 +1,20 @@
+"""Fixture: the asynchronous style MOR001 wants (no findings)."""
+
+import time
+
+
+class PromptActivity:
+    def when_discovered(self, thing):
+        # Application calls on the thing itself are fine -- connect() here
+        # is the app's own method, not a socket.
+        if not thing.connect(self.wifi):
+            self.toast("could not join")
+        thing.save_async(
+            on_saved=lambda t: self.toast("saved"),
+            on_failed=lambda t: self.toast("save failed"),
+        )
+
+    def background_job(self):
+        # Not a listener body: blocking is this method's own business.
+        time.sleep(0.1)
+        self.socket.connect(("host", 1))

@@ -1,0 +1,17 @@
+"""Fixture: success listeners without their failure half (MOR002)."""
+
+
+class ForgetfulActivity:
+    def when_discovered(self, thing):
+        thing.save_async(on_saved=lambda t: self.toast("saved"))  # MOR002 error
+
+    def when_discovered_empty(self, empty):
+        empty.initialize(
+            self.pending, on_saved=lambda t: self.toast("labelled")
+        )  # MOR002 error
+
+    def share(self, thing):
+        thing.broadcast(on_success=lambda t: self.toast("sent"))  # MOR002 error
+
+    def peek(self, reference):
+        reference.read(on_read=lambda r: self.show(r.cached))  # MOR002 warning

@@ -1,0 +1,32 @@
+"""Fixture: paired or fire-and-forget listener usage (no MOR002)."""
+
+
+class PairedActivity:
+    def when_discovered(self, thing):
+        thing.save_async(
+            on_saved=lambda t: self.toast("saved"),
+            on_failed=lambda t: self.toast("save failed"),
+        )
+
+    def when_discovered_empty(self, empty):
+        empty.initialize(
+            self.pending,
+            on_saved=lambda t: self.toast("labelled"),
+            on_save_failed=lambda: self.toast("labelling failed"),
+        )
+
+    def share(self, thing):
+        # Fire-and-forget (no listeners at all) is a deliberate style,
+        # not an unpaired registration.
+        thing.broadcast()
+
+    def peek(self, reference):
+        reference.read(
+            on_read=lambda r: self.show(r.cached),
+            on_failed=lambda r: self.show(None),
+        )
+
+    def lock_down(self, port, tag):
+        # Same method name on a synchronous internal API: the positional
+        # argument is a payload, not a listener.
+        port.make_read_only(tag.simulated)

@@ -1,0 +1,27 @@
+"""Fixture: unserializable state in Thing fields (MOR003)."""
+
+import threading
+
+from repro.things.thing import Thing
+
+
+class Sensor(Thing):
+    __transient__ = ("cache", "ghost")  # MOR003: 'ghost' names no field
+
+    def __init__(self, activity):
+        super().__init__(activity)
+        self.name = "s1"
+        self.cache = {}
+        self.lock = threading.Lock()  # MOR003: lock outside __transient__
+        self.worker = threading.Thread(target=self.poll)  # MOR003: thread
+        self.on_change = lambda: None  # MOR003: callable field
+        self.log = open("/tmp/sensor.log")  # MOR003: open handle
+
+    def poll(self):
+        pass
+
+
+class Derived(Sensor):
+    def __init__(self, activity):
+        super().__init__(activity)
+        self.queue = threading.Condition()  # MOR003: still not transient

@@ -1,0 +1,34 @@
+"""Fixture: runtime-only state properly declared transient (no MOR003)."""
+
+import threading
+
+from repro.things.thing import Thing
+
+
+class Sensor(Thing):
+    __transient__ = ("lock", "on_change")
+
+    def __init__(self, activity):
+        super().__init__(activity)
+        self.name = "s1"
+        self.reading = 0.0
+        self.lock = threading.Lock()  # transient: fine
+        self.on_change = lambda: None  # transient: fine
+        self._worker = threading.Thread(target=self.poll)  # private: fine
+
+    def poll(self):
+        pass
+
+
+class Derived(Sensor):
+    __transient__ = ("cond",)  # unions with the base declaration
+
+    def __init__(self, activity):
+        super().__init__(activity)
+        self.cond = threading.Condition()
+        self.label = "derived"
+
+
+class NotAThing:
+    def __init__(self):
+        self.lock = threading.Lock()  # plain classes are out of scope

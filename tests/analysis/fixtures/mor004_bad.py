@@ -1,0 +1,22 @@
+"""Fixture: adapter registration inside hot callbacks (MOR004)."""
+
+
+class ChurningActivity:
+    def when_discovered(self, thing):
+        self.gson.register_adapter(MoneyAdapter())  # MOR004: per-event flush
+        thing.save_async(
+            on_saved=lambda t: self.toast("ok"),
+            on_failed=lambda t: self.toast("failed"),
+        )
+
+    def on_beam_received(self, obj):
+        self.gson.register_adapter(DateAdapter())  # MOR004 again
+        self.show(obj)
+
+
+class MoneyAdapter:
+    pass
+
+
+class DateAdapter:
+    pass

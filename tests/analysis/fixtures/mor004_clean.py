@@ -1,0 +1,20 @@
+"""Fixture: adapters registered in one-time configuration (no MOR004)."""
+
+from repro.gson import Gson
+
+
+class ConfiguredActivity:
+    def make_gson(self):
+        gson = Gson()
+        gson.register_adapter(MoneyAdapter())  # one-time setup: fine
+        return gson
+
+    def when_discovered(self, thing):
+        thing.save_async(
+            on_saved=lambda t: self.toast("ok"),
+            on_failed=lambda t: self.toast("failed"),
+        )
+
+
+class MoneyAdapter:
+    pass

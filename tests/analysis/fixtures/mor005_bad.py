@@ -1,0 +1,26 @@
+"""Fixture: coalesce=True where the guard protocol forbids it (MOR005)."""
+
+
+class LeaseApp:
+    def renew(self, lease_reference, record):
+        lease_reference.write(  # MOR005: lease receiver + coalesce
+            record,
+            on_written=lambda r: self.toast("renewed"),
+            on_failed=lambda r: self.toast("renewal failed"),
+            coalesce=True,
+        )
+
+    def push_raw(self, reference, message):
+        reference.write_raw(  # MOR005: raw writes never coalesce
+            message,
+            on_written=lambda r: None,
+            on_failed=lambda r: None,
+            coalesce=True,
+        )
+
+    def lock(self, reference):
+        reference.make_read_only(  # MOR005: state change, not content
+            on_locked=lambda r: None,
+            on_failed=lambda r: None,
+            coalesce=True,
+        )

@@ -1,0 +1,29 @@
+"""Fixture: coalescing used where it is safe (no MOR005)."""
+
+
+class CounterApp:
+    def bump(self, reference, record):
+        # Idempotent application state: tail-merge away, that is the point.
+        reference.write(
+            record,
+            on_written=lambda r: self.toast("saved"),
+            on_failed=lambda r: self.toast("failed"),
+            coalesce=True,
+        )
+
+    def push_raw(self, reference, message):
+        # Raw write without the flag: the layer refuses to merge anyway.
+        reference.write_raw(
+            message,
+            on_written=lambda r: None,
+            on_failed=lambda r: None,
+        )
+
+    def renew(self, lease_reference, record):
+        # Lease write without coalescing: each renewal lands under guard.
+        lease_reference.write(
+            record,
+            on_written=lambda r: None,
+            on_failed=lambda r: None,
+            coalesce=False,
+        )

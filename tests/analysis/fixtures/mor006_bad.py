@@ -1,0 +1,26 @@
+"""Fixture: off-looper callbacks mutating captured state (MOR006)."""
+
+import threading
+
+
+class RacyActivity:
+    def on_create(self):
+        self.count = 0
+        app = self
+
+        def poll():
+            app.count += 1  # MOR006: private thread writes shared field
+
+        self.worker = threading.Thread(target=poll)
+
+        def on_field(event):
+            self.last_event = event  # MOR006: radio thread writes field
+
+        self.port.add_field_listener(on_field)
+
+    def wire_handover(self):
+        def responder(request, sender):
+            self.peer = sender  # MOR006: requesting peer's thread
+            return None
+
+        self.adapter.set_handover_responder(responder)

@@ -1,0 +1,29 @@
+"""Fixture: off-looper callbacks that hop or lock correctly (no MOR006)."""
+
+import threading
+
+
+class CarefulActivity:
+    def on_create(self):
+        self.count = 0
+        self._lock = threading.Lock()
+        app = self
+
+        def poll():
+            # Mutation hops onto the looper: the listener reading the
+            # field runs there too, so there is no race.
+            app.device.main_looper.post(lambda: app.note())
+
+        self.worker = threading.Thread(target=poll)
+
+        def on_field(event):
+            with self._lock:
+                self.events_seen = event  # explicit lock: accepted
+
+        self.port.add_field_listener(on_field)
+
+    def note(self):
+        self.count += 1  # runs on the looper (posted above)
+
+    def when_discovered(self, thing):
+        self.count += 1  # listener method: already on the looper

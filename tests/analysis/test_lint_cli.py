@@ -1,0 +1,97 @@
+"""The morelint CLI: exit codes, selection, and the repo-wide gate."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.engine import collect_files
+from repro.analysis.lint import main as lint_main
+from repro.cli import main as cli_main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert lint_main([str(FIXTURES / "mor001_clean.py")]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_error_finding_exits_one(self, capsys):
+        assert lint_main([str(FIXTURES / "mor001_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "MOR001" in out
+
+    def test_warning_only_exits_zero(self, capsys):
+        # Select only MOR002 on a file whose sole finding is reference-level.
+        source = FIXTURES / "warn_only.py"
+        source.write_text(
+            "def peek(reference):\n"
+            "    reference.read(on_read=lambda r: print(r.cached))\n"
+        )
+        try:
+            assert lint_main(["--select", "MOR002", str(source)]) == 0
+            out = capsys.readouterr().out
+            assert "WARNING MOR002" in out
+        finally:
+            source.unlink()
+
+    def test_no_paths_exits_two(self, capsys):
+        assert lint_main([]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("MOR001", "MOR006"):
+            assert rule_id in out
+
+
+class TestSelection:
+    def test_select_limits_rules(self, capsys):
+        assert lint_main(
+            ["--select", "MOR004", str(FIXTURES / "mor001_bad.py")]
+        ) == 0  # MOR001 findings masked out
+        assert "MOR001" not in capsys.readouterr().out
+
+    def test_hints_shown_by_default_and_suppressible(self, capsys):
+        lint_main([str(FIXTURES / "mor004_bad.py")])
+        assert "fix:" in capsys.readouterr().out
+        lint_main(["--no-hints", str(FIXTURES / "mor004_bad.py")])
+        assert "fix:" not in capsys.readouterr().out
+
+
+class TestReproCliIntegration:
+    def test_lint_subcommand_wired(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        assert "MOR001" in capsys.readouterr().out
+
+    def test_lint_subcommand_flags(self, capsys):
+        assert cli_main(["lint", str(FIXTURES / "mor002_bad.py")]) == 1
+
+
+class TestCollectFiles:
+    def test_directories_walked_sorted_py_only(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("y = 2\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        sub = tmp_path / "__pycache__"
+        sub.mkdir()
+        (sub / "a.cpython-311.pyc").write_text("")
+        files = collect_files([str(tmp_path)])
+        assert [pathlib.Path(f).name for f in files] == ["a.py", "b.py"]
+
+
+class TestRepoIsLintClean:
+    """The acceptance gate: zero error-severity findings over the repo's
+    own source, examples, and benchmarks (mirrors the CI lint job)."""
+
+    def test_repo_sources_have_no_error_findings(self, capsys):
+        paths = [
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT / "examples"),
+            str(REPO_ROOT / "benchmarks"),
+        ]
+        exit_code = lint_main(paths)
+        out = capsys.readouterr().out
+        assert exit_code == 0, f"error-severity findings:\n{out}"

@@ -1,0 +1,117 @@
+"""morelint rules against the fixture pairs: each rule must flag its
+``*_bad.py`` fixture and stay silent on its ``*_clean.py`` twin."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.engine import lint_source
+from repro.analysis.model import Severity, all_rules, get_rule
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+RULE_IDS = ["MOR001", "MOR002", "MOR003", "MOR004", "MOR005", "MOR006"]
+
+
+def lint_fixture(name: str, rule_id: str):
+    path = FIXTURES / name
+    return lint_source(
+        str(path), path.read_text(), rules=[get_rule(rule_id)]
+    )
+
+
+class TestCatalogue:
+    def test_all_six_rules_registered(self):
+        assert [rule.id for rule in all_rules()] == RULE_IDS
+
+    def test_every_rule_has_summary_and_hint(self):
+        for rule in all_rules():
+            assert rule.summary
+            assert rule.autofix_hint
+            assert rule.severity in (Severity.ERROR, Severity.WARNING)
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+class TestFixturePairs:
+    def test_bad_fixture_is_flagged(self, rule_id):
+        findings = lint_fixture(f"{rule_id.lower()}_bad.py", rule_id)
+        assert findings, f"{rule_id} found nothing in its bad fixture"
+        assert all(f.rule_id == rule_id for f in findings)
+        assert all(f.line > 0 for f in findings)
+
+    def test_clean_fixture_is_silent(self, rule_id):
+        findings = lint_fixture(f"{rule_id.lower()}_clean.py", rule_id)
+        assert findings == [], [str(f) for f in findings]
+
+
+class TestMor001:
+    def test_flags_each_blocking_shape(self):
+        findings = lint_fixture("mor001_bad.py", "MOR001")
+        flagged = {f.line for f in findings}
+        assert len(flagged) >= 4  # sleep, future wait, open, thread join
+
+    def test_sockets_gate_on_receiver_name(self):
+        source = (
+            "class A:\n"
+            "    def when_discovered(self, thing):\n"
+            "        thing.connect(self.wifi)\n"
+            "        self.sock.connect((addr, 1))\n"
+        )
+        findings = lint_source("x.py", source)
+        mor001 = [f for f in findings if f.rule_id == "MOR001"]
+        assert len(mor001) == 1
+        assert "sock.connect" in mor001[0].message
+
+
+class TestMor002:
+    def test_thing_level_is_error_reference_level_is_warning(self):
+        findings = lint_fixture("mor002_bad.py", "MOR002")
+        severities = {}
+        for finding in findings:
+            method = finding.message.split("(")[0]
+            severities[method] = finding.severity
+        assert severities["save_async"] is Severity.ERROR
+        assert severities["initialize"] is Severity.ERROR
+        assert severities["broadcast"] is Severity.ERROR
+        assert severities["read"] is Severity.WARNING
+
+
+class TestMor003:
+    def test_flags_each_unserializable_kind(self):
+        findings = lint_fixture("mor003_bad.py", "MOR003")
+        text = " ".join(f.message for f in findings)
+        for field in ("lock", "worker", "on_change", "log", "queue"):
+            assert field in text, f"field {field!r} not flagged"
+
+    def test_flags_transient_naming_no_field(self):
+        findings = lint_fixture("mor003_bad.py", "MOR003")
+        assert any("ghost" in f.message for f in findings)
+
+
+class TestMor006:
+    def test_flags_every_off_looper_kind(self):
+        findings = lint_fixture("mor006_bad.py", "MOR006")
+        text = " ".join(f.message for f in findings)
+        assert "private thread" in text
+        assert "radio thread" in text
+        assert "peer's thread" in text
+
+
+class TestEngine:
+    def test_syntax_error_becomes_mor000(self):
+        findings = lint_source("broken.py", "def broken(:\n")
+        assert len(findings) == 1
+        assert findings[0].rule_id == "MOR000"
+        assert findings[0].severity is Severity.ERROR
+
+    def test_findings_sorted_by_position(self):
+        findings = lint_fixture("mor002_bad.py", "MOR002")
+        lines = [f.line for f in findings]
+        assert lines == sorted(lines)
+
+    def test_finding_format_is_gcc_style(self):
+        findings = lint_fixture("mor004_bad.py", "MOR004")
+        rendered = findings[0].format(show_hint=False)
+        assert rendered.startswith(findings[0].path)
+        assert f":{findings[0].line}:" in rendered
+        assert "MOR004" in rendered

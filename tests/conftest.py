@@ -25,6 +25,33 @@ from repro.tags.factory import make_tag
 TEXT_TYPE = "application/x-test-text"
 
 
+@pytest.fixture(scope="session")
+def affinity_sanitizer():
+    """The session's thread-affinity sanitizer, or ``None``.
+
+    Opt in with ``MORENA_SANITIZER=1`` (``=strict`` raises at the
+    violation point); unset, the suite runs unpatched.
+    """
+    from repro.analysis import sanitizer
+
+    active = sanitizer.install_from_env()
+    yield active
+    if active is not None and active is sanitizer.current():
+        sanitizer.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _affinity_guard(affinity_sanitizer):
+    """Fail any test during which the sanitizer recorded a violation."""
+    if affinity_sanitizer is None:
+        yield
+        return
+    before = len(affinity_sanitizer.violations)
+    yield
+    fresh = affinity_sanitizer.violations[before:]
+    assert not fresh, "\n".join(str(violation) for violation in fresh)
+
+
 @pytest.fixture
 def env():
     return RfidEnvironment()

@@ -184,6 +184,106 @@ class TestDecodeUnaffected:
         assert car.engine.cylinders == 6
 
 
+class TestTransientInheritance:
+    """``__transient__`` is a union across the MRO, memoized per class.
+
+    The cached per-class plans must not bleed between relatives:
+    computing the base plan first (caching it) must still give every
+    subclass its own correctly unioned set, siblings must stay isolated,
+    and re-declaring ``__transient__`` in a subclass adds names -- it can
+    never *remove* a base class's transients.
+    """
+
+    def test_subclass_adds_to_cached_base_plan(self):
+        class Base:
+            __transient__ = ("scratch",)
+
+        plan_base = class_plan(Base)  # cache the base plan first
+
+        class Sub(Base):
+            __transient__ = ("extra",)
+
+        assert plan_base.transients == frozenset({"scratch"})
+        assert class_plan(Sub).transients == frozenset({"scratch", "extra"})
+        # The base plan was not mutated by computing the subclass's.
+        assert class_plan(Base).transients == frozenset({"scratch"})
+
+    def test_redeclaring_cannot_remove_inherited_transients(self):
+        class Base:
+            __transient__ = ("secret",)
+
+        class Sub(Base):
+            __transient__ = ()  # an attempt to "un-transient" secret
+
+        assert class_plan(Sub).transients == frozenset({"secret"})
+        gson = Gson()
+        sub = Sub()
+        sub.secret = "hidden"
+        sub.shown = "visible"
+        assert gson.to_jsonable(sub) == {"shown": "visible"}
+
+    def test_sibling_subclasses_stay_isolated(self):
+        class Base:
+            __transient__ = ("common",)
+
+        class Left(Base):
+            __transient__ = ("left_only",)
+
+        class Right(Base):
+            __transient__ = ("right_only",)
+
+        # Interleave computation to exercise the shared cache.
+        left = class_plan(Left).transients
+        right = class_plan(Right).transients
+        assert left == frozenset({"common", "left_only"})
+        assert right == frozenset({"common", "right_only"})
+        assert class_plan(Left).transients == left  # stable on re-read
+
+    def test_three_level_union_with_diamond(self):
+        class Root:
+            __transient__ = ("a",)
+
+        class LeftMid(Root):
+            __transient__ = ("b",)
+
+        class RightMid(Root):
+            __transient__ = ("c",)
+
+        class Leaf(LeftMid, RightMid):
+            __transient__ = ("d",)
+
+        assert class_plan(Leaf).transients == frozenset("abcd")
+
+    def test_thing_subclass_inherits_transients_for_public_fields(self):
+        """The Thing layer consumes the same plans: a Thing sub-subclass
+        serializes with the whole inherited transient set excluded."""
+        from repro.things.thing import Thing
+
+        class Sensor(Thing):
+            __transient__ = ("last_error",)
+
+            def __init__(self, activity=None):
+                # Bypass activity plumbing: plans are pure class data.
+                self._activity = activity
+                self._reference = None
+                self.name = "s1"
+                self.last_error = None
+
+        class CalibratedSensor(Sensor):
+            __transient__ = ("calibration_scratch",)
+
+            def __init__(self):
+                super().__init__()
+                self.offset = 0.5
+                self.calibration_scratch = [1, 2, 3]
+
+        sensor = CalibratedSensor()
+        assert sensor.public_fields() == {"name": "s1", "offset": 0.5}
+        assert class_plan(CalibratedSensor).transients >= frozenset(
+            {"last_error", "calibration_scratch"}
+        )
+
+
 class TestDynamicClasses:
     def test_plan_cache_does_not_leak_types(self):
         """Weak keying: dynamically created classes stay collectable."""

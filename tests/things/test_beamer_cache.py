@@ -1,0 +1,133 @@
+"""ThingBeamer's payload cache: hit/miss behavior and delivery."""
+
+import pytest
+
+from repro.concurrent import EventLog
+from repro.things.beamer import ThingBeamer
+from repro.things.thing import Thing
+from repro.things.activity import ThingActivity
+
+
+class Reading(Thing):
+    sensor: str
+    value: int
+
+    def __init__(self, activity, sensor="temp", value=0):
+        super().__init__(activity)
+        self.sensor = sensor
+        self.value = value
+
+
+class ReadingActivity(ThingActivity):
+    THING_CLASS = Reading
+
+    def on_create(self):
+        self.received = EventLog()
+
+    def when_discovered(self, thing):
+        self.received.append((thing.sensor, thing.value))
+
+
+@pytest.fixture
+def apps(scenario):
+    sender_phone = scenario.add_phone("beam-sender")
+    receiver_phone = scenario.add_phone("beam-receiver")
+    sender = scenario.start(sender_phone, ReadingActivity)
+    receiver = scenario.start(receiver_phone, ReadingActivity)
+    scenario.pair(sender_phone, receiver_phone)
+    return sender, receiver
+
+
+def test_thing_beamer_is_the_default(apps):
+    sender, _receiver = apps
+    assert isinstance(sender.thing_beamer, ThingBeamer)
+
+
+def test_rebroadcast_of_unchanged_thing_hits(apps):
+    sender, receiver = apps
+    reading = Reading(sender, sensor="temp", value=21)
+    done = EventLog()
+    for count in range(1, 4):
+        reading.broadcast(
+            on_success=lambda t: done.append("ok"),
+            on_failed=lambda t: done.append("failed"),
+        )
+        assert done.wait_for_count(count, timeout=5)
+    assert done.snapshot() == ["ok"] * 3
+    beamer = sender.thing_beamer
+    assert beamer.payload_misses == 1
+    assert beamer.payload_hits == 2
+    assert receiver.received.wait_for_count(3)
+
+
+def test_mutation_misses_then_caches_again(apps):
+    sender, receiver = apps
+    reading = Reading(sender, sensor="temp", value=1)
+    done = EventLog()
+
+    def send():
+        reading.broadcast(
+            on_success=lambda t: done.append("ok"),
+            on_failed=lambda t: done.append("failed"),
+        )
+
+    send()
+    reading.value = 2
+    send()
+    send()  # unchanged again -> hit
+    assert done.wait_for_count(3, timeout=5)
+    beamer = sender.thing_beamer
+    assert beamer.payload_misses == 2
+    assert beamer.payload_hits == 1
+    assert receiver.received.wait_for_count(3)
+    assert set(receiver.received.snapshot()) == {("temp", 1), ("temp", 2)}
+
+
+def test_mutate_then_restore_still_hits(apps):
+    sender, _receiver = apps
+    reading = Reading(sender, sensor="temp", value=7)
+    done = EventLog()
+    reading.broadcast(on_success=lambda t: done.append("ok"))
+    reading.value = 8
+    reading.value = 7  # back to the cached text
+    reading.broadcast(on_success=lambda t: done.append("ok"))
+    assert done.wait_for_count(2, timeout=5)
+    assert sender.thing_beamer.payload_hits == 1
+
+
+def test_invalidate_clears_the_cache(apps):
+    sender, _receiver = apps
+    reading = Reading(sender)
+    done = EventLog()
+    reading.broadcast(on_success=lambda t: done.append("ok"))
+    sender.thing_beamer.invalidate_payload_cache()
+    reading.broadcast(on_success=lambda t: done.append("ok"))
+    assert done.wait_for_count(2, timeout=5)
+    assert sender.thing_beamer.payload_misses == 2
+    assert sender.thing_beamer.payload_hits == 0
+
+
+def test_cached_message_is_shared_not_recoded(apps):
+    sender, _receiver = apps
+    reading = Reading(sender, sensor="a", value=1)
+    first = sender.thing_beamer._convert_payload(reading)
+    second = sender.thing_beamer._convert_payload(reading)
+    assert second is first
+    assert first.to_bytes() is first.to_bytes()  # memoized encoding
+
+
+def test_plain_converter_degrades_gracefully(scenario):
+    from repro.core.converters import StringToNdefMessageConverter
+
+    phone = scenario.add_phone("plain-beamer")
+    app = scenario.start(phone, ReadingActivity)
+    beamer = ThingBeamer(
+        app, StringToNdefMessageConverter("application/x-plain")
+    )
+    try:
+        first = beamer._convert_payload("hello")
+        second = beamer._convert_payload("hello")
+        assert first is not second  # no to_text() -> no cache
+        assert beamer.payload_hits == 0 and beamer.payload_misses == 0
+    finally:
+        beamer.stop()
