@@ -10,6 +10,10 @@ Two experiments:
   The sweep quantifies the cost of that assumption: a foreign lease is
   honoured for ``drift_bound`` extra seconds after expiry, so larger
   bounds mean longer tag unavailability after a holder walks away.
+* **Renewal coalescing.** Renewals issued while the tag is out of range
+  tail-merge in the reference queue (the protocol merge hook), so
+  redetection performs one physical write carrying the latest expiry --
+  not one write per missed renewal beat.
 """
 
 import time
@@ -126,3 +130,48 @@ def test_drift_bound_availability_cost(benchmark):
     for bound, wait in zip(DRIFT_BOUNDS, waits):
         assert wait >= bound * 0.9
     assert waits[-1] > waits[0]
+
+
+def test_renewal_coalescing_one_write_per_tap(benchmark):
+    """N away-time renewals settle with exactly 1 physical lease write."""
+    renewal_counts = [1, 4, 10]
+
+    def run_one(renewals_issued: int):
+        with Scenario() as scenario:
+            tag = text_tag("kept data")
+            phone = scenario.add_phone("phone-a")
+            app = scenario.start(phone, PlainNfcActivity)
+            scenario.put(tag, phone)
+            reference = make_reference(app, tag, phone)
+            manager = LeaseManager(reference, "phone-a", drift_bound=0.0)
+            assert attempt(manager, duration=120.0)
+            scenario.take(tag, phone)
+
+            renewed = EventLog()
+            for _ in range(renewals_issued):
+                manager.renew(
+                    120.0, on_renewed=lambda lease: renewed.append(lease)
+                )
+            queued = reference.pending_count
+            writes_before = phone.port.write_attempts
+            scenario.put(tag, phone)
+            assert renewed.wait_for_count(renewals_issued, timeout=10)
+            physical = phone.port.write_attempts - writes_before
+            latest = max(lease.expires_at for lease in renewed.snapshot())
+            assert manager.held_lease.expires_at == latest
+            return queued, physical, manager.stats_snapshot()[3]
+
+    results = benchmark.pedantic(
+        lambda: [run_one(n) for n in renewal_counts], rounds=1, iterations=1
+    )
+
+    table = Table(
+        "Leasing -- away-time renewals collapse to one physical write",
+        ["renewals queued", "physical writes", "merged"],
+    )
+    for (queued, physical, merged), issued in zip(results, renewal_counts):
+        table.add_row(queued, physical, merged)
+        assert queued == issued
+        assert physical == 1
+        assert merged == issued - 1
+    table.print()

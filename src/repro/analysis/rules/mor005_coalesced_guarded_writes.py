@@ -1,19 +1,26 @@
-"""MOR005: ``coalesce=True`` on writes that must respect the guard protocol.
+"""MOR005: generic coalescing applied where the guard protocol rules.
 
 Write coalescing collapses queued redundant writes to the newest payload
 -- safe for idempotent application state, *unsafe* for protocol records.
 Raw writes (``write_raw``) carry lease/lock records that must each
-physically reach the tag (the lease guard protocol reads the current
-holder before overwriting); locking (``make_read_only``) and ``format``
-change tag state, not content. The reference layer already refuses to
-coalesce raw writes internally -- passing ``coalesce=True`` at such a
-call site signals the author expects a merge that will never (and must
-never) happen, or worse, would reorder a guarded sequence if it did.
+physically reach the tag unless the protocol itself says otherwise;
+locking (``make_read_only``) and ``format`` change tag state, not
+content. The reference layer already refuses to apply the generic tail
+merge to raw writes -- passing ``coalesce=True`` at such a call site
+signals the author expects a merge that will never (and must never)
+happen, or worse, would reorder a guarded sequence if it did.
 
 Writes through a lease-keeping object (receiver named ``*lease*`` /
 ``*lock*`` / ``*keeper*``) are judged the same way: a lease renewal has
 its own merge rule (latest expiry wins, under the guard), not the
 generic tail merge.
+
+The *sanctioned* path is ``write_raw(..., merge_key=...)`` -- the
+protocol merge hook, where the protocol layer itself declares two raw
+writes equivalent-up-to-latest (a lease renewal's expiry). The hook is
+only meaningful on raw writes: ``merge_key`` on a converted ``write`` /
+``save_async`` is flagged, because those already have the generic
+coalescing rule and a merge key there silently does nothing.
 """
 
 from __future__ import annotations
@@ -34,35 +41,46 @@ def check(context: FileContext) -> Iterator[Finding]:
     for call in context.calls:
         if not isinstance(call.func, ast.Attribute):
             continue
-        keyword = get_keyword(call, "coalesce")
-        if keyword is None:
-            continue
-        if not (
-            isinstance(keyword.value, ast.Constant) and keyword.value.value is True
-        ):
-            continue
         method = tail_name(call.func)
-        if method in _RAW_OR_LOCKED:
-            findings.append(
-                RULE.finding(
-                    context,
-                    call,
-                    f"coalesce=True on {method}(): raw and locking "
-                    "operations never coalesce -- each must physically "
-                    "reach the tag (lease guard protocol)",
-                )
-            )
-        elif method in _COALESCIBLE:
-            receiver = call_name(call.func.value).lower()
-            if any(mark in receiver for mark in _GUARDISH):
+        keyword = get_keyword(call, "coalesce")
+        if (
+            keyword is not None
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+        ):
+            if method in _RAW_OR_LOCKED:
                 findings.append(
                     RULE.finding(
                         context,
                         call,
-                        f"coalesce=True on {method}() through "
-                        f"{call_name(call.func.value)!r}: lease/lock records "
-                        "must respect the guard protocol, not the generic "
-                        "tail merge",
+                        f"coalesce=True on {method}(): raw and locking "
+                        "operations never take the generic tail merge -- "
+                        "protocol writes that are equivalent-up-to-latest "
+                        "use write_raw(merge_key=...) instead",
+                    )
+                )
+            elif method in _COALESCIBLE:
+                receiver = call_name(call.func.value).lower()
+                if any(mark in receiver for mark in _GUARDISH):
+                    findings.append(
+                        RULE.finding(
+                            context,
+                            call,
+                            f"coalesce=True on {method}() through "
+                            f"{call_name(call.func.value)!r}: lease/lock "
+                            "records must respect the guard protocol, not "
+                            "the generic tail merge",
+                        )
+                    )
+        if method != "write_raw" and get_keyword(call, "merge_key") is not None:
+            if method in _COALESCIBLE or method in _RAW_OR_LOCKED:
+                findings.append(
+                    RULE.finding(
+                        context,
+                        call,
+                        f"merge_key on {method}(): the protocol merge hook "
+                        "only exists on write_raw() -- elsewhere the key is "
+                        "silently ignored",
                     )
                 )
     return iter(findings)
@@ -73,10 +91,10 @@ RULE = register(
         id="MOR005",
         name="coalesced-guarded-write",
         severity=Severity.ERROR,
-        summary="coalesce=True on raw/locked/lease writes",
+        summary="generic coalescing (or a stray merge_key) on guarded writes",
         autofix_hint=(
-            "drop coalesce=True; lease renewals collapse via the leasing "
-            "layer's own latest-expiry rule, raw writes must all land"
+            "drop coalesce=True; protocol writes that are equivalent-up-to-"
+            "latest (lease renewals) merge via write_raw(merge_key=...)"
         ),
         check=check,
     )

@@ -62,6 +62,18 @@ class Operation:
     coalescible: bool = False
     in_flight: bool = False  # a radio attempt is executing right now
     superseded: List["Operation"] = field(default_factory=list)
+    # Protocol merge hook (raw writes only, see TagReference.write_raw):
+    # two tail-adjacent unsent raw writes carrying the same merge_key
+    # collapse to the newest (the protocol's latest-record-wins rule,
+    # e.g. a lease renewal's latest expiry). ``merged`` records that
+    # this operation absorbed its predecessor on enqueue.
+    merge_key: Optional[str] = None
+    merged: bool = False
+    # Deferred payload: evaluated per radio attempt instead of at
+    # enqueue time, so a protocol write transmits the record built from
+    # the *latest* cached tag state (every earlier queued operation has
+    # settled and refreshed the cache by the time this one is tried).
+    payload_factory: Optional[Callable[[], Any]] = None
 
     @property
     def is_settled(self) -> bool:

@@ -41,8 +41,21 @@ then holds a state at least as new as the one each write captured. Only
 *adjacent* coalescible writes merge: a queued read, format, lock or raw
 write is a fence (the paper's in-order guarantee that a read observes
 the preceding write is preserved), and raw writes themselves never
-coalesce. Symmetrically, consecutive pending reads of the same rawness
-share one physical read and fan out its result (read dedup).
+coalesce through this generic tail merge. Symmetrically, consecutive
+pending reads of the same rawness share one physical read and fan out
+its result (read dedup).
+
+Protocol merge hook (``write_raw(..., merge_key=...)``): protocol
+layers whose records are *replacement* state -- a lease renewal, where
+only the latest expiry matters -- may opt two tail-adjacent unsent raw
+writes carrying the same ``merge_key`` into collapsing to the newest
+message. The merge happens inside the queue lock (the protocol never
+touches the queue's privates), settles the superseded write's listener
+in FIFO order when the survivor lands, and adopts the survivor's
+deadline via the reactor's timer heap. Everything else -- a different
+or absent merge key, a read, a lock, a format, an in-flight attempt --
+remains a fence, so a guarded data write or a release never merges
+with a renewal on either side.
 
 Cancellation semantics (unified, see DESIGN.md decision 8):
 application-initiated cancellation (:meth:`TagReference.cancel`,
@@ -171,6 +184,7 @@ class TagReference:
         self.permanent_failures = 0
         self.coalesced_writes = 0  # writes superseded by a newer payload
         self.deduped_reads = 0  # reads settled by another read's attempt
+        self.protocol_merges = 0  # raw writes absorbed via merge_key
 
         self._port.add_tag_listener(tag.simulated, self._on_field_event)
         self._thread: Optional[threading.Thread] = None
@@ -210,6 +224,11 @@ class TagReference:
     def looper(self) -> "Looper":
         """The main looper all of this reference's listeners post to."""
         return self._looper
+
+    @property
+    def default_timeout(self) -> float:
+        """Timeout applied when an operation omits its own."""
+        return self._default_timeout
 
     @property
     def cached(self) -> Any:
@@ -364,25 +383,51 @@ class TagReference:
 
     def write_raw(
         self,
-        message: NdefMessage,
+        message: Optional[NdefMessage] = None,
         on_written: ListenerLike = None,
         on_failed: ListenerLike = None,
         timeout: Optional[float] = None,
+        merge_key: Optional[str] = None,
+        message_factory: Optional[Callable[[], NdefMessage]] = None,
     ) -> Operation:
         """Schedule an asynchronous write of a ready-made NDEF message.
 
         Skips the write converter; only :attr:`cached_message` is
         refreshed on success. See :meth:`read_raw`. Raw writes never
-        coalesce: protocol layers (leasing and friends) depend on every
-        message physically reaching the tag.
+        coalesce through the generic tail merge: protocol layers
+        (leasing and friends) depend on every message physically
+        reaching the tag.
+
+        ``merge_key`` is the sanctioned protocol merge hook: when the
+        queue tail is an unsent raw write carrying the *same* key, the
+        two collapse to this (newest) message -- the protocol's own
+        latest-record-wins rule, e.g. a lease renewal replacing a
+        pending renewal's expiry. The superseded write's success
+        listener still fires, in FIFO order, when the survivor lands;
+        any other queued operation is a fence. Never pass a merge key
+        for records that must each reach the tag.
+
+        ``message_factory`` (mutually exclusive with ``message``)
+        defers building the message to transmission time: it is called
+        on the event loop for every radio attempt, after all earlier
+        queued operations have settled and refreshed
+        :attr:`cached_message` -- so a protocol record composed with
+        cached application data never resurrects state that a queued
+        data write in front of it was about to replace.
         """
-        if not isinstance(message, NdefMessage):
+        if (message is None) == (message_factory is None):
+            raise MorenaError(
+                "write_raw expects exactly one of message / message_factory"
+            )
+        if message is not None and not isinstance(message, NdefMessage):
             raise MorenaError("write_raw expects an NdefMessage")
         operation = self._make_operation(
             OperationKind.WRITE, on_written, on_failed, timeout
         )
         operation.raw = True
         operation.payload = message
+        operation.payload_factory = message_factory
+        operation.merge_key = merge_key
         self._enqueue(operation)
         return operation
 
@@ -577,16 +622,44 @@ class TagReference:
                     # tail that is not a coalescible write -- a read, a
                     # format, a raw write, an in-flight attempt -- is a
                     # fence and the new write simply queues behind it.
-                    self._queue.pop()
-                    shadows = tail.superseded
-                    tail.superseded = []
-                    shadows.append(tail)
-                    operation.superseded = shadows
+                    self._absorb_tail_locked(operation)
                     self.coalesced_writes += 1
+            elif operation.merge_key is not None and self._queue:
+                tail = self._queue[-1]
+                if (
+                    tail.kind is OperationKind.WRITE
+                    and tail.raw
+                    and tail.merge_key == operation.merge_key
+                    and not tail.in_flight
+                ):
+                    # Protocol merge: same-key raw writes are
+                    # replacement records, the newest message wins.
+                    # Fences are anything that breaks tail-adjacency --
+                    # a keyless raw write (guarded data, release), a
+                    # read (foreign-record observation), a lock, a
+                    # format, an in-flight attempt.
+                    self._absorb_tail_locked(operation)
+                    operation.merged = True
+                    self.protocol_merges += 1
             self._queue.append(operation)
             self._cond.notify_all()
         if self._task is not None:
-            self._task.wake()
+            if operation.merged:
+                # The queue did not grow and the tail was already being
+                # awaited; only the deadline may have moved. Adopt it on
+                # the reactor's timer heap instead of spinning a worker.
+                self._task.schedule_at(operation.deadline)
+            else:
+                self._task.wake()
+
+    def _absorb_tail_locked(self, operation: Operation) -> None:
+        """Replace the queue tail with ``operation``, which inherits the
+        tail (and its chain) as superseded writes to settle FIFO."""
+        tail = self._queue.pop()
+        shadows = tail.superseded
+        tail.superseded = []
+        shadows.append(tail)
+        operation.superseded = shadows
 
     def _step(self) -> Optional[float]:
         """One scheduling quantum of the logical event loop (reactor mode).
@@ -775,11 +848,16 @@ class TagReference:
                     converted = self._read_converter.convert(message)
                     self._update_cache(converted, message)
             elif operation.kind is OperationKind.WRITE:
-                self._port.write_ndef(self._tag.simulated, operation.payload)
+                payload = (
+                    operation.payload
+                    if operation.payload_factory is None
+                    else operation.payload_factory()
+                )
+                self._port.write_ndef(self._tag.simulated, payload)
                 if operation.raw:
-                    self._update_message_cache(operation.payload)
+                    self._update_message_cache(payload)
                 else:
-                    self._update_cache(operation.original_object, operation.payload)
+                    self._update_cache(operation.original_object, payload)
             elif operation.kind is OperationKind.FORMAT:
                 self._port.format_tag(self._tag.simulated)
             else:

@@ -84,6 +84,21 @@ class ReactorTask:
         """Schedule a step as soon as a worker is free (coalescing)."""
         self._reactor._wake(self)
 
+    def schedule_at(self, when: float) -> None:
+        """Adopt ``when`` (absolute clock time) as a deadline for this task.
+
+        Pushes a timer-heap entry without spinning up a worker -- the
+        cheap alternative to :meth:`wake` when nothing needs to run
+        *now* but the task's earliest deadline may have moved (e.g. a
+        queued write was merged into and inherited a new timeout).
+        Entries are never removed early: a stale earlier entry just
+        causes one spurious step that re-evaluates and re-schedules.
+        """
+        with self._reactor._cond:
+            if self._cancelled or self._reactor._stopped:
+                return
+            self._reactor._schedule_at_locked(self, when)
+
     def cancel(self) -> None:
         """Permanently deregister this task.
 

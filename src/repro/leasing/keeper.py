@@ -3,9 +3,20 @@
 A device doing a long interaction with a tag (the paper's example: a
 facility updating credentials) should not lose exclusivity mid-work just
 because the lease duration was conservative. The :class:`LeaseKeeper`
-schedules renewals on the device's main looper at a fraction of the lease
-duration, stopping automatically when a renewal is denied (someone else
-took over after an expiry) or when asked.
+ticks on the device's main looper at a fraction of the lease duration;
+each tick issues one renewal and immediately schedules the next tick.
+Ticking is decoupled from renewal *settlement* on purpose: while the tag
+is out of range the renewals pile up in the reference queue and
+tail-merge (see :meth:`LeaseManager.renew`), so redetection performs one
+physical write carrying the latest expiry instead of replaying every
+missed beat.
+
+Every scheduled tick carries the *generation* it was issued under; both
+:meth:`start` and :meth:`stop` bump the generation, so a tick (or a
+renewal callback) from a previous life of the keeper is recognised as
+stale and ignored. Without that, a stop-then-start left the old
+``post_delayed`` callback armed and a second renewal chain would spawn
+alongside the new one, double-counting renewals.
 """
 
 from __future__ import annotations
@@ -36,12 +47,21 @@ class LeaseKeeper:
         self._looper = manager.reference.activity.device.main_looper
         self._lock = threading.Lock()
         self._running = False
-        self.renewal_count = 0
+        self._generation = 0
+        self._renewal_count = 0
 
     @property
     def is_running(self) -> bool:
         with self._lock:
             return self._running
+
+    @property
+    def renewal_count(self) -> int:
+        """Successful renewals across this keeper's lifetime (locked:
+        renewal callbacks land on the main thread while tests and
+        benchmarks read from theirs)."""
+        with self._lock:
+            return self._renewal_count
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -55,15 +75,16 @@ class LeaseKeeper:
             if self._running:
                 return
             self._running = True
+            self._generation += 1
+            generation = self._generation
 
         def acquired(lease) -> None:
             if on_acquired is not None:
                 on_acquired(lease)
-            self._schedule_renewal()
+            self._schedule_tick(generation)
 
         def denied() -> None:
-            with self._lock:
-                self._running = False
+            self._halt(generation)
             if on_denied is not None:
                 on_denied()
 
@@ -72,38 +93,64 @@ class LeaseKeeper:
         )
 
     def stop(self, release: bool = True) -> None:
-        """Stop renewing; optionally release the lease on the tag."""
+        """Stop renewing; optionally release the lease on the tag.
+
+        Bumping the generation invalidates the tick already sitting in
+        the looper's delayed queue (loopers cannot unpost), so a
+        stop-then-start never runs two renewal chains at once.
+        """
         with self._lock:
             if not self._running:
                 return
             self._running = False
+            self._generation += 1
         if release:
             self._manager.release()
 
     # -- renewal loop -------------------------------------------------------------
 
-    def _schedule_renewal(self) -> None:
-        if not self.is_running:
+    def _halt(self, generation: int) -> bool:
+        """Stop the chain from inside; True only for the first caller.
+
+        A merged renewal chain settles every absorbed operation with the
+        survivor's outcome, so a lost lease may fail N callbacks at
+        once -- ``on_lost`` must still fire exactly once.
+        """
+        with self._lock:
+            if not self._running or generation != self._generation:
+                return False
+            self._running = False
+            self._generation += 1
+            return True
+
+    def _current(self, generation: int) -> bool:
+        with self._lock:
+            return self._running and generation == self._generation
+
+    def _schedule_tick(self, generation: int) -> None:
+        if not self._current(generation):
             return
         delay = self._duration * RENEW_FRACTION
         try:
-            self._looper.post_delayed(self._renew_now, delay)
+            self._looper.post_delayed(lambda: self._renew_now(generation), delay)
         except Exception:  # noqa: BLE001 - looper quit during shutdown
-            with self._lock:
-                self._running = False
+            self._halt(generation)
 
-    def _renew_now(self) -> None:
-        if not self.is_running:
+    def _renew_now(self, generation: int) -> None:
+        if not self._current(generation):
             return
+        # Next tick first: the beat stays periodic whether or not this
+        # renewal settles before the next one is due (away-time renewals
+        # merge in the reference queue rather than being skipped).
+        self._schedule_tick(generation)
 
         def renewed(_lease) -> None:
-            self.renewal_count += 1
-            self._schedule_renewal()
+            with self._lock:
+                if self._running and generation == self._generation:
+                    self._renewal_count += 1
 
         def lost() -> None:
-            with self._lock:
-                self._running = False
-            if self._on_lost is not None:
+            if self._halt(generation) and self._on_lost is not None:
                 self._on_lost()
 
         self._manager.renew(self._duration, on_renewed=renewed, on_failed=lost)

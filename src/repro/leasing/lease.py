@@ -49,6 +49,19 @@ class Lease:
     def held_by(self, device_id: str) -> bool:
         return self.device_id == device_id
 
+    def renewal_of(self, now: float, duration: float) -> "Lease":
+        """The record a renewal writes: same holder and acquisition
+        time, expiry extended to ``now + duration``.
+
+        Keeping ``acquired_at`` makes :attr:`duration` the total time
+        the device has held the tag across renewals, which is what
+        hold-time accounting wants to see."""
+        return Lease(
+            device_id=self.device_id,
+            acquired_at=self.acquired_at,
+            expires_at=now + duration,
+        )
+
     # -- on-tag codec ----------------------------------------------------------
 
     def to_record(self) -> NdefRecord:

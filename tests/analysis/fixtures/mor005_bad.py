@@ -24,3 +24,11 @@ class LeaseApp:
             on_failed=lambda r: None,
             coalesce=True,
         )
+
+    def renew_converted(self, reference, record):
+        reference.write(  # MOR005: merge hook only exists on write_raw
+            record,
+            on_written=lambda r: None,
+            on_failed=lambda r: None,
+            merge_key="lease-renew:phone-a",
+        )

@@ -27,3 +27,13 @@ class CounterApp:
             on_failed=lambda r: None,
             coalesce=False,
         )
+
+    def renew_raw(self, reference, message):
+        # The sanctioned protocol merge hook: the protocol layer itself
+        # declares these raw writes equivalent-up-to-latest.
+        reference.write_raw(
+            message,
+            on_written=lambda r: None,
+            on_failed=lambda r: None,
+            merge_key="lease-renew:phone-a",
+        )

@@ -88,6 +88,33 @@ class TestMor003:
         assert any("ghost" in f.message for f in findings)
 
 
+class TestMor005:
+    def test_merge_key_on_write_raw_is_sanctioned(self):
+        source = (
+            "def renew(reference, message):\n"
+            "    reference.write_raw(message, merge_key='lease-renew:a')\n"
+        )
+        assert lint_source("x.py", source, rules=[get_rule("MOR005")]) == []
+
+    def test_merge_key_on_converted_write_is_flagged(self):
+        source = (
+            "def renew(reference, record):\n"
+            "    reference.write(record, merge_key='lease-renew:a')\n"
+        )
+        findings = lint_source("x.py", source, rules=[get_rule("MOR005")])
+        assert len(findings) == 1
+        assert "merge_key" in findings[0].message
+
+    def test_coalesce_on_raw_write_still_flagged(self):
+        source = (
+            "def push(reference, message):\n"
+            "    reference.write_raw(message, coalesce=True)\n"
+        )
+        findings = lint_source("x.py", source, rules=[get_rule("MOR005")])
+        assert len(findings) == 1
+        assert "merge_key" in findings[0].message  # hint points at the hook
+
+
 class TestMor006:
     def test_flags_every_off_looper_kind(self):
         findings = lint_fixture("mor006_bad.py", "MOR006")

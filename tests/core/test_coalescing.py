@@ -223,6 +223,141 @@ class TestReadDedup:
         assert ref.deduped_reads == 0
 
 
+class TestProtocolMergeHook:
+    """write_raw(..., merge_key=...): the protocol layer's own merge rule."""
+
+    def test_same_key_raw_writes_collapse_to_newest(
+        self, scenario, phone, activity, ref, tag
+    ):
+        from tests.conftest import text_message
+
+        done = EventLog()
+        first = ref.write_raw(
+            text_message("r1"),
+            on_written=lambda _r: done.append(1),
+            timeout=30.0,
+            merge_key="lease-renew:a",
+        )
+        second = ref.write_raw(
+            text_message("r2"),
+            on_written=lambda _r: done.append(2),
+            timeout=30.0,
+            merge_key="lease-renew:a",
+        )
+        assert not first.merged and second.merged
+        assert ref.protocol_merges == 1
+        assert ref.pending_count == 2  # logically both still pending
+        writes_before = phone.port.write_attempts
+        scenario.put(tag, phone)
+        assert done.wait_for_count(2)
+        assert phone.port.write_attempts - writes_before == 1
+        assert tag.read_ndef()[0].payload == b"r2"  # newest message won
+        assert done.snapshot() == [1, 2]  # FIFO settlement
+
+    def test_different_keys_never_merge(self, scenario, phone, activity, ref, tag):
+        from tests.conftest import text_message
+
+        done = EventLog()
+        ref.write_raw(text_message("a"), on_written=lambda _r: done.append(1),
+                      timeout=30.0, merge_key="lease-renew:a")
+        ref.write_raw(text_message("b"), on_written=lambda _r: done.append(2),
+                      timeout=30.0, merge_key="lease-renew:b")
+        assert ref.protocol_merges == 0
+        writes_before = phone.port.write_attempts
+        scenario.put(tag, phone)
+        assert done.wait_for_count(2)
+        assert phone.port.write_attempts - writes_before == 2
+
+    def test_keyless_raw_write_is_a_fence(self, scenario, phone, activity, ref, tag):
+        """Renew | guarded-data | renew: the data write blocks the merge."""
+        from tests.conftest import text_message
+
+        done = EventLog()
+        ref.write_raw(text_message("renew1"), on_written=lambda _r: done.append("n1"),
+                      timeout=30.0, merge_key="lease-renew:a")
+        ref.write_raw(text_message("data"), on_written=lambda _r: done.append("d"),
+                      timeout=30.0)
+        ref.write_raw(text_message("renew2"), on_written=lambda _r: done.append("n2"),
+                      timeout=30.0, merge_key="lease-renew:a")
+        assert ref.protocol_merges == 0
+        writes_before = phone.port.write_attempts
+        scenario.put(tag, phone)
+        assert done.wait_for_count(3)
+        assert phone.port.write_attempts - writes_before == 3
+        assert done.snapshot() == ["n1", "d", "n2"]
+        assert tag.read_ndef()[0].payload == b"renew2"
+
+    def test_read_is_a_fence_for_merging(self, scenario, phone, activity, ref, tag):
+        from tests.conftest import text_message
+
+        done = EventLog()
+        ref.write_raw(text_message("r1"), on_written=lambda _r: done.append("w1"),
+                      timeout=30.0, merge_key="k")
+        ref.read_raw(on_read=lambda r: done.append("read"), timeout=30.0)
+        ref.write_raw(text_message("r2"), on_written=lambda _r: done.append("w2"),
+                      timeout=30.0, merge_key="k")
+        assert ref.protocol_merges == 0
+        scenario.put(tag, phone)
+        assert done.wait_for_count(3)
+        assert done.snapshot() == ["w1", "read", "w2"]
+
+    def test_message_factory_builds_at_transmission_time(
+        self, scenario, phone, activity, ref, tag
+    ):
+        from tests.conftest import text_message
+
+        calls = EventLog()
+
+        def factory():
+            calls.append("built")
+            return text_message("deferred")
+
+        done = EventLog()
+        ref.write_raw(message_factory=factory, on_written=lambda _r: done.append(1),
+                      timeout=30.0)
+        assert calls.snapshot() == []  # nothing built while the tag is away
+        scenario.put(tag, phone)
+        assert done.wait_for_count(1)
+        assert calls.snapshot() == ["built"]
+        assert tag.read_ndef()[0].payload == b"deferred"
+        assert ref.cached_message[0].payload == b"deferred"  # cache refreshed
+
+    def test_write_raw_validates_message_xor_factory(self, activity, tag, phone):
+        from repro.errors import MorenaError
+        from tests.conftest import text_message
+
+        plain = make_reference(activity, tag, phone)
+        with pytest.raises(MorenaError):
+            plain.write_raw()
+        with pytest.raises(MorenaError):
+            plain.write_raw(text_message("x"), message_factory=lambda: None)
+
+    def test_merged_write_adopts_survivor_deadline(
+        self, scenario, phone, activity, ref, tag
+    ):
+        """A merge moves only the deadline; the reactor's timer heap must
+        adopt it so the survivor's (shorter) timeout fires while away."""
+        from tests.conftest import text_message
+
+        log = EventLog()
+        ref.write_raw(text_message("r1"), on_written=lambda _r: log.append("w1"),
+                      timeout=30.0, merge_key="k")
+        survivor = ref.write_raw(
+            text_message("r2"),
+            on_failed=lambda _r: log.append("t2"),
+            timeout=0.15,
+            merge_key="k",
+        )
+        assert survivor.merged
+        # No field event, no enqueue: only the adopted deadline can fire this.
+        assert log.wait_for(lambda e: "t2" in e, timeout=5)
+        assert survivor.outcome is OperationOutcome.TIMED_OUT
+        # The superseded (older, longer-lived) write was revived and lands.
+        scenario.put(tag, phone)
+        assert log.wait_for(lambda e: "w1" in e, timeout=5)
+        assert tag.read_ndef()[0].payload == b"r1"
+
+
 class TestThingSaveCoalescing:
     def test_save_async_coalesces_by_default(self, scenario):
         from repro.concurrent import EventLog as Log

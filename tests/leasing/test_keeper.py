@@ -93,3 +93,88 @@ class TestKeeper:
         _, _, manager_a, _ = setup
         with pytest.raises(ValueError):
             LeaseKeeper(manager_a, duration=0)
+
+
+class TestKeeperLifecycle:
+    def test_stale_tick_after_stop_is_ignored(self, setup):
+        """stop() cannot unpost the delayed tick, so the tick must
+        recognise itself as stale (generation mismatch) and no-op."""
+        _, _, manager_a, _ = setup
+        keeper = LeaseKeeper(manager_a, duration=30.0)
+        log = EventLog()
+        keeper.start(on_acquired=lambda lease: log.append("ok"))
+        assert log.wait_for_count(1, timeout=5)
+        stale = keeper._generation
+        keeper.stop(release=False)
+        renewals_before = manager_a.renewals
+        keeper._renew_now(stale)  # the armed tick fires after the stop
+        time.sleep(0.05)
+        assert manager_a.renewals == renewals_before  # no renewal issued
+        assert keeper.renewal_count == 0
+        assert not keeper.is_running
+
+    def test_stop_then_start_runs_a_single_renewal_chain(self, setup):
+        """The seeded bug: the old post_delayed callback survived stop()
+        and spawned a second chain after restart, doubling the cadence."""
+        _, _, manager_a, _ = setup
+        issued = EventLog()
+        inner_renew = manager_a.renew
+
+        def counting_renew(duration, **kwargs):
+            issued.append(time.monotonic())
+            inner_renew(duration, **kwargs)
+
+        manager_a.renew = counting_renew
+        keeper = LeaseKeeper(manager_a, duration=0.2)
+        for _ in range(3):  # each cycle leaves a tick armed at stop time
+            log = EventLog()
+            keeper.start(on_acquired=lambda lease: log.append("ok"))
+            assert log.wait_for_count(1, timeout=5)
+            keeper.stop()
+        log = EventLog()
+        keeper.start(on_acquired=lambda lease: log.append("ok"))
+        assert log.wait_for_count(1, timeout=5)
+        before = len(issued.snapshot())  # warm-up cycles may have ticked
+        time.sleep(0.45)  # ~4 ticks of the single surviving chain
+        keeper.stop()
+        issued_now = len(issued.snapshot()) - before
+        # One chain ticks every 0.1s: ~4 renewals in the window. Four
+        # leaked chains (the bug) would issue ~16.
+        assert 2 <= issued_now <= 7
+        # Late-settling renewals after stop() count for the manager but
+        # not for the (halted) keeper.
+        assert keeper.renewal_count <= manager_a.renewals
+        assert not keeper.is_running
+
+    def test_on_lost_fires_exactly_once(self, setup):
+        """When the tag stays away past expiry, the queued (and merged)
+        renewals all fail -- the user still hears about it once."""
+        scenario, tag, manager_a, _ = setup
+        lost = EventLog()
+        keeper = LeaseKeeper(manager_a, duration=0.3, on_lost=lambda: lost.append("lost"))
+        log = EventLog()
+        keeper.start(on_acquired=lambda lease: log.append("ok"))
+        assert log.wait_for_count(1, timeout=5)
+        scenario.take(tag, scenario.phones["keeper-a"])
+        assert wait_until(lambda: not manager_a.reference.is_connected)
+        assert lost.wait_for_count(1, timeout=5)
+        time.sleep(0.4)  # several more tick periods
+        assert lost.snapshot() == ["lost"]
+        assert not keeper.is_running
+
+    def test_restart_after_denial(self, setup):
+        _, _, manager_a, manager_b = setup
+        held = EventLog()
+        manager_b.acquire(0.3, on_acquired=lambda lease: held.append("b"))
+        assert held.wait_for_count(1, timeout=5)
+        keeper = LeaseKeeper(manager_a, duration=0.5)
+        denied = EventLog()
+        keeper.start(on_denied=lambda: denied.append("denied"))
+        assert denied.wait_for_count(1, timeout=5)
+        assert not keeper.is_running
+        time.sleep(0.35)  # let B's lease lapse
+        acquired = EventLog()
+        keeper.start(on_acquired=lambda lease: acquired.append("a"))
+        assert acquired.wait_for_count(1, timeout=5)
+        assert keeper.is_running
+        keeper.stop()

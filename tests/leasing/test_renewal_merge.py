@@ -1,0 +1,180 @@
+"""Renewal coalescing: away-time renewals collapse under the guard.
+
+A renewal is a replacement record -- only the latest expiry matters --
+so the manager issues it through the reference's protocol merge hook
+(``write_raw(merge_key=...)``). While the tag is out of range,
+successive renewals tail-merge and one physical write lands the latest
+expiry on redetection. Guarded data writes, releases, and reads are
+fences and never merge with a renewal.
+"""
+
+import time
+
+import pytest
+
+from repro.concurrent import EventLog, wait_until
+from repro.leasing.lease import split_lease
+from repro.leasing.manager import LeaseManager
+from repro.ndef.mime import mime_record
+
+from tests.conftest import PlainNfcActivity, make_reference, text_tag
+
+
+@pytest.fixture
+def setup(scenario):
+    tag = text_tag("app data")
+    phone = scenario.add_phone("merge-phone")
+    app = scenario.start(phone, PlainNfcActivity)
+    scenario.put(tag, phone)
+    ref = make_reference(app, tag, phone)
+    manager = LeaseManager(ref, "merge-phone", drift_bound=0.0)
+    return tag, phone, ref, manager
+
+
+def acquire(manager, duration=60.0):
+    log = EventLog()
+    manager.acquire(duration, on_acquired=lambda lease: log.append(lease))
+    assert log.wait_for_count(1, timeout=5)
+    return log.snapshot()[0]
+
+
+class TestRenewalMerge:
+    def test_away_time_renewals_collapse_to_one_write(self, setup, scenario):
+        tag, phone, ref, manager = setup
+        acquire(manager, duration=60.0)
+        scenario.take(tag, phone)
+        assert wait_until(lambda: not ref.is_connected)
+
+        renewed = EventLog()
+        for _ in range(10):
+            manager.renew(60.0, on_renewed=lambda lease: renewed.append(lease))
+        assert ref.pending_count == 10  # logically all still pending
+        assert ref.protocol_merges == 9
+        assert manager.stats_snapshot()[3] == 9  # renewals_merged
+
+        writes_before = phone.port.write_attempts
+        scenario.put(tag, phone)
+        assert renewed.wait_for_count(10, timeout=5)
+        assert phone.port.write_attempts - writes_before == 1
+        assert manager.renewals == 10  # every renewal settled success
+
+        # The held lease carries the *latest* renewal's expiry, and the
+        # tag agrees.
+        leases = renewed.snapshot()
+        latest = max(lease.expires_at for lease in leases)
+        assert manager.held_lease.expires_at == latest
+        on_tag, records = split_lease(tag.read_ndef())
+        assert on_tag.expires_at == latest
+        assert records  # application data rode along
+
+    def test_guarded_data_write_is_a_fence(self, setup, scenario):
+        """renew | write_guarded | renew: three physical writes, data kept."""
+        tag, phone, ref, manager = setup
+        acquire(manager, duration=60.0)
+        scenario.take(tag, phone)
+        assert wait_until(lambda: not ref.is_connected)
+
+        log = EventLog()
+        manager.renew(60.0, on_renewed=lambda lease: log.append("n1"))
+        manager.write_guarded(
+            [mime_record("a/b", b"guarded payload")],
+            on_written=lambda: log.append("data"),
+        )
+        manager.renew(60.0, on_renewed=lambda lease: log.append("n2"))
+        assert ref.protocol_merges == 0
+        assert manager.stats_snapshot()[3] == 0
+
+        writes_before = phone.port.write_attempts
+        scenario.put(tag, phone)
+        assert log.wait_for_count(3, timeout=5)
+        assert log.snapshot() == ["n1", "data", "n2"]
+        assert phone.port.write_attempts - writes_before == 3
+        # The second renewal re-wrote the *guarded* data, not the state
+        # cached when renew was called.
+        on_tag, records = split_lease(tag.read_ndef())
+        assert on_tag is not None and on_tag.held_by("merge-phone")
+        assert records[0].payload == b"guarded payload"
+
+    def test_release_never_merges_with_renewals(self, setup, scenario):
+        tag, phone, ref, manager = setup
+        acquire(manager, duration=60.0)
+        scenario.take(tag, phone)
+        assert wait_until(lambda: not ref.is_connected)
+
+        log = EventLog()
+        manager.renew(60.0, on_renewed=lambda lease: log.append("renewed"))
+        manager.release(on_released=lambda: log.append("released"))
+        assert ref.protocol_merges == 0
+        assert not manager.holds_valid_lease  # dropped eagerly
+
+        scenario.put(tag, phone)
+        assert log.wait_for_count(2, timeout=5)
+        assert log.snapshot() == ["renewed", "released"]
+        # The renewal that settled mid-release did not resurrect it.
+        assert manager.held_lease is None
+        on_tag, records = split_lease(tag.read_ndef())
+        assert on_tag is None and records
+
+    def test_renewal_deadline_capped_by_guard(self, setup, scenario):
+        """A renewal that cannot land while the lease is still valid
+        fails instead of landing late over a successor's lease."""
+        tag, phone, ref, manager = setup
+        held = acquire(manager, duration=0.3)
+        scenario.take(tag, phone)
+        assert wait_until(lambda: not ref.is_connected)
+
+        log = EventLog()
+        manager.renew(
+            60.0,
+            on_renewed=lambda lease: log.append("renewed"),
+            on_failed=lambda: log.append("failed"),
+            timeout=30.0,
+        )
+        # The operation's timeout was capped at the guard, not 30s.
+        assert log.wait_for(lambda e: "failed" in e, timeout=5)
+        time.sleep(0.05)
+        writes_before = phone.port.write_attempts
+        scenario.put(tag, phone)
+        time.sleep(0.1)
+        assert phone.port.write_attempts == writes_before  # never transmitted
+        on_tag, _ = split_lease(tag.read_ndef())
+        assert on_tag.expires_at == held.expires_at  # tag untouched
+
+    def test_renew_after_local_expiry_fails_without_radio(self, setup, scenario):
+        tag, phone, ref, manager = setup
+        acquire(manager, duration=0.1)
+        time.sleep(0.15)
+        log = EventLog()
+        writes_before = phone.port.write_attempts
+        manager.renew(60.0, on_failed=lambda: log.append("failed"))
+        assert log.wait_for_count(1, timeout=5)
+        assert phone.port.write_attempts == writes_before
+        assert manager.held_lease is None  # local state cleaned up
+
+
+class TestStatsIntegrity:
+    def test_concurrent_renewals_count_exactly(self, setup):
+        import threading
+
+        tag, phone, ref, manager = setup
+        acquire(manager, duration=60.0)
+        renewed = EventLog()
+        threads_n, per_thread = 4, 25
+
+        def hammer():
+            for _ in range(per_thread):
+                manager.renew(60.0, on_renewed=lambda lease: renewed.append(1))
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = threads_n * per_thread
+        assert renewed.wait_for_count(total, timeout=10)
+        acquisitions, denials, renewals, merged = manager.stats_snapshot()
+        assert (acquisitions, denials, renewals) == (1, 0, total)
+        # Merges are opportunistic (scheduling-dependent), but every
+        # merged renewal still settled success above.
+        assert 0 <= merged < total
+        assert ref.protocol_merges == merged
