@@ -11,21 +11,39 @@ so every update costs the user one tap.
 """
 
 import json
+import time
 
+from repro.android.nfc.tech import Tag
 from repro.apps.wifi.wifi_manager import WifiNetworkRegistry
 from repro.baseline import HandcraftedWifiActivity, WifiConfigData
 from repro.concurrent import EventLog, wait_until
+from repro.core.reference import TagReference
 from repro.harness.report import Table
 from repro.harness.scenario import Scenario
 from repro.harness.user import SimulatedUser
 from repro.ndef.message import NdefMessage
 from repro.ndef.mime import mime_record
+from repro.radio.timing import TransferTiming
 from repro.tags.factory import make_tag
 
-from tests.conftest import PlainNfcActivity, make_reference, text_tag
+from benchmarks.conftest import emit_bench_json
+
+from tests.conftest import (
+    PlainNfcActivity,
+    make_reference,
+    string_converters,
+    text_tag,
+)
 
 UPDATES = 8
 WIFI_MIME = "application/vnd.morena.wificonfig"
+
+# Co-located window experiment: several references bound to one tag on
+# one device, drained in a single tap window.
+CO_LOCATED_REFS = 8
+OPS_PER_REF = 2
+
+_PAYLOAD = {}
 
 
 def run_morena(coalesce: bool = False) -> tuple:
@@ -119,3 +137,92 @@ def test_batched_writes_drain_in_one_tap(benchmark):
     assert coalesced_writes == 1  # ...but only the newest payload lands
     assert handcrafted_done == UPDATES
     assert handcrafted_taps == UPDATES  # one tap per update
+
+    _PAYLOAD["one_tap_drain"] = {
+        "updates": UPDATES,
+        "morena_taps": morena_taps,
+        "coalesced_tag_writes": coalesced_writes,
+        "handcrafted_taps": handcrafted_taps,
+    }
+    emit_bench_json("batching", _PAYLOAD)
+
+
+def run_co_located_window(batched: bool) -> tuple:
+    """Drain ``CO_LOCATED_REFS`` references' queues through one tap
+    window under a realistic latency model; returns (wall seconds,
+    physical connect rounds). Per-reference FIFO is asserted inline."""
+    timing = TransferTiming(base_seconds=0.02, seconds_per_byte=1e-4)
+    with Scenario(timing=timing) as scenario:
+        phone = scenario.add_phone("phone")
+        activity = scenario.start(phone, PlainNfcActivity)
+        tag = text_tag("seed")
+        read_conv, write_conv = string_converters()
+        refs = [
+            TagReference(
+                Tag(tag, phone.port), activity, read_conv, write_conv,
+                batched=batched,
+            )
+            for _ in range(CO_LOCATED_REFS)
+        ]
+        logs = [EventLog() for _ in refs]
+        done = EventLog()
+        for ref_index, ref in enumerate(refs):
+            for op_index in range(OPS_PER_REF):
+                refs[ref_index].write(
+                    f"r{ref_index}-o{op_index}",
+                    on_written=lambda _r, ri=ref_index, oi=op_index: (
+                        logs[ri].append(oi),
+                        done.append(1),
+                    ),
+                    timeout=30.0,
+                )
+        connects_before = phone.port.connects
+        start = time.perf_counter()
+        scenario.put(tag, phone)
+        assert done.wait_for_count(CO_LOCATED_REFS * OPS_PER_REF, timeout=30)
+        elapsed = time.perf_counter() - start
+        for log in logs:  # settlement stayed FIFO within each reference
+            assert log.snapshot() == list(range(OPS_PER_REF))
+        return elapsed, phone.port.connects - connects_before
+
+
+def test_co_located_references_share_one_connect_per_window(benchmark):
+    unbatched_seconds, unbatched_connects = run_co_located_window(batched=False)
+    batched_seconds, batched_connects = benchmark.pedantic(
+        run_co_located_window, args=(True,), rounds=1, iterations=1
+    )
+
+    total_ops = CO_LOCATED_REFS * OPS_PER_REF
+    speedup = unbatched_seconds / batched_seconds
+    table = Table(
+        f"Per-port transaction scheduler -- {CO_LOCATED_REFS} co-located "
+        f"references x {OPS_PER_REF} writes, one tap window",
+        ["variant", "seconds", "ops/s", "connect rounds"],
+    )
+    table.add_row(
+        "standalone", round(unbatched_seconds, 3),
+        round(total_ops / unbatched_seconds, 1), unbatched_connects,
+    )
+    table.add_row(
+        "batched window", round(batched_seconds, 3),
+        round(total_ops / batched_seconds, 1), batched_connects,
+    )
+    table.print()
+
+    assert batched_connects == 1  # one connect served the whole window
+    assert unbatched_connects == total_ops
+    assert speedup >= 2.0
+
+    _PAYLOAD["co_located_window"] = {
+        "references": CO_LOCATED_REFS,
+        "ops_per_reference": OPS_PER_REF,
+        "batched_seconds": round(batched_seconds, 4),
+        "unbatched_seconds": round(unbatched_seconds, 4),
+        "batched_ops_per_second": round(total_ops / batched_seconds, 1),
+        "unbatched_ops_per_second": round(total_ops / unbatched_seconds, 1),
+        "batched_connects": batched_connects,
+        "unbatched_connects": unbatched_connects,
+        "speedup": round(speedup, 2),
+        "per_reference_fifo": True,
+    }
+    emit_bench_json("batching", _PAYLOAD)

@@ -1,0 +1,240 @@
+"""Mechanical fix application for ``morelint --fix``.
+
+Rules attach :class:`~repro.analysis.model.SourceEdit` spans to findings
+whose resolution is purely position-derivable -- dropping a keyword
+argument, extending a ``__transient__`` declaration, stubbing a missing
+failure listener. This module turns those spans into rewritten source.
+
+The applier is deliberately conservative:
+
+* edits are applied back-to-front so earlier spans stay valid;
+* byte-identical duplicate edits collapse to one (several findings on
+  one class may all carry the same class-level fix);
+* overlapping edits are *skipped*, not guessed at -- a second ``--fix``
+  run picks up whatever the first pass uncovered.
+
+Builders live here rather than in the rule modules so the span
+arithmetic (comma handling, indentation, docstring skipping) is written
+once and tested once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.model import Finding, SourceEdit
+
+
+# -- span arithmetic -------------------------------------------------------------
+
+
+def _line_starts(source: str) -> List[int]:
+    starts = [0]
+    for index, char in enumerate(source):
+        if char == "\n":
+            starts.append(index + 1)
+    return starts
+
+
+def _offset(starts: Sequence[int], line: int, col: int) -> int:
+    """AST (1-based line, 0-based col) -> absolute character offset."""
+    return starts[line - 1] + col
+
+
+def apply_edits(source: str, edits: Iterable[SourceEdit]) -> Tuple[str, int]:
+    """Apply ``edits`` to ``source``; returns ``(new_source, applied)``.
+
+    Duplicates collapse, overlaps are skipped (see module docstring).
+    """
+    starts = _line_starts(source)
+    spans = []
+    for edit in set(edits):
+        begin = _offset(starts, edit.line, edit.col)
+        end = _offset(starts, edit.end_line, edit.end_col)
+        spans.append((begin, end, edit.replacement))
+    # Greedy selection front-to-back, wider span first on ties, so an
+    # overlap drops the narrower edit (it is usually subsumed by the
+    # wider rewrite). The survivors are applied back-to-front to keep
+    # earlier offsets valid.
+    spans.sort(key=lambda span: (span[0], -(span[1] - span[0])))
+    kept = []
+    last_end = -1
+    for begin, end, replacement in spans:
+        if begin < last_end:
+            continue  # overlaps an edit already kept
+        kept.append((begin, end, replacement))
+        last_end = max(last_end, end)
+    for begin, end, replacement in reversed(kept):
+        source = source[:begin] + replacement + source[end:]
+    return source, len(kept)
+
+
+def fix_source(source: str, findings: Iterable[Finding]) -> Tuple[str, int]:
+    """Apply every edit carried by ``findings`` to ``source``."""
+    edits = [edit for finding in findings for edit in finding.edits]
+    if not edits:
+        return source, 0
+    return apply_edits(source, edits)
+
+
+# -- edit builders ---------------------------------------------------------------
+
+
+def drop_keyword_edit(source: str, call: ast.Call, name: str) -> Tuple[SourceEdit, ...]:
+    """Remove the ``name=...`` keyword argument from ``call``.
+
+    The span swallows the separating comma: the preceding one when the
+    keyword follows another argument, the trailing one when it leads.
+    Returns ``()`` when the node lacks position info (pre-3.8 spans) --
+    the finding then simply stays hint-only.
+    """
+    keyword = next((kw for kw in call.keywords if kw.arg == name), None)
+    if keyword is None or keyword.value.end_lineno is None:
+        return ()
+    starts = _line_starts(source)
+    value = keyword.value
+    begin = _offset(starts, value.lineno, value.col_offset)
+    begin = source.rindex(name, 0, begin)  # start of "name=value"
+    end = _offset(starts, value.end_lineno, value.end_col_offset)
+    # Prefer eating the preceding comma (", name=value"); fall back to
+    # the trailing one ("name=value, ") when the keyword leads the list.
+    before = begin
+    while before > 0 and source[before - 1] in " \t\n":
+        before -= 1
+    if before > 0 and source[before - 1] == ",":
+        begin = before - 1
+    else:
+        after = end
+        while after < len(source) and source[after] in " \t\n":
+            after += 1
+        if after < len(source) and source[after] == ",":
+            end = after + 1
+            while end < len(source) and source[end] == " ":
+                end += 1
+    edit = _edit_from_offsets(source, starts, begin, end, "")
+    return (edit,)
+
+
+def set_keyword_value_edit(
+    source: str, call: ast.Call, name: str, literal: str
+) -> Tuple[SourceEdit, ...]:
+    """Replace the value of the ``name=...`` keyword with ``literal``.
+
+    For keywords whose *absence* means something other than ``False``
+    (``save_async`` coalesces by default), dropping the argument would
+    silently keep the flagged behaviour -- pinning the value is the
+    honest mechanical fix.
+    """
+    keyword = next((kw for kw in call.keywords if kw.arg == name), None)
+    if keyword is None or keyword.value.end_lineno is None:
+        return ()
+    starts = _line_starts(source)
+    value = keyword.value
+    begin = _offset(starts, value.lineno, value.col_offset)
+    end = _offset(starts, value.end_lineno, value.end_col_offset)
+    return (_edit_from_offsets(source, starts, begin, end, literal),)
+
+
+def add_failure_stub_edit(
+    source: str, call: ast.Call, keyword_name: str
+) -> Tuple[SourceEdit, ...]:
+    """Append ``keyword_name=lambda *args: None`` to ``call``.
+
+    The stub makes the silent-timeout path explicit: it keeps the
+    program behaviour identical while leaving a grep-able marker the
+    author is expected to replace with real handling.
+    """
+    if call.end_lineno is None:
+        return ()
+    starts = _line_starts(source)
+    end = _offset(starts, call.end_lineno, call.end_col_offset)
+    close = end - 1
+    if close < 0 or source[close] != ")":
+        return ()
+    insert_at = close
+    before = close
+    while before > 0 and source[before - 1] in " \t\n":
+        before -= 1
+    stub = f"{keyword_name}=lambda *args: None"
+    if before > 0 and source[before - 1] == ",":
+        text = f" {stub}"
+    elif before > 0 and source[before - 1] == "(":
+        text = stub
+    else:
+        text = f", {stub}"
+    edit = _edit_from_offsets(source, starts, insert_at, insert_at, text)
+    return (edit,)
+
+
+def transient_declaration_edit(
+    source: str,
+    klass: ast.ClassDef,
+    declaration: Optional[ast.AST],
+    existing: Sequence[str],
+    missing: Sequence[str],
+) -> Tuple[SourceEdit, ...]:
+    """Extend (or create) ``klass``'s ``__transient__`` declaration so it
+    also names every field in ``missing``.
+
+    With an existing declaration the value literal is rewritten in
+    place, preserving its delimiter style. Without one, a new
+    declaration is inserted as the first statement of the class body
+    (after a docstring, matching its indentation). All missing fields
+    land in one edit, so the several findings of one class carry
+    byte-identical (hence collapsing) fixes.
+    """
+    names = list(existing) + [name for name in missing if name not in existing]
+    if declaration is not None:
+        value = getattr(declaration, "value", None)
+        if value is None or value.end_lineno is None:
+            return ()
+        starts = _line_starts(source)
+        begin = _offset(starts, value.lineno, value.col_offset)
+        end = _offset(starts, value.end_lineno, value.end_col_offset)
+        if isinstance(value, ast.List):
+            literal = "[" + ", ".join(repr(name) for name in names) + "]"
+        elif isinstance(value, ast.Set):
+            literal = "{" + ", ".join(repr(name) for name in names) + "}"
+        else:
+            inner = ", ".join(repr(name) for name in names)
+            if len(names) == 1:
+                inner += ","
+            literal = f"({inner})"
+        return (_edit_from_offsets(source, starts, begin, end, literal),)
+    # No declaration anywhere in this class: insert one at the top of
+    # the body, after a docstring if present.
+    body = klass.body
+    anchor = body[0]
+    if (
+        isinstance(anchor, ast.Expr)
+        and isinstance(anchor.value, ast.Constant)
+        and isinstance(anchor.value.value, str)
+        and len(body) > 1
+    ):
+        anchor = body[1]
+    indent = " " * anchor.col_offset
+    inner = ", ".join(repr(name) for name in names)
+    if len(names) == 1:
+        inner += ","
+    line = f"{indent}__transient__ = ({inner})\n"
+    return (SourceEdit(anchor.lineno, 0, anchor.lineno, 0, line),)
+
+
+def _edit_from_offsets(
+    source: str, starts: Sequence[int], begin: int, end: int, replacement: str
+) -> SourceEdit:
+    """Absolute offsets -> the AST-coordinate span ``SourceEdit`` wants."""
+
+    def to_pos(offset: int) -> Tuple[int, int]:
+        line = 1
+        for index, start in enumerate(starts):
+            if start <= offset:
+                line = index + 1
+            else:
+                break
+        return line, offset - starts[line - 1]
+
+    line, col = to_pos(begin)
+    end_line, end_col = to_pos(end)
+    return SourceEdit(line, col, end_line, end_col, replacement)

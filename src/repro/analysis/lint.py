@@ -4,10 +4,14 @@
 
     python -m repro.analysis.lint src examples benchmarks
     python -m repro.analysis.lint --select MOR001,MOR003 path/to/app.py
+    python -m repro.analysis.lint --fix path/to/app.py
     python -m repro.analysis.lint --list-rules
 
 Exit codes: ``0`` clean (warnings allowed), ``1`` at least one
 error-severity finding -- the contract the CI lint gate relies on.
+``--fix`` applies the mechanical edits fixable findings carry (see
+:mod:`repro.analysis.autofix`), rewrites the files, then re-lints and
+reports -- and exits on -- whatever remains.
 Also reachable as ``python -m repro.cli lint ...``.
 """
 
@@ -15,10 +19,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro.analysis.autofix import fix_source
 from repro.analysis.engine import lint_paths
-from repro.analysis.model import Severity, all_rules
+from repro.analysis.model import Finding, Severity, all_rules
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-hints",
         action="store_true",
         help="omit the autofix hint lines",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical fixes in place, then re-lint the paths",
     )
     parser.add_argument(
         "--list-rules",
@@ -66,6 +76,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         else None
     )
     findings = lint_paths(args.paths, select=select)
+    if args.fix:
+        fixed = _apply_fixes(findings)
+        if fixed:
+            findings = lint_paths(args.paths, select=select)
+        print(f"morelint: applied {fixed} fix(es)")
     for finding in findings:
         print(finding.format(show_hint=not args.no_hints))
     errors = sum(1 for f in findings if f.severity is Severity.ERROR)
@@ -75,6 +90,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"across {len(args.paths)} path(s)"
     )
     return 1 if errors else 0
+
+
+def _apply_fixes(findings: List[Finding]) -> int:
+    """Rewrite each file with the edits its fixable findings carry.
+
+    Returns the number of edits applied (duplicates collapsed). Files
+    whose findings carry no edits are left untouched.
+    """
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        if finding.fixable:
+            by_path.setdefault(finding.path, []).append(finding)
+    applied = 0
+    for path, fixable in sorted(by_path.items()):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        rewritten, count = fix_source(source, fixable)
+        if count and rewritten != source:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(rewritten)
+            applied += count
+    return applied
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

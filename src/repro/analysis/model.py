@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 
 class Severity(enum.Enum):
@@ -28,6 +28,25 @@ class Severity(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+@dataclass(frozen=True)
+class SourceEdit:
+    """One mechanical text replacement in AST coordinates.
+
+    ``line``/``end_line`` are 1-based, ``col``/``end_col`` are 0-based
+    character offsets within the line -- exactly what ``ast`` reports,
+    so rules can lift spans straight off the nodes they flag. A
+    zero-width span (start == end) is an insertion. Only edits whose
+    correctness is position-derivable belong here; judgement calls stay
+    prose hints.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    replacement: str
 
 
 @dataclass(frozen=True)
@@ -41,6 +60,13 @@ class Finding:
     column: int
     message: str
     autofix_hint: str = ""
+    # Mechanical fixes ``morelint --fix`` may apply. Empty for findings
+    # whose resolution needs a human decision (most do).
+    edits: Tuple[SourceEdit, ...] = ()
+
+    @property
+    def fixable(self) -> bool:
+        return bool(self.edits)
 
     def format(self, show_hint: bool = True) -> str:
         text = (
@@ -75,6 +101,7 @@ class Rule:
         message: str,
         severity: Optional[Severity] = None,
         autofix_hint: Optional[str] = None,
+        edits: Tuple[SourceEdit, ...] = (),
     ) -> Finding:
         """Build a :class:`Finding` anchored at an AST node."""
         return Finding(
@@ -85,6 +112,7 @@ class Rule:
             column=getattr(node, "col_offset", 0) + 1,
             message=message,
             autofix_hint=self.autofix_hint if autofix_hint is None else autofix_hint,
+            edits=edits,
         )
 
 

@@ -19,8 +19,13 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
+from repro.analysis.autofix import add_failure_stub_edit
 from repro.analysis.context import FileContext
 from repro.analysis.model import Finding, Rule, Severity, register
+
+# The keyword the failure half travels under, per method; everything
+# else in ASYNC_PAIR_METHODS takes plain ``on_failed``.
+_FAILURE_KEYWORD_EXCEPTIONS = {"initialize": "on_save_failed"}
 
 
 def check(context: FileContext) -> Iterator[Finding]:
@@ -29,6 +34,7 @@ def check(context: FileContext) -> Iterator[Finding]:
         if not site.has_success or site.has_failure:
             continue
         severity = Severity.ERROR if site.thing_level else Severity.WARNING
+        keyword = _FAILURE_KEYWORD_EXCEPTIONS.get(site.method, "on_failed")
         findings.append(
             RULE.finding(
                 context,
@@ -36,6 +42,9 @@ def check(context: FileContext) -> Iterator[Finding]:
                 f"{site.method}() registers a success listener but no "
                 "failure listener; the timeout path is silent",
                 severity=severity,
+                # The stub keeps behaviour identical while making the
+                # ignored-timeout decision explicit and grep-able.
+                edits=add_failure_stub_edit(context.source, site.node, keyword),
             )
         )
     return iter(findings)

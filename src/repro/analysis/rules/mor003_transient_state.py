@@ -17,6 +17,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Set
 
+from repro.analysis.autofix import transient_declaration_edit
 from repro.analysis.context import FileContext, ThingClass, call_name, tail_name
 from repro.analysis.model import Finding, Rule, Severity, register
 
@@ -88,6 +89,7 @@ def check(context: FileContext) -> Iterator[Finding]:
             effective_transients.update(ancestor.transients)
             known_fields.update(ancestor.fields)
 
+        flagged: List[tuple] = []
         for field_name, node in sorted(thing.fields.items()):
             if field_name.startswith("_") or field_name in effective_transients:
                 continue
@@ -96,6 +98,21 @@ def check(context: FileContext) -> Iterator[Finding]:
                 continue
             reason = _unserializable_reason(value)
             if reason:
+                flagged.append((field_name, node, reason))
+        if flagged:
+            # One combined edit covering every flagged field of this
+            # class, shared by all its findings: duplicate edits
+            # collapse on application, so --fix rewrites the
+            # declaration once. Runtime unions __transient__ across the
+            # MRO, so inserting a subclass-local declaration is safe.
+            edits = transient_declaration_edit(
+                context.source,
+                thing.node,
+                thing.transient_node,
+                thing.transients,
+                [field_name for field_name, _, _ in flagged],
+            )
+            for field_name, node, reason in flagged:
                 findings.append(
                     RULE.finding(
                         context,
@@ -103,6 +120,7 @@ def check(context: FileContext) -> Iterator[Finding]:
                         f"{thing.node.name}.{field_name} holds {reason} but "
                         "is not listed in __transient__; saving this thing "
                         "to a tag will fail or leak runtime state",
+                        edits=edits,
                     )
                 )
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List
 
+from repro.analysis.autofix import drop_keyword_edit, set_keyword_value_edit
 from repro.analysis.context import FileContext, call_name, get_keyword, tail_name
 from repro.analysis.model import Finding, Rule, Severity, register
 
@@ -57,6 +58,9 @@ def check(context: FileContext) -> Iterator[Finding]:
                         "operations never take the generic tail merge -- "
                         "protocol writes that are equivalent-up-to-latest "
                         "use write_raw(merge_key=...) instead",
+                        # Dropping the keyword is behaviour-preserving:
+                        # the reference layer never honoured it here.
+                        edits=drop_keyword_edit(context.source, call, "coalesce"),
                     )
                 )
             elif method in _COALESCIBLE:
@@ -70,6 +74,12 @@ def check(context: FileContext) -> Iterator[Finding]:
                             f"{call_name(call.func.value)!r}: lease/lock "
                             "records must respect the guard protocol, not "
                             "the generic tail merge",
+                            # save_async coalesces by default, so merely
+                            # dropping the keyword would keep the merge:
+                            # pin it off instead.
+                            edits=set_keyword_value_edit(
+                                context.source, call, "coalesce", "False"
+                            ),
                         )
                     )
         if method != "write_raw" and get_keyword(call, "merge_key") is not None:

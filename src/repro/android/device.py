@@ -28,6 +28,7 @@ from repro.core.scheduler import Reactor
 from repro.errors import LifecycleError
 from repro.radio.environment import RfidEnvironment
 from repro.radio.port import NfcAdapterPort
+from repro.radio.txscheduler import PortTransactionScheduler
 
 A = TypeVar("A", bound=Activity)
 
@@ -51,6 +52,8 @@ class AndroidDevice:
         self._stack_lock = threading.Lock()
         self._reactor: Optional[Reactor] = None
         self._reactor_lock = threading.Lock()
+        self._tx_scheduler: Optional[PortTransactionScheduler] = None
+        self._tx_lock = threading.Lock()
         self.toasts = EventLog()
 
     # -- accessors -----------------------------------------------------------
@@ -85,6 +88,24 @@ class AndroidDevice:
                     clock=self._env.clock, name=f"{self.name}-reactor"
                 )
             return self._reactor
+
+    @property
+    def tx_scheduler(self) -> PortTransactionScheduler:
+        """The device's per-port radio transaction scheduler (lazy).
+
+        Batch-managed tag references register here; on each tap window
+        the scheduler drains their ready head operations through one
+        connected session per tag instead of paying the full
+        connect/anticollision cost per operation. See
+        :mod:`repro.radio.txscheduler`.
+        """
+        reactor = self.reactor  # outside _tx_lock: both locks are plain
+        with self._tx_lock:
+            if self._tx_scheduler is None:
+                self._tx_scheduler = PortTransactionScheduler(
+                    self._port, reactor, self._env.clock
+                )
+            return self._tx_scheduler
 
     @property
     def foreground_activity(self) -> Optional[Activity]:
@@ -241,6 +262,10 @@ class AndroidDevice:
             self.stop_service(service)
         while self.foreground_activity is not None:
             self.finish_activity()
+        with self._tx_lock:
+            tx_scheduler = self._tx_scheduler
+        if tx_scheduler is not None:
+            tx_scheduler.close()
         with self._reactor_lock:
             reactor = self._reactor
         if reactor is not None:

@@ -44,6 +44,7 @@ class TagReferenceFactory:
         default_timeout: Optional[float] = None,
         threaded: Optional[bool] = None,
         coalesce_writes: Optional[bool] = None,
+        batched: Optional[bool] = None,
     ) -> "tuple[TagReference, bool]":
         """Return ``(reference, is_new)`` for the tag's UID.
 
@@ -53,7 +54,10 @@ class TagReferenceFactory:
         worker pool per device) unless ``threaded=True`` selects the
         paper-literal thread-per-reference mode. ``coalesce_writes=True``
         makes the reference's writes coalescible by default (see
-        :meth:`TagReference.write`).
+        :meth:`TagReference.write`). ``batched=False`` opts the
+        reference out of the device's per-port transaction scheduler
+        (see :mod:`repro.radio.txscheduler`); reactor references batch
+        by default.
         """
         with self._lock:
             existing = self._references.get(tag.id)
@@ -66,6 +70,8 @@ class TagReferenceFactory:
                 kwargs["threaded"] = threaded
             if coalesce_writes is not None:
                 kwargs["coalesce_writes"] = coalesce_writes
+            if batched is not None:
+                kwargs["batched"] = batched
             reference = TagReference(
                 tag,
                 self._activity,

@@ -79,6 +79,25 @@ class Operation:
     def is_settled(self) -> bool:
         return self.outcome is not OperationOutcome.PENDING
 
+    @property
+    def is_batch_fence(self) -> bool:
+        """Whether this operation fences a batched tap window.
+
+        Inside one batched session the per-port transaction scheduler
+        interleaves the *ready* head operations of every reference bound
+        to the tag, ordered by global enqueue order (``op_id``). Plain
+        converted writes tolerate best-effort interleaving (exactly the
+        freedom the unbatched path always had); everything that observes
+        or guards tag state does not. A fence — any read, any raw write
+        (lease-guarded writes, renewals, releases), a lock, a format —
+        executes only once every earlier-enqueued operation of *every*
+        co-located reference has settled, and no later-enqueued
+        operation of another reference may overtake it.
+        """
+        if self.kind is not OperationKind.WRITE:
+            return True
+        return self.raw
+
     def __repr__(self) -> str:
         return (
             f"Operation(#{self.op_id} {self.kind.value}, attempts={self.attempts}, "

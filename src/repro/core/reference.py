@@ -74,7 +74,15 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Callable, Deque, List, Optional, TYPE_CHECKING
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    List,
+    NamedTuple,
+    Optional,
+    TYPE_CHECKING,
+)
 
 from repro.clock import Clock
 from repro.core.converters import (
@@ -105,6 +113,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.android.looper import Looper
     from repro.android.nfc.tech import Tag
     from repro.core.nfc_activity import NFCActivity
+    from repro.radio.port import TagSession
+    from repro.radio.txscheduler import PortTransactionScheduler
 
 DEFAULT_TIMEOUT_SECONDS = 5.0
 DEFAULT_RETRY_INTERVAL_SECONDS = 0.02
@@ -131,6 +141,26 @@ _PERMANENT_ERRORS = (
 ConnectivityListener = Callable[["TagReference", bool], None]
 
 
+class BatchView(NamedTuple):
+    """One reference's queue state as seen by the per-port transaction
+    scheduler's drain loop (see :mod:`repro.radio.txscheduler`).
+
+    ``ready`` is the head operation if it may execute right now (tag
+    presence is the scheduler's concern); ``head_id`` is the smallest
+    pending ``op_id`` including superseded writes; ``fence_id`` is the
+    smallest pending fence ``op_id`` (``None`` if no fence is queued);
+    ``wake_at`` is when a backed-off head becomes ready again.
+    """
+
+    ready: Optional[Operation]
+    head_id: Optional[int]
+    fence_id: Optional[int]
+    wake_at: Optional[float]
+
+
+_EMPTY_BATCH_VIEW = BatchView(None, None, None, None)
+
+
 class TagReference:
     """First-class remote reference to one RFID tag.
 
@@ -150,6 +180,7 @@ class TagReference:
         threaded: bool = False,
         reactor: Optional[Reactor] = None,
         coalesce_writes: bool = False,
+        batched: Optional[bool] = None,
     ) -> None:
         self._tag = tag
         self._activity = activity
@@ -189,6 +220,14 @@ class TagReference:
         self._port.add_tag_listener(tag.simulated, self._on_field_event)
         self._thread: Optional[threading.Thread] = None
         self._task: Optional[ReactorTask] = None
+        # Batched radio execution (reactor mode only): the device's
+        # per-port transaction scheduler drains this reference's ready
+        # head operations through shared tag sessions, one connect per
+        # tap window. ``batched=False`` opts a reference out (its radio
+        # work runs on its own task, standalone-cost per operation);
+        # ``threaded=True`` always runs unbatched, paper-literally.
+        self._batch: Optional["PortTransactionScheduler"] = None
+        self._batch_backoff_until = 0.0
         if threaded:
             # Paper-literal mode: one OS thread per reference. Kept for
             # the event-loop ablation bench and as an escape hatch.
@@ -201,6 +240,13 @@ class TagReference:
         else:
             shared = reactor if reactor is not None else activity.device.reactor
             self._task = shared.register(self._step, name=f"tagref-{tag.id_hex}")
+            # Default on -- except under an explicitly supplied reactor,
+            # where pulling in the device scheduler (which runs on the
+            # *device's* reactor) would be a surprise.
+            use_batched = batched if batched is not None else reactor is None
+            if use_batched:
+                self._batch = activity.device.tx_scheduler
+                self._batch.register(self)
 
     # -- identity & cached state --------------------------------------------------
 
@@ -574,6 +620,8 @@ class TagReference:
             if notify_pending:
                 self._post_listener(operation.on_failure, self)
         self._port.remove_tag_listener(self._tag.simulated, self._on_field_event)
+        if self._batch is not None:
+            self._batch.unregister(self)
         if self._task is not None:
             # Deregister rather than wake: a wake would spin up reactor
             # threads just to observe the stop flag, and any timer entry
@@ -672,7 +720,13 @@ class TagReference:
         sleeps on the worker: retry backoff and timeout expiry are
         delegated to the reactor's deadline heap, so an absent tag's
         retries occupy no thread and cannot starve other references.
+
+        In batched mode the radio work itself belongs to the per-port
+        transaction scheduler; this task keeps only the time-driven
+        duties (timeout expiry) and forwards readiness.
         """
+        if self._batch is not None:
+            return self._batch_step()
         for _ in range(_STEP_BURST_OPS):
             head: Optional[Operation] = None
             with self._cond:
@@ -707,6 +761,106 @@ class TagReference:
             if self._queue and not self._stopped:
                 return self._clock.now()  # burst cap hit: yield, then resume
         return None
+
+    def _batch_step(self) -> Optional[float]:
+        """The reference task's quantum in batched mode.
+
+        Radio attempts happen on the transaction scheduler's drain; this
+        task only expires deadlines and reports readiness, then parks on
+        the earliest pending deadline so timeouts fire even while the
+        scheduler has nothing to drain (absent tag, backoff).
+        """
+        with self._cond:
+            if self._stopped:
+                return None
+            self._expire_locked()
+            if not self._queue:
+                return None
+            runnable = self._tag_present()
+            deadline = self._earliest_deadline_locked()
+        if runnable:
+            # Outside the queue lock: the scheduler takes its own lock
+            # and wakes its reactor task.
+            self._batch.notify_runnable(self)
+        return deadline
+
+    def batch_poll(self) -> BatchView:
+        """Expire overdue operations, then report the queue's batch view.
+
+        Called by the transaction scheduler's drain loop; see
+        :class:`BatchView` for the fields and
+        :meth:`Operation.is_batch_fence` for the fence rules the
+        scheduler enforces with them.
+        """
+        with self._cond:
+            if self._stopped or not self._queue:
+                return _EMPTY_BATCH_VIEW
+            self._expire_locked()
+            if not self._queue:
+                return _EMPTY_BATCH_VIEW
+            head = self._queue[0]
+            head_id = head.op_id
+            if head.superseded:
+                head_id = min(head_id, head.superseded[0].op_id)
+            # First fence in queue order carries the smallest fence id:
+            # op_ids grow along the queue, and a superseded write is
+            # always newer than everything queued ahead of its survivor.
+            fence_id: Optional[int] = None
+            for operation in self._queue:
+                ids = [
+                    shadow.op_id
+                    for shadow in operation.superseded
+                    if shadow.is_batch_fence
+                ]
+                if operation.is_batch_fence:
+                    ids.append(operation.op_id)
+                if ids:
+                    fence_id = min(ids)
+                    break
+            ready: Optional[Operation] = None
+            wake_at: Optional[float] = None
+            if not head.in_flight:
+                if self._clock.now() >= self._batch_backoff_until:
+                    ready = head
+                else:
+                    wake_at = self._batch_backoff_until
+            return BatchView(ready, head_id, fence_id, wake_at)
+
+    def batch_execute(self, operation: Operation, session: "TagSession") -> str:
+        """Run one head attempt through an open tag session.
+
+        Called by the transaction scheduler's drain loop. Returns
+        ``"settled"`` (the operation and any coalesced/deduped
+        companions settled, listeners posted FIFO), ``"retry"`` (the
+        attempt failed transiently -- the operation stays at the head
+        and this reference backs off for its retry interval), or
+        ``"skip"`` (the queue changed underneath: cancel, stop or
+        timeout won the race and there is nothing to do).
+        """
+        with self._cond:
+            if (
+                self._stopped
+                or not self._queue
+                or self._queue[0] is not operation
+                or operation.in_flight
+            ):
+                return "skip"
+            operation.in_flight = True
+        outcome, error = self._attempt(operation, radio=session)
+        with self._cond:
+            operation.in_flight = False
+            if self._stopped:
+                return "skip"
+            if outcome is OperationOutcome.PENDING:
+                if not self._queue or self._queue[0] is not operation:
+                    return "skip"  # cancelled mid-attempt
+                self._batch_backoff_until = (
+                    self._clock.now() + self._retry_interval
+                )
+                return "retry"
+            before, after = self._harvest_settlements_locked(operation, outcome)
+        self._settle_batch(operation, before, after, outcome, error)
+        return "settled"
 
     def _earliest_deadline_locked(self) -> float:
         earliest = min(operation.deadline for operation in self._queue)
@@ -809,6 +963,12 @@ class TagReference:
         index = 0
         while index < len(self._queue):
             operation = self._queue[index]
+            if operation.in_flight:
+                # A radio attempt is executing right now (the batched
+                # drain runs on another thread): hands off -- the
+                # attempt's settlement path re-examines the queue.
+                index += 1
+                continue
             if operation.superseded:
                 remaining = []
                 for shadow in operation.superseded:
@@ -832,16 +992,19 @@ class TagReference:
             else:
                 index += 1
 
-    def _attempt(self, operation: Operation):
+    def _attempt(self, operation: Operation, radio: Optional[Any] = None):
         """Try the head operation once. Returns (outcome, error).
 
         ``PENDING`` as outcome means: transient failure, keep it queued.
+        ``radio`` substitutes an open :class:`TagSession` for the port
+        (batched mode); both expose the same blocking tag operations.
         """
+        port = self._port if radio is None else radio
         operation.attempts += 1
         self.attempts += 1
         try:
             if operation.kind is OperationKind.READ:
-                message = self._port.read_ndef(self._tag.simulated)
+                message = port.read_ndef(self._tag.simulated)
                 if operation.raw:
                     self._update_message_cache(message)
                 else:
@@ -853,15 +1016,15 @@ class TagReference:
                     if operation.payload_factory is None
                     else operation.payload_factory()
                 )
-                self._port.write_ndef(self._tag.simulated, payload)
+                port.write_ndef(self._tag.simulated, payload)
                 if operation.raw:
                     self._update_message_cache(payload)
                 else:
                     self._update_cache(operation.original_object, payload)
             elif operation.kind is OperationKind.FORMAT:
-                self._port.format_tag(self._tag.simulated)
+                port.format_tag(self._tag.simulated)
             else:
-                self._port.make_read_only(self._tag.simulated)
+                port.make_read_only(self._tag.simulated)
             return OperationOutcome.SUCCEEDED, None
         except _PERMANENT_ERRORS as exc:
             return OperationOutcome.FAILED, exc

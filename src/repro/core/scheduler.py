@@ -39,7 +39,7 @@ import os
 import threading
 import traceback
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
 
 from repro.clock import Clock, SystemClock
 
@@ -321,3 +321,66 @@ class Reactor:
                     self._cond.wait(max(self._timers[0][0] - now, 0.0))
                 else:
                     self._cond.wait(_FALLBACK_POLL_SECONDS)
+
+
+class PortReadyQueue:
+    """Per-port ready-queue of keys (tags) with runnable batched work.
+
+    The per-port transaction scheduler (:mod:`repro.radio.txscheduler`)
+    runs as **one** serial :class:`ReactorTask`; this queue is how many
+    concurrent producers (references enqueueing work, field events) hand
+    that single task the set of tags worth draining, so the reactor can
+    give a whole per-port batch to one worker instead of one wakeup per
+    operation.
+
+    Marks coalesce (a tag is ready once, however many operations piled
+    up) and are **generation-counted**: :meth:`snapshot` returns each
+    key with the generation observed, and :meth:`clear` only removes the
+    key if no :meth:`mark` landed in between. That closes the race where
+    a drain finds a tag idle, a reference enqueues concurrently, and a
+    plain clear would eat the fresh mark — the wake that follows the
+    mark would then find an empty queue and the work would sleep until
+    its timeout. Insertion order is preserved, so tags are drained in
+    the order they became ready.
+    """
+
+    __slots__ = ("_lock", "_generations")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._generations: Dict[Hashable, int] = {}
+
+    def mark(self, key: Hashable) -> None:
+        """Flag ``key`` as having runnable work (coalescing)."""
+        with self._lock:
+            self._generations[key] = self._generations.get(key, 0) + 1
+
+    def snapshot(self) -> List[Tuple[Hashable, int]]:
+        """The marked keys in ready order, each with its generation."""
+        with self._lock:
+            return list(self._generations.items())
+
+    def clear(self, key: Hashable, generation: int) -> bool:
+        """Unmark ``key`` unless it was re-marked since the snapshot.
+
+        Returns whether the key was removed; ``False`` means a producer
+        marked it again and the caller should drain it once more.
+        """
+        with self._lock:
+            if self._generations.get(key) == generation:
+                del self._generations[key]
+                return True
+            return False
+
+    def discard(self, key: Hashable) -> None:
+        """Unconditionally unmark ``key`` (tag left the field)."""
+        with self._lock:
+            self._generations.pop(key, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._generations)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._generations

@@ -22,9 +22,35 @@ class PortStats:
     name: str
     read_attempts: int
     write_attempts: int
+    format_attempts: int
+    lock_attempts: int
     beam_attempts: int
+    connects: int
     link_attempts: Optional[int]
     link_failures: Optional[int]
+
+    @property
+    def data_transfers(self) -> int:
+        """Transfers that moved tag data (everything but Beam)."""
+        return (
+            self.read_attempts
+            + self.write_attempts
+            + self.format_attempts
+            + self.lock_attempts
+        )
+
+    @property
+    def batched_share(self) -> Optional[float]:
+        """Fraction of data transfers that rode a shared connect round.
+
+        ``None`` before any transfer. Standalone operations pay one
+        connect each, so the share is ``0.0`` without batching and grows
+        as tap windows amortize the anticollision cost.
+        """
+        transfers = self.data_transfers
+        if not transfers:
+            return None
+        return max(0.0, 1.0 - self.connects / transfers)
 
     @property
     def observed_loss(self) -> Optional[float]:
@@ -50,7 +76,10 @@ def collect_port_stats(env: RfidEnvironment) -> List[PortStats]:
                 name=name,
                 read_attempts=port.read_attempts,
                 write_attempts=port.write_attempts,
+                format_attempts=port.format_attempts,
+                lock_attempts=port.lock_attempts,
                 beam_attempts=port.beam_attempts,
+                connects=port.connects,
                 link_attempts=link_attempts,
                 link_failures=link_failures,
             )
@@ -62,15 +91,30 @@ def radio_report(env: RfidEnvironment, title: str = "Radio telemetry") -> Table:
     """Render one table row per port."""
     table = Table(
         title,
-        ["port", "reads", "writes", "beams", "observed loss"],
+        [
+            "port",
+            "reads",
+            "writes",
+            "formats",
+            "locks",
+            "beams",
+            "connects",
+            "batched share",
+            "observed loss",
+        ],
     )
     for stats in collect_port_stats(env):
         loss = stats.observed_loss
+        share = stats.batched_share
         table.add_row(
             stats.name,
             stats.read_attempts,
             stats.write_attempts,
+            stats.format_attempts,
+            stats.lock_attempts,
             stats.beam_attempts,
+            stats.connects,
+            "n/a" if share is None else f"{share:.2f}",
             "n/a" if loss is None else f"{loss:.2f}",
         )
     return table

@@ -27,14 +27,23 @@ from repro.radio.timing import NO_DELAY, TransferTiming
 from repro.radio.environment import RfidEnvironment
 from repro.radio.geometry import Position, SpatialEnvironment
 from repro.radio.port import NfcAdapterPort
+from repro.radio.port import TagSession
 from repro.radio.snep import SnepClient, SnepFrame, SnepServer
 from repro.radio.trace import RadioTracer, TraceReplayer, trace_from_json
+
+# Imported last: txscheduler reaches back into repro.core.scheduler,
+# which transitively imports repro.radio submodules (fine while this
+# package is mid-initialization, as long as nothing before this line is
+# still missing).
+from repro.radio.txscheduler import PortTransactionScheduler
 
 __all__ = [
     "RfidEnvironment",
     "SpatialEnvironment",
     "Position",
     "NfcAdapterPort",
+    "TagSession",
+    "PortTransactionScheduler",
     "LinkModel",
     "PerfectLink",
     "LossyLink",

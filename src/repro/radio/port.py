@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 from repro.clock import Clock
 from repro.errors import (
     BeamError,
+    MorenaError,
     NdefError,
     NotInFieldError,
     TagFormatError,
@@ -66,10 +67,21 @@ class NfcAdapterPort:
         self._snep_server: Optional[SnepServer] = None
         self._snep_get_provider: Optional[Callable[[str, bytes], Optional[bytes]]] = None
         self._lock = threading.RLock()
+        # One radio, one transaction at a time: a real NFC controller
+        # cannot overlap tag exchanges, so concurrent callers serialize
+        # here for the duration of each transfer (held across the
+        # latency sleep -- that *is* the radio being busy).
+        self._radio_lock = threading.Lock()
         # Counters for benchmarks.
         self.read_attempts = 0
         self.write_attempts = 0
         self.beam_attempts = 0
+        self.format_attempts = 0
+        self.lock_attempts = 0
+        # Physical connect/anticollision rounds: one per standalone tag
+        # operation, one per batched session (the quantity the per-port
+        # transaction scheduler amortizes).
+        self.connects = 0
 
     def __repr__(self) -> str:
         return f"NfcAdapterPort({self.name!r}, link={self._link!r})"
@@ -144,21 +156,8 @@ class NfcAdapterPort:
         """
         with self._lock:
             self.read_attempts += 1
-        self._require_in_field(tag)
-        self._simulate_latency(tag.tag_type.user_bytes)
-        self._require_in_field(tag, torn=True)
-        if not self._link.attempt_succeeds(
-            tag.tag_type.user_bytes
-        ) or not self._env.attempt_allowed(self, tag):
-            raise TagLostError(
-                f"link to tag {tag.uid_hex} tore during read on {self.name}"
-            )
-        try:
-            return tag.read_ndef()
-        except NdefError as exc:
-            raise TagFormatError(
-                f"tag {tag.uid_hex} holds undecodable NDEF data: {exc}"
-            ) from exc
+            self.connects += 1
+        return self._read_ndef_impl(tag, batched=False)
 
     def write_ndef(self, tag: SimulatedTag, message: NdefMessage) -> None:
         """Blocking write of ``message`` onto the tag.
@@ -169,47 +168,22 @@ class NfcAdapterPort:
         """
         with self._lock:
             self.write_attempts += 1
-        self._require_in_field(tag)
-        encoded_size = message.byte_length
-        self._simulate_latency(encoded_size)
-        torn = (
-            not self._env.tag_in_field(tag, self)
-            or not self._link.attempt_succeeds(encoded_size)
-            or not self._env.attempt_allowed(self, tag)
-        )
-        if torn:
-            if self.corrupt_on_tear:
-                self._tear_write(tag, message)
-            raise TagLostError(
-                f"link to tag {tag.uid_hex} tore during write on {self.name}"
-            )
-        tag.write_ndef(message)
+            self.connects += 1
+        self._write_ndef_impl(tag, message, batched=False)
 
     def format_tag(self, tag: SimulatedTag) -> None:
         """Blocking NDEF format of an unformatted tag."""
-        self._require_in_field(tag)
-        self._simulate_latency(16)
-        self._require_in_field(tag, torn=True)
-        if not self._link.attempt_succeeds(16) or not self._env.attempt_allowed(
-            self, tag
-        ):
-            raise TagLostError(
-                f"link to tag {tag.uid_hex} tore during format on {self.name}"
-            )
-        tag.format()
+        with self._lock:
+            self.format_attempts += 1
+            self.connects += 1
+        self._format_impl(tag, batched=False)
 
     def make_read_only(self, tag: SimulatedTag) -> None:
         """Blocking lock of the tag."""
-        self._require_in_field(tag)
-        self._simulate_latency(8)
-        self._require_in_field(tag, torn=True)
-        if not self._link.attempt_succeeds(8) or not self._env.attempt_allowed(
-            self, tag
-        ):
-            raise TagLostError(
-                f"link to tag {tag.uid_hex} tore during lock on {self.name}"
-            )
-        tag.make_read_only()
+        with self._lock:
+            self.lock_attempts += 1
+            self.connects += 1
+        self._lock_impl(tag, batched=False)
 
     def transceive(self, tag, data: bytes) -> bytes:
         """Blocking ISO-DEP exchange: one command APDU in, response out.
@@ -219,19 +193,111 @@ class NfcAdapterPort:
         other tag operation; protocol errors come back as status words,
         not exceptions -- exactly like ``IsoDep.transceive`` on Android.
         """
+        with self._lock:
+            self.connects += 1
         self._require_in_field(tag)
-        self._simulate_latency(len(data) + 32)
+        with self._radio_lock:
+            self._simulate_latency(len(data) + 32)
+            self._require_in_field(tag, torn=True)
+            if not self._link.attempt_succeeds(
+                len(data) + 32
+            ) or not self._env.attempt_allowed(self, tag):
+                raise TagLostError(
+                    f"link to tag {tag.uid_hex} tore during transceive on {self.name}"
+                )
+            process = getattr(tag, "process_apdu", None)
+            if process is None:
+                raise TagFormatError(f"tag {tag.uid_hex} does not speak ISO-DEP")
+            return process(data)
+
+    # -- batched sessions ------------------------------------------------------------
+
+    def open_session(self, tag: SimulatedTag) -> "TagSession":
+        """Connect to ``tag`` once for a whole batched window.
+
+        Pays the connect/anticollision share of the latency model a
+        single time; every operation issued through the returned
+        :class:`TagSession` then costs only the per-operation share
+        (``TransferTiming.batched_operation_seconds``). The link model is
+        *not* consulted here -- it judges data transfers, one attempt
+        per operation in both the standalone and the batched path, so
+        seeded/scripted links observe identical attempt sequences.
+        The tag leaving the field mid-anticollision raises
+        ``TagLostError``; an absent tag raises ``NotInFieldError``.
+        """
+        with self._lock:
+            self.connects += 1
+        self._require_in_field(tag)
+        with self._radio_lock:
+            seconds = self._timing.connect_seconds
+            if seconds > 0:
+                self._clock.sleep(seconds)
         self._require_in_field(tag, torn=True)
-        if not self._link.attempt_succeeds(
-            len(data) + 32
-        ) or not self._env.attempt_allowed(self, tag):
-            raise TagLostError(
-                f"link to tag {tag.uid_hex} tore during transceive on {self.name}"
+        return TagSession(self, tag)
+
+    def _read_ndef_impl(self, tag: SimulatedTag, batched: bool) -> NdefMessage:
+        self._require_in_field(tag)
+        with self._radio_lock:
+            self._simulate_latency(tag.tag_type.user_bytes, batched=batched)
+            self._require_in_field(tag, torn=True)
+            if not self._link.attempt_succeeds(
+                tag.tag_type.user_bytes
+            ) or not self._env.attempt_allowed(self, tag):
+                raise TagLostError(
+                    f"link to tag {tag.uid_hex} tore during read on {self.name}"
+                )
+            try:
+                return tag.read_ndef()
+            except NdefError as exc:
+                raise TagFormatError(
+                    f"tag {tag.uid_hex} holds undecodable NDEF data: {exc}"
+                ) from exc
+
+    def _write_ndef_impl(
+        self, tag: SimulatedTag, message: NdefMessage, batched: bool
+    ) -> None:
+        self._require_in_field(tag)
+        encoded_size = message.byte_length
+        with self._radio_lock:
+            self._simulate_latency(encoded_size, batched=batched)
+            torn = (
+                not self._env.tag_in_field(tag, self)
+                or not self._link.attempt_succeeds(encoded_size)
+                or not self._env.attempt_allowed(self, tag)
             )
-        process = getattr(tag, "process_apdu", None)
-        if process is None:
-            raise TagFormatError(f"tag {tag.uid_hex} does not speak ISO-DEP")
-        return process(data)
+            if torn:
+                if self.corrupt_on_tear:
+                    self._tear_write(tag, message)
+                raise TagLostError(
+                    f"link to tag {tag.uid_hex} tore during write on {self.name}"
+                )
+            tag.write_ndef(message)
+
+    def _format_impl(self, tag: SimulatedTag, batched: bool) -> None:
+        self._require_in_field(tag)
+        with self._radio_lock:
+            self._simulate_latency(16, batched=batched)
+            self._require_in_field(tag, torn=True)
+            if not self._link.attempt_succeeds(16) or not self._env.attempt_allowed(
+                self, tag
+            ):
+                raise TagLostError(
+                    f"link to tag {tag.uid_hex} tore during format on {self.name}"
+                )
+            tag.format()
+
+    def _lock_impl(self, tag: SimulatedTag, batched: bool) -> None:
+        self._require_in_field(tag)
+        with self._radio_lock:
+            self._simulate_latency(8, batched=batched)
+            self._require_in_field(tag, torn=True)
+            if not self._link.attempt_succeeds(8) or not self._env.attempt_allowed(
+                self, tag
+            ):
+                raise TagLostError(
+                    f"link to tag {tag.uid_hex} tore during lock on {self.name}"
+                )
+            tag.make_read_only()
 
     # -- Beam ----------------------------------------------------------------------
 
@@ -344,8 +410,12 @@ class NfcAdapterPort:
                 f"tag {tag.uid_hex} is not in the field of {self.name}"
             )
 
-    def _simulate_latency(self, byte_count: int) -> None:
-        seconds = self._timing.operation_seconds(byte_count)
+    def _simulate_latency(self, byte_count: int, batched: bool = False) -> None:
+        seconds = (
+            self._timing.batched_operation_seconds(byte_count)
+            if batched
+            else self._timing.operation_seconds(byte_count)
+        )
         if seconds > 0:
             self._clock.sleep(seconds)
 
@@ -361,3 +431,96 @@ class NfcAdapterPort:
             tag._tear_write_hook(message)  # noqa: SLF001 - deliberate hook
         except Exception:  # noqa: BLE001 - best-effort corruption
             pass
+
+
+class TagSession:
+    """One connected window to a single tag (see ``open_session``).
+
+    Offers the same blocking tag operations as the port, but each one
+    costs only the per-operation share of the latency model -- the
+    connect/anticollision cost was paid once when the session opened.
+    Attempt counters and the link model behave exactly as in the
+    standalone path (one link decision per data transfer), so tears,
+    seeded loss sequences and the environment's attempt hooks are
+    indistinguishable between the two paths.
+
+    A torn transfer (``TagLostError`` / ``NotInFieldError``) kills the
+    session: the physical link broke, so the next operation needs a
+    fresh connect via a new session. Tag-layer errors (capacity,
+    read-only, undecodable data) leave the session alive -- the radio
+    link is fine, the tag just refused. Closing a session is free
+    (deselection costs no radio time). Sessions are not thread-safe:
+    one drain loop owns a session at a time.
+    """
+
+    __slots__ = ("_port", "_tag", "alive", "operations")
+
+    def __init__(self, port: NfcAdapterPort, tag: SimulatedTag) -> None:
+        self._port = port
+        self._tag = tag
+        self.alive = True
+        self.operations = 0  # transfers completed inside this session
+
+    @property
+    def tag(self) -> SimulatedTag:
+        return self._tag
+
+    def close(self) -> None:
+        self.alive = False
+
+    def __repr__(self) -> str:
+        return (
+            f"TagSession({self._tag.uid_hex} on {self._port.name}, "
+            f"alive={self.alive}, operations={self.operations})"
+        )
+
+    # -- session operations ----------------------------------------------------
+
+    def read_ndef(self, tag: SimulatedTag) -> NdefMessage:
+        self._guard(tag)
+        with self._port._lock:
+            self._port.read_attempts += 1
+        return self._run(lambda: self._port._read_ndef_impl(tag, batched=True))
+
+    def write_ndef(self, tag: SimulatedTag, message: NdefMessage) -> None:
+        self._guard(tag)
+        with self._port._lock:
+            self._port.write_attempts += 1
+        return self._run(
+            lambda: self._port._write_ndef_impl(tag, message, batched=True)
+        )
+
+    def format_tag(self, tag: SimulatedTag) -> None:
+        self._guard(tag)
+        with self._port._lock:
+            self._port.format_attempts += 1
+        return self._run(lambda: self._port._format_impl(tag, batched=True))
+
+    def make_read_only(self, tag: SimulatedTag) -> None:
+        self._guard(tag)
+        with self._port._lock:
+            self._port.lock_attempts += 1
+        return self._run(lambda: self._port._lock_impl(tag, batched=True))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _guard(self, tag: SimulatedTag) -> None:
+        if tag is not self._tag:
+            raise MorenaError(
+                f"session to tag {self._tag.uid_hex} cannot address "
+                f"tag {tag.uid_hex}"
+            )
+        if not self.alive:
+            raise TagLostError(
+                f"session to tag {self._tag.uid_hex} on {self._port.name} "
+                "is closed"
+            )
+
+    def _run(self, thunk):
+        try:
+            result = thunk()
+        except (TagLostError, NotInFieldError):
+            self.alive = False  # the physical link broke mid-window
+            raise
+        self.operations += 1
+        return result

@@ -1,0 +1,283 @@
+"""The per-port radio transaction scheduler: batch round-trips per tap.
+
+The reactor (PR 1) multiplexes thousands of reference event loops onto a
+bounded pool, and coalescing (PR 2/4) removes redundant writes *within*
+one reference. What neither touches is the physical cost structure: every
+operation still pays the full per-round-trip overhead — field activation,
+anticollision, select — because references issue ``port.read_ndef`` /
+``write_ndef`` one at a time with no knowledge of each other. On real
+hardware that connect cost dominates short exchanges, so N references
+with one pending write each turn a single tap into N full transactions.
+
+This module is the batching *policy layer* between the reactor and the
+port (the distribution-policy/application-logic split RAFDA argues for:
+application code and the reference API never see it):
+
+* every device owns one :class:`PortTransactionScheduler` (lazily, see
+  ``AndroidDevice.tx_scheduler``); batch-managed references register
+  themselves keyed by their simulated tag;
+* references and field events mark tags runnable on a
+  :class:`~repro.core.scheduler.PortReadyQueue`; the scheduler runs as a
+  **single serial reactor task per port**, so the reactor hands a whole
+  per-port batch to one worker — which also matches the physics (one
+  radio, one transaction at a time);
+* on each tap window the scheduler **drains the ready head operations of
+  every reference bound to the tag through one**
+  :class:`~repro.radio.port.TagSession`: one connect/anticollision cost
+  per (tag, window), per-operation data latency still charged, and the
+  link model still free to tear any individual transfer mid-batch.
+
+Ordering is the load-bearing part. The drain executes ready heads in
+**global enqueue order** (``Operation.op_id`` is a process-wide counter
+assigned at enqueue), which preserves each reference's FIFO by
+construction. Fences — reads, raw writes (lease-guarded writes,
+renewals), locks, formats — are stricter: a fence executes only when it
+is the globally-oldest pending operation among the tag's references, and
+while a fence is pending no younger operation of another reference may
+overtake it. A lease-guarded write therefore can never be reordered
+across another reference's operation on the same tag (see
+``tests/leasing/test_guarded_batching.py``).
+
+Failure semantics are *partial-batch settlement*: operations that
+completed before a tear have settled (their listeners are already posted,
+in FIFO order, on the activity's main looper); the torn operation stays
+queued and retries after its reference's backoff; the rest simply remain
+queued and are picked up by the next window — the session died with the
+tear, so the next attempt pays a fresh connect.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
+
+from repro.errors import NotInFieldError, TagLostError
+from repro.radio.events import FieldEvent, TagEntered, TagLeft
+from repro.radio.port import TagSession
+from repro.tags.tag import SimulatedTag
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clock import Clock
+    from repro.core.reference import TagReference
+    from repro.core.scheduler import PortReadyQueue, Reactor
+    from repro.radio.port import NfcAdapterPort
+
+# One drain quantum processes at most this many operations before
+# yielding its reactor worker (mirrors the reference's own step burst).
+_DRAIN_BURST_OPS = 128
+
+# Backoff after a connect/anticollision tear (the tag is flapping at the
+# field edge); transfer tears use the owning reference's retry interval.
+_CONNECT_RETRY_SECONDS = 0.02
+
+
+class PortTransactionScheduler:
+    """Batches the radio round-trips of co-located references per port.
+
+    Created once per device (``AndroidDevice.tx_scheduler``). References
+    running in batched mode register here; the scheduler owns all their
+    radio execution while their tag is in the field. Deadlines, retries
+    while absent, cancellation and listener settlement stay with each
+    reference — this layer only decides *when the radio speaks and for
+    whom*.
+    """
+
+    def __init__(
+        self, port: "NfcAdapterPort", reactor: "Reactor", clock: "Clock"
+    ) -> None:
+        # Deferred import: repro.core reaches back into repro.radio at
+        # package-init time, so importing the scheduler module here at
+        # module scope would close an import cycle.
+        from repro.core.scheduler import PortReadyQueue
+
+        self._port = port
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._references: Dict[SimulatedTag, List["TagReference"]] = {}
+        self._ready: "PortReadyQueue" = PortReadyQueue()
+        self._closed = False
+        # Statistics, exposed for tests and benchmarks.
+        self.windows = 0  # batched sessions opened (tap windows served)
+        self.batched_ops = 0  # operations settled inside batched sessions
+        self.max_batch = 0  # largest single-session operation count
+        self._task = reactor.register(self._step, name=f"txsched-{port.name}")
+        port.add_field_listener(self._on_field_event)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            tags = len(self._references)
+        return (
+            f"PortTransactionScheduler({self._port.name!r}, tags={tags}, "
+            f"windows={self.windows})"
+        )
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, reference: "TagReference") -> None:
+        """Enroll a batch-managed reference (keyed by its simulated tag)."""
+        tag = reference.tag.simulated
+        with self._lock:
+            if self._closed:
+                return
+            self._references.setdefault(tag, []).append(reference)
+
+    def unregister(self, reference: "TagReference") -> None:
+        tag = reference.tag.simulated
+        with self._lock:
+            references = self._references.get(tag)
+            if references is None:
+                return
+            if reference in references:
+                references.remove(reference)
+            if not references:
+                del self._references[tag]
+
+    def references_for(self, tag: SimulatedTag) -> List["TagReference"]:
+        with self._lock:
+            return list(self._references.get(tag, ()))
+
+    # -- wakeups ----------------------------------------------------------------
+
+    def notify_runnable(self, reference: "TagReference") -> None:
+        """A registered reference has ready head work and its tag is in
+        the field; called from any thread (never under the reference's
+        queue lock)."""
+        tag = reference.tag.simulated
+        with self._lock:
+            if self._closed or tag not in self._references:
+                return
+        self._ready.mark(tag)
+        self._task.wake()
+
+    def _on_field_event(self, event: FieldEvent) -> None:
+        tag = getattr(event, "tag", None)
+        if tag is None:
+            return
+        if isinstance(event, TagEntered):
+            with self._lock:
+                interested = not self._closed and tag in self._references
+            if interested:
+                self._ready.mark(tag)
+                self._task.wake()
+        elif isinstance(event, TagLeft):
+            # Absent tags drain nothing; drop the mark (TagEntered
+            # re-marks) so the ready set tracks the field.
+            self._ready.discard(tag)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the port; part of device shutdown."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._port.remove_field_listener(self._on_field_event)
+        self._task.cancel()
+
+    # -- the drain ----------------------------------------------------------------
+
+    def _step(self) -> Optional[float]:
+        """One scheduler quantum: drain every ready in-field tag.
+
+        Returns the next absolute time radio work becomes ready (retry
+        backoffs), or ``None`` to idle until the next mark+wake.
+        """
+        wake: Optional[float] = None
+        for tag, generation in self._ready.snapshot():
+            if not self._port.environment.tag_in_field(tag, self._port):
+                self._ready.discard(tag)
+                continue
+            tag_wake, has_pending = self._drain_tag(tag)
+            if not has_pending:
+                # Only unmark if no producer re-marked mid-drain.
+                self._ready.clear(tag, generation)
+            if tag_wake is not None:
+                wake = tag_wake if wake is None else min(wake, tag_wake)
+        return wake
+
+    def _drain_tag(self, tag: SimulatedTag) -> Tuple[Optional[float], bool]:
+        """Run one batched session over ``tag``'s ready head operations.
+
+        Returns ``(wake_at, has_pending)``: when to come back for backed-
+        off work (``None`` if nothing is waiting on time), and whether
+        any operation remains pending for this tag.
+        """
+        references = self.references_for(tag)
+        if not references:
+            return None, False
+        session: Optional[TagSession] = None
+        wake: Optional[float] = None
+        has_pending = False
+        try:
+            for _ in range(_DRAIN_BURST_OPS):
+                views = [
+                    (reference, reference.batch_poll())
+                    for reference in references
+                ]
+                views = [(r, v) for r, v in views if v.head_id is not None]
+                if not views:
+                    return None, has_pending
+                has_pending = True
+
+                # The fence barrier: the oldest pending fence among all
+                # of the tag's references. Nothing enqueued after it may
+                # run before it, and the fence itself only runs once it
+                # is the globally-oldest pending operation.
+                fence_id = min(
+                    (v.fence_id for _, v in views if v.fence_id is not None),
+                    default=None,
+                )
+                oldest_id = min(v.head_id for _, v in views)
+                eligible = []
+                for reference, view in views:
+                    if view.ready is None:
+                        continue
+                    if view.ready.is_batch_fence:
+                        if view.head_id == oldest_id:
+                            eligible.append((view.head_id, reference, view))
+                    elif fence_id is None or view.head_id < fence_id:
+                        eligible.append((view.head_id, reference, view))
+                if not eligible:
+                    # Every runnable head is backed off or fenced behind
+                    # one; wait for the earliest backoff to expire.
+                    for _, view in views:
+                        if view.wake_at is not None:
+                            wake = (
+                                view.wake_at
+                                if wake is None
+                                else min(wake, view.wake_at)
+                            )
+                    return wake, has_pending
+
+                eligible.sort(key=lambda entry: entry[0])
+                _, reference, view = eligible[0]
+                if session is None or not session.alive:
+                    try:
+                        session = self._port.open_session(tag)
+                    except NotInFieldError:
+                        # The tag left; its TagEntered will re-mark us.
+                        return None, has_pending
+                    except TagLostError:
+                        # Tear during anticollision (field-edge flapping):
+                        # retry the window shortly.
+                        return (
+                            self._clock.now() + _CONNECT_RETRY_SECONDS,
+                            has_pending,
+                        )
+                    self.windows += 1
+                result = reference.batch_execute(view.ready, session)
+                if result == "settled":
+                    self.batched_ops += 1
+                    if session.operations > self.max_batch:
+                        self.max_batch = session.operations
+                # "retry": the transfer tore — the session died with it
+                # and the loop reconnects for whatever is still ready.
+                # "skip": the queue changed under us (cancel/stop/
+                # timeout); the next poll sees the new head.
+        finally:
+            if session is not None:
+                session.close()
+        # Burst cap hit with work still flowing: yield the worker and
+        # resume immediately so one hot tag cannot hog the pool.
+        return self._clock.now(), True

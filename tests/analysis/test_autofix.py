@@ -1,0 +1,139 @@
+"""morelint --fix: mechanical edits, application rules, idempotence."""
+
+import ast
+import pathlib
+import shutil
+
+from repro.analysis.autofix import apply_edits
+from repro.analysis.engine import lint_paths
+from repro.analysis.lint import main as lint_main
+from repro.analysis.model import SourceEdit
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def _fixed(tmp_path, fixture, select):
+    """Copy ``fixture`` into tmp, run ``--fix --select`` on it, return
+    (exit code, rewritten source, path)."""
+    target = tmp_path / fixture
+    shutil.copy(FIXTURES / fixture, target)
+    code = lint_main(["--fix", "--select", select, str(target)])
+    return code, target.read_text(), target
+
+
+class TestApplyEdits:
+    def test_duplicate_edits_collapse(self):
+        edit = SourceEdit(1, 0, 1, 3, "xyz")
+        out, applied = apply_edits("abc def", [edit, edit, edit])
+        assert out == "xyz def"
+        assert applied == 1
+
+    def test_overlapping_edits_skip_the_narrower(self):
+        wide = SourceEdit(1, 0, 1, 7, "WIDE")
+        narrow = SourceEdit(1, 2, 1, 5, "no")
+        out, applied = apply_edits("abc def", [wide, narrow])
+        assert out == "WIDE"
+        assert applied == 1
+
+    def test_disjoint_edits_apply_back_to_front(self):
+        first = SourceEdit(1, 0, 1, 1, "A")
+        second = SourceEdit(2, 0, 2, 1, "B")
+        out, applied = apply_edits("a\nb\n", [first, second])
+        assert out == "A\nB\n"
+        assert applied == 2
+
+    def test_insertion_is_zero_width(self):
+        insert = SourceEdit(1, 3, 1, 3, "X")
+        out, applied = apply_edits("abcdef", [insert])
+        assert out == "abcXdef"
+        assert applied == 1
+
+
+class TestFixMor005:
+    def test_drops_coalesce_on_raw_and_locking_calls(self, tmp_path, capsys):
+        code, source, _ = _fixed(tmp_path, "mor005_bad.py", "MOR005")
+        ast.parse(source)
+        # The only surviving mention is the module docstring's.
+        assert source.count("coalesce=True") == 1
+        assert "coalesce=True" in source.splitlines()[0]
+        # The lease-receiver write() pins the keyword off instead of
+        # dropping it: save_async/write may coalesce by default.
+        assert "coalesce=False" in source
+        # The stray merge_key is a judgement call, not a mechanical fix.
+        assert "merge_key" in source
+        assert code == 1  # merge_key error remains after the fix pass
+
+    def test_fix_is_idempotent(self, tmp_path, capsys):
+        _, once, target = _fixed(tmp_path, "mor005_bad.py", "MOR005")
+        lint_main(["--fix", "--select", "MOR005", str(target)])
+        assert target.read_text() == once
+
+
+class TestFixMor003:
+    def test_extends_existing_transient_declaration(self, tmp_path, capsys):
+        code, source, target = _fixed(tmp_path, "mor003_bad.py", "MOR003")
+        ast.parse(source)
+        for name in ("lock", "worker", "on_change", "log"):
+            assert f"'{name}'" in source or f'"{name}"' in source
+        # One combined rewrite, not one declaration per finding
+        # (comments also mention __transient__, hence the "= " suffix).
+        assert source.count("__transient__ = ") == 2  # Sensor + Derived
+        findings = lint_paths([str(target)], select=["MOR003"])
+        assert len(findings) == 1  # only the stale 'ghost' entry survives
+        assert "ghost" in findings[0].message
+        assert code == 1  # ghost is an error and has no mechanical fix
+
+    def test_inserts_declaration_into_subclass_without_one(
+        self, tmp_path, capsys
+    ):
+        _, source, _ = _fixed(tmp_path, "mor003_bad.py", "MOR003")
+        tree = ast.parse(source)
+        derived = next(
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef) and node.name == "Derived"
+        )
+        first = derived.body[0]
+        assert isinstance(first, ast.Assign)
+        assert first.targets[0].id == "__transient__"
+        assert ast.literal_eval(first.value) == ("queue",)
+
+
+class TestFixMor002:
+    def test_stubs_every_missing_failure_listener(self, tmp_path, capsys):
+        code, source, target = _fixed(tmp_path, "mor002_bad.py", "MOR002")
+        ast.parse(source)
+        assert source.count("lambda *args: None") == 4
+        # initialize() takes its failure half under on_save_failed.
+        assert "on_save_failed=lambda *args: None" in source
+        assert lint_paths([str(target)], select=["MOR002"]) == []
+        assert code == 0
+
+    def test_fixed_fixture_still_calls_the_same_methods(self, tmp_path, capsys):
+        _, source, _ = _fixed(tmp_path, "mor002_bad.py", "MOR002")
+        tree = ast.parse(source)
+        methods = sorted(
+            node.func.attr
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+        )
+        assert "save_async" in methods
+        assert "initialize" in methods
+        assert "broadcast" in methods
+        assert "read" in methods
+
+
+class TestFixReporting:
+    def test_fix_reports_applied_count(self, tmp_path, capsys):
+        target = tmp_path / "mor005_bad.py"
+        shutil.copy(FIXTURES / "mor005_bad.py", target)
+        lint_main(["--fix", "--select", "MOR005", str(target)])
+        out = capsys.readouterr().out
+        assert "applied 3 fix(es)" in out
+
+    def test_without_fix_files_stay_untouched(self, tmp_path, capsys):
+        target = tmp_path / "mor005_bad.py"
+        shutil.copy(FIXTURES / "mor005_bad.py", target)
+        before = target.read_text()
+        lint_main(["--select", "MOR005", str(target)])
+        assert target.read_text() == before

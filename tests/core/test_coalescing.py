@@ -447,3 +447,38 @@ class TestThingSaveCoalescing:
         scenario.put(tag, phone)
         assert done.wait_for_count(3)
         assert phone.port.write_attempts - writes_before == 3
+
+
+class TestBatchedWindowFences:
+    """Coalescing composes with the per-port batched tap window: merges
+    still collapse, and a foreign reference's fence (a raw write) is
+    never reordered against the merged survivor."""
+
+    def test_foreign_raw_fence_holds_its_slot_in_a_batched_window(
+        self, scenario, phone, activity, ref, tag
+    ):
+        from repro.android.nfc.tech import Tag
+        from repro.core.reference import TagReference
+        from tests.conftest import string_converters, text_message
+
+        read_conv, write_conv = string_converters()
+        other = TagReference(Tag(tag, phone.port), activity, read_conv, write_conv)
+
+        order = EventLog()
+        other.write_raw(
+            text_message("protocol-record"),
+            on_written=lambda _r: order.append("fence"),
+        )
+        for index in range(6):
+            ref.write(f"v{index}", on_written=lambda _r, i=index: order.append(i))
+
+        writes_before = phone.port.write_attempts
+        connects_before = phone.port.connects
+        scenario.put(tag, phone)
+        assert order.wait_for_count(7)
+        # The fence first (older), then the six coalesced settlements in
+        # FIFO order -- and only two physical writes in one connect round.
+        assert order.snapshot() == ["fence", 0, 1, 2, 3, 4, 5]
+        assert phone.port.write_attempts - writes_before == 2
+        assert phone.port.connects - connects_before == 1
+        assert tag.read_ndef()[0].payload == b"v5"

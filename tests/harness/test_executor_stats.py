@@ -103,3 +103,37 @@ class TestRadioStats:
         assert phone.name in text
         assert "second" in text
         assert "observed loss" in text
+
+    def test_connect_counters_and_batched_share(self, scenario, phone):
+        tag = text_tag("counted")
+        scenario.put(tag, phone)
+        phone.port.read_ndef(tag)
+        phone.port.make_read_only(tag)
+        mine = next(
+            s for s in collect_port_stats(scenario.env) if s.name == phone.name
+        )
+        assert mine.lock_attempts == 1
+        assert mine.data_transfers == 2
+        assert mine.connects == 2
+        assert mine.batched_share == 0.0  # standalone ops: 1 connect each
+
+        session = phone.port.open_session(tag)
+        try:
+            session.read_ndef(tag)
+            session.read_ndef(tag)
+            session.read_ndef(tag)
+        finally:
+            session.close()
+        mine = next(
+            s for s in collect_port_stats(scenario.env) if s.name == phone.name
+        )
+        assert mine.connects == 3
+        assert mine.data_transfers == 5
+        assert mine.batched_share == pytest.approx(0.4)
+
+    def test_batched_share_is_none_before_any_transfer(self, scenario, phone):
+        mine = next(
+            s for s in collect_port_stats(scenario.env) if s.name == phone.name
+        )
+        assert mine.data_transfers == 0
+        assert mine.batched_share is None

@@ -1,0 +1,94 @@
+"""Guarded writes inside batched tap windows.
+
+The per-port transaction scheduler drains every co-located reference's
+ready work in one session. Lease-guarded raw writes are fences: the
+batch must never move one across another reference's operation on the
+same tag, in either direction -- the guard protocol's ordering is
+exactly what the lease paid for.
+"""
+
+import pytest
+
+from repro.concurrent import EventLog, wait_until
+from repro.core.reference import TagReference
+from repro.android.nfc.tech import Tag
+from repro.leasing.manager import LeaseManager
+from repro.ndef.mime import mime_record
+
+from tests.conftest import PlainNfcActivity, string_converters, text_tag
+
+
+@pytest.fixture
+def setup(scenario):
+    tag = text_tag("app data")
+    phone = scenario.add_phone("guard-phone")
+    app = scenario.start(phone, PlainNfcActivity)
+    scenario.put(tag, phone)
+    read_conv, write_conv = string_converters()
+    holder = TagReference(Tag(tag, phone.port), app, read_conv, write_conv)
+    other = TagReference(Tag(tag, phone.port), app, read_conv, write_conv)
+    manager = LeaseManager(holder, "guard-phone", drift_bound=0.0)
+    acquired = EventLog()
+    manager.acquire(60.0, on_acquired=lambda lease: acquired.append(lease))
+    assert acquired.wait_for_count(1, timeout=5)
+    return tag, phone, holder, other, manager
+
+
+class TestGuardedWriteFencing:
+    def test_guarded_write_keeps_its_place_between_foreign_ops(
+        self, setup, scenario
+    ):
+        """other.w1 | GUARDED | other.w2, all drained in ONE window."""
+        tag, phone, holder, other, manager = setup
+        scenario.take(tag, phone)
+        assert wait_until(lambda: not holder.is_connected)
+
+        order = EventLog()
+        other.write("before", on_written=lambda _r: order.append("before"))
+        manager.write_guarded(
+            [mime_record("application/guarded", b"payload")],
+            on_written=lambda: order.append("guarded"),
+        )
+        other.write("after", on_written=lambda _r: order.append("after"))
+
+        connects_before = phone.port.connects
+        scenario.put(tag, phone)
+        assert order.wait_for_count(3)
+        assert order.snapshot() == ["before", "guarded", "after"]
+        # One shared connect round for all three, fences included.
+        assert phone.port.connects - connects_before == 1
+
+    def test_merged_renewals_settle_at_their_enqueue_slot(
+        self, setup, scenario
+    ):
+        """Renewals tail-merge among themselves (protocol merge hook) but
+        the surviving write still lands between the foreign operations
+        that bracketed the first renewal."""
+        tag, phone, holder, other, manager = setup
+        scenario.take(tag, phone)
+        assert wait_until(lambda: not holder.is_connected)
+
+        order = EventLog()
+        other.write("b1", on_written=lambda _r: order.append("b1"))
+        for index in range(5):
+            manager.renew(
+                60.0, on_renewed=lambda lease, i=index: order.append(("renew", i))
+            )
+        other.write("b2", on_written=lambda _r: order.append("b2"))
+
+        writes_before = phone.port.write_attempts
+        scenario.put(tag, phone)
+        assert order.wait_for_count(7)
+        assert order.snapshot() == [
+            "b1",
+            ("renew", 0),
+            ("renew", 1),
+            ("renew", 2),
+            ("renew", 3),
+            ("renew", 4),
+            "b2",
+        ]
+        # Five renewals collapsed to one physical write; the bracketing
+        # foreign writes stayed physical.
+        assert holder.protocol_merges == 4
+        assert phone.port.write_attempts - writes_before == 3

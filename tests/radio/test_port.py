@@ -111,6 +111,44 @@ class TestWrites:
         port.make_read_only(tag)
         assert not tag.is_writable
 
+    def test_format_and_lock_count_attempts(self, env):
+        port = env.create_port("p")
+        tag = make_tag(formatted=False)
+        env.move_tag_into_field(tag, port)
+        port.format_tag(tag)
+        port.format_tag(tag)  # idempotent, still an attempt
+        port.make_read_only(tag)
+        assert port.format_attempts == 2
+        assert port.lock_attempts == 1
+        assert port.connects == 3
+
+    def test_failed_attempts_still_count(self, env):
+        port = env.create_port("p", link=ScriptedLink([False, False]))
+        tag = make_tag(formatted=False)
+        env.move_tag_into_field(tag, port)
+        with pytest.raises(TagLostError):
+            port.format_tag(tag)
+        with pytest.raises(TagLostError):
+            port.make_read_only(tag)
+        assert port.format_attempts == 1
+        assert port.lock_attempts == 1
+
+    def test_session_operations_share_the_attempt_counters(self, env):
+        port = env.create_port("p")
+        tag = make_tag(formatted=False)
+        env.move_tag_into_field(tag, port)
+        session = port.open_session(tag)
+        try:
+            session.format_tag(tag)
+            session.write_ndef(tag, msg(b"batched"))
+            session.make_read_only(tag)
+        finally:
+            session.close()
+        assert port.format_attempts == 1
+        assert port.write_attempts == 1
+        assert port.lock_attempts == 1
+        assert port.connects == 1  # one connect served all three
+
 
 class TestLatency:
     def test_timing_model_slows_operations(self):
