@@ -1,0 +1,113 @@
+"""Bench regression guard: fresh BENCH JSON vs the committed baseline.
+
+The bench smoke job regenerates ``benchmarks/BENCH_*.json`` on every
+run; this script compares selected throughput rows of the *fresh* files
+against the values committed at ``HEAD`` (via ``git show``) and fails if
+any dropped more than the tolerance. The committed JSON is the
+regression baseline: a PR that slows the batched path down must either
+fix the regression or consciously commit the new numbers.
+
+Guarded rows (all sleep-bound under the simulated latency model, so
+they are stable across machines):
+
+* ``BENCH_batching.json`` ``co_located_window.batched_ops_per_second``
+  and ``co_located_window.speedup`` -- PR 5's batched-throughput
+  numbers, which the cross-tag fairness work must not tax.
+
+Usage::
+
+    python benchmarks/check_regression.py [--tolerance 0.10]
+
+Exits 0 when all guarded rows hold (or no committed baseline exists
+yet, e.g. on the first run of a new bench), 1 on regression, 2 when a
+fresh file is missing (the bench did not run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+# (file, dotted row path) -> higher is better; guard against drops.
+GUARDED_ROWS = [
+    ("BENCH_batching.json", "co_located_window.batched_ops_per_second"),
+    ("BENCH_batching.json", "co_located_window.speedup"),
+]
+
+
+def committed_json(name: str) -> dict | None:
+    """The file as committed at HEAD, or None if it isn't in git yet."""
+    result = subprocess.run(
+        ["git", "show", f"HEAD:benchmarks/{name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        return None
+    return json.loads(result.stdout)
+
+
+def dig(payload: dict, dotted: str):
+    value = payload
+    for key in dotted.split("."):
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="max fractional drop vs the committed value (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    failures = []
+    checked = 0
+    for name, row in GUARDED_ROWS:
+        fresh_path = BENCH_DIR / name
+        if not fresh_path.exists():
+            print(f"regression guard: {name} missing -- did the bench run?")
+            return 2
+        fresh = dig(json.loads(fresh_path.read_text()), row)
+        baseline_payload = committed_json(name)
+        if baseline_payload is None:
+            print(f"{name}: no committed baseline yet, skipping")
+            continue
+        baseline = dig(baseline_payload, row)
+        if baseline is None or fresh is None:
+            print(f"{name}:{row}: row absent (baseline={baseline}, fresh={fresh})")
+            continue
+        checked += 1
+        floor = baseline * (1.0 - args.tolerance)
+        verdict = "ok" if fresh >= floor else "REGRESSION"
+        print(
+            f"{name}:{row}: committed={baseline} fresh={fresh} "
+            f"floor={floor:.2f} -> {verdict}"
+        )
+        if fresh < floor:
+            failures.append((name, row, baseline, fresh))
+
+    if failures:
+        print(
+            f"\n{len(failures)} guarded bench row(s) dropped more than "
+            f"{args.tolerance:.0%} below the committed baseline."
+        )
+        return 1
+    print(f"\nregression guard: {checked} row(s) checked, all within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

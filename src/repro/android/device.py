@@ -41,9 +41,11 @@ class AndroidDevice:
         name: str,
         environment: RfidEnvironment,
         link: Optional[object] = None,
+        tx_policy: object = None,
     ) -> None:
         self.name = name
         self._env = environment
+        self._tx_policy = tx_policy  # cross-tag service policy spec
         self._port: NfcAdapterPort = environment.create_port(name, link=link)
         self._looper = Looper(name=f"{name}-main", clock=environment.clock)
         self._adapter = NfcAdapter(self, self._port)
@@ -94,16 +96,17 @@ class AndroidDevice:
         """The device's per-port radio transaction scheduler (lazy).
 
         Batch-managed tag references register here; on each tap window
-        the scheduler drains their ready head operations through one
-        connected session per tag instead of paying the full
-        connect/anticollision cost per operation. See
+        the scheduler serves their ready head operations through one
+        connected session per tag visit instead of paying the full
+        connect/anticollision cost per operation, sharing radio time
+        across co-present tags under the device's ``tx_policy``. See
         :mod:`repro.radio.txscheduler`.
         """
         reactor = self.reactor  # outside _tx_lock: both locks are plain
         with self._tx_lock:
             if self._tx_scheduler is None:
                 self._tx_scheduler = PortTransactionScheduler(
-                    self._port, reactor, self._env.clock
+                    self._port, reactor, self._env.clock, policy=self._tx_policy
                 )
             return self._tx_scheduler
 

@@ -149,16 +149,19 @@ class BatchView(NamedTuple):
     presence is the scheduler's concern); ``head_id`` is the smallest
     pending ``op_id`` including superseded writes; ``fence_id`` is the
     smallest pending fence ``op_id`` (``None`` if no fence is queued);
-    ``wake_at`` is when a backed-off head becomes ready again.
+    ``wake_at`` is when a backed-off head becomes ready again;
+    ``depth`` is the logical queue depth (superseded writes included),
+    the backlog signal the deficit-weighted cross-tag policy credits by.
     """
 
     ready: Optional[Operation]
     head_id: Optional[int]
     fence_id: Optional[int]
     wake_at: Optional[float]
+    depth: int
 
 
-_EMPTY_BATCH_VIEW = BatchView(None, None, None, None)
+_EMPTY_BATCH_VIEW = BatchView(None, None, None, None, 0)
 
 
 class TagReference:
@@ -824,7 +827,10 @@ class TagReference:
                     ready = head
                 else:
                     wake_at = self._batch_backoff_until
-            return BatchView(ready, head_id, fence_id, wake_at)
+            depth = len(self._queue) + sum(
+                len(operation.superseded) for operation in self._queue
+            )
+            return BatchView(ready, head_id, fence_id, wake_at, depth)
 
     def batch_execute(self, operation: Operation, session: "TagSession") -> str:
         """Run one head attempt through an open tag session.

@@ -342,23 +342,55 @@ class PortReadyQueue:
     mark would then find an empty queue and the work would sleep until
     its timeout. Insertion order is preserved, so tags are drained in
     the order they became ready.
+
+    For the fair cross-tag policies the queue additionally hands out
+    **bounded per-tag quanta instead of whole-port batches**: a rotated
+    :meth:`snapshot` starts each service round one key past the previous
+    round's head, so no tag is structurally first every round, and
+    :meth:`has_other` lets a drain loop ask mid-quantum whether any
+    co-present tag is waiting (if none is, the quantum is renewed in
+    place and the open session survives — fairness never taxes a tag
+    that is alone in the field).
     """
 
-    __slots__ = ("_lock", "_generations")
+    __slots__ = ("_lock", "_generations", "_cursor")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._generations: Dict[Hashable, int] = {}
+        self._cursor: Optional[Hashable] = None  # next round starts here
 
     def mark(self, key: Hashable) -> None:
         """Flag ``key`` as having runnable work (coalescing)."""
         with self._lock:
             self._generations[key] = self._generations.get(key, 0) + 1
 
-    def snapshot(self) -> List[Tuple[Hashable, int]]:
-        """The marked keys in ready order, each with its generation."""
+    def snapshot(self, rotate: bool = False) -> List[Tuple[Hashable, int]]:
+        """The marked keys in ready order, each with its generation.
+
+        With ``rotate=True`` the list starts at the rotation cursor
+        (round-robin across calls): successive rotated snapshots begin
+        one key later, so repeated service rounds do not always grant
+        first service to the same key. A vanished cursor key simply
+        falls back to insertion order.
+        """
         with self._lock:
-            return list(self._generations.items())
+            items = list(self._generations.items())
+            if rotate and items:
+                if len(items) > 1 and self._cursor in self._generations:
+                    keys = [key for key, _ in items]
+                    start = keys.index(self._cursor)
+                    items = items[start:] + items[:start]
+                self._cursor = items[1][0] if len(items) > 1 else items[0][0]
+            return items
+
+    def has_other(self, key: Hashable) -> bool:
+        """Whether any key besides ``key`` is currently marked."""
+        with self._lock:
+            for marked in self._generations:
+                if marked != key:
+                    return True
+            return False
 
     def clear(self, key: Hashable, generation: int) -> bool:
         """Unmark ``key`` unless it was re-marked since the snapshot.

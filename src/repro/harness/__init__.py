@@ -7,6 +7,14 @@ human tapping a phone against tags (hold, withdraw, re-tap), and
 figures report.
 """
 
+from repro.harness.crowd import (
+    ChurnEvent,
+    ChurnSchedule,
+    ChurnStats,
+    run_churn,
+    turnstile_rush,
+    warehouse_conveyor,
+)
 from repro.harness.executor import ReplayStats, WorkloadExecutor
 from repro.harness.scenario import Scenario
 from repro.harness.stats import PortStats, collect_port_stats, radio_report
@@ -28,4 +36,10 @@ __all__ = [
     "PortStats",
     "collect_port_stats",
     "radio_report",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "ChurnStats",
+    "run_churn",
+    "turnstile_rush",
+    "warehouse_conveyor",
 ]

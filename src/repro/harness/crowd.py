@@ -1,0 +1,237 @@
+"""Crowd-scale field churn: hundreds of devices, thousands of tags.
+
+The single-phone scenarios elsewhere in the harness model one user and a
+handful of tags. The fairness/scaling work needs the opposite regime —
+fields that *churn*: cohorts of tags sweeping through many readers'
+fields concurrently, the workload NFCGate-style multi-device traffic
+studies run. Two parameterized generators produce deterministic
+(seeded) schedules of **bulk** field mutations:
+
+* :func:`turnstile_rush` — commuter gates at rush hour: each device is
+  a turnstile; small groups of tags (one per commuter's wallet) arrive
+  in bursts at random gates, dwell briefly, and leave. High entry rate,
+  short dwell, no structure across gates.
+* :func:`warehouse_conveyor` — tagged packages on a belt passing a line
+  of reader gates: each cohort of tags crosses every device's field *in
+  sequence* with a fixed stride, so fields overlap in a moving window.
+  Structured, wave-like churn.
+
+A schedule is data (:class:`ChurnSchedule` of :class:`ChurnEvent`); the
+:func:`run_churn` executor replays one against a :class:`~repro.harness.
+scenario.Scenario` using the bulk environment mutations
+(``move_tags_into_field`` / ``remove_tags_from_field``), either at full
+speed (``time_scale=0`` — throughput mode) or paced against the
+environment clock (``time_scale>0`` — lets instrumented references get
+serviced mid-churn).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One bulk field mutation: a cohort crosses one device's boundary."""
+
+    at_seconds: float  # schedule time (scaled by the executor)
+    device_index: int  # which device's field
+    tag_indices: Sequence[int]  # cohort members (indices into the tag list)
+    enter: bool  # True = into the field, False = out of it
+
+
+class ChurnSchedule:
+    """A time-ordered list of churn events over an indexed population."""
+
+    def __init__(
+        self, name: str, device_count: int, tag_count: int, events: List[ChurnEvent]
+    ) -> None:
+        self.name = name
+        self.device_count = device_count
+        self.tag_count = tag_count
+        self.events = sorted(events, key=lambda e: e.at_seconds)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def tag_moves(self) -> int:
+        """Total individual tag boundary crossings in the schedule."""
+        return sum(len(event.tag_indices) for event in self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChurnSchedule({self.name!r}, devices={self.device_count}, "
+            f"tags={self.tag_count}, events={len(self.events)}, "
+            f"moves={self.tag_moves})"
+        )
+
+
+def turnstile_rush(
+    device_count: int,
+    tag_count: int,
+    duration_seconds: float = 10.0,
+    arrivals_per_second: float = 100.0,
+    group_size: Sequence[int] = (1, 4),
+    dwell_seconds: Sequence[float] = (0.05, 0.3),
+    seed: int = 0,
+) -> ChurnSchedule:
+    """Commuter-gate rush: bursts of small groups at random gates.
+
+    ``arrivals_per_second`` counts *groups* across all gates; each group
+    picks a uniform gate, a uniform size from ``group_size`` and a
+    uniform dwell from ``dwell_seconds``, entering and leaving as one
+    bulk event each. Tags are recycled round-robin, so a tag can pass
+    several gates over the schedule (a commuter with transfers).
+    """
+    if device_count <= 0 or tag_count <= 0:
+        raise ValueError("need at least one device and one tag")
+    rng = random.Random(seed)
+    events: List[ChurnEvent] = []
+    now = 0.0
+    next_tag = 0
+    mean_gap = 1.0 / arrivals_per_second
+    while now < duration_seconds:
+        now += rng.expovariate(1.0 / mean_gap) if mean_gap > 0 else 0.0
+        if now >= duration_seconds:
+            break
+        size = rng.randint(group_size[0], group_size[1])
+        cohort = tuple(
+            (next_tag + offset) % tag_count for offset in range(size)
+        )
+        next_tag = (next_tag + size) % tag_count
+        gate = rng.randrange(device_count)
+        dwell = rng.uniform(dwell_seconds[0], dwell_seconds[1])
+        events.append(ChurnEvent(now, gate, cohort, enter=True))
+        events.append(ChurnEvent(now + dwell, gate, cohort, enter=False))
+    return ChurnSchedule("turnstile_rush", device_count, tag_count, events)
+
+
+def warehouse_conveyor(
+    device_count: int,
+    tag_count: int,
+    cohort_size: int = 8,
+    belt_stride_seconds: float = 0.1,
+    gate_dwell_seconds: float = 0.15,
+    cohort_gap_seconds: float = 0.05,
+    seed: int = 0,
+) -> ChurnSchedule:
+    """Packages on a belt passing a line of reader gates in sequence.
+
+    Tags are grouped into fixed cohorts (pallets); each cohort enters
+    gate 0, dwells, moves to gate 1 one ``belt_stride_seconds`` later,
+    and so on down the line — so at steady state every gate holds a
+    different pallet and fields churn in a moving wave. ``seed`` jitters
+    the launch gap between pallets.
+    """
+    if device_count <= 0 or tag_count <= 0 or cohort_size <= 0:
+        raise ValueError("need positive devices, tags and cohort size")
+    rng = random.Random(seed)
+    events: List[ChurnEvent] = []
+    launch = 0.0
+    for start in range(0, tag_count, cohort_size):
+        cohort = tuple(range(start, min(start + cohort_size, tag_count)))
+        for gate in range(device_count):
+            arrive = launch + gate * belt_stride_seconds
+            events.append(ChurnEvent(arrive, gate, cohort, enter=True))
+            events.append(
+                ChurnEvent(arrive + gate_dwell_seconds, gate, cohort, enter=False)
+            )
+        launch += cohort_gap_seconds * (0.5 + rng.random())
+    return ChurnSchedule("warehouse_conveyor", device_count, tag_count, events)
+
+
+@dataclass
+class ChurnStats:
+    """What one :func:`run_churn` replay did and observed."""
+
+    schedule: str
+    events: int = 0
+    enters: int = 0
+    leaves: int = 0
+    tag_moves: int = 0
+    peak_field_size: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.events / self.elapsed_seconds
+
+    @property
+    def moves_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.tag_moves / self.elapsed_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schedule": self.schedule,
+            "events": self.events,
+            "enters": self.enters,
+            "leaves": self.leaves,
+            "tag_moves": self.tag_moves,
+            "peak_field_size": self.peak_field_size,
+            "elapsed_seconds": self.elapsed_seconds,
+            "events_per_second": self.events_per_second,
+            "moves_per_second": self.moves_per_second,
+        }
+
+
+def run_churn(
+    scenario: Scenario,
+    schedule: ChurnSchedule,
+    time_scale: float = 0.0,
+    devices: Optional[List] = None,
+    tags: Optional[List] = None,
+) -> ChurnStats:
+    """Replay ``schedule`` against ``scenario``'s population.
+
+    ``time_scale=0`` replays as fast as the environment can take the
+    mutations (throughput mode); ``time_scale>0`` paces event gaps by
+    that factor against the environment clock, so schedulers and
+    references run *during* the churn (latency/head-of-line mode).
+
+    ``devices``/``tags`` default to the scenario's own population;
+    schedule indices wrap modulo the actual population sizes, so a
+    schedule generated for N devices replays (degenerately) on fewer.
+    """
+    phones = devices if devices is not None else list(scenario.phones.values())
+    population = tags if tags is not None else scenario.tags
+    if not phones or not population:
+        raise ValueError("scenario has no phones or no tags to churn")
+    clock = scenario.env.clock
+    stats = ChurnStats(schedule=schedule.name)
+    field_sizes = [0] * len(phones)
+    started = clock.now()
+    previous_at = 0.0
+    for event in schedule:
+        if time_scale > 0.0 and event.at_seconds > previous_at:
+            clock.sleep((event.at_seconds - previous_at) * time_scale)
+        previous_at = event.at_seconds
+        phone = phones[event.device_index % len(phones)]
+        cohort = [
+            population[index % len(population)] for index in event.tag_indices
+        ]
+        if event.enter:
+            moved = scenario.env.move_tags_into_field(cohort, phone.port)
+            stats.enters += 1
+        else:
+            moved = scenario.env.remove_tags_from_field(cohort, phone.port)
+            stats.leaves += 1
+        stats.events += 1
+        stats.tag_moves += moved
+        index = event.device_index % len(phones)
+        field_sizes[index] += moved if event.enter else -moved
+        if field_sizes[index] > stats.peak_field_size:
+            stats.peak_field_size = field_sizes[index]
+    stats.elapsed_seconds = clock.now() - started
+    return stats

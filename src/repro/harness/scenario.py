@@ -53,15 +53,42 @@ class Scenario:
 
     # -- population ---------------------------------------------------------------
 
-    def add_phone(self, name: str, link: Optional[object] = None) -> AndroidDevice:
-        phone = AndroidDevice(name, self.env, link=link)
+    def add_phone(
+        self,
+        name: str,
+        link: Optional[object] = None,
+        tx_policy: Optional[object] = None,
+    ) -> AndroidDevice:
+        phone = AndroidDevice(name, self.env, link=link, tx_policy=tx_policy)
         self.phones[name] = phone
         return phone
+
+    def add_phones(
+        self,
+        count: int,
+        prefix: str = "phone",
+        link: Optional[object] = None,
+        tx_policy: Optional[object] = None,
+    ) -> List[AndroidDevice]:
+        """``count`` phones named ``{prefix}-0000`` ... (crowd scenarios)."""
+        return [
+            self.add_phone(f"{prefix}-{index:04d}", link=link, tx_policy=tx_policy)
+            for index in range(count)
+        ]
 
     def add_tag(self, tag_type: str = "NTAG216", content=None, formatted: bool = True):
         tag = make_tag(tag_type, content=content, formatted=formatted)
         self.tags.append(tag)
         return tag
+
+    def add_tags(
+        self, count: int, tag_type: str = "NTAG216", formatted: bool = True
+    ) -> List[SimulatedTag]:
+        """``count`` blank tags at once (crowd scenarios)."""
+        return [
+            self.add_tag(tag_type=tag_type, formatted=formatted)
+            for _ in range(count)
+        ]
 
     def start(self, phone: AndroidDevice, activity_class: Type[A], *args, **kwargs) -> A:
         return phone.start_activity(activity_class, *args, **kwargs)
@@ -77,6 +104,14 @@ class Scenario:
 
     def take(self, tag: SimulatedTag, phone: AndroidDevice) -> None:
         self.env.remove_tag_from_field(tag, phone.port)
+
+    def put_all(self, tags: List[SimulatedTag], phone: AndroidDevice) -> int:
+        """Bring a whole cohort of tags into one phone's field at once."""
+        return self.env.move_tags_into_field(tags, phone.port)
+
+    def take_all(self, tags: List[SimulatedTag], phone: AndroidDevice) -> int:
+        """Remove a whole cohort of tags from one phone's field at once."""
+        return self.env.remove_tags_from_field(tags, phone.port)
 
     def pair(self, a: AndroidDevice, b: AndroidDevice) -> None:
         self.env.bring_together(a.port, b.port)

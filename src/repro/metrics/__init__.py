@@ -1,14 +1,20 @@
-"""The paper's evaluation instrument: lines-of-code accounting.
+"""The paper's evaluation instruments.
 
-Section 4 compares the handcrafted and MORENA implementations of the
-WiFi-sharing application by counting the lines of code dedicated to five
-RFID subproblems. Here the two implementations carry machine-readable
-region annotations (``# @rfid: <category>`` ... ``# @rfid: end``) and
-this package counts them, replacing the paper's by-hand tally with an
-auditable one.
+Two families:
+
+* **Lines-of-code accounting** (Section 4 of the paper): the
+  handcrafted and MORENA implementations of the WiFi-sharing
+  application carry machine-readable region annotations
+  (``# @rfid: <category>`` ... ``# @rfid: end``) and this package
+  counts them, replacing the paper's by-hand tally with an auditable
+  one.
+* **Fairness/head-of-line metrics** (:mod:`repro.metrics.fairness`):
+  Jain's index, nearest-rank percentiles and latency summaries the
+  cross-tag scheduling benches report.
 """
 
 from repro.metrics.annotations import CATEGORIES, RfidCategory
+from repro.metrics.fairness import LatencySummary, jains_index, percentile
 from repro.metrics.loc import (
     LocComparison,
     LocCount,
@@ -25,4 +31,7 @@ __all__ = [
     "count_source",
     "count_module",
     "compare_implementations",
+    "jains_index",
+    "percentile",
+    "LatencySummary",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.clock import Clock, SystemClock
 from repro.errors import RadioError
@@ -112,6 +112,39 @@ class RfidEnvironment:
             field.discard(tag)
         port.dispatch_field_event(TagLeft(tag))
 
+    def move_tags_into_field(
+        self, tags: Iterable[SimulatedTag], port: NfcAdapterPort
+    ) -> int:
+        """Bring many tags into ``port``'s field at once (idempotent).
+
+        Crowd-scale variant of :meth:`move_tag_into_field`: one lock
+        acquisition for the whole cohort, one bulk event dispatch for the
+        tags that actually entered. Returns how many tags were fresh
+        (not already in the field).
+        """
+        with self._lock:
+            field = self._field_of(port)
+            fresh = [tag for tag in tags if tag not in field]
+            field.update(fresh)
+        if fresh:
+            port.dispatch_field_events([TagEntered(tag) for tag in fresh])
+        return len(fresh)
+
+    def remove_tags_from_field(
+        self, tags: Iterable[SimulatedTag], port: NfcAdapterPort
+    ) -> int:
+        """Take many tags out of ``port``'s field at once (idempotent).
+
+        Returns how many tags were actually present and left.
+        """
+        with self._lock:
+            field = self._field_of(port)
+            present = [tag for tag in tags if tag in field]
+            field.difference_update(present)
+        if present:
+            port.dispatch_field_events([TagLeft(tag) for tag in present])
+        return len(present)
+
     def tag_in_field(self, tag: SimulatedTag, port: NfcAdapterPort) -> bool:
         with self._lock:
             return tag in self._field_of(port)
@@ -119,6 +152,11 @@ class RfidEnvironment:
     def tags_in_field(self, port: NfcAdapterPort) -> List[SimulatedTag]:
         with self._lock:
             return list(self._field_of(port))
+
+    def field_size(self, port: NfcAdapterPort) -> int:
+        """How many tags are currently inside ``port``'s field."""
+        with self._lock:
+            return len(self._field_of(port))
 
     def ports_seeing(self, tag: SimulatedTag) -> List[str]:
         with self._lock:

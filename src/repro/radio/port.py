@@ -82,6 +82,9 @@ class NfcAdapterPort:
         # operation, one per batched session (the quantity the per-port
         # transaction scheduler amortizes).
         self.connects = 0
+        # Field events delivered to listeners (single + bulk dispatch);
+        # crowd benches watch this to size churn fan-out.
+        self.field_events_dispatched = 0
 
     def __repr__(self) -> str:
         return f"NfcAdapterPort({self.name!r}, link={self._link!r})"
@@ -140,12 +143,38 @@ class NfcAdapterPort:
         Called by the environment outside its own lock; listener bodies
         are trivial (they post to loopers or wake reactor tasks)."""
         with self._lock:
+            self.field_events_dispatched += 1
             targets = list(self._listeners)
             tag = getattr(event, "tag", None)
             if tag is not None and tag in self._tag_listeners:
                 targets.extend(self._tag_listeners[tag])
         for listener in targets:
             listener(event)
+
+    def dispatch_field_events(self, events: List[FieldEvent]) -> None:
+        """Deliver a batch of field events (crowd-scale churn).
+
+        One listener snapshot serves the whole batch instead of one lock
+        round-trip per event -- with hundreds of tags crossing a field
+        boundary in one churn step, the per-event snapshot is the
+        dominant dispatch cost. Per-tag listener routing is preserved
+        per event; delivery order within the batch is the caller's order.
+        """
+        if not events:
+            return
+        with self._lock:
+            self.field_events_dispatched += len(events)
+            generic = list(self._listeners)
+            routed = []
+            for event in events:
+                targets = list(generic)
+                tag = getattr(event, "tag", None)
+                if tag is not None and tag in self._tag_listeners:
+                    targets.extend(self._tag_listeners[tag])
+                routed.append((event, targets))
+        for event, targets in routed:
+            for listener in targets:
+                listener(event)
 
     # -- tag operations -------------------------------------------------------------
 

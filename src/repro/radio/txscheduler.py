@@ -21,37 +21,68 @@ application code and the reference API never see it):
   **single serial reactor task per port**, so the reactor hands a whole
   per-port batch to one worker — which also matches the physics (one
   radio, one transaction at a time);
-* on each tap window the scheduler **drains the ready head operations of
-  every reference bound to the tag through one**
-  :class:`~repro.radio.port.TagSession`: one connect/anticollision cost
-  per (tag, window), per-operation data latency still charged, and the
-  link model still free to tear any individual transfer mid-batch.
+* on each tap window the scheduler serves the ready in-field tags
+  through :class:`~repro.radio.port.TagSession` windows: one
+  connect/anticollision cost per (tag, visit), per-operation data
+  latency still charged, and the link model still free to tear any
+  individual transfer mid-batch.
 
-Ordering is the load-bearing part. The drain executes ready heads in
-**global enqueue order** (``Operation.op_id`` is a process-wide counter
-assigned at enqueue), which preserves each reference's FIFO by
-construction. Fences — reads, raw writes (lease-guarded writes,
-renewals), locks, formats — are stricter: a fence executes only when it
-is the globally-oldest pending operation among the tag's references, and
-while a fence is pending no younger operation of another reference may
-overtake it. A lease-guarded write therefore can never be reordered
-across another reference's operation on the same tag (see
-``tests/leasing/test_guarded_batching.py``).
+**Cross-tag service order is a pluggable policy** (see
+:class:`CrossTagPolicy`). With several tags co-present in one field, the
+original whole-tag drain served them strictly one tag at a time, so one
+hot tag (a deep backlog) head-of-line blocked its neighbours for the
+whole drain. The fair policies instead hand each ready tag a **bounded
+quantum** per service round and rotate:
+
+* ``"drain"`` — the legacy sequential whole-tag drain (each visit runs
+  to queue exhaustion); kept for A/B benches and ablation;
+* ``"round_robin"`` — fixed equal quanta, rotated start;
+* ``"deficit"`` (the default) — deficit round-robin: each visit credits
+  the tag's deficit counter by a base quantum weighted (sublinearly,
+  bounded) by its logical queue depth, and every settled operation
+  debits the counter by ``1 + bytes/256`` — so big transfers consume
+  proportionally more of a tag's turn, backlogged tags earn slightly
+  larger quanta, and unused credit carries over (capped) while a tag
+  waits.
+
+Fairness never taxes a lonely tag: when a quantum expires and **no other
+tag is marked ready**, the quantum is renewed in place and the open
+session survives — a single co-located batch still pays exactly one
+connect round, so PR 5's batched-throughput numbers are preserved.
+Preemption (ending a visit with work remaining because a co-present tag
+is waiting) closes the session; the tag's next visit pays a fresh
+connect — the physical truth of re-selecting a different tag, and the
+throughput/fairness trade-off DESIGN.md decision 13 records.
+
+Ordering within a tag is unchanged and load-bearing. A visit executes
+the tag's ready heads in **global enqueue order** (``Operation.op_id``
+is a process-wide counter assigned at enqueue), which preserves each
+reference's FIFO by construction. Fences — reads, raw writes
+(lease-guarded writes, renewals), locks, formats — are stricter: a fence
+executes only when it is the globally-oldest pending operation among the
+tag's references, and while a fence is pending no younger operation of
+another reference may overtake it. Fences are strictly **per tag**: a
+fence queued against tag A never stalls runnable quanta on co-present
+tag B (see ``tests/radio/test_fair_scheduling.py``).
 
 Failure semantics are *partial-batch settlement*: operations that
 completed before a tear have settled (their listeners are already posted,
 in FIFO order, on the activity's main looper); the torn operation stays
 queued and retries after its reference's backoff; the rest simply remain
 queued and are picked up by the next window — the session died with the
-tear, so the next attempt pays a fresh connect.
+tear, so the next attempt pays a fresh connect. A tear mid-quantum is a
+per-tag event: only that tag's partial batch settles, co-present tags'
+queues are untouched.
 """
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple, Union
 
-from repro.errors import NotInFieldError, TagLostError
+from repro.errors import MorenaError, NotInFieldError, TagLostError
+from repro.core.operations import Operation, OperationKind
 from repro.radio.events import FieldEvent, TagEntered, TagLeft
 from repro.radio.port import TagSession
 from repro.tags.tag import SimulatedTag
@@ -62,13 +93,212 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.scheduler import PortReadyQueue, Reactor
     from repro.radio.port import NfcAdapterPort
 
-# One drain quantum processes at most this many operations before
-# yielding its reactor worker (mirrors the reference's own step burst).
+# One drain visit processes at most this many operations before
+# yielding its reactor worker, whatever the policy granted (mirrors the
+# reference's own step burst).
 _DRAIN_BURST_OPS = 128
 
 # Backoff after a connect/anticollision tear (the tag is flapping at the
 # field edge); transfer tears use the owning reference's retry interval.
 _CONNECT_RETRY_SECONDS = 0.02
+
+# Service-cost normalization: one operation costs one unit plus its
+# payload share, so a tag moving kilobyte records consumes its quantum
+# faster than one writing 20-byte labels.
+_COST_BYTE_UNIT = 256.0
+
+
+def _op_cost(byte_count: int) -> float:
+    """Policy cost units of one settled operation of ``byte_count`` bytes."""
+    return 1.0 + max(byte_count, 0) / _COST_BYTE_UNIT
+
+
+def _estimate_bytes(tag: SimulatedTag, operation: Operation) -> int:
+    """Bytes a settled operation moved over the air (telemetry/deficit).
+
+    Writes are sized by their encoded payload (factory-built payloads
+    are unknown until transmission and count as overhead-only); reads by
+    the tag's user area; formats/locks by their command overhead.
+    """
+    if operation.kind is OperationKind.WRITE:
+        payload = operation.payload
+        return payload.byte_length if payload is not None else 0
+    if operation.kind is OperationKind.READ:
+        return tag.tag_type.user_bytes
+    return 16 if operation.kind is OperationKind.FORMAT else 8
+
+
+# -- cross-tag service policies -----------------------------------------------------
+
+
+class CrossTagPolicy:
+    """How one port's radio time is shared across co-present tags.
+
+    Policy state is only ever touched from the scheduler's single serial
+    reactor task, so implementations need no locking. A policy sees
+    three moments: :meth:`begin_visit` when the drain turns to a tag
+    (returning the visit's service budget in cost units — ``math.inf``
+    means "run to exhaustion"), :meth:`consumed` after every settled
+    operation, and :meth:`reset` when a tag's queues drain empty or the
+    tag unregisters (classic DRR forgets the deficit of an idle flow).
+    """
+
+    name = "?"
+    #: Whether ready-queue snapshots rotate their starting tag between
+    #: service rounds (fair policies) or keep strict ready order (drain).
+    rotates = True
+
+    def begin_visit(self, tag: SimulatedTag, depth: int) -> float:
+        raise NotImplementedError
+
+    def consumed(self, tag: SimulatedTag, cost: float) -> None:
+        """``cost`` service units were spent on ``tag`` (post-settle)."""
+
+    def reset(self, tag: SimulatedTag) -> None:
+        """``tag`` went idle (queues empty) or left the scheduler."""
+
+
+class SequentialDrainPolicy(CrossTagPolicy):
+    """The legacy whole-tag drain: each visit runs to queue exhaustion.
+
+    Maximum batching (one connect per tag per window) but a deep
+    backlog on one tag head-of-line blocks every co-present neighbour
+    for the entire drain. Kept selectable for ablation and for fields
+    where co-presence never happens.
+    """
+
+    name = "drain"
+    rotates = False
+
+    def begin_visit(self, tag: SimulatedTag, depth: int) -> float:
+        return math.inf
+
+
+class RoundRobinPolicy(CrossTagPolicy):
+    """Fixed equal quanta per ready tag, rotated start each round."""
+
+    name = "round_robin"
+
+    def __init__(self, quantum_ops: float = 6.0) -> None:
+        if quantum_ops <= 0:
+            raise MorenaError("quantum_ops must be positive")
+        self.quantum_ops = float(quantum_ops)
+
+    def begin_visit(self, tag: SimulatedTag, depth: int) -> float:
+        return self.quantum_ops
+
+
+class DeficitPolicy(CrossTagPolicy):
+    """Deficit round-robin, credited by queue depth, debited by bytes.
+
+    Each visit credits the tag's deficit counter with
+    ``credit_ops * (1 + min(depth, depth_cap) * depth_weight)`` — a
+    mildly backlog-weighted quantum, bounded so a hot tag can never
+    monopolize a round — capped at ``carry_rounds`` worth of credit so
+    a long-waiting tag catches up without hoarding unbounded credit.
+    Settled operations debit ``1 + bytes/256`` (see :func:`_op_cost`),
+    so byte-heavy tags consume their turn proportionally faster. An
+    idle tag's deficit is forgotten (DRR's no-credit-while-idle rule).
+    """
+
+    name = "deficit"
+
+    def __init__(
+        self,
+        credit_ops: float = 6.0,
+        depth_weight: float = 1.0 / 256.0,
+        depth_cap: int = 64,
+        carry_rounds: float = 2.0,
+    ) -> None:
+        if credit_ops <= 0:
+            raise MorenaError("credit_ops must be positive")
+        self.credit_ops = float(credit_ops)
+        self.depth_weight = float(depth_weight)
+        self.depth_cap = int(depth_cap)
+        self.carry_rounds = float(carry_rounds)
+        self._deficit: Dict[SimulatedTag, float] = {}
+
+    def weight(self, depth: int) -> float:
+        return 1.0 + min(max(depth, 0), self.depth_cap) * self.depth_weight
+
+    def begin_visit(self, tag: SimulatedTag, depth: int) -> float:
+        credit = self.credit_ops * self.weight(depth)
+        cap = self.credit_ops * (1.0 + self.depth_cap * self.depth_weight)
+        cap *= self.carry_rounds
+        deficit = min(self._deficit.get(tag, 0.0) + credit, cap)
+        self._deficit[tag] = deficit
+        return deficit
+
+    def consumed(self, tag: SimulatedTag, cost: float) -> None:
+        if tag in self._deficit:
+            self._deficit[tag] -= cost
+
+    def reset(self, tag: SimulatedTag) -> None:
+        self._deficit.pop(tag, None)
+
+
+POLICIES = {
+    SequentialDrainPolicy.name: SequentialDrainPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    DeficitPolicy.name: DeficitPolicy,
+}
+
+PolicySpec = Union[None, str, CrossTagPolicy]
+
+
+def make_policy(spec: PolicySpec) -> CrossTagPolicy:
+    """Resolve a policy spec: ``None`` (default), a name, or an instance."""
+    if isinstance(spec, CrossTagPolicy):
+        return spec
+    if spec is None:
+        return DeficitPolicy()
+    try:
+        return POLICIES[spec]()
+    except KeyError:
+        raise MorenaError(
+            f"unknown cross-tag scheduling policy {spec!r} "
+            f"(known: {sorted(POLICIES)})"
+        ) from None
+
+
+# -- per-tag service telemetry -------------------------------------------------------
+
+
+class TagServiceStats:
+    """Service telemetry for one registered tag (guarded by the
+    scheduler's lock; see :meth:`PortTransactionScheduler.stats_snapshot`)."""
+
+    __slots__ = (
+        "quanta",
+        "ops",
+        "bytes_moved",
+        "depth_high_water",
+        "starvation_ticks",
+        "first_ready_at",
+        "first_service_at",
+    )
+
+    def __init__(self) -> None:
+        self.quanta = 0  # service visits that settled at least one op
+        self.ops = 0  # operations settled for this tag
+        self.bytes_moved = 0  # estimated bytes over the air
+        self.depth_high_water = 0  # max logical queue depth observed
+        self.starvation_ticks = 0  # visits that served nothing despite backlog
+        self.first_ready_at: Optional[float] = None
+        self.first_service_at: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        ttfs: Optional[float] = None
+        if self.first_ready_at is not None and self.first_service_at is not None:
+            ttfs = self.first_service_at - self.first_ready_at
+        return {
+            "quanta": self.quanta,
+            "ops": self.ops,
+            "bytes_moved": self.bytes_moved,
+            "depth_high_water": self.depth_high_water,
+            "starvation_ticks": self.starvation_ticks,
+            "time_to_first_service": ttfs,
+        }
 
 
 class PortTransactionScheduler:
@@ -79,11 +309,15 @@ class PortTransactionScheduler:
     radio execution while their tag is in the field. Deadlines, retries
     while absent, cancellation and listener settlement stay with each
     reference — this layer only decides *when the radio speaks and for
-    whom*.
+    whom*, under the cross-tag service policy (see module docstring).
     """
 
     def __init__(
-        self, port: "NfcAdapterPort", reactor: "Reactor", clock: "Clock"
+        self,
+        port: "NfcAdapterPort",
+        reactor: "Reactor",
+        clock: "Clock",
+        policy: PolicySpec = None,
     ) -> None:
         # Deferred import: repro.core reaches back into repro.radio at
         # package-init time, so importing the scheduler module here at
@@ -96,10 +330,19 @@ class PortTransactionScheduler:
         self._references: Dict[SimulatedTag, List["TagReference"]] = {}
         self._ready: "PortReadyQueue" = PortReadyQueue()
         self._closed = False
-        # Statistics, exposed for tests and benchmarks.
+        self._policy = make_policy(policy)
+        # Statistics, exposed for tests and benchmarks. The scalar
+        # counters are only mutated on the single drain task; the
+        # per-tag map is additionally read/retired from other threads,
+        # so it is guarded by ``_lock`` (the leasing-stats pattern) and
+        # snapshotted via :meth:`stats_snapshot`.
         self.windows = 0  # batched sessions opened (tap windows served)
         self.batched_ops = 0  # operations settled inside batched sessions
         self.max_batch = 0  # largest single-session operation count
+        self.preemptions = 0  # visits ended early for a waiting neighbour
+        self._tag_stats: Dict[SimulatedTag, TagServiceStats] = {}
+        self._retired = TagServiceStats()  # folded stats of departed tags
+        self._retired_tags = 0
         self._task = reactor.register(self._step, name=f"txsched-{port.name}")
         port.add_field_listener(self._on_field_event)
 
@@ -107,9 +350,27 @@ class PortTransactionScheduler:
         with self._lock:
             tags = len(self._references)
         return (
-            f"PortTransactionScheduler({self._port.name!r}, tags={tags}, "
+            f"PortTransactionScheduler({self._port.name!r}, "
+            f"policy={self._policy.name!r}, tags={tags}, "
             f"windows={self.windows})"
         )
+
+    # -- policy -----------------------------------------------------------------
+
+    @property
+    def policy(self) -> CrossTagPolicy:
+        return self._policy
+
+    def set_policy(self, policy: PolicySpec) -> None:
+        """Swap the cross-tag service policy at runtime (per port).
+
+        The swap takes effect at the next service round; a visit already
+        in progress finishes under the budget it was granted.
+        """
+        resolved = make_policy(policy)
+        with self._lock:
+            self._policy = resolved
+        self._task.wake()
 
     # -- registration -----------------------------------------------------------
 
@@ -120,6 +381,7 @@ class PortTransactionScheduler:
             if self._closed:
                 return
             self._references.setdefault(tag, []).append(reference)
+            self._tag_stats.setdefault(tag, TagServiceStats())
 
     def unregister(self, reference: "TagReference") -> None:
         tag = reference.tag.simulated
@@ -129,12 +391,68 @@ class PortTransactionScheduler:
                 return
             if reference in references:
                 references.remove(reference)
-            if not references:
-                del self._references[tag]
+            if references:
+                return
+            del self._references[tag]
+            # The departed tag's telemetry folds into the retired
+            # aggregate so crowd-scale churn cannot grow the map
+            # without bound.
+            stats = self._tag_stats.pop(tag, None)
+            if stats is not None:
+                self._retire_locked(stats)
+        # Last co-located reference gone: discard the tag's ready mark
+        # so a stale runnable key cannot wake workers for empty batches,
+        # and drop any accumulated deficit.
+        self._ready.discard(tag)
+        self._policy.reset(tag)
 
     def references_for(self, tag: SimulatedTag) -> List["TagReference"]:
         with self._lock:
             return list(self._references.get(tag, ()))
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """A consistent snapshot of the scheduler's service telemetry.
+
+        ``tags`` maps each registered tag's uid to its
+        :class:`TagServiceStats` numbers; ``retired`` aggregates the
+        telemetry of tags whose last reference unregistered (crowd
+        churn), so totals remain auditable after departure.
+        """
+        with self._lock:
+            tags = {
+                tag.uid_hex: stats.as_dict()
+                for tag, stats in self._tag_stats.items()
+            }
+            retired = self._retired.as_dict()
+            retired.pop("time_to_first_service", None)
+            retired["tags"] = self._retired_tags
+            return {
+                "policy": self._policy.name,
+                "windows": self.windows,
+                "batched_ops": self.batched_ops,
+                "max_batch": self.max_batch,
+                "preemptions": self.preemptions,
+                "tags": tags,
+                "retired": retired,
+            }
+
+    def _retire_locked(self, stats: TagServiceStats) -> None:
+        self._retired.quanta += stats.quanta
+        self._retired.ops += stats.ops
+        self._retired.bytes_moved += stats.bytes_moved
+        self._retired.starvation_ticks += stats.starvation_ticks
+        self._retired.depth_high_water = max(
+            self._retired.depth_high_water, stats.depth_high_water
+        )
+        self._retired_tags += 1
+
+    def _note_ready(self, tag: SimulatedTag) -> None:
+        with self._lock:
+            stats = self._tag_stats.get(tag)
+            if stats is not None and stats.first_ready_at is None:
+                stats.first_ready_at = self._clock.now()
 
     # -- wakeups ----------------------------------------------------------------
 
@@ -146,6 +464,7 @@ class PortTransactionScheduler:
         with self._lock:
             if self._closed or tag not in self._references:
                 return
+        self._note_ready(tag)
         self._ready.mark(tag)
         self._task.wake()
 
@@ -157,6 +476,7 @@ class PortTransactionScheduler:
             with self._lock:
                 interested = not self._closed and tag in self._references
             if interested:
+                self._note_ready(tag)
                 self._ready.mark(tag)
                 self._task.wake()
         elif isinstance(event, TagLeft):
@@ -178,17 +498,20 @@ class PortTransactionScheduler:
     # -- the drain ----------------------------------------------------------------
 
     def _step(self) -> Optional[float]:
-        """One scheduler quantum: drain every ready in-field tag.
+        """One scheduler round: serve every ready in-field tag a visit.
 
-        Returns the next absolute time radio work becomes ready (retry
-        backoffs), or ``None`` to idle until the next mark+wake.
+        The policy decides each visit's budget; fair policies rotate the
+        starting tag between rounds. Returns the next absolute time
+        radio work becomes ready (retry backoffs, preempted quanta), or
+        ``None`` to idle until the next mark+wake.
         """
+        policy = self._policy
         wake: Optional[float] = None
-        for tag, generation in self._ready.snapshot():
+        for tag, generation in self._ready.snapshot(rotate=policy.rotates):
             if not self._port.environment.tag_in_field(tag, self._port):
                 self._ready.discard(tag)
                 continue
-            tag_wake, has_pending = self._drain_tag(tag)
+            tag_wake, has_pending = self._drain_tag(tag, policy)
             if not has_pending:
                 # Only unmark if no producer re-marked mid-drain.
                 self._ready.clear(tag, generation)
@@ -196,19 +519,27 @@ class PortTransactionScheduler:
                 wake = tag_wake if wake is None else min(wake, tag_wake)
         return wake
 
-    def _drain_tag(self, tag: SimulatedTag) -> Tuple[Optional[float], bool]:
-        """Run one batched session over ``tag``'s ready head operations.
+    def _drain_tag(
+        self, tag: SimulatedTag, policy: CrossTagPolicy
+    ) -> Tuple[Optional[float], bool]:
+        """One service visit: run a batched session over ``tag``'s ready
+        head operations within the policy's budget.
 
-        Returns ``(wake_at, has_pending)``: when to come back for backed-
-        off work (``None`` if nothing is waiting on time), and whether
-        any operation remains pending for this tag.
+        Returns ``(wake_at, has_pending)``: when to come back (backed-
+        off work, or *now* for a preempted/burst-capped visit), and
+        whether any operation remains pending for this tag.
         """
         references = self.references_for(tag)
         if not references:
+            policy.reset(tag)
             return None, False
         session: Optional[TagSession] = None
         wake: Optional[float] = None
         has_pending = False
+        budget: Optional[float] = None
+        served_ops = 0
+        served_bytes = 0
+        depth_seen = 0
         try:
             for _ in range(_DRAIN_BURST_OPS):
                 views = [
@@ -217,8 +548,27 @@ class PortTransactionScheduler:
                 ]
                 views = [(r, v) for r, v in views if v.head_id is not None]
                 if not views:
+                    # Queues drained: an idle tag accrues no deficit.
+                    policy.reset(tag)
                     return None, has_pending
                 has_pending = True
+                depth = sum(view.depth for _, view in views)
+                depth_seen = max(depth_seen, depth)
+
+                if budget is None:
+                    budget = policy.begin_visit(tag, depth)
+                elif budget <= 0.0:
+                    if self._ready.has_other(tag):
+                        # Quantum spent and a co-present tag is waiting:
+                        # preempt. The session closes (re-selecting
+                        # another tag kills it physically) and we resume
+                        # right after the neighbours' quanta.
+                        self.preemptions += 1
+                        return self._clock.now(), True
+                    # Alone in the field: renew the quantum in place and
+                    # keep the session — fairness costs nothing when
+                    # there is nobody to be fair to.
+                    budget = policy.begin_visit(tag, depth)
 
                 # The fence barrier: the oldest pending fence among all
                 # of the tag's references. Nothing enqueued after it may
@@ -266,9 +616,15 @@ class PortTransactionScheduler:
                             has_pending,
                         )
                     self.windows += 1
+                op_bytes = _estimate_bytes(tag, view.ready)
                 result = reference.batch_execute(view.ready, session)
                 if result == "settled":
                     self.batched_ops += 1
+                    served_ops += 1
+                    served_bytes += op_bytes
+                    cost = _op_cost(op_bytes)
+                    budget -= cost
+                    policy.consumed(tag, cost)
                     if session.operations > self.max_batch:
                         self.max_batch = session.operations
                 # "retry": the transfer tore — the session died with it
@@ -278,6 +634,33 @@ class PortTransactionScheduler:
         finally:
             if session is not None:
                 session.close()
+            self._account(tag, served_ops, served_bytes, depth_seen, has_pending)
         # Burst cap hit with work still flowing: yield the worker and
         # resume immediately so one hot tag cannot hog the pool.
         return self._clock.now(), True
+
+    def _account(
+        self,
+        tag: SimulatedTag,
+        ops: int,
+        bytes_moved: int,
+        depth_seen: int,
+        had_pending: bool,
+    ) -> None:
+        """Fold one visit's outcome into the tag's service telemetry."""
+        with self._lock:
+            stats = self._tag_stats.get(tag)
+            if stats is None:
+                return
+            if depth_seen > stats.depth_high_water:
+                stats.depth_high_water = depth_seen
+            if ops > 0:
+                stats.quanta += 1
+                stats.ops += ops
+                stats.bytes_moved += bytes_moved
+                if stats.first_service_at is None:
+                    stats.first_service_at = self._clock.now()
+            elif had_pending:
+                # The tag had backlog but this visit moved nothing
+                # (fenced, backed off, or torn before first settle).
+                stats.starvation_ticks += 1

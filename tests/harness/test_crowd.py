@@ -1,0 +1,135 @@
+"""Crowd churn generators and the bulk-mutation replay executor."""
+
+import pytest
+
+from repro.concurrent import EventLog
+from repro.harness import (
+    ChurnEvent,
+    run_churn,
+    turnstile_rush,
+    warehouse_conveyor,
+)
+from repro.harness.scenario import Scenario
+
+from tests.conftest import PlainNfcActivity, make_reference
+
+
+class TestSchedules:
+    def test_turnstile_rush_is_seed_deterministic(self):
+        a = turnstile_rush(8, 200, duration_seconds=2.0, seed=7)
+        b = turnstile_rush(8, 200, duration_seconds=2.0, seed=7)
+        assert a.events == b.events
+        c = turnstile_rush(8, 200, duration_seconds=2.0, seed=8)
+        assert a.events != c.events
+
+    def test_turnstile_groups_enter_and_leave_as_one_event_each(self):
+        schedule = turnstile_rush(4, 50, duration_seconds=1.0, seed=1)
+        assert schedule.events  # a 100/s rush produces work in 1s
+        enters = [e for e in schedule if e.enter]
+        leaves = [e for e in schedule if not e.enter]
+        assert len(enters) == len(leaves)
+        # Every cohort leaves the gate it entered, after its dwell
+        # (tags recycle, so a (gate, cohort) pair can occur repeatedly;
+        # pair the i-th enter with the i-th leave per key).
+        entered = {}
+        for event in enters:
+            entered.setdefault(
+                (event.device_index, event.tag_indices), []
+            ).append(event.at_seconds)
+        for leave in leaves:
+            key = (leave.device_index, leave.tag_indices)
+            times = entered.get(key)
+            assert times, f"leave without enter: {leave}"
+            assert leave.at_seconds > times.pop(0)
+
+    def test_conveyor_cohorts_visit_every_gate_in_order(self):
+        gates = 5
+        schedule = warehouse_conveyor(gates, 24, cohort_size=8, seed=3)
+        first = tuple(range(8))
+        visits = [
+            e for e in schedule if e.enter and tuple(e.tag_indices) == first
+        ]
+        assert [v.device_index for v in visits] == list(range(gates))
+        assert all(
+            later.at_seconds > earlier.at_seconds
+            for earlier, later in zip(visits, visits[1:])
+        )
+
+    def test_schedule_counts(self):
+        schedule = warehouse_conveyor(3, 30, cohort_size=10, seed=0)
+        # 3 cohorts x 3 gates x (enter + leave)
+        assert len(schedule) == 18
+        assert schedule.tag_moves == 180
+
+    def test_rejects_empty_populations(self):
+        with pytest.raises(ValueError):
+            turnstile_rush(0, 10)
+        with pytest.raises(ValueError):
+            warehouse_conveyor(3, 0)
+
+
+class TestRunChurn:
+    def test_full_speed_replay_moves_every_tag(self):
+        with Scenario() as scenario:
+            scenario.add_phones(3, prefix="gate")
+            scenario.add_tags(30)
+            schedule = warehouse_conveyor(3, 30, cohort_size=10, seed=0)
+            stats = run_churn(scenario, schedule)
+            assert stats.events == 18
+            assert stats.enters == 9
+            assert stats.leaves == 9
+            assert stats.tag_moves == 180
+            assert stats.peak_field_size >= 10
+            # Everything left at the end of the belt.
+            for phone in scenario.phones.values():
+                assert scenario.env.field_size(phone.port) == 0
+
+    def test_replay_is_idempotent_about_double_entries(self):
+        """Recycled tags already inside a field are not re-entered; the
+        stats count actual boundary crossings, not schedule entries."""
+        with Scenario() as scenario:
+            scenario.add_phones(1)
+            scenario.add_tags(4)
+            schedule_events = [
+                ChurnEvent(0.0, 0, (0, 1), True),
+                ChurnEvent(0.1, 0, (1, 2), True),  # tag 1 already inside
+                ChurnEvent(0.2, 0, (0, 1, 2, 3), False),
+            ]
+            schedule = warehouse_conveyor(1, 4, cohort_size=4)
+            schedule.events = schedule_events
+            stats = run_churn(scenario, schedule)
+            assert stats.tag_moves == 2 + 1 + 3
+            assert stats.peak_field_size == 3
+
+    def test_paced_replay_lets_references_get_served_mid_churn(self):
+        """time_scale > 0 paces the churn on the environment clock, so
+        a reference on a passing tag is serviced inside its dwell."""
+        with Scenario() as scenario:
+            phone = scenario.add_phone("gate-0000")
+            activity = scenario.start(phone, PlainNfcActivity)
+            tag = scenario.add_tag()
+            ref = make_reference(activity, tag, phone)
+            done = EventLog()
+            ref.write("drive-by", on_written=lambda _r: done.append(1))
+            schedule = warehouse_conveyor(
+                1, 1, cohort_size=1, gate_dwell_seconds=0.5
+            )
+            stats = run_churn(scenario, schedule, time_scale=1.0)
+            assert done.wait_for_count(1)
+            assert stats.elapsed_seconds >= 0.4  # the dwell was real time
+
+    def test_replay_requires_population(self):
+        with Scenario() as scenario:
+            schedule = turnstile_rush(2, 10, duration_seconds=0.5)
+            with pytest.raises(ValueError):
+                run_churn(scenario, schedule)
+
+    def test_indices_wrap_on_smaller_populations(self):
+        """A schedule generated for more devices/tags than the scenario
+        has replays degenerately instead of crashing."""
+        with Scenario() as scenario:
+            scenario.add_phones(2)
+            scenario.add_tags(10)
+            schedule = turnstile_rush(16, 500, duration_seconds=0.5, seed=4)
+            stats = run_churn(scenario, schedule)
+            assert stats.events == len(schedule)

@@ -207,6 +207,22 @@ class TestLifecycle:
         b.stop()
         assert scheduler.references_for(tag) == []
 
+    def test_last_unregister_discards_stale_ready_key(
+        self, scenario, phone, activity, tag
+    ):
+        """A departed tag must not leave a runnable key behind: stale
+        keys wake workers for empty batches forever."""
+        (ref,) = co_located_refs(activity, tag, phone, 1)
+        scheduler = phone.tx_scheduler
+        scenario.put(tag, phone)
+        done = EventLog()
+        ref.write("bye", on_written=lambda _r: done.append(1))
+        assert done.wait_for_count(1)
+        scheduler._ready.mark(tag)  # simulate a wakeup racing the stop
+        ref.stop()
+        assert scheduler.references_for(tag) == []
+        assert [key for key, _ in scheduler._ready.snapshot()] == []
+
     def test_shutdown_closes_the_scheduler(self):
         env = RfidEnvironment()
         device = AndroidDevice("closer", env)
