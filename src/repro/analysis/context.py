@@ -20,6 +20,10 @@ rules keep asking for:
 * **Thing classes** -- classes transitively derived from ``Thing``
   (name-based, fixpoint within the file), with their ``__transient__``
   declarations and ``self.x = ...`` field assignments (MOR003).
+* **Async contexts** -- every ``async def`` body in the file. A
+  coroutine runs on an event loop by definition; a blocking call inside
+  one stalls every other coroutine and reactor task on that loop
+  (MOR007).
 
 Resolution is intentionally name-based: ``morelint`` analyzes files in
 isolation (no imports are executed), trading a sliver of precision for
@@ -105,7 +109,7 @@ class CallbackContext:
 
     node: ast.AST  # FunctionDef | AsyncFunctionDef | Lambda
     kind: str  # "listener-method" | "listener-arg" | "thread-target"
-    #          | "field-listener" | "responder"
+    #          | "field-listener" | "responder" | "coroutine"
     name: str
     enclosing_class: Optional[str] = None
 
@@ -205,11 +209,13 @@ class FileContext:
         ]
         self.looper_contexts: List[CallbackContext] = []
         self.off_looper_contexts: List[CallbackContext] = []
+        self.async_contexts: List[CallbackContext] = []
         self.async_calls: List[AsyncCallSite] = []
         self.thing_classes: List[ThingClass] = []
         self._collect_listener_methods()
         self._collect_async_calls_and_inline_listeners()
         self._collect_off_looper_contexts()
+        self._collect_async_contexts()
         self._collect_thing_classes()
 
     # -- generic helpers ------------------------------------------------------
@@ -390,6 +396,22 @@ class FileContext:
             elif method in ("set_handover_responder", "set_snep_get_provider"):
                 for arg in call.args:
                     add(arg, call, "responder")
+
+    def _collect_async_contexts(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            klass = self.enclosing_class(node)
+            self.async_contexts.append(
+                CallbackContext(
+                    node=node,
+                    kind="coroutine",
+                    name=(
+                        f"{klass.name}.{node.name}" if klass is not None else node.name
+                    ),
+                    enclosing_class=klass.name if klass else None,
+                )
+            )
 
     def _collect_thing_classes(self) -> None:
         by_name: Dict[str, ast.ClassDef] = {}

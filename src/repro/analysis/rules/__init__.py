@@ -13,6 +13,7 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     mor004_adapter_churn,
     mor005_coalesced_guarded_writes,
     mor006_off_looper_capture,
+    mor007_blocking_in_async,
 )
 
 ALL_RULE_MODULES = (
@@ -22,4 +23,5 @@ ALL_RULE_MODULES = (
     mor004_adapter_churn,
     mor005_coalesced_guarded_writes,
     mor006_off_looper_capture,
+    mor007_blocking_in_async,
 )

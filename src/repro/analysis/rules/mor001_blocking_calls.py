@@ -65,7 +65,8 @@ def _receiver_text(node: ast.Call) -> str:
     return ""
 
 
-def _is_blocking(call: ast.Call) -> bool:
+def is_blocking_call(call: ast.Call) -> bool:
+    """Shared blocking-call matcher (also used by MOR007)."""
     dotted = call_name(call.func)
     if dotted in _BLOCKING_NAMES:
         return True
@@ -90,7 +91,7 @@ def check(context: FileContext) -> Iterator[Finding]:
     findings: List[Finding] = []
     for callback in context.looper_contexts:
         for node in callback.walk():
-            if isinstance(node, ast.Call) and _is_blocking(node):
+            if isinstance(node, ast.Call) and is_blocking_call(node):
                 findings.append(
                     RULE.finding(
                         context,

@@ -20,7 +20,17 @@ When installed, the sanitizer patches:
   recorded as :class:`AffinityViolation`; unbound Things stay freely
   mutable -- Gson legitimately revives them on reactor workers;
 * ``TagReference._post_listener`` so every listener verifies, at the
-  moment it executes, that it is running on the reference's main looper.
+  moment it executes, that it is running on the reference's main looper;
+* ``AsyncioReactor._loop_runner`` so the asyncio backend's loop thread
+  registers as middleware (event-**loop** affinity alongside looper
+  affinity: a callback mutating a bound Thing from the loop thread is an
+  off-looper mutation like any other middleware thread's);
+* ``OperationFuture.result`` and ``Looper.sync`` so a *blocking* wait
+  executed inside a running asyncio event loop — the reactor's or any
+  user loop — is recorded as a ``blocking-on-loop`` violation: one
+  stalled callback freezes every reference multiplexed on that loop.
+  (``await future`` is the non-blocking spelling; morelint rule MOR007
+  is the static twin of this check.)
 
 External threads (a test's main thread, a user script) are deliberately
 *not* flagged: the simulation's "UI thread" is whatever drives the
@@ -41,6 +51,7 @@ point) and let the test suite's conftest install it for the session.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import threading
 import traceback
@@ -61,6 +72,15 @@ __all__ = [
 _MIDDLEWARE_NAME_MARKS: Tuple[str, ...] = ("looper-", "tagref-", "beamer-")
 
 
+def _in_running_event_loop() -> bool:
+    """Whether the calling thread is currently inside a running asyncio loop."""
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return False
+    return True
+
+
 class AffinityViolationError(RuntimeError):
     """Raised at the violation point when the sanitizer runs strict."""
 
@@ -69,10 +89,10 @@ class AffinityViolationError(RuntimeError):
 class AffinityViolation:
     """One recorded breach of the thread-affinity contract."""
 
-    kind: str  # "off-looper-mutation" | "listener-off-looper"
+    kind: str  # "off-looper-mutation" | "listener-off-looper" | "blocking-on-loop"
     subject: str  # e.g. "WifiConfig.ssid" or the listener's repr
     thread_name: str  # the offending thread
-    owner: str  # the looper that owns the subject
+    owner: str  # the looper (or event loop) that owns the subject
     location: str  # innermost user frame, "file:line"
 
     def __str__(self) -> str:
@@ -81,6 +101,12 @@ class AffinityViolation:
                 f"{self.location}: thread {self.thread_name!r} mutated "
                 f"{self.subject} but the field is owned by looper "
                 f"{self.owner!r}; post the mutation to the looper instead"
+            )
+        if self.kind == "blocking-on-loop":
+            return (
+                f"{self.location}: {self.subject} blocked inside the running "
+                f"event loop {self.owner!r} on thread {self.thread_name!r}; "
+                f"await the future (or move the wait off the loop) instead"
             )
         return (
             f"{self.location}: listener {self.subject} executed on thread "
@@ -122,7 +148,7 @@ class ThreadAffinitySanitizer:
                 return True
         name = thread.name
         return any(name.startswith(mark) for mark in _MIDDLEWARE_NAME_MARKS) or (
-            "-worker-" in name or name.endswith("-timer")
+            "-worker-" in name or name.endswith("-timer") or name.endswith("-aioloop")
         )
 
     # -- recording -----------------------------------------------------------
@@ -157,17 +183,21 @@ class ThreadAffinitySanitizer:
             return
         from repro.android.looper import Looper
         from repro.core.beam import Beamer
+        from repro.core.futures import OperationFuture
         from repro.core.reference import TagReference
-        from repro.core.scheduler import Reactor
+        from repro.core.scheduler import AsyncioReactor, Reactor
         from repro.things.thing import Thing
 
         self._patch_registering(Looper, "_loop", "looper")
         self._patch_registering(Reactor, "_worker_loop", "reactor-worker")
         self._patch_registering(Reactor, "_timer_loop", "reactor-timer")
+        self._patch_registering(AsyncioReactor, "_loop_runner", "asyncio-loop")
         self._patch_registering(TagReference, "_event_loop", "reference")
         self._patch_registering(Beamer, "_event_loop", "beamer")
         self._patch_thing_setattr(Thing)
         self._patch_post_listener(TagReference)
+        self._patch_blocking(OperationFuture, "result", "OperationFuture.result")
+        self._patch_blocking(Looper, "sync", "Looper.sync")
         self._installed = True
 
     def uninstall(self) -> None:
@@ -253,6 +283,31 @@ class ThreadAffinitySanitizer:
 
         checked_post.__name__ = "_post_listener"
         reference_class._post_listener = checked_post
+
+    def _patch_blocking(self, klass: type, attr: str, subject: str) -> None:
+        """Record a ``blocking-on-loop`` violation when ``klass.attr`` —
+        a blocking wait — is entered with an asyncio event loop running
+        on the calling thread. The wait still proceeds (record-only
+        mode must not change behaviour)."""
+        original = self._save(klass, attr)
+        sanitizer = self
+
+        def checked_wait(obj: Any, *args: Any, **kwargs: Any) -> Any:
+            if _in_running_event_loop():
+                loop_name = repr(asyncio.get_running_loop())
+                sanitizer._record(
+                    AffinityViolation(
+                        kind="blocking-on-loop",
+                        subject=subject,
+                        thread_name=threading.current_thread().name,
+                        owner=loop_name,
+                        location=_caller_location(),
+                    )
+                )
+            return original(obj, *args, **kwargs)
+
+        checked_wait.__name__ = attr
+        setattr(klass, attr, checked_wait)
 
     # -- ownership -----------------------------------------------------------
 

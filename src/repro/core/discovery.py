@@ -21,7 +21,7 @@ main thread.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.core.converters import (
     NdefMessageToObjectConverter,
@@ -61,11 +61,52 @@ class TagDiscoverer:
         # means the default (the device's shared reactor); True selects
         # the legacy thread-per-reference mode.
         self._threaded = threaded
+        # Non-overridable observers ("detected"|"redetected"|"empty",
+        # reference) invoked after the subclass callbacks — the feed for
+        # async discovery streams and telemetry taps.
+        self._detection_listeners: List[Callable[[str, TagReference], None]] = []
         activity._register_discoverer(self)  # noqa: SLF001 - by-design handshake
 
     @property
     def activity(self) -> NFCActivity:
         return self._activity
+
+    # -- detection observers ---------------------------------------------------------
+
+    def add_detection_listener(
+        self, listener: Callable[[str, TagReference], None]
+    ) -> None:
+        """Observe every detection: ``listener(event, reference)``.
+
+        ``event`` is ``"detected"``, ``"redetected"`` or ``"empty"``.
+        Listeners run on the main thread after the subclass callback and
+        are independent of subclassing — this is the hook the async
+        :meth:`stream` adapter rides on.
+        """
+        self._detection_listeners.append(listener)
+
+    def remove_detection_listener(
+        self, listener: Callable[[str, TagReference], None]
+    ) -> None:
+        self._detection_listeners = [
+            existing for existing in self._detection_listeners
+            if existing is not listener
+        ]
+
+    def _notify_detection(self, event: str, reference: TagReference) -> None:
+        for listener in list(self._detection_listeners):
+            listener(event, reference)
+
+    def stream(self, events: Optional[tuple] = None, max_buffer: int = 1024):
+        """Detections as an async iterator: ``async for ref in d.stream()``.
+
+        Convenience wrapper over :func:`repro.core.aio.tag_stream`; see
+        there for buffering semantics. ``events`` filters which
+        detection kinds are yielded (default: all three).
+        """
+        from repro.core.aio import tag_stream
+
+        return tag_stream(self, events=events, max_buffer=max_buffer)
 
     # -- overridable callbacks (all run on the main thread) -------------------------
 
@@ -111,8 +152,10 @@ class TagDiscoverer:
             return
         if is_new:
             self.on_tag_detected(reference)
+            self._notify_detection("detected", reference)
         else:
             self.on_tag_redetected(reference)
+            self._notify_detection("redetected", reference)
 
     def _handle_empty_tag(self, tag: "Tag") -> None:
         # TECH_DISCOVERED is a fall-through action: a tag holding *foreign*
@@ -129,6 +172,7 @@ class TagDiscoverer:
         )
         reference.notify_redetected()
         self.on_empty_tag_detected(reference)
+        self._notify_detection("empty", reference)
 
     def _prime_cache(self, reference: TagReference) -> None:
         simulated = reference.tag.simulated

@@ -22,8 +22,9 @@ exactly like plain MORENA listeners.
 
 from __future__ import annotations
 
+import asyncio
 import threading
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Generator, List, Optional
 
 from repro.core.operations import Operation, OperationOutcome
 from repro.core.reference import TagReference
@@ -99,6 +100,36 @@ class OperationFuture:
                 return
         callback(self)
 
+    def __await__(self) -> Generator[Any, None, Any]:
+        """``await future`` from any coroutine, on either reactor backend.
+
+        Bridges to an :class:`asyncio.Future` on the *awaiting* loop via
+        ``call_soon_threadsafe``, so the settling thread (a looper, a
+        reactor worker, or the asyncio reactor's own loop) never matters.
+        Failures raise exactly what :meth:`result` would raise.
+        """
+        loop = asyncio.get_running_loop()
+        bridged: "asyncio.Future[Any]" = loop.create_future()
+
+        def transfer(settled: "OperationFuture") -> None:
+            def resolve() -> None:
+                if bridged.cancelled():
+                    return
+                if settled._error is not None:  # noqa: SLF001 - same class
+                    bridged.set_exception(settled._error)  # noqa: SLF001
+                else:
+                    bridged.set_result(settled._value)  # noqa: SLF001
+
+            if loop.is_closed():
+                return
+            try:
+                loop.call_soon_threadsafe(resolve)
+            except RuntimeError:
+                pass  # awaiting loop shut down before settlement
+
+        self.add_done_callback(transfer)
+        return bridged.__await__()
+
     def then(self, on_value: Callable[[Any], Any]) -> "OperationFuture":
         """Chain: a new future resolving to ``on_value(value)``.
 
@@ -142,7 +173,10 @@ def read_future(reference: TagReference, timeout: Optional[float] = None) -> Ope
 
 
 def write_future(
-    reference: TagReference, value: Any, timeout: Optional[float] = None
+    reference: TagReference,
+    value: Any,
+    timeout: Optional[float] = None,
+    coalesce: Optional[bool] = None,
 ) -> OperationFuture:
     """Asynchronous write as a future resolving to the reference."""
     future = OperationFuture()
@@ -151,6 +185,7 @@ def write_future(
         on_written=lambda ref: future._succeed(ref),  # noqa: SLF001
         on_failed=lambda ref: future._fail(_failure_error(future)),  # noqa: SLF001
         timeout=timeout,
+        coalesce=coalesce,
     )
     return future
 
@@ -160,6 +195,46 @@ def lock_future(reference: TagReference, timeout: Optional[float] = None) -> Ope
     future = OperationFuture()
     future.operation = reference.make_read_only(
         on_locked=lambda ref: future._succeed(ref),  # noqa: SLF001
+        on_failed=lambda ref: future._fail(_failure_error(future)),  # noqa: SLF001
+        timeout=timeout,
+    )
+    return future
+
+
+def read_raw_future(
+    reference: TagReference, timeout: Optional[float] = None
+) -> OperationFuture:
+    """Asynchronous raw read as a future resolving to the cached message."""
+    future = OperationFuture()
+    future.operation = reference.read_raw(
+        on_read=lambda ref: future._succeed(ref.cached_message),  # noqa: SLF001
+        on_failed=lambda ref: future._fail(_failure_error(future)),  # noqa: SLF001
+        timeout=timeout,
+    )
+    return future
+
+
+def write_raw_future(
+    reference: TagReference, message: Any, timeout: Optional[float] = None
+) -> OperationFuture:
+    """Asynchronous raw write as a future resolving to the reference."""
+    future = OperationFuture()
+    future.operation = reference.write_raw(
+        message,
+        on_written=lambda ref: future._succeed(ref),  # noqa: SLF001
+        on_failed=lambda ref: future._fail(_failure_error(future)),  # noqa: SLF001
+        timeout=timeout,
+    )
+    return future
+
+
+def format_future(
+    reference: TagReference, timeout: Optional[float] = None
+) -> OperationFuture:
+    """Asynchronous NDEF format as a future resolving to the reference."""
+    future = OperationFuture()
+    future.operation = reference.format(
+        on_formatted=lambda ref: future._succeed(ref),  # noqa: SLF001
         on_failed=lambda ref: future._fail(_failure_error(future)),  # noqa: SLF001
         timeout=timeout,
     )

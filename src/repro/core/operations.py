@@ -39,7 +39,9 @@ class OperationOutcome(enum.Enum):
     CANCELLED = "cancelled"  # reference stopped
 
 
-@dataclass
+# slots=True: a parked operation is pure idle state (100k references can
+# each hold one for minutes), so the per-instance dict is pure overhead.
+@dataclass(slots=True)
 class Operation:
     """One queued asynchronous tag operation."""
 

@@ -73,11 +73,9 @@ the air -- the honest race of a distributed cancel).
 from __future__ import annotations
 
 import threading
-from collections import deque
 from typing import (
     Any,
     Callable,
-    Deque,
     List,
     NamedTuple,
     Optional,
@@ -164,6 +162,42 @@ class BatchView(NamedTuple):
 _EMPTY_BATCH_VIEW = BatchView(None, None, None, None, 0)
 
 
+class _NoWaitCondition:
+    """Lock-only stand-in for ``threading.Condition`` on reactor-mode
+    references.
+
+    Only the legacy threaded event loop ever ``wait()``s on a
+    reference's condition; reactor-mode logical loops park on the
+    reactor's timer heap instead. A full Condition carries an extra
+    RLock plus an (empty, but allocated) waiter deque per reference —
+    dead weight at 100k idle references — so reactor mode keeps just
+    the mutex and turns the notify side into a no-op.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __enter__(self) -> bool:
+        return self._lock.__enter__()
+
+    def __exit__(self, *exc_info: Any) -> Any:
+        return self._lock.__exit__(*exc_info)
+
+    def notify(self, n: int = 1) -> None:
+        pass  # nothing ever waits
+
+    def notify_all(self) -> None:
+        pass  # nothing ever waits
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        raise RuntimeError(
+            "reactor-mode references have no waiters; "
+            "wait() belongs to the threaded event loop"
+        )
+
+
 class TagReference:
     """First-class remote reference to one RFID tag.
 
@@ -171,6 +205,42 @@ class TagReference:
     from a :class:`~repro.core.discovery.TagDiscoverer` (or, in tests,
     from a :class:`~repro.core.factory.TagReferenceFactory`).
     """
+
+    # Slotted: an idle reference is the unit the asyncio backend scales
+    # by (100k per process), and the instance dict would be its single
+    # largest allocation. ``__weakref__`` is kept for diagnostics.
+    __slots__ = (
+        "__weakref__",
+        "_tag",
+        "_activity",
+        "_looper",
+        "_port",
+        "_clock",
+        "_read_converter",
+        "_write_converter",
+        "_default_timeout",
+        "_retry_interval",
+        "_coalesce_writes",
+        "_cond",
+        "_queue",
+        "_stopped",
+        "_cached_object",
+        "_cached_message",
+        "_has_cache",
+        "_connected",
+        "_connectivity_listeners",
+        "attempts",
+        "successes",
+        "timeouts",
+        "permanent_failures",
+        "coalesced_writes",
+        "deduped_reads",
+        "protocol_merges",
+        "_thread",
+        "_task",
+        "_batch",
+        "_batch_backoff_until",
+    )
 
     def __init__(
         self,
@@ -196,8 +266,15 @@ class TagReference:
         self._retry_interval = retry_interval
         self._coalesce_writes = coalesce_writes
 
-        self._cond = threading.Condition()
-        self._queue: Deque[Operation] = deque()
+        # Threaded loops block on the condition; reactor-mode loops only
+        # ever lock it (they park on the reactor's timer heap instead),
+        # so they get the slim lock-only variant.
+        self._cond = threading.Condition() if threaded else _NoWaitCondition()
+        # A plain list: queues are short (pending ops per reference), the
+        # rare pop(0) shift is noise next to a radio round-trip, and a
+        # list's empty footprint is a tenth of a deque's — which matters
+        # at 100k idle references each holding a (near-)empty queue.
+        self._queue: List[Operation] = []
         self._stopped = False
         self._cached_object: Any = None
         self._cached_message: Optional[NdefMessage] = None
@@ -302,6 +379,18 @@ class TagReference:
             f"TagReference(uid={self.uid_hex}, pending={self.pending_count}, "
             f"connected={self.is_connected})"
         )
+
+    @property
+    def aio(self):
+        """Coroutine view: ``await ref.aio.read()`` etc.
+
+        A stateless adapter over the listener API — same operations,
+        same queue, same guarantees; see :mod:`repro.core.aio`. Works
+        under either reactor backend and from any event loop.
+        """
+        from repro.core.aio import AsyncTagReference
+
+        return AsyncTagReference(self)
 
     # -- connectivity ----------------------------------------------------------------
 
@@ -890,7 +979,7 @@ class TagReference:
         a fence, because the next read must observe that write).
         """
         if self._queue and self._queue[0] is head:
-            self._queue.popleft()
+            self._queue.pop(0)
         before = head.superseded
         head.superseded = []
         after: List[Operation] = []
@@ -901,7 +990,7 @@ class TagReference:
                     and self._queue[0].kind is OperationKind.READ
                     and self._queue[0].raw == head.raw
                 ):
-                    after.append(self._queue.popleft())
+                    after.append(self._queue.pop(0))
                     self.deduped_reads += 1
             self.successes += 1 + len(before) + len(after)
         else:

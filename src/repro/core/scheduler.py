@@ -29,10 +29,24 @@ exactly until the earliest deadline; with a :class:`~repro.clock.
 ManualClock` the reactor subscribes to advance notifications, so
 simulated time only needs to move for deadlines to fire. Clocks that
 support neither fall back to a coarse real-time poll.
+
+Two backends implement the same contract. ``Reactor(mode="threaded")``
+(the default) is the worker pool described above. ``Reactor(
+mode="asyncio")`` — :class:`AsyncioReactor` — runs every task's steps as
+callbacks on one ``asyncio`` event loop instead: no worker threads, no
+timer thread, and the deadline heap is serviced by a single
+``loop.call_later`` armed at the earliest deadline (or by ``ManualClock``
+advance notifications, exactly like the threaded timer). A process can
+hold hundreds of thousands of idle references in asyncio mode because an
+idle task is just a small Python object — no stack, no lock-guarded
+hand-off, no thread wakeups. :class:`ReactorTask` is identical over both
+backends; only the machinery that runs steps differs (DESIGN.md
+decision 14).
 """
 
 from __future__ import annotations
 
+import asyncio
 import heapq
 import itertools
 import os
@@ -55,6 +69,8 @@ _FALLBACK_POLL_SECONDS = 0.01
 _IDLE = 0  # not scheduled; runs only when woken
 _QUEUED = 1  # in the ready queue, a worker will pick it up
 _RUNNING = 2  # a worker is executing its step right now
+
+_REACTOR_MODES = ("threaded", "asyncio")
 
 
 def default_worker_count() -> int:
@@ -121,15 +137,39 @@ class Reactor:
     One reactor per simulated device (see ``AndroidDevice.reactor``);
     all of the device's tag references share its workers. Constructing a
     reactor is cheap — no threads exist until the first task is woken.
+
+    ``mode`` selects the backend: ``"threaded"`` (this class, the
+    default) or ``"asyncio"`` (:class:`AsyncioReactor` — the constructor
+    dispatches, so ``Reactor(mode="asyncio")`` *is* an
+    ``AsyncioReactor``). Both honour the full :class:`ReactorTask`
+    contract; everything built on tasks — references, the per-port
+    transaction scheduler, lease keepers — runs unchanged on either.
     """
+
+    def __new__(
+        cls,
+        clock: Optional[Clock] = None,
+        max_workers: Optional[int] = None,
+        name: str = "reactor",
+        mode: str = "threaded",
+    ) -> "Reactor":
+        if mode not in _REACTOR_MODES:
+            raise ValueError(
+                f"unknown reactor mode {mode!r}; expected one of {_REACTOR_MODES}"
+            )
+        if cls is Reactor and mode == "asyncio":
+            return super().__new__(AsyncioReactor)
+        return super().__new__(cls)
 
     def __init__(
         self,
         clock: Optional[Clock] = None,
         max_workers: Optional[int] = None,
         name: str = "reactor",
+        mode: str = "threaded",
     ) -> None:
         self.name = name
+        self.mode = mode
         self._clock = clock if clock is not None else SystemClock()
         self._max_workers = max(
             1, max_workers if max_workers is not None else default_worker_count()
@@ -321,6 +361,207 @@ class Reactor:
                     self._cond.wait(max(self._timers[0][0] - now, 0.0))
                 else:
                     self._cond.wait(_FALLBACK_POLL_SECONDS)
+
+
+class AsyncioReactor(Reactor):
+    """The coroutine backend: every task steps on one ``asyncio`` loop.
+
+    Selected with ``Reactor(mode="asyncio")``. The public surface is the
+    base class's — ``register`` hands out ordinary :class:`ReactorTask`
+    objects and ``wake`` / ``schedule_at`` / ``cancel`` behave
+    identically — but execution happens as plain callbacks on a single
+    event loop running on one daemon thread:
+
+    * a wake posts a ``call_soon`` that pops one ready task and runs its
+      step inline (steps are short, non-blocking quanta by contract —
+      the same contract the worker pool relies on); serial-per-task and
+      rerun-on-mid-step-wake come from the shared state machine;
+    * the deadline heap is serviced by **one** ``loop.call_later``
+      armed at the earliest deadline (real clock), by ``ManualClock``
+      advance notifications, or by a coarse poll for exotic clocks —
+      mirroring the threaded timer thread without owning a thread;
+    * an idle task costs nothing: no handle, no timer, no stack. This
+      is what lets one process hold 100k idle references
+      (``benchmarks/test_bench_async.py``).
+
+    The loop thread is the only thread the backend ever creates, so
+    ``thread_count`` is at most 1 regardless of task count.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        max_workers: Optional[int] = None,
+        name: str = "reactor",
+        mode: str = "asyncio",
+    ) -> None:
+        super().__init__(clock, max_workers, name, mode="asyncio")
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        # Loop-thread-only: the single armed call_later (real clocks).
+        self._timer_handle: Optional[asyncio.TimerHandle] = None
+        # Guarded by _cond: deadline the heap is currently serviced up
+        # to; a schedule_at later than this needs no extra service pass.
+        self._timer_deadline: Optional[float] = None
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def thread_count(self) -> int:
+        with self._cond:
+            thread = self._loop_thread
+            return 1 if thread is not None and thread.is_alive() else 0
+
+    @property
+    def owns_current_thread(self) -> bool:
+        with self._cond:
+            return threading.current_thread() is self._loop_thread
+
+    def __repr__(self) -> str:
+        return f"AsyncioReactor({self.name!r})"
+
+    @property
+    def loop(self) -> Optional[asyncio.AbstractEventLoop]:
+        """The backing event loop (``None`` until the first wake)."""
+        with self._cond:
+            return self._loop
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def stop(self, join_timeout: float = 2.0) -> None:
+        with self._cond:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._ready.clear()
+            self._timers.clear()
+            self._cond.notify_all()
+            loop = self._loop
+            thread = self._loop_thread
+        if self._clock_notifies and self._started:
+            self._clock.remove_listener(self._on_clock_advance)
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(loop.stop)
+            except RuntimeError:
+                pass  # already closed
+            if thread is not None and thread is not threading.current_thread():
+                thread.join(join_timeout)
+
+    # -- internals: scheduling ----------------------------------------------------
+
+    def _ensure_started_locked(self) -> None:
+        if self._started or self._stopped:
+            return
+        self._started = True
+        if self._clock_notifies:
+            self._clock.add_listener(self._on_clock_advance)
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._loop_runner, name=f"{self.name}-aioloop", daemon=True
+        )
+        self._loop_thread.start()
+
+    def _loop_runner(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    def _call_on_loop(self, fn: Callable[[], None]) -> None:
+        """Post ``fn`` to the loop thread (thread-safe, shutdown-tolerant)."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        if threading.current_thread() is self._loop_thread:
+            loop.call_soon(fn)
+            return
+        try:
+            loop.call_soon_threadsafe(fn)
+        except RuntimeError:
+            pass  # loop closed between the check and the call
+
+    def _wake_locked(self, task: ReactorTask) -> None:
+        if task._cancelled:
+            return
+        if task._state == _IDLE:
+            task._state = _QUEUED
+            self._ready.append(task)
+            self._ensure_started_locked()
+            self._call_on_loop(self._run_one)
+        elif task._state == _RUNNING:
+            task._rerun = True
+        # _QUEUED: already scheduled, the wake coalesces.
+
+    def _schedule_at_locked(self, task: ReactorTask, when: float) -> None:
+        heapq.heappush(self._timers, (when, next(self._seq), task))
+        self._ensure_started_locked()
+        if self._timer_deadline is None or when < self._timer_deadline:
+            self._call_on_loop(self._service_timers)
+
+    def _on_clock_advance(self) -> None:
+        self._call_on_loop(self._service_timers)
+
+    # -- internals: the loop -------------------------------------------------------
+
+    def _run_one(self) -> None:
+        """Pop one ready task and run its step (loop thread only).
+
+        Exactly one ``_run_one`` callback is posted per append to
+        ``_ready``, so one-task-per-callback drains the queue while
+        letting loop timers and user coroutines interleave between
+        steps.
+        """
+        with self._cond:
+            if self._stopped or not self._ready:
+                return
+            task = self._ready.popleft()
+            if task._cancelled:
+                task._state = _IDLE
+                return
+            task._state = _RUNNING
+            task._rerun = False
+            self._steps += 1
+        try:
+            when = task._step()
+        except BaseException:  # noqa: BLE001 - a task must not kill the loop
+            traceback.print_exc()
+            when = None
+        with self._cond:
+            if self._stopped:
+                return
+            task._state = _IDLE
+            if task._cancelled:
+                return
+            if task._rerun or (when is not None and when <= self._clock.now()):
+                self._wake_locked(task)
+            elif when is not None:
+                self._schedule_at_locked(task, when)
+
+    def _service_timers(self) -> None:
+        """Fire due deadlines, re-arm the single timer (loop thread only)."""
+        with self._cond:
+            if self._stopped:
+                return
+            now = self._clock.now()
+            while self._timers and self._timers[0][0] <= now:
+                _due, _seq, task = heapq.heappop(self._timers)
+                self._wake_locked(task)
+            deadline = self._timers[0][0] if self._timers else None
+            self._timer_deadline = deadline
+        if self._timer_handle is not None:
+            self._timer_handle.cancel()
+            self._timer_handle = None
+        if deadline is None or self._clock_notifies:
+            # An advance-notifying clock re-services on the next advance;
+            # nothing to arm — simulated time never passes on its own.
+            return
+        if self._clock_is_realtime:
+            delay = max(deadline - now, 0.0)
+        else:
+            delay = _FALLBACK_POLL_SECONDS
+        self._timer_handle = self._loop.call_later(delay, self._service_timers)
 
 
 class PortReadyQueue:

@@ -58,8 +58,11 @@ class Scenario:
         name: str,
         link: Optional[object] = None,
         tx_policy: Optional[object] = None,
+        reactor_mode: str = "threaded",
     ) -> AndroidDevice:
-        phone = AndroidDevice(name, self.env, link=link, tx_policy=tx_policy)
+        phone = AndroidDevice(
+            name, self.env, link=link, tx_policy=tx_policy, reactor_mode=reactor_mode
+        )
         self.phones[name] = phone
         return phone
 
@@ -69,10 +72,16 @@ class Scenario:
         prefix: str = "phone",
         link: Optional[object] = None,
         tx_policy: Optional[object] = None,
+        reactor_mode: str = "threaded",
     ) -> List[AndroidDevice]:
         """``count`` phones named ``{prefix}-0000`` ... (crowd scenarios)."""
         return [
-            self.add_phone(f"{prefix}-{index:04d}", link=link, tx_policy=tx_policy)
+            self.add_phone(
+                f"{prefix}-{index:04d}",
+                link=link,
+                tx_policy=tx_policy,
+                reactor_mode=reactor_mode,
+            )
             for index in range(count)
         ]
 

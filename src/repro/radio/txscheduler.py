@@ -73,6 +73,14 @@ queued and are picked up by the next window — the session died with the
 tear, so the next attempt pays a fresh connect. A tear mid-quantum is a
 per-tag event: only that tag's partial batch settles, co-present tags'
 queues are untouched.
+
+Reactor-backend neutrality: the scheduler is one serial
+:class:`~repro.core.scheduler.ReactorTask` per port and speaks only the
+task contract (``wake`` / ``schedule_at``), so it runs unchanged on
+either backend — a worker thread under ``Reactor(mode="threaded")``, a
+callback chain on the loop under ``Reactor(mode="asyncio")`` (DESIGN.md
+decision 14). Serial-per-task is the only concurrency property the
+drain loop relies on, and both backends guarantee it.
 """
 
 from __future__ import annotations

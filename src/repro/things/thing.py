@@ -71,6 +71,18 @@ class Thing:
     def tag_uid(self) -> Optional[bytes]:
         return self._reference.uid if self._reference is not None else None
 
+    @property
+    def aio(self):
+        """Coroutine view: ``await thing.aio.save()`` / ``.refresh()``.
+
+        Same operations and coalescing as ``save_async``/``refresh_async``
+        (see :mod:`repro.core.aio`); requires the thing to be bound at
+        call time, like the listener-style calls.
+        """
+        from repro.core.aio import AsyncThing
+
+        return AsyncThing(self)
+
     def _bind(self, reference: TagReference, activity: "ThingActivity") -> None:
         self._reference = reference
         self._activity = activity

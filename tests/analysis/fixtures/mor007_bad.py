@@ -1,0 +1,25 @@
+"""Fixture: blocking calls inside coroutine bodies (MOR007 flags these)."""
+
+import time
+
+
+class SlowKiosk:
+    async def checkout(self, ref):
+        time.sleep(0.5)  # MOR007: stalls the event loop
+        cart = await ref.aio.read()
+        return cart
+
+    async def settle(self, reference):
+        future = reference.read_future()
+        value = future.result()  # MOR007: blocking future wait in a coroutine
+        return value
+
+    async def drain(self, looper):
+        looper.sync()  # MOR007: looper barrier inside a coroutine
+        with open("/tmp/audit.log") as handle:  # MOR007: sync file I/O
+            return handle.read()
+
+
+async def pump(sock):
+    data = sock.recv(1024)  # MOR007: blocking socket read on the loop
+    return data

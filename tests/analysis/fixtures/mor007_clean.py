@@ -1,0 +1,34 @@
+"""Fixture: the await-native style MOR007 wants (no findings)."""
+
+import asyncio
+import time
+
+
+class PromptKiosk:
+    async def checkout(self, ref):
+        await asyncio.sleep(0.5)  # awaited: yields to the loop
+        cart = await ref.aio.read()
+        cart.paid = True
+        await ref.aio.write(cart)
+        return cart
+
+    async def watch(self, discoverer):
+        async for ref in discoverer.stream():
+            value = await ref.aio.read()
+            self.greet(value)
+
+    async def timed(self, future):
+        # Awaited waits are the non-blocking spelling.
+        return await asyncio.wait_for(future, timeout=2.0)
+
+    def background_job(self):
+        # Not a coroutine: blocking is this method's own business.
+        time.sleep(0.1)
+
+    async def helper_escapes(self):
+        def sync_helper():
+            # Nested sync function: runs whenever *it* is called,
+            # e.g. handed to an executor -- not this coroutine's body.
+            time.sleep(0.1)
+
+        await asyncio.get_running_loop().run_in_executor(None, sync_helper)

@@ -10,7 +10,7 @@ from repro.analysis.model import Severity, all_rules, get_rule
 
 FIXTURES = pathlib.Path(__file__).parent / "fixtures"
 
-RULE_IDS = ["MOR001", "MOR002", "MOR003", "MOR004", "MOR005", "MOR006"]
+RULE_IDS = ["MOR001", "MOR002", "MOR003", "MOR004", "MOR005", "MOR006", "MOR007"]
 
 
 def lint_fixture(name: str, rule_id: str):
@@ -21,7 +21,7 @@ def lint_fixture(name: str, rule_id: str):
 
 
 class TestCatalogue:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         assert [rule.id for rule in all_rules()] == RULE_IDS
 
     def test_every_rule_has_summary_and_hint(self):
@@ -122,6 +122,44 @@ class TestMor006:
         assert "private thread" in text
         assert "radio thread" in text
         assert "peer's thread" in text
+
+
+class TestMor007:
+    def test_flags_each_blocking_shape(self):
+        findings = lint_fixture("mor007_bad.py", "MOR007")
+        flagged = {f.line for f in findings}
+        # sleep, future wait, looper.sync, open, socket recv
+        assert len(flagged) >= 5
+
+    def test_awaited_calls_are_not_blocking(self):
+        source = (
+            "import asyncio\n"
+            "async def pump(future, sock):\n"
+            "    await asyncio.wait_for(future, timeout=1.0)\n"
+            "    await sock.connect((addr, 1))\n"
+        )
+        assert lint_source("x.py", source, rules=[get_rule("MOR007")]) == []
+
+    def test_module_level_coroutines_are_covered(self):
+        source = (
+            "import time\n"
+            "async def tick():\n"
+            "    time.sleep(1.0)\n"
+        )
+        findings = lint_source("x.py", source, rules=[get_rule("MOR007")])
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+        assert "tick" in findings[0].message
+
+    def test_nested_sync_function_escapes(self):
+        source = (
+            "import time\n"
+            "async def outer(loop):\n"
+            "    def helper():\n"
+            "        time.sleep(1.0)\n"
+            "    await loop.run_in_executor(None, helper)\n"
+        )
+        assert lint_source("x.py", source, rules=[get_rule("MOR007")]) == []
 
 
 class TestEngine:

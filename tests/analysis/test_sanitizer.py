@@ -6,6 +6,7 @@ exercise the same code paths a buggy application or middleware
 regression would.
 """
 
+import asyncio
 import threading
 
 import pytest
@@ -13,6 +14,7 @@ import pytest
 from repro.analysis import sanitizer as sanitizer_mod
 from repro.analysis.sanitizer import AffinityViolationError
 from repro.concurrent import EventLog
+from repro.core.futures import read_future
 from repro.tags.factory import make_tag
 from repro.things.activity import ThingActivity
 from repro.things.thing import Thing
@@ -181,6 +183,85 @@ class TestListenerAffinity:
         assert read.wait_for_count(1)
         assert read.snapshot() == ["hello"]
         assert san.violations[before:] == []
+
+
+class TestEventLoopAffinity:
+    """The asyncio half of the contract: blocking waits inside a running
+    event loop, and the asyncio reactor's loop thread as middleware."""
+
+    def test_future_result_inside_running_loop_is_flagged(
+        self, san, scenario, phone, activity
+    ):
+        tag = text_tag("hello")
+        scenario.put(tag, phone)
+        reference = make_reference(activity, tag, phone)
+        before = len(san.violations)
+
+        async def blocking_wait():
+            future = read_future(reference)
+            return future.result(timeout=5.0)  # blocks the loop
+
+        value = asyncio.run(blocking_wait())
+        assert value == "hello"  # record-only: the wait still completes
+        fresh = [
+            v for v in san.violations[before:] if v.kind == "blocking-on-loop"
+        ]
+        assert fresh
+        assert fresh[0].subject == "OperationFuture.result"
+        assert "event loop" in str(fresh[0])
+
+    def test_looper_sync_inside_running_loop_is_flagged(self, san, phone):
+        before = len(san.violations)
+
+        async def blocking_sync():
+            return phone.main_looper.sync(timeout=5.0)
+
+        assert asyncio.run(blocking_sync())
+        fresh = [
+            v for v in san.violations[before:] if v.kind == "blocking-on-loop"
+        ]
+        assert fresh
+        assert fresh[0].subject == "Looper.sync"
+
+    def test_blocking_off_loop_is_clean(self, san, scenario, phone, activity):
+        tag = text_tag("offloop")
+        scenario.put(tag, phone)
+        reference = make_reference(activity, tag, phone)
+        before = len(san.violations)
+        assert read_future(reference).result(timeout=5.0) == "offloop"
+        assert phone.main_looper.sync(timeout=5.0)
+        assert san.violations[before:] == []
+
+    def test_asyncio_loop_thread_registers_as_middleware(self, san, scenario):
+        phone = scenario.add_phone("san-aio", reactor_mode="asyncio")
+        app = scenario.start(phone, CrateActivity)
+        seen = []
+        _run_on_reactor(app, lambda: seen.append(san.is_middleware_thread()))
+        assert seen == [True]
+
+    def test_catches_asyncio_step_mutating_bound_thing(self, san, scenario):
+        phone = scenario.add_phone("san-aio-mut", reactor_mode="asyncio")
+        app = scenario.start(phone, CrateActivity)
+        tag = make_tag()
+        scenario.put(tag, phone)
+        assert app.empties.wait_for_count(1)
+        crate = Crate(app, label="sealed")
+        saved = EventLog()
+        app.empties.snapshot()[0].initialize(
+            crate,
+            on_saved=lambda t: saved.append(t),
+            on_save_failed=lambda: saved.append(None),
+        )
+        assert saved.wait_for_count(1)
+        assert saved.snapshot()[0] is not None
+        before = len(san.violations)
+        _run_on_reactor(app, lambda: setattr(crate, "label", "tampered"))
+        fresh = san.violations[before:]
+        violation = next(
+            v for v in fresh if v.kind == "off-looper-mutation"
+        )
+        assert violation.subject == "Crate.label"
+        assert violation.thread_name.endswith("-aioloop")
 
 
 class TestStrictMode:

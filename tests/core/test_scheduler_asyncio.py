@@ -1,0 +1,303 @@
+"""The asyncio reactor backend: same ReactorTask contract, one loop.
+
+Companion to ``tests/core/test_scheduler.py`` — every guarantee the
+threaded backend gives (serial tasks, rerun-on-mid-step-wake, deadline
+timers, cancellation, crash isolation) must hold when the tasks step on
+a single asyncio event loop instead of a worker pool, and ``ManualClock
+.advance()`` must fire loop timers just as deterministically as it
+notifies the threaded timer thread.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.clock import ManualClock, SystemClock
+from repro.concurrent import EventLog, wait_until
+from repro.core.scheduler import AsyncioReactor, Reactor
+
+from tests.conftest import PlainNfcActivity as _PlainActivity
+from tests.conftest import make_reference, text_tag
+
+
+class TestDispatch:
+    def test_mode_asyncio_constructs_the_asyncio_backend(self):
+        reactor = Reactor(mode="asyncio", name="dispatch")
+        try:
+            assert isinstance(reactor, AsyncioReactor)
+            assert reactor.mode == "asyncio"
+        finally:
+            reactor.stop()
+
+    def test_default_mode_stays_threaded(self):
+        reactor = Reactor(name="plain")
+        try:
+            assert not isinstance(reactor, AsyncioReactor)
+            assert reactor.mode == "threaded"
+        finally:
+            reactor.stop()
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown reactor mode"):
+            Reactor(mode="gevent")
+
+
+class TestAsyncioReactor:
+    def test_lazy_loop_thread_single_thread_total(self):
+        """No threads until the first wake; exactly one ever."""
+        reactor = Reactor(mode="asyncio", name="lazy")
+        try:
+            assert reactor.thread_count == 0
+            task = reactor.register(lambda: None, name="noop")
+            assert reactor.thread_count == 0  # registration is free
+            task.wake()
+            assert wait_until(lambda: reactor.steps_executed >= 1, timeout=5)
+            assert reactor.thread_count == 1
+            # More tasks never mean more threads.
+            for index in range(50):
+                reactor.register(lambda: None, name=f"t{index}").wake()
+            assert wait_until(lambda: reactor.steps_executed >= 51, timeout=5)
+            assert reactor.thread_count == 1
+        finally:
+            reactor.stop()
+        assert reactor.is_stopped
+        assert wait_until(lambda: reactor.thread_count == 0, timeout=5)
+
+    def test_steps_run_on_the_loop_thread(self):
+        reactor = Reactor(mode="asyncio", name="affine")
+        try:
+            seen = []
+            done = threading.Event()
+
+            def step():
+                seen.append(
+                    (threading.current_thread().name, reactor.owns_current_thread)
+                )
+                done.set()
+                return None
+
+            reactor.register(step, name="probe").wake()
+            assert done.wait(5)
+            name, owned = seen[0]
+            assert name.endswith("-aioloop")
+            assert owned
+            assert not reactor.owns_current_thread  # we are not the loop
+        finally:
+            reactor.stop()
+
+    def test_task_is_serial_under_concurrent_wakes(self):
+        reactor = Reactor(mode="asyncio", name="serial")
+        try:
+            state = {"active": 0, "overlaps": 0, "runs": 0}
+
+            def step():
+                state["active"] += 1
+                if state["active"] > 1:
+                    state["overlaps"] += 1
+                state["active"] -= 1
+                state["runs"] += 1
+                return None
+
+            task = reactor.register(step, name="hammered")
+            wakers = [
+                threading.Thread(target=lambda: [task.wake() for _ in range(50)])
+                for _ in range(4)
+            ]
+            for waker in wakers:
+                waker.start()
+            for waker in wakers:
+                waker.join()
+            assert wait_until(lambda: state["runs"] >= 1, timeout=5)
+            task.wake()
+            assert wait_until(lambda: state["active"] == 0, timeout=5)
+            assert state["overlaps"] == 0
+        finally:
+            reactor.stop()
+
+    def test_wake_during_step_reruns_exactly_like_threaded(self):
+        reactor = Reactor(mode="asyncio", name="rerun")
+        try:
+            runs = EventLog()
+            started = threading.Event()
+            release = threading.Event()
+
+            def step():
+                runs.append("run")
+                if len(runs) == 1:
+                    started.set()
+                    release.wait(5)
+                return None
+
+            task = reactor.register(step, name="reentrant")
+            task.wake()
+            assert started.wait(5)
+            task.wake()  # arrives mid-step: must lead to one more run
+            release.set()
+            assert runs.wait_for_count(2, timeout=5)
+            time.sleep(0.05)
+            assert len(runs) == 2  # coalesced, not unbounded
+        finally:
+            reactor.stop()
+
+    def test_step_exception_does_not_kill_the_loop(self):
+        reactor = Reactor(mode="asyncio", name="crashy")
+        try:
+            done = threading.Event()
+
+            def bad_step():
+                raise RuntimeError("boom")
+
+            reactor.register(bad_step, name="bad").wake()
+            assert wait_until(lambda: reactor.steps_executed >= 1, timeout=5)
+            reactor.register(lambda: done.set(), name="good").wake()
+            assert done.wait(5)
+        finally:
+            reactor.stop()
+
+    def test_cancel_before_wake_never_runs_and_stays_thread_free(self):
+        reactor = Reactor(mode="asyncio", name="cancel")
+        try:
+            ran = threading.Event()
+            task = reactor.register(lambda: ran.set(), name="doomed")
+            task.cancel()
+            assert reactor.thread_count == 0  # cancel never starts the loop
+            task.wake()
+            time.sleep(0.05)
+            assert not ran.is_set()
+        finally:
+            reactor.stop()
+
+    def test_wake_after_stop_is_a_noop(self):
+        reactor = Reactor(mode="asyncio", name="stopped")
+        task = reactor.register(lambda: None, name="late")
+        task.wake()
+        assert wait_until(lambda: reactor.steps_executed >= 1, timeout=5)
+        reactor.stop()
+        task.wake()  # must not raise, must not run
+        assert reactor.is_stopped
+
+
+class TestAsyncioTimers:
+    def test_realtime_deadline_fires(self):
+        reactor = Reactor(mode="asyncio", name="rt")
+        try:
+            fired = threading.Event()
+            task = reactor.register(lambda: fired.set(), name="timer")
+            task.schedule_at(SystemClock().now() + 0.05)
+            assert fired.wait(5)
+        finally:
+            reactor.stop()
+
+    def test_manual_clock_advance_fires_timers_deterministically(self):
+        """advance() to just before the deadline must not fire; crossing
+        it must — the loop-timer mirror of the threaded notify path."""
+        clock = ManualClock()
+        reactor = Reactor(clock=clock, mode="asyncio", name="manual")
+        try:
+            fired = EventLog()
+            task = reactor.register(lambda: fired.append(clock.now()), name="t")
+            task.schedule_at(5.0)
+            clock.advance(4.999)
+            time.sleep(0.05)
+            assert len(fired) == 0
+            clock.advance(0.001)  # exactly 5.0: deadlines are inclusive
+            assert fired.wait_for_count(1, timeout=5)
+            assert fired.snapshot() == [5.0]
+        finally:
+            reactor.stop()
+
+    def test_manual_clock_fires_multiple_deadlines_in_order(self):
+        clock = ManualClock()
+        reactor = Reactor(clock=clock, mode="asyncio", name="multi")
+        try:
+            fired = EventLog()
+            for index, when in enumerate((3.0, 1.0, 2.0)):
+                reactor.register(
+                    lambda i=index: fired.append(i), name=f"t{index}"
+                ).schedule_at(when)
+            clock.advance(10.0)  # one advance crosses all three
+            assert fired.wait_for_count(3, timeout=5)
+            assert fired.snapshot() == [1, 2, 0]  # earliest deadline first
+        finally:
+            reactor.stop()
+
+    def test_past_deadline_fires_without_any_advance(self):
+        clock = ManualClock()
+        clock.set(100.0)
+        reactor = Reactor(clock=clock, mode="asyncio", name="due")
+        try:
+            fired = threading.Event()
+            task = reactor.register(lambda: fired.set(), name="overdue")
+            task.schedule_at(50.0)  # already due
+            assert fired.wait(5)
+        finally:
+            reactor.stop()
+
+    def test_step_returning_deadline_requeues_via_loop_timer(self):
+        clock = ManualClock()
+        reactor = Reactor(clock=clock, mode="asyncio", name="requeue")
+        try:
+            runs = EventLog()
+
+            def step():
+                runs.append(clock.now())
+                if len(runs) < 3:
+                    return clock.now() + 1.0
+                return None
+
+            reactor.register(step, name="periodic").wake()
+            assert runs.wait_for_count(1, timeout=5)
+            clock.advance(1.0)
+            assert runs.wait_for_count(2, timeout=5)
+            clock.advance(1.0)
+            assert runs.wait_for_count(3, timeout=5)
+            assert runs.snapshot() == [0.0, 1.0, 2.0]
+        finally:
+            reactor.stop()
+
+
+class TestReferencesOnAsyncioReactor:
+    """The reference stack end-to-end on the asyncio backend."""
+
+    def test_pipelined_format_write_read_in_program_order(self, scenario):
+        phone = scenario.add_phone("aio-phone", reactor_mode="asyncio")
+        activity = scenario.start(phone, _PlainActivity)
+        tag = scenario.add_tag(formatted=False)
+        scenario.put(tag, phone)
+        reference = make_reference(activity, tag, phone)
+        assert isinstance(phone.reactor, AsyncioReactor)
+        log = EventLog()
+        reference.format(on_formatted=lambda r: log.append("formatted"))
+        reference.write("hello", on_written=lambda r: log.append("written"))
+        reference.read(on_read=lambda r: log.append(("read", r.cached)))
+        assert log.wait_for_count(3, timeout=10)
+        assert log.snapshot() == ["formatted", "written", ("read", "hello")]
+
+    def test_absent_tag_never_starves_present_tag(self, scenario):
+        phone = scenario.add_phone("aio-phone", reactor_mode="asyncio")
+        activity = scenario.start(phone, _PlainActivity)
+        absent = text_tag("absent")
+        present = text_tag("present")
+        scenario.put(present, phone)
+        ref_absent = make_reference(activity, absent, phone)
+        ref_present = make_reference(activity, present, phone)
+        done = EventLog()
+        ref_absent.write("never-lands", timeout=30.0)
+        for index in range(20):
+            ref_present.write(
+                f"w{index}", on_written=lambda r, i=index: done.append(i)
+            )
+        assert done.wait_for_count(20, timeout=5)
+        assert done.snapshot() == list(range(20))
+        assert ref_absent.pending_count == 1
+        assert present.read_ndef()[0].payload == b"w19"
+
+    def test_operation_timeout_flows_through_loop_timers(self, scenario):
+        phone = scenario.add_phone("aio-phone", reactor_mode="asyncio")
+        activity = scenario.start(phone, _PlainActivity)
+        tag = text_tag("away")  # never enters the field
+        reference = make_reference(activity, tag, phone)
+        failed = threading.Event()
+        reference.read(on_failed=lambda r: failed.set(), timeout=0.1)
+        assert failed.wait(5)
