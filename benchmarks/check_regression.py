@@ -28,7 +28,10 @@ Guarded rows:
   CPU-bound, so noisier across machines than the sleep-bound rows);
 * ``BENCH_async.json`` ``idle_density.density_ratio`` -- how many more
   idle references per MB the asyncio backend packs vs
-  thread-per-reference (the 100k-references tentpole).
+  thread-per-reference (the 100k-references tentpole);
+* ``BENCH_lint.json`` ``repo_lint.wall_seconds`` -- the repo-wide
+  morelint sweep: flow-aware analysis must stay interactive (very
+  loose tolerance, wall time on shared runners is noisy).
 
 Usage::
 
@@ -80,6 +83,12 @@ GUARDED_ROWS = [
         "BENCH_async.json",
         "idle_density.density_ratio",
         tolerance=0.20,  # RSS-derived: page-rounding wiggle across kernels
+    ),
+    GuardedRow(
+        "BENCH_lint.json",
+        "repo_lint.wall_seconds",
+        direction="lower",
+        tolerance=1.00,  # wall time doubles before this trips
     ),
 ]
 

@@ -1,0 +1,70 @@
+"""morelint repo-wide throughput: the analysis must stay interactive.
+
+One claim, emitted to ``BENCH_lint.json``:
+
+* **Repo sweep speed.** Flow-aware linting (CFG + fixpoint dataflow +
+  the cross-module project index) over the repository's own ``src``,
+  ``examples``, and ``benchmarks`` trees completes in well under 10
+  seconds, and reports zero error-severity findings that are not in
+  the committed baseline -- the same gate CI enforces.
+"""
+
+import pathlib
+import time
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.engine import collect_files, lint_paths
+from repro.analysis.model import Severity
+from repro.harness.report import Table
+
+from benchmarks.conftest import emit_bench_json
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+LINT_PATHS = [
+    str(REPO_ROOT / "src"),
+    str(REPO_ROOT / "examples"),
+    str(REPO_ROOT / "benchmarks"),
+]
+WALL_BUDGET_SECONDS = 10.0
+
+
+def test_repo_lint_wall_time_and_cleanliness():
+    files = collect_files(LINT_PATHS)
+    start = time.perf_counter()
+    findings = lint_paths(LINT_PATHS)
+    wall = time.perf_counter() - start
+
+    known = baseline_mod.load(str(REPO_ROOT / baseline_mod.DEFAULT_BASELINE))
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    new_errors = [
+        f
+        for f in errors
+        if baseline_mod.fingerprint(f, root=str(REPO_ROOT)) not in known
+    ]
+
+    table = Table(
+        "morelint repo sweep",
+        ["files", "findings", "errors", "new errors", "seconds"],
+    )
+    table.add_row(
+        len(files), len(findings), len(errors), len(new_errors), f"{wall:.2f}"
+    )
+    print(table.render())
+
+    emit_bench_json(
+        "lint",
+        {
+            "repo_lint": {
+                "wall_seconds": round(wall, 3),
+                "files": len(files),
+                "findings": len(findings),
+                "errors": len(errors),
+                "new_errors": len(new_errors),
+            }
+        },
+    )
+
+    assert wall < WALL_BUDGET_SECONDS, (
+        f"repo-wide lint took {wall:.2f}s (budget {WALL_BUDGET_SECONDS}s)"
+    )
+    assert new_errors == [], "\n".join(f.format() for f in new_errors)

@@ -114,15 +114,25 @@ def main() -> None:
         lease1.acquire(
             duration=2.0, on_acquired=lambda l: outcome.append("clerk-1 holds lease")
         )
-        assert wait_until(lambda: bool(outcome))
-        lease2.acquire(
-            duration=2.0,
-            on_acquired=lambda l: outcome.append("clerk-2 holds lease"),
-            on_denied=lambda: outcome.append("clerk-2 denied (crate busy)"),
-        )
-        assert wait_until(lambda: len(outcome) == 2)
-        print("Lease contention:", "; ".join(outcome))
-        assert outcome[1] == "clerk-2 denied (crate busy)"
+        try:
+            assert wait_until(lambda: bool(outcome))
+            # This acquisition is *meant* to be denied (clerk-1 holds
+            # the crate), so there is no lease to release on any path.
+            lease2.acquire(  # morelint: disable=MOR009
+                duration=2.0,
+                on_acquired=lambda l: outcome.append("clerk-2 holds lease"),
+                on_denied=lambda: outcome.append("clerk-2 denied (crate busy)"),
+            )
+            assert wait_until(lambda: len(outcome) == 2)
+            print("Lease contention:", "; ".join(outcome))
+            assert outcome[1] == "clerk-2 denied (crate busy)"
+        finally:
+            # Hand the crate back instead of squatting until expiry: a
+            # leaked guard record blocks every other clerk for the full
+            # lease duration.
+            released = []
+            lease1.release(on_released=lambda: released.append(True))
+            assert wait_until(lambda: bool(released))
         print("Inventory tracking scenario OK.")
 
 

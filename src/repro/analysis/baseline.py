@@ -1,0 +1,68 @@
+"""Committed finding baselines for ``morelint``.
+
+A baseline file freezes the *currently known* findings so CI can fail
+on **new** errors only: adopting a new rule on a legacy codebase must
+not require fixing every historical finding first. Workflow::
+
+    python -m repro.analysis.lint src --write-baseline        # adopt
+    python -m repro.analysis.lint src --baseline .morelint-baseline.json
+
+Fingerprints hash ``relpath|rule_id|message`` -- deliberately *not* the
+line number, so reflowing a file does not resurrect baselined findings;
+editing the offending call (which changes the message's receiver/line
+references) does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.model import Finding
+
+DEFAULT_BASELINE = ".morelint-baseline.json"
+_VERSION = 1
+
+
+def fingerprint(finding: Finding, root: str = ".") -> str:
+    relpath = os.path.relpath(finding.path, root).replace(os.sep, "/")
+    blob = f"{relpath}|{finding.rule_id}|{finding.message}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def save(path: str, findings: Iterable[Finding], root: str = ".") -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    entries: Dict[str, Dict[str, str]] = {}
+    for finding in findings:
+        entries[fingerprint(finding, root)] = {
+            "rule": finding.rule_id,
+            "path": os.path.relpath(finding.path, root).replace(os.sep, "/"),
+            "message": finding.message,
+        }
+    payload = {"version": _VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def load(path: str) -> Set[str]:
+    """The fingerprint set of a baseline file ({} when absent)."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return set(payload.get("findings", {}))
+
+
+def partition(
+    findings: Iterable[Finding], known: Set[str], root: str = "."
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split into (new, baselined) against the ``known`` fingerprints."""
+    fresh: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        (old if fingerprint(finding, root) in known else fresh).append(finding)
+    return fresh, old

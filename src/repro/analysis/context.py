@@ -33,8 +33,20 @@ the ability to lint any file, broken imports and all.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+# Inline suppression pragmas::
+#
+#     risky_call()  # morelint: disable=MOR001,MOR008
+#     # morelint: disable-file=MOR012     (anywhere in the file)
+#
+# ``disable=all`` / ``disable-file=all`` silence every rule.
+_PRAGMA_RE = re.compile(
+    r"#\s*morelint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
 
 # Methods MORENA invokes on the main looper when overridden.
 LISTENER_METHODS = frozenset(
@@ -200,6 +212,13 @@ class FileContext:
         self.path = path
         self.source = source
         self.tree = ast.parse(source, filename=path)
+        # The engine attaches the cross-module ProjectIndex here before
+        # running rules; single-file callers leave it None and rules
+        # fall back to file-local facts (see repro.analysis.project).
+        self.project = None
+        self.line_pragmas: Dict[int, Set[str]] = {}
+        self.file_pragmas: Set[str] = set()
+        self._collect_pragmas()
         self._parents: Dict[ast.AST, ast.AST] = {}
         for parent in ast.walk(self.tree):
             for child in ast.iter_child_nodes(parent):
@@ -217,6 +236,29 @@ class FileContext:
         self._collect_off_looper_contexts()
         self._collect_async_contexts()
         self._collect_thing_classes()
+
+    # -- pragmas --------------------------------------------------------------
+
+    def _collect_pragmas(self) -> None:
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            match = _PRAGMA_RE.search(line)
+            if match is None:
+                continue
+            rules = {
+                rule.strip().upper() if rule.strip().lower() != "all" else "all"
+                for rule in match.group("rules").split(",")
+            }
+            if match.group("scope") == "disable-file":
+                self.file_pragmas |= rules
+            else:
+                self.line_pragmas.setdefault(lineno, set()).update(rules)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether a finding of ``rule_id`` at ``line`` is pragma-silenced."""
+        if "all" in self.file_pragmas or rule_id in self.file_pragmas:
+            return True
+        at_line = self.line_pragmas.get(line)
+        return at_line is not None and ("all" in at_line or rule_id in at_line)
 
     # -- generic helpers ------------------------------------------------------
 

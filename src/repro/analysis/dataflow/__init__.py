@@ -1,0 +1,51 @@
+"""The flow-analysis core under ``morelint``'s flow-aware rules.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.analysis.dataflow.cfg` -- per-function control-flow
+  graphs: one statement per block, explicit edge kinds (branch, loop
+  back-edge, return, exception), exception edges routed through
+  ``except`` handlers and ``finally`` blocks.
+* :mod:`repro.analysis.dataflow.solver` -- a generic forward worklist
+  solver over those CFGs for monotone set-union lattices (reaching
+  definitions, resource states), with an edge hook so analyses can tag
+  state that travelled an exception edge.
+* :mod:`repro.analysis.dataflow.resources` -- the shared
+  receiver-keyed state machine the MOR008/MOR009/MOR010 rules
+  instantiate: seed states at calls, kill them at rebinding, query
+  them at uses, all path-sensitively.
+
+Cross-*module* facts (class hierarchies, lock disciplines, parameter
+effects of helpers) live in :mod:`repro.analysis.project`, which the
+engine builds once per run and hands to every file's context.
+"""
+
+from repro.analysis.dataflow.cfg import (
+    CFG,
+    Block,
+    EXC,
+    FALL,
+    RETURN,
+    build_cfg,
+)
+from repro.analysis.dataflow.solver import solve_forward
+from repro.analysis.dataflow.resources import (
+    ResourceAnalysis,
+    assigned_names,
+    receiver_key,
+    stmt_calls,
+)
+
+__all__ = [
+    "CFG",
+    "Block",
+    "EXC",
+    "FALL",
+    "RETURN",
+    "build_cfg",
+    "solve_forward",
+    "ResourceAnalysis",
+    "assigned_names",
+    "receiver_key",
+    "stmt_calls",
+]

@@ -1,0 +1,339 @@
+"""Per-function control-flow graphs for ``morelint``.
+
+One *simple* statement per block keeps the solver's block-entry states
+exactly the per-statement states the rules want, at a granularity cost
+that is irrelevant for hand-written functions. Compound statements
+contribute header blocks (holding the test / iterable / context
+expression -- see :func:`header_nodes`) plus structural edges.
+
+Edge kinds:
+
+* ``"fall"`` -- ordinary fallthrough / branch edges;
+* ``"back"`` -- a loop back-edge (body end or ``continue`` to header);
+* ``"return"`` -- a ``return`` statement to the exit block;
+* ``"exc"`` -- an exceptional edge: from a statement that can raise to
+  the innermost enclosing handlers (and past non-catch-all handler
+  lists to the next frame out, ultimately the exit block). ``finally``
+  bodies are routed through on both the normal and exceptional paths.
+
+The builder is deliberately conservative rather than exact: every
+statement containing a call, ``raise`` or ``assert`` is treated as
+able to raise. What matters to the rules is that no *feasible* path is
+missing -- extra infeasible paths only cost a sliver of precision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Tuple
+
+FALL = "fall"
+BACK = "back"
+RETURN = "return"
+EXC = "exc"
+
+
+class Block:
+    """One CFG node: at most one statement plus outgoing edges.
+
+    For compound statements (``if``/``while``/``for``/``with``/
+    ``match``) the block holds the whole AST node but *represents* only
+    its header -- the parts :func:`header_nodes` returns. The bodies
+    live in their own blocks.
+    """
+
+    __slots__ = ("id", "stmt", "succs", "label")
+
+    def __init__(self, block_id: int, stmt: Optional[ast.AST] = None, label: str = ""):
+        self.id = block_id
+        self.stmt = stmt
+        self.succs: List[Tuple["Block", str]] = []
+        self.label = label  # "", "entry", "exit", "join", "loop", ...
+
+    def edge(self, target: "Block", kind: str = FALL) -> None:
+        pair = (target, kind)
+        if pair not in self.succs:
+            self.succs.append(pair)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        what = self.label or (type(self.stmt).__name__ if self.stmt else "")
+        return f"Block({self.id}, {what}, ->{[b.id for b, _ in self.succs]})"
+
+
+class CFG:
+    """Entry/exit plus every block of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry = self.new_block(label="entry")
+        self.exit = self.new_block(label="exit")
+
+    def new_block(self, stmt: Optional[ast.AST] = None, label: str = "") -> Block:
+        block = Block(len(self.blocks), stmt, label)
+        self.blocks.append(block)
+        return block
+
+    def predecessors(self, block: Block) -> List[Tuple[Block, str]]:
+        preds: List[Tuple[Block, str]] = []
+        for other in self.blocks:
+            for target, kind in other.succs:
+                if target is block:
+                    preds.append((other, kind))
+        return preds
+
+
+def header_nodes(stmt: ast.AST) -> List[ast.AST]:
+    """The sub-nodes a compound statement's *header block* evaluates.
+
+    Transfer functions walk these instead of the whole node, so a
+    branch body's effects are not charged to the header.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out: List[ast.AST] = []
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+        return out
+    if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return [stmt]
+
+
+def _expr_can_raise(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            return True
+    return False
+
+
+def _can_raise(stmt: ast.AST) -> bool:
+    """Conservative: the header of ``stmt`` may raise."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return True  # __enter__ can raise
+    for node in header_nodes(stmt):
+        if _expr_can_raise(node):
+            return True
+    return False
+
+
+def _catches_everything(handlers: Sequence[ast.ExceptHandler]) -> bool:
+    for handler in handlers:
+        if handler.type is None:
+            return True
+        name = handler.type
+        if isinstance(name, ast.Name) and name.id in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+class _Builder:
+    """Recursive statement-list walker building the CFG in one pass."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        # Innermost-first stack of loop frames: (header, after).
+        self._loops: List[Tuple[Block, Block]] = []
+        # Innermost-first stack of exception-target frames: the blocks
+        # an exception raised *here* may transfer to. The implicit
+        # outermost target is the exit block.
+        self._exc_targets: List[List[Block]] = []
+
+    # -- frame helpers -----------------------------------------------------
+
+    def _exception_targets(self) -> List[Block]:
+        if self._exc_targets:
+            return self._exc_targets[-1]
+        return [self.cfg.exit]
+
+    def _wire_raise(self, block: Block) -> None:
+        for target in self._exception_targets():
+            block.edge(target, EXC)
+
+    # -- statement sequencing ----------------------------------------------
+
+    def seq(
+        self, body: Sequence[ast.stmt], current: Optional[Block]
+    ) -> Optional[Block]:
+        """Build ``body`` starting from ``current``; returns the block
+        control falls out of, or ``None`` when every path jumped away."""
+        for stmt in body:
+            if current is None:
+                # Unreachable statements still get blocks (a rule may
+                # anchor a finding there) but no incoming edges.
+                current = self.cfg.new_block(label="unreachable")
+            current = self.stmt(stmt, current)
+        return current
+
+    def stmt(self, stmt: ast.stmt, current: Block) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, current)
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        if isinstance(stmt, ast.Return):
+            block = self._simple(stmt, current)
+            block.edge(self.cfg.exit, RETURN)
+            return None
+        if isinstance(stmt, ast.Raise):
+            block = self._simple(stmt, current, wire_exc=False)
+            self._wire_raise(block)
+            return None
+        if isinstance(stmt, ast.Break):
+            block = self._simple(stmt, current, wire_exc=False)
+            if self._loops:
+                block.edge(self._loops[-1][1], FALL)
+            return None
+        if isinstance(stmt, ast.Continue):
+            block = self._simple(stmt, current, wire_exc=False)
+            if self._loops:
+                block.edge(self._loops[-1][0], BACK)
+            return None
+        # Plain statement (expression, assignment, def, class, import...).
+        return self._simple(stmt, current)
+
+    def _simple(self, stmt: ast.stmt, current: Block, wire_exc: bool = True) -> Block:
+        if current.stmt is None and not current.succs:
+            block = current
+            block.stmt = stmt
+        else:
+            block = self.cfg.new_block(stmt)
+            current.edge(block, FALL)
+        if wire_exc and _can_raise(stmt):
+            self._wire_raise(block)
+        return block
+
+    def _header(self, stmt: ast.stmt, current: Block, label: str) -> Block:
+        header = self.cfg.new_block(stmt, label=label)
+        current.edge(header, FALL)
+        if _can_raise(stmt):
+            self._wire_raise(header)
+        return header
+
+    # -- compound statements -----------------------------------------------
+
+    def _if(self, stmt: ast.If, current: Block) -> Optional[Block]:
+        header = self._header(stmt, current, "if")
+        join = self.cfg.new_block(label="join")
+        then_entry = self.cfg.new_block(label="then")
+        header.edge(then_entry, FALL)
+        then_end = self.seq(stmt.body, then_entry)
+        if then_end is not None:
+            then_end.edge(join, FALL)
+        if stmt.orelse:
+            else_entry = self.cfg.new_block(label="else")
+            header.edge(else_entry, FALL)
+            else_end = self.seq(stmt.orelse, else_entry)
+            if else_end is not None:
+                else_end.edge(join, FALL)
+        else:
+            header.edge(join, FALL)
+        return join if self.cfg.predecessors(join) else None
+
+    def _loop(self, stmt: ast.stmt, current: Block) -> Optional[Block]:
+        header = self._header(stmt, current, "loop")
+        after = self.cfg.new_block(label="join")
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        if not infinite:
+            header.edge(after, FALL)
+        body_entry = self.cfg.new_block(label="loop-body")
+        header.edge(body_entry, FALL)
+        self._loops.append((header, after))
+        body_end = self.seq(stmt.body, body_entry)
+        self._loops.pop()
+        if body_end is not None:
+            body_end.edge(header, BACK)
+        if stmt.orelse:
+            return self.seq(stmt.orelse, after)
+        return after if self.cfg.predecessors(after) else None
+
+    def _with(self, stmt: ast.stmt, current: Block) -> Optional[Block]:
+        header = self._header(stmt, current, "with")
+        return self.seq(stmt.body, header)
+
+    def _match(self, stmt: "ast.Match", current: Block) -> Optional[Block]:
+        header = self._header(stmt, current, "match")
+        join = self.cfg.new_block(label="join")
+        header.edge(join, FALL)  # no case may match
+        for case in stmt.cases:
+            case_entry = self.cfg.new_block(label="case")
+            header.edge(case_entry, FALL)
+            case_end = self.seq(case.body, case_entry)
+            if case_end is not None:
+                case_end.edge(join, FALL)
+        return join if self.cfg.predecessors(join) else None
+
+    def _try(self, stmt: ast.Try, current: Block) -> Optional[Block]:
+        after = self.cfg.new_block(label="join")
+        handler_entries: List[Block] = [
+            self.cfg.new_block(label="handler") for _ in stmt.handlers
+        ]
+        escape_targets = list(self._exception_targets())
+        final_entry: Optional[Block] = None
+        final_end: Optional[Block] = None
+        if stmt.finalbody:
+            final_entry = self.cfg.new_block(label="finally")
+            final_end = self.seq(stmt.finalbody, final_entry)
+            if final_end is not None:
+                final_end.edge(after, FALL)
+                # The same finally body also terminates exceptional
+                # paths, re-raising outward afterwards.
+                for target in escape_targets:
+                    final_end.edge(target, EXC)
+
+        # Exceptions raised in the body go to the handlers; when the
+        # handler list cannot catch everything they also escape outward
+        # (through the finally, when present).
+        body_targets: List[Block] = list(handler_entries)
+        if not stmt.handlers or not _catches_everything(stmt.handlers):
+            if final_entry is not None:
+                body_targets.append(final_entry)
+            else:
+                body_targets.extend(escape_targets)
+
+        self._exc_targets.append(body_targets)
+        try_entry = self.cfg.new_block(label="try")
+        current.edge(try_entry, FALL)
+        body_end = self.seq(stmt.body, try_entry)
+        self._exc_targets.pop()
+
+        # Handler and orelse bodies run outside the try frame: an
+        # exception raised there escapes outward (through the finally).
+        outward = [final_entry] if final_entry is not None else escape_targets
+        self._exc_targets.append(outward)
+        normal_exit = final_entry if final_entry is not None else after
+        if body_end is not None and stmt.orelse:
+            body_end = self.seq(stmt.orelse, body_end)
+        if body_end is not None:
+            body_end.edge(normal_exit, FALL)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_end = self.seq(handler.body, entry)
+            if handler_end is not None:
+                handler_end.edge(normal_exit, FALL)
+        self._exc_targets.pop()
+
+        return after if self.cfg.predecessors(after) else None
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """CFG of one ``def`` / ``async def`` body."""
+    builder = _Builder()
+    end = builder.seq(list(fn.body), builder.cfg.entry)
+    if end is not None:
+        end.edge(builder.cfg.exit, FALL)
+    return builder.cfg

@@ -1,0 +1,75 @@
+"""A generic forward worklist solver over :mod:`.cfg` graphs.
+
+The lattice is fixed to the shape every flow rule here uses: a state is
+``dict[key, frozenset[token]]`` -- receiver name to the set of abstract
+facts that *may* hold for it -- and join is per-key set union. That
+makes every transfer monotone by construction and the fixpoint finite
+(keys and tokens are drawn from the program text), so the worklist
+terminates without widening.
+
+``edge_hook`` lets an analysis transform state as it travels an edge --
+the resource rules use it to mark facts that crossed an ``"exc"`` edge,
+so a leak can be reported as happening *on an exception path*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.analysis.dataflow.cfg import CFG, EXC, Block
+
+State = Dict[str, FrozenSet[str]]
+Transfer = Callable[[Block, State], State]
+EdgeHook = Callable[[State, str], State]
+
+
+def join(a: State, b: State) -> State:
+    """Per-key union of two states (may-analysis)."""
+    out = dict(a)
+    for key, tokens in b.items():
+        current = out.get(key)
+        out[key] = tokens if current is None else current | tokens
+    return out
+
+
+def states_equal(a: State, b: State) -> bool:
+    return a == b
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Transfer,
+    initial: Optional[State] = None,
+    edge_hook: Optional[EdgeHook] = None,
+    exc_transfer: Optional[Transfer] = None,
+) -> Dict[int, State]:
+    """Fixpoint block-entry states, keyed by block id.
+
+    ``transfer(block, in_state) -> out_state`` must not mutate its
+    input. ``edge_hook(out_state, edge_kind) -> state`` transforms the
+    state propagated along each outgoing edge (identity when omitted).
+
+    ``exc_transfer``, when given, replaces ``transfer`` along a block's
+    *exception* edges. The resource rules use it for optimistic
+    exception semantics: if the statement raised, obligations it would
+    have *created* (an acquire that failed) are assumed not created,
+    while obligations it *discharges* still count -- the combination
+    that keeps the canonical ``acquire(); try: ... finally: release()``
+    idiom quiet without missing real exception-path leaks.
+    """
+    in_states: Dict[int, State] = {cfg.entry.id: dict(initial or {})}
+    worklist = [cfg.entry]
+    while worklist:
+        block = worklist.pop()
+        state = in_states.get(block.id, {})
+        out = transfer(block, state)
+        out_exc = exc_transfer(block, state) if exc_transfer is not None else out
+        for successor, kind in block.succs:
+            chosen = out_exc if kind == EXC else out
+            propagated = edge_hook(chosen, kind) if edge_hook is not None else chosen
+            known = in_states.get(successor.id)
+            merged = propagated if known is None else join(known, propagated)
+            if known is None or not states_equal(known, merged):
+                in_states[successor.id] = merged
+                worklist.append(successor)
+    return in_states

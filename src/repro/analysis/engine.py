@@ -1,21 +1,37 @@
 """File collection and rule dispatch for ``morelint``.
 
-The engine is deliberately boring: expand paths to ``.py`` files, parse
-each into a :class:`~repro.analysis.context.FileContext`, hand the
-context to every selected rule, and return the accumulated findings
-sorted by location. All intelligence lives in the context (shared
-precomputation) and the rules (judgement).
+Since the flow-aware rules landed, a lint run has two phases:
+
+1. **Index.** Every file is parsed and digested into a picklable
+   :class:`~repro.analysis.project.FileSummary`; the merged
+   :class:`~repro.analysis.project.ProjectIndex` is the cross-module
+   symbol table (class hierarchies, parameter effects, policy sites)
+   the project-aware rules resolve against.
+2. **Lint.** Every file is parsed again into a
+   :class:`~repro.analysis.context.FileContext` carrying the index,
+   every selected rule runs over it, and inline ``# morelint:
+   disable=...`` pragmas filter the findings.
+
+Both phases are embarrassingly parallel; ``jobs > 1`` fans them out
+over a process pool (summaries and findings are plain data). The
+serial path parses each file once and reuses the context for both
+phases.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.context import FileContext
 from repro.analysis.model import Finding, Rule, Severity, all_rules
+from repro.analysis.project import FileSummary, ProjectIndex, summarize
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "node_modules"}
+
+# Below this many files the process-pool spin-up costs more than it
+# saves; the serial path also parses only once.
+_PARALLEL_THRESHOLD = 24
 
 
 def collect_files(paths: Sequence[str]) -> List[str]:
@@ -33,54 +49,151 @@ def collect_files(paths: Sequence[str]) -> List[str]:
     return sorted(out)
 
 
+def _parse_error_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule_id="MOR000",
+        severity=Severity.ERROR,
+        path=path,
+        line=exc.lineno or 1,
+        column=(exc.offset or 0) + 1,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _read_error_finding(path: str, exc: Exception) -> Finding:
+    return Finding(
+        rule_id="MOR000",
+        severity=Severity.ERROR,
+        path=path,
+        line=1,
+        column=1,
+        message=f"file is unreadable: {exc}",
+    )
+
+
+def _run_rules(
+    context: FileContext, rules: Optional[Iterable[Rule]]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(context):
+            if not context.is_suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    return findings
+
+
 def lint_source(
-    path: str, source: str, rules: Optional[Iterable[Rule]] = None
+    path: str,
+    source: str,
+    rules: Optional[Iterable[Rule]] = None,
+    project: Optional[ProjectIndex] = None,
 ) -> List[Finding]:
     """Lint one in-memory source buffer (the test entry point)."""
     try:
         context = FileContext(path, source)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id="MOR000",
-                severity=Severity.ERROR,
-                path=path,
-                line=exc.lineno or 1,
-                column=(exc.offset or 0) + 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    findings: List[Finding] = []
-    for rule in rules if rules is not None else all_rules():
-        findings.extend(rule.check(context))
+        return [_parse_error_finding(path, exc)]
+    context.project = project
+    findings = _run_rules(context, rules)
     findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
     return findings
 
 
+def _select_rules(select: Optional[Iterable[str]]) -> Optional[List[Rule]]:
+    if select is None:
+        return None
+    wanted = set(select)
+    return [rule for rule in all_rules() if rule.id in wanted]
+
+
+# -- process-pool workers (module-level for picklability) ----------------------
+
+
+def _summarize_worker(path: str):
+    """Phase 1 in a worker: path -> FileSummary | error Finding."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return _read_error_finding(path, exc)
+    try:
+        return summarize(FileContext(path, source))
+    except SyntaxError as exc:
+        return _parse_error_finding(path, exc)
+
+
+def _lint_worker(args: Tuple[str, Optional[Tuple[str, ...]], ProjectIndex]):
+    """Phase 2 in a worker: (path, select, index) -> findings."""
+    path, select, index = args
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [_read_error_finding(path, exc)]
+    try:
+        context = FileContext(path, source)
+    except SyntaxError as exc:
+        return [_parse_error_finding(path, exc)]
+    context.project = index
+    return _run_rules(context, _select_rules(select))
+
+
+def resolve_jobs(jobs: Optional[object], file_count: int) -> int:
+    """``--jobs`` semantics: ``auto``/None scales with the work."""
+    if jobs in (None, "auto"):
+        if file_count < _PARALLEL_THRESHOLD:
+            return 1
+        return max(1, min(8, (os.cpu_count() or 2) - 1))
+    count = int(jobs)  # raises on junk, matching argparse type=... usage
+    return max(1, count)
+
+
 def lint_paths(
-    paths: Sequence[str], select: Optional[Iterable[str]] = None
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    jobs: Optional[object] = None,
 ) -> List[Finding]:
     """Lint files/directories; ``select`` filters by rule id."""
-    chosen: Optional[List[Rule]] = None
-    if select is not None:
-        wanted = set(select)
-        chosen = [rule for rule in all_rules() if rule.id in wanted]
+    chosen = _select_rules(select)
+    files = collect_files(paths)
+    workers = resolve_jobs(jobs, len(files))
     findings: List[Finding] = []
-    for path in collect_files(paths):
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except (OSError, UnicodeDecodeError) as exc:
-            findings.append(
-                Finding(
-                    rule_id="MOR000",
-                    severity=Severity.ERROR,
-                    path=path,
-                    line=1,
-                    column=1,
-                    message=f"file is unreadable: {exc}",
-                )
-            )
-            continue
-        findings.extend(lint_source(path, source, rules=chosen))
+
+    if workers > 1 and len(files) >= 2:
+        select_tuple = tuple(select) if select is not None else None
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            summaries: List[FileSummary] = []
+            for result in pool.map(_summarize_worker, files, chunksize=8):
+                if isinstance(result, Finding):
+                    findings.append(result)
+                else:
+                    summaries.append(result)
+            index = ProjectIndex(summaries)
+            jobs_args = [(path, select_tuple, index) for path in files]
+            for file_findings in pool.map(_lint_worker, jobs_args, chunksize=8):
+                findings.extend(file_findings)
+        # Phase-2 workers re-parse unreadable/broken files and re-emit
+        # the same MOR000s phase 1 produced; collapse the duplicates.
+        findings = list(dict.fromkeys(findings))
+    else:
+        contexts: List[FileContext] = []
+        for path in files:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except (OSError, UnicodeDecodeError) as exc:
+                findings.append(_read_error_finding(path, exc))
+                continue
+            try:
+                contexts.append(FileContext(path, source))
+            except SyntaxError as exc:
+                findings.append(_parse_error_finding(path, exc))
+        index = ProjectIndex([summarize(context) for context in contexts])
+        for context in contexts:
+            context.project = index
+            findings.extend(_run_rules(context, chosen))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
     return findings

@@ -1,0 +1,133 @@
+"""Machine-readable renderings of ``morelint`` findings.
+
+Two formats besides the default text:
+
+* ``json`` -- a flat list of finding dicts, stable keys, for ad-hoc
+  tooling (``jq '.findings[] | select(.rule == "MOR009")'``).
+* ``sarif`` -- SARIF 2.1.0, the interchange format code hosts ingest
+  natively: CI uploads ``morelint.sarif`` and findings surface as
+  annotations on the offending lines of a pull request.
+
+Both renderers take the *post-baseline* finding split so consumers can
+distinguish fresh findings from accepted debt (SARIF
+``baselineState``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.model import Finding, Severity, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _finding_dict(finding: Finding, baselined: bool) -> Dict[str, object]:
+    return {
+        "rule": finding.rule_id,
+        "severity": finding.severity.value,
+        "path": finding.path,
+        "line": finding.line,
+        "column": finding.column,
+        "message": finding.message,
+        "fixable": finding.fixable,
+        "baselined": baselined,
+    }
+
+
+def render_json(
+    findings: Sequence[Finding], baselined: Optional[Set[int]] = None
+) -> str:
+    """``baselined`` holds indices into ``findings`` that are accepted."""
+    marked = baselined or set()
+    payload = {
+        "tool": "morelint",
+        "findings": [
+            _finding_dict(finding, index in marked)
+            for index, finding in enumerate(findings)
+        ],
+        "summary": {
+            "errors": sum(
+                1 for f in findings if f.severity is Severity.ERROR
+            ),
+            "warnings": sum(
+                1 for f in findings if f.severity is Severity.WARNING
+            ),
+        },
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def _sarif_rules() -> List[Dict[str, object]]:
+    rules = []
+    for rule in all_rules():
+        rules.append(
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "help": {"text": rule.autofix_hint},
+                "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+            }
+        )
+    return rules
+
+
+def render_sarif(
+    findings: Sequence[Finding], baselined: Optional[Set[int]] = None
+) -> str:
+    marked = baselined or set()
+    rules = _sarif_rules()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, object]] = []
+    for index, finding in enumerate(findings):
+        result: Dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": _LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column,
+                        },
+                    }
+                }
+            ],
+            "baselineState": "unchanged" if index in marked else "new",
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "morelint",
+                        "informationUri": (
+                            "https://github.com/morena/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+RENDERERS = {"json": render_json, "sarif": render_sarif}

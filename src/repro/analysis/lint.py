@@ -5,13 +5,22 @@
     python -m repro.analysis.lint src examples benchmarks
     python -m repro.analysis.lint --select MOR001,MOR003 path/to/app.py
     python -m repro.analysis.lint --fix path/to/app.py
+    python -m repro.analysis.lint src --format sarif --output morelint.sarif
+    python -m repro.analysis.lint src --baseline .morelint-baseline.json
     python -m repro.analysis.lint --list-rules
 
 Exit codes: ``0`` clean (warnings allowed), ``1`` at least one
-error-severity finding -- the contract the CI lint gate relies on.
+**new** error-severity finding -- errors matched by ``--baseline`` are
+accepted debt and reported without failing. ``--write-baseline``
+freezes the current findings into the baseline file.
+
 ``--fix`` applies the mechanical edits fixable findings carry (see
 :mod:`repro.analysis.autofix`), rewrites the files, then re-lints and
 reports -- and exits on -- whatever remains.
+
+``--format json|sarif`` renders machine-readable output; with
+``--output FILE`` the rendering goes to the file and the text report
+stays on stdout (CI uploads the SARIF while humans read the log).
 Also reachable as ``python -m repro.cli lint ...``.
 """
 
@@ -19,10 +28,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
+from repro.analysis import baseline as baseline_mod
 from repro.analysis.autofix import fix_source
 from repro.analysis.engine import lint_paths
+from repro.analysis.formats import RENDERERS
 from repro.analysis.model import Finding, Severity, all_rules
 
 
@@ -47,6 +58,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--fix",
         action="store_true",
         help="apply mechanical fixes in place, then re-lint the paths",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        help="write the json/sarif rendering to this file "
+        "(text report still goes to stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file of accepted findings; matched errors do "
+        "not fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="freeze the current findings into the baseline file "
+        f"(default {baseline_mod.DEFAULT_BASELINE}) and exit 0",
+    )
+    parser.add_argument(
+        "--jobs",
+        default="auto",
+        help="worker processes for the analysis (N, or 'auto')",
     )
     parser.add_argument(
         "--list-rules",
@@ -75,21 +114,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.select
         else None
     )
-    findings = lint_paths(args.paths, select=select)
+    findings = lint_paths(args.paths, select=select, jobs=args.jobs)
     if args.fix:
         fixed = _apply_fixes(findings)
         if fixed:
-            findings = lint_paths(args.paths, select=select)
+            findings = lint_paths(args.paths, select=select, jobs=args.jobs)
         print(f"morelint: applied {fixed} fix(es)")
-    for finding in findings:
-        print(finding.format(show_hint=not args.no_hints))
+
+    baseline_path = args.baseline or baseline_mod.DEFAULT_BASELINE
+    if args.write_baseline:
+        count = baseline_mod.save(baseline_path, findings)
+        print(f"morelint: wrote {count} finding(s) to {baseline_path}")
+        return 0
+    known = baseline_mod.load(args.baseline) if args.baseline else set()
+    baselined_indices: Set[int] = {
+        index
+        for index, finding in enumerate(findings)
+        if baseline_mod.fingerprint(finding) in known
+    }
+
+    rendered = None
+    if args.fmt != "text":
+        rendered = RENDERERS[args.fmt](findings, baselined_indices)
+    if rendered is not None and args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    if rendered is not None and not args.output:
+        print(rendered, end="")
+    else:
+        for finding in findings:
+            print(finding.format(show_hint=not args.no_hints))
     errors = sum(1 for f in findings if f.severity is Severity.ERROR)
     warnings = len(findings) - errors
-    print(
+    new_errors = sum(
+        1
+        for index, f in enumerate(findings)
+        if f.severity is Severity.ERROR and index not in baselined_indices
+    )
+    summary = (
         f"morelint: {errors} error(s), {warnings} warning(s) "
         f"across {len(args.paths)} path(s)"
     )
-    return 1 if errors else 0
+    if errors != new_errors:
+        summary += f" ({errors - new_errors} baselined error(s) accepted)"
+    # Keep stdout pure when it carries the machine rendering.
+    machine_stdout = rendered is not None and not args.output
+    print(summary, file=sys.stderr if machine_stdout else sys.stdout)
+    return 1 if new_errors else 0
 
 
 def _apply_fixes(findings: List[Finding]) -> int:

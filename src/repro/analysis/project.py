@@ -1,0 +1,327 @@
+"""Cross-module facts for ``morelint``'s project-aware rules.
+
+A :class:`FileSummary` is the *picklable* digest of one parsed file --
+no AST nodes, just names, lines and effect tuples -- so the engine can
+build summaries in worker processes and broadcast the merged
+:class:`ProjectIndex` back out for the lint phase.
+
+What the flow rules pull from here:
+
+* **Parameter effects** (MOR008): ``def retire(ref): ref.stop()``
+  summarizes as "halts parameter 0", so a caller's ``retire(r)`` seeds
+  the same halted state a literal ``r.stop()`` would -- the lightweight
+  call graph that lets use-after-halt cross function and module
+  boundaries.
+* **Class lock disciplines** (MOR011): which attributes a class (or,
+  via the base-name hierarchy, its ancestors) writes while holding a
+  lock -- so a subclass in another file writing the same attribute
+  bare is a lockset violation.
+* **Policy sites** (MOR012): every call site pinning a distribution-
+  policy knob (``coalesce=`` / ``tx_policy=`` / retry knobs) to a
+  literal, counted project-wide to detect scattering.
+
+Resolution is name-based like the rest of morelint: a bare call
+resolves to the same-file function first, then to a project-wide
+function of that name when exactly one exists. Ambiguity resolves to
+"no effect" -- silence over noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.context import FileContext, tail_name
+
+# Receiver/attribute names that smell like a mutual-exclusion guard.
+LOCKISH_MARKS = ("lock", "mutex", "monitor")
+
+# Distribution-policy keywords that belong in a policy object when they
+# recur across call sites (MOR012).
+POLICY_KEYWORDS = frozenset(
+    {"coalesce", "tx_policy", "retry", "retries", "retry_policy", "max_retries", "backoff"}
+)
+
+# Calls that *are* the consolidated policy object -- configuring one of
+# these is the fix, not the smell.
+_POLICY_CONSTRUCTORS = ("policy",)
+
+
+def is_lockish(name: str) -> bool:
+    lowered = name.lower()
+    return any(mark in lowered for mark in LOCKISH_MARKS)
+
+
+@dataclass(frozen=True)
+class ParamEffect:
+    """Which positional parameters a function halts / releases."""
+
+    halts: Tuple[int, ...] = ()
+    releases: Tuple[int, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.halts or self.releases)
+
+
+@dataclass(frozen=True)
+class PolicySite:
+    flag: str
+    line: int
+    function: str  # enclosing function qualname, or "<module>"
+
+
+@dataclass
+class ClassSummary:
+    name: str
+    bases: Tuple[str, ...]
+    # attribute -> lock names it is written under somewhere in this class
+    locked_attrs: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+@dataclass
+class FileSummary:
+    path: str
+    # "fn" or "Class.method" -> effect (only non-empty effects stored)
+    param_effects: Dict[str, ParamEffect] = field(default_factory=dict)
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+    policy_sites: List[PolicySite] = field(default_factory=list)
+
+
+# -- extraction ----------------------------------------------------------------
+
+
+def _own_body_walk(fn: ast.AST):
+    """Nodes of ``fn``'s body, excluding nested function/lambda bodies."""
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _param_effect(fn: ast.AST, skip_self: bool) -> ParamEffect:
+    args = fn.args
+    names = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+    if skip_self and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    if not names:
+        return ParamEffect()
+    index = {name: i for i, name in enumerate(names)}
+    halts: Set[int] = set()
+    releases: Set[int] = set()
+    for node in _own_body_walk(fn):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        receiver = node.func.value
+        if not isinstance(receiver, ast.Name) or receiver.id not in index:
+            continue
+        verb = node.func.attr
+        if verb in ("stop", "halt"):
+            halts.add(index[receiver.id])
+        elif verb == "release":
+            releases.add(index[receiver.id])
+    return ParamEffect(tuple(sorted(halts)), tuple(sorted(releases)))
+
+
+def lock_names_held_at(context: FileContext, node: ast.AST) -> Tuple[str, ...]:
+    """Names of lock-smelling ``with`` contexts enclosing ``node``."""
+    held: List[str] = []
+    current = context.parent(node)
+    while current is not None:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            for item in current.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):  # with lock.acquire_timeout(...)
+                    expr = expr.func
+                name = tail_name(expr)
+                if name and is_lockish(name):
+                    held.append(name)
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            break  # a lock held by an enclosing *function* is not ours
+        current = context.parent(current)
+    return tuple(held)
+
+
+def _self_attr_writes(method: ast.AST):
+    """(attr, node) for every ``self.attr`` assignment in ``method``."""
+    for node in _own_body_walk(method):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield target.attr, node
+
+
+def _class_summary(context: FileContext, node: ast.ClassDef) -> ClassSummary:
+    summary = ClassSummary(
+        name=node.name, bases=tuple(tail_name(base) for base in node.bases)
+    )
+    locked: Dict[str, Set[str]] = {}
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for attr, write in _self_attr_writes(item):
+            locks = lock_names_held_at(context, write)
+            if locks:
+                locked.setdefault(attr, set()).update(locks)
+    summary.locked_attrs = {
+        attr: tuple(sorted(names)) for attr, names in locked.items()
+    }
+    return summary
+
+
+def _is_policy_constructor(call: ast.Call) -> bool:
+    name = tail_name(call.func).lower()
+    return any(mark in name for mark in _POLICY_CONSTRUCTORS)
+
+
+def _enclosing_function_name(context: FileContext, node: ast.AST) -> str:
+    fn = context.enclosing_function(node)
+    if fn is None:
+        return "<module>"
+    if isinstance(fn, ast.Lambda):
+        return f"<lambda:{fn.lineno}>"
+    klass = context.enclosing_class(fn)
+    return f"{klass.name}.{fn.name}" if klass is not None else fn.name
+
+
+def _policy_sites(context: FileContext) -> List[PolicySite]:
+    sites: List[PolicySite] = []
+    for call in context.calls:
+        if _is_policy_constructor(call):
+            continue
+        for keyword in call.keywords:
+            if keyword.arg not in POLICY_KEYWORDS:
+                continue
+            # Only *literal* pins count: forwarding a parameter
+            # (``coalesce=coalesce``) or an attribute of a policy
+            # object is already parameterized.
+            if not isinstance(keyword.value, ast.Constant):
+                continue
+            sites.append(
+                PolicySite(
+                    flag=keyword.arg,
+                    line=call.lineno,
+                    function=_enclosing_function_name(context, call),
+                )
+            )
+    return sites
+
+
+def summarize(context: FileContext) -> FileSummary:
+    """Digest one parsed file into its picklable cross-module facts."""
+    summary = FileSummary(path=context.path)
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.ClassDef):
+            summary.classes[node.name] = _class_summary(context, node)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    effect = _param_effect(item, skip_self=True)
+                    if effect:
+                        summary.param_effects[f"{node.name}.{item.name}"] = effect
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if context.enclosing_class(node) is None:
+                effect = _param_effect(node, skip_self=False)
+                if effect:
+                    summary.param_effects.setdefault(node.name, effect)
+    summary.policy_sites = _policy_sites(context)
+    return summary
+
+
+def get_summary(context: FileContext) -> FileSummary:
+    """The file's own summary: from the project index when the engine
+    attached one, otherwise computed (and cached) on the context."""
+    project = getattr(context, "project", None)
+    if project is not None:
+        known = project.files.get(context.path)
+        if known is not None:
+            return known
+    cached = getattr(context, "_local_summary", None)
+    if cached is None:
+        cached = summarize(context)
+        context._local_summary = cached
+    return cached
+
+
+# -- the merged index ----------------------------------------------------------
+
+
+class ProjectIndex:
+    """Every file's summary plus merged cross-module resolution."""
+
+    def __init__(self, summaries: List[FileSummary]) -> None:
+        self.files: Dict[str, FileSummary] = {s.path: s for s in summaries}
+        # tail name -> effects seen project-wide (for unique resolution)
+        self._fn_effects: Dict[str, List[ParamEffect]] = {}
+        self._classes: Dict[str, List[ClassSummary]] = {}
+        for summary in summaries:
+            for qualname, effect in summary.param_effects.items():
+                tail = qualname.rsplit(".", 1)[-1]
+                self._fn_effects.setdefault(tail, []).append(effect)
+                if "." in qualname:
+                    self._fn_effects.setdefault(qualname, []).append(effect)
+            for name, klass in summary.classes.items():
+                self._classes.setdefault(name, []).append(klass)
+
+    def function_effect(
+        self, name: str, local: Optional[FileSummary] = None
+    ) -> Optional[ParamEffect]:
+        """Effect of calling ``name``: same-file match first, then the
+        unique project-wide match; ambiguity resolves to ``None``."""
+        if local is not None and name in local.param_effects:
+            return local.param_effects[name]
+        candidates = self._fn_effects.get(name, [])
+        if len(set(candidates)) == 1:
+            return candidates[0]
+        return None
+
+    def class_locked_attrs(
+        self, class_name: str, _seen: Optional[Set[str]] = None
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Lock-guarded attributes of ``class_name`` merged over its
+        transitive (name-resolved) base classes."""
+        seen = _seen if _seen is not None else set()
+        if class_name in seen:
+            return {}
+        seen.add(class_name)
+        merged: Dict[str, Tuple[str, ...]] = {}
+        for klass in self._classes.get(class_name, []):
+            for attr, locks in klass.locked_attrs.items():
+                merged.setdefault(attr, locks)
+            for base in klass.bases:
+                for attr, locks in self.class_locked_attrs(base, seen).items():
+                    merged.setdefault(attr, locks)
+        return merged
+
+    def policy_scatter(self) -> Tuple[int, int, Dict[str, int]]:
+        """(total sites, distinct functions, per-flag counts) project-wide."""
+        functions: Set[Tuple[str, str]] = set()
+        per_flag: Dict[str, int] = {}
+        total = 0
+        for summary in self.files.values():
+            for site in summary.policy_sites:
+                total += 1
+                functions.add((summary.path, site.function))
+                per_flag[site.flag] = per_flag.get(site.flag, 0) + 1
+        return total, len(functions), per_flag
+
+
+def index_for(context: FileContext) -> ProjectIndex:
+    """The engine-attached project index, or a single-file index built
+    from the context alone (the ``lint_source`` / unit-test path)."""
+    project = getattr(context, "project", None)
+    if project is not None:
+        return project
+    return ProjectIndex([get_summary(context)])

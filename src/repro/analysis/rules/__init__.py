@@ -4,6 +4,11 @@ Importing this package registers every rule with the global registry in
 :mod:`repro.analysis.model`. A rule module exposes a module-level
 ``RULE`` built via ``model.register(Rule(...))`` -- adding a rule is
 adding a module here and importing it below.
+
+MOR001-MOR007 are syntactic (per-node pattern matches over the file
+context); MOR008-MOR012 are flow- and project-aware, built on the
+dataflow core (:mod:`repro.analysis.dataflow`) and the cross-module
+index (:mod:`repro.analysis.project`).
 """
 
 from repro.analysis.rules import (  # noqa: F401 - imported for registration
@@ -14,6 +19,11 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     mor005_coalesced_guarded_writes,
     mor006_off_looper_capture,
     mor007_blocking_in_async,
+    mor008_use_after_halt,
+    mor009_lease_pairing,
+    mor010_coalesce_fence,
+    mor011_lockset,
+    mor012_policy_scatter,
 )
 
 ALL_RULE_MODULES = (
@@ -24,4 +34,9 @@ ALL_RULE_MODULES = (
     mor005_coalesced_guarded_writes,
     mor006_off_looper_capture,
     mor007_blocking_in_async,
+    mor008_use_after_halt,
+    mor009_lease_pairing,
+    mor010_coalesce_fence,
+    mor011_lockset,
+    mor012_policy_scatter,
 )

@@ -26,7 +26,7 @@ coalescing rule and a merge key there silently does nothing.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List
+from typing import Iterator, List, Optional, Tuple
 
 from repro.analysis.autofix import drop_keyword_edit, set_keyword_value_edit
 from repro.analysis.context import FileContext, call_name, get_keyword, tail_name
@@ -36,13 +36,47 @@ _RAW_OR_LOCKED = frozenset({"write_raw", "read_raw", "make_read_only", "format"}
 _COALESCIBLE = frozenset({"write", "save_async"})
 _GUARDISH = ("lease", "lock", "keeper")
 
+# The future-returning spellings of the same operations: a bare
+# ``write_raw_future(ref, msg, ...)`` is the identical radio operation
+# as ``ref.write_raw(msg, ...)`` and ``await ref.aio.write_raw(msg)``.
+_FUTURE_SPELLINGS = {
+    "write_raw_future": "write_raw",
+    "read_raw_future": "read_raw",
+    "lock_future": "make_read_only",
+    "format_future": "format",
+    "write_future": "write",
+}
+
+
+def recognize_raw_write(call: ast.Call) -> Tuple[Optional[str], str]:
+    """One recognizer for every spelling of the tag-write API.
+
+    Returns ``(canonical_method, receiver_expr)`` -- the canonical
+    method name (``write_raw``/``write``/...) and the source-ish name
+    of the tag reference it targets -- or ``(None, "")`` when the call
+    is not part of the API. Handles ``ref.write_raw(...)``,
+    ``ref.aio.write_raw(...)`` (same attribute shape) and the bare
+    ``write_raw_future(ref, ...)`` family.
+    """
+    if isinstance(call.func, ast.Attribute):
+        method = call.func.attr
+        if method in _RAW_OR_LOCKED or method in _COALESCIBLE:
+            return method, call_name(call.func.value)
+        return None, ""
+    name = tail_name(call.func)
+    method = _FUTURE_SPELLINGS.get(name)
+    if method is None:
+        return None, ""
+    receiver = call_name(call.args[0]) if call.args else ""
+    return method, receiver
+
 
 def check(context: FileContext) -> Iterator[Finding]:
     findings: List[Finding] = []
     for call in context.calls:
-        if not isinstance(call.func, ast.Attribute):
+        method, receiver_name = recognize_raw_write(call)
+        if method is None:
             continue
-        method = tail_name(call.func)
         keyword = get_keyword(call, "coalesce")
         if (
             keyword is not None
@@ -64,14 +98,14 @@ def check(context: FileContext) -> Iterator[Finding]:
                     )
                 )
             elif method in _COALESCIBLE:
-                receiver = call_name(call.func.value).lower()
+                receiver = receiver_name.lower()
                 if any(mark in receiver for mark in _GUARDISH):
                     findings.append(
                         RULE.finding(
                             context,
                             call,
                             f"coalesce=True on {method}() through "
-                            f"{call_name(call.func.value)!r}: lease/lock "
+                            f"{receiver_name!r}: lease/lock "
                             "records must respect the guard protocol, not "
                             "the generic tail merge",
                             # save_async coalesces by default, so merely

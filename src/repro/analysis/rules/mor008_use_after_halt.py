@@ -1,0 +1,152 @@
+"""MOR008: using a reference after halting it, or a lease after release.
+
+``TagReference.stop()`` tears the reference's event loop down; every
+subsequent operation on it is dead code at best and a hang at worst
+(the posted transaction never drains). Likewise a released lease is
+gone: renewing or writing under it re-guards nothing.
+
+This is the first *flow-sensitive* morelint rule: the dataflow core
+tracks "halted"/"released" state per receiver along every path, so
+
+* a halt inside one ``if`` branch taints only that branch -- re-binding
+  the name or halting *after* the last use stays silent, and
+* the halt may happen in a *different function*: ``retire(ref)`` whose
+  body calls ``ref.stop()`` seeds the same state at the call site, via
+  the project index's parameter-effect summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.analysis.context import FileContext, tail_name
+from repro.analysis.dataflow import ResourceAnalysis, receiver_key
+from repro.analysis.dataflow.resources import dotted_name, token_kind, token_line
+from repro.analysis.model import Finding, Rule, Severity, register
+from repro.analysis.project import get_summary, index_for, is_lockish
+
+_HALT_VERBS = frozenset({"stop", "halt"})
+# Operations that require a live reference / lease.
+_USE_VERBS = frozenset(
+    {
+        "read",
+        "write",
+        "read_raw",
+        "write_raw",
+        "make_read_only",
+        "format",
+        "save_async",
+        "refresh_async",
+        "broadcast",
+        "renew",
+        "write_guarded",
+    }
+)
+_GUARDISH = ("lease", "lock", "keeper", "guard")
+
+
+def _guardish(name: str) -> bool:
+    lowered = name.lower()
+    return is_lockish(lowered) or any(mark in lowered for mark in _GUARDISH)
+
+
+def _classify_for(context: FileContext):
+    index = index_for(context)
+    local = get_summary(context)
+
+    def classify(call: ast.Call) -> Iterable[Tuple[str, ...]]:
+        if isinstance(call.func, ast.Attribute):
+            verb = call.func.attr
+            key = receiver_key(call)
+            if not key:
+                return
+            if verb in _HALT_VERBS:
+                yield ("seed", key, "halted")
+                return
+            if verb == "release" and _guardish(key):
+                yield ("seed", key, "released")
+                return
+            if verb == "acquire":
+                yield ("clear", key)
+                return
+            if verb in _USE_VERBS:
+                yield ("use", key)
+                return
+            # ``self.retire(ref)`` -- a method of this class may halt
+            # its argument; fall through to the effect lookup.
+            if key != "self":
+                return
+            effect = index.function_effect(verb, local)
+        else:
+            name = tail_name(call.func)
+            if not name:
+                return
+            effect = index.function_effect(name, local)
+        if effect is None:
+            return
+        for position in effect.halts:
+            if position < len(call.args):
+                arg = dotted_name(call.args[position])
+                if arg:
+                    yield ("seed", arg, "halted")
+        for position in effect.releases:
+            if position < len(call.args):
+                arg = dotted_name(call.args[position])
+                if arg:
+                    yield ("seed", arg, "released")
+
+    return classify
+
+
+def check(context: FileContext) -> Iterator[Finding]:
+    analysis = ResourceAnalysis(_classify_for(context))
+    findings: List[Finding] = []
+    seen: set = set()
+    for fn in ast.walk(context.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        result = analysis.run(fn)
+        for use in result.uses:
+            # Earliest seed per kind tells the cleanest story.
+            lines: Dict[str, int] = {}
+            for token in use.tokens:
+                kind = token_kind(token)
+                line = token_line(token)
+                if kind not in lines or line < lines[kind]:
+                    lines[kind] = line
+            for kind in sorted(lines):
+                at = (use.call.lineno, use.call.col_offset, use.key, kind)
+                if at in seen:
+                    continue
+                seen.add(at)
+                what = tail_name(use.call.func)
+                if kind == "halted":
+                    message = (
+                        f"{use.key}.{what}() may run after {use.key} was "
+                        f"halted at line {lines[kind]}; a stopped reference "
+                        "never drains its transaction queue"
+                    )
+                else:
+                    message = (
+                        f"{use.key}.{what}() may run after {use.key} was "
+                        f"released at line {lines[kind]}; a released lease "
+                        "guards nothing -- re-acquire first"
+                    )
+                findings.append(RULE.finding(context, use.call, message))
+    return iter(findings)
+
+
+RULE = register(
+    Rule(
+        id="MOR008",
+        name="use-after-halt",
+        severity=Severity.ERROR,
+        summary="operation on a halted reference or released lease (flow-sensitive)",
+        autofix_hint=(
+            "move the stop()/release() after the last use, or re-acquire "
+            "before reusing the guard"
+        ),
+        check=check,
+    )
+)

@@ -1,0 +1,244 @@
+"""MOR009: a lease acquired on some path but not released on every path.
+
+``manager.acquire(...)`` pins a guard record onto the tag; until a
+matching ``release()`` (or ``renew()``) the tag rejects other writers.
+Forgetting the release on *any* path -- an early ``return``, a caught
+exception -- wedges the tag until the lease expires on its own.
+
+The dataflow core runs with exception edges enabled, so the rule can
+distinguish "never released" from "not released on an exception path"
+(the classic ``acquire(); work(); release()`` without a ``finally``).
+
+Deliberately out of scope (escape analysis, syntactic):
+
+* a lease handle that escapes the function (``return h``, ``self.h =
+  h``, passed to another call) is someone else's responsibility;
+* ``with manager.acquire(...):`` -- the context manager releases;
+* callback-style ``acquire(tag, on_acquired=done)`` where ``done``
+  releases or renews (or cannot be resolved locally);
+* a manager received as a *parameter* that this function never
+  releases anywhere -- the caller owns the lifecycle (the ``async``
+  facade's ``acquire()`` helper is the canonical case). A function
+  *owns* the pairing -- and is checked -- when it creates the manager
+  locally, or when it releases/renews it on at least one path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.analysis.context import (
+    FileContext,
+    is_none,
+    tail_name,
+)
+from repro.analysis.dataflow import ResourceAnalysis
+from repro.analysis.dataflow.resources import (
+    token_exceptional,
+    token_kind,
+    token_line,
+)
+from repro.analysis.model import Finding, Rule, Severity, register
+from repro.analysis.project import is_lockish
+
+_GUARDISH = ("lease", "lock", "keeper", "guard", "manager", "mgr")
+_ACQUIRED_KEYWORDS = ("on_acquired", "on_granted", "on_success")
+_BALANCE_VERBS = frozenset({"release", "renew"})
+
+
+def _guardish(name: str) -> bool:
+    lowered = name.lower()
+    return is_lockish(lowered) or any(mark in lowered for mark in _GUARDISH)
+
+
+def _own_walk(fn: ast.AST):
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _escaped_names(fn: ast.AST) -> Set[str]:
+    """Bare names whose lease obligations leave this function."""
+    escaped: Set[str] = set()
+    for node in _own_walk(fn):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if isinstance(node.value, ast.Name):
+                escaped.add(node.value.id)
+        elif isinstance(node, ast.Assign):
+            # Stored onto an object (``self.lease = h``): outlives us.
+            if any(isinstance(t, ast.Attribute) for t in node.targets):
+                if isinstance(node.value, ast.Name):
+                    escaped.add(node.value.id)
+        elif isinstance(node, ast.Call):
+            # Passed whole to another callable (not as the receiver).
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    escaped.add(arg.id)
+            for keyword in node.keywords:
+                if isinstance(keyword.value, ast.Name):
+                    escaped.add(keyword.value.id)
+    return escaped
+
+
+def _param_names(fn: ast.AST) -> Set[str]:
+    args = fn.args
+    names = [a.arg for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return set(names)
+
+
+def _released_receivers(fn: ast.AST) -> Set[str]:
+    """Receivers of release/renew anywhere in ``fn``, nested bodies
+    included -- the syntactic ownership signal."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BALANCE_VERBS
+            and isinstance(node.func.value, ast.Name)
+        ):
+            out.add(node.func.value.id)
+    return out
+
+
+def _with_managed_calls(fn: ast.AST) -> Set[int]:
+    """ids of calls used as ``with`` context expressions."""
+    managed: Set[int] = set()
+    for node in _own_walk(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    managed.add(id(item.context_expr))
+    return managed
+
+
+def _callback_balances(
+    context: FileContext, call: ast.Call, receiver: str
+) -> Tuple[bool, bool]:
+    """(has_callback, callback_balances_the_lease).
+
+    A callback that cannot be resolved locally counts as balancing --
+    silence over noise.
+    """
+    values: List[ast.AST] = []
+    for keyword in call.keywords:
+        if keyword.arg in _ACQUIRED_KEYWORDS and not is_none(keyword.value):
+            values.append(keyword.value)
+    for arg in call.args:
+        if isinstance(arg, ast.Lambda):
+            values.append(arg)
+    if not values:
+        return False, False
+    for value in values:
+        resolved = context.resolve_callable(value, call)
+        if resolved is None:
+            return True, True  # unknown callee: assume it balances
+        body = resolved.body if isinstance(resolved.body, list) else [resolved.body]
+        for node in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BALANCE_VERBS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == receiver
+            ):
+                return True, True
+    return True, False
+
+
+def _classify_for(context: FileContext, fn: ast.AST):
+    escaped = _escaped_names(fn)
+    managed = _with_managed_calls(fn)
+    params = _param_names(fn)
+    released = _released_receivers(fn)
+
+    def classify(call: ast.Call) -> Iterable[Tuple[str, ...]]:
+        if not isinstance(call.func, ast.Attribute):
+            return
+        if not isinstance(call.func.value, ast.Name):
+            return
+        receiver = call.func.value.id
+        verb = call.func.attr
+        if verb == "acquire":
+            if (
+                not _guardish(receiver)
+                or receiver in escaped
+                or id(call) in managed
+            ):
+                return
+            if receiver in params and receiver not in released:
+                return  # caller-owned lifecycle
+            has_callback, balances = _callback_balances(context, call, receiver)
+            if has_callback and balances:
+                return
+            yield ("seed", receiver, "held")
+        elif verb in _BALANCE_VERBS:
+            yield ("clear", receiver)
+
+    return classify
+
+
+def check(context: FileContext) -> Iterator[Finding]:
+    findings: List[Finding] = []
+    for fn in ast.walk(context.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        analysis = ResourceAnalysis(
+            _classify_for(context, fn), mark_exceptional=True
+        )
+        result = analysis.run(fn)
+        # line -> (key, saw_normal_leak, saw_exceptional_leak)
+        leaks: Dict[int, Tuple[str, bool, bool]] = {}
+        for key, tokens in result.exit_state.items():
+            for token in tokens:
+                if token_kind(token) != "held":
+                    continue
+                line = token_line(token)
+                _, normal, exceptional = leaks.get(line, (key, False, False))
+                if token_exceptional(token):
+                    exceptional = True
+                else:
+                    normal = True
+                leaks[line] = (key, normal, exceptional)
+        for line in sorted(leaks):
+            key, normal, exceptional = leaks[line]
+            anchor = ast.Name(id=key)
+            anchor.lineno = line
+            anchor.col_offset = 0
+            if normal:
+                message = (
+                    f"lease acquired on {key!r} here is not released (or "
+                    "renewed) on every path -- an early return leaks the "
+                    "guard record onto the tag"
+                )
+            else:
+                message = (
+                    f"lease acquired on {key!r} here leaks on an exception "
+                    "path -- release it in a finally block"
+                )
+            findings.append(RULE.finding(context, anchor, message))
+    return iter(findings)
+
+
+RULE = register(
+    Rule(
+        id="MOR009",
+        name="lease-pairing",
+        severity=Severity.ERROR,
+        summary="acquire without release/renew on every path (incl. exceptions)",
+        autofix_hint=(
+            "release the lease in a finally block, or hand it to a callback "
+            "/ context manager that does"
+        ),
+        check=check,
+    )
+)

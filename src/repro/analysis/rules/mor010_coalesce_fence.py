@@ -1,0 +1,125 @@
+"""MOR010: reading a tag that still has an unfenced coalesced write queued.
+
+A coalesced write (``write(..., coalesce=True)``, or ``save_async()``
+which coalesces by default) is *deferred*: the reference layer may merge
+it with later writes and flush at its leisure. Reading the same tag
+straight afterwards races that queue -- the read can observe the
+pre-write payload and the program then acts on stale state.
+
+The fences that make the follow-up read well-ordered:
+
+* a success listener on the write (``on_written=`` / ``on_saved=``) --
+  re-read from inside it;
+* ``coalesce=False`` -- the write is synchronous in queue order;
+* a raw write (``write_raw``) -- raw operations flush the queue.
+
+Flow-sensitivity earns its keep here: the hazard only exists on paths
+where the queued write is still pending, so a read in the *other*
+branch of an ``if``, or after a fencing ``write_raw``, stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.analysis.context import (
+    FileContext,
+    SUCCESS_KEYWORDS,
+    get_keyword,
+    is_none,
+    tail_name,
+)
+from repro.analysis.dataflow import ResourceAnalysis, receiver_key
+from repro.analysis.dataflow.resources import token_line
+from repro.analysis.model import Finding, Rule, Severity, register
+
+_READS = frozenset({"read", "read_raw", "refresh_async"})
+
+
+def _coalesce_value(call: ast.Call):
+    keyword = get_keyword(call, "coalesce")
+    if keyword is None or not isinstance(keyword.value, ast.Constant):
+        return None
+    return bool(keyword.value.value)
+
+
+def _has_success_listener(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg in SUCCESS_KEYWORDS and not is_none(keyword.value):
+            return True
+    # Positional listener slots: write(payload, on_written, ...) --
+    # anything callable-looking after the payload counts.
+    for arg in call.args:
+        if isinstance(arg, ast.Lambda):
+            return True
+        name = tail_name(arg)
+        if name.lower().startswith("on_"):
+            return True
+    return False
+
+
+def _classify(call: ast.Call) -> Iterable[Tuple[str, ...]]:
+    if not isinstance(call.func, ast.Attribute):
+        return
+    key = receiver_key(call)
+    if not key:
+        return
+    verb = call.func.attr
+    if verb == "write":
+        coalesce = _coalesce_value(call)
+        if coalesce and not _has_success_listener(call):
+            yield ("seed", key, "coalesced")
+        else:
+            # coalesce=False or a listener: this write fences the queue.
+            yield ("clear", key)
+    elif verb == "save_async":
+        if _coalesce_value(call) is False or _has_success_listener(call):
+            yield ("clear", key)
+        else:
+            yield ("seed", key, "coalesced")
+    elif verb == "write_raw":
+        yield ("clear", key)
+    elif verb in _READS:
+        yield ("use", key)
+
+
+def check(context: FileContext) -> Iterator[Finding]:
+    analysis = ResourceAnalysis(_classify)
+    findings: List[Finding] = []
+    seen: set = set()
+    for fn in ast.walk(context.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for use in analysis.run(fn).uses:
+            queued = min(token_line(token) for token in use.tokens)
+            at = (use.call.lineno, use.call.col_offset, use.key)
+            if at in seen:
+                continue
+            seen.add(at)
+            what = tail_name(use.call.func)
+            findings.append(
+                RULE.finding(
+                    context,
+                    use.call,
+                    f"{use.key}.{what}() races the coalesced write queued "
+                    f"at line {queued} -- read from its on_written/on_saved "
+                    "listener, or pass coalesce=False",
+                )
+            )
+    return iter(findings)
+
+
+RULE = register(
+    Rule(
+        id="MOR010",
+        name="coalesce-fence",
+        severity=Severity.WARNING,
+        summary="read racing an unfenced coalesced write on the same tag",
+        autofix_hint=(
+            "re-read from the write's success listener, or order the pair "
+            "explicitly with coalesce=False / write_raw"
+        ),
+        check=check,
+    )
+)

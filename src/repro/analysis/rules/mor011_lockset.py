@@ -1,0 +1,146 @@
+"""MOR011: an attribute locked in one place, written bare in another.
+
+The static half of an Eraser-style lockset check. If *any* method of a
+class (or of a base class, resolved through the project index across
+files) writes ``self.attr`` while holding a lock, that attribute has a
+declared discipline: it is shared state. A bare write to the same
+attribute from a method reachable off a listener / looper / coroutine
+entry point is then a candidate race -- two NFC callbacks interleave
+and the unguarded write tears the invariant the lock was bought for.
+
+Precision carve-outs (the difference between a lint rule and noise):
+
+* constructor-ish methods (``__init__``, ``on_create``, ``setUp``...)
+  publish nothing -- no other thread holds the object yet;
+* methods *not* reachable from any concurrent entry point (listener
+  method, thread target, coroutine, or anything they call through
+  ``self.*``) are single-threaded maintenance code and stay silent.
+
+The runtime mirror of this rule is
+:class:`repro.analysis.sanitizer.LocksetTracker`, which watches real
+lock acquisitions and flags the same discipline violations dynamically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.context import FileContext
+from repro.analysis.model import Finding, Rule, Severity, register
+from repro.analysis.project import (
+    _self_attr_writes,
+    index_for,
+    lock_names_held_at,
+)
+
+_CTORISH = frozenset({"__init__", "__new__", "__init_subclass__", "on_create", "setUp", "setup"})
+
+
+def _methods(klass: ast.ClassDef) -> List[ast.AST]:
+    return [
+        item
+        for item in klass.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _self_calls(method: ast.AST) -> Set[str]:
+    """Names of ``self.m(...)`` calls in ``method`` (own body only)."""
+    out: Set[str] = set()
+    stack: List[ast.AST] = list(method.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            out.add(node.func.attr)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _entry_method_names(context: FileContext, klass: ast.ClassDef) -> Set[str]:
+    """Methods of ``klass`` that concurrent machinery calls directly."""
+    entries: Set[str] = set()
+    contexts = (
+        context.looper_contexts
+        + context.off_looper_contexts
+        + context.async_contexts
+    )
+    for callback in contexts:
+        if callback.enclosing_class == klass.name and isinstance(
+            callback.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            entries.add(callback.node.name)
+    return entries
+
+
+def _reachable_methods(context: FileContext, klass: ast.ClassDef) -> Set[str]:
+    """Entry methods plus the closure over intra-class ``self.m()`` calls."""
+    by_name = {m.name: m for m in _methods(klass)}
+    reachable = {
+        name for name in _entry_method_names(context, klass) if name in by_name
+    }
+    frontier = list(reachable)
+    while frontier:
+        method = by_name[frontier.pop()]
+        for callee in _self_calls(method):
+            if callee in by_name and callee not in reachable:
+                reachable.add(callee)
+                frontier.append(callee)
+    return reachable
+
+
+def check(context: FileContext) -> Iterator[Finding]:
+    index = index_for(context)
+    findings: List[Finding] = []
+    for klass in ast.walk(context.tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        guarded = index.class_locked_attrs(klass.name)
+        if not guarded:
+            continue
+        reachable = _reachable_methods(context, klass)
+        if not reachable:
+            continue
+        for method in _methods(klass):
+            if method.name in _CTORISH or method.name not in reachable:
+                continue
+            for attr, write in _self_attr_writes(method):
+                locks = guarded.get(attr)
+                if locks is None:
+                    continue
+                if lock_names_held_at(context, write):
+                    continue
+                where = " / ".join(locks)
+                findings.append(
+                    RULE.finding(
+                        context,
+                        write,
+                        f"self.{attr} is written under {where!r} elsewhere "
+                        f"but bare in {klass.name}.{method.name}(), which "
+                        "runs on a concurrent entry point -- interleaved "
+                        "callbacks can tear it",
+                    )
+                )
+    return iter(findings)
+
+
+RULE = register(
+    Rule(
+        id="MOR011",
+        name="inconsistent-lockset",
+        severity=Severity.ERROR,
+        summary="attribute locked in one method, written bare on a concurrent path",
+        autofix_hint=(
+            "take the same lock around the write, or move the state onto "
+            "the looper thread and drop the lock entirely"
+        ),
+        check=check,
+    )
+)

@@ -1,0 +1,69 @@
+"""MOR012: distribution-policy knobs pinned literally all over the project.
+
+``coalesce=True`` here, ``retries=3`` there, ``tx_policy="fair"`` in a
+third module: each call site hard-codes a slice of the *distribution
+policy* -- how writes merge, how transactions schedule, how failures
+retry. Scattered literals drift independently; the proximity-driven
+field tuning the paper describes wants one policy object
+(``CrossTagPolicy``-shaped) configured once and forwarded.
+
+Counted project-wide through the index: only *literal* pins count
+(forwarding ``coalesce=coalesce`` or reading ``policy.retries`` is
+already centralized), and constructing a policy object is the fix, not
+the smell. The finding fires once per offending file, at its first
+site, when the project crosses the scatter threshold.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.context import FileContext
+from repro.analysis.model import Finding, Rule, Severity, register
+from repro.analysis.project import get_summary, index_for
+
+# The smell needs both volume and spread: a pair of flags inside one
+# helper is fine; four-plus literals across three-plus functions is a
+# policy without a home.
+MIN_SITES = 4
+MIN_FUNCTIONS = 3
+
+
+def check(context: FileContext) -> Iterator[Finding]:
+    local = get_summary(context)
+    if not local.policy_sites:
+        return iter(())
+    total, functions, per_flag = index_for(context).policy_scatter()
+    if total < MIN_SITES or functions < MIN_FUNCTIONS:
+        return iter(())
+    first = min(local.policy_sites, key=lambda site: site.line)
+    flags = ", ".join(
+        f"{flag}×{count}" for flag, count in sorted(per_flag.items())
+    )
+    anchor = ast.Name(id=first.flag)
+    anchor.lineno = first.line
+    anchor.col_offset = 0
+    finding = RULE.finding(
+        context,
+        anchor,
+        f"distribution-policy flags pinned literally at {total} call sites "
+        f"across {functions} functions project-wide ({flags}) -- "
+        "consolidate into one CrossTagPolicy-style object and forward it",
+    )
+    return iter([finding])
+
+
+RULE = register(
+    Rule(
+        id="MOR012",
+        name="scattered-policy",
+        severity=Severity.WARNING,
+        summary="distribution-policy literals scattered across call sites",
+        autofix_hint=(
+            "build one policy object (coalesce/tx_policy/retry in one "
+            "place) and pass it through instead of re-pinning literals"
+        ),
+        check=check,
+    )
+)

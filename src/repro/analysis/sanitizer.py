@@ -61,12 +61,21 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 __all__ = [
     "AffinityViolation",
     "AffinityViolationError",
+    "LocksetTracker",
     "ThreadAffinitySanitizer",
+    "TrackedLock",
     "current",
     "install",
     "install_from_env",
     "uninstall",
 ]
+
+# Marker set on every wrapper the sanitizer installs, so a second
+# install (another sanitizer instance, a re-entrant test fixture) can
+# recognize an already-patched entry point and refuse to wrap the
+# wrapper -- double-wrapping would survive the first uninstall and leak
+# patched behaviour into unsanitized runs.
+_WRAPPER_MARK = "__morena_sanitizer_wrapper__"
 
 # Thread-name fallbacks for middleware threads started before install().
 _MIDDLEWARE_NAME_MARKS: Tuple[str, ...] = ("looper-", "tagref-", "beamer-")
@@ -89,7 +98,8 @@ class AffinityViolationError(RuntimeError):
 class AffinityViolation:
     """One recorded breach of the thread-affinity contract."""
 
-    kind: str  # "off-looper-mutation" | "listener-off-looper" | "blocking-on-loop"
+    kind: str  # "off-looper-mutation" | "listener-off-looper"
+    #          | "blocking-on-loop" | "unlocked-shared-write"
     subject: str  # e.g. "WifiConfig.ssid" or the listener's repr
     thread_name: str  # the offending thread
     owner: str  # the looper (or event loop) that owns the subject
@@ -108,6 +118,13 @@ class AffinityViolation:
                 f"event loop {self.owner!r} on thread {self.thread_name!r}; "
                 f"await the future (or move the wait off the loop) instead"
             )
+        if self.kind == "unlocked-shared-write":
+            return (
+                f"{self.location}: {self.subject} written by thread "
+                f"{self.thread_name!r} with no lock consistently held "
+                f"(discipline so far: {self.owner}); every thread writing "
+                "a shared field must hold the same lock"
+            )
         return (
             f"{self.location}: listener {self.subject} executed on thread "
             f"{self.thread_name!r} instead of its main looper {self.owner!r}"
@@ -122,6 +139,196 @@ def _caller_location() -> str:
     return "<unknown>"
 
 
+def _is_wrapped(klass: type, attr: str) -> bool:
+    return getattr(klass.__dict__.get(attr), _WRAPPER_MARK, False)
+
+
+def _mark(wrapper: Any) -> Any:
+    setattr(wrapper, _WRAPPER_MARK, True)
+    return wrapper
+
+
+# -- Eraser-style lockset tracking ---------------------------------------------
+
+
+class TrackedLock:
+    """A lock proxy that reports acquire/release to a tracker.
+
+    Wraps anything with ``acquire``/``release`` (``threading.Lock``,
+    ``RLock``, user monitors); usable exactly like the wrapped lock,
+    context-manager protocol included.
+    """
+
+    def __init__(self, tracker: "LocksetTracker", name: str, inner: Any) -> None:
+        self._tracker = tracker
+        self._name = name
+        self._inner = inner
+
+    def acquire(self, *args: Any, **kwargs: Any) -> Any:
+        got = self._inner.acquire(*args, **kwargs)
+        if got is not False:  # acquire(blocking=False) may fail
+            self._tracker._note_acquired(self._name)
+        return got
+
+    def release(self) -> None:
+        self._tracker._note_released(self._name)
+        self._inner.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def __getattr__(self, name: str) -> Any:  # locked(), _is_owned(), ...
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self._name!r}, {self._inner!r})"
+
+
+class LocksetTracker:
+    """The dynamic mirror of morelint rule MOR011.
+
+    Eraser's lockset algorithm over *watched* objects: ``watch(obj)``
+    wraps the object's lock-smelling attributes in :class:`TrackedLock`
+    and patches its type's ``__setattr__`` so every public-field write
+    records the set of tracked locks the writing thread holds. Per
+    field the tracker keeps the classic state machine:
+
+    * **exclusive** -- only the first thread has written; no checking
+      (initialization is thread-private).
+    * **shared** -- a second thread wrote; from that write on, the
+      field's *candidate lockset* is intersected with each writer's
+      held set. An empty candidate set means no lock protects the
+      field consistently: one ``unlocked-shared-write`` violation is
+      recorded (once per field).
+
+    Nothing is watched by default, so an installed sanitizer stays
+    silent on lock-clean programs.
+    """
+
+    def __init__(self, record: Callable[[AffinityViolation], None]) -> None:
+        self._record = record
+        self._held = threading.local()
+        self._lock = threading.Lock()
+        # (id(obj), attr) -> {"owner": ident, "candidates": set|None,
+        #                     "discipline": set, "reported": bool}
+        self._fields: Dict[Tuple[int, str], Dict[str, Any]] = {}
+        self._watched_ids: Dict[int, str] = {}  # id(obj) -> type name
+        self._patched_types: List[Tuple[type, Any]] = []
+
+    # -- per-thread held set -------------------------------------------------
+
+    def _held_set(self) -> set:
+        held = getattr(self._held, "names", None)
+        if held is None:
+            held = set()
+            self._held.names = held
+        return held
+
+    def _note_acquired(self, name: str) -> None:
+        self._held_set().add(name)
+
+    def _note_released(self, name: str) -> None:
+        self._held_set().discard(name)
+
+    # -- watching ------------------------------------------------------------
+
+    def watch(self, obj: Any) -> Any:
+        """Track lock discipline for ``obj``'s public fields."""
+        for name, value in list(vars(obj).items()):
+            if isinstance(value, TrackedLock):
+                continue
+            if _lockish_name(name) and hasattr(value, "acquire") and hasattr(
+                value, "release"
+            ):
+                object.__setattr__(obj, name, TrackedLock(self, name, value))
+        klass = type(obj)
+        if not _is_wrapped(klass, "__setattr__"):
+            self._patch_type(klass)
+        with self._lock:
+            self._watched_ids[id(obj)] = klass.__name__
+        return obj
+
+    def _patch_type(self, klass: type) -> None:
+        original = klass.__dict__.get("__setattr__")
+        fallback = original if original is not None else object.__setattr__
+        tracker = self
+
+        def watched_setattr(target: Any, name: str, value: Any) -> None:
+            fallback(target, name, value)
+            if not name.startswith("_") and not isinstance(value, TrackedLock):
+                tracker._note_write(target, name)
+
+        klass.__setattr__ = _mark(watched_setattr)
+        self._patched_types.append((klass, original))
+
+    def unwatch_all(self) -> None:
+        """Restore every patched ``__setattr__`` and forget all state."""
+        for klass, original in reversed(self._patched_types):
+            if original is None:
+                try:
+                    del klass.__setattr__
+                except AttributeError:  # pragma: no cover - already gone
+                    pass
+            else:
+                klass.__setattr__ = original
+        self._patched_types.clear()
+        with self._lock:
+            self._watched_ids.clear()
+            self._fields.clear()
+
+    # -- the state machine ---------------------------------------------------
+
+    def _note_write(self, target: Any, attr: str) -> None:
+        with self._lock:
+            type_name = self._watched_ids.get(id(target))
+        if type_name is None:
+            return
+        ident = threading.current_thread().ident
+        held = frozenset(self._held_set())
+        key = (id(target), attr)
+        violation: Optional[AffinityViolation] = None
+        with self._lock:
+            state = self._fields.get(key)
+            if state is None:
+                self._fields[key] = {
+                    "owner": ident,
+                    "candidates": None,
+                    "discipline": set(held),
+                    "reported": False,
+                }
+                return
+            state["discipline"] |= held
+            if state["candidates"] is None:
+                if ident == state["owner"]:
+                    return  # still exclusive to the first thread
+                state["candidates"] = set(held)  # now shared: start refining
+            else:
+                state["candidates"] &= held
+            if not state["candidates"] and not state["reported"]:
+                state["reported"] = True
+                discipline = (
+                    ", ".join(sorted(state["discipline"])) or "no lock ever held"
+                )
+                violation = AffinityViolation(
+                    kind="unlocked-shared-write",
+                    subject=f"{type_name}.{attr}",
+                    thread_name=threading.current_thread().name,
+                    owner=discipline,
+                    location=_caller_location(),
+                )
+        if violation is not None:
+            self._record(violation)
+
+
+def _lockish_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(mark in lowered for mark in ("lock", "mutex", "monitor"))
+
+
 class ThreadAffinitySanitizer:
     """Patches the middleware; collects :class:`AffinityViolation`."""
 
@@ -132,6 +339,10 @@ class ThreadAffinitySanitizer:
         self._middleware_idents: Dict[int, str] = {}  # ident -> role
         self._originals: List[Tuple[type, str, Any]] = []
         self._installed = False
+        # Opt-in dynamic lockset checking (MOR011's runtime mirror):
+        # nothing is watched until the test/program calls
+        # ``san.lockset.watch(obj)``.
+        self.lockset = LocksetTracker(self._record)
 
     # -- middleware-thread bookkeeping ---------------------------------------
 
@@ -203,6 +414,7 @@ class ThreadAffinitySanitizer:
     def uninstall(self) -> None:
         if not self._installed:
             return
+        self.lockset.unwatch_all()
         for klass, attr, original in reversed(self._originals):
             if original is None:
                 try:
@@ -220,6 +432,8 @@ class ThreadAffinitySanitizer:
         return getattr(klass, attr, None)
 
     def _patch_registering(self, klass: type, attr: str, role: str) -> None:
+        if _is_wrapped(klass, attr):
+            return
         original = self._save(klass, attr)
         sanitizer = self
 
@@ -228,9 +442,11 @@ class ThreadAffinitySanitizer:
             return original(obj, *args, **kwargs)
 
         runner.__name__ = attr
-        setattr(klass, attr, runner)
+        setattr(klass, attr, _mark(runner))
 
     def _patch_thing_setattr(self, thing_class: type) -> None:
+        if _is_wrapped(thing_class, "__setattr__"):
+            return
         # Thing does not define __setattr__, so the saved original is
         # None and uninstall() deletes the patch, restoring object's.
         self._save(thing_class, "__setattr__")
@@ -253,9 +469,11 @@ class ThreadAffinitySanitizer:
                     return
             object.__setattr__(thing, name, value)
 
-        thing_class.__setattr__ = checked_setattr
+        thing_class.__setattr__ = _mark(checked_setattr)
 
     def _patch_post_listener(self, reference_class: type) -> None:
+        if _is_wrapped(reference_class, "_post_listener"):
+            return
         original = self._save(reference_class, "_post_listener")
         sanitizer = self
 
@@ -282,13 +500,15 @@ class ThreadAffinitySanitizer:
             original(reference, guarded, *args)
 
         checked_post.__name__ = "_post_listener"
-        reference_class._post_listener = checked_post
+        reference_class._post_listener = _mark(checked_post)
 
     def _patch_blocking(self, klass: type, attr: str, subject: str) -> None:
         """Record a ``blocking-on-loop`` violation when ``klass.attr`` —
         a blocking wait — is entered with an asyncio event loop running
         on the calling thread. The wait still proceeds (record-only
         mode must not change behaviour)."""
+        if _is_wrapped(klass, attr):
+            return
         original = self._save(klass, attr)
         sanitizer = self
 
@@ -307,7 +527,7 @@ class ThreadAffinitySanitizer:
             return original(obj, *args, **kwargs)
 
         checked_wait.__name__ = attr
-        setattr(klass, attr, checked_wait)
+        setattr(klass, attr, _mark(checked_wait))
 
     # -- ownership -----------------------------------------------------------
 

@@ -171,6 +171,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--select", args.select]
     if args.no_hints:
         argv.append("--no-hints")
+    if args.fix:
+        argv.append("--fix")
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.jobs != "auto":
+        argv += ["--jobs", args.jobs]
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)
@@ -212,6 +224,29 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--select", help="comma-separated rule ids to run")
     lint.add_argument(
         "--no-hints", action="store_true", help="omit the autofix hint lines"
+    )
+    lint.add_argument(
+        "--fix", action="store_true", help="apply mechanical fixes in place"
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format",
+    )
+    lint.add_argument(
+        "--output", help="write the json/sarif rendering to this file"
+    )
+    lint.add_argument(
+        "--baseline", help="baseline file of accepted findings"
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="freeze current findings into the baseline file",
+    )
+    lint.add_argument(
+        "--jobs", default="auto", help="worker processes (N, or 'auto')"
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"

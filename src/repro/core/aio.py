@@ -91,10 +91,26 @@ class AsyncTagReference:
         return await read_raw_future(self._reference, timeout=timeout)
 
     async def write_raw(
-        self, message: "NdefMessage", timeout: Optional[float] = None
+        self,
+        message: "NdefMessage",
+        timeout: Optional[float] = None,
+        merge_key: Optional[str] = None,
+        message_factory: Optional[Any] = None,
     ) -> "TagReference":
-        """Raw write of a ready-made NDEF message."""
-        return await write_raw_future(self._reference, message, timeout=timeout)
+        """Raw write of a ready-made NDEF message.
+
+        ``merge_key``/``message_factory`` are the protocol merge hook,
+        identical to the callback surface -- so lease renewals issued
+        through ``await ref.aio.write_raw(...)`` coalesce under the
+        protocol's own rule, not the generic tail merge.
+        """
+        return await write_raw_future(
+            self._reference,
+            message,
+            timeout=timeout,
+            merge_key=merge_key,
+            message_factory=message_factory,
+        )
 
     async def make_read_only(self, timeout: Optional[float] = None) -> "TagReference":
         return await lock_future(self._reference, timeout=timeout)

@@ -215,15 +215,26 @@ def read_raw_future(
 
 
 def write_raw_future(
-    reference: TagReference, message: Any, timeout: Optional[float] = None
+    reference: TagReference,
+    message: Any,
+    timeout: Optional[float] = None,
+    merge_key: Optional[str] = None,
+    message_factory: Optional[Any] = None,
 ) -> OperationFuture:
-    """Asynchronous raw write as a future resolving to the reference."""
+    """Asynchronous raw write as a future resolving to the reference.
+
+    ``merge_key``/``message_factory`` pass straight through to
+    :meth:`TagReference.write_raw` -- the protocol merge hook works
+    identically on the future surface.
+    """
     future = OperationFuture()
     future.operation = reference.write_raw(
         message,
         on_written=lambda ref: future._succeed(ref),  # noqa: SLF001
         on_failed=lambda ref: future._fail(_failure_error(future)),  # noqa: SLF001
         timeout=timeout,
+        merge_key=merge_key,
+        message_factory=message_factory,
     )
     return future
 

@@ -1,0 +1,31 @@
+"""MOR008 bad fixture: operations on halted references / released leases."""
+
+
+def straight_line(ref, payload):
+    ref.stop()
+    ref.write(payload)  # flagged: use after halt
+
+
+def one_branch(ref, payload, done):
+    if done:
+        ref.stop()
+    ref.read()  # flagged: may run after the halt branch
+
+
+def retire(reference):
+    reference.stop()
+
+
+def cross_function(ref):
+    retire(ref)  # halts via the helper's parameter effect
+    ref.read()  # flagged: the old syntactic engine cannot see this
+
+
+def released_lease(tag_lease, payload):
+    tag_lease.release()
+    tag_lease.renew(30.0)  # flagged: renewing a released lease guards nothing
+
+
+def aio_surface(ref):
+    ref.stop()
+    ref.aio.read_raw()  # flagged: .aio is the same reference

@@ -1,0 +1,35 @@
+"""MOR008 clean fixture: halts that never precede a use on any path."""
+
+
+def halt_last(ref, payload):
+    ref.write(payload)
+    ref.stop()  # ok: nothing follows
+
+
+def rebound(ref, port, payload):
+    ref.stop()
+    ref = port.reference()  # rebinding kills the halted state
+    ref.write(payload)
+
+
+def branch_separated(ref, payload, done):
+    if done:
+        ref.stop()
+    else:
+        ref.write(payload)  # ok: the halt is on the other branch
+
+
+def reacquired(tag_lease, payload):
+    tag_lease.release()
+    tag_lease.acquire(30.0)  # re-acquiring clears the released state
+    tag_lease.renew(30.0)
+
+
+def observe(reference):
+    # A helper that merely *reads* its parameter has no halt effect.
+    return reference.cached
+
+
+def non_halting_helper(ref):
+    observe(ref)
+    ref.read()  # ok: observe() halts nothing

@@ -1,0 +1,30 @@
+"""MOR009 bad fixture: leases acquired but not released on every path."""
+
+
+def early_return_leak(tag, skip):
+    lease_manager = make_manager(tag)
+    lease_manager.acquire(30.0)  # flagged: the skip path never releases
+    if skip:
+        return None
+    lease_manager.release()
+    return True
+
+
+def exception_path_leak(tag, payload):
+    lease_manager = make_manager(tag)
+    lease_manager.acquire(30.0)  # flagged: write() may raise before release
+    tag.write(payload)
+    lease_manager.release()
+
+
+def never_released(tag):
+    lease_manager = make_manager(tag)
+    lease_manager.acquire(30.0)  # flagged: no release anywhere
+    tag.write(b"payload")
+
+
+def callback_does_not_balance(tag, log):
+    lease_manager = make_manager(tag)
+    # flagged: the resolvable callback neither releases nor renews
+    lease_manager.acquire(30.0, on_acquired=lambda lease: log.append(lease))
+    tag.write(b"payload")

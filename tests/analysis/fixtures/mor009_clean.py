@@ -1,0 +1,44 @@
+"""MOR009 clean fixture: every acquire is balanced, delegated, or escapes."""
+
+
+def try_finally(tag):
+    lease_manager = make_manager(tag)
+    lease_manager.acquire(30.0)
+    try:
+        tag.write(b"payload")
+    finally:
+        lease_manager.release()
+
+
+def renew_counts(tag):
+    lease_manager = make_manager(tag)
+    lease_manager.acquire(30.0)
+    lease_manager.renew(60.0)  # renewal hands the pairing to the keeper
+
+
+def callback_balances(tag):
+    lease_manager = make_manager(tag)
+
+    def done(lease):
+        lease_manager.release()
+
+    lease_manager.acquire(30.0, on_acquired=done)
+
+
+def caller_owned(lease_manager, tag):
+    # The manager is a parameter and this function never releases it:
+    # the caller owns the lifecycle (the async facade's shape).
+    lease_manager.acquire(30.0)
+    return tag
+
+
+def escapes_via_return(tag):
+    lease_manager = make_manager(tag)
+    lease_manager.acquire(30.0)
+    return lease_manager  # the caller releases
+
+
+def context_managed(tag):
+    lease_manager = make_manager(tag)
+    with lease_manager.acquire(30.0):
+        tag.write(b"payload")

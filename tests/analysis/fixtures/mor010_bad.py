@@ -1,0 +1,23 @@
+"""MOR010 bad fixture: reads racing unfenced coalesced writes."""
+
+
+def read_after_coalesced(ref, payload):
+    ref.write(payload, coalesce=True)
+    return ref.read()  # flagged: the write may still sit in the queue
+
+
+def save_then_refresh(thing_ref):
+    thing_ref.save_async()  # coalesces by default
+    thing_ref.refresh_async()  # flagged: refresh races the queued save
+
+
+def branch_hazard(ref, payload, fast):
+    if fast:
+        ref.write(payload, coalesce=True)
+    data = ref.read()  # flagged: hazard on the fast branch
+    return data
+
+
+def raw_read_hazard(ref, payload):
+    ref.write(payload, coalesce=True)
+    return ref.read_raw()  # flagged: raw reads race the merge queue too

@@ -1,0 +1,30 @@
+"""MOR010 clean fixture: every read is fenced or ordered."""
+
+
+def listener_scoped(ref, payload):
+    # Reading from the success listener is the sanctioned ordering.
+    ref.write(payload, coalesce=True, on_written=lambda r: r.read(), on_failed=log)
+
+
+def explicit_order(ref, payload):
+    ref.write(payload, coalesce=False)  # synchronous queue order
+    return ref.read()
+
+
+def raw_fence(ref, payload, record):
+    ref.write(payload, coalesce=True)
+    ref.write_raw(record)  # raw writes flush the merge queue
+    return ref.read()
+
+
+def branch_separated(ref, payload, fast):
+    if fast:
+        ref.write(payload, coalesce=True)
+    else:
+        return ref.read()  # ok: no queued write on this branch
+    return None
+
+
+def different_tags(ref, other, payload):
+    ref.write(payload, coalesce=True)
+    return other.read()  # ok: different reference, different queue

@@ -1,0 +1,32 @@
+"""MOR011 bad fixture: lock discipline held in one method, dropped in another."""
+
+import threading
+
+
+class TagCounterActivity:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # ok: constructor writes are thread-private
+
+    def on_tag_detected(self, tag):
+        self.count = self.count + 1  # flagged: bare write on a listener path
+
+    def recompute(self):
+        with self._lock:
+            self.count = 0  # the discipline MOR011 holds the class to
+
+
+class DelegatingActivity:
+    def __init__(self):
+        self.stats_lock = threading.Lock()
+        self.total = 0
+
+    def on_beam_received(self, obj):
+        self._bump()  # reachable through the listener...
+
+    def _bump(self):
+        self.total = self.total + 1  # flagged: cross-method reachability
+
+    def flush(self):
+        with self.stats_lock:
+            self.total = 0

@@ -1,0 +1,40 @@
+"""MOR011 clean fixture: consistent locking, or no concurrency at all."""
+
+import threading
+
+
+class ConsistentActivity:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def on_tag_detected(self, tag):
+        with self._lock:
+            self.count = self.count + 1  # same discipline everywhere
+
+    def recompute(self):
+        with self._lock:
+            self.count = 0
+
+
+class NeverLocked:
+    # No method ever locks, so no discipline exists to violate: this
+    # class's thread-safety is somebody else's problem (MOR006's, say).
+    def on_tag_detected(self, tag):
+        self.count = self.count + 1
+
+
+class MaintenanceOnly:
+    def __init__(self):
+        self.cache_lock = threading.Lock()
+        self.cache = {}
+
+    def locked_path(self):
+        with self.cache_lock:
+            self.cache = {}
+
+    def rebuild(self):
+        # Bare write, but rebuild() is not reachable from any listener /
+        # thread-target / coroutine entry point: the flow-aware engine
+        # suppresses what a purely syntactic check would flag.
+        self.cache = {}

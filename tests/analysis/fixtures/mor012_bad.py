@@ -1,0 +1,21 @@
+"""MOR012 bad fixture: policy literals re-pinned at every call site."""
+
+
+def push_config(ref, payload):
+    ref.write(payload, coalesce=True)
+
+
+def push_manifest(ref, manifest):
+    ref.write(manifest, coalesce=True, retries=3)
+
+
+def push_counter(thing):
+    thing.save_async(coalesce=False)
+
+
+def push_inventory(ref, items):
+    ref.write(items, tx_policy="fair")
+
+
+def push_audit(ref, entry):
+    ref.write(entry, retries=5, backoff=0.25)

@@ -1,0 +1,22 @@
+"""MOR012 clean fixture: one policy object, forwarded everywhere."""
+
+POLICY = CrossTagPolicy(coalesce=True, retries=3, tx_policy="fair")
+
+
+def push_config(ref, payload, policy=POLICY):
+    ref.write(payload, coalesce=policy.coalesce)
+
+
+def push_manifest(ref, manifest, policy=POLICY):
+    ref.write(manifest, coalesce=policy.coalesce, retries=policy.retries)
+
+
+def push_inventory(ref, items, policy=POLICY):
+    ref.write(items, tx_policy=policy.tx_policy)
+
+
+def local_pair(ref, payload):
+    # Two literals inside one function sit below the scatter threshold:
+    # volume *and* spread are required before the rule speaks up.
+    ref.write(payload, coalesce=True)
+    ref.write(payload, coalesce=True)

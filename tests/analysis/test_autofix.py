@@ -4,6 +4,8 @@ import ast
 import pathlib
 import shutil
 
+import pytest
+
 from repro.analysis.autofix import apply_edits
 from repro.analysis.engine import lint_paths
 from repro.analysis.lint import main as lint_main
@@ -121,6 +123,54 @@ class TestFixMor002:
         assert "initialize" in methods
         assert "broadcast" in methods
         assert "read" in methods
+
+
+class TestFixCorpusIdempotence:
+    """One --fix pass converges: a second run is a byte-for-byte no-op,
+    and a rule's fixes never disturb what *other* rules report."""
+
+    FIXABLE = ("mor002_bad.py", "mor003_bad.py", "mor005_bad.py")
+
+    def test_second_fix_pass_is_byte_identical(self, tmp_path, capsys):
+        for name in self.FIXABLE:
+            shutil.copy(FIXTURES / name, tmp_path / name)
+        lint_main(["--fix", str(tmp_path)])
+        once = {
+            name: (tmp_path / name).read_bytes() for name in self.FIXABLE
+        }
+        lint_main(["--fix", str(tmp_path)])
+        twice = {
+            name: (tmp_path / name).read_bytes() for name in self.FIXABLE
+        }
+        assert twice == once
+        out = capsys.readouterr().out
+        assert "applied 0 fix(es)" in out  # the second pass found nothing
+
+    @pytest.mark.parametrize(
+        "fixture, rule",
+        [
+            ("mor002_bad.py", "MOR002"),
+            ("mor003_bad.py", "MOR003"),
+            ("mor005_bad.py", "MOR005"),
+        ],
+    )
+    def test_fixes_leave_other_rules_findings_alone(
+        self, tmp_path, capsys, fixture, rule
+    ):
+        target = tmp_path / fixture
+        shutil.copy(FIXTURES / fixture, target)
+
+        def others(findings):
+            return sorted(
+                (f.rule_id, f.message)
+                for f in findings
+                if f.rule_id != rule
+            )
+
+        before = others(lint_paths([str(target)]))
+        lint_main(["--fix", "--select", rule, str(target)])
+        after = others(lint_paths([str(target)]))
+        assert after == before
 
 
 class TestFixReporting:

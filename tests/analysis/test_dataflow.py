@@ -1,0 +1,239 @@
+"""Unit tests for the dataflow core: CFG shape, solver, resource machine."""
+
+import ast
+
+import pytest
+
+from repro.analysis.dataflow import (
+    EXC,
+    FALL,
+    RETURN,
+    ResourceAnalysis,
+    assigned_names,
+    build_cfg,
+    receiver_key,
+    stmt_calls,
+)
+from repro.analysis.dataflow.cfg import header_nodes
+from repro.analysis.dataflow.resources import token_exceptional, token_line
+
+
+def first_function(source: str) -> ast.AST:
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    raise AssertionError("no function in source")
+
+
+def edges(cfg):
+    out = set()
+    for block in cfg.blocks:
+        for target, kind in block.succs:
+            out.add((block.id, target.id, kind))
+    return out
+
+
+class TestCfg:
+    def test_straight_line_chains_to_exit(self):
+        cfg = build_cfg(first_function("def f(x):\n    a = 1\n    b = 2\n"))
+        kinds = {kind for _, _, kind in edges(cfg)}
+        assert kinds == {FALL}
+
+    def test_if_has_two_way_branch(self):
+        fn = first_function(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+            "    c = 3\n"
+        )
+        cfg = build_cfg(fn)
+        headers = [b for b in cfg.blocks if b.label == "if"]
+        assert len(headers) == 1
+        assert len(headers[0].succs) == 2
+
+    def test_return_edges_to_exit(self):
+        fn = first_function("def f(x):\n    if x:\n        return 1\n    return 2\n")
+        cfg = build_cfg(fn)
+        returns = [e for e in edges(cfg) if e[2] == RETURN]
+        assert len(returns) == 2
+        assert all(target == cfg.exit.id for _, target, _ in returns)
+
+    def test_call_statements_get_exception_edges(self):
+        fn = first_function("def f(x):\n    g(x)\n")
+        cfg = build_cfg(fn)
+        assert any(kind == EXC for _, _, kind in edges(cfg))
+
+    def test_pure_assignments_have_no_exception_edges(self):
+        fn = first_function("def f(x):\n    a = x\n    b = a\n")
+        cfg = build_cfg(fn)
+        assert not any(kind == EXC for _, _, kind in edges(cfg))
+
+    def test_try_body_exceptions_route_to_handler(self):
+        fn = first_function(
+            "def f(x):\n"
+            "    try:\n"
+            "        g(x)\n"
+            "    except ValueError:\n"
+            "        h(x)\n"
+        )
+        cfg = build_cfg(fn)
+        handler = next(b for b in cfg.blocks if b.label == "handler")
+        exc_targets = {
+            target for source, target, kind in edges(cfg) if kind == EXC
+        }
+        assert handler.id in exc_targets
+
+    def test_finally_on_both_paths(self):
+        fn = first_function(
+            "def f(x):\n"
+            "    try:\n"
+            "        g(x)\n"
+            "    finally:\n"
+            "        h(x)\n"
+        )
+        cfg = build_cfg(fn)
+        final = next(b for b in cfg.blocks if b.label == "finally")
+        incoming = {kind for _, kind in cfg.predecessors(final)}
+        assert FALL in incoming and EXC in incoming
+
+    def test_while_true_has_no_normal_exit(self):
+        fn = first_function("def f():\n    while True:\n        pass\n")
+        cfg = build_cfg(fn)
+        header = next(b for b in cfg.blocks if b.label == "loop")
+        targets = {target.label for target, _ in header.succs}
+        assert "join" not in targets
+
+    def test_loop_back_edge(self):
+        fn = first_function("def f(xs):\n    for x in xs:\n        g(x)\n")
+        cfg = build_cfg(fn)
+        assert any(kind == "back" for _, _, kind in edges(cfg))
+
+
+class TestHeaderNodes:
+    def test_if_header_excludes_body(self):
+        stmt = ast.parse("if c(x):\n    d(y)\n").body[0]
+        nodes = header_nodes(stmt)
+        dumped = " ".join(ast.dump(node) for node in nodes)
+        assert "'c'" in dumped and "'d'" not in dumped
+
+    def test_with_header_includes_context_and_alias(self):
+        stmt = ast.parse("with open(p) as f:\n    g(f)\n").body[0]
+        dumped = " ".join(ast.dump(node) for node in header_nodes(stmt))
+        assert "'open'" in dumped and "'g'" not in dumped
+
+
+class TestStmtCalls:
+    def test_nested_lambda_excluded(self):
+        stmt = ast.parse("f(lambda: g())\n").body[0]
+        names = [
+            call.func.id
+            for call in stmt_calls(stmt)
+            if isinstance(call.func, ast.Name)
+        ]
+        assert names == ["f"]
+
+    def test_source_order(self):
+        stmt = ast.parse("h(a(), b())\n").body[0]
+        names = [call.func.id for call in stmt_calls(stmt)]
+        assert names == ["h", "a", "b"] or names == ["a", "b", "h"]
+
+
+class TestAssignedNames:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("x = 1", ["x"]),
+            ("x, y = pair", ["x", "y"]),
+            ("obj.attr = 1", ["obj.attr"]),
+            ("for i in xs:\n    pass", ["i"]),
+            ("with ctx() as h:\n    pass", ["h"]),
+        ],
+    )
+    def test_shapes(self, source, expected):
+        stmt = ast.parse(source).body[0]
+        assert assigned_names(stmt) == expected
+
+
+class TestReceiverKey:
+    def test_plain_and_aio_normalize_to_same_key(self):
+        plain = ast.parse("ref.write_raw(m)").body[0].value
+        aio = ast.parse("ref.aio.write_raw(m)").body[0].value
+        assert receiver_key(plain) == receiver_key(aio) == "ref"
+
+    def test_dotted_receiver(self):
+        call = ast.parse("self.ref.write(m)").body[0].value
+        assert receiver_key(call) == "self.ref"
+
+
+def classify_halt(call):
+    if isinstance(call.func, ast.Attribute):
+        key = receiver_key(call)
+        if call.func.attr == "stop":
+            yield ("seed", key, "halted")
+        elif call.func.attr == "use":
+            yield ("use", key)
+        elif call.func.attr == "revive":
+            yield ("clear", key)
+
+
+class TestResourceAnalysis:
+    def run(self, source, **kwargs):
+        analysis = ResourceAnalysis(classify_halt, **kwargs)
+        return analysis.run(first_function(source))
+
+    def test_use_after_seed_recorded(self):
+        result = self.run("def f(r):\n    r.stop()\n    r.use()\n")
+        assert len(result.uses) == 1
+        assert result.uses[0].key == "r"
+
+    def test_clear_stops_tracking(self):
+        result = self.run("def f(r):\n    r.stop()\n    r.revive()\n    r.use()\n")
+        assert result.uses == []
+
+    def test_join_unions_branch_states(self):
+        result = self.run(
+            "def f(r, c):\n"
+            "    if c:\n"
+            "        r.stop()\n"
+            "    r.use()\n"
+        )
+        assert len(result.uses) == 1
+
+    def test_loop_reaches_fixpoint_with_back_edge(self):
+        # The use precedes the seed in the body; only the back edge
+        # makes the state reach it.
+        result = self.run(
+            "def f(r, xs):\n"
+            "    for x in xs:\n"
+            "        r.use()\n"
+            "        r.stop()\n"
+        )
+        assert len(result.uses) == 1
+
+    def test_exceptional_exit_tokens_marked(self):
+        result = self.run(
+            "def f(r, x):\n"
+            "    r.stop()\n"
+            "    g(x)\n",
+            mark_exceptional=True,
+        )
+        tokens = result.exit_state.get("r", frozenset())
+        assert any(token_exceptional(token) for token in tokens)
+        assert any(not token_exceptional(token) for token in tokens)
+        assert all(token_line(token) == 2 for token in tokens)
+
+    def test_seed_does_not_travel_its_own_exception_edge(self):
+        # If stop() itself raised, the halted state never existed: the
+        # optimistic exception semantics keep acquire/try/finally
+        # idioms quiet.
+        result = self.run(
+            "def f(r):\n"
+            "    try:\n"
+            "        r.stop()\n"
+            "    except Exception:\n"
+            "        r.use()\n"
+        )
+        assert result.uses == []

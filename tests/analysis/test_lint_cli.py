@@ -1,10 +1,12 @@
-"""The morelint CLI: exit codes, selection, and the repo-wide gate."""
+"""The morelint CLI: exit codes, formats, baselines, and the repo gate."""
 
+import json
 import pathlib
+import shutil
 
 import pytest
 
-from repro.analysis.engine import collect_files
+from repro.analysis.engine import collect_files, lint_paths, resolve_jobs
 from repro.analysis.lint import main as lint_main
 from repro.cli import main as cli_main
 
@@ -68,6 +70,165 @@ class TestReproCliIntegration:
 
     def test_lint_subcommand_flags(self, capsys):
         assert cli_main(["lint", str(FIXTURES / "mor002_bad.py")]) == 1
+
+
+class TestFormats:
+    def test_json_rendering_is_valid_and_complete(self, capsys):
+        assert lint_main(
+            ["--format", "json", str(FIXTURES / "mor001_bad.py")]
+        ) == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout is pure JSON
+        assert payload["tool"] == "morelint"
+        assert payload["summary"]["errors"] >= 1
+        assert payload["findings"]
+        assert all("rule" in f and "line" in f for f in payload["findings"])
+        # The human summary moves to stderr so stdout stays parseable.
+        assert "morelint:" in captured.err
+
+    def test_sarif_rendering_is_valid_2_1_0(self, capsys):
+        assert lint_main(
+            ["--format", "sarif", str(FIXTURES / "mor001_bad.py")]
+        ) == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"MOR001", "MOR008", "MOR012"} <= rules
+        assert run["results"]
+        for result in run["results"]:
+            assert result["ruleId"] in rules
+            location = result["locations"][0]["physicalLocation"]
+            assert location["region"]["startLine"] >= 1
+            assert result["baselineState"] == "new"
+
+    def test_output_file_keeps_text_on_stdout(self, tmp_path, capsys):
+        out_file = tmp_path / "morelint.sarif"
+        lint_main(
+            [
+                "--format",
+                "sarif",
+                "--output",
+                str(out_file),
+                str(FIXTURES / "mor001_bad.py"),
+            ]
+        )
+        sarif = json.loads(out_file.read_text())
+        assert sarif["version"] == "2.1.0"
+        out = capsys.readouterr().out
+        assert "MOR001" in out  # the human-readable report survives
+        assert "morelint:" in out  # ... summary included
+
+
+class TestBaseline:
+    def _bad_copy(self, tmp_path):
+        target = tmp_path / "app.py"
+        shutil.copy(FIXTURES / "mor001_bad.py", target)
+        return target
+
+    def test_write_then_lint_with_baseline_passes(self, tmp_path, capsys):
+        target = self._bad_copy(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            ["--baseline", str(baseline), "--write-baseline", str(target)]
+        ) == 0
+        assert lint_main(["--baseline", str(baseline), str(target)]) == 0
+        captured = capsys.readouterr()
+        assert "baselined error(s) accepted" in captured.out
+
+    def test_new_error_still_fails_a_baselined_run(self, tmp_path, capsys):
+        target = self._bad_copy(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        lint_main(["--baseline", str(baseline), "--write-baseline", str(target)])
+        with open(target, "a", encoding="utf-8") as handle:
+            handle.write(
+                "\n\nclass FreshActivity:\n"
+                "    def on_tag_lost(self, reference):\n"
+                "        import time\n"
+                "        time.sleep(1.0)\n"
+            )
+        assert lint_main(["--baseline", str(baseline), str(target)]) == 1
+
+    def test_missing_baseline_file_means_everything_is_new(
+        self, tmp_path, capsys
+    ):
+        target = self._bad_copy(tmp_path)
+        assert lint_main(
+            ["--baseline", str(tmp_path / "absent.json"), str(target)]
+        ) == 1
+
+    def test_sarif_marks_baselined_results_unchanged(self, tmp_path, capsys):
+        target = self._bad_copy(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        lint_main(["--baseline", str(baseline), "--write-baseline", str(target)])
+        capsys.readouterr()
+        lint_main(
+            ["--baseline", str(baseline), "--format", "sarif", str(target)]
+        )
+        sarif = json.loads(capsys.readouterr().out)
+        states = {r["baselineState"] for r in sarif["runs"][0]["results"]}
+        assert states == {"unchanged"}
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_the_finding(self, tmp_path, capsys):
+        source = tmp_path / "app.py"
+        source.write_text(
+            "import time\n"
+            "\n"
+            "class A:\n"
+            "    def on_tag_detected(self, reference):\n"
+            "        time.sleep(0.5)  # morelint: disable=MOR001\n"
+        )
+        assert lint_main([str(source)]) == 0
+        assert "MOR001" not in capsys.readouterr().out
+
+    def test_file_pragma_suppresses_everywhere(self, tmp_path, capsys):
+        source = tmp_path / "app.py"
+        source.write_text(
+            "# morelint: disable-file=MOR001\n"
+            "import time\n"
+            "\n"
+            "class A:\n"
+            "    def on_tag_detected(self, reference):\n"
+            "        time.sleep(0.5)\n"
+            "\n"
+            "    def on_tag_lost(self, reference):\n"
+            "        time.sleep(0.5)\n"
+        )
+        assert lint_main([str(source)]) == 0
+
+    def test_pragma_only_masks_the_named_rule(self, tmp_path, capsys):
+        source = tmp_path / "app.py"
+        source.write_text(
+            "import time\n"
+            "\n"
+            "class A:\n"
+            "    def on_tag_detected(self, reference):\n"
+            "        time.sleep(0.5)  # morelint: disable=MOR005\n"
+        )
+        assert lint_main([str(source)]) == 1
+
+
+class TestParallel:
+    def test_jobs_resolution(self):
+        assert resolve_jobs("2", 100) == 2
+        assert resolve_jobs("auto", 3) == 1  # small batch stays serial
+        assert resolve_jobs("auto", 500) >= 1
+
+    def test_parallel_findings_match_serial(self):
+        paths = [str(FIXTURES)]
+        serial = lint_paths(paths, jobs="1")
+        parallel = lint_paths(paths, jobs="2")
+        assert [
+            (f.path, f.line, f.rule_id, f.message) for f in serial
+        ] == [(f.path, f.line, f.rule_id, f.message) for f in parallel]
+        assert serial  # the corpus is not accidentally empty
+
+    def test_cli_accepts_jobs_flag(self, capsys):
+        assert lint_main(
+            ["--jobs", "2", str(FIXTURES / "mor001_clean.py")]
+        ) == 0
 
 
 class TestCollectFiles:

@@ -10,7 +10,20 @@ from repro.analysis.model import Severity, all_rules, get_rule
 
 FIXTURES = pathlib.Path(__file__).parent / "fixtures"
 
-RULE_IDS = ["MOR001", "MOR002", "MOR003", "MOR004", "MOR005", "MOR006", "MOR007"]
+RULE_IDS = [
+    "MOR001",
+    "MOR002",
+    "MOR003",
+    "MOR004",
+    "MOR005",
+    "MOR006",
+    "MOR007",
+    "MOR008",
+    "MOR009",
+    "MOR010",
+    "MOR011",
+    "MOR012",
+]
 
 
 def lint_fixture(name: str, rule_id: str):
@@ -160,6 +173,221 @@ class TestMor007:
             "    await loop.run_in_executor(None, helper)\n"
         )
         assert lint_source("x.py", source, rules=[get_rule("MOR007")]) == []
+
+
+class TestMor005Spellings:
+    """The satellite recognizer: every spelling of the raw-write API."""
+
+    def test_future_spelling_coalesce_flagged(self):
+        source = (
+            "def push(reference, message):\n"
+            "    write_raw_future(reference, message, coalesce=True)\n"
+        )
+        findings = lint_source("x.py", source, rules=[get_rule("MOR005")])
+        assert len(findings) == 1
+        assert "write_raw" in findings[0].message
+
+    def test_future_spelling_merge_key_sanctioned(self):
+        source = (
+            "def renew(reference, message):\n"
+            "    write_raw_future(reference, message, merge_key='lease:a')\n"
+        )
+        assert lint_source("x.py", source, rules=[get_rule("MOR005")]) == []
+
+    def test_aio_spelling_merge_key_sanctioned(self):
+        source = (
+            "async def renew(reference, message):\n"
+            "    await reference.aio.write_raw(message, merge_key='lease:a')\n"
+        )
+        assert lint_source("x.py", source, rules=[get_rule("MOR005")]) == []
+
+    def test_aio_spelling_coalesce_flagged(self):
+        source = (
+            "async def push(reference, message):\n"
+            "    await reference.aio.write_raw(message, coalesce=True)\n"
+        )
+        findings = lint_source("x.py", source, rules=[get_rule("MOR005")])
+        assert len(findings) == 1
+
+    def test_merge_key_on_write_future_flagged(self):
+        source = (
+            "def push(reference, obj):\n"
+            "    write_future(reference, obj, merge_key='x')\n"
+        )
+        findings = lint_source("x.py", source, rules=[get_rule("MOR005")])
+        assert len(findings) == 1
+
+
+class TestMor008:
+    def test_cross_function_halt_is_flow_sensitive(self):
+        """The TP a syntactic engine cannot catch: the halt happens in
+        another function, reached through the parameter-effect index."""
+        findings = lint_fixture("mor008_bad.py", "MOR008")
+        cross = [f for f in findings if "read()" in f.message and f.line == 21]
+        assert cross, [str(f) for f in findings]
+
+    def test_branch_separation_suppressed(self):
+        """The FP the flow engine suppresses: halt and use on disjoint
+        paths of the same function."""
+        source = (
+            "def f(ref, payload, done):\n"
+            "    if done:\n"
+            "        ref.stop()\n"
+            "    else:\n"
+            "        ref.write(payload)\n"
+        )
+        assert lint_source("x.py", source, rules=[get_rule("MOR008")]) == []
+
+    def test_rebinding_kills_state(self):
+        source = (
+            "def f(ref, port, payload):\n"
+            "    ref.stop()\n"
+            "    ref = port.reference()\n"
+            "    ref.write(payload)\n"
+        )
+        assert lint_source("x.py", source, rules=[get_rule("MOR008")]) == []
+
+    def test_messages_name_the_halt_line(self):
+        findings = lint_fixture("mor008_bad.py", "MOR008")
+        assert any("line 5" in f.message for f in findings)
+
+    def test_severity_is_error(self):
+        for finding in lint_fixture("mor008_bad.py", "MOR008"):
+            assert finding.severity is Severity.ERROR
+
+
+class TestMor009:
+    def test_distinguishes_exception_path_leaks(self):
+        findings = lint_fixture("mor009_bad.py", "MOR009")
+        messages = " ".join(f.message for f in findings)
+        assert "every path" in messages  # the early-return leak
+        assert "exception path" in messages  # the missing finally
+
+    def test_finding_anchors_at_the_acquire(self):
+        findings = lint_fixture("mor009_bad.py", "MOR009")
+        source = (FIXTURES / "mor009_bad.py").read_text().splitlines()
+        for finding in findings:
+            assert "acquire" in source[finding.line - 1]
+
+    def test_finally_release_is_clean(self):
+        source = (
+            "def f(tag):\n"
+            "    mgr_lock = make_manager(tag)\n"
+            "    mgr_lock.acquire(30.0)\n"
+            "    try:\n"
+            "        tag.write(b'x')\n"
+            "    finally:\n"
+            "        mgr_lock.release()\n"
+        )
+        assert lint_source("x.py", source, rules=[get_rule("MOR009")]) == []
+
+    def test_caller_owned_parameter_is_clean(self):
+        source = (
+            "def helper(lease_manager):\n"
+            "    lease_manager.acquire(30.0)\n"
+        )
+        assert lint_source("x.py", source, rules=[get_rule("MOR009")]) == []
+
+
+class TestMor010:
+    def test_fences_clear_the_hazard(self):
+        findings = lint_fixture("mor010_clean.py", "MOR010")
+        assert findings == [], [str(f) for f in findings]
+
+    def test_message_names_the_queued_write(self):
+        findings = lint_fixture("mor010_bad.py", "MOR010")
+        assert any("line 5" in f.message for f in findings)
+
+    def test_severity_is_warning(self):
+        for finding in lint_fixture("mor010_bad.py", "MOR010"):
+            assert finding.severity is Severity.WARNING
+
+
+class TestMor011:
+    def test_cross_method_reachability(self):
+        """_bump() is only dangerous because a listener calls it --
+        reachability through the intra-class call graph."""
+        findings = lint_fixture("mor011_bad.py", "MOR011")
+        assert any("_bump" in f.message for f in findings)
+
+    def test_unreachable_method_suppressed(self):
+        """The precision case: a bare write in a method no concurrent
+        entry point can reach stays silent."""
+        findings = lint_fixture("mor011_clean.py", "MOR011")
+        assert findings == [], [str(f) for f in findings]
+
+    def test_constructor_writes_exempt(self):
+        findings = lint_fixture("mor011_bad.py", "MOR011")
+        assert all(f.line > 9 for f in findings)  # none inside __init__
+
+    def test_cross_file_base_class_discipline(self, tmp_path):
+        """A base class in another file declares the lock discipline;
+        the subclass's bare listener write is flagged project-wide."""
+        base = tmp_path / "base_activity.py"
+        base.write_text(
+            "import threading\n"
+            "class CounterBase:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.count = 0\n"
+            "    def reset(self):\n"
+            "        with self._lock:\n"
+            "            self.count = 0\n"
+        )
+        sub = tmp_path / "screen.py"
+        sub.write_text(
+            "from base_activity import CounterBase\n"
+            "class Screen(CounterBase):\n"
+            "    def on_tag_detected(self, tag):\n"
+            "        self.count = self.count + 1\n"
+        )
+        from repro.analysis.engine import lint_paths
+
+        findings = lint_paths([str(tmp_path)], select=["MOR011"])
+        assert len(findings) == 1
+        assert findings[0].path == str(sub)
+        assert "_lock" in findings[0].message
+
+        # The same subclass file linted *alone* cannot know the base's
+        # discipline -- the project index is what makes this finding.
+        assert (
+            lint_source(str(sub), sub.read_text(), rules=[get_rule("MOR011")])
+            == []
+        )
+
+
+class TestMor012:
+    def test_one_finding_per_file_at_first_site(self):
+        findings = lint_fixture("mor012_bad.py", "MOR012")
+        assert len(findings) == 1
+        assert findings[0].line == 5  # the first literal site
+
+    def test_counts_in_message(self):
+        findings = lint_fixture("mor012_bad.py", "MOR012")
+        assert "7 call sites" in findings[0].message
+        assert "5 functions" in findings[0].message
+
+    def test_below_threshold_is_silent(self):
+        findings = lint_fixture("mor012_clean.py", "MOR012")
+        assert findings == [], [str(f) for f in findings]
+
+    def test_cross_file_scatter_aggregates(self, tmp_path):
+        """Two files with two sites each: neither alone crosses the
+        threshold, together they do -- and each offending file gets
+        exactly one finding."""
+        for index in range(2):
+            path = tmp_path / f"pusher_{index}.py"
+            path.write_text(
+                f"def push_a{index}(ref, p):\n"
+                "    ref.write(p, coalesce=True)\n"
+                f"def push_b{index}(ref, p):\n"
+                "    ref.write(p, retries=3)\n"
+            )
+        from repro.analysis.engine import lint_paths
+
+        findings = lint_paths([str(tmp_path)], select=["MOR012"])
+        assert len(findings) == 2
+        assert {f.line for f in findings} == {2}
 
 
 class TestEngine:

@@ -281,9 +281,122 @@ class TestStrictMode:
         assert "Crate.label" in str(raised[0])
 
 
+class _SharedCounter:
+    """A plain object with a lock-smelling field for lockset tests."""
+
+    def __init__(self):
+        self.state_lock = threading.Lock()
+        self.total = 0
+
+
+def _hammer(counter, writes, locked):
+    barrier = threading.Barrier(2)
+
+    def unlocked_writer():
+        barrier.wait()
+        for _ in range(writes):
+            counter.total = counter.total + 1
+
+    def locked_writer():
+        barrier.wait()
+        for _ in range(writes):
+            with counter.state_lock:
+                counter.total = counter.total + 1
+
+    worker = locked_writer if locked else unlocked_writer
+    threads = [
+        threading.Thread(target=worker, name=f"lockset-{i}") for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(10)
+
+
+class TestLockset:
+    """The runtime mirror of morelint rule MOR011."""
+
+    def test_two_threads_without_the_lock_are_flagged_once(self, san):
+        counter = san.lockset.watch(_SharedCounter())
+        before = len(san.violations)
+        try:
+            _hammer(counter, writes=50, locked=False)
+        finally:
+            san.lockset.unwatch_all()
+        fresh = [
+            v
+            for v in san.violations[before:]
+            if v.kind == "unlocked-shared-write"
+        ]
+        # One report per field, not one per racy write.
+        assert len(fresh) == 1
+        assert fresh[0].subject == "_SharedCounter.total"
+        assert "lockset" in str(fresh[0]) or "lock" in str(fresh[0])
+
+    def test_consistent_locking_is_silent_and_correct(self, san):
+        counter = san.lockset.watch(_SharedCounter())
+        before = len(san.violations)
+        try:
+            _hammer(counter, writes=50, locked=True)
+        finally:
+            san.lockset.unwatch_all()
+        assert [
+            v
+            for v in san.violations[before:]
+            if v.kind == "unlocked-shared-write"
+        ] == []
+        assert counter.total == 100
+
+    def test_single_thread_initialization_is_exclusive(self, san):
+        counter = san.lockset.watch(_SharedCounter())
+        before = len(san.violations)
+        try:
+            for _ in range(10):
+                counter.total = counter.total + 1  # no lock, but one thread
+        finally:
+            san.lockset.unwatch_all()
+        assert san.violations[before:] == []
+
+    def test_unwatch_restores_setattr(self, san):
+        counter = san.lockset.watch(_SharedCounter())
+        assert "__setattr__" in _SharedCounter.__dict__
+        san.lockset.unwatch_all()
+        assert "__setattr__" not in _SharedCounter.__dict__
+        counter.total = 99  # plain write, no tracking
+        assert counter.total == 99
+
+    def test_tracked_lock_still_behaves_like_a_lock(self, san):
+        counter = san.lockset.watch(_SharedCounter())
+        try:
+            assert counter.state_lock.acquire(blocking=False)
+            assert not counter.state_lock.acquire(blocking=False)
+            counter.state_lock.release()
+            with counter.state_lock:
+                pass
+        finally:
+            san.lockset.unwatch_all()
+
+
 class TestLifecycle:
     def test_install_is_idempotent(self, san):
         assert sanitizer_mod.install() is san
+
+    def test_double_install_does_not_double_wrap(self, san):
+        first = Thing.__dict__.get("__setattr__")
+        assert sanitizer_mod.install() is san
+        assert Thing.__dict__.get("__setattr__") is first
+
+    def test_repeated_uninstall_is_safe(self):
+        if sanitizer_mod.current() is not None:
+            pytest.skip("session-level sanitizer active (MORENA_SANITIZER)")
+        pristine = "__setattr__" not in Thing.__dict__
+        sanitizer_mod.install()
+        sanitizer_mod.install()  # second install is a no-op
+        sanitizer_mod.uninstall()
+        if pristine:
+            assert "__setattr__" not in Thing.__dict__
+        sanitizer_mod.uninstall()  # idempotent: nothing left to undo
+        assert sanitizer_mod.current() is None
 
     def test_report_formats_violations(self, san, bound_crate):
         app, crate = bound_crate
