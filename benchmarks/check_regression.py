@@ -31,7 +31,10 @@ Guarded rows:
   thread-per-reference (the 100k-references tentpole);
 * ``BENCH_lint.json`` ``repo_lint.wall_seconds`` -- the repo-wide
   morelint sweep: flow-aware analysis must stay interactive (very
-  loose tolerance, wall time on shared runners is noisy).
+  loose tolerance, wall time on shared runners is noisy);
+* ``BENCH_transport.json`` ``relay_roundtrip.overhead_ratio`` -- the
+  relayed-vs-local round-trip cost ratio, measured in deterministic
+  virtual seconds on a ManualClock (tight tolerance: zero noise).
 
 Usage::
 
@@ -89,6 +92,14 @@ GUARDED_ROWS = [
         "repo_lint.wall_seconds",
         direction="lower",
         tolerance=1.00,  # wall time doubles before this trips
+    ),
+    GuardedRow(
+        "BENCH_transport.json",
+        "relay_roundtrip.overhead_ratio",
+        direction="lower",
+        # Virtual-time bench: deterministic to the float digit, so any
+        # drift at all is a real cost-model change, not noise.
+        tolerance=0.01,
     ),
 ]
 

@@ -1,0 +1,129 @@
+"""Transport cost model: what a relayed radio round trip costs.
+
+NFCGate-style relaying (PAPERS.md) services a tag physically present in
+another device's field; every relayed round trip pays a network hop on
+top of the normal transfer model. This bench pins that cost model down
+*deterministically*: everything runs on a :class:`ManualClock`, so the
+measured quantity is pure virtual seconds from
+:class:`TransferTiming` + :class:`RelayTransport` -- no wall-clock
+noise, byte-for-byte reproducible, guarded tightly in CI.
+
+Reported rows:
+
+* local vs relayed seconds per unbatched read round trip and the
+  ``overhead_ratio`` between them (the guarded row);
+* the batched session variant, showing the per-port transaction
+  scheduler amortizes the connect share over the relay exactly as it
+  does locally.
+"""
+
+from repro.clock import ManualClock
+from repro.harness.report import Table
+from repro.radio.environment import RfidEnvironment
+from repro.radio.timing import TransferTiming
+from repro.radio.transport import RelayTransport
+from repro.tags.factory import make_tag
+
+from benchmarks.conftest import emit_bench_json
+
+from tests.conftest import text_message
+
+READS = 50
+RELAY_HOP_SECONDS = 0.02
+TIMING = TransferTiming(base_seconds=0.005, seconds_per_byte=1e-4)
+
+
+def make_world():
+    clock = ManualClock()
+    env = RfidEnvironment(
+        clock=clock,
+        timing=TIMING,
+        transport=RelayTransport(latency_seconds=RELAY_HOP_SECONDS),
+    )
+    reader = env.create_port("reader")
+    bench = env.create_port("bench")
+    tag = make_tag(content=text_message("transport bench payload"))
+    return clock, env, reader, bench, tag
+
+
+def virtual_seconds_per_read(relayed: bool) -> float:
+    """Unbatched reads; each pays connect + transfer (+ hop when relayed)."""
+    clock, env, reader, bench, tag = make_world()
+    if relayed:
+        env.move_tag_into_field(tag, bench)
+        env.pair_fields(reader, bench)
+    else:
+        env.move_tag_into_field(tag, reader)
+    start = clock.now()
+    for _ in range(READS):
+        reader.read_ndef(tag)
+    return (clock.now() - start) / READS
+
+
+def virtual_seconds_per_batched_read(relayed: bool) -> float:
+    """One session for all reads: the connect share is paid once."""
+    clock, env, reader, bench, tag = make_world()
+    if relayed:
+        env.move_tag_into_field(tag, bench)
+        env.pair_fields(reader, bench)
+    else:
+        env.move_tag_into_field(tag, reader)
+    start = clock.now()
+    session = reader.open_session(tag)
+    try:
+        for _ in range(READS):
+            session.read_ndef(tag)
+    finally:
+        session.close()
+    return (clock.now() - start) / READS
+
+
+def test_relay_roundtrip_cost_model(benchmark):
+    local = benchmark.pedantic(
+        virtual_seconds_per_read, args=(False,), rounds=1, iterations=1
+    )
+    relayed = virtual_seconds_per_read(True)
+    local_batched = virtual_seconds_per_batched_read(False)
+    relayed_batched = virtual_seconds_per_batched_read(True)
+
+    overhead_ratio = relayed / local
+    table = Table(
+        f"Relayed vs local round trips -- {READS} reads, "
+        f"{RELAY_HOP_SECONDS * 1000:.0f} ms hop, virtual seconds",
+        ["variant", "s/op (unbatched)", "s/op (batched)", "vs local"],
+    )
+    table.add_row(
+        "local field", round(local, 5), round(local_batched, 5), "1.00x"
+    )
+    table.add_row(
+        "relayed field",
+        round(relayed, 5),
+        round(relayed_batched, 5),
+        f"{overhead_ratio:.2f}x",
+    )
+    table.print()
+
+    # Virtual time is exact: the relayed op costs the local op plus the hop.
+    assert abs(relayed - (local + RELAY_HOP_SECONDS)) < 1e-9
+    # Batching amortizes the connect share identically on both transports.
+    assert local_batched < local
+    assert relayed_batched < relayed
+    # A batched window pays the hop once at connect (a radio round trip
+    # too) and once per operation; per-op that is hop * (READS+1)/READS.
+    expected_delta = RELAY_HOP_SECONDS * (READS + 1) / READS
+    assert abs((relayed_batched - local_batched) - expected_delta) < 1e-9
+
+    emit_bench_json(
+        "transport",
+        {
+            "relay_roundtrip": {
+                "reads": READS,
+                "relay_hop_seconds": RELAY_HOP_SECONDS,
+                "local_seconds_per_op": round(local, 6),
+                "relayed_seconds_per_op": round(relayed, 6),
+                "local_batched_seconds_per_op": round(local_batched, 6),
+                "relayed_batched_seconds_per_op": round(relayed_batched, 6),
+                "overhead_ratio": round(overhead_ratio, 4),
+            }
+        },
+    )

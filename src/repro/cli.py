@@ -8,6 +8,7 @@
     python -m repro.cli tagdump           # write a tag and hexdump its memory
     python -m repro.cli tagdump --type NTAG213 --text "hello"
     python -m repro.cli lint src examples # run the morelint misuse linter
+    python -m repro.cli fuzz --seed 7 --iterations 500 --corpus tests/ndef/corpus
 
 Everything runs against the in-process simulation; no hardware, no
 network, no state outside the current directory.
@@ -188,6 +189,38 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.harness.fuzz import fuzz, load_corpus_dir, replay_corpus, save_case
+
+    failed = False
+    if args.corpus:
+        entries = load_corpus_dir(args.corpus)
+        if entries:
+            replay = replay_corpus(entries)
+            print(
+                f"corpus: {replay.iterations} committed inputs, "
+                f"{len(replay.crashes)} crash"
+                + ("es" if len(replay.crashes) != 1 else "")
+            )
+            for crash in replay.crashes:
+                print("  " + crash.describe(), file=sys.stderr)
+            failed = failed or not replay.ok
+        else:
+            print(f"corpus: no .hex files under {args.corpus}")
+
+    report = fuzz(iterations=args.iterations, seed=args.seed)
+    print(report.summary() if args.verbose else report.summary().splitlines()[0])
+    if not report.ok:
+        for crash in report.crashes:
+            print("  " + crash.describe(), file=sys.stderr)
+        if args.save_crashes:
+            for crash in report.crashes:
+                path = save_case(args.save_crashes, crash)
+                print(f"  saved {path}", file=sys.stderr)
+    failed = failed or not report.ok
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -252,6 +285,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="mutate NDEF wire bytes and assert every mutant fails cleanly",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="deterministic RNG seed")
+    fuzz.add_argument(
+        "--iterations", type=int, default=500, help="number of mutated inputs"
+    )
+    fuzz.add_argument(
+        "--corpus",
+        help="directory of committed .hex crash inputs to regression-replay first",
+    )
+    fuzz.add_argument(
+        "--save-crashes",
+        help="directory to write new crash inputs into (as .hex files)",
+    )
+    fuzz.add_argument(
+        "--verbose", action="store_true", help="print per-mutation counts"
+    )
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     return parser
 

@@ -16,6 +16,15 @@ from repro.harness.crowd import (
     warehouse_conveyor,
 )
 from repro.harness.executor import ReplayStats, WorkloadExecutor
+from repro.harness.fuzz import (
+    CrashCase,
+    FuzzReport,
+    default_corpus,
+    fuzz,
+    load_corpus_dir,
+    replay_corpus,
+    save_case,
+)
 from repro.harness.scenario import Scenario
 from repro.harness.stats import PortStats, collect_port_stats, radio_report
 from repro.harness.user import SimulatedUser, TapStats
@@ -42,4 +51,11 @@ __all__ = [
     "run_churn",
     "turnstile_rush",
     "warehouse_conveyor",
+    "CrashCase",
+    "FuzzReport",
+    "fuzz",
+    "replay_corpus",
+    "default_corpus",
+    "load_corpus_dir",
+    "save_case",
 ]

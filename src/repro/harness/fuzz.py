@@ -1,0 +1,434 @@
+"""Replay-driven NDEF wire fuzzer: hostile tags must fail *cleanly*.
+
+Trojan-of-Things-style attacks put adversarial bytes on tags the
+middleware will happily try to decode. This module mutates captured
+NDEF wire bytes (truncation, length-field inflation, chunk-flag
+corruption, reserved TNF / URI identifier codes, bit flips, splices)
+and replays every mutant through the three decode surfaces a hostile
+tag reaches:
+
+* ``NdefMessage.from_bytes`` -- the raw wire codec;
+* the tag read path -- the mutant is planted in a simulated tag's TLV
+  area and read back through ``SimulatedTag.read_ndef``;
+* the RTD decoders -- records that *do* decode and claim Text / URI /
+  Smart Poster types go through their typed ``from_record`` parsers.
+
+The contract under test: every malformed input raises
+:class:`~repro.errors.NdefDecodeError` (or another typed
+:class:`~repro.errors.ReproError`) -- never ``IndexError``,
+``OverflowError``, ``UnicodeDecodeError``, a wrong result or a hang.
+Anything else is recorded as a :class:`CrashCase`.
+
+Runs are fully deterministic: one :class:`random.Random` seeded from
+``seed`` drives corpus choice and every mutation, so a CI failure
+reproduces locally from the seed alone. Crash inputs serialize to a
+hex-file corpus (one input per ``.hex`` file) that
+:func:`replay_corpus` regression-runs on every CI pass -- see
+``repro.cli fuzz``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import NdefError, ReproError
+from repro.ndef.message import NdefMessage
+from repro.ndef.mime import mime_record
+from repro.ndef.record import FLAG_CF, FLAG_SR, TNF_MASK, NdefRecord, Tnf
+from repro.ndef.rtd import (
+    RTD_SMART_POSTER,
+    RTD_TEXT,
+    RTD_URI,
+    SmartPosterRecord,
+    TextRecord,
+    UriRecord,
+)
+
+#: Errors a hostile input is *allowed* to surface: the typed hierarchy.
+ACCEPTABLE_ERRORS = (ReproError,)
+
+#: Mutants larger than this are truncated -- decode cost stays bounded,
+#: so a fuzz run can never hang on a pathological length.
+MAX_INPUT_BYTES = 4096
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashCase:
+    """One input that broke the typed-error contract."""
+
+    data: bytes
+    stage: str  # decode | roundtrip | tag-read | rtd
+    exception: str  # repr of what escaped
+    mutation: str  # mutation (or corpus entry) that produced the input
+
+    @property
+    def hex(self) -> str:
+        return self.data.hex()
+
+    def describe(self) -> str:
+        return (
+            f"[{self.stage}] {self.exception} "
+            f"(mutation={self.mutation}, {len(self.data)} bytes: "
+            f"{self.data[:32].hex()}{'...' if len(self.data) > 32 else ''})"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run (or one corpus replay)."""
+
+    seed: int
+    iterations: int = 0
+    accepted: int = 0  # decoded fine and round-tripped
+    rejected: int = 0  # raised a typed error, as designed
+    crashes: List[CrashCase] = field(default_factory=list)
+    mutation_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.crashes
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.iterations} inputs (seed {self.seed}): "
+            f"{self.accepted} accepted, {self.rejected} cleanly rejected, "
+            f"{len(self.crashes)} CRASH"
+            + ("ES" if len(self.crashes) != 1 else "")
+        ]
+        for name in sorted(self.mutation_counts):
+            lines.append(f"  {name}: {self.mutation_counts[name]}")
+        for crash in self.crashes:
+            lines.append("  " + crash.describe())
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Mutations
+# ---------------------------------------------------------------------------
+
+Mutation = Callable[[bytes, random.Random], bytes]
+
+
+def mutate_truncate(data: bytes, rng: random.Random) -> bytes:
+    """Cut the input anywhere, including down to nothing."""
+    if not data:
+        return data
+    return data[: rng.randrange(0, len(data))]
+
+
+def mutate_inflate_length(data: bytes, rng: random.Random) -> bytes:
+    """Inflate a payload-length field past the end of the buffer."""
+    if len(data) < 3:
+        return data + b"\xff"
+    out = bytearray(data)
+    if out[0] & FLAG_SR:
+        out[2] = 0xFF  # short record: 1-byte length -> claims 255
+    else:
+        # Long record: 4-byte big-endian length -> claims ~4 GiB.
+        for index in range(2, min(6, len(out))):
+            out[index] = 0xFF
+    return bytes(out)
+
+
+def mutate_clear_short_record(data: bytes, rng: random.Random) -> bytes:
+    """Clear SR so the 1-byte length is reparsed as a 4-byte one."""
+    if not data:
+        return data
+    out = bytearray(data)
+    out[0] &= ~FLAG_SR & 0xFF
+    return bytes(out)
+
+
+def mutate_chunk_flags(data: bytes, rng: random.Random) -> bytes:
+    """Set CF on a random header-ish byte (open a chunk that never ends)."""
+    if not data:
+        return data
+    out = bytearray(data)
+    out[rng.randrange(0, len(out))] |= FLAG_CF
+    out[0] |= FLAG_CF
+    return bytes(out)
+
+
+def mutate_reserved_tnf(data: bytes, rng: random.Random) -> bytes:
+    """Force the first record's TNF to the reserved value 0x07."""
+    if not data:
+        return data
+    out = bytearray(data)
+    out[0] = (out[0] & ~TNF_MASK) | int(Tnf.RESERVED)
+    return bytes(out)
+
+
+def mutate_unchanged_tnf(data: bytes, rng: random.Random) -> bytes:
+    """Force UNCHANGED TNF outside any chunk sequence."""
+    if not data:
+        return data
+    out = bytearray(data)
+    out[0] = (out[0] & ~TNF_MASK) | int(Tnf.UNCHANGED)
+    return bytes(out)
+
+
+def mutate_flip_bits(data: bytes, rng: random.Random) -> bytes:
+    """Flip 1-4 random bits anywhere in the input."""
+    if not data:
+        return b"\x00"
+    out = bytearray(data)
+    for _ in range(rng.randint(1, 4)):
+        out[rng.randrange(0, len(out))] ^= 1 << rng.randrange(0, 8)
+    return bytes(out)
+
+
+def mutate_poison_tail(data: bytes, rng: random.Random) -> bytes:
+    """Overwrite a tail byte with 0xFF (reserved URI codes, bad status)."""
+    if len(data) < 2:
+        return data + b"\xff"
+    out = bytearray(data)
+    out[rng.randrange(len(out) // 2, len(out))] = 0xFF
+    return bytes(out)
+
+
+def mutate_duplicate(data: bytes, rng: random.Random) -> bytes:
+    """Append the input to itself (duplicate MB/ME framing)."""
+    return (data + data)[:MAX_INPUT_BYTES]
+
+
+def mutate_splice(data: bytes, rng: random.Random) -> bytes:
+    """Swap the halves of the input (records out of framing order)."""
+    if len(data) < 2:
+        return data
+    pivot = rng.randrange(1, len(data))
+    return data[pivot:] + data[:pivot]
+
+
+MUTATIONS: Tuple[Tuple[str, Mutation], ...] = (
+    ("truncate", mutate_truncate),
+    ("inflate-length", mutate_inflate_length),
+    ("clear-short-record", mutate_clear_short_record),
+    ("chunk-flags", mutate_chunk_flags),
+    ("reserved-tnf", mutate_reserved_tnf),
+    ("unchanged-tnf", mutate_unchanged_tnf),
+    ("flip-bits", mutate_flip_bits),
+    ("poison-tail", mutate_poison_tail),
+    ("duplicate", mutate_duplicate),
+    ("splice", mutate_splice),
+)
+
+
+# ---------------------------------------------------------------------------
+# Corpus
+# ---------------------------------------------------------------------------
+
+
+def default_corpus() -> List[bytes]:
+    """Representative wire images covering every encoder feature.
+
+    These are the shapes real MORENA traffic produces (thing payloads
+    are MIME records, demos use RTD Text/URI/Smart Poster, chunked and
+    id-carrying records exercise reassembly) -- the same bytes a
+    :class:`~repro.radio.trace.RadioTracer` session would capture off
+    the simulated radio.
+    """
+    text = TextRecord("hello, MORENA", language="en").to_record()
+    uri = UriRecord("https://www.example.org/tag").to_record()
+    poster = SmartPosterRecord(
+        "https://example.org", titles={"en": "demo"}, action=0
+    ).to_record()
+    mime = mime_record("application/vnd.morena.thing", b'{"ssid": "net"}')
+    with_id = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"id-1", b"payload")
+    unknown = NdefRecord(Tnf.UNKNOWN, b"", b"", b"\x00\x01\x02")
+    big = mime_record("application/octet-stream", bytes(range(256)) * 3)
+    corpus = [
+        NdefMessage([text]).to_bytes(),
+        NdefMessage([uri]).to_bytes(),
+        NdefMessage([poster]).to_bytes(),
+        NdefMessage([mime]).to_bytes(),
+        NdefMessage([with_id, unknown]).to_bytes(),
+        NdefMessage([text, uri, mime]).to_bytes(),
+        NdefMessage.empty().to_bytes(),
+        big.to_chunks(64),
+        mime.to_chunks(4),
+    ]
+    return corpus
+
+
+def corpus_from_tags(tags: Iterable[object]) -> List[bytes]:
+    """Capture the wire bytes currently stored on simulated tags."""
+    captured: List[bytes] = []
+    for tag in tags:
+        try:
+            captured.append(tag.read_ndef().to_bytes())
+        except ReproError:
+            continue  # unformatted / corrupt tags have no wire image
+    return captured
+
+
+def load_corpus_dir(directory) -> List[Tuple[str, bytes]]:
+    """Read every ``*.hex`` file (hex text, whitespace ignored) in a dir."""
+    path = Path(directory)
+    entries: List[Tuple[str, bytes]] = []
+    for file in sorted(path.glob("*.hex")):
+        text = "".join(file.read_text().split())
+        entries.append((file.name, bytes.fromhex(text)))
+    return entries
+
+
+def save_case(directory, case: CrashCase) -> Path:
+    """Persist a crash input as ``<stage>-<digest>.hex``; returns the path."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    digest = hashlib.sha256(case.data).hexdigest()[:12]
+    target = path / f"{case.stage}-{digest}.hex"
+    target.write_text(case.data.hex() + "\n")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# Probing
+# ---------------------------------------------------------------------------
+
+
+def _probe_rtd(message: NdefMessage) -> None:
+    """Run typed RTD parsers over records claiming well-known types."""
+    for record in message:
+        if record.tnf != Tnf.WELL_KNOWN:
+            continue
+        if record.type == RTD_TEXT:
+            try:
+                TextRecord.from_record(record)
+            except NdefError:
+                pass
+        elif record.type == RTD_URI:
+            try:
+                UriRecord.from_record(record)
+            except NdefError:
+                pass
+        elif record.type == RTD_SMART_POSTER:
+            try:
+                SmartPosterRecord.from_record(record)
+            except NdefError:
+                pass
+
+
+def _probe_tag_read(data: bytes) -> None:
+    """Plant the bytes in a tag's TLV area and read through the tag path."""
+    from repro.tags.tag import TLV_NDEF, TLV_TERMINATOR, USER_START_PAGE, SimulatedTag
+
+    tag = SimulatedTag()
+    room = tag.tag_type.user_bytes - 5  # TLV header + terminator
+    body = data[: max(room, 0)]
+    if len(body) < 0xFF:
+        block = bytes([TLV_NDEF, len(body)]) + body
+    else:
+        block = bytes([TLV_NDEF, 0xFF]) + len(body).to_bytes(2, "big") + body
+    block += bytes([TLV_TERMINATOR])
+    tag.memory.write_bytes(USER_START_PAGE, block)
+    try:
+        tag.read_ndef()
+    except ReproError:
+        pass  # TagFormatError / NdefDecodeError: the designed outcome
+
+
+def probe(data: bytes, mutation: str = "corpus") -> Tuple[str, Optional[CrashCase]]:
+    """Run one input through every decode surface.
+
+    Returns ``(outcome, crash)`` where outcome is ``"accepted"`` or
+    ``"rejected"`` and crash is ``None`` unless an untyped exception
+    (or a round-trip mismatch) escaped.
+    """
+    data = data[:MAX_INPUT_BYTES]
+    # Stage 1: the raw wire codec.
+    message: Optional[NdefMessage] = None
+    try:
+        message = NdefMessage.from_bytes(data)
+    except ACCEPTABLE_ERRORS:
+        outcome = "rejected"
+    except Exception as exc:  # noqa: BLE001 - the contract under test
+        return "crash", CrashCase(data, "decode", repr(exc), mutation)
+    else:
+        outcome = "accepted"
+
+    if message is not None:
+        # Stage 2: accepted input must round-trip through the canonical
+        # encoding -- a decoder that "accepts" garbage into a message it
+        # cannot re-encode is a silent corruption bug.
+        try:
+            if NdefMessage.from_bytes(message.to_bytes()) != message:
+                return "crash", CrashCase(
+                    data, "roundtrip", "re-decode != original", mutation
+                )
+        except Exception as exc:  # noqa: BLE001
+            return "crash", CrashCase(data, "roundtrip", repr(exc), mutation)
+        # Stage 3: typed RTD parsers over the decoded records.
+        try:
+            _probe_rtd(message)
+        except Exception as exc:  # noqa: BLE001
+            return "crash", CrashCase(data, "rtd", repr(exc), mutation)
+
+    # Stage 4: the same bytes arriving via a physical tag's TLV area.
+    try:
+        _probe_tag_read(data)
+    except Exception as exc:  # noqa: BLE001
+        return "crash", CrashCase(data, "tag-read", repr(exc), mutation)
+    return outcome, None
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+def fuzz(
+    iterations: int = 500,
+    seed: int = 0,
+    corpus: Optional[Sequence[bytes]] = None,
+) -> FuzzReport:
+    """Mutate-and-probe ``iterations`` inputs; fully seed-deterministic."""
+    rng = random.Random(seed)
+    bases = default_corpus() if corpus is None else list(corpus)
+    if not bases:
+        raise ValueError("fuzz needs a non-empty corpus")
+    report = FuzzReport(seed=seed)
+    for _ in range(iterations):
+        base = rng.choice(bases)
+        stack = rng.randint(1, 2)  # occasionally compose two mutations
+        data = base
+        names = []
+        for _ in range(stack):
+            name, mutation = MUTATIONS[rng.randrange(len(MUTATIONS))]
+            data = mutation(data, rng)
+            names.append(name)
+        label = "+".join(names)
+        report.mutation_counts[label] = report.mutation_counts.get(label, 0) + 1
+        outcome, crash = probe(data, label)
+        report.iterations += 1
+        if crash is not None:
+            report.crashes.append(crash)
+        elif outcome == "accepted":
+            report.accepted += 1
+        else:
+            report.rejected += 1
+    return report
+
+
+def replay_corpus(entries: Iterable[Tuple[str, bytes]]) -> FuzzReport:
+    """Probe committed corpus entries verbatim (the regression pass)."""
+    report = FuzzReport(seed=-1)
+    for name, data in entries:
+        outcome, crash = probe(data, name)
+        report.iterations += 1
+        report.mutation_counts[name] = 1
+        if crash is not None:
+            report.crashes.append(crash)
+        elif outcome == "accepted":
+            report.accepted += 1
+        else:
+            report.rejected += 1
+    return report

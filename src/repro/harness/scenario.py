@@ -33,6 +33,7 @@ class Scenario:
         clock=None,
         spatial: bool = False,
         spatial_seed: int = 0,
+        transport: Optional[object] = None,
     ) -> None:
         if spatial:
             from repro.radio.geometry import SpatialEnvironment
@@ -42,10 +43,14 @@ class Scenario:
                 timing=timing,
                 default_link=default_link,
                 seed=spatial_seed,
+                transport=transport,
             )
         else:
             self.env = RfidEnvironment(
-                clock=clock, timing=timing, default_link=default_link
+                clock=clock,
+                timing=timing,
+                default_link=default_link,
+                transport=transport,
             )
         self.wifi_registry = WifiNetworkRegistry()
         self.phones: Dict[str, AndroidDevice] = {}

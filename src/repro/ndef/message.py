@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional, Sequence
 
-from repro.errors import NdefDecodeError, NdefEncodeError
+from repro.errors import NdefDecodeError, NdefEncodeError, NdefValidationError
 from repro.ndef.record import (
     ENCODE_STATS,
     NdefRecord,
@@ -156,7 +156,7 @@ def _reassemble(raw_records: List[RawRecord]) -> List[NdefRecord]:
                 pending_payload = bytearray(raw.payload)
             else:
                 records.append(
-                    NdefRecord(Tnf(raw.tnf), raw.type, raw.id, raw.payload)
+                    _build_record(raw, raw.payload)
                 )
         else:
             if raw.tnf != Tnf.UNCHANGED:
@@ -169,16 +169,26 @@ def _reassemble(raw_records: List[RawRecord]) -> List[NdefRecord]:
                 )
             pending_payload += raw.payload
             if not raw.chunk_flag:
-                records.append(
-                    NdefRecord(
-                        Tnf(pending.tnf),
-                        pending.type,
-                        pending.id,
-                        bytes(pending_payload),
-                    )
-                )
+                records.append(_build_record(pending, bytes(pending_payload)))
                 pending = None
                 pending_payload = bytearray()
     if pending is not None:
         raise NdefDecodeError("message ended inside a chunked record")
     return records
+
+
+def _build_record(raw: RawRecord, payload: bytes) -> NdefRecord:
+    """A logical record from wire fields, as a *decode* concern.
+
+    A record that parses structurally but violates the record-level
+    rules (EMPTY with a payload, WELL_KNOWN without a type, ...) is
+    malformed input, not an API-misuse bug -- hostile bytes must
+    surface as :class:`NdefDecodeError`, never leak the constructor's
+    :class:`NdefValidationError`.
+    """
+    try:
+        return NdefRecord(Tnf(raw.tnf), raw.type, raw.id, payload)
+    except NdefValidationError as exc:
+        raise NdefDecodeError(
+            f"record at byte {raw.offset} violates NDEF rules: {exc}"
+        ) from exc

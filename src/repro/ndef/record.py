@@ -230,10 +230,16 @@ class NdefRecord:
             raise NdefEncodeError("chunk_size must be positive")
         if self.tnf == Tnf.EMPTY:
             raise NdefEncodeError("EMPTY records cannot be chunked")
-        pieces: List[bytes] = [
-            self.payload[i : i + chunk_size]
-            for i in range(0, len(self.payload), chunk_size)
-        ] or [b""]
+        if not self.payload:
+            # range(0, 0, chunk_size) yields nothing: a zero-length
+            # payload must still encode as one valid (empty) chunk
+            # instead of emitting zero records.
+            pieces: List[bytes] = [b""]
+        else:
+            pieces = [
+                self.payload[i : i + chunk_size]
+                for i in range(0, len(self.payload), chunk_size)
+            ]
         if len(pieces) == 1:
             return self.to_bytes(message_begin, message_end)
         out = bytearray()

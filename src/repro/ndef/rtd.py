@@ -99,9 +99,17 @@ class TextRecord:
         utf16 = bool(status & _TEXT_UTF16_FLAG)
         if 1 + lang_length > len(record.payload):
             raise NdefDecodeError("RTD Text language code is truncated")
-        language = record.payload[1 : 1 + lang_length].decode("ascii")
+        try:
+            language = record.payload[1 : 1 + lang_length].decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise NdefDecodeError("RTD Text language code is not ASCII") from exc
         body = record.payload[1 + lang_length :]
-        text = body.decode("utf-16-be" if utf16 else "utf-8")
+        try:
+            text = body.decode("utf-16-be" if utf16 else "utf-8")
+        except UnicodeDecodeError as exc:
+            raise NdefDecodeError(
+                f"RTD Text body is not valid {'UTF-16' if utf16 else 'UTF-8'}"
+            ) from exc
         return TextRecord(text=text, language=language, utf16=utf16)
 
 
@@ -125,7 +133,10 @@ class UriRecord:
         code = record.payload[0]
         if code >= len(URI_PREFIXES):
             raise NdefDecodeError(f"RTD URI identifier code 0x{code:02x} is reserved")
-        remainder = record.payload[1:].decode("utf-8")
+        try:
+            remainder = record.payload[1:].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise NdefDecodeError("RTD URI remainder is not valid UTF-8") from exc
         return UriRecord(uri=URI_PREFIXES[code] + remainder)
 
 

@@ -24,6 +24,12 @@ from repro.radio.link import (
     ScriptedLink,
 )
 from repro.radio.timing import NO_DELAY, TransferTiming
+from repro.radio.transport import (
+    LocalFieldTransport,
+    RelayTransport,
+    TraceTransport,
+    Transport,
+)
 from repro.radio.environment import RfidEnvironment
 from repro.radio.geometry import Position, SpatialEnvironment
 from repro.radio.port import NfcAdapterPort
@@ -51,6 +57,10 @@ __all__ = [
     "FlakyThenGoodLink",
     "TransferTiming",
     "NO_DELAY",
+    "Transport",
+    "LocalFieldTransport",
+    "RelayTransport",
+    "TraceTransport",
     "FieldEvent",
     "TagEntered",
     "TagLeft",

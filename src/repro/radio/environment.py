@@ -10,6 +10,13 @@ changes through field events.
 All mutations are serialized under one lock; event callbacks are invoked
 outside the lock (ports post them onto their device's main looper, so the
 callback bodies are trivial).
+
+Tag visibility itself is delegated to a pluggable
+:class:`~repro.radio.transport.Transport` (local simulated field by
+default; NFCGate-style relay and recorded-trace sources are the other
+two shipped backends) -- the environment keeps the locking, ownership
+checks and event dispatch, the transport answers *which ports see which
+tags*.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from repro.radio.events import PeerEntered, PeerLeft, TagEntered, TagLeft
 from repro.radio.link import LinkModel, link_from_spec
 from repro.radio.port import NfcAdapterPort
 from repro.radio.timing import NO_DELAY, TransferTiming
+from repro.radio.transport import LocalFieldTransport, Transport
 from repro.tags.tag import SimulatedTag
 
 
@@ -35,20 +43,26 @@ class RfidEnvironment:
         clock: Optional[Clock] = None,
         timing: TransferTiming = NO_DELAY,
         default_link: Optional[object] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         self._clock = clock if clock is not None else SystemClock()
         self._timing = timing
         self._default_link_spec = default_link
         self._lock = threading.RLock()
         self._ports: Dict[str, NfcAdapterPort] = {}
-        # port name -> tags currently in that port's field
-        self._fields: Dict[str, Set[SimulatedTag]] = {}
+        # Field topology lives in the transport (which ports see which tags).
+        self._transport = transport if transport is not None else LocalFieldTransport()
+        self._transport.attach(self)
         # unordered pairs of port names in Beam range
         self._proximities: Set[Tuple[str, str]] = set()
 
     @property
     def clock(self) -> Clock:
         return self._clock
+
+    @property
+    def transport(self) -> Transport:
+        return self._transport
 
     @property
     def timing(self) -> TransferTiming:
@@ -76,7 +90,7 @@ class RfidEnvironment:
                 timing=self._timing,
             )
             self._ports[name] = port
-            self._fields[name] = set()
+            self._transport.add_port(name)
             return port
 
     def port(self, name: str) -> NfcAdapterPort:
@@ -95,22 +109,22 @@ class RfidEnvironment:
     def move_tag_into_field(self, tag: SimulatedTag, port: NfcAdapterPort) -> None:
         """Bring ``tag`` into reading range of ``port`` (idempotent)."""
         with self._lock:
-            field = self._field_of(port)
-            if tag in field:
-                return
-            field.add(tag)
+            self._check_owned(port)
+            observers = self._transport.insert(tag, port.name)
+            ports = [self._ports[name] for name in observers]
         # The port routes the event to its generic listeners plus the
         # listeners registered for exactly this tag (wakeup fan-out).
-        port.dispatch_field_event(TagEntered(tag))
+        for observer in ports:
+            observer.dispatch_field_event(TagEntered(tag))
 
     def remove_tag_from_field(self, tag: SimulatedTag, port: NfcAdapterPort) -> None:
         """Take ``tag`` out of range of ``port`` (idempotent)."""
         with self._lock:
-            field = self._field_of(port)
-            if tag not in field:
-                return
-            field.discard(tag)
-        port.dispatch_field_event(TagLeft(tag))
+            self._check_owned(port)
+            observers = self._transport.remove(tag, port.name)
+            ports = [self._ports[name] for name in observers]
+        for observer in ports:
+            observer.dispatch_field_event(TagLeft(tag))
 
     def move_tags_into_field(
         self, tags: Iterable[SimulatedTag], port: NfcAdapterPort
@@ -123,12 +137,15 @@ class RfidEnvironment:
         (not already in the field).
         """
         with self._lock:
-            field = self._field_of(port)
-            fresh = [tag for tag in tags if tag not in field]
-            field.update(fresh)
-        if fresh:
-            port.dispatch_field_events([TagEntered(tag) for tag in fresh])
-        return len(fresh)
+            self._check_owned(port)
+            by_observer = self._transport.insert_many(tags, port.name)
+            routed = [
+                (self._ports[name], fresh)
+                for name, fresh in by_observer.items()
+            ]
+        for observer, fresh in routed:
+            observer.dispatch_field_events([TagEntered(tag) for tag in fresh])
+        return len(by_observer.get(port.name, ()))
 
     def remove_tags_from_field(
         self, tags: Iterable[SimulatedTag], port: NfcAdapterPort
@@ -138,31 +155,74 @@ class RfidEnvironment:
         Returns how many tags were actually present and left.
         """
         with self._lock:
-            field = self._field_of(port)
-            present = [tag for tag in tags if tag in field]
-            field.difference_update(present)
-        if present:
-            port.dispatch_field_events([TagLeft(tag) for tag in present])
-        return len(present)
+            self._check_owned(port)
+            by_observer = self._transport.remove_many(tags, port.name)
+            routed = [
+                (self._ports[name], gone)
+                for name, gone in by_observer.items()
+            ]
+        for observer, gone in routed:
+            observer.dispatch_field_events([TagLeft(tag) for tag in gone])
+        return len(by_observer.get(port.name, ()))
 
     def tag_in_field(self, tag: SimulatedTag, port: NfcAdapterPort) -> bool:
         with self._lock:
-            return tag in self._field_of(port)
+            self._check_owned(port)
+            return self._transport.sees(port.name, tag)
 
     def tags_in_field(self, port: NfcAdapterPort) -> List[SimulatedTag]:
         with self._lock:
-            return list(self._field_of(port))
+            self._check_owned(port)
+            return self._transport.visible_tags(port.name)
 
     def field_size(self, port: NfcAdapterPort) -> int:
         """How many tags are currently inside ``port``'s field."""
         with self._lock:
-            return len(self._field_of(port))
+            self._check_owned(port)
+            return len(self._transport.visible_tags(port.name))
 
     def ports_seeing(self, tag: SimulatedTag) -> List[str]:
         with self._lock:
-            return sorted(
-                name for name, field in self._fields.items() if tag in field
-            )
+            return self._transport.ports_seeing(tag)
+
+    # -- relayed fields (RelayTransport) ---------------------------------------------
+
+    def pair_fields(self, reader: NfcAdapterPort, remote: NfcAdapterPort) -> int:
+        """Relay ``remote``'s physical field to ``reader`` (NFCGate-style).
+
+        Requires a :class:`~repro.radio.transport.RelayTransport`
+        backend (``RadioError`` otherwise). Tags already lying in the
+        remote field surface as ``TagEntered`` on the reader; returns
+        how many did.
+        """
+        with self._lock:
+            self._check_owned(reader)
+            self._check_owned(remote)
+            fresh = self._transport.link(reader.name, remote.name)
+        if fresh:
+            reader.dispatch_field_events([TagEntered(tag) for tag in fresh])
+        return len(fresh)
+
+    def unpair_fields(self, reader: NfcAdapterPort, remote: NfcAdapterPort) -> int:
+        """Stop relaying ``remote``'s field to ``reader``.
+
+        Tags the reader only saw through the relay leave its field
+        (``TagLeft``); returns how many left.
+        """
+        with self._lock:
+            self._check_owned(reader)
+            self._check_owned(remote)
+            gone = self._transport.unlink(reader.name, remote.name)
+        if gone:
+            reader.dispatch_field_events([TagLeft(tag) for tag in gone])
+        return len(gone)
+
+    def transfer_overhead_seconds(
+        self, port: NfcAdapterPort, tag: SimulatedTag
+    ) -> float:
+        """Transport surcharge for one radio round trip (relay hop cost)."""
+        with self._lock:
+            return self._transport.operation_overhead_seconds(port.name, tag)
 
     @contextlib.contextmanager
     def tap(self, tag: SimulatedTag, port: NfcAdapterPort) -> Iterator[None]:
@@ -242,10 +302,6 @@ class RfidEnvironment:
         return True
 
     # -- internals -----------------------------------------------------------------
-
-    def _field_of(self, port: NfcAdapterPort) -> Set[SimulatedTag]:
-        self._check_owned(port)
-        return self._fields[port.name]
 
     def _check_owned(self, port: NfcAdapterPort) -> None:
         if self._ports.get(port.name) is not port:

@@ -60,10 +60,16 @@ class SpatialEnvironment(RfidEnvironment):
         clock: Optional[Clock] = None,
         timing: TransferTiming = NO_DELAY,
         default_link: Optional[object] = None,
+        transport: Optional[object] = None,
     ) -> None:
         if not 0 < reliable_range <= max_range:
             raise RadioError("need 0 < reliable_range <= max_range")
-        super().__init__(clock=clock, timing=timing, default_link=default_link)
+        super().__init__(
+            clock=clock,
+            timing=timing,
+            default_link=default_link,
+            transport=transport,
+        )
         self.reliable_range = reliable_range
         self.max_range = max_range
         self._rng = random.Random(seed)

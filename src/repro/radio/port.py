@@ -226,7 +226,7 @@ class NfcAdapterPort:
             self.connects += 1
         self._require_in_field(tag)
         with self._radio_lock:
-            self._simulate_latency(len(data) + 32)
+            self._simulate_latency(len(data) + 32, tag=tag)
             self._require_in_field(tag, torn=True)
             if not self._link.attempt_succeeds(
                 len(data) + 32
@@ -259,6 +259,7 @@ class NfcAdapterPort:
         self._require_in_field(tag)
         with self._radio_lock:
             seconds = self._timing.connect_seconds
+            seconds += self._env.transfer_overhead_seconds(self, tag)
             if seconds > 0:
                 self._clock.sleep(seconds)
         self._require_in_field(tag, torn=True)
@@ -267,7 +268,9 @@ class NfcAdapterPort:
     def _read_ndef_impl(self, tag: SimulatedTag, batched: bool) -> NdefMessage:
         self._require_in_field(tag)
         with self._radio_lock:
-            self._simulate_latency(tag.tag_type.user_bytes, batched=batched)
+            self._simulate_latency(
+                tag.tag_type.user_bytes, batched=batched, tag=tag
+            )
             self._require_in_field(tag, torn=True)
             if not self._link.attempt_succeeds(
                 tag.tag_type.user_bytes
@@ -288,7 +291,7 @@ class NfcAdapterPort:
         self._require_in_field(tag)
         encoded_size = message.byte_length
         with self._radio_lock:
-            self._simulate_latency(encoded_size, batched=batched)
+            self._simulate_latency(encoded_size, batched=batched, tag=tag)
             torn = (
                 not self._env.tag_in_field(tag, self)
                 or not self._link.attempt_succeeds(encoded_size)
@@ -305,7 +308,7 @@ class NfcAdapterPort:
     def _format_impl(self, tag: SimulatedTag, batched: bool) -> None:
         self._require_in_field(tag)
         with self._radio_lock:
-            self._simulate_latency(16, batched=batched)
+            self._simulate_latency(16, batched=batched, tag=tag)
             self._require_in_field(tag, torn=True)
             if not self._link.attempt_succeeds(16) or not self._env.attempt_allowed(
                 self, tag
@@ -318,7 +321,7 @@ class NfcAdapterPort:
     def _lock_impl(self, tag: SimulatedTag, batched: bool) -> None:
         self._require_in_field(tag)
         with self._radio_lock:
-            self._simulate_latency(8, batched=batched)
+            self._simulate_latency(8, batched=batched, tag=tag)
             self._require_in_field(tag, torn=True)
             if not self._link.attempt_succeeds(8) or not self._env.attempt_allowed(
                 self, tag
@@ -439,12 +442,21 @@ class NfcAdapterPort:
                 f"tag {tag.uid_hex} is not in the field of {self.name}"
             )
 
-    def _simulate_latency(self, byte_count: int, batched: bool = False) -> None:
+    def _simulate_latency(
+        self,
+        byte_count: int,
+        batched: bool = False,
+        tag: Optional[SimulatedTag] = None,
+    ) -> None:
         seconds = (
             self._timing.batched_operation_seconds(byte_count)
             if batched
             else self._timing.operation_seconds(byte_count)
         )
+        if tag is not None:
+            # Transport surcharge: a relayed tag pays the network hop on
+            # every radio round trip, on top of the transfer model.
+            seconds += self._env.transfer_overhead_seconds(self, tag)
         if seconds > 0:
             self._clock.sleep(seconds)
 

@@ -8,6 +8,15 @@ with a timestamp; the trace serializes to JSON and a
 (or a different) population -- turning a flaky field observation into a
 deterministic regression test.
 
+Timestamps are **clock-correct**: the tracer reads the environment's
+injected :class:`~repro.clock.Clock`, so a scenario scripted under a
+:class:`~repro.clock.ManualClock` records the virtual spacing the script
+created, not the near-zero wall-clock gaps of the recording process.
+Replay is symmetric -- against a manual clock the replayer *advances*
+the clock by the recorded deltas (no real sleeping, fully
+deterministic); against a real clock ``time_scale`` stretches or
+collapses the recorded gaps into real sleeps as before.
+
 Tags are identified in the trace by UID; replay takes a UID -> tag
 mapping (tags restored from a :class:`~repro.tags.store.TagStore`
 naturally keep their UIDs).
@@ -17,9 +26,8 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Tuple
 
 from repro.errors import RadioError
 from repro.radio.environment import RfidEnvironment
@@ -46,7 +54,11 @@ class RadioTracer:
         self._env = env
         self._lock = threading.Lock()
         self._events: List[TraceEvent] = []
-        self._started_at = time.monotonic()
+        # Event times come from the environment's injected clock -- under
+        # a ManualClock the trace captures the *scripted* spacing, which
+        # wall-clock stamps would collapse to microseconds.
+        self._clock = env.clock
+        self._started_at = self._clock.now()
         self._listeners: Dict[str, object] = {}
         for name in env.port_names():
             self.watch_port(name)
@@ -64,7 +76,7 @@ class RadioTracer:
         self._env.port(name).add_field_listener(listener)
 
     def _record(self, port_name: str, event) -> None:
-        now = time.monotonic() - self._started_at
+        now = self._clock.now() - self._started_at
         if isinstance(event, TagEntered):
             kind, subject = "tag-entered", event.tag.uid_hex
         elif isinstance(event, TagLeft):
@@ -141,7 +153,23 @@ def trace_from_json(text: str) -> List[TraceEvent]:
 
 
 class TraceReplayer:
-    """Re-applies a recorded trace to an environment."""
+    """Re-applies a recorded trace to an environment.
+
+    Time handling depends on the environment's clock:
+
+    * a :class:`~repro.clock.ManualClock` is **driven**: before each
+      event the clock advances by the recorded inter-event delta
+      (``time_scale`` is ignored -- virtual time is free, and
+      reproducing the recorded timeline is the whole point). Two
+      replays of one trace deliver identical event sequences at
+      identical virtual timestamps, with zero real sleeping.
+    * any other clock sleeps ``delta * time_scale`` real seconds
+      through the clock (0 replays instantly, 1.0 in original time).
+
+    Every applied event is appended to :attr:`delivered` as
+    ``(clock_timestamp, event)`` -- the deterministic record a
+    regression test asserts against.
+    """
 
     def __init__(
         self,
@@ -153,8 +181,15 @@ class TraceReplayer:
         if time_scale < 0:
             raise RadioError("time_scale must be >= 0")
         self._env = env
+        self._clock = env.clock
         self._tags = dict(tags_by_uid)
         self._time_scale = time_scale
+        # Recorded seconds already accounted for. Instance state, not a
+        # replay() local: one replayer owns one recorded timeline, and
+        # replaying it in slices (TraceTransport.step) must not re-pay
+        # the absolute timestamps of earlier slices as fresh deltas.
+        self._elapsed = 0.0
+        self.delivered: List[Tuple[float, TraceEvent]] = []
 
     def replay(self, events: List[TraceEvent]) -> int:
         """Apply the events in order; returns how many were applied.
@@ -163,14 +198,19 @@ class TraceReplayer:
         the wrong population is a bug, not a partial success.
         """
         applied = 0
-        virtual_now: Optional[float] = None
+        # ManualClock (or anything advanceable) is driven directly; no
+        # real sleeping ever happens on a virtual timeline.
+        advance = getattr(self._clock, "advance", None)
         for event in events:
-            if self._time_scale and virtual_now is not None:
-                delay = (event.at_seconds - virtual_now) * self._time_scale
-                if delay > 0:
-                    time.sleep(delay)
-            virtual_now = event.at_seconds
+            delta = event.at_seconds - self._elapsed
+            if delta > 0:
+                if advance is not None:
+                    advance(delta)
+                elif self._time_scale:
+                    self._clock.sleep(delta * self._time_scale)
+                self._elapsed = event.at_seconds
             self._apply(event)
+            self.delivered.append((self._clock.now(), event))
             applied += 1
         return applied
 

@@ -1,0 +1,133 @@
+"""NFCGate-style relay scenarios: servicing a tag in another phone's field.
+
+The transport seam's acceptance test: a ``TagReference`` held by device A
+reads, writes and leases a tag physically lying in device B's field, with
+*zero* changes at the reference call sites -- the relay is wired purely by
+constructing the scenario with a :class:`RelayTransport` and pairing the
+fields. Offline batching and the per-port transaction scheduler apply to
+relayed tags exactly as to local ones.
+"""
+
+import pytest
+
+from repro.concurrent import EventLog, wait_until
+from repro.core.reference import TagReference
+from repro.android.nfc.tech import Tag
+from repro.harness.scenario import Scenario
+from repro.leasing.manager import LeaseManager
+from repro.radio.transport import RelayTransport
+
+from tests.conftest import PlainNfcActivity, string_converters, text_tag
+
+
+@pytest.fixture
+def relay_scenario():
+    with Scenario(transport=RelayTransport()) as s:
+        yield s
+
+
+@pytest.fixture
+def world(relay_scenario):
+    """A reader phone, a bench phone, and a tag on the bench."""
+    scenario = relay_scenario
+    tag = text_tag("bench data")
+    reader = scenario.add_phone("reader")
+    bench = scenario.add_phone("bench")
+    app = scenario.start(reader, PlainNfcActivity)
+    scenario.put(tag, bench)
+    read_conv, write_conv = string_converters()
+    reference = TagReference(Tag(tag, reader.port), app, read_conv, write_conv)
+    return scenario, tag, reader, bench, reference
+
+
+class TestRelayedReference:
+    def test_pairing_connects_the_remote_reference(self, world):
+        scenario, tag, reader, bench, reference = world
+        assert not reference.is_connected
+        scenario.env.pair_fields(reader.port, bench.port)
+        assert wait_until(lambda: reference.is_connected)
+
+    def test_read_through_the_relay(self, world):
+        scenario, tag, reader, bench, reference = world
+        scenario.env.pair_fields(reader.port, bench.port)
+        got = EventLog()
+        reference.read(on_read=lambda ref: got.append(ref.cached))
+        assert got.wait_for_count(1)
+        assert got.snapshot() == ["bench data"]
+
+    def test_write_through_the_relay_lands_on_the_physical_tag(self, world):
+        scenario, tag, reader, bench, reference = world
+        scenario.env.pair_fields(reader.port, bench.port)
+        done = EventLog()
+        reference.write("written remotely", on_written=lambda _r: done.append("ok"))
+        assert done.wait_for_count(1)
+        # The physical tag on the bench now carries the reader's write.
+        payload = tag.read_ndef()[0].payload
+        assert payload == b"written remotely"
+
+    def test_unpairing_disconnects_like_a_departing_tag(self, world):
+        scenario, tag, reader, bench, reference = world
+        scenario.env.pair_fields(reader.port, bench.port)
+        assert wait_until(lambda: reference.is_connected)
+        scenario.env.unpair_fields(reader.port, bench.port)
+        assert wait_until(lambda: not reference.is_connected)
+
+    def test_offline_batch_drains_in_one_relayed_window(self, world):
+        """The tx scheduler treats relay arrival exactly like a re-tap."""
+        scenario, tag, reader, bench, reference = world
+        order = EventLog()
+        reference.write("first", on_written=lambda _r: order.append("first"))
+        reference.write("second", on_written=lambda _r: order.append("second"))
+        reference.read(on_read=lambda ref: order.append(("read", ref.cached)))
+
+        connects_before = reader.port.connects
+        scenario.env.pair_fields(reader.port, bench.port)
+        assert order.wait_for_count(3)
+        assert order.snapshot() == ["first", "second", ("read", "second")]
+        # One shared connect round for the whole batch, through the relay.
+        assert reader.port.connects - connects_before == 1
+
+
+class TestRelayedLease:
+    def test_lease_acquired_and_renewed_over_the_relay(self, world):
+        scenario, tag, reader, bench, reference = world
+        scenario.env.pair_fields(reader.port, bench.port)
+        manager = LeaseManager(reference, "reader", drift_bound=0.0)
+        acquired = EventLog()
+        manager.acquire(60.0, on_acquired=lambda lease: acquired.append(lease))
+        assert acquired.wait_for_count(1, timeout=5)
+
+        renewed = EventLog()
+        manager.renew(60.0, on_renewed=lambda lease: renewed.append(lease))
+        assert renewed.wait_for_count(1, timeout=5)
+
+    def test_guarded_write_over_the_relay(self, world):
+        from repro.ndef.mime import mime_record
+
+        scenario, tag, reader, bench, reference = world
+        scenario.env.pair_fields(reader.port, bench.port)
+        manager = LeaseManager(reference, "reader", drift_bound=0.0)
+        acquired = EventLog()
+        manager.acquire(60.0, on_acquired=lambda lease: acquired.append(lease))
+        assert acquired.wait_for_count(1, timeout=5)
+
+        written = EventLog()
+        manager.write_guarded(
+            [mime_record("application/guarded", b"relay payload")],
+            on_written=lambda: written.append("ok"),
+        )
+        assert written.wait_for_count(1, timeout=5)
+
+
+class TestBothSidesService:
+    def test_local_reference_on_bench_still_works(self, world):
+        """Relaying adds a reader; it never breaks the local holder."""
+        scenario, tag, reader, bench, reference = world
+        scenario.env.pair_fields(reader.port, bench.port)
+        bench_app = scenario.start(bench, PlainNfcActivity)
+        read_conv, write_conv = string_converters()
+        local = TagReference(Tag(tag, bench.port), bench_app, read_conv, write_conv)
+        got = EventLog()
+        local.read(on_read=lambda ref: got.append(ref.cached))
+        assert got.wait_for_count(1)
+        assert got.snapshot() == ["bench data"]

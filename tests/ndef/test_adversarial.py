@@ -1,0 +1,189 @@
+"""Table-driven adversarial wire inputs: hostile bytes fail *typed*.
+
+Every entry is one crafted malformed wire image and the contract is
+uniform: decoding raises :class:`NdefDecodeError` -- never
+``IndexError``, ``OverflowError``, ``UnicodeDecodeError`` or a leaked
+:class:`NdefValidationError`. The tables double as documentation of the
+attack shapes the replay fuzzer (:mod:`repro.harness.fuzz`) mutates
+toward.
+"""
+
+import pytest
+
+from repro.errors import NdefDecodeError
+from repro.ndef.message import NdefMessage
+from repro.ndef.record import NdefRecord, Tnf
+from repro.ndef.rtd import SmartPosterRecord, TextRecord, UriRecord
+
+T = ord("T")
+U = ord("U")
+
+# (name, wire bytes) -- every one must raise NdefDecodeError from from_bytes.
+MALFORMED_WIRE = [
+    (
+        "short-length-exceeds-buffer",
+        # SR payload length claims 255 bytes; only 2 present.
+        bytes([0xD1, 0x01, 0xFF, T, 0x65, 0x6E]),
+    ),
+    (
+        "long-length-exceeds-buffer",
+        # 4-byte payload length claims ~4 GiB; nothing behind it.
+        bytes([0xC1, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, T]),
+    ),
+    (
+        "long-length-truncated-itself",
+        # SR cleared, so 4 length bytes are required -- only 2 present.
+        bytes([0xC1, 0x01, 0x00, 0x00]),
+    ),
+    (
+        "unchanged-tnf-outside-chunks",
+        bytes([0xD6, 0x00, 0x00]),
+    ),
+    (
+        "unchanged-tnf-first-of-two",
+        # UNCHANGED on the first record, a valid record after it.
+        bytes([0x96, 0x00, 0x00]) + bytes([0x55, 0x00, 0x00]),
+    ),
+    (
+        "reserved-tnf",
+        bytes([0xD7, 0x00, 0x00]),
+    ),
+    (
+        "chunk-without-terminator",
+        # CF set, ME never arrives on a final chunk.
+        bytes([0xB1, 0x01, 0x01, T, 0x80]),
+    ),
+    (
+        "chunk-continuation-with-type",
+        # First chunk, then an UNCHANGED chunk illegally carrying a type.
+        bytes([0xB2, 0x03, 0x01, ord("a"), ord("/"), ord("b"), 0x78])
+        + bytes([0x56, 0x01, 0x01, ord("x"), 0x79]),
+    ),
+    (
+        "missing-message-begin",
+        bytes([0x51, 0x01, 0x00, T]),
+    ),
+    (
+        "message-begin-twice",
+        bytes([0x91, 0x01, 0x00, T]) + bytes([0xD1, 0x01, 0x00, T]),
+    ),
+    (
+        "missing-message-end",
+        bytes([0x91, 0x01, 0x00, T]),
+    ),
+    (
+        "empty-input",
+        b"",
+    ),
+    (
+        "empty-tnf-with-payload",
+        # Structurally fine; violates the EMPTY-carries-nothing rule.
+        # Regression: NdefValidationError used to leak from from_bytes.
+        bytes([0xD0, 0x00, 0x03]) + b"abc",
+    ),
+    (
+        "well-known-without-type",
+        bytes([0xD1, 0x00, 0x01, 0x78]),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "data", [case for _, case in MALFORMED_WIRE], ids=[n for n, _ in MALFORMED_WIRE]
+)
+def test_malformed_wire_raises_decode_error(data):
+    with pytest.raises(NdefDecodeError):
+        NdefMessage.from_bytes(data)
+
+
+def wk(payload: bytes, rtd: bytes) -> NdefRecord:
+    return NdefRecord(Tnf.WELL_KNOWN, rtd, b"", payload)
+
+
+# (name, parser, record) -- typed RTD parsers on hostile payloads.
+MALFORMED_RTD = [
+    (
+        "text-empty-payload",
+        TextRecord.from_record,
+        wk(b"", b"T"),
+    ),
+    (
+        "text-truncated-language",
+        # Status byte claims a 63-byte language code; payload ends.
+        TextRecord.from_record,
+        wk(bytes([0x3F]) + b"en", b"T"),
+    ),
+    (
+        "text-non-ascii-language",
+        # Regression: UnicodeDecodeError used to escape.
+        TextRecord.from_record,
+        wk(bytes([0x02, 0xFF, 0xFE]) + b"hi", b"T"),
+    ),
+    (
+        "text-invalid-utf8-body",
+        # Regression: UnicodeDecodeError used to escape.
+        TextRecord.from_record,
+        wk(bytes([0x02]) + b"en" + b"\xff\xfe\xfd", b"T"),
+    ),
+    (
+        "text-invalid-utf16-body",
+        TextRecord.from_record,
+        wk(bytes([0x82]) + b"en" + b"\x00", b"T"),  # odd-length UTF-16
+    ),
+    (
+        "uri-empty-payload",
+        UriRecord.from_record,
+        wk(b"", b"U"),
+    ),
+    (
+        "uri-reserved-identifier-code",
+        UriRecord.from_record,
+        wk(bytes([0x30]) + b"x", b"U"),  # 0x30 > highest defined code
+    ),
+    (
+        "uri-invalid-utf8-remainder",
+        # Regression: UnicodeDecodeError used to escape.
+        UriRecord.from_record,
+        wk(bytes([0x01, 0xFF]), b"U"),
+    ),
+    (
+        "smart-poster-garbage-inner-message",
+        SmartPosterRecord.from_record,
+        wk(b"\xff\xff\xff", b"Sp"),
+    ),
+    (
+        "smart-poster-without-uri",
+        SmartPosterRecord.from_record,
+        wk(NdefMessage([TextRecord("t").to_record()]).to_bytes(), b"Sp"),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "parser, record",
+    [(p, r) for _, p, r in MALFORMED_RTD],
+    ids=[n for n, _, _ in MALFORMED_RTD],
+)
+def test_malformed_rtd_raises_decode_error(parser, record):
+    with pytest.raises(NdefDecodeError):
+        parser(record)
+
+
+class TestDecodeErrorsAreDiagnosable:
+    def test_truncation_error_names_the_offset(self):
+        with pytest.raises(NdefDecodeError, match="byte 0"):
+            NdefMessage.from_bytes(bytes([0xD1, 0x01, 0xFF, T]))
+
+    def test_validation_leak_is_wrapped_with_offset(self):
+        with pytest.raises(NdefDecodeError, match="byte 0.*NDEF rules"):
+            NdefMessage.from_bytes(bytes([0xD0, 0x00, 0x03]) + b"abc")
+
+    def test_validation_error_keeps_cause_chain(self):
+        from repro.errors import NdefValidationError
+
+        try:
+            NdefMessage.from_bytes(bytes([0xD0, 0x00, 0x03]) + b"abc")
+        except NdefDecodeError as exc:
+            assert isinstance(exc.__cause__, NdefValidationError)
+        else:
+            pytest.fail("expected NdefDecodeError")

@@ -151,6 +151,28 @@ class TestChunking:
         with pytest.raises(NdefEncodeError):
             record.to_chunks(0)
 
+    def test_zero_length_payload_encodes_one_record(self):
+        """Regression: an empty payload must yield one (empty) record,
+        not zero records -- ``range(0, 0, n)`` produces nothing."""
+        record = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"", b"")
+        data = record.to_chunks(16)
+        raws = list(iter_raw_records(data))
+        assert len(raws) == 1
+        assert raws[0].payload == b""
+        assert not raws[0].chunk_flag
+
+    def test_zero_length_payload_chunks_round_trip(self):
+        from repro.ndef.message import NdefMessage
+
+        record = NdefRecord(Tnf.MIME_MEDIA, b"a/b", b"rec-id", b"")
+        for chunk_size in (1, 4, 255):
+            decoded = NdefMessage.from_bytes(record.to_chunks(chunk_size))
+            assert list(decoded) == [record]
+
+    def test_zero_length_payload_chunks_equal_plain_encoding(self):
+        record = NdefRecord(Tnf.UNKNOWN, b"", b"", b"")
+        assert record.to_chunks(8) == record.to_bytes()
+
 
 class TestRawDecoding:
     def test_truncated_header_raises(self):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.clock import ManualClock
 from repro.errors import RadioError
 from repro.radio.environment import RfidEnvironment
 from repro.radio.trace import RadioTracer, TraceReplayer, trace_from_json
@@ -146,3 +147,107 @@ class TestReplay:
         env = RfidEnvironment()
         with pytest.raises(RadioError):
             TraceReplayer(env, {}, time_scale=-1)
+
+
+class TestClockCorrectness:
+    """Regression: the trace layer must read the *injected* clock.
+
+    The original implementation stamped events with ``time.monotonic()``
+    and replayed with ``time.sleep`` -- under a ManualClock the recorded
+    spacing collapsed to microseconds and replay was nondeterministic.
+    """
+
+    def record_spaced_session(self):
+        clock = ManualClock()
+        env = RfidEnvironment(clock=clock)
+        alice = env.create_port("alice")
+        tag = make_tag()
+        tracer = RadioTracer(env)
+        env.move_tag_into_field(tag, alice)   # at t=0
+        clock.advance(2.5)
+        env.remove_tag_from_field(tag, alice)  # at t=2.5
+        clock.advance(0.5)
+        env.move_tag_into_field(tag, alice)   # at t=3.0
+        return tracer.to_json(), tag
+
+    def test_tracer_records_scripted_virtual_spacing(self):
+        trace_json, _ = self.record_spaced_session()
+        times = [e.at_seconds for e in trace_from_json(trace_json)]
+        # Exact equality on purpose: virtual time has no jitter, so the
+        # recorded timeline must be byte-for-byte the scripted one.
+        assert times == [0.0, 2.5, 3.0]
+
+    def test_tracer_ignores_wall_clock(self):
+        import time as real_time
+
+        clock = ManualClock()
+        env = RfidEnvironment(clock=clock)
+        alice = env.create_port("alice")
+        tag = make_tag()
+        tracer = RadioTracer(env)
+        env.move_tag_into_field(tag, alice)
+        real_time.sleep(0.05)  # wall time passes, virtual time does not
+        env.remove_tag_from_field(tag, alice)
+        times = [e.at_seconds for e in tracer.events()]
+        assert times == [0.0, 0.0]
+
+    def test_replay_drives_manual_clock_by_recorded_deltas(self):
+        trace_json, tag = self.record_spaced_session()
+        clock = ManualClock()
+        fresh = RfidEnvironment(clock=clock)
+        fresh.create_port("alice")
+        replayer = TraceReplayer(fresh, {tag.uid_hex: tag})
+        replayer.replay(trace_from_json(trace_json))
+        assert clock.now() == 3.0
+        assert [at for at, _ in replayer.delivered] == [0.0, 2.5, 3.0]
+
+    def test_same_trace_replays_identically_twice(self):
+        """Satellite: same trace => identical delivery, start to finish."""
+        trace_json, tag = self.record_spaced_session()
+        events = trace_from_json(trace_json)
+
+        def run():
+            clock = ManualClock()
+            env = RfidEnvironment(clock=clock)
+            port = env.create_port("alice")
+            seen = []
+            port.add_field_listener(
+                lambda event: seen.append((clock.now(), type(event).__name__))
+            )
+            replayer = TraceReplayer(env, {tag.uid_hex: tag})
+            replayer.replay(events)
+            return seen, list(replayer.delivered), clock.now()
+
+        first = run()
+        second = run()
+        assert first == second
+        seen, delivered, final_now = first
+        assert seen == [(0.0, "TagEntered"), (2.5, "TagLeft"), (3.0, "TagEntered")]
+        assert [(at, e.kind) for at, e in delivered] == [
+            (0.0, "tag-entered"),
+            (2.5, "tag-left"),
+            (3.0, "tag-entered"),
+        ]
+        assert final_now == 3.0
+
+    def test_manual_clock_replay_ignores_time_scale(self):
+        trace_json, tag = self.record_spaced_session()
+        clock = ManualClock()
+        fresh = RfidEnvironment(clock=clock)
+        fresh.create_port("alice")
+        # time_scale=1.0 would mean 3 real seconds against a SystemClock;
+        # on a virtual timeline the clock is driven instead.
+        replayer = TraceReplayer(fresh, {tag.uid_hex: tag}, time_scale=1.0)
+        replayer.replay(trace_from_json(trace_json))
+        assert clock.now() == 3.0
+
+    def test_replay_wakes_manual_clock_deadline_waiters(self):
+        """Advancing through events must fire listeners subscribed to the clock."""
+        trace_json, tag = self.record_spaced_session()
+        clock = ManualClock()
+        fresh = RfidEnvironment(clock=clock)
+        fresh.create_port("alice")
+        ticks = []
+        clock.add_listener(lambda: ticks.append(clock.now()))
+        TraceReplayer(fresh, {tag.uid_hex: tag}).replay(trace_from_json(trace_json))
+        assert ticks == [2.5, 3.0]

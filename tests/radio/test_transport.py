@@ -1,0 +1,302 @@
+"""Tests for the pluggable transport seam."""
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.errors import RadioError
+from repro.radio.environment import RfidEnvironment
+from repro.radio.events import TagEntered, TagLeft
+from repro.radio.trace import RadioTracer
+from repro.radio.transport import (
+    LocalFieldTransport,
+    RelayTransport,
+    TraceTransport,
+    Transport,
+)
+from repro.tags.factory import make_tag, make_tags
+
+
+class TestAttachment:
+    def test_default_transport_is_local_field(self):
+        env = RfidEnvironment()
+        assert isinstance(env.transport, LocalFieldTransport)
+
+    def test_transport_cannot_serve_two_environments(self):
+        transport = LocalFieldTransport()
+        RfidEnvironment(transport=transport)
+        with pytest.raises(RadioError):
+            RfidEnvironment(transport=transport)
+
+    def test_unattached_transport_has_no_environment(self):
+        with pytest.raises(RadioError):
+            LocalFieldTransport().environment
+
+    def test_base_transport_rejects_relaying(self):
+        env = RfidEnvironment()
+        alice = env.create_port("alice")
+        bob = env.create_port("bob")
+        with pytest.raises(RadioError):
+            env.pair_fields(alice, bob)
+
+
+class TestLocalFieldTransport:
+    """The behavior-preserving default: port sees exactly its own field."""
+
+    def test_environment_delegates_field_state(self):
+        env = RfidEnvironment()
+        alice = env.create_port("alice")
+        bob = env.create_port("bob")
+        tag = make_tag()
+        env.move_tag_into_field(tag, alice)
+        assert env.tag_in_field(tag, alice)
+        assert not env.tag_in_field(tag, bob)
+        assert env.ports_seeing(tag) == ["alice"]
+        assert env.field_size(alice) == 1
+        env.remove_tag_from_field(tag, alice)
+        assert env.ports_seeing(tag) == []
+
+    def test_double_insert_is_a_noop(self):
+        env = RfidEnvironment()
+        alice = env.create_port("alice")
+        tag = make_tag()
+        events = []
+        alice.add_field_listener(lambda e: events.append(type(e).__name__))
+        env.move_tag_into_field(tag, alice)
+        env.move_tag_into_field(tag, alice)
+        assert events == ["TagEntered"]
+
+    def test_unknown_port_raises(self):
+        transport = LocalFieldTransport()
+        with pytest.raises(RadioError):
+            transport.sees("ghost", make_tag())
+
+    def test_bulk_insert_reports_only_fresh_tags(self):
+        env = RfidEnvironment()
+        alice = env.create_port("alice")
+        tags = make_tags(3)
+        env.move_tag_into_field(tags[0], alice)
+        assert env.move_tags_into_field(tags, alice) == 2
+        assert env.field_size(alice) == 3
+        assert env.remove_tags_from_field(tags, alice) == 3
+
+
+class TestRelayTransport:
+    def make_world(self, latency=0.0):
+        env = RfidEnvironment(transport=RelayTransport(latency_seconds=latency))
+        reader = env.create_port("reader")
+        bench = env.create_port("bench")
+        return env, reader, bench
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(RadioError):
+            RelayTransport(latency_seconds=-0.1)
+
+    def test_cannot_relay_own_field(self):
+        env, reader, _ = self.make_world()
+        with pytest.raises(RadioError):
+            env.pair_fields(reader, reader)
+
+    def test_linking_surfaces_existing_remote_tags(self):
+        env, reader, bench = self.make_world()
+        tag = make_tag()
+        env.move_tag_into_field(tag, bench)
+        seen = []
+        reader.add_field_listener(lambda e: seen.append(e))
+        assert env.pair_fields(reader, bench) == 1
+        assert [type(e).__name__ for e in seen] == ["TagEntered"]
+        assert env.tag_in_field(tag, reader)
+        assert env.tag_in_field(tag, bench)
+        assert env.ports_seeing(tag) == ["bench", "reader"]
+
+    def test_remote_arrivals_reach_the_reader_live(self):
+        env, reader, bench = self.make_world()
+        env.pair_fields(reader, bench)
+        seen = []
+        reader.add_field_listener(lambda e: seen.append(type(e).__name__))
+        tag = make_tag()
+        env.move_tag_into_field(tag, bench)
+        env.remove_tag_from_field(tag, bench)
+        assert seen == ["TagEntered", "TagLeft"]
+
+    def test_unpairing_withdraws_relayed_tags_only(self):
+        env, reader, bench = self.make_world()
+        local = make_tag()
+        remote = make_tag()
+        env.move_tag_into_field(local, reader)
+        env.move_tag_into_field(remote, bench)
+        env.pair_fields(reader, bench)
+        assert env.unpair_fields(reader, bench) == 1
+        assert env.tag_in_field(local, reader)
+        assert not env.tag_in_field(remote, reader)
+
+    def test_no_duplicate_event_when_tag_in_both_fields(self):
+        """A tag seen via its own field must not re-enter via the relay."""
+        env, reader, bench = self.make_world()
+        tag = make_tag()
+        env.move_tag_into_field(tag, reader)
+        env.pair_fields(reader, bench)
+        seen = []
+        reader.add_field_listener(lambda e: seen.append(type(e).__name__))
+        env.move_tag_into_field(tag, bench)
+        assert seen == []  # already visible: no second TagEntered
+        env.remove_tag_from_field(tag, bench)
+        assert seen == []  # still visible locally: no TagLeft either
+        env.remove_tag_from_field(tag, reader)
+        assert seen == ["TagLeft"]
+
+    def test_link_is_directional(self):
+        env, reader, bench = self.make_world()
+        env.pair_fields(reader, bench)
+        tag = make_tag()
+        env.move_tag_into_field(tag, reader)
+        assert not env.tag_in_field(tag, bench)
+
+    def test_relayed_pairs_and_repeat_links(self):
+        env, reader, bench = self.make_world()
+        assert env.pair_fields(reader, bench) == 0
+        assert env.pair_fields(reader, bench) == 0  # idempotent
+        assert env.transport.relayed_pairs() == [("reader", "bench")]
+
+    def test_overhead_charged_only_for_relayed_tags(self):
+        env, reader, bench = self.make_world(latency=0.25)
+        local = make_tag()
+        remote = make_tag()
+        env.move_tag_into_field(local, reader)
+        env.move_tag_into_field(remote, bench)
+        env.pair_fields(reader, bench)
+        assert env.transfer_overhead_seconds(reader, local) == 0.0
+        assert env.transfer_overhead_seconds(reader, remote) == 0.25
+        assert env.transfer_overhead_seconds(bench, remote) == 0.0
+
+    def test_bulk_moves_relay_to_reader(self):
+        env, reader, bench = self.make_world()
+        env.pair_fields(reader, bench)
+        tags = make_tags(4)
+        entered = []
+        reader.add_field_listener(
+            lambda e: entered.append(e) if isinstance(e, TagEntered) else None
+        )
+        assert env.move_tags_into_field(tags, bench) == 4
+        assert len(entered) == 4
+        left = []
+        reader.add_field_listener(
+            lambda e: left.append(e) if isinstance(e, TagLeft) else None
+        )
+        assert env.remove_tags_from_field(tags, bench) == 4
+        assert len(left) == 4
+
+
+class TestTraceTransport:
+    def record(self):
+        clock = ManualClock()
+        env = RfidEnvironment(clock=clock)
+        alice = env.create_port("alice")
+        tag = make_tag()
+        tracer = RadioTracer(env)
+        env.move_tag_into_field(tag, alice)
+        clock.advance(1.0)
+        env.remove_tag_from_field(tag, alice)
+        clock.advance(1.0)
+        env.move_tag_into_field(tag, alice)
+        return tracer.to_json(), tag
+
+    def fresh_world(self, trace_json, tag):
+        clock = ManualClock()
+        transport = TraceTransport.from_json(trace_json, {tag.uid_hex: tag})
+        env = RfidEnvironment(clock=clock, transport=transport)
+        port = env.create_port("alice")
+        return env, port, transport, clock
+
+    def test_direct_mutation_rejected(self):
+        trace_json, tag = self.record()
+        env, port, _, _ = self.fresh_world(trace_json, tag)
+        with pytest.raises(RadioError):
+            env.move_tag_into_field(tag, port)
+        with pytest.raises(RadioError):
+            env.move_tags_into_field([tag], port)
+
+    def test_play_applies_whole_trace(self):
+        trace_json, tag = self.record()
+        env, port, transport, clock = self.fresh_world(trace_json, tag)
+        assert transport.remaining_events == 3
+        assert transport.play() == 3
+        assert transport.remaining_events == 0
+        assert env.tag_in_field(tag, port)
+        assert clock.now() == 2.0
+        assert transport.play() == 0  # exhausted
+
+    def test_step_keeps_the_recorded_timeline(self):
+        """Stepping must not re-pay absolute timestamps as fresh deltas."""
+        trace_json, tag = self.record()
+        env, port, transport, clock = self.fresh_world(trace_json, tag)
+        assert transport.step() == 1
+        assert clock.now() == 0.0 and env.tag_in_field(tag, port)
+        assert transport.step() == 1
+        assert clock.now() == 1.0 and not env.tag_in_field(tag, port)
+        assert transport.step() == 1
+        assert clock.now() == 2.0 and env.tag_in_field(tag, port)
+
+    def test_playback_drives_port_listeners(self):
+        trace_json, tag = self.record()
+        env, port, transport, clock = self.fresh_world(trace_json, tag)
+        seen = []
+        port.add_field_listener(
+            lambda e: seen.append((clock.now(), type(e).__name__))
+        )
+        transport.play()
+        assert seen == [
+            (0.0, "TagEntered"),
+            (1.0, "TagLeft"),
+            (2.0, "TagEntered"),
+        ]
+
+    def test_two_playbacks_are_identical(self):
+        trace_json, tag = self.record()
+
+        def run():
+            env, port, transport, clock = self.fresh_world(trace_json, tag)
+            seen = []
+            port.add_field_listener(
+                lambda e: seen.append((clock.now(), type(e).__name__))
+            )
+            transport.play()
+            return seen, clock.now()
+
+        assert run() == run()
+
+
+class TestCustomTransport:
+    def test_subclass_hooks_are_sufficient(self):
+        """The documented seam: a custom transport only fills in topology."""
+
+        class Everywhere(LocalFieldTransport):
+            """Every port sees every tag (a broadcast field)."""
+
+            def _observers_of(self, port_name):
+                return sorted(self._fields)
+
+            def sees(self, port_name, tag):
+                self._field(port_name)
+                return any(tag in field for field in self._fields.values())
+
+            def visible_tags(self, port_name):
+                self._field(port_name)
+                out = []
+                for field in self._fields.values():
+                    out.extend(field)
+                return out
+
+        env = RfidEnvironment(transport=Everywhere())
+        alice = env.create_port("alice")
+        bob = env.create_port("bob")
+        seen = []
+        bob.add_field_listener(lambda e: seen.append(type(e).__name__))
+        tag = make_tag()
+        env.move_tag_into_field(tag, alice)
+        assert env.tag_in_field(tag, bob)
+        assert seen == ["TagEntered"]
+
+    def test_abstract_base_requires_topology_methods(self):
+        transport = Transport()
+        with pytest.raises(NotImplementedError):
+            transport.add_port("x")

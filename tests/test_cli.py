@@ -64,3 +64,72 @@ class TestTagDump:
 
         with pytest.raises(TagError):
             main(["tagdump", "--type", "NOPE"])
+
+
+class TestFuzz:
+    def test_fuzz_smoke_run_passes(self, capsys):
+        assert main(["fuzz", "--seed", "7", "--iterations", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "50 inputs (seed 7)" in out
+        assert "0 CRASH" in out
+
+    def test_fuzz_replays_committed_corpus(self, capsys):
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--seed",
+                    "1",
+                    "--iterations",
+                    "10",
+                    "--corpus",
+                    "tests/ndef/corpus",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "committed inputs, 0 crashes" in out
+
+    def test_fuzz_empty_corpus_dir_reported(self, capsys, tmp_path):
+        assert main(["fuzz", "--iterations", "5", "--corpus", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "no .hex files" in out
+
+    def test_fuzz_exits_nonzero_and_saves_on_crash(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.harness.fuzz import load_corpus_dir
+        from repro.ndef import message as message_module
+
+        def explode(data):
+            raise IndexError("injected decoder bug")
+
+        monkeypatch.setattr(message_module.NdefMessage, "from_bytes", explode)
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--iterations",
+                    "3",
+                    "--save-crashes",
+                    str(tmp_path),
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "IndexError" in err
+        saved = load_corpus_dir(tmp_path)
+        assert saved  # crash inputs persisted for triage
+
+    def test_fuzz_verbose_prints_mutation_counts(self, capsys):
+        assert main(["fuzz", "--seed", "3", "--iterations", "20", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert any(
+            line.strip().startswith(("truncate", "flip-bits", "inflate-length",
+                                     "poison-tail", "duplicate", "splice",
+                                     "chunk-flags", "clear-short-record",
+                                     "reserved-tnf", "unchanged-tnf"))
+            for line in out.splitlines()
+        )
