@@ -34,7 +34,13 @@ Guarded rows:
   loose tolerance, wall time on shared runners is noisy);
 * ``BENCH_transport.json`` ``relay_roundtrip.overhead_ratio`` -- the
   relayed-vs-local round-trip cost ratio, measured in deterministic
-  virtual seconds on a ManualClock (tight tolerance: zero noise).
+  virtual seconds on a ManualClock (tight tolerance: zero noise);
+* ``BENCH_gateway.json`` ``fleet_10k.events_per_second`` (higher) and
+  ``fleet_10k.ingest_p99_seconds`` (lower) -- the 10k-device fleet
+  replay's sustained ingestion rate and queue-wait tail, plus
+  ``shard_ablation.speedup`` (higher) -- how much the N-shard layout
+  out-ingests one shard under the same producer pressure. All three
+  are wall-clock under thread contention, so tolerances are generous.
 
 Usage::
 
@@ -100,6 +106,22 @@ GUARDED_ROWS = [
         # Virtual-time bench: deterministic to the float digit, so any
         # drift at all is a real cost-model change, not noise.
         tolerance=0.01,
+    ),
+    GuardedRow(
+        "BENCH_gateway.json",
+        "fleet_10k.events_per_second",
+        tolerance=0.50,  # wall-clock under thread contention
+    ),
+    GuardedRow(
+        "BENCH_gateway.json",
+        "fleet_10k.ingest_p99_seconds",
+        direction="lower",
+        tolerance=1.00,  # a queue-wait tail: doubles before tripping
+    ),
+    GuardedRow(
+        "BENCH_gateway.json",
+        "shard_ablation.speedup",
+        tolerance=0.35,  # the sharding win itself must not erode
     ),
 ]
 

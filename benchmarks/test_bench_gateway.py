@@ -1,0 +1,211 @@
+"""Fleet gateway ingestion: sustained throughput and the shard ablation.
+
+Two experiments, one JSON (``BENCH_gateway.json``):
+
+* ``fleet_10k`` — 10,000 simulated devices (one
+  :class:`GatewayReporter` per station) replay a seeded turnstile rush
+  through a 4-shard gateway on the threaded reactor; reported rows are
+  sustained ingested events/second wall-clock and the p99 ingest
+  latency (submit -> applied-to-views), both guarded in CI.
+* ``shard_ablation`` — the perf claim itself: the same producer load
+  (several threads submitting as fast as they can, bounded queues,
+  oldest-shedding) against 1 shard vs ``SHARDS`` shards with the
+  **total** queue capacity equalized. One shard means one serial drain
+  task: under multi-threaded pressure it starves, its queue sits full
+  (shedding, high queue wait), and *sustained ingested* events/second —
+  throughput net of drops — is what the sharded layout wins on. The
+  bench asserts the win outright.
+
+Unlike the virtual-time benches this one is wall-clock by necessity
+(queue-wait latency under thread contention is the phenomenon), so the
+guarded tolerances are generous.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.clock import SystemClock
+from repro.core.scheduler import Reactor
+from repro.gateway import FleetGateway, ScanEvent, make_fleet_reporters, simulate_fleet
+from repro.harness.crowd import turnstile_rush
+from repro.harness.report import Table
+
+from benchmarks.conftest import emit_bench_json
+
+FLEET_DEVICES = 10_000
+FLEET_TAGS = 20_000
+FLEET_SHARDS = 4
+
+ABLATION_PRODUCERS = 6
+ABLATION_SECONDS = 0.6
+ABLATION_TOTAL_QUEUE = 16_384  # split across shards: capacity is equalized
+ABLATION_SHARDS = 4
+ABLATION_TAGS_PER_PRODUCER = 512
+
+
+def run_fleet_10k() -> dict:
+    """10k stations replay a rush-hour schedule; measure wall ingestion."""
+    clock = SystemClock()
+    reactor = Reactor(clock=clock, name="bench-fleet")
+    gateway = FleetGateway(
+        reactor, clock=clock, shards=FLEET_SHARDS, window_seconds=60.0
+    )
+    try:
+        schedule = turnstile_rush(
+            FLEET_DEVICES,
+            FLEET_TAGS,
+            duration_seconds=3.0,
+            arrivals_per_second=3000.0,
+            seed=42,
+        )
+        reporters = make_fleet_reporters(
+            gateway, FLEET_DEVICES, max_batch=32
+        )
+        started = time.monotonic()
+        stats = simulate_fleet(gateway, schedule, reporters, seed=42)
+        drained = gateway.drain(timeout=30.0)
+        elapsed = time.monotonic() - started
+        assert drained, "gateway failed to drain the fleet replay"
+        telemetry = gateway.telemetry()
+        latency = gateway.ingest_latency()
+        assert telemetry["events_ingested"] > 0
+        return {
+            "devices": FLEET_DEVICES,
+            "tags": FLEET_TAGS,
+            "shards": FLEET_SHARDS,
+            "events_recorded": stats.events_recorded,
+            "events_ingested": telemetry["events_ingested"],
+            "events_dropped_queue": telemetry["events_dropped_queue"],
+            "events_dropped_reporter": telemetry["events_dropped_reporter"],
+            "batches": telemetry["batches"],
+            "wall_seconds": round(elapsed, 4),
+            "events_per_second": round(
+                telemetry["events_ingested"] / elapsed, 1
+            ),
+            "ingest_p50_seconds": latency.p50,
+            "ingest_p99_seconds": latency.p99,
+        }
+    finally:
+        gateway.close()
+        reactor.stop()
+
+
+def run_shard_ablation(shards: int) -> dict:
+    """Fixed producer pressure for ``ABLATION_SECONDS``; vary shard count."""
+    clock = SystemClock()
+    reactor = Reactor(clock=clock, name=f"bench-ablate-{shards}")
+    gateway = FleetGateway(
+        reactor,
+        clock=clock,
+        shards=shards,
+        max_queue=ABLATION_TOTAL_QUEUE // shards,
+        max_batch=128,
+    )
+    stop = threading.Event()
+    submitted_counts = [0] * ABLATION_PRODUCERS
+
+    def produce(slot: int) -> None:
+        # Distinct tag slices per producer so the hash spreads shards.
+        uids = [
+            f"tag-{slot:02d}-{i:04d}" for i in range(ABLATION_TAGS_PER_PRODUCER)
+        ]
+        station = f"station-{slot:02d}"
+        index = 0
+        while not stop.is_set():
+            gateway.submit(
+                ScanEvent("scan", uids[index % len(uids)], station, clock.now())
+            )
+            index += 1
+        submitted_counts[slot] = index
+
+    threads = [
+        threading.Thread(target=produce, args=(slot,), daemon=True)
+        for slot in range(ABLATION_PRODUCERS)
+    ]
+    started = time.monotonic()
+    try:
+        for thread in threads:
+            thread.start()
+        time.sleep(ABLATION_SECONDS)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        drained = gateway.drain(timeout=30.0)
+        elapsed = time.monotonic() - started
+        assert drained, f"{shards}-shard gateway failed to drain"
+        telemetry = gateway.telemetry()
+        latency = gateway.ingest_latency()
+        return {
+            "shards": shards,
+            "producers": ABLATION_PRODUCERS,
+            "queue_per_shard": ABLATION_TOTAL_QUEUE // shards,
+            "events_submitted": telemetry["events_submitted"],
+            "events_ingested": telemetry["events_ingested"],
+            "events_dropped_queue": telemetry["events_dropped_queue"],
+            "queue_high_water": telemetry["queue_high_water"],
+            "wall_seconds": round(elapsed, 4),
+            "events_per_second": round(
+                telemetry["events_ingested"] / elapsed, 1
+            ),
+            "ingest_p99_seconds": latency.p99,
+        }
+    finally:
+        gateway.close()
+        reactor.stop()
+
+
+def test_gateway_ingestion(benchmark):
+    fleet = benchmark.pedantic(run_fleet_10k, rounds=1, iterations=1)
+    single = run_shard_ablation(1)
+    sharded = run_shard_ablation(ABLATION_SHARDS)
+
+    table = Table(
+        f"Fleet gateway -- {FLEET_DEVICES} devices, then "
+        f"{ABLATION_PRODUCERS}-thread pressure ablation (wall clock)",
+        ["experiment", "ingested", "dropped", "events/s", "p99 ingest (s)"],
+    )
+    table.add_row(
+        f"fleet replay ({FLEET_SHARDS} shards)",
+        fleet["events_ingested"],
+        fleet["events_dropped_queue"],
+        fleet["events_per_second"],
+        round(fleet["ingest_p99_seconds"], 5),
+    )
+    for row in (single, sharded):
+        table.add_row(
+            f"pressure, {row['shards']} shard(s)",
+            row["events_ingested"],
+            row["events_dropped_queue"],
+            row["events_per_second"],
+            round(row["ingest_p99_seconds"], 5),
+        )
+    table.print()
+
+    # The fleet replay must be lossless at this load.
+    assert fleet["events_dropped_queue"] == 0
+    assert fleet["events_ingested"] == fleet["events_recorded"]
+    # The perf claim: N serial drain tasks sustain more ingested
+    # events/second under the same producer pressure than one.
+    assert sharded["events_per_second"] > single["events_per_second"], (
+        f"sharding did not win: {ABLATION_SHARDS} shards "
+        f"{sharded['events_per_second']}/s vs 1 shard "
+        f"{single['events_per_second']}/s"
+    )
+
+    emit_bench_json(
+        "gateway",
+        {
+            "fleet_10k": fleet,
+            "shard_ablation": {
+                "single": single,
+                "sharded": sharded,
+                "speedup": round(
+                    sharded["events_per_second"]
+                    / max(single["events_per_second"], 1e-9),
+                    3,
+                ),
+            },
+        },
+    )

@@ -9,6 +9,7 @@
     python -m repro.cli tagdump --type NTAG213 --text "hello"
     python -m repro.cli lint src examples # run the morelint misuse linter
     python -m repro.cli fuzz --seed 7 --iterations 500 --corpus tests/ndef/corpus
+    python -m repro.cli gateway --devices 200 --tags 1000 --shards 4
 
 Everything runs against the in-process simulation; no hardware, no
 network, no state outside the current directory.
@@ -221,6 +222,107 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from repro.clock import ManualClock
+    from repro.core.scheduler import Reactor
+    from repro.gateway import FleetGateway, make_fleet_reporters, simulate_fleet
+    from repro.harness.crowd import fleet_day
+
+    clock = ManualClock()
+    reactor = Reactor(clock=clock, name="gateway", mode=args.backend)
+    gateway = FleetGateway(
+        reactor,
+        clock=clock,
+        shards=args.shards,
+        window_seconds=args.window,
+        bucket_seconds=max(args.window / 12.0, 0.25),
+    )
+    schedule = fleet_day(args.devices, args.tags, seed=args.seed)
+    reporters = make_fleet_reporters(gateway, args.devices)
+    print(
+        f"fleet: {args.devices} devices, {args.tags} tags, "
+        f"{args.shards} shard(s) on the {args.backend} reactor"
+    )
+    print(f"schedule: {schedule!r}")
+
+    def tick(now: float) -> None:
+        gateway.drain()
+        telemetry = gateway.telemetry()
+        rates = gateway.station_rates(now)
+        busiest = sorted(
+            rates.items(), key=lambda item: -item[1]["windowed"]
+        )[:3]
+        stations = "  ".join(
+            f"{name}={row['rate_per_second']:.1f}/s" for name, row in busiest
+        )
+        print(
+            f"[t={now:7.2f}s] ingested={telemetry['events_ingested']:>7}"
+            f" dropped={telemetry['events_dropped_queue']}"
+            f" depth={telemetry['queue_depth']:>4}"
+            f"  busiest: {stations or '(quiet)'}"
+        )
+
+    try:
+        stats = simulate_fleet(
+            gateway,
+            schedule,
+            reporters=reporters,
+            seed=args.seed,
+            on_tick=tick,
+            tick_seconds=args.tick,
+        )
+        if not gateway.drain():
+            print("ERROR: gateway did not drain", file=sys.stderr)
+            return 1
+        snapshot = gateway.snapshot(top=5)
+        print(
+            f"\nreplay: {stats.events_recorded} events"
+            f" ({stats.scans} scans, {stats.saves} saves,"
+            f" {stats.lease_events} lease) over"
+            f" {stats.virtual_seconds:.1f} virtual seconds"
+        )
+        telemetry = snapshot.telemetry
+        print(
+            f"ingested {telemetry['events_ingested']} in"
+            f" {telemetry['batches']} batches;"
+            f" dropped: queue={telemetry['events_dropped_queue']}"
+            f" reporter={telemetry['events_dropped_reporter']}"
+            f" | queue high-water {telemetry['queue_high_water']}"
+        )
+        print("\nbusiest stations (sliding window):")
+        ranked = sorted(
+            snapshot.station_rates.items(), key=lambda item: -item[1]["total"]
+        )
+        for name, row in ranked[:5]:
+            print(
+                f"  {name:<14} total={row['total']:>6}"
+                f"  window={row['windowed']:>5}"
+                f"  rate={row['rate_per_second']:.2f}/s"
+            )
+        print("\nlease contention leaderboard:")
+        if snapshot.lease_leaderboard:
+            for row in snapshot.lease_leaderboard:
+                print(
+                    f"  {row['tag_uid']:<12} denied={row['denied']:>4}"
+                    f"  acquired={row['acquired']:>4}"
+                )
+            hot = snapshot.lease_leaderboard[0]["tag_uid"]
+            travel = gateway.travel_history(hot)
+            if travel is not None:
+                path = " -> ".join(station for station, _at in travel["path"][-6:])
+                print(
+                    f"\ntravel history for {hot}:"
+                    f" {travel['scans']} scans,"
+                    f" {travel['transitions']} transitions; tail: {path}"
+                )
+        else:
+            print("  (no lease traffic)")
+        return 0
+    finally:
+        gateway.close()
+        reactor.stop()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -306,6 +408,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print per-mutation counts"
     )
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    gateway = subparsers.add_parser(
+        "gateway",
+        help="run a simulated fleet against the scan-event gateway and "
+        "print the live views",
+    )
+    gateway.add_argument(
+        "--devices", type=int, default=100, help="simulated devices (stations)"
+    )
+    gateway.add_argument(
+        "--tags", type=int, default=500, help="tag population size"
+    )
+    gateway.add_argument(
+        "--shards", type=int, default=4, help="ingestion shard count"
+    )
+    gateway.add_argument(
+        "--backend",
+        choices=["threaded", "asyncio"],
+        default="threaded",
+        help="reactor backend the shards drain on",
+    )
+    gateway.add_argument(
+        "--seed", type=int, default=0, help="deterministic RNG seed"
+    )
+    gateway.add_argument(
+        "--window",
+        type=float,
+        default=3.0,
+        help="station throughput window (virtual seconds)",
+    )
+    gateway.add_argument(
+        "--tick",
+        type=float,
+        default=2.0,
+        help="live telemetry print interval (virtual seconds)",
+    )
+    gateway.set_defaults(handler=_cmd_gateway)
 
     return parser
 

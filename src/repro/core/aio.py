@@ -223,6 +223,9 @@ class TagStream:
         while queue.qsize() >= self._max_buffer:
             queue.get_nowait()  # shed the oldest sighting
             self._dropped += 1
+            # Roll the shed up to the discoverer's monotonic counter so
+            # fleet telemetry still sees it after this stream is gone.
+            self._discoverer._count_stream_drop(1)  # noqa: SLF001 - by-design tap
         queue.put_nowait(reference)
 
     @property

@@ -65,6 +65,10 @@ class TagDiscoverer:
         # reference) invoked after the subclass callbacks — the feed for
         # async discovery streams and telemetry taps.
         self._detection_listeners: List[Callable[[str, TagReference], None]] = []
+        # Monotonic total of detections shed by this discoverer's
+        # bounded stream() buffers — survives stream teardown, so
+        # overflow is accounted fleet-side, never silent.
+        self._stream_dropped = 0
         activity._register_discoverer(self)  # noqa: SLF001 - by-design handshake
 
     @property
@@ -96,6 +100,20 @@ class TagDiscoverer:
     def _notify_detection(self, event: str, reference: TagReference) -> None:
         for listener in list(self._detection_listeners):
             listener(event, reference)
+
+    @property
+    def stream_dropped(self) -> int:
+        """Detections shed across all of this discoverer's streams.
+
+        Monotonic: a stream reports each shed sighting as it happens,
+        so closing (or leaking) a stream never erases its drop count.
+        """
+        return self._stream_dropped
+
+    def _count_stream_drop(self, count: int = 1) -> None:
+        # Called from stream buffers on their consuming loop's thread;
+        # int += is atomic enough for a monotonic telemetry counter.
+        self._stream_dropped += count
 
     def stream(self, events: Optional[tuple] = None, max_buffer: int = 1024):
         """Detections as an async iterator: ``async for ref in d.stream()``.

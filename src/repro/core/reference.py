@@ -229,6 +229,7 @@ class TagReference:
         "_has_cache",
         "_connected",
         "_connectivity_listeners",
+        "_telemetry_listeners",
         "attempts",
         "successes",
         "timeouts",
@@ -287,6 +288,9 @@ class TagReference:
             tag.simulated, self._port
         )
         self._connectivity_listeners: List[ConnectivityListener] = []
+        # Lazily created (None until the first add): at 100k idle
+        # references an empty list per instance is real memory.
+        self._telemetry_listeners: Optional[List[Callable[..., None]]] = None
 
         # Statistics, exposed for tests and benchmarks.
         self.attempts = 0
@@ -409,6 +413,30 @@ class TagReference:
         with self._cond:
             if listener in self._connectivity_listeners:
                 self._connectivity_listeners.remove(listener)
+
+    def add_telemetry_listener(self, listener: Callable[..., None]) -> None:
+        """Observe every operation settlement: ``listener(ref, op, outcome)``.
+
+        Unlike the per-operation success/failure listeners (which are
+        application logic and post to the main looper), telemetry
+        listeners are a *tap*: they run inline on the settling thread,
+        see every non-cancelled settlement of every operation, and must
+        be cheap and non-blocking — the contract a
+        :class:`~repro.gateway.reporter.GatewayReporter` honours with
+        its O(1) buffered ``record``.
+        """
+        with self._cond:
+            if self._telemetry_listeners is None:
+                self._telemetry_listeners = []
+            self._telemetry_listeners.append(listener)
+
+    def remove_telemetry_listener(self, listener: Callable[..., None]) -> None:
+        with self._cond:
+            if (
+                self._telemetry_listeners is not None
+                and listener in self._telemetry_listeners
+            ):
+                self._telemetry_listeners.remove(listener)
 
     def notify_redetected(self) -> None:
         """Wake the event loop; called by the discoverer on re-detection."""
@@ -1155,6 +1183,18 @@ class TagReference:
             self._post_listener(operation.on_success, self)
         else:
             self._post_listener(operation.on_failure, self)
+        # Telemetry tap: inline, after the application listener is
+        # posted; listeners are contract-bound to be non-blocking.
+        # Read without _cond: _settle runs inside _expire_locked with
+        # the (non-reentrant in reactor mode) condition already held,
+        # and a GIL-atomic list copy is all the snapshot needs.
+        taps = self._telemetry_listeners
+        if taps:
+            for tap in list(taps):
+                try:
+                    tap(self, operation, outcome)
+                except Exception:  # noqa: BLE001 - a tap must not break settlement
+                    pass
 
     def _post_listener(self, callback: Callable[..., None], *args: Any) -> None:
         """Schedule a listener on the activity's main thread.

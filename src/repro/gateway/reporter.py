@@ -1,0 +1,231 @@
+"""``GatewayReporter``: the device-side end of fleet reporting.
+
+A reporter sits between a device's middleware callbacks and the
+gateway, and its one hard rule is that **reporting never blocks the
+radio path**: ``record`` is an O(1) append under a short lock, with
+
+* a *bounded* buffer — overflow sheds the **oldest** pending event and
+  pays a monotonic ``dropped`` counter (surfaced in gateway telemetry;
+  shedding is accounted, never silent);
+* *coalescing* — a burst of identical events (same kind/tag/station)
+  folds into the tail record's ``count`` instead of queueing
+  duplicates, which is what keeps a redetection storm cheap;
+* *batched delivery* — the buffer flushes to the gateway either when it
+  reaches ``max_batch`` or when ``flush_interval`` elapses on the
+  device's reactor (a ``schedule_at`` deadline, so a ManualClock
+  advance triggers it deterministically). Without a reactor the
+  threshold flush happens inline — still just per-shard queue appends.
+
+The ``attach_*`` methods hook the reporter into the three middleware
+surfaces (following RAFDA's policy/logic split, the *device* code never
+mentions reporting — attaching a reporter is a deployment decision):
+
+* :meth:`attach_discoverer` — every detection callback becomes a
+  ``scan`` event (via ``TagDiscoverer.add_detection_listener``);
+* :meth:`attach_reference` — settled write operations become ``save``
+  events (via ``TagReference.add_telemetry_listener``);
+* :meth:`attach_lease_manager` — lease outcomes become ``lease_*``
+  events (via ``LeaseManager.add_lease_listener``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.gateway.events import ScanEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.discovery import TagDiscoverer
+    from repro.core.reference import TagReference
+    from repro.gateway.gateway import FleetGateway
+    from repro.leasing.manager import LeaseManager
+
+
+class GatewayReporter:
+    """Batches one station's events toward a :class:`FleetGateway`."""
+
+    def __init__(
+        self,
+        gateway: "FleetGateway",
+        station: str,
+        reactor=None,
+        clock=None,
+        max_buffer: int = 512,
+        max_batch: int = 64,
+        flush_interval: Optional[float] = 0.05,
+        coalesce: bool = True,
+    ) -> None:
+        self._gateway = gateway
+        self.station = station
+        self._clock = clock if clock is not None else gateway.clock
+        self._max_buffer = max(1, max_buffer)
+        self._max_batch = max(1, max_batch)
+        self._flush_interval = flush_interval
+        self._coalesce = coalesce
+        self._lock = threading.Lock()
+        self._buffer: List[ScanEvent] = []
+        self._dropped = 0
+        self._coalesced = 0
+        self._recorded = 0
+        self._closed = False
+        self._detachers: List[Callable[[], None]] = []
+        self._discoverers: List["TagDiscoverer"] = []
+        self._task = (
+            reactor.register(self._flush_step, name=f"gw-report-{station}")
+            if reactor is not None
+            else None
+        )
+        gateway.register_reporter(self)
+
+    # -- counters --------------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events shed on buffer overflow (monotonic, never resets)."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def coalesced(self) -> int:
+        """Events folded into an existing buffered record."""
+        with self._lock:
+            return self._coalesced
+
+    @property
+    def recorded(self) -> int:
+        """Everything record() accepted (shed + coalesced + delivered)."""
+        with self._lock:
+            return self._recorded
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    @property
+    def stream_dropped(self) -> int:
+        """Detections shed by attached discoverers' stream() buffers."""
+        return sum(d.stream_dropped for d in self._discoverers)
+
+    # -- the hot path ----------------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        tag_uid: str,
+        count: int = 1,
+        detail: Optional[str] = None,
+    ) -> None:
+        """Buffer one event; O(1), never blocks on the gateway."""
+        at = self._clock.now()
+        arm_timer = False
+        flush_now = False
+        with self._lock:
+            if self._closed:
+                return
+            self._recorded += count
+            buffer = self._buffer
+            if self._coalesce and buffer:
+                tail = buffer[-1]
+                if (
+                    tail.kind == kind
+                    and tail.tag_uid == tag_uid
+                    and tail.detail == detail
+                    and tail.station == self.station
+                ):
+                    tail.count += count
+                    tail.at_seconds = at
+                    self._coalesced += count
+                    return
+            buffer.append(ScanEvent(kind, tag_uid, self.station, at, count, detail))
+            depth = len(buffer)
+            if depth > self._max_buffer:
+                shed = buffer.pop(0)
+                self._dropped += shed.count
+                depth -= 1
+            if depth >= self._max_batch:
+                flush_now = True
+            elif depth == 1 and self._task is not None and self._flush_interval:
+                arm_timer = True
+        if flush_now:
+            if self._task is not None:
+                self._task.wake()
+            else:
+                self.flush()
+        elif arm_timer:
+            self._task.schedule_at(at + self._flush_interval)
+
+    def flush(self) -> int:
+        """Push everything buffered to the gateway now; returns batch size."""
+        with self._lock:
+            if not self._buffer:
+                return 0
+            batch = self._buffer
+            self._buffer = []
+        self._gateway.submit_batch(batch)
+        return len(batch)
+
+    def _flush_step(self) -> None:
+        self.flush()
+        return None
+
+    # -- middleware hooks -------------------------------------------------------------
+
+    def attach_discoverer(self, discoverer: "TagDiscoverer") -> None:
+        """Report every detection of ``discoverer`` as a ``scan`` event."""
+
+        def on_detection(event: str, reference: "TagReference") -> None:
+            self.record("scan", reference.uid_hex, detail=event)
+
+        discoverer.add_detection_listener(on_detection)
+        self._discoverers.append(discoverer)
+        self._detachers.append(
+            lambda: discoverer.remove_detection_listener(on_detection)
+        )
+
+    def attach_reference(self, reference: "TagReference") -> None:
+        """Report ``reference``'s landed writes as ``save`` events."""
+        from repro.core.operations import OperationKind, OperationOutcome
+
+        def on_settled(ref: "TagReference", operation, outcome) -> None:
+            if (
+                outcome is OperationOutcome.SUCCEEDED
+                and operation.kind is OperationKind.WRITE
+            ):
+                self.record("save", ref.uid_hex)
+
+        reference.add_telemetry_listener(on_settled)
+        self._detachers.append(
+            lambda: reference.remove_telemetry_listener(on_settled)
+        )
+
+    def attach_lease_manager(self, manager: "LeaseManager") -> None:
+        """Report ``manager``'s protocol outcomes as ``lease_*`` events."""
+
+        def on_lease(event: str, mgr: "LeaseManager") -> None:
+            self.record(
+                "lease_" + event, mgr.reference.uid_hex, detail=mgr.device_id
+            )
+
+        manager.add_lease_listener(on_lease)
+        self._detachers.append(lambda: manager.remove_lease_listener(on_lease))
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach hooks, flush the tail, stop the timer task."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            detachers = self._detachers
+            self._detachers = []
+        for detach in detachers:
+            detach()
+        self.flush()
+        if self._task is not None:
+            self._task.cancel()
+
+    def __repr__(self) -> str:
+        return f"GatewayReporter({self.station!r}, pending={self.pending})"

@@ -11,6 +11,7 @@ from repro.harness.crowd import (
     ChurnEvent,
     ChurnSchedule,
     ChurnStats,
+    fleet_day,
     run_churn,
     turnstile_rush,
     warehouse_conveyor,
@@ -49,6 +50,7 @@ __all__ = [
     "ChurnSchedule",
     "ChurnStats",
     "run_churn",
+    "fleet_day",
     "turnstile_rush",
     "warehouse_conveyor",
     "CrashCase",

@@ -148,6 +148,83 @@ def warehouse_conveyor(
     return ChurnSchedule("warehouse_conveyor", device_count, tag_count, events)
 
 
+def fleet_day(
+    device_count: int,
+    tag_count: int,
+    rush_seconds: float = 4.0,
+    conveyor_cohorts: int = 0,
+    arrivals_per_second: float = 200.0,
+    seed: int = 0,
+) -> ChurnSchedule:
+    """A multi-station fleet profile: one compressed "day" of traffic.
+
+    Composes the two existing generators into the workload a fleet
+    gateway actually sees — structured dock traffic *and* bursty gate
+    traffic, overlapping, across one indexed device population:
+
+    * devices split into **gates** (front half) and **dock readers**
+      (back half; with fewer than two devices everything is a gate);
+    * a morning :func:`turnstile_rush` on the gates;
+    * a midday :func:`warehouse_conveyor` wave through the dock line
+      (``conveyor_cohorts`` pallets; 0 sizes it so every tag crosses
+      once), starting as the morning rush tails off;
+    * an evening rush on the gates (fresh seed, same shape).
+
+    Event times are offset per phase and the merged schedule re-sorts,
+    so consumers see one monotonic timeline. Deterministic for a given
+    ``seed``; phase seeds derive from it.
+    """
+    if device_count <= 0 or tag_count <= 0:
+        raise ValueError("need at least one device and one tag")
+    gate_count = max(1, device_count // 2)
+    dock_count = device_count - gate_count
+    events: List[ChurnEvent] = []
+
+    def shifted(schedule: ChurnSchedule, device_offset: int, at_offset: float):
+        for event in schedule:
+            events.append(
+                ChurnEvent(
+                    event.at_seconds + at_offset,
+                    event.device_index + device_offset,
+                    event.tag_indices,
+                    event.enter,
+                )
+            )
+
+    morning = turnstile_rush(
+        gate_count,
+        tag_count,
+        duration_seconds=rush_seconds,
+        arrivals_per_second=arrivals_per_second,
+        seed=seed,
+    )
+    shifted(morning, 0, 0.0)
+    if dock_count > 0:
+        cohort_size = 8
+        pallets = (
+            conveyor_cohorts
+            if conveyor_cohorts > 0
+            else max(1, tag_count // cohort_size)
+        )
+        conveyor = warehouse_conveyor(
+            dock_count,
+            min(tag_count, pallets * cohort_size),
+            cohort_size=cohort_size,
+            seed=seed + 1,
+        )
+        shifted(conveyor, gate_count, rush_seconds * 0.75)
+    evening = turnstile_rush(
+        gate_count,
+        tag_count,
+        duration_seconds=rush_seconds,
+        arrivals_per_second=arrivals_per_second,
+        seed=seed + 2,
+    )
+    last = max((event.at_seconds for event in events), default=0.0)
+    shifted(evening, 0, last + rush_seconds * 0.25)
+    return ChurnSchedule("fleet_day", device_count, tag_count, events)
+
+
 @dataclass
 class ChurnStats:
     """What one :func:`run_churn` replay did and observed."""

@@ -66,6 +66,39 @@ class LeaseManager:
         self.renewals = 0
         self.renewals_merged = 0
 
+        # Protocol-outcome observers: ``listener(event, manager)`` with
+        # event in {"acquired", "denied", "renewed", "released"}. A tap
+        # for telemetry (the fleet gateway's lease-contention view),
+        # invoked inline after the application callback; must not block.
+        self._lease_listeners: List[Any] = []
+
+    # -- observers ---------------------------------------------------------------
+
+    def add_lease_listener(self, listener) -> None:
+        """Observe protocol outcomes: ``listener(event, manager)``.
+
+        Events: ``"acquired"``, ``"denied"``, ``"renewed"``,
+        ``"released"``. Called inline right after the corresponding
+        application callback fires; listeners must be cheap and
+        non-blocking (the gateway reporter's contract).
+        """
+        with self._lock:
+            self._lease_listeners.append(listener)
+
+    def remove_lease_listener(self, listener) -> None:
+        with self._lock:
+            if listener in self._lease_listeners:
+                self._lease_listeners.remove(listener)
+
+    def _notify_lease(self, event: str) -> None:
+        with self._lock:
+            listeners = list(self._lease_listeners)
+        for listener in listeners:
+            try:
+                listener(event, self)
+            except Exception:  # noqa: BLE001 - a tap must not break the protocol
+                pass
+
     # -- state -------------------------------------------------------------------
 
     @property
@@ -127,6 +160,9 @@ class LeaseManager:
                 with self._lock:
                     self.denials += 1
                 denied()
+                # Contention evidence (someone else holds the tag) --
+                # radio-failure denials deliberately do not notify.
+                self._notify_lease("denied")
                 return
             # One clock snapshot: expires_at - acquired_at == duration
             # even under a coarse or advancing clock.
@@ -142,6 +178,7 @@ class LeaseManager:
                     self._held = lease
                     self.acquisitions += 1
                 acquired(lease)
+                self._notify_lease("acquired")
 
             ref.write_raw(
                 join_lease(lease, records),
@@ -219,6 +256,7 @@ class LeaseManager:
                 ):
                     self._held = lease
             renewed(lease)
+            self._notify_lease("renewed")
 
         base = self._reference.default_timeout if timeout is None else timeout
         operation = self._reference.write_raw(
@@ -253,6 +291,7 @@ class LeaseManager:
             # re-adopted the lease; released means released.
             self._forget()
             released()
+            self._notify_lease("released")
 
         def after_read(ref: TagReference) -> None:
             current, records = self._split_cached(ref)

@@ -21,7 +21,7 @@ scheduler telemetry to these instruments themselves).
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 def jains_index(allocations: Sequence[float]) -> float:
@@ -58,12 +58,22 @@ def percentile(sample: Sequence[float], p: float) -> float:
 
 
 class LatencySummary:
-    """p50/p99 summary of one latency sample (seconds)."""
+    """p50/p99 summary of one latency sample (seconds).
 
-    __slots__ = ("count", "p50", "p99", "min", "max", "mean")
+    Summaries are **mergeable**: each instance retains its (sorted)
+    sample, so ``a.merge(b)`` (or ``a + b``) recomputes exact
+    percentiles over the union — no approximation, no histogram bins.
+    That is the property the fleet gateway's sharded telemetry relies
+    on: every ingestion shard keeps its own bounded latency sample and
+    a global snapshot is a cheap merge of N small summaries instead of
+    a stop-the-world scan over one giant guarded buffer.
+    """
+
+    __slots__ = ("count", "p50", "p99", "min", "max", "mean", "sample")
 
     def __init__(self, sample: Sequence[float]) -> None:
         self.count = len(sample)
+        self.sample: Tuple[float, ...] = tuple(sorted(sample))
         if self.count == 0:
             self.p50: Optional[float] = None
             self.p99: Optional[float] = None
@@ -71,11 +81,33 @@ class LatencySummary:
             self.max: Optional[float] = None
             self.mean: Optional[float] = None
         else:
-            self.p50 = percentile(sample, 50.0)
-            self.p99 = percentile(sample, 99.0)
-            self.min = min(sample)
-            self.max = max(sample)
-            self.mean = sum(sample) / self.count
+            ordered = self.sample
+            self.p50 = percentile(ordered, 50.0)
+            self.p99 = percentile(ordered, 99.0)
+            self.min = ordered[0]
+            self.max = ordered[-1]
+            self.mean = sum(ordered) / self.count
+
+    def merge(self, other: "LatencySummary") -> "LatencySummary":
+        """A new summary over the union of both samples (exact)."""
+        if not isinstance(other, LatencySummary):
+            raise TypeError(f"cannot merge LatencySummary with {type(other).__name__}")
+        if other.count == 0:
+            return LatencySummary(self.sample)
+        if self.count == 0:
+            return LatencySummary(other.sample)
+        return LatencySummary(self.sample + other.sample)
+
+    def __add__(self, other: "LatencySummary") -> "LatencySummary":
+        return self.merge(other)
+
+    @classmethod
+    def merged(cls, summaries: Iterable["LatencySummary"]) -> "LatencySummary":
+        """Merge many shard summaries into one (empty-safe)."""
+        parts: List[float] = []
+        for summary in summaries:
+            parts.extend(summary.sample)
+        return cls(parts)
 
     def as_dict(self) -> Dict[str, object]:
         return {

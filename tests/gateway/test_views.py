@@ -1,0 +1,122 @@
+"""Unit tests for the materialized fleet views."""
+
+import pytest
+
+from repro.gateway.events import ScanEvent, shard_of
+from repro.gateway.views import LeaseBoard, StationWindow, TravelHistory
+
+
+class TestScanEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ScanEvent("teleport", "tag-1", "gate-0", 0.0)
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            ScanEvent("scan", "tag-1", "gate-0", 0.0, count=0)
+
+    def test_coalesce_key_ignores_time_and_count(self):
+        a = ScanEvent("scan", "tag-1", "gate-0", 0.0, count=1, detail="detected")
+        b = ScanEvent("scan", "tag-1", "gate-0", 9.0, count=7, detail="detected")
+        assert a.coalesce_key() == b.coalesce_key()
+
+    def test_shard_of_is_stable_and_in_range(self):
+        uids = [f"tag-{i:06d}" for i in range(100)]
+        first = [shard_of(uid, 8) for uid in uids]
+        second = [shard_of(uid, 8) for uid in uids]
+        assert first == second
+        assert all(0 <= index < 8 for index in first)
+        # The hash actually spreads tags (not everything on one shard).
+        assert len(set(first)) > 1
+
+    def test_single_shard_short_circuits(self):
+        assert shard_of("anything", 1) == 0
+
+
+class TestTravelHistory:
+    def test_transitions_not_sightings(self):
+        history = TravelHistory("tag-1", depth=8)
+        history.observe("gate-0", 0.0)
+        history.observe("gate-0", 1.0)  # same station: no new entry
+        history.observe("gate-1", 2.0)
+        assert history.scans == 3
+        assert history.transitions == 2
+        assert [station for station, _at in history.entries] == ["gate-0", "gate-1"]
+        assert history.current_station == "gate-1"
+
+    def test_ring_bounded_but_lifetime_counters_monotonic(self):
+        history = TravelHistory("tag-1", depth=4)
+        for index in range(10):
+            history.observe(f"gate-{index}", float(index))
+        assert len(history.entries) == 4
+        assert history.transitions == 10
+        assert history.entries[0][0] == "gate-6"  # oldest entries forgotten
+
+    def test_coalesced_count_feeds_scans(self):
+        history = TravelHistory("tag-1")
+        history.observe("gate-0", 0.0, count=5)
+        assert history.scans == 5
+        assert history.transitions == 1
+
+
+class TestStationWindow:
+    def test_windowed_count_excludes_old_buckets(self):
+        window = StationWindow(window_seconds=10.0, bucket_seconds=1.0)
+        window.add(0.5, 3)
+        window.add(20.0, 2)
+        assert window.total == 5
+        assert window.windowed_count(now_seconds=20.0) == 2
+        assert window.rate_per_second(20.0) == pytest.approx(0.2)
+
+    def test_trim_drops_stale_buckets_total_survives(self):
+        window = StationWindow(window_seconds=5.0, bucket_seconds=1.0)
+        window.add(0.0, 1)
+        window.add(100.0, 1)
+        window.trim(100.0)
+        assert len(window.buckets) == 1
+        assert window.total == 2
+
+    def test_merge_sums_bucketwise(self):
+        a = StationWindow(10.0, 1.0)
+        b = StationWindow(10.0, 1.0)
+        a.add(1.0, 2)
+        b.add(1.0, 3)
+        b.add(4.0, 1)
+        merged = a + b
+        assert merged.total == 6
+        assert merged.windowed_count(5.0) == 6
+        # Merge is non-destructive.
+        assert a.total == 2 and b.total == 4
+
+    def test_merge_rejects_mismatched_geometry(self):
+        with pytest.raises(ValueError):
+            StationWindow(10.0, 1.0).merge(StationWindow(10.0, 2.0))
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            StationWindow(0.0, 1.0)
+
+
+class TestLeaseBoard:
+    def test_ranks_by_denials_then_acquisitions(self):
+        board = LeaseBoard()
+        board.observe("lease_denied", "tag-b", 3)
+        board.observe("lease_denied", "tag-a", 3)
+        board.observe("lease_acquired", "tag-a", 2)
+        board.observe("lease_acquired", "tag-c", 9)
+        top = board.top(3)
+        assert [row["tag_uid"] for row in top] == ["tag-a", "tag-b", "tag-c"]
+        assert top[0]["denied"] == 3 and top[0]["acquired"] == 2
+
+    def test_all_lease_kinds_tallied(self):
+        board = LeaseBoard()
+        for kind in ("lease_acquired", "lease_denied", "lease_renewed",
+                     "lease_released"):
+            board.observe(kind, "tag-x")
+        (row,) = board.top(1)
+        assert (row["acquired"], row["denied"], row["renewed"],
+                row["released"]) == (1, 1, 1, 1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            LeaseBoard().observe("lease_stolen", "tag-x")

@@ -5,6 +5,7 @@ import pytest
 from repro.concurrent import EventLog
 from repro.harness import (
     ChurnEvent,
+    fleet_day,
     run_churn,
     turnstile_rush,
     warehouse_conveyor,
@@ -133,3 +134,65 @@ class TestRunChurn:
             schedule = turnstile_rush(16, 500, duration_seconds=0.5, seed=4)
             stats = run_churn(scenario, schedule)
             assert stats.events == len(schedule)
+
+
+class TestFleetDay:
+    def test_seed_deterministic(self):
+        a = fleet_day(12, 100, rush_seconds=1.0, seed=5)
+        b = fleet_day(12, 100, rush_seconds=1.0, seed=5)
+        assert [
+            (e.at_seconds, e.device_index, tuple(e.tag_indices), e.enter)
+            for e in a
+        ] == [
+            (e.at_seconds, e.device_index, tuple(e.tag_indices), e.enter)
+            for e in b
+        ]
+        c = fleet_day(12, 100, rush_seconds=1.0, seed=6)
+        assert len(c) != len(a) or [e.at_seconds for e in c] != [
+            e.at_seconds for e in a
+        ]
+
+    def test_timeline_is_monotonic(self):
+        schedule = fleet_day(10, 80, rush_seconds=1.0, seed=1)
+        times = [event.at_seconds for event in schedule]
+        assert times == sorted(times)
+
+    def test_devices_partition_into_gates_and_docks(self):
+        device_count = 10
+        schedule = fleet_day(device_count, 80, rush_seconds=1.0, seed=2)
+        gate_count = device_count // 2
+        used = {event.device_index for event in schedule}
+        assert used & set(range(gate_count))  # turnstile gates saw traffic
+        assert used & set(range(gate_count, device_count))  # dock readers too
+        assert max(used) < device_count
+
+    def test_single_device_fleet_is_all_gates(self):
+        schedule = fleet_day(1, 10, rush_seconds=0.5, seed=0)
+        assert {event.device_index for event in schedule} == {0}
+
+    def test_conveyor_phase_overlaps_morning_rush(self):
+        """The dock wave starts while the morning rush still runs."""
+        rush = 2.0
+        schedule = fleet_day(8, 64, rush_seconds=rush, seed=3)
+        dock_starts = [
+            e.at_seconds for e in schedule if e.device_index >= 4 and e.enter
+        ]
+        assert dock_starts
+        assert min(dock_starts) < rush
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            fleet_day(0, 10)
+        with pytest.raises(ValueError):
+            fleet_day(4, 0)
+
+    def test_replays_through_run_churn(self):
+        with Scenario() as scenario:
+            scenario.add_phones(4)
+            scenario.add_tags(24)
+            schedule = fleet_day(4, 24, rush_seconds=0.5, seed=9)
+            stats = run_churn(scenario, schedule)
+            assert stats.events == len(schedule)
+            # Phases overlap, so some scheduled entries find the tag
+            # already in a field: actual crossings <= scheduled moves.
+            assert 0 < stats.tag_moves <= schedule.tag_moves

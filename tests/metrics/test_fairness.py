@@ -77,3 +77,43 @@ class TestLatencySummary:
         assert summary.count == 0
         assert summary.as_dict()["p50_seconds"] is None
         assert "empty" in repr(summary)
+
+
+class TestLatencySummaryMerge:
+    def test_merge_of_empties_is_empty(self):
+        merged = LatencySummary([]).merge(LatencySummary([]))
+        assert merged.count == 0
+        assert merged.p99 is None
+
+    def test_merge_with_empty_is_identity(self):
+        summary = LatencySummary([0.1, 0.2, 0.3])
+        for merged in (
+            summary.merge(LatencySummary([])),
+            LatencySummary([]).merge(summary),
+        ):
+            assert merged.as_dict() == summary.as_dict()
+
+    def test_single_sample_merge(self):
+        merged = LatencySummary([0.5]) + LatencySummary([0.1])
+        assert merged.count == 2
+        assert merged.min == 0.1
+        assert merged.max == 0.5
+
+    def test_merged_percentiles_are_exact(self):
+        """Shard-wise merge must equal summarizing the union directly."""
+        shard_a = [0.001 * i for i in range(1, 60)]
+        shard_b = [0.010 * i for i in range(1, 40)]
+        shard_c = [5.0, 0.0005]
+        merged = LatencySummary.merged(
+            LatencySummary(part) for part in (shard_a, shard_b, shard_c)
+        )
+        direct = LatencySummary(shard_a + shard_b + shard_c)
+        assert merged.as_dict() == direct.as_dict()
+        assert merged.count == len(shard_a) + len(shard_b) + len(shard_c)
+
+    def test_merged_classmethod_of_nothing_is_empty(self):
+        assert LatencySummary.merged([]).count == 0
+
+    def test_merge_rejects_non_summary(self):
+        with pytest.raises(TypeError):
+            LatencySummary([0.1]).merge([0.2])  # type: ignore[arg-type]

@@ -133,3 +133,54 @@ class TestFuzz:
                                      "reserved-tnf", "unchanged-tnf"))
             for line in out.splitlines()
         )
+
+
+class TestHelp:
+    def test_help_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("fig2", "demo", "tagdump", "lint", "fuzz", "gateway"):
+            assert command in out
+
+
+class TestGateway:
+    def test_gateway_smoke_run(self, capsys):
+        assert (
+            main(
+                [
+                    "gateway",
+                    "--devices", "8",
+                    "--tags", "40",
+                    "--shards", "2",
+                    "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fleet: 8 devices" in out
+        assert "ingested=" in out
+        assert "busiest stations" in out
+        assert "station-" in out
+
+    def test_gateway_runs_on_asyncio_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "gateway",
+                    "--devices", "4",
+                    "--tags", "20",
+                    "--backend", "asyncio",
+                    "--seed", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ingested=" in out
+
+    def test_gateway_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gateway", "--backend", "curio"])
